@@ -1,0 +1,81 @@
+// Command driftcalc computes cell error rates for any of the paper's
+// level mappings at arbitrary retention times, by deterministic
+// quadrature and (optionally) Monte Carlo.
+//
+// Usage:
+//
+//	driftcalc -mapping 3LCo -t 10y
+//	driftcalc -mapping 4LCn -t 17m -samples 100000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/levels"
+)
+
+// parseDuration accepts s/m/h/d/y suffixes.
+func parseDuration(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty duration")
+	}
+	unit := s[len(s)-1]
+	mult := 1.0
+	switch unit {
+	case 's':
+		mult = 1
+	case 'm':
+		mult = 60
+	case 'h':
+		mult = 3600
+	case 'd':
+		mult = 86400
+	case 'y':
+		mult = 365.25 * 86400
+	default:
+		return strconv.ParseFloat(s, 64)
+	}
+	v, err := strconv.ParseFloat(s[:len(s)-1], 64)
+	return v * mult, err
+}
+
+func main() {
+	var (
+		name    = flag.String("mapping", "3LCo", "4LCn, 4LCs, 4LCo, 3LCn, or 3LCo")
+		tArg    = flag.String("t", "17m", "retention time (suffix s/m/h/d/y)")
+		samples = flag.Int64("samples", 0, "optional Monte Carlo sample count")
+		seed    = flag.Uint64("seed", 1, "Monte Carlo seed")
+	)
+	flag.Parse()
+
+	var m levels.Mapping
+	found := false
+	for _, cand := range levels.All() {
+		if strings.EqualFold(cand.Name, *name) {
+			m, found = cand, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown mapping %q\n", *name)
+		os.Exit(2)
+	}
+	t, err := parseDuration(*tArg)
+	if err != nil || t <= 0 {
+		fmt.Fprintf(os.Stderr, "bad time %q: %v\n", *tArg, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("mapping   %s (levels %d)\n", m.Name, m.Levels())
+	fmt.Printf("nominals  %v\n", m.Nominals)
+	fmt.Printf("thresholds %v\n", m.Thresholds)
+	fmt.Printf("time      %.4g s\n", t)
+	fmt.Printf("CER quad  %.4E\n", m.QuadCER(t))
+	if *samples > 0 {
+		res := m.MCCERCurve([]float64{t}, *samples, *seed, 0)
+		fmt.Printf("CER MC    %.4E (floor %.1E)\n", res.CER[0], res.Floor())
+	}
+}

@@ -1,0 +1,98 @@
+// Command pcmrepro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pcmrepro -list
+//	pcmrepro [-samples N] [-memops N] [-seed S] [-id F8] [-id T3] ...
+//
+// Without -id it runs every experiment in paper order. -samples controls
+// Monte Carlo depth (the paper used 1e9; the default 1e7 keeps a full run
+// under a minute on a laptop).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+type idList []string
+
+func (l *idList) String() string { return strings.Join(*l, ",") }
+func (l *idList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		samples = flag.Int64("samples", 10_000_000, "Monte Carlo samples for drift experiments")
+		memops  = flag.Int("memops", 200_000, "memory operations per Figure 16 simulation")
+		seed    = flag.Uint64("seed", 20130817, "random seed")
+		workers = flag.Int("workers", 0, "Monte Carlo workers (0 = all cores)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Bool("parallel", false, "run independent experiments concurrently (output stays in order)")
+		ids      idList
+	)
+	flag.Var(&ids, "id", "experiment id to run (repeatable); default all")
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		MCSamples: *samples,
+		Seed:      *seed,
+		Workers:   *workers,
+		MemsimOps: *memops,
+	}
+
+	specs := experiments.All()
+	if len(ids) > 0 {
+		specs = specs[:0]
+		for _, id := range ids {
+			s, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			specs = append(specs, s)
+		}
+	}
+	render := func(res experiments.Result) string {
+		if *csv {
+			return fmt.Sprintf("# %s: %s\n%s\n", res.ID, res.Title, res.CSV())
+		}
+		return res.Format() + "\n"
+	}
+
+	if !*parallel {
+		for _, s := range specs {
+			fmt.Print(render(s.Run(opts)))
+		}
+		return
+	}
+	// Fan the independent experiments across cores; print in input order.
+	outputs := make([]chan string, len(specs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, s := range specs {
+		outputs[i] = make(chan string, 1)
+		go func(s experiments.Spec, out chan<- string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out <- render(s.Run(opts))
+		}(s, outputs[i])
+	}
+	for _, ch := range outputs {
+		fmt.Print(<-ch)
+	}
+}

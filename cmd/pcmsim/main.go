@@ -1,0 +1,100 @@
+// Command pcmsim runs the memory-system simulator on one workload and
+// design point and prints the raw statistics — the building block of
+// Figure 16 for interactive exploration.
+//
+// Usage:
+//
+//	pcmsim -workload mcf -design 3LC [-ops 1000000] [-refresh-min 17]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/memsim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "STREAM", "one of STREAM, bzip2, mcf, namd, libquantum, lbm")
+		design     = flag.String("design", "4LC-REF", "one of 4LC-REF, 4LC-REF-OPT, 4LC-NO-REF, 3LC")
+		ops        = flag.Int("ops", 500_000, "memory operations to simulate")
+		seed       = flag.Uint64("seed", 1, "trace seed")
+		refreshMin = flag.Int("refresh-min", 17, "refresh interval in minutes (4LC-REF designs)")
+		record     = flag.String("record", "", "record the synthetic trace to this file and exit")
+		traceFile  = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload")
+	)
+	flag.Parse()
+
+	p, err := trace.ProfileByName(*workload)
+	if err != nil && *traceFile == "" {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n, err := trace.Write(f, trace.New(p, *ops, *seed))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d operations of %s to %s\n", n, p.WorkloadName, *record)
+		return
+	}
+	var d memsim.Design
+	found := false
+	for _, cand := range memsim.Designs() {
+		if cand.String() == *design {
+			d, found = cand, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	cfg := memsim.ConfigFor(d)
+	cfg.RefreshIntervalNs = (time.Duration(*refreshMin) * time.Minute).Nanoseconds()
+
+	var gen trace.Generator
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		gen, err = trace.Open(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		gen = trace.New(p, *ops, *seed)
+	}
+	s := memsim.Run(cfg, gen)
+	fmt.Printf("workload         %s\n", gen.Name())
+	fmt.Printf("design           %s\n", d)
+	fmt.Printf("instructions     %d\n", s.Instructions)
+	fmt.Printf("memory ops       %d\n", s.MemOps)
+	fmt.Printf("execution time   %.3f ms\n", float64(s.ExecNs)/1e6)
+	fmt.Printf("IPC              %.3f\n", s.IPC(cfg))
+	fmt.Printf("L1 hit rate      %.3f\n", float64(s.L1Hits)/float64(s.L1Hits+s.L1Misses))
+	fmt.Printf("L2 hit rate      %.3f\n", float64(s.L2Hits)/float64(s.L2Hits+s.L2Misses))
+	fmt.Printf("PCM reads        %d (avg latency %.0f ns)\n", s.MemReads, s.AvgReadLatencyNs())
+	fmt.Printf("PCM writes       %d\n", s.MemWrites)
+	fmt.Printf("refresh ops      %d\n", s.RefreshOps)
+	fmt.Printf("energy           %.1f uJ (rd %.1f, wr %.1f, ref %.1f, static %.1f)\n",
+		s.TotalEnergyNJ()/1e3, s.EnergyRead/1e3, s.EnergyWrite/1e3, s.EnergyRefresh/1e3, s.EnergyStatic/1e3)
+	fmt.Printf("average power    %.4f W\n", s.AvgPowerW())
+}

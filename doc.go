@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of Yoon, Chang,
+// Schreiber & Jouppi, "Practical Nonvolatile Multilevel-Cell Phase
+// Change Memory" (SC '13).
+//
+// The library lives under internal/ (see README.md for the layer map),
+// the experiment harness regenerating every table and figure is
+// internal/experiments (driven by cmd/pcmrepro and the benchmarks in
+// bench_test.go), and runnable demonstrations are under examples/.
+//
+// Start with DESIGN.md for the system inventory and the per-experiment
+// index, and EXPERIMENTS.md for paper-versus-measured results.
+package repro

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckpointExample(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "3LC checkpoint survived a year unpowered: true") {
+		t.Errorf("3LC recovery missing:\n%s", out)
+	}
+	if !strings.Contains(out, "crash at iteration") {
+		t.Errorf("crash phase missing:\n%s", out)
+	}
+}
+
+func TestJacobiConverges(t *testing.T) {
+	u := freshGrid()
+	// Jacobi needs O(N^2) sweeps on an N-point grid.
+	for i := 0; i < 120000; i++ {
+		jacobiStep(u)
+	}
+	if r := residual(u); r > 1e-6 {
+		t.Fatalf("residual %v after long relaxation", r)
+	}
+	// Steady state of u''=0 with u(0)=0, u(N-1)=1 is linear.
+	mid := u[gridN/2]
+	if mid < 0.4 || mid > 0.6 {
+		t.Fatalf("midpoint %v not near 0.5", mid)
+	}
+}
+
+func TestCheckpointRoundTripNoAging(t *testing.T) {
+	// Pure save/restore correctness, no drift.
+	u := freshGrid()
+	for i := 0; i < 37; i++ {
+		jacobiStep(u)
+	}
+	dev := newTestDevice()
+	cp := checkpointer{dev}
+	if err := cp.save(37, u); err != nil {
+		t.Fatal(err)
+	}
+	it, got, err := cp.restore()
+	if err != nil || it != 37 {
+		t.Fatalf("restore: it=%d err=%v", it, err)
+	}
+	for i := range u {
+		if got[i] != u[i] {
+			t.Fatalf("element %d: %v != %v", i, got[i], u[i])
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHybridExample(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "recovered 6/6 commits intact") {
+		t.Errorf("persistent tier recovery missing:\n%s", out)
+	}
+	if !strings.Contains(out, "power lost") {
+		t.Errorf("power-loss phase missing:\n%s", out)
+	}
+}

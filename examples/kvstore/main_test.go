@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pcmarray"
+)
+
+func newDev(seed uint64) core.Arch {
+	return core.NewThreeLC(32, core.ThreeLCConfig{Array: pcmarray.DefaultOptions(seed)})
+}
+
+func TestKVStoreExample(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "all keys verified after recovery") {
+		t.Errorf("missing verification line:\n%s", sb.String())
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := Open(newDev(1))
+	if _, found, _ := s.Get("absent"); found {
+		t.Fatal("phantom key")
+	}
+	if err := s.Put("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, err := s.Get("a"); err != nil || !found || v != "2" {
+		t.Fatalf("get a = (%q,%v,%v)", v, found, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := s.Get("a"); found {
+		t.Fatal("deleted key readable")
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal("double delete should be a no-op")
+	}
+}
+
+func TestReopenPreservesState(t *testing.T) {
+	dev := newDev(2)
+	s := Open(dev)
+	for _, kv := range [][2]string{{"x", "1"}, {"y", "2"}, {"z", ""}} {
+		if err := s.Put(kv[0], kv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := Open(dev)
+	if r.Len() != 3 {
+		t.Fatalf("recovered %d keys", r.Len())
+	}
+	if v, found, _ := r.Get("z"); !found || v != "" {
+		t.Fatal("empty value lost")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := Open(newDev(3))
+	if err := s.Put("", "v"); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Put(strings.Repeat("k", 25), "v"); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if err := s.Put("k", strings.Repeat("v", 33)); err == nil {
+		t.Error("oversized value accepted")
+	}
+}
+
+func TestStoreFull(t *testing.T) {
+	s := Open(newDev(4))
+	var err error
+	for i := 0; i < 40; i++ {
+		if err = s.Put(strings.Repeat("k", 3)+string(rune('a'+i)), "v"); err != nil {
+			break
+		}
+	}
+	if err == nil || !strings.Contains(err.Error(), "full") {
+		t.Fatalf("expected store-full error, got %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	blk, err := encode("hello", "world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, v, ok := decode(blk)
+	if !ok || k != "hello" || v != "world" {
+		t.Fatalf("decode = (%q,%q,%v)", k, v, ok)
+	}
+	// Corruption is detected by the checksum.
+	blk[10] ^= 0xFF
+	if _, _, ok := decode(blk); ok {
+		t.Fatal("corrupted record accepted")
+	}
+}

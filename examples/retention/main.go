@@ -1,0 +1,116 @@
+// Retention: an unpowered data-retention study across architectures —
+// the experiment behind the paper's nonvolatility claim. Populates 3LC,
+// 4LCo, and permutation devices, ages them through a sweep of idle times
+// from one hour to thirty years, and reports the fraction of blocks that
+// still read back correctly (no refresh anywhere).
+//
+//	go run ./examples/retention
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pcmarray"
+)
+
+const blocksPerDevice = 48
+
+var idlePoints = []struct {
+	label   string
+	seconds float64
+}{
+	{"1 hour", 3600},
+	{"1 day", 86400},
+	{"12 days", 12 * 86400},
+	{"1 year", 365.25 * 86400},
+	{"10 years", 10 * 365.25 * 86400},
+	{"30 years", 30 * 365.25 * 86400},
+}
+
+func payload(b int) []byte {
+	data := make([]byte, core.BlockBytes)
+	for i := range data {
+		data[i] = byte(b*31 + i*7 + 3)
+	}
+	return data
+}
+
+// survivors writes every block, ages the device once, and counts blocks
+// that read back intact.
+func survivors(mk func(seed uint64) core.Arch, seed uint64, idle float64) (int, error) {
+	dev := mk(seed)
+	for b := 0; b < dev.Blocks(); b++ {
+		if err := dev.Write(b, payload(b)); err != nil {
+			return 0, err
+		}
+	}
+	dev.Array().Advance(idle)
+	ok := 0
+	for b := 0; b < dev.Blocks(); b++ {
+		got, err := dev.Read(b)
+		if err == nil && bytes.Equal(got, payload(b)) {
+			ok++
+		}
+	}
+	return ok, nil
+}
+
+func run(w io.Writer) error {
+	noWear := func(seed uint64) pcmarray.Options {
+		o := pcmarray.DefaultOptions(seed)
+		o.EnduranceMean = 0
+		return o
+	}
+	archs := []struct {
+		name string
+		mk   func(seed uint64) core.Arch
+	}{
+		{"3LC", func(s uint64) core.Arch {
+			return core.NewThreeLC(blocksPerDevice, core.ThreeLCConfig{Array: noWear(s)})
+		}},
+		{"4LCo", func(s uint64) core.Arch {
+			return core.NewFourLC(blocksPerDevice, core.FourLCConfig{Array: noWear(s)})
+		}},
+		{"permutation", func(s uint64) core.Arch {
+			return core.NewPermutation(blocksPerDevice, noWear(s))
+		}},
+	}
+
+	fmt.Fprintf(w, "%-12s", "idle time")
+	for _, a := range archs {
+		fmt.Fprintf(w, "  %-12s", a.name)
+	}
+	fmt.Fprintln(w)
+
+	finals := map[string]int{}
+	for _, pt := range idlePoints {
+		fmt.Fprintf(w, "%-12s", pt.label)
+		for i, a := range archs {
+			ok, err := survivors(a.mk, uint64(1000+i), pt.seconds)
+			if err != nil {
+				return fmt.Errorf("%s at %s: %w", a.name, pt.label, err)
+			}
+			fmt.Fprintf(w, "  %3d/%-3d     ", ok, blocksPerDevice)
+			finals[a.name] = ok
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "\n(3LC holds every block for decades; 4LC decays within days;")
+	fmt.Fprintln(w, " permutation coding sits in between — Figure 8 in device form.)")
+	if finals["3LC"] != blocksPerDevice {
+		return fmt.Errorf("3LC lost blocks at 30 years: %d", finals["3LC"])
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRetentionExample(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	lines := strings.Split(out, "\n")
+	// The one-hour row must show full survival everywhere; find it.
+	foundHour := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 hour") {
+			foundHour = true
+			if strings.Count(l, "48/48") != 3 {
+				t.Errorf("one-hour row shows losses: %q", l)
+			}
+		}
+	}
+	if !foundHour {
+		t.Fatalf("missing 1 hour row:\n%s", out)
+	}
+}

@@ -1,0 +1,279 @@
+package bch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// paperTEC1 is the 3LC design's transient-error code: BCH-1 over GF(2^10)
+// on a 708-bit message (Section 6.3).
+func paperTEC1(t *testing.T) *Code {
+	t.Helper()
+	c, err := New(10, 1, 708)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// paperTEC10 is the 4LCo design's code: BCH-10 over GF(2^10) on 512 bits.
+func paperTEC10(t *testing.T) *Code {
+	t.Helper()
+	c, err := New(10, 10, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randMsg(r *rng.Rand, n int) bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, uint(r.Uint64())&1)
+	}
+	return v
+}
+
+func TestPaperParitySizes(t *testing.T) {
+	// Section 6.3: BCH-1 "requires additional 10 check bits over a 64B
+	// block". Section 6.6: BCH-10 needs "100 check bits".
+	if got := paperTEC1(t).ParityBits(); got != 10 {
+		t.Errorf("BCH-1 parity = %d, want 10", got)
+	}
+	if got := paperTEC10(t).ParityBits(); got != 100 {
+		t.Errorf("BCH-10 parity = %d, want 100", got)
+	}
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	if _, err := New(10, 0, 100); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := New(10, 1, 0); err == nil {
+		t.Error("empty message accepted")
+	}
+	if _, err := New(4, 2, 100); err == nil {
+		t.Error("message longer than code accepted")
+	}
+	if _, err := New(40, 1, 10); err == nil {
+		t.Error("unsupported field accepted")
+	}
+}
+
+func TestCleanRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, c := range []*Code{paperTEC1(t), paperTEC10(t), Must(8, 3, 100)} {
+		for trial := 0; trial < 20; trial++ {
+			msg := randMsg(r, c.MsgBits)
+			orig := msg.Clone()
+			parity := c.Encode(msg)
+			res := c.Decode(msg, parity)
+			if !res.OK || res.Corrected != 0 {
+				t.Fatalf("clean decode: %+v", res)
+			}
+			if !msg.Equal(orig) {
+				t.Fatal("clean decode modified the message")
+			}
+		}
+	}
+}
+
+func TestCorrectsUpToT(t *testing.T) {
+	r := rng.New(2)
+	for _, c := range []*Code{paperTEC1(t), paperTEC10(t), Must(9, 4, 300)} {
+		for e := 1; e <= c.T; e++ {
+			for trial := 0; trial < 10; trial++ {
+				msg := randMsg(r, c.MsgBits)
+				orig := msg.Clone()
+				parity := c.Encode(msg)
+				origParity := parity.Clone()
+
+				flipped := map[int]bool{}
+				total := c.CodewordBits()
+				for len(flipped) < e {
+					p := r.Intn(total)
+					if flipped[p] {
+						continue
+					}
+					flipped[p] = true
+					if p < c.MsgBits {
+						msg.Flip(p)
+					} else {
+						parity.Flip(p - c.MsgBits)
+					}
+				}
+				res := c.Decode(msg, parity)
+				if !res.OK {
+					t.Fatalf("t=%d code failed on %d errors", c.T, e)
+				}
+				if res.Corrected != e {
+					t.Fatalf("corrected %d, injected %d", res.Corrected, e)
+				}
+				if !msg.Equal(orig) || !parity.Equal(origParity) {
+					t.Fatalf("t=%d code mis-corrected %d errors", c.T, e)
+				}
+			}
+		}
+	}
+}
+
+func TestBeyondTDetectedOrMiscorrected(t *testing.T) {
+	// Beyond the designed distance a bounded-distance decoder either
+	// reports failure or lands on a different codeword; it must never
+	// panic, and must not claim to have corrected more than T errors.
+	r := rng.New(3)
+	c := paperTEC10(t)
+	for trial := 0; trial < 20; trial++ {
+		msg := randMsg(r, c.MsgBits)
+		parity := c.Encode(msg)
+		for i := 0; i < c.T+5; i++ {
+			msg.Flip(r.Intn(c.MsgBits))
+		}
+		res := c.Decode(msg, parity)
+		if res.OK && res.Corrected > c.T {
+			t.Fatalf("claimed %d corrections with t=%d", res.Corrected, c.T)
+		}
+	}
+}
+
+func TestHammingDetectsDouble(t *testing.T) {
+	// BCH-1 over GF(2^10) has designed distance 3; two errors produce a
+	// nonzero syndrome, so decode must not return a clean result.
+	r := rng.New(4)
+	c := paperTEC1(t)
+	for trial := 0; trial < 50; trial++ {
+		msg := randMsg(r, c.MsgBits)
+		parity := c.Encode(msg)
+		a := r.Intn(c.MsgBits)
+		b := a
+		for b == a {
+			b = r.Intn(c.MsgBits)
+		}
+		msg.Flip(a)
+		msg.Flip(b)
+		res := c.Decode(msg, parity)
+		if res.OK && res.Corrected == 0 {
+			t.Fatal("two errors decoded as clean")
+		}
+	}
+}
+
+func TestParityProtectsItself(t *testing.T) {
+	// A drift error can land on a check cell; errors in the parity region
+	// must be corrected too (the paper stores TEC check bits in SLC mode
+	// to reduce their error rate, but the code still covers them).
+	r := rng.New(5)
+	c := paperTEC1(t)
+	msg := randMsg(r, c.MsgBits)
+	orig := msg.Clone()
+	parity := c.Encode(msg)
+	origParity := parity.Clone()
+	parity.Flip(3)
+	res := c.Decode(msg, parity)
+	if !res.OK || res.Corrected != 1 {
+		t.Fatalf("parity-bit error not corrected: %+v", res)
+	}
+	if !msg.Equal(orig) || !parity.Equal(origParity) {
+		t.Fatal("state wrong after parity correction")
+	}
+}
+
+func TestEncodeLengthPanics(t *testing.T) {
+	c := paperTEC1(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.Encode(bitvec.New(17))
+}
+
+func TestLinearity(t *testing.T) {
+	// BCH codes are linear: parity(a XOR b) == parity(a) XOR parity(b).
+	r := rng.New(6)
+	c := Must(10, 3, 256)
+	for trial := 0; trial < 10; trial++ {
+		a := randMsg(r, c.MsgBits)
+		b := randMsg(r, c.MsgBits)
+		pa := c.Encode(a)
+		pb := c.Encode(b)
+		a.Xor(b)
+		pab := c.Encode(a)
+		pa.Xor(pb)
+		if !pab.Equal(pa) {
+			t.Fatal("code is not linear")
+		}
+	}
+}
+
+// Property: single-bit errors at arbitrary positions are always corrected
+// by any of the paper's codes.
+func TestSingleErrorProperty(t *testing.T) {
+	c := Must(10, 1, 708)
+	r := rng.New(7)
+	f := func(posRaw uint16, seed uint64) bool {
+		msg := randMsg(rng.New(seed), c.MsgBits)
+		orig := msg.Clone()
+		parity := c.Encode(msg)
+		pos := int(posRaw) % c.CodewordBits()
+		if pos < c.MsgBits {
+			msg.Flip(pos)
+		} else {
+			parity.Flip(pos - c.MsgBits)
+		}
+		res := c.Decode(msg, parity)
+		return res.OK && res.Corrected == 1 && msg.Equal(orig)
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeBCH1(b *testing.B) {
+	c := Must(10, 1, 708)
+	msg := randMsg(rng.New(1), 708)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(msg)
+	}
+}
+
+func BenchmarkEncodeBCH10(b *testing.B) {
+	c := Must(10, 10, 512)
+	msg := randMsg(rng.New(1), 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(msg)
+	}
+}
+
+func BenchmarkDecodeCleanBCH10(b *testing.B) {
+	c := Must(10, 10, 512)
+	msg := randMsg(rng.New(1), 512)
+	parity := c.Encode(msg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Decode(msg, parity)
+	}
+}
+
+func BenchmarkDecodeWorstBCH10(b *testing.B) {
+	c := Must(10, 10, 512)
+	r := rng.New(1)
+	msg := randMsg(r, 512)
+	parity := c.Encode(msg)
+	dirtyMsg := msg.Clone()
+	for i := 0; i < 10; i++ {
+		dirtyMsg.Flip(r.Intn(512))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := dirtyMsg.Clone()
+		p := parity.Clone()
+		c.Decode(m, p)
+	}
+}

@@ -1,0 +1,29 @@
+package bch_test
+
+import (
+	"fmt"
+
+	"repro/internal/bch"
+	"repro/internal/bitvec"
+)
+
+// Build the paper's transient-error code for the 3LC design — BCH-1 over
+// the 708-bit message of Section 6.3 — and correct a drift error.
+func Example() {
+	code := bch.Must(10, 1, 708)
+	fmt.Println("check bits:", code.ParityBits())
+
+	msg := bitvec.New(708)
+	msg.Set(100, 1)
+	msg.Set(505, 1)
+	parity := code.Encode(msg)
+
+	msg.Flip(303) // a drift error: one bit under the TEC mapping
+	res := code.Decode(msg, parity)
+	fmt.Println("corrected:", res.Corrected, "ok:", res.OK)
+	fmt.Println("bit 303 restored:", msg.Get(303) == 0)
+	// Output:
+	// check bits: 10
+	// corrected: 1 ok: true
+	// bit 303 restored: true
+}

@@ -1,0 +1,108 @@
+package bch
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// TestParameterGrid exercises the codec across field degrees and
+// correction strengths well beyond the two paper design points: every
+// (m, t, message-length) combination must round-trip cleanly and correct
+// exactly-t random error patterns.
+func TestParameterGrid(t *testing.T) {
+	r := rng.New(31)
+	type cfg struct{ m, t, msg int }
+	grid := []cfg{
+		{6, 1, 32}, {6, 2, 40},
+		{7, 1, 64}, {7, 3, 80},
+		{8, 2, 128}, {8, 4, 180},
+		{9, 3, 256}, {9, 5, 400},
+		{10, 1, 708}, {10, 6, 512}, {10, 10, 512}, {10, 12, 800},
+		{11, 2, 1024},
+	}
+	for _, g := range grid {
+		c, err := New(g.m, g.t, g.msg)
+		if err != nil {
+			t.Fatalf("New(%d,%d,%d): %v", g.m, g.t, g.msg, err)
+		}
+		if c.ParityBits() > g.m*g.t {
+			t.Errorf("(%d,%d): parity %d exceeds m*t", g.m, g.t, c.ParityBits())
+		}
+		for trial := 0; trial < 4; trial++ {
+			msg := bitvec.New(g.msg)
+			for i := 0; i < g.msg; i++ {
+				msg.Set(i, uint(r.Uint64())&1)
+			}
+			orig := msg.Clone()
+			parity := c.Encode(msg)
+			origParity := parity.Clone()
+
+			flipped := map[int]bool{}
+			for len(flipped) < g.t {
+				p := r.Intn(c.CodewordBits())
+				if flipped[p] {
+					continue
+				}
+				flipped[p] = true
+				if p < g.msg {
+					msg.Flip(p)
+				} else {
+					parity.Flip(p - g.msg)
+				}
+			}
+			res := c.Decode(msg, parity)
+			if !res.OK || res.Corrected != g.t {
+				t.Fatalf("(%d,%d,%d): decode %+v with %d errors", g.m, g.t, g.msg, res, g.t)
+			}
+			if !msg.Equal(orig) || !parity.Equal(origParity) {
+				t.Fatalf("(%d,%d,%d): mis-corrected", g.m, g.t, g.msg)
+			}
+		}
+	}
+}
+
+// TestBurstErrors checks contiguous error bursts up to t bits — the
+// pattern a failing cell pair produces under the 2-bit TEC mapping.
+func TestBurstErrors(t *testing.T) {
+	c := Must(10, 4, 512)
+	r := rng.New(33)
+	for trial := 0; trial < 30; trial++ {
+		msg := bitvec.New(512)
+		for i := 0; i < 512; i++ {
+			msg.Set(i, uint(r.Uint64())&1)
+		}
+		orig := msg.Clone()
+		parity := c.Encode(msg)
+		start := r.Intn(512 - 4)
+		for k := 0; k < 4; k++ {
+			msg.Flip(start + k)
+		}
+		res := c.Decode(msg, parity)
+		if !res.OK || !msg.Equal(orig) {
+			t.Fatalf("burst at %d not corrected: %+v", start, res)
+		}
+	}
+}
+
+// TestAllZeroAndAllOneMessages covers degenerate codewords.
+func TestAllZeroAndAllOneMessages(t *testing.T) {
+	c := Must(10, 3, 300)
+	zero := bitvec.New(300)
+	pZero := c.Encode(zero)
+	if pZero.OnesCount() != 0 {
+		t.Error("parity of the zero codeword must be zero (linearity)")
+	}
+	ones := bitvec.New(300)
+	for i := 0; i < 300; i++ {
+		ones.Set(i, 1)
+	}
+	parity := c.Encode(ones)
+	ones.Flip(0)
+	ones.Flip(299)
+	res := c.Decode(ones, parity)
+	if !res.OK || res.Corrected != 2 {
+		t.Fatalf("all-ones correction: %+v", res)
+	}
+}

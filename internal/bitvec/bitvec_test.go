@@ -1,0 +1,193 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSetGetFlip(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	v.Set(0, 1)
+	v.Set(64, 1)
+	v.Set(129, 1)
+	for _, i := range []int{0, 64, 129} {
+		if v.Get(i) != 1 {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.OnesCount() != 3 {
+		t.Errorf("OnesCount = %d", v.OnesCount())
+	}
+	v.Flip(64)
+	if v.Get(64) != 0 || v.OnesCount() != 2 {
+		t.Error("Flip failed")
+	}
+	v.Set(0, 0)
+	if v.Get(0) != 0 {
+		t.Error("clear failed")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for name, fn := range map[string]func(){
+		"get":  func() { v.Get(10) },
+		"set":  func() { v.Set(-1, 1) },
+		"flip": func() { v.Flip(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 7, 8, 9, 63, 64, 65, 512, 708} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, uint(r.Uint64())&1)
+		}
+		got := FromBytes(v.Bytes(), n)
+		if !got.Equal(v) {
+			t.Errorf("n=%d: bytes round trip failed", n)
+		}
+	}
+}
+
+func TestXorEqualClone(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(3, 1)
+	b.Set(3, 1)
+	b.Set(99, 1)
+	c := a.Clone()
+	a.Xor(b)
+	if a.Get(3) != 0 || a.Get(99) != 1 {
+		t.Error("Xor wrong")
+	}
+	if !c.Equal(c.Clone()) || c.Equal(a) {
+		t.Error("Equal/Clone wrong")
+	}
+	a.Xor(b) // undo
+	if !a.Equal(c) {
+		t.Error("double xor is not identity")
+	}
+}
+
+func TestXorLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(10).Xor(New(11))
+}
+
+func TestNextSet(t *testing.T) {
+	v := New(200)
+	for _, i := range []int{5, 63, 64, 130, 199} {
+		v.Set(i, 1)
+	}
+	want := []int{5, 63, 64, 130, 199}
+	got := []int{}
+	for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if v.NextSet(200) != -1 {
+		t.Error("NextSet past end should be -1")
+	}
+	if New(10).NextSet(0) != -1 {
+		t.Error("NextSet on empty should be -1")
+	}
+}
+
+func TestSliceCopyFrom(t *testing.T) {
+	v := New(64)
+	for i := 10; i < 20; i++ {
+		v.Set(i, 1)
+	}
+	s := v.Slice(10, 20)
+	if s.Len() != 10 || s.OnesCount() != 10 {
+		t.Fatalf("Slice wrong: %v", s)
+	}
+	w := New(30)
+	w.CopyFrom(s, 5)
+	for i := 0; i < 30; i++ {
+		want := uint(0)
+		if i >= 5 && i < 15 {
+			want = 1
+		}
+		if w.Get(i) != want {
+			t.Fatalf("CopyFrom bit %d = %d", i, w.Get(i))
+		}
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	v := New(100)
+	v.SetUint(17, 13, 0x1abc)
+	if got := v.Uint(17, 13); got != 0x1abc&0x1fff {
+		t.Fatalf("Uint = %#x", got)
+	}
+	v.SetUint(36, 64, 0xdeadbeefcafe1234)
+	if got := v.Uint(36, 64); got != 0xdeadbeefcafe1234 {
+		t.Fatalf("Uint64 = %#x", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	v := New(4)
+	v.Set(1, 1)
+	v.Set(3, 1)
+	if got := v.String(); got != "0101" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestUintProperty(t *testing.T) {
+	f := func(val uint64, fromRaw, widthRaw uint8) bool {
+		width := int(widthRaw%65)
+		from := int(fromRaw % 64)
+		v := New(from + width + 1)
+		masked := val
+		if width < 64 {
+			masked &= (1 << width) - 1
+		}
+		v.SetUint(from, width, val)
+		return v.Uint(from, width) == masked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOnesCount(b *testing.B) {
+	v := New(708)
+	for i := 0; i < 708; i += 3 {
+		v.Set(i, 1)
+	}
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += v.OnesCount()
+	}
+	_ = sink
+}

@@ -1,0 +1,168 @@
+// Package bler implements the paper's block-level reliability and refresh
+// arithmetic (Section 4): block error rate as a function of cell error
+// rate and ECC strength (Figure 5), the target-BLER lines derived from a
+// one-bad-block-per-device-per-decade goal, refresh-bandwidth budgets
+// (Section 4.1), and device/bank availability as a function of refresh
+// interval (Figure 4).
+package bler
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Device describes the PCM device assumed throughout the paper's
+// Section 4: 16 GB with 64-byte blocks, 8 banks, 1 µs block writes, and
+// 40 MB/s sustained write throughput.
+type Device struct {
+	Bytes          int64
+	BlockBytes     int
+	Banks          int
+	BlockWriteTime time.Duration
+	WriteBandwidth float64 // bytes per second
+}
+
+// PaperDevice returns the paper's 16 GB configuration.
+func PaperDevice() Device {
+	return Device{
+		Bytes:          16 << 30,
+		BlockBytes:     64,
+		Banks:          8,
+		BlockWriteTime: time.Microsecond,
+		WriteBandwidth: 40 << 20,
+	}
+}
+
+// Blocks returns the number of blocks in the device (2^28 for the paper).
+func (d Device) Blocks() int64 { return d.Bytes / int64(d.BlockBytes) }
+
+// RefreshPassTime returns how long one full refresh pass takes when
+// blocks are refreshed back to back, one at a time (≈268 s for the paper
+// device).
+func (d Device) RefreshPassTime() time.Duration {
+	return time.Duration(d.Blocks()) * d.BlockWriteTime
+}
+
+// BandwidthPassTime returns the refresh-pass time implied by the write
+// throughput limit (≈410 s at 40 MB/s), Section 4.1's tighter bound.
+func (d Device) BandwidthPassTime() time.Duration {
+	sec := float64(d.Bytes) / d.WriteBandwidth
+	return time.Duration(sec * float64(time.Second))
+}
+
+// DeviceAvailability returns the fraction of time the device is usable
+// when refresh blocks the whole device, one block at a time (Figure 4's
+// lower curve). Intervals shorter than a pass give zero availability.
+func (d Device) DeviceAvailability(interval time.Duration) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	a := 1 - float64(d.RefreshPassTime())/float64(interval)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// BankAvailability returns per-bank availability with independent
+// per-bank refresh (Figure 4's upper curve): while one bank refreshes,
+// the others serve requests.
+func (d Device) BankAvailability(interval time.Duration) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	perBank := time.Duration(d.Blocks()/int64(d.Banks)) * d.BlockWriteTime
+	a := 1 - float64(perBank)/float64(interval)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// RefreshWriteShare returns the fraction of the device's write bandwidth
+// consumed by refreshing every block once per interval — the contention
+// quantity behind Figure 16 (≈42% at the 17-minute interval).
+func (d Device) RefreshWriteShare(interval time.Duration) float64 {
+	if interval <= 0 {
+		return 1
+	}
+	bytesPerSec := float64(d.Bytes) / interval.Seconds()
+	share := bytesPerSec / d.WriteBandwidth
+	if share > 1 {
+		return 1
+	}
+	return share
+}
+
+// BlockError returns the per-refresh-period block error rate: the
+// probability that more than t of the block's cells err when each errs
+// independently with probability cer (Figure 5's solid curves).
+func BlockError(cells, t int, cer float64) float64 {
+	return stats.BinomialTail(cells, t, cer)
+}
+
+// LogBlockError is BlockError in log space, resolving rates that
+// underflow float64 (Figure 5 plots down to 1E-14 and the quadrature CER
+// goes far lower).
+func LogBlockError(cells, t int, cer float64) float64 {
+	return stats.LogBinomialTail(cells, t, cer)
+}
+
+// TenYears is the paper's reliability horizon.
+const TenYears = 10 * 365.25 * 24 * time.Hour
+
+// CumulativeTarget returns the ten-year cumulative BLER target: one
+// erroneous block per device, i.e. BlockBytes/Bytes (3.73E-9 for the
+// paper device).
+func (d Device) CumulativeTarget() float64 {
+	return float64(d.BlockBytes) / float64(d.Bytes)
+}
+
+// PerPeriodTarget returns the per-refresh-period BLER target for a given
+// refresh interval: the cumulative target divided by the number of
+// refresh events in ten years (Figure 5's dotted lines). Intervals at or
+// beyond ten years get the full cumulative target.
+func (d Device) PerPeriodTarget(interval time.Duration) float64 {
+	if interval >= TenYears || interval <= 0 {
+		return d.CumulativeTarget()
+	}
+	periods := float64(TenYears) / float64(interval)
+	return d.CumulativeTarget() / periods
+}
+
+// RequiredBCH returns the smallest BCH correction strength t (searching
+// up to maxT) for which the per-period block error rate at the given CER
+// meets the target, or -1 if none does.
+func RequiredBCH(cells int, cer, target float64, maxT int) int {
+	logTarget := math.Log(target)
+	for t := 0; t <= maxT; t++ {
+		if LogBlockError(cells, t, cer) <= logTarget {
+			return t
+		}
+	}
+	return -1
+}
+
+// MTBF returns the device mean time between (block) failures implied by
+// a per-refresh-period block error rate: with N blocks each failing
+// independently with probability p per period of the given interval, the
+// expected number of periods to the first failure is 1/(N·p). The paper's
+// reliability goal (Section 4.2) is an MTBF above ten years.
+func (d Device) MTBF(perPeriodBLER float64, interval time.Duration) time.Duration {
+	if perPeriodBLER <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	expected := float64(interval) / (perPeriodBLER * float64(d.Blocks()))
+	if expected > float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(expected)
+}
+
+// MeetsGoal reports whether a design point (block error rate per period
+// at the given refresh interval) satisfies the ten-year MTBF goal.
+func (d Device) MeetsGoal(perPeriodBLER float64, interval time.Duration) bool {
+	return d.MTBF(perPeriodBLER, interval) >= TenYears
+}

@@ -1,0 +1,26 @@
+package bler_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bler"
+)
+
+// Reproduce Section 4's reliability arithmetic for the paper's 16 GB
+// device.
+func Example() {
+	d := bler.PaperDevice()
+	fmt.Printf("refresh pass: %.0f s\n", d.RefreshPassTime().Seconds())
+	fmt.Printf("device availability @17min: %.0f%%\n", 100*d.DeviceAvailability(17*time.Minute))
+	fmt.Printf("bank availability   @17min: %.0f%%\n", 100*d.BankAvailability(17*time.Minute))
+	fmt.Printf("cumulative target BLER: %.2E\n", d.CumulativeTarget())
+	fmt.Printf("BCH needed at CER 1E-3: %d\n",
+		bler.RequiredBCH(306, 1e-3, d.PerPeriodTarget(17*time.Minute), 20))
+	// Output:
+	// refresh pass: 268 s
+	// device availability @17min: 74%
+	// bank availability   @17min: 97%
+	// cumulative target BLER: 3.73E-09
+	// BCH needed at CER 1E-3: 11
+}

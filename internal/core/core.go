@@ -1,0 +1,106 @@
+// Package core implements the paper's memory architectures end to end:
+// complete 64-byte-block read and write pipelines over a drift-accurate
+// simulated PCM cell array, in the exact stage order of Figure 9 —
+// array read → transient error correction → hard error correction →
+// symbol decode.
+//
+// Three architectures are provided:
+//
+//   - ThreeLC: the paper's proposal (Section 6). Optimally mapped
+//     three-level cells, 3-ON-2 symbol encoding (171 data pairs = 342
+//     cells per 512-bit block), BCH-1 transient-error correction over a
+//     708-bit message with 10 check bits stored in SLC mode, and
+//     mark-and-spare wearout tolerance with 6 spare pairs.
+//
+//   - FourLC: the strongest four-level baseline (4LCo, Sections 5.1 and
+//     6.6). Gray-coded cells, BCH-10 transient-error correction (100
+//     check bits in 50 cells), and ECP-6 adapted to MLC (Figure 14).
+//
+//   - Permutation: the rank-order-coding baseline (Section 6.6): 11 bits
+//     on 7 cells with even-permutation distance and maximum-likelihood
+//     transposition repair, plus SLC ECP-6 and a BCH-1 safety net.
+//
+// All three expose the same Arch interface so the examples, experiments
+// and benchmarks can swap designs freely.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pcmarray"
+)
+
+// BlockBytes is the access granularity assumed throughout the paper.
+const BlockBytes = 64
+
+// BlockBits is the data payload per block.
+const BlockBits = 8 * BlockBytes
+
+// ErrUncorrectable reports a block whose accumulated transient errors
+// exceed the architecture's ECC strength — the event whose probability is
+// the block error rate of Section 4.
+var ErrUncorrectable = errors.New("core: uncorrectable block")
+
+// ErrWornOut reports a block with more hard failures than the wearout
+// tolerance mechanism can absorb; real systems then retire or remap the
+// block (e.g. FREE-p), which is outside this reproduction's scope.
+var ErrWornOut = errors.New("core: block wearout capacity exceeded")
+
+// Arch is a PCM block architecture: a fixed number of 64-byte blocks with
+// full encode/correct/decode pipelines over a simulated cell array.
+type Arch interface {
+	// Name identifies the design point (3LCo, 4LCo, permutation).
+	Name() string
+	// Blocks returns the block capacity.
+	Blocks() int
+	// CellsPerBlock returns the physical cells per 64-byte block,
+	// including ECC and wearout-tolerance overheads.
+	CellsPerBlock() int
+	// Density returns stored data bits per physical cell.
+	Density() float64
+	// Write stores 64 bytes into the given block.
+	Write(block int, data []byte) error
+	// Read retrieves the given block through the full Figure 9 pipeline.
+	Read(block int) ([]byte, error)
+	// Scrub refreshes the block: read, correct, and rewrite, restoring
+	// nominal analog resistance values (Section 1's refresh mechanism).
+	Scrub(block int) error
+	// Array exposes the underlying cell array (for aging and fault
+	// injection in experiments).
+	Array() *pcmarray.Array
+}
+
+// checkBlockArgs validates common Write/Read preconditions.
+func checkBlockArgs(block, nBlocks int, data []byte, needData bool) error {
+	if block < 0 || block >= nBlocks {
+		return fmt.Errorf("core: block %d out of range [0,%d)", block, nBlocks)
+	}
+	if needData && len(data) != BlockBytes {
+		return fmt.Errorf("core: data length %d, want %d", len(data), BlockBytes)
+	}
+	return nil
+}
+
+// Density accounting (Table 3, Table 4, Figure 15). All three follow the
+// paper's layouts for a 512-bit block tolerating n wearout failures.
+
+// ThreeLCDensity returns bits/cell for the 3-ON-2 design: 342 data cells,
+// 2n spare cells, 10 SLC cells of BCH-1 check bits (1.41 at n=6).
+func ThreeLCDensity(n int) float64 {
+	return float64(BlockBits) / float64(342+2*n+10)
+}
+
+// FourLCDensity returns bits/cell for the 4LCo design: 256 data cells,
+// 50 cells of BCH-10 check bits, 5 cells per ECP entry plus a full flag
+// (1.52 at n=6).
+func FourLCDensity(n int) float64 {
+	return float64(BlockBits) / float64(256+50+5*n+1)
+}
+
+// PermutationDensity returns bits/cell for permutation coding: 329 data
+// cells, 10 SLC cells per ECP entry, 10 SLC cells of BCH-1 check bits
+// (1.28 at n=6, the paper rounds to 1.29).
+func PermutationDensity(n int) float64 {
+	return float64(BlockBits) / float64(329+10*n+10)
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bch"
+	"repro/internal/bitvec"
+	"repro/internal/encoding"
+	"repro/internal/levels"
+	"repro/internal/pcmarray"
+	"repro/internal/wearout"
+)
+
+// Enum is the Section 8 generalization of the 3LC architecture to any
+// non-power-of-two level count: a k-level cell array, an enumerative
+// group code reserving the all-highest combination as INV, group-granular
+// mark-and-spare, and a BCH-1 transient-error code over a thermometer
+// (unary) per-cell bit interpretation in which every single-state drift
+// is a single bit error.
+//
+// Enum with Enumerative{Levels: 3, Cells: 2} is architecturally identical
+// to ThreeLC (modulo the pair code's digit order); the interesting
+// instances are five- and six-level cells, which the paper names as the
+// path to higher density once write variability shrinks.
+type Enum struct {
+	arr     *pcmarray.Array
+	code    encoding.Enumerative
+	tec     *bch.Code
+	ss      wearout.SpareSet
+	mapping levels.Mapping
+
+	groupsData  int
+	groupCells  int
+	parityCells int
+	blocks      []enumBlock
+}
+
+type enumBlock struct {
+	marked  map[int]bool
+	written bool
+}
+
+// EnumConfig customizes the generalized architecture.
+type EnumConfig struct {
+	// Mapping overrides the cell-level mapping; nil selects the
+	// feasibility-scaled uniform mapping for the level count.
+	Mapping *levels.Mapping
+	// SpareGroups sets wearout capacity in groups (default 6, matching
+	// the paper's six-failure budget at one failure per group).
+	SpareGroups int
+	// TECStrength is the BCH correction strength. Zero selects a
+	// level-dependent default: BCH-1 for three-level cells (whose drift
+	// margins make errors vanishingly rare) and BCH-6 for denser cells,
+	// whose squeezed margins push the per-period CER into the 1E-3 range
+	// — the paper's Section 8 observation that generalized multi-level
+	// cells need the full error-correction toolbox, not just the cheap
+	// safety net.
+	TECStrength int
+	// Array configures the physical cell array.
+	Array pcmarray.Options
+}
+
+// invSentinel is the SpareSet marker value: one past the largest group
+// value.
+func invSentinel(e encoding.Enumerative) int { return 1 << uint(e.Capacity()) }
+
+// NewEnumerative allocates a generalized k-level device.
+func NewEnumerative(nBlocks int, e encoding.Enumerative, cfg EnumConfig) *Enum {
+	if nBlocks <= 0 {
+		panic("core: non-positive block count")
+	}
+	if !e.HasINV() {
+		panic("core: enumerative code must reserve an INV combination for mark-and-spare")
+	}
+	m := levels.Uniform(e.Levels)
+	if cfg.Mapping != nil {
+		m = *cfg.Mapping
+	}
+	if m.Levels() != e.Levels {
+		panic("core: mapping level count does not match the group code")
+	}
+	spare := cfg.SpareGroups
+	if spare == 0 {
+		spare = 6
+	}
+	strength := cfg.TECStrength
+	if strength == 0 {
+		if e.Levels <= 3 {
+			strength = 1
+		} else {
+			strength = 6
+		}
+	}
+	cap := e.Capacity()
+	groupsData := (BlockBits + cap - 1) / cap
+	totalGroups := groupsData + spare
+	tecBitsPerCell := e.Levels - 1
+	msgBits := totalGroups * e.Cells * tecBitsPerCell
+	a := &Enum{
+		code:    e,
+		mapping: m,
+		ss:      wearout.SpareSet{DataGroups: groupsData, SpareGroups: spare, INV: invSentinel(e)},
+		tec:     bch.Must(tecFieldDegree(msgBits, strength), strength, msgBits),
+		blocks:  make([]enumBlock, nBlocks),
+
+		groupsData: groupsData,
+		groupCells: e.Cells,
+	}
+	a.parityCells = a.tec.ParityBits()
+	a.arr = pcmarray.New(m, nBlocks*a.CellsPerBlock(), cfg.Array)
+	for i := range a.blocks {
+		a.blocks[i].marked = map[int]bool{}
+	}
+	return a
+}
+
+// tecFieldDegree picks the smallest GF(2^m) holding the message plus t
+// check-bit groups.
+func tecFieldDegree(msgBits, t int) int {
+	for m := 5; m <= 14; m++ {
+		if msgBits+t*m <= (1<<m)-1 {
+			return m
+		}
+	}
+	panic("core: TEC message too long")
+}
+
+// Name implements Arch.
+func (a *Enum) Name() string {
+	return fmt.Sprintf("enum-%dLC (%d-on-%d + BCH-%d + group-spare)",
+		a.code.Levels, a.code.Capacity(), a.code.Cells, a.tec.T)
+}
+
+// Blocks implements Arch.
+func (a *Enum) Blocks() int { return len(a.blocks) }
+
+// groupRegionCells returns the cells holding data+spare groups.
+func (a *Enum) groupRegionCells() int { return a.ss.Total() * a.groupCells }
+
+// CellsPerBlock implements Arch.
+func (a *Enum) CellsPerBlock() int { return a.groupRegionCells() + a.parityCells }
+
+// Density implements Arch.
+func (a *Enum) Density() float64 {
+	return float64(BlockBits) / float64(a.CellsPerBlock())
+}
+
+// Array implements Arch.
+func (a *Enum) Array() *pcmarray.Array { return a.arr }
+
+func (a *Enum) base(block int) int { return block * a.CellsPerBlock() }
+
+// thermBits returns the thermometer pattern of a state: `state` ones in
+// the low bits of a (levels-1)-wide field. Adjacent states differ in
+// exactly one bit.
+func (a *Enum) thermBits(state int) uint64 {
+	return (1 << uint(state)) - 1
+}
+
+// thermState inverts thermBits; malformed (non-prefix) patterns decode to
+// their population count with ok=false.
+func (a *Enum) thermState(pattern uint64) (state int, ok bool) {
+	n := bits.OnesCount64(pattern)
+	return n, pattern == (1<<uint(n))-1
+}
+
+// groupValues converts 512 data bits into group values.
+func (a *Enum) groupValues(data bitvec.Vector) []int {
+	cap := a.code.Capacity()
+	vals := make([]int, a.groupsData)
+	for g := range vals {
+		var v uint64
+		for b := 0; b < cap; b++ {
+			i := g*cap + b
+			if i < data.Len() && data.Get(i) != 0 {
+				v |= 1 << uint(b)
+			}
+		}
+		vals[g] = int(v)
+	}
+	return vals
+}
+
+// statesForGroup expands a laid-out group value into cell states.
+func (a *Enum) statesForGroup(v int) []int {
+	if v == a.ss.INV {
+		top := make([]int, a.groupCells)
+		for i := range top {
+			top[i] = a.code.Levels - 1
+		}
+		return top
+	}
+	return a.code.EncodeGroup(uint64(v))
+}
+
+// Write implements Arch.
+func (a *Enum) Write(block int, data []byte) error {
+	if err := checkBlockArgs(block, len(a.blocks), data, true); err != nil {
+		return err
+	}
+	blk := &a.blocks[block]
+	vals := a.groupValues(bitvec.FromBytes(data, BlockBits))
+
+	for attempt := 0; attempt <= a.ss.SpareGroups+1; attempt++ {
+		phys, err := a.ss.Layout(vals, blk.marked)
+		if err != nil {
+			return ErrWornOut
+		}
+		newFailure := false
+		for g, v := range phys {
+			for c, state := range a.statesForGroup(v) {
+				cellIdx := a.base(block) + g*a.groupCells + c
+				if a.arr.Write(cellIdx, state) {
+					continue
+				}
+				if !blk.marked[g] {
+					blk.marked[g] = true
+					newFailure = true
+				}
+				a.markGroupINV(block, g)
+			}
+		}
+		if newFailure {
+			if len(blk.marked) > a.ss.SpareGroups {
+				return ErrWornOut
+			}
+			continue
+		}
+		// TEC parity over intended states (marked groups count as
+		// all-top even when a stuck-set cell cannot reach the top; the
+		// single-bit code hides one such cell).
+		msg := a.tecMessage(phys)
+		parity := a.tec.Encode(msg)
+		a.writeParity(block, parity)
+		blk.written = true
+		return nil
+	}
+	return ErrWornOut
+}
+
+// tecMessage builds the thermometer message for laid-out group values.
+func (a *Enum) tecMessage(phys []int) bitvec.Vector {
+	width := a.code.Levels - 1
+	msg := bitvec.New(len(phys) * a.groupCells * width)
+	for g, v := range phys {
+		for c, state := range a.statesForGroup(v) {
+			base := (g*a.groupCells + c) * width
+			msg.SetUint(base, width, a.thermBits(state))
+		}
+	}
+	return msg
+}
+
+// markGroupINV drives all cells of a group to the top state, parking
+// unrevivable stuck-set cells one state below (a single thermometer bit
+// from the intended pattern).
+func (a *Enum) markGroupINV(block, group int) {
+	top := a.code.Levels - 1
+	for c := 0; c < a.groupCells; c++ {
+		cellIdx := a.base(block) + group*a.groupCells + c
+		if a.arr.Write(cellIdx, top) {
+			continue
+		}
+		if a.arr.Mode(cellIdx) == wearout.StuckSet {
+			if a.arr.Revive(cellIdx) {
+				continue
+			}
+			a.arr.Write(cellIdx, top-1)
+		}
+	}
+}
+
+// writeParity stores check bits in SLC mode (states 0 and top).
+func (a *Enum) writeParity(block int, parity bitvec.Vector) {
+	top := a.code.Levels - 1
+	for i := 0; i < a.parityCells; i++ {
+		state := 0
+		if parity.Get(i) != 0 {
+			state = top
+		}
+		cellIdx := a.base(block) + a.groupRegionCells() + i
+		if !a.arr.Write(cellIdx, state) && state == top && a.arr.Mode(cellIdx) == wearout.StuckSet {
+			a.arr.Revive(cellIdx)
+		}
+	}
+}
+
+// Read implements Arch, in Figure 9's stage order.
+func (a *Enum) Read(block int) ([]byte, error) {
+	if err := checkBlockArgs(block, len(a.blocks), nil, false); err != nil {
+		return nil, err
+	}
+	if !a.blocks[block].written {
+		return nil, fmt.Errorf("core: block %d never written", block)
+	}
+	width := a.code.Levels - 1
+	top := a.code.Levels - 1
+	nCells := a.groupRegionCells()
+
+	// Stage 1: array read into the thermometer message.
+	msg := bitvec.New(nCells * width)
+	for i := 0; i < nCells; i++ {
+		msg.SetUint(i*width, width, a.thermBits(a.arr.Sense(a.base(block)+i)))
+	}
+	parity := bitvec.New(a.tec.ParityBits())
+	for i := 0; i < a.parityCells; i++ {
+		if a.arr.Sense(a.base(block)+a.groupRegionCells()+i) == top {
+			parity.Set(i, 1)
+		}
+	}
+
+	// Stage 2: transient error correction.
+	res := a.tec.Decode(msg, parity)
+	uncorrectable := !res.OK
+
+	// Back to states, then group values.
+	states := make([]int, nCells)
+	for i := range states {
+		s, ok := a.thermState(msg.Uint(i*width, width))
+		if !ok {
+			uncorrectable = true
+		}
+		states[i] = s
+	}
+	groups := make([]int, a.ss.Total())
+	for g := range groups {
+		val, inv, ok := a.code.DecodeGroup(states[g*a.groupCells : (g+1)*a.groupCells])
+		switch {
+		case inv:
+			groups[g] = a.ss.INV
+		case !ok:
+			uncorrectable = true
+			groups[g] = int(val)
+		default:
+			groups[g] = int(val)
+		}
+	}
+
+	// Stage 3: hard error correction (group spare).
+	data, _, err := a.ss.Correct(groups)
+	if err != nil {
+		return nil, ErrWornOut
+	}
+
+	// Stage 4: symbol decode.
+	out := bitvec.New(BlockBits)
+	cap := a.code.Capacity()
+	for g, v := range data {
+		for b := 0; b < cap; b++ {
+			i := g*cap + b
+			if i < BlockBits {
+				out.Set(i, uint(v>>uint(b))&1)
+			}
+		}
+	}
+	if uncorrectable {
+		return out.Bytes(), ErrUncorrectable
+	}
+	return out.Bytes(), nil
+}
+
+// Scrub implements Arch.
+func (a *Enum) Scrub(block int) error {
+	data, err := a.Read(block)
+	if err != nil && err != ErrUncorrectable {
+		return err
+	}
+	if werr := a.Write(block, data); werr != nil {
+		return werr
+	}
+	return err
+}
+
+// MarkedGroups returns a block's consumed wearout capacity.
+func (a *Enum) MarkedGroups(block int) int { return len(a.blocks[block].marked) }
+
+var _ Arch = (*Enum)(nil)

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/wearout"
+)
+
+func enumConfigs() []encoding.Enumerative {
+	return []encoding.Enumerative{
+		{Levels: 3, Cells: 2}, // the paper's 3-ON-2 through the generic path
+		{Levels: 5, Cells: 3}, // 6 bits on 3 cells
+		{Levels: 6, Cells: 5}, // 12 bits on 5 cells
+	}
+}
+
+func TestEnumCleanRoundTrip(t *testing.T) {
+	for _, e := range enumConfigs() {
+		dev := NewEnumerative(8, e, EnumConfig{Array: noWear(1)})
+		for b := 0; b < dev.Blocks(); b++ {
+			want := pattern(byte(3*b + 1))
+			if err := dev.Write(b, want); err != nil {
+				t.Fatalf("%s: write: %v", dev.Name(), err)
+			}
+			got, err := dev.Read(b)
+			if err != nil {
+				t.Fatalf("%s: read: %v", dev.Name(), err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: block %d corrupted", dev.Name(), b)
+			}
+		}
+	}
+}
+
+func TestEnumGeometryAndDensity(t *testing.T) {
+	// 3-ON-2 via the generic path must land on the paper's geometry.
+	three := NewEnumerative(1, encoding.Enumerative{Levels: 3, Cells: 2}, EnumConfig{Array: noWear(2)})
+	if three.CellsPerBlock() < 360 || three.CellsPerBlock() > 368 {
+		t.Errorf("generic 3LC cells/block = %d, want ~364", three.CellsPerBlock())
+	}
+	// Higher level counts buy density.
+	five := NewEnumerative(1, encoding.Enumerative{Levels: 5, Cells: 3}, EnumConfig{Array: noWear(2)})
+	six := NewEnumerative(1, encoding.Enumerative{Levels: 6, Cells: 5}, EnumConfig{Array: noWear(2)})
+	if !(six.Density() > five.Density() && five.Density() > three.Density()) {
+		t.Errorf("density ordering wrong: 3LC %.3f, 5LC %.3f, 6LC %.3f",
+			three.Density(), five.Density(), six.Density())
+	}
+	// 5LC pays for its BCH-6 safety net: density ~1.5, only slightly
+	// above 4LCo once overheads count — the Section 8 tradeoff made
+	// quantitative.
+	if five.Density() < 1.45 {
+		t.Errorf("5LC density %.3f; expected ~1.5", five.Density())
+	}
+}
+
+func TestEnumToleratesGroupFailures(t *testing.T) {
+	for _, e := range enumConfigs() {
+		dev := NewEnumerative(1, e, EnumConfig{Array: noWear(3)})
+		want := make([]byte, BlockBytes) // all-zero: every cell targets S1
+		// Six stuck-reset cells in six distinct groups.
+		for k := 0; k < 6; k++ {
+			dev.Array().InjectFailure(k*e.Cells*7, wearout.StuckReset)
+		}
+		if err := dev.Write(0, want); err != nil {
+			t.Fatalf("%s: write with 6 failures: %v", dev.Name(), err)
+		}
+		if got := dev.MarkedGroups(0); got != 6 {
+			t.Fatalf("%s: marked groups = %d", dev.Name(), got)
+		}
+		got, err := dev.Read(0)
+		if err != nil {
+			t.Fatalf("%s: read: %v", dev.Name(), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: data corrupted", dev.Name())
+		}
+	}
+}
+
+func TestEnumSeventhFailureExhausts(t *testing.T) {
+	e := encoding.Enumerative{Levels: 5, Cells: 3}
+	dev := NewEnumerative(1, e, EnumConfig{Array: noWear(4)})
+	for k := 0; k < 7; k++ {
+		dev.Array().InjectFailure(k*e.Cells*5, wearout.StuckReset)
+	}
+	if err := dev.Write(0, make([]byte, BlockBytes)); !errors.Is(err, ErrWornOut) {
+		t.Fatalf("err = %v, want ErrWornOut", err)
+	}
+}
+
+func TestEnumRetentionOrdering(t *testing.T) {
+	// Higher density costs retention: after a day unrefreshed, the
+	// six-level device must show at least as many failures as the
+	// three-level one (which should be clean).
+	day := 86400.0
+	fails := func(e encoding.Enumerative) int {
+		dev := NewEnumerative(16, e, EnumConfig{Array: noWear(5)})
+		for b := 0; b < dev.Blocks(); b++ {
+			if err := dev.Write(b, pattern(byte(b))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dev.Array().Advance(day)
+		bad := 0
+		for b := 0; b < dev.Blocks(); b++ {
+			got, err := dev.Read(b)
+			if err != nil || !bytes.Equal(got, pattern(byte(b))) {
+				bad++
+			}
+		}
+		return bad
+	}
+	f3 := fails(encoding.Enumerative{Levels: 3, Cells: 2})
+	f6 := fails(encoding.Enumerative{Levels: 6, Cells: 5})
+	if f3 != 0 {
+		t.Errorf("generic 3LC lost %d blocks in a day", f3)
+	}
+	if f6 < f3 {
+		t.Errorf("6LC (%d) outlasted 3LC (%d)", f6, f3)
+	}
+}
+
+func TestEnumScrubWorks(t *testing.T) {
+	e := encoding.Enumerative{Levels: 5, Cells: 3}
+	dev := NewEnumerative(2, e, EnumConfig{Array: noWear(6)})
+	want := pattern(0x5A)
+	if err := dev.Write(0, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		dev.Array().Advance(60) // 5LC needs frequent scrubbing
+		if err := dev.Scrub(0); err != nil {
+			t.Fatalf("scrub %d: %v", i, err)
+		}
+	}
+	got, err := dev.Read(0)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("data lost under scrubbing: %v", err)
+	}
+}
+
+func TestEnumRejectsCodeWithoutINV(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	// 4 levels / 1 cell: 2 bits exactly fill the radix space, no INV.
+	NewEnumerative(1, encoding.Enumerative{Levels: 4, Cells: 1}, EnumConfig{Array: noWear(7)})
+}
+
+func TestSpareSetMirrorsMarkAndSpare(t *testing.T) {
+	// The generic SpareSet with INV=8 must agree with the pair-based
+	// MarkAndSpare on identical inputs.
+	mas := wearout.MarkAndSpare{DataPairs: 8, SparePairs: 2}
+	ss := wearout.SpareSet{DataGroups: 8, SpareGroups: 2, INV: encoding.INV}
+	data := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	marked := map[int]bool{2: true, 7: true}
+	a, errA := mas.Layout(data, marked)
+	b, errB := ss.Layout(data, marked)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("layout errors differ: %v vs %v", errA, errB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("layouts differ at %d", i)
+		}
+	}
+	ca, ua, errA := mas.Correct(a)
+	cb, ub, errB := ss.Correct(b)
+	if errA != nil || errB != nil || ua != ub {
+		t.Fatalf("correct mismatch: %v %v %d %d", errA, errB, ua, ub)
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("corrected data differs at %d", i)
+		}
+	}
+}

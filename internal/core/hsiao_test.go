@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/wearout"
+)
+
+func newHsiaoDev(seed uint64, blocks int) *ThreeLC {
+	return NewThreeLC(blocks, ThreeLCConfig{UseHsiao: true, Array: noWear(seed)})
+}
+
+func TestHsiaoVariantRoundTrip(t *testing.T) {
+	dev := newHsiaoDev(1, 4)
+	if dev.CellsPerBlock() != 365 {
+		t.Fatalf("cells/block = %d, want 365 (354 + 11 Hsiao check cells)", dev.CellsPerBlock())
+	}
+	for b := 0; b < dev.Blocks(); b++ {
+		want := pattern(byte(b + 40))
+		if err := dev.Write(b, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dev.Read(b)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("block %d: %v", b, err)
+		}
+	}
+}
+
+func TestHsiaoVariantTenYearRetention(t *testing.T) {
+	dev := newHsiaoDev(2, 8)
+	for b := 0; b < dev.Blocks(); b++ {
+		if err := dev.Write(b, pattern(byte(b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dev.Array().Advance(10 * 365.25 * 86400)
+	for b := 0; b < dev.Blocks(); b++ {
+		got, err := dev.Read(b)
+		if err != nil || !bytes.Equal(got, pattern(byte(b))) {
+			t.Fatalf("block %d after 10 years: %v", b, err)
+		}
+	}
+}
+
+func TestHsiaoVariantWearoutTolerance(t *testing.T) {
+	dev := newHsiaoDev(3, 1)
+	for k := 0; k < 6; k++ {
+		dev.Array().InjectFailure(2*(20*k+1), wearout.StuckReset)
+	}
+	zero := make([]byte, BlockBytes)
+	if err := dev.Write(0, zero); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Read(0)
+	if err != nil || !bytes.Equal(got, zero) {
+		t.Fatalf("six failures: %v", err)
+	}
+	dev.Array().InjectFailure(2*150, wearout.StuckReset)
+	if err := dev.Write(0, zero); !errors.Is(err, ErrWornOut) {
+		t.Fatalf("seventh failure: %v", err)
+	}
+}
+
+func TestHsiaoReportsDoubleStuckWhereBCHMiscorrects(t *testing.T) {
+	// Two S2 cells stick at S4 mid-retention: two one-bit TEC errors.
+	// BCH-1 usually miscorrects this pattern silently; Hsiao guarantees
+	// a report. Run both variants over many trials and require Hsiao to
+	// be flawless while BCH-1 demonstrably is not.
+	countSilent := func(useHsiao bool) (silent, reported, trials int) {
+		for trial := 0; trial < 30; trial++ {
+			dev := NewThreeLC(1, ThreeLCConfig{UseHsiao: useHsiao, Array: noWear(uint64(100 + trial))})
+			want := pattern(byte(trial))
+			if err := dev.Write(0, want); err != nil {
+				panic(err)
+			}
+			// Find two cells currently holding S2 and pin them at S4.
+			found := 0
+			for i := 0; i < threeLCPairCells && found < 2; i++ {
+				if dev.Array().Sense(i) == 1 {
+					dev.Array().InjectFailure(i, wearout.StuckReset)
+					found++
+				}
+			}
+			if found < 2 {
+				continue
+			}
+			trials++
+			got, err := dev.Read(0)
+			wrong := !bytes.Equal(got, want)
+			switch {
+			case err != nil:
+				reported++
+			case wrong:
+				silent++
+			}
+		}
+		return silent, reported, trials
+	}
+	hSilent, hReported, hTrials := countSilent(true)
+	if hTrials == 0 {
+		t.Skip("no S2 pairs found; pattern degenerate")
+	}
+	if hSilent != 0 {
+		t.Fatalf("Hsiao variant silently corrupted %d/%d double-stuck trials", hSilent, hTrials)
+	}
+	if hReported == 0 {
+		t.Fatalf("Hsiao variant never reported the double error (%d trials)", hTrials)
+	}
+	bSilent, _, bTrials := countSilent(false)
+	if bSilent == 0 {
+		t.Logf("note: BCH-1 happened to avoid miscorrection in %d trials", bTrials)
+	} else {
+		t.Logf("BCH-1 silent corruptions: %d/%d; Hsiao: 0/%d", bSilent, bTrials, hTrials)
+	}
+}

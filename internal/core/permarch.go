@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bch"
+	"repro/internal/bitvec"
+	"repro/internal/levels"
+	"repro/internal/pcmarray"
+	"repro/internal/perm"
+	"repro/internal/wearout"
+)
+
+// Permutation block geometry (Section 6.6, Table 3): 47 groups of 7
+// cells (329 cells) hold 512 bits at 11 bits per group; ECP-6 in SLC mode
+// (60 cells) and a BCH-1 safety net (10 check bits in 10 SLC cells) are
+// accounted on top.
+const (
+	permGroups      = 47
+	permDataCells   = perm.Cells * permGroups
+	permParityCells = 10
+	permBlockCells  = permDataCells + permParityCells
+)
+
+// Permutation is the rank-order-coding baseline architecture.
+type Permutation struct {
+	arr    *pcmarray.Array
+	tec    *bch.Code
+	ecp    wearout.ECP
+	blocks []permBlock
+}
+
+type permBlock struct {
+	entries []wearout.Entry
+	written bool
+}
+
+// NewPermutation allocates a permutation-coded device. The cell array
+// uses a seven-level uniform mapping (ranks 0..6 across the full
+// resistance range) with the tightened write spread that rank-order
+// programming requires.
+func NewPermutation(nBlocks int, opt pcmarray.Options) *Permutation {
+	if nBlocks <= 0 {
+		panic("core: non-positive block count")
+	}
+	return &Permutation{
+		arr:    pcmarray.New(levels.Uniform(7), nBlocks*permBlockCells, opt),
+		tec:    bch.Must(10, 1, BlockBits),
+		ecp:    wearout.SLCECPForPermutation(permDataCells),
+		blocks: make([]permBlock, nBlocks),
+	}
+}
+
+// Name implements Arch.
+func (pc *Permutation) Name() string { return "permutation (11-on-7 + ECP-6 + BCH-1)" }
+
+// Blocks implements Arch.
+func (pc *Permutation) Blocks() int { return len(pc.blocks) }
+
+// CellsPerBlock implements Arch.
+func (pc *Permutation) CellsPerBlock() int { return permBlockCells + pc.ecp.CellOverhead() }
+
+// Density implements Arch.
+func (pc *Permutation) Density() float64 { return PermutationDensity(pc.ecp.Entries) }
+
+// Array implements Arch.
+func (pc *Permutation) Array() *pcmarray.Array { return pc.arr }
+
+func (pc *Permutation) base(block int) int { return block * permBlockCells }
+
+// groupBits extracts group g's 11-bit value from the data bits.
+func groupBits(bits bitvec.Vector, g int) uint16 {
+	var v uint16
+	for b := 0; b < perm.Bits; b++ {
+		i := g*perm.Bits + b
+		if i < bits.Len() && bits.Get(i) != 0 {
+			v |= 1 << b
+		}
+	}
+	return v
+}
+
+// Write implements Arch.
+func (pc *Permutation) Write(block int, data []byte) error {
+	if err := checkBlockArgs(block, len(pc.blocks), data, true); err != nil {
+		return err
+	}
+	blk := &pc.blocks[block]
+	bits := bitvec.FromBytes(data, BlockBits)
+
+	failures := map[int]int{}
+	for g := 0; g < permGroups; g++ {
+		p := perm.Encode(groupBits(bits, g))
+		for cell, rank := range p {
+			idx := g*perm.Cells + cell
+			if pc.arr.Write(pc.base(block)+idx, rank) {
+				continue
+			}
+			failures[idx] = rank
+		}
+	}
+	entries, err := pc.ecp.Allocate(failures)
+	if err != nil {
+		return ErrWornOut
+	}
+	blk.entries = entries
+
+	// BCH-1 safety net over the data bits, stored in SLC cells (states
+	// 0 and 6 of the seven-level mapping).
+	parity := pc.tec.Encode(bits.Clone())
+	for i := 0; i < permParityCells; i++ {
+		state := 0
+		if parity.Get(i) != 0 {
+			state = 6
+		}
+		pc.arr.Write(pc.base(block)+permDataCells+i, state)
+	}
+	blk.written = true
+	return nil
+}
+
+// Read implements Arch: analog rank-order decode with maximum-likelihood
+// transposition repair per group (ECP replaces failed cells' analog
+// values first), then the BCH-1 safety net over the assembled bits.
+func (pc *Permutation) Read(block int) ([]byte, error) {
+	if err := checkBlockArgs(block, len(pc.blocks), nil, false); err != nil {
+		return nil, err
+	}
+	blk := &pc.blocks[block]
+	if !blk.written {
+		return nil, fmt.Errorf("core: block %d never written", block)
+	}
+	// Hard-error patch: failed cells read as their intended rank's
+	// nominal resistance.
+	patch := map[int]float64{}
+	for _, e := range blk.entries {
+		if e.Valid {
+			patch[e.Ptr] = perm.LevelLogR(e.Replacement)
+		}
+	}
+
+	bits := bitvec.New(BlockBits)
+	groupFailures := 0
+	for g := 0; g < permGroups; g++ {
+		var logR [perm.Cells]float64
+		for cell := 0; cell < perm.Cells; cell++ {
+			idx := g*perm.Cells + cell
+			if v, ok := patch[idx]; ok {
+				logR[cell] = v
+			} else {
+				logR[cell] = pc.arr.LogR(pc.base(block) + idx)
+			}
+		}
+		val, ok := perm.RepairDecode(logR)
+		if !ok {
+			groupFailures++
+			val = 0
+		}
+		for b := 0; b < perm.Bits; b++ {
+			i := g*perm.Bits + b
+			if i < BlockBits {
+				bits.Set(i, uint(val>>b)&1)
+			}
+		}
+	}
+
+	parity := bitvec.New(pc.tec.ParityBits())
+	for i := 0; i < permParityCells; i++ {
+		if pc.arr.Sense(pc.base(block)+permDataCells+i) >= 4 {
+			parity.Set(i, 1)
+		}
+	}
+	res := pc.tec.Decode(bits, parity)
+	if groupFailures > 0 || !res.OK {
+		return bits.Bytes(), ErrUncorrectable
+	}
+	return bits.Bytes(), nil
+}
+
+// Scrub implements Arch.
+func (pc *Permutation) Scrub(block int) error {
+	data, err := pc.Read(block)
+	if err != nil && err != ErrUncorrectable {
+		return err
+	}
+	if werr := pc.Write(block, data); werr != nil {
+		return werr
+	}
+	return err
+}
+
+var _ Arch = (*ThreeLC)(nil)
+var _ Arch = (*FourLC)(nil)
+var _ Arch = (*Permutation)(nil)

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/levels"
+	"repro/internal/pcmarray"
+	"repro/internal/wearout"
+)
+
+// SLC block geometry: 512 one-bit cells plus the original SLC ECP-6
+// table (Schechter et al.: a 9-bit pointer and a replacement bit per
+// entry, 61 bits ≈ 61 SLC cells with the full flag).
+const (
+	slcDataCells = BlockBits
+	slcECPCells  = 61
+)
+
+// SLC is the single-level-cell reference design the paper measures
+// everything against: two extreme resistance states only, so resistance
+// drift never crosses a threshold (Section 2.4: S1 essentially never
+// becomes S2, and the top state cannot err) — no transient-error code
+// and no refresh, at a density of one bit per cell. Endurance is the
+// one axis where SLC wins outright (~1E8 cycles vs MLC's ~1E5).
+type SLC struct {
+	arr    *pcmarray.Array
+	ecp    wearout.ECP
+	blocks []slcBlock
+}
+
+type slcBlock struct {
+	entries []wearout.Entry
+	written bool
+}
+
+// NewSLC allocates an SLC device. Options' EnduranceMean applies as
+// given; pass the SLC-appropriate 1E8 for endurance studies.
+func NewSLC(nBlocks int, opt pcmarray.Options) *SLC {
+	if nBlocks <= 0 {
+		panic("core: non-positive block count")
+	}
+	return &SLC{
+		arr: pcmarray.New(levels.Uniform(2), nBlocks*slcDataCells, opt),
+		ecp: wearout.ECP{DataCells: slcDataCells, Entries: 6,
+			CellsPerEntry: 10, FlagCells: 1},
+		blocks: make([]slcBlock, nBlocks),
+	}
+}
+
+// Name implements Arch.
+func (s *SLC) Name() string { return "SLC (1 bit/cell + ECP-6)" }
+
+// Blocks implements Arch.
+func (s *SLC) Blocks() int { return len(s.blocks) }
+
+// CellsPerBlock implements Arch.
+func (s *SLC) CellsPerBlock() int { return slcDataCells + s.ecp.CellOverhead() }
+
+// Density implements Arch: 512 bits over 573 cells.
+func (s *SLC) Density() float64 {
+	return float64(BlockBits) / float64(s.CellsPerBlock())
+}
+
+// Array implements Arch.
+func (s *SLC) Array() *pcmarray.Array { return s.arr }
+
+func (s *SLC) base(block int) int { return block * slcDataCells }
+
+// Write implements Arch: one bit per cell, verify failures patched by
+// ECP entries.
+func (s *SLC) Write(block int, data []byte) error {
+	if err := checkBlockArgs(block, len(s.blocks), data, true); err != nil {
+		return err
+	}
+	blk := &s.blocks[block]
+	failures := map[int]int{}
+	for i := 0; i < BlockBits; i++ {
+		state := int(data[i/8]>>(i%8)) & 1 // bit 1 = the top (amorphous) state
+		if s.arr.Write(s.base(block)+i, state) {
+			continue
+		}
+		failures[i] = state
+	}
+	entries, err := s.ecp.Allocate(failures)
+	if err != nil {
+		return ErrWornOut
+	}
+	blk.entries = entries
+	blk.written = true
+	return nil
+}
+
+// Read implements Arch.
+func (s *SLC) Read(block int) ([]byte, error) {
+	if err := checkBlockArgs(block, len(s.blocks), nil, false); err != nil {
+		return nil, err
+	}
+	blk := &s.blocks[block]
+	if !blk.written {
+		return nil, fmt.Errorf("core: block %d never written", block)
+	}
+	states := make([]int, slcDataCells)
+	for i := range states {
+		states[i] = s.arr.Sense(s.base(block) + i)
+	}
+	if _, err := s.ecp.Apply(states, blk.entries); err != nil {
+		return nil, err
+	}
+	out := make([]byte, BlockBytes)
+	for i, st := range states {
+		if st != 0 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out, nil
+}
+
+// Scrub implements Arch (a formality for SLC: drift cannot cross the
+// single mid-range threshold).
+func (s *SLC) Scrub(block int) error {
+	data, err := s.Read(block)
+	if err != nil {
+		return err
+	}
+	return s.Write(block, data)
+}
+
+var _ Arch = (*SLC)(nil)

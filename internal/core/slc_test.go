@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/wearout"
+)
+
+func TestSLCRoundTripAndCenturyRetention(t *testing.T) {
+	dev := NewSLC(8, noWear(1))
+	want := make([][]byte, dev.Blocks())
+	for b := range want {
+		want[b] = pattern(byte(b * 3))
+		if err := dev.Write(b, want[b]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A century without power: drift cannot cross the single threshold.
+	dev.Array().Advance(100 * 365.25 * 86400)
+	for b := range want {
+		got, err := dev.Read(b)
+		if err != nil || !bytes.Equal(got, want[b]) {
+			t.Fatalf("block %d after a century: %v", b, err)
+		}
+	}
+}
+
+func TestSLCDensityIsLowest(t *testing.T) {
+	slc := NewSLC(1, noWear(2))
+	if d := slc.Density(); d < 0.85 || d > 1.0 {
+		t.Fatalf("SLC density = %v", d)
+	}
+	three := NewThreeLC(1, ThreeLCConfig{Array: noWear(2)})
+	if slc.Density() >= three.Density() {
+		t.Fatal("SLC should be less dense than 3LC — that is the whole point of MLC")
+	}
+}
+
+func TestSLCWearoutTolerance(t *testing.T) {
+	dev := NewSLC(1, noWear(3))
+	for k := 0; k < 6; k++ {
+		dev.Array().InjectFailure(40*k+5, wearout.StuckReset)
+	}
+	zero := make([]byte, BlockBytes)
+	if err := dev.Write(0, zero); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Read(0)
+	if err != nil || !bytes.Equal(got, zero) {
+		t.Fatalf("six failures: %v", err)
+	}
+	dev.Array().InjectFailure(300, wearout.StuckReset)
+	if err := dev.Write(0, zero); !errors.Is(err, ErrWornOut) {
+		t.Fatalf("seventh failure: %v", err)
+	}
+}
+
+func TestSLCScrubIsFormality(t *testing.T) {
+	dev := NewSLC(1, noWear(4))
+	want := pattern(0xA5)
+	if err := dev.Write(0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Scrub(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Read(0)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("scrub corrupted: %v", err)
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bch"
+	"repro/internal/bitvec"
+	"repro/internal/encoding"
+	"repro/internal/hsiao"
+	"repro/internal/levels"
+	"repro/internal/pcmarray"
+	"repro/internal/wearout"
+)
+
+// ThreeLC block geometry (Sections 6.2–6.5): 171 data pairs + 6 spare
+// pairs = 354 ternary cells, plus SLC-mode cells holding the
+// transient-error check bits (10 for BCH-1; 11 for the Hsiao SEC-DED
+// alternative the paper names as equivalent).
+const threeLCPairCells = 354
+
+// tecCodec abstracts the transient-error code: the paper's BCH-1 or the
+// Hsiao SEC-DED equivalent (Section 6.3 treats them interchangeably;
+// Hsiao buys guaranteed double-error detection for one extra check cell).
+type tecCodec interface {
+	ParityBits() int
+	Encode(msg bitvec.Vector) bitvec.Vector
+	// DecodeOK corrects in place and reports whether the word is clean
+	// or was fully corrected.
+	DecodeOK(msg, parity bitvec.Vector) bool
+}
+
+type bchTEC struct{ c *bch.Code }
+
+func (b bchTEC) ParityBits() int                      { return b.c.ParityBits() }
+func (b bchTEC) Encode(m bitvec.Vector) bitvec.Vector { return b.c.Encode(m) }
+func (b bchTEC) DecodeOK(m, p bitvec.Vector) bool     { return b.c.Decode(m, p).OK }
+
+type hsiaoTEC struct{ c *hsiao.Code }
+
+func (h hsiaoTEC) ParityBits() int                      { return h.c.CheckBits }
+func (h hsiaoTEC) Encode(m bitvec.Vector) bitvec.Vector { return h.c.Encode(m) }
+func (h hsiaoTEC) DecodeOK(m, p bitvec.Vector) bool     { return h.c.Decode(m, p).OK }
+
+// ThreeLC is the paper's proposed architecture. See the package comment.
+type ThreeLC struct {
+	arr         *pcmarray.Array
+	tec         tecCodec
+	mas         wearout.MarkAndSpare
+	parityCells int
+	blocks      []threeLCBlock
+}
+
+type threeLCBlock struct {
+	marked  map[int]bool // INV-marked pair positions
+	written bool
+}
+
+// ThreeLCConfig customizes the architecture.
+type ThreeLCConfig struct {
+	// Mapping overrides the cell-level mapping; nil selects the paper's
+	// optimal 3LCo mapping.
+	Mapping *levels.Mapping
+	// UseHsiao swaps the BCH-1 transient-error code for the Hsiao
+	// SEC-DED equivalent: one more check cell, but double errors are
+	// guaranteed to be detected rather than (usually) miscorrected.
+	UseHsiao bool
+	// Array configures the physical cell array.
+	Array pcmarray.Options
+}
+
+// NewThreeLC allocates a 3LC device with the given number of 64-byte
+// blocks.
+func NewThreeLC(nBlocks int, cfg ThreeLCConfig) *ThreeLC {
+	if nBlocks <= 0 {
+		panic("core: non-positive block count")
+	}
+	m := levels.ThreeLCOpt()
+	if cfg.Mapping != nil {
+		m = *cfg.Mapping
+	}
+	if m.Levels() != 3 {
+		panic("core: ThreeLC requires a three-level mapping")
+	}
+	var tec tecCodec = bchTEC{bch.Must(10, 1, 2*threeLCPairCells)} // BCH-1 over 708 bits
+	if cfg.UseHsiao {
+		tec = hsiaoTEC{hsiao.Must(2 * threeLCPairCells)}
+	}
+	a := &ThreeLC{
+		tec:         tec,
+		mas:         wearout.PaperDesign(),
+		parityCells: tec.ParityBits(),
+		blocks:      make([]threeLCBlock, nBlocks),
+	}
+	a.arr = pcmarray.New(m, nBlocks*a.CellsPerBlock(), cfg.Array)
+	for i := range a.blocks {
+		a.blocks[i].marked = map[int]bool{}
+	}
+	return a
+}
+
+// Name implements Arch.
+func (t *ThreeLC) Name() string {
+	if _, ok := t.tec.(hsiaoTEC); ok {
+		return "3LC (3-ON-2 + Hsiao SEC-DED + mark-and-spare)"
+	}
+	return "3LC (3-ON-2 + BCH-1 + mark-and-spare)"
+}
+
+// Blocks implements Arch.
+func (t *ThreeLC) Blocks() int { return len(t.blocks) }
+
+// CellsPerBlock implements Arch.
+func (t *ThreeLC) CellsPerBlock() int { return threeLCPairCells + t.parityCells }
+
+// Density implements Arch.
+func (t *ThreeLC) Density() float64 { return ThreeLCDensity(t.mas.SparePairs) }
+
+// Array implements Arch.
+func (t *ThreeLC) Array() *pcmarray.Array { return t.arr }
+
+// base returns the first cell index of a block.
+func (t *ThreeLC) base(block int) int { return block * t.CellsPerBlock() }
+
+// Write implements Arch: 3-ON-2 encode, mark-and-spare layout, pair
+// writes with wearout handling, then BCH-1 parity over the intended
+// 708-bit TEC message, stored in SLC mode.
+func (t *ThreeLC) Write(block int, data []byte) error {
+	if err := checkBlockArgs(block, len(t.blocks), data, true); err != nil {
+		return err
+	}
+	blk := &t.blocks[block]
+	bits := bitvec.FromBytes(data, BlockBits)
+	dataPairs := pairsFromCells(encoding.EncodeThreeOnTwo(bits))
+
+	// Wearout can surface during this write; retry the layout after each
+	// new marking until it sticks or capacity is exhausted.
+	for attempt := 0; attempt <= t.mas.SparePairs+1; attempt++ {
+		phys, err := t.mas.Layout(dataPairs, blk.marked)
+		if err != nil {
+			return ErrWornOut
+		}
+		newFailure := false
+		for p, v := range phys {
+			c1, c2 := pairStates(v)
+			for k, state := range []int{c1, c2} {
+				cellIdx := t.base(block) + 2*p + k
+				if t.arr.Write(cellIdx, state) {
+					continue
+				}
+				// Verify failure: a wearout event. Mark the whole pair
+				// INV (Section 6.4) and retry the layout.
+				if !blk.marked[p] {
+					blk.marked[p] = true
+					newFailure = true
+				}
+				t.markPairINV(block, p)
+			}
+		}
+		if newFailure {
+			if len(blk.marked) > t.mas.SparePairs {
+				return ErrWornOut
+			}
+			continue
+		}
+		// All pairs written. Build the intended TEC message — marked
+		// pairs count as [S4, S4] even when a stuck-set cell physically
+		// cannot reach S4; BCH-1 hides such a cell at read time.
+		intended := make([]int, threeLCPairCells)
+		for p, v := range phys {
+			c1, c2 := pairStates(v)
+			intended[2*p], intended[2*p+1] = c1, c2
+		}
+		msg := encoding.TECMessage3(intended)
+		parity := t.tec.Encode(msg)
+		t.writeParity(block, parity)
+		blk.written = true
+		return nil
+	}
+	return ErrWornOut
+}
+
+// markPairINV drives both cells of a pair to S4, reviving stuck-set
+// cells where possible.
+func (t *ThreeLC) markPairINV(block, pair int) {
+	for k := 0; k < 2; k++ {
+		cellIdx := t.base(block) + 2*pair + k
+		if t.arr.Write(cellIdx, 2) {
+			continue
+		}
+		if t.arr.Mode(cellIdx) == wearout.StuckSet {
+			if t.arr.Revive(cellIdx) {
+				continue
+			}
+			// Unrevivable: park the cell at S2, whose TEC pattern (01)
+			// is one bit from the intended S4 (11), so the single-bit
+			// TEC hides it at read time (Section 6.4) — and upward
+			// drift only moves it toward S4.
+			t.arr.Write(cellIdx, 1)
+		}
+	}
+}
+
+// writeParity stores the 10 BCH-1 check bits in SLC mode: bit 0 as S1,
+// bit 1 as S4 — the two extreme states, whose drift error rate is
+// negligible (Section 6.3: check bits are stored "1 bit per cell to
+// prevent drift errors on the check bits").
+func (t *ThreeLC) writeParity(block int, parity bitvec.Vector) {
+	for i := 0; i < t.parityCells; i++ {
+		state := 0
+		if parity.Get(i) != 0 {
+			state = 2
+		}
+		cellIdx := t.base(block) + threeLCPairCells + i
+		if t.arr.Write(cellIdx, state) {
+			continue
+		}
+		// A worn parity cell: try revival toward S4 (correct when the
+		// bit is 1); otherwise the BCH-1 budget absorbs it.
+		if state == 2 && t.arr.Mode(cellIdx) == wearout.StuckSet {
+			t.arr.Revive(cellIdx)
+		}
+	}
+}
+
+// Read implements Arch, in Figure 9's stage order.
+func (t *ThreeLC) Read(block int) ([]byte, error) {
+	if err := checkBlockArgs(block, len(t.blocks), nil, false); err != nil {
+		return nil, err
+	}
+	if !t.blocks[block].written {
+		return nil, fmt.Errorf("core: block %d never written", block)
+	}
+	// Stage 1: PCM array read.
+	states := make([]int, threeLCPairCells)
+	for i := range states {
+		states[i] = t.arr.Sense(t.base(block) + i)
+	}
+	parity := bitvec.New(t.tec.ParityBits())
+	for i := 0; i < t.parityCells; i++ {
+		if t.arr.Sense(t.base(block)+threeLCPairCells+i) == 2 {
+			parity.Set(i, 1)
+		}
+	}
+
+	// Stage 2: transient error correction (BCH-1 over the 2-bit-per-cell
+	// interpretation). Correction must run before mark-and-spare so a
+	// drift error cannot masquerade as (or hide) an INV mark.
+	msg := encoding.TECMessage3(states)
+	uncorrectable := !t.tec.DecodeOK(msg, parity)
+	cells, bad := encoding.CellsFromTECMessage3(msg)
+	if bad > 0 {
+		uncorrectable = true
+	}
+
+	// Stage 3: hard error correction (mark-and-spare).
+	pairs := make([]int, t.mas.TotalPairs())
+	for p := range pairs {
+		pairs[p] = encoding.PairIndex(cells[2*p], cells[2*p+1])
+	}
+	dataPairs, _, err := t.mas.Correct(pairs)
+	if err != nil {
+		return nil, ErrWornOut
+	}
+
+	// Stage 4: symbol decode (3-ON-2 back to bits).
+	out := bitsFromPairs(dataPairs, BlockBits)
+	if uncorrectable {
+		return out.Bytes(), ErrUncorrectable
+	}
+	return out.Bytes(), nil
+}
+
+// Scrub implements Arch: read, correct, re-write (restoring nominal
+// resistance), propagating uncorrectable errors.
+func (t *ThreeLC) Scrub(block int) error {
+	data, err := t.Read(block)
+	if err != nil && err != ErrUncorrectable {
+		return err
+	}
+	if werr := t.Write(block, data); werr != nil {
+		return werr
+	}
+	return err
+}
+
+// MarkedPairs returns the number of INV-marked pairs in a block (worn
+// capacity consumed).
+func (t *ThreeLC) MarkedPairs(block int) int { return len(t.blocks[block].marked) }
+
+// pairsFromCells folds a cell-state slice into pair values 0..7.
+func pairsFromCells(cells []int) []int {
+	pairs := make([]int, len(cells)/2)
+	for p := range pairs {
+		pairs[p] = encoding.PairIndex(cells[2*p], cells[2*p+1])
+	}
+	return pairs
+}
+
+// pairStates unfolds a pair value 0..8 into two ternary states.
+func pairStates(v int) (int, int) { return v / 3, v % 3 }
+
+// bitsFromPairs reassembles data bits from non-INV pair values.
+func bitsFromPairs(pairs []int, nBits int) bitvec.Vector {
+	out := bitvec.New(nBits)
+	for p, v := range pairs {
+		for b := 0; b < 3; b++ {
+			i := 3*p + b
+			if i < nBits {
+				out.Set(i, uint(v>>b)&1)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+// Package device composes the full storage stack of this reproduction —
+// a block architecture (3LC, 4LCo, or permutation), optional start-gap
+// wear leveling, optional FREE-p-style block remapping, and a refresh
+// schedule — behind byte-addressable io.ReaderAt/io.WriterAt interfaces,
+// the form in which a persistent-memory device would actually be adopted
+// (the paper's Section 1 use cases: file systems, persistent data
+// structures, in-memory checkpointing).
+//
+// Reads and writes of arbitrary byte ranges are translated to 64-byte
+// block operations with read-modify-write at the edges. Simulated time
+// advances explicitly through Advance, which also drives refresh for
+// architectures that need it.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/pcmarray"
+	"repro/internal/refresh"
+	"repro/internal/remap"
+	"repro/internal/wearlevel"
+)
+
+// ArchKind selects the block architecture.
+type ArchKind int
+
+const (
+	// ThreeLC is the paper's proposal: nonvolatile, no refresh needed.
+	ThreeLC ArchKind = iota
+	// FourLC is the 4LCo baseline: dense, volatile, needs refresh.
+	FourLC
+	// Permutation is the rank-order-coding baseline.
+	Permutation
+)
+
+// String implements fmt.Stringer.
+func (k ArchKind) String() string {
+	switch k {
+	case ThreeLC:
+		return "3LC"
+	case FourLC:
+		return "4LCo"
+	case Permutation:
+		return "permutation"
+	}
+	return fmt.Sprintf("ArchKind(%d)", int(k))
+}
+
+// Config assembles a device.
+type Config struct {
+	// Kind selects the architecture (default ThreeLC).
+	Kind ArchKind
+	// Blocks is the logical 64-byte block capacity (required).
+	Blocks int
+	// Seed drives all stochastic behaviour.
+	Seed uint64
+	// WearLeveling enables start-gap rotation with the given period
+	// (Psi defaults to 100 when zero).
+	WearLeveling bool
+	Psi          int
+	// ReserveBlocks enables FREE-p-style remapping with that many
+	// reserve blocks.
+	ReserveBlocks int
+	// RefreshIntervalSeconds enables scrubbing; zero selects the
+	// architecture default (17 minutes for FourLC, none otherwise).
+	RefreshIntervalSeconds float64
+	// DisableWearout turns off endurance limits (useful for pure
+	// retention studies).
+	DisableWearout bool
+}
+
+// Device is a byte-addressable PCM storage device.
+type Device struct {
+	cfg   Config
+	arch  core.Arch
+	mgr   *refresh.Manager
+	valid []bool // logical blocks ever written
+}
+
+var _ io.ReaderAt = (*Device)(nil)
+var _ io.WriterAt = (*Device)(nil)
+
+// New assembles a device from the configuration.
+func New(cfg Config) (*Device, error) {
+	if cfg.Blocks < 1 {
+		return nil, errors.New("device: need at least one block")
+	}
+	opt := pcmarray.DefaultOptions(cfg.Seed)
+	if cfg.DisableWearout {
+		opt.EnduranceMean = 0
+	}
+	physical := cfg.Blocks + cfg.ReserveBlocks
+	if cfg.WearLeveling {
+		physical++ // the gap line
+	}
+	var arch core.Arch
+	switch cfg.Kind {
+	case ThreeLC:
+		arch = core.NewThreeLC(physical, core.ThreeLCConfig{Array: opt})
+	case FourLC:
+		arch = core.NewFourLC(physical, core.FourLCConfig{Array: opt})
+	case Permutation:
+		arch = core.NewPermutation(physical, opt)
+	default:
+		return nil, fmt.Errorf("device: unknown architecture %v", cfg.Kind)
+	}
+	if cfg.WearLeveling {
+		psi := cfg.Psi
+		if psi == 0 {
+			psi = 100
+		}
+		arch = wearlevel.Wrap(arch, psi)
+	}
+	if cfg.ReserveBlocks > 0 {
+		arch = remap.Wrap(arch, cfg.ReserveBlocks)
+	}
+	d := &Device{cfg: cfg, arch: arch, valid: make([]bool, cfg.Blocks)}
+	interval := cfg.RefreshIntervalSeconds
+	if interval == 0 && cfg.Kind == FourLC {
+		interval = 17 * 60
+	}
+	if interval > 0 {
+		d.mgr = refresh.NewManager(arch, interval)
+	}
+	return d, nil
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(d.cfg.Blocks) * core.BlockBytes }
+
+// Name describes the assembled stack.
+func (d *Device) Name() string { return d.arch.Name() }
+
+// Density returns stored data bits per physical cell, all overheads in.
+func (d *Device) Density() float64 { return d.arch.Density() }
+
+// Advance moves simulated time forward by dt seconds, running any
+// refresh work that falls due.
+func (d *Device) Advance(dt float64) error {
+	if d.mgr != nil {
+		return d.mgr.Advance(dt)
+	}
+	d.arch.Array().Advance(dt)
+	return nil
+}
+
+// RefreshStats reports scrub outcomes (zero value when refresh is off).
+func (d *Device) RefreshStats() refresh.Stats {
+	if d.mgr == nil {
+		return refresh.Stats{}
+	}
+	return d.mgr.Stats()
+}
+
+// readBlock fetches a logical block, treating never-written blocks as
+// zero-filled.
+func (d *Device) readBlock(b int) ([]byte, error) {
+	if !d.valid[b] {
+		return make([]byte, core.BlockBytes), nil
+	}
+	return d.arch.Read(b)
+}
+
+// ReadAt implements io.ReaderAt over the device's byte space.
+func (d *Device) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("device: negative offset")
+	}
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		if pos >= d.Size() {
+			return n, io.EOF
+		}
+		b := int(pos / core.BlockBytes)
+		inBlk := int(pos % core.BlockBytes)
+		blk, err := d.readBlock(b)
+		if err != nil {
+			return n, fmt.Errorf("device: block %d: %w", b, err)
+		}
+		n += copy(p[n:], blk[inBlk:])
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, performing read-modify-write for
+// partial blocks.
+func (d *Device) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("device: negative offset")
+	}
+	if off+int64(len(p)) > d.Size() {
+		return 0, fmt.Errorf("device: write [%d, %d) exceeds size %d", off, off+int64(len(p)), d.Size())
+	}
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		b := int(pos / core.BlockBytes)
+		inBlk := int(pos % core.BlockBytes)
+		span := core.BlockBytes - inBlk
+		if span > len(p)-n {
+			span = len(p) - n
+		}
+		var blk []byte
+		if inBlk == 0 && span == core.BlockBytes {
+			blk = p[n : n+core.BlockBytes]
+		} else {
+			cur, err := d.readBlock(b)
+			if err != nil && !errors.Is(err, core.ErrUncorrectable) {
+				return n, fmt.Errorf("device: rmw read block %d: %w", b, err)
+			}
+			copy(cur[inBlk:], p[n:n+span])
+			blk = cur
+		}
+		if err := d.arch.Write(b, blk); err != nil {
+			return n, fmt.Errorf("device: write block %d: %w", b, err)
+		}
+		d.valid[b] = true
+		n += span
+	}
+	return n, nil
+}

@@ -1,0 +1,225 @@
+package device
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func newDev(t *testing.T, cfg Config) *Device {
+	t.Helper()
+	if cfg.Blocks == 0 {
+		cfg.Blocks = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cfg.DisableWearout = true
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestByteRoundTripAligned(t *testing.T) {
+	d := newDev(t, Config{})
+	data := make([]byte, 128)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if n, err := d.WriteAt(data, 64); err != nil || n != 128 {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	got := make([]byte, 128)
+	if n, err := d.ReadAt(got, 64); err != nil || n != 128 {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("aligned round trip failed")
+	}
+}
+
+func TestUnalignedReadModifyWrite(t *testing.T) {
+	d := newDev(t, Config{})
+	// Lay down a background pattern, then splice an unaligned write
+	// across three blocks.
+	bg := make([]byte, 4*64)
+	for i := range bg {
+		bg[i] = 0xEE
+	}
+	if _, err := d.WriteAt(bg, 0); err != nil {
+		t.Fatal(err)
+	}
+	splice := []byte("unaligned write across block boundaries, straddling three 64B blocks!")
+	off := int64(37)
+	if _, err := d.WriteAt(splice, off); err != nil {
+		t.Fatal(err)
+	}
+	whole := make([]byte, len(bg))
+	if _, err := d.ReadAt(whole, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), bg...)
+	copy(want[off:], splice)
+	if !bytes.Equal(whole, want) {
+		t.Fatal("read-modify-write corrupted surrounding bytes")
+	}
+}
+
+func TestUnwrittenReadsAsZero(t *testing.T) {
+	d := newDev(t, Config{})
+	got := make([]byte, 100)
+	got[0] = 0xFF
+	if _, err := d.ReadAt(got, 10); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("unwritten byte %d = %#x", i, b)
+		}
+	}
+}
+
+func TestBoundsAndEOF(t *testing.T) {
+	d := newDev(t, Config{Blocks: 2})
+	if _, err := d.WriteAt([]byte{1}, d.Size()); err == nil {
+		t.Error("write past end accepted")
+	}
+	if _, err := d.WriteAt([]byte{1}, -1); err == nil {
+		t.Error("negative write offset accepted")
+	}
+	buf := make([]byte, 10)
+	n, err := d.ReadAt(buf, d.Size()-4)
+	if err != io.EOF || n != 4 {
+		t.Errorf("partial read at end: n=%d err=%v", n, err)
+	}
+	if _, err := New(Config{Blocks: 0}); err == nil {
+		t.Error("zero-block device accepted")
+	}
+}
+
+func TestFullStackComposition(t *testing.T) {
+	d := newDev(t, Config{
+		Kind:          ThreeLC,
+		Blocks:        8,
+		WearLeveling:  true,
+		Psi:           4,
+		ReserveBlocks: 2,
+	})
+	if d.Size() != 8*64 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	name := d.Name()
+	if name == "" || d.Density() <= 0 {
+		t.Fatal("metadata missing")
+	}
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	for round := 0; round < 20; round++ {
+		data[0] = byte(round)
+		if _, err := d.WriteAt(data, 0); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		got := make([]byte, 512)
+		if _, err := d.ReadAt(got, 0); err != nil {
+			t.Fatalf("round %d read: %v", round, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round %d corrupted", round)
+		}
+	}
+}
+
+func TestFourLCNeedsItsRefresh(t *testing.T) {
+	// With the default 17-minute schedule a 4LC device survives a day of
+	// Advance; without (interval forced huge) it decays.
+	alive := newDev(t, Config{Kind: FourLC, Blocks: 8, Seed: 5})
+	dead := newDev(t, Config{Kind: FourLC, Blocks: 8, Seed: 5, RefreshIntervalSeconds: 1e9})
+	data := make([]byte, 8*64)
+	for i := range data {
+		data[i] = byte(i * 11)
+	}
+	for _, d := range []*Device{alive, dead} {
+		if _, err := d.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Advance(86400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, len(data))
+	if _, err := alive.ReadAt(got, 0); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("refreshed 4LC lost data: %v", err)
+	}
+	if alive.RefreshStats().Scrubs == 0 {
+		t.Fatal("no scrubs recorded")
+	}
+	if _, err := dead.ReadAt(got, 0); err == nil && bytes.Equal(got, data) {
+		t.Fatal("unrefreshed 4LC survived a day suspiciously")
+	}
+}
+
+func TestThreeLCDecadeUnpowered(t *testing.T) {
+	d := newDev(t, Config{Kind: ThreeLC, Blocks: 8, Seed: 7})
+	data := make([]byte, 8*64)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if _, err := d.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance(10 * 365.25 * 86400); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(got, 0); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("3LC device lost data over a decade: %v", err)
+	}
+}
+
+func TestShadowBufferProperty(t *testing.T) {
+	// Random writes against a shadow buffer; every read must agree.
+	d := newDev(t, Config{Blocks: 8, Seed: 11})
+	shadow := make([]byte, d.Size())
+	r := rng.New(3)
+	f := func(offRaw uint16, lenRaw uint8, fill byte) bool {
+		off := int64(offRaw) % d.Size()
+		length := int(lenRaw)%96 + 1
+		if off+int64(length) > d.Size() {
+			length = int(d.Size() - off)
+		}
+		chunk := make([]byte, length)
+		for i := range chunk {
+			chunk[i] = fill ^ byte(i) ^ byte(r.Uint64())
+		}
+		if _, err := d.WriteAt(chunk, off); err != nil {
+			return false
+		}
+		copy(shadow[off:], chunk)
+		whole := make([]byte, d.Size())
+		if _, err := d.ReadAt(whole, 0); err != nil {
+			return false
+		}
+		return bytes.Equal(whole, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchKindString(t *testing.T) {
+	for _, k := range []ArchKind{ThreeLC, FourLC, Permutation} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+	if _, err := New(Config{Blocks: 1, Kind: ArchKind(9)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

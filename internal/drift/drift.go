@@ -1,0 +1,489 @@
+// Package drift implements the resistance-drift model of multilevel-cell
+// phase change memory from Section 2 of the paper, including Table 1's
+// parameters, and computes cell error rates (CER) two independent ways:
+//
+//   - Parallel Monte Carlo over per-cell samples of the written resistance
+//     and drift exponent (the paper's methodology, Sections 2.4 and 5.3).
+//   - Deterministic Gauss–Legendre quadrature over the same distributions,
+//     which resolves error rates far below any practical Monte Carlo floor
+//     and serves as the optimizer objective and as a cross-check.
+//
+// Model. A cell programmed to a state with nominal log10 resistance µ is
+// accepted by iterative write-and-verify when its log10 resistance lies
+// within ±2.75 σ of µ, so the written log-resistance x follows a truncated
+// Gaussian. The resistance then drifts as
+//
+//	R(t) = R0 · (t/t0)^α,  i.e.  log10 R(t) = x + α·log10(t/t0),
+//
+// with a per-cell drift exponent α ~ N(µα, σα) (Table 1). A transient
+// error occurs when log10 R(t) crosses the threshold τ into the next
+// state's region. For the three-level-cell designs the paper conservatively
+// switches a drifting S2 cell to S3's faster drift parameters once its
+// log-resistance reaches 4.5 (the original τ2 of the naive four-level
+// mapping); RateSwitch models that piecewise behaviour.
+package drift
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// T0 is the reference sense time t0 of the drift law, in seconds: the cell
+// resistance is defined to be the written value R0 at t = t0. With Table
+// 1's parameters this choice reproduces the paper's anchor numbers (see
+// DESIGN.md).
+const T0 = 1.0
+
+// WriteWindow is the write-and-verify acceptance window in multiples of
+// the per-state σ: a write is accepted within ±2.75 σ of nominal.
+const WriteWindow = 2.75
+
+// SigmaLogR is Table 1's standard deviation of written log10 resistance,
+// identical for all four states.
+const SigmaLogR = 1.0 / 6.0
+
+// AlphaParams describes the Gaussian distribution of the drift exponent α.
+type AlphaParams struct {
+	Mu, Sigma float64
+}
+
+// SwitchMode selects how the post-switch drift exponent relates to the
+// cell's pre-switch exponent. The paper specifies only that S3's
+// parameters apply after the switch (Section 5.3); how much of the
+// cell's individual variation carries over is a modeling choice that
+// dominates the deep retention tail, so all three natural readings are
+// implemented and compared (exhibit A6).
+type SwitchMode int
+
+const (
+	// SwitchResample draws a fresh α from the post-switch distribution,
+	// independent of the cell's earlier exponent (the default; the most
+	// conservative spread).
+	SwitchResample SwitchMode = iota
+	// SwitchCorrelated keeps the cell's standard score: a cell that
+	// drifted fast keeps drifting fast (α is a per-cell material
+	// property).
+	SwitchCorrelated
+	// SwitchMeanOnly applies the post-switch mean with no variation —
+	// the literal reading of "using S3's drift rate parameters: µα".
+	SwitchMeanOnly
+)
+
+// String implements fmt.Stringer.
+func (m SwitchMode) String() string {
+	switch m {
+	case SwitchResample:
+		return "resample"
+	case SwitchCorrelated:
+		return "correlated"
+	case SwitchMeanOnly:
+		return "mean-only"
+	}
+	return "SwitchMode(?)"
+}
+
+// RateSwitch models the conservative drift-rate increase for 3LC designs:
+// once a cell's log-resistance reaches AtLogR, drift continues with an
+// exponent from Alpha, related to the pre-switch exponent per Mode.
+type RateSwitch struct {
+	AtLogR float64
+	Alpha  AlphaParams
+	Mode   SwitchMode
+}
+
+// StateSpec fully describes the drift-error behaviour of one programmed
+// state under a particular level mapping.
+type StateSpec struct {
+	Nominal float64     // µ: nominal log10 resistance
+	Sigma   float64     // σ of written log10 resistance
+	Upper   float64     // τ: threshold into the next state; +Inf for the top state
+	Alpha   AlphaParams // drift exponent distribution
+	Switch  *RateSwitch // optional piecewise rate increase (3LC designs)
+}
+
+// Table1 holds the published MLC-PCM resistance and drift parameters
+// (paper Table 1, after Xu & Zhang): nominal log10 R of 3, 4, 5, 6 for
+// S1..S4, σR = 1/6, µα = 0.001, 0.02, 0.06, 0.1 and σα = 0.4·µα.
+var Table1 = [4]struct {
+	MuLogR float64
+	Alpha  AlphaParams
+}{
+	{3, AlphaParams{0.001, 0.4 * 0.001}},
+	{4, AlphaParams{0.02, 0.4 * 0.02}},
+	{5, AlphaParams{0.06, 0.4 * 0.06}},
+	{6, AlphaParams{0.1, 0.4 * 0.1}},
+}
+
+// AlphaForLevel returns Table 1's drift-exponent distribution for the
+// state whose nominal log10 resistance is closest to muLogR. The paper's
+// drift rate is tied to the resistance regime rather than to the logical
+// state index, so remapped states inherit the parameters of their
+// resistance neighbourhood.
+func AlphaForLevel(muLogR float64) AlphaParams {
+	best := 0
+	bestD := math.Inf(1)
+	for i, e := range Table1 {
+		if d := math.Abs(e.MuLogR - muLogR); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return Table1[best].Alpha
+}
+
+// WriteLow and WriteHigh return the acceptance bounds of write-and-verify.
+func (s StateSpec) WriteLow() float64  { return s.Nominal - WriteWindow*s.Sigma }
+func (s StateSpec) WriteHigh() float64 { return s.Nominal + WriteWindow*s.Sigma }
+
+// SampleWrite draws a written log10 resistance from the truncated
+// Gaussian acceptance distribution.
+func (s StateSpec) SampleWrite(r *rng.Rand) float64 {
+	return r.TruncNorm(s.Nominal, s.Sigma, s.WriteLow(), s.WriteHigh())
+}
+
+// LogRAt returns the cell's log10 resistance at time t (seconds) given its
+// written value x and drift exponent(s). alpha2 is used only when the spec
+// has a rate switch and the trajectory crosses it.
+func (s StateSpec) LogRAt(x, alpha, alpha2, t float64) float64 {
+	if t <= T0 {
+		return x
+	}
+	l := math.Log10(t / T0)
+	if s.Switch == nil || x >= s.Switch.AtLogR {
+		a := alpha
+		if s.Switch != nil && x >= s.Switch.AtLogR {
+			a = alpha2
+		}
+		if a <= 0 {
+			return x
+		}
+		return x + a*l
+	}
+	if alpha <= 0 {
+		return x
+	}
+	// Phase 1 up to the switch resistance.
+	l1 := (s.Switch.AtLogR - x) / alpha
+	if l >= l1 {
+		if alpha2 <= 0 {
+			return s.Switch.AtLogR
+		}
+		return s.Switch.AtLogR + alpha2*(l-l1)
+	}
+	return x + alpha*l
+}
+
+// ErrorTime returns the time in seconds at which a freshly written cell's
+// log-resistance crosses the state's upper threshold, or +Inf if it never
+// does under the model (top state, non-positive drift exponent, or a
+// threshold below the switch point already reached).
+//
+// Closed form: log10(t/t0) = (τ-x)/α, piecewise through the rate switch.
+func (s StateSpec) ErrorTime(r *rng.Rand) float64 {
+	if math.IsInf(s.Upper, 1) {
+		return math.Inf(1)
+	}
+	x := s.SampleWrite(r)
+	alpha := r.Normal(s.Alpha.Mu, s.Alpha.Sigma)
+	if s.Switch == nil || s.Upper <= s.Switch.AtLogR {
+		return errorTimeSimple(x, alpha, s.Upper)
+	}
+	a2 := s.SampleAlpha2(r, alpha)
+	if x >= s.Switch.AtLogR {
+		// Written already past the switch point: drift entirely at the
+		// post-switch rate.
+		return errorTimeSimple(x, a2, s.Upper)
+	}
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	l1 := (s.Switch.AtLogR - x) / alpha
+	if a2 <= 0 {
+		return math.Inf(1)
+	}
+	l := l1 + (s.Upper-s.Switch.AtLogR)/a2
+	return T0 * math.Pow(10, l)
+}
+
+// SampleAlpha2 draws the post-switch exponent per the switch mode, given
+// the cell's pre-switch exponent. It panics if the spec has no switch.
+func (s StateSpec) SampleAlpha2(r *rng.Rand, alpha float64) float64 {
+	sw := s.Switch
+	switch sw.Mode {
+	case SwitchCorrelated:
+		z := (alpha - s.Alpha.Mu) / s.Alpha.Sigma
+		return sw.Alpha.Mu + sw.Alpha.Sigma*z
+	case SwitchMeanOnly:
+		return sw.Alpha.Mu
+	}
+	return r.Normal(sw.Alpha.Mu, sw.Alpha.Sigma)
+}
+
+func errorTimeSimple(x, alpha, upper float64) float64 {
+	if x >= upper {
+		return T0 // out-of-state writes err immediately (cannot happen within ±2.75σ windows that respect constraints)
+	}
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	return T0 * math.Pow(10, (upper-x)/alpha)
+}
+
+// MCResult is a Monte Carlo CER estimate with its sampling resolution.
+type MCResult struct {
+	CER     []float64 // per entry of the time grid
+	Samples int64
+}
+
+// Floor returns the smallest nonzero rate resolvable by the sample count.
+func (m MCResult) Floor() float64 { return 1 / float64(m.Samples) }
+
+// MCCERCurve estimates, by parallel Monte Carlo, the cell error rate of a
+// state mixture at each time in the (ascending) grid: the fraction of
+// cells whose drift trajectory has crossed their threshold by that time.
+// probs weights the states (they must sum to ~1); pass a single spec with
+// prob 1 for a per-state curve. The computation splits samples across
+// workers with independent RNG streams and is deterministic for a given
+// (seed, workers) pair.
+func MCCERCurve(specs []StateSpec, probs []float64, times []float64, samples int64, seed uint64, workers int) MCResult {
+	if len(specs) != len(probs) || len(specs) == 0 {
+		panic("drift: specs/probs length mismatch")
+	}
+	if !sort.Float64sAreSorted(times) {
+		panic("drift: time grid must be ascending")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > int(samples) && samples > 0 {
+		workers = int(samples)
+	}
+	if samples <= 0 {
+		panic("drift: non-positive sample count")
+	}
+
+	// Cumulative state-selection thresholds.
+	cum := make([]float64, len(probs))
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc
+	}
+
+	root := rng.New(seed)
+	streams := make([]*rng.Rand, workers)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
+
+	counts := make([][]int64, workers)
+	var wg sync.WaitGroup
+	per := samples / int64(workers)
+	extra := samples % int64(workers)
+	for w := 0; w < workers; w++ {
+		n := per
+		if int64(w) < extra {
+			n++
+		}
+		counts[w] = make([]int64, len(times))
+		wg.Add(1)
+		go func(r *rng.Rand, n int64, cnt []int64) {
+			defer wg.Done()
+			for i := int64(0); i < n; i++ {
+				// Select state by probability.
+				u := r.Float64() * acc
+				si := sort.SearchFloat64s(cum, u)
+				if si >= len(specs) {
+					si = len(specs) - 1
+				}
+				te := specs[si].ErrorTime(r)
+				if math.IsInf(te, 1) || te > times[len(times)-1] {
+					continue
+				}
+				// First grid index with time >= te.
+				idx := sort.SearchFloat64s(times, te)
+				if idx < len(cnt) {
+					cnt[idx]++
+				}
+			}
+		}(streams[w], n, counts[w])
+	}
+	wg.Wait()
+
+	// Merge and prefix-sum: CER at times[i] counts all errors with te <= times[i].
+	out := make([]float64, len(times))
+	var running int64
+	for i := range times {
+		for w := 0; w < workers; w++ {
+			running += counts[w][i]
+		}
+		out[i] = float64(running) / float64(samples)
+	}
+	return MCResult{CER: out, Samples: samples}
+}
+
+// MCCER estimates the cell error rate at a single time.
+func MCCER(spec StateSpec, t float64, samples int64, seed uint64) float64 {
+	res := MCCERCurve([]StateSpec{spec}, []float64{1}, []float64{t}, samples, seed, 0)
+	return res.CER[0]
+}
+
+// QuadCER computes the cell error rate of one state at time t by
+// deterministic quadrature over the written-resistance and drift-exponent
+// distributions. Unlike Monte Carlo it resolves arbitrarily small rates,
+// which Figure 8's deep 3LC tails and the mapping optimizer require.
+func QuadCER(spec StateSpec, t float64) float64 {
+	if math.IsInf(spec.Upper, 1) || t <= T0 {
+		return 0
+	}
+	l := math.Log10(t / T0)
+	wr := stats.TruncNorm{
+		Mean: spec.Nominal, SD: spec.Sigma,
+		Lo: spec.WriteLow(), Hi: spec.WriteHigh(),
+	}
+	if spec.Switch == nil || spec.Upper <= spec.Switch.AtLogR {
+		// P(err) = ∫ f(x) · P(α > (τ-x)/l) dx.
+		f := func(x float64) float64 {
+			need := (spec.Upper - x) / l
+			z := (need - spec.Alpha.Mu) / spec.Alpha.Sigma
+			return wr.PDF(x) * stats.NormSF(z)
+		}
+		return clampProb(stats.GaussLegendrePanels(f, wr.Lo, wr.Hi, 8))
+	}
+
+	sw := spec.Switch
+	// Piecewise: for x >= switch point the whole trajectory uses α2;
+	// otherwise phase 1 at α1 must reach the switch resistance and phase 2
+	// at α2 must cover the rest within total log-time l:
+	//   (s-x)/α1 + (τ-s)/α2 <= l, α1 > 0, α2 > 0.
+	tailAbove := 0.0
+	if wr.Hi > sw.AtLogR {
+		f := func(x float64) float64 {
+			need := (spec.Upper - x) / l
+			var p float64
+			if sw.Mode == SwitchMeanOnly {
+				if sw.Alpha.Mu > need {
+					p = 1
+				}
+			} else {
+				// Resampled and correlated α2 share the same marginal.
+				p = stats.NormSF((need - sw.Alpha.Mu) / sw.Alpha.Sigma)
+			}
+			return wr.PDF(x) * p
+		}
+		tailAbove = stats.GaussLegendrePanels(f, math.Max(wr.Lo, sw.AtLogR), wr.Hi, 4)
+	}
+	lo := wr.Lo
+	hi := math.Min(wr.Hi, sw.AtLogR)
+	var below float64
+	if hi > lo {
+		d2 := spec.Upper - sw.AtLogR
+		var perX func(x float64) float64
+		switch sw.Mode {
+		case SwitchMeanOnly:
+			// α2 is fixed at its mean: error iff phase 2's log-duration
+			// c = d2/µα2 fits and α1 >= d1/(l-c).
+			c := math.Inf(1)
+			if sw.Alpha.Mu > 0 {
+				c = d2 / sw.Alpha.Mu
+			}
+			perX = func(x float64) float64 {
+				rem := l - c
+				if rem <= 0 {
+					return 0
+				}
+				need1 := (sw.AtLogR - x) / rem
+				return stats.NormSF((need1 - spec.Alpha.Mu) / spec.Alpha.Sigma)
+			}
+		case SwitchCorrelated:
+			// One latent score z drives both phases:
+			//   T(z) = d1/(µ1+σ1 z) + d2/(µ2+σ2 z),
+			// strictly decreasing where both rates are positive; the
+			// error probability is the tail beyond the z* with T(z*) = l.
+			perX = func(x float64) float64 {
+				d1 := sw.AtLogR - x
+				zMin := math.Max(-spec.Alpha.Mu/spec.Alpha.Sigma, -sw.Alpha.Mu/sw.Alpha.Sigma) + 1e-9
+				T := func(z float64) float64 {
+					return d1/(spec.Alpha.Mu+spec.Alpha.Sigma*z) + d2/(sw.Alpha.Mu+sw.Alpha.Sigma*z)
+				}
+				const zMax = 40.0
+				if T(zMax) > l {
+					return 0 // even an extreme cell cannot err by time t
+				}
+				if T(zMin) <= l {
+					return 1
+				}
+				loZ, hiZ := zMin, zMax
+				for i := 0; i < 80; i++ {
+					mid := (loZ + hiZ) / 2
+					if T(mid) > l {
+						loZ = mid
+					} else {
+						hiZ = mid
+					}
+				}
+				return stats.NormSF((loZ + hiZ) / 2)
+			}
+		default: // SwitchResample
+			perX = func(x float64) float64 {
+				d1 := sw.AtLogR - x
+				// Inner integral over α1 from d1/l (minimum rate to
+				// finish phase 1 in time) upward; given α1, phase 2
+				// needs α2 >= d2 / (l - d1/α1).
+				a1min := d1 / l
+				a1hi := spec.Alpha.Mu + 8*spec.Alpha.Sigma
+				if a1min >= a1hi {
+					return 0
+				}
+				a1lo := math.Max(a1min, math.Max(0, spec.Alpha.Mu-8*spec.Alpha.Sigma))
+				if a1lo >= a1hi {
+					return 0
+				}
+				inner := func(a1 float64) float64 {
+					rem := l - d1/a1
+					if rem <= 0 {
+						return 0
+					}
+					need2 := d2 / rem
+					z2 := (need2 - sw.Alpha.Mu) / sw.Alpha.Sigma
+					z1 := (a1 - spec.Alpha.Mu) / spec.Alpha.Sigma
+					return stats.NormPDF(z1) / spec.Alpha.Sigma * stats.NormSF(z2)
+				}
+				return stats.GaussLegendrePanels(inner, a1lo, a1hi, 6)
+			}
+		}
+		f := func(x float64) float64 { return wr.PDF(x) * perX(x) }
+		below = stats.GaussLegendrePanels(f, lo, hi, 8)
+	}
+	return clampProb(tailAbove + below)
+}
+
+// QuadCERMix computes the probability-weighted cell error rate of a state
+// mixture at time t.
+func QuadCERMix(specs []StateSpec, probs []float64, t float64) float64 {
+	if len(specs) != len(probs) {
+		panic("drift: specs/probs length mismatch")
+	}
+	sum := 0.0
+	for i, s := range specs {
+		if probs[i] == 0 {
+			continue
+		}
+		sum += probs[i] * QuadCER(s, t)
+	}
+	return clampProb(sum)
+}
+
+func clampProb(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	}
+	return p
+}

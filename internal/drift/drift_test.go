@@ -1,0 +1,319 @@
+package drift
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// naive4LC builds the conventional four-level-cell state specs: nominals
+// at 10^3..10^6 Ω and thresholds midway in the log domain (Figure 1).
+func naive4LC() []StateSpec {
+	uppers := []float64{3.5, 4.5, 5.5, math.Inf(1)}
+	specs := make([]StateSpec, 4)
+	for i := range specs {
+		specs[i] = StateSpec{
+			Nominal: Table1[i].MuLogR,
+			Sigma:   SigmaLogR,
+			Upper:   uppers[i],
+			Alpha:   Table1[i].Alpha,
+		}
+	}
+	return specs
+}
+
+func TestTopStateNeverErrs(t *testing.T) {
+	s := naive4LC()[3]
+	r := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		if !math.IsInf(s.ErrorTime(r), 1) {
+			t.Fatal("S4 produced a finite error time")
+		}
+	}
+	if got := QuadCER(s, 1e12); got != 0 {
+		t.Fatalf("S4 QuadCER = %v", got)
+	}
+}
+
+func TestS1EssentiallyNeverErrs(t *testing.T) {
+	// S1's µα = 0.001 with τ1-µ1 = 0.5: crossing within 17 minutes would
+	// need α ≈ 0.014 even from the top of the write window, which is 33σ
+	// out. Per the paper, "the infinitesimal drift essentially never
+	// changes an S1 state into an S2 state."
+	if got := QuadCER(naive4LC()[0], 17*60); got > 1e-30 {
+		t.Fatalf("S1 CER at 17 min = %v, expected ~0", got)
+	}
+}
+
+func TestErrorTimeAlwaysAfterT0(t *testing.T) {
+	r := rng.New(2)
+	for _, s := range naive4LC()[:3] {
+		for i := 0; i < 10000; i++ {
+			te := s.ErrorTime(r)
+			if te < T0 {
+				t.Fatalf("error time %v before t0", te)
+			}
+		}
+	}
+}
+
+func TestQuadCERMonotonicInTime(t *testing.T) {
+	s := naive4LC()[2] // S3
+	prev := -1.0
+	for _, tt := range []float64{2, 10, 30, 1020, 3600, 86400, 3.15e7, 3.15e9} {
+		cur := QuadCER(s, tt)
+		if cur < prev-1e-15 {
+			t.Fatalf("CER decreased over time: %v after %v at t=%v", cur, prev, tt)
+		}
+		prev = cur
+	}
+}
+
+func TestPaperAnchorS3Dominates(t *testing.T) {
+	// Figure 3: S3's cell error rate is roughly an order of magnitude
+	// above S2's across the practical range.
+	specs := naive4LC()
+	for _, tt := range []float64{60, 1020, 9 * 3600} {
+		s2 := QuadCER(specs[1], tt)
+		s3 := QuadCER(specs[2], tt)
+		if s3 < 3*s2 {
+			t.Errorf("at t=%v S3 CER %v not well above S2 CER %v", tt, s3, s2)
+		}
+	}
+}
+
+func TestPaperAnchor4LCnAt30s(t *testing.T) {
+	// Section 5.3: "The cell error rate is 1E-3 at a very frequent refresh
+	// interval of 30 s" for 4LCn with equal state probabilities. Accept a
+	// factor-of-five band around the published value.
+	specs := naive4LC()
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	got := QuadCERMix(specs, probs, 30)
+	if got < 2e-4 || got > 5e-3 {
+		t.Fatalf("4LCn CER(30 s) = %v, want ~1E-3", got)
+	}
+}
+
+func TestPaperAnchor4LCnAt17min(t *testing.T) {
+	// Section 5.3: at 17 minutes or longer, 4LCn cell error rates are
+	// "too high (> 1E-2)" — dominated by S3.
+	got := QuadCER(naive4LC()[2], 17*60)
+	if got < 1e-2 {
+		t.Fatalf("S3 CER(17 min) = %v, want > 1E-2", got)
+	}
+}
+
+func TestMCAgreesWithQuad(t *testing.T) {
+	specs := naive4LC()
+	times := []float64{30, 1020, 86400}
+	const n = 2_000_000
+	res := MCCERCurve(specs[2:3], []float64{1}, times, n, 42, 0)
+	for i, tt := range times {
+		q := QuadCER(specs[2], tt)
+		mc := res.CER[i]
+		// Allow 5 binomial standard errors plus a small absolute floor.
+		se := math.Sqrt(q*(1-q)/n)*5 + 2e-6
+		if math.Abs(mc-q) > se {
+			t.Errorf("t=%v: MC %v vs quad %v (tol %v)", tt, mc, q, se)
+		}
+	}
+}
+
+func TestMCMixtureAgreesWithQuadMix(t *testing.T) {
+	specs := naive4LC()
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	times := []float64{1020}
+	const n = 2_000_000
+	res := MCCERCurve(specs, probs, times, n, 7, 4)
+	q := QuadCERMix(specs, probs, 1020)
+	se := math.Sqrt(q*(1-q)/n)*5 + 2e-6
+	if math.Abs(res.CER[0]-q) > se {
+		t.Errorf("mixture MC %v vs quad %v", res.CER[0], q)
+	}
+}
+
+func TestMCDeterministicAcrossRuns(t *testing.T) {
+	specs := naive4LC()[2:3]
+	times := []float64{30, 1020}
+	a := MCCERCurve(specs, []float64{1}, times, 100000, 5, 3)
+	b := MCCERCurve(specs, []float64{1}, times, 100000, 5, 3)
+	for i := range times {
+		if a.CER[i] != b.CER[i] {
+			t.Fatalf("same seed/workers diverged at %d: %v vs %v", i, a.CER[i], b.CER[i])
+		}
+	}
+}
+
+func TestMCCurveMonotone(t *testing.T) {
+	specs := naive4LC()
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	times := []float64{2, 32, 1020, 32400, 1.0368e6, 3.15e7}
+	res := MCCERCurve(specs, probs, times, 500000, 11, 0)
+	for i := 1; i < len(times); i++ {
+		if res.CER[i] < res.CER[i-1] {
+			t.Fatalf("MC curve not monotone at index %d", i)
+		}
+	}
+}
+
+func TestRateSwitchAcceleratesErrors(t *testing.T) {
+	// A 3LC S2 state with the drift-rate switch at 10^4.5 Ω must err no
+	// later (statistically) than the same geometry without the switch.
+	base := StateSpec{
+		Nominal: 4, Sigma: SigmaLogR, Upper: 5.5,
+		Alpha: Table1[1].Alpha,
+	}
+	switched := base
+	switched.Switch = &RateSwitch{AtLogR: 4.5, Alpha: Table1[2].Alpha}
+	for _, tt := range []float64{1e4, 1e6, 1e8} {
+		p0 := QuadCER(base, tt)
+		p1 := QuadCER(switched, tt)
+		if p1+1e-18 < p0 {
+			t.Errorf("t=%v: switched CER %v below unswitched %v", tt, p1, p0)
+		}
+	}
+	// And at long horizons it should be strictly faster.
+	if QuadCER(switched, 1e8) <= QuadCER(base, 1e8) {
+		t.Error("rate switch had no accelerating effect at t=1e8")
+	}
+}
+
+func TestRateSwitchQuadVsMC(t *testing.T) {
+	spec := StateSpec{
+		Nominal: 4, Sigma: SigmaLogR, Upper: 5.53,
+		Alpha:  Table1[1].Alpha,
+		Switch: &RateSwitch{AtLogR: 4.5, Alpha: Table1[2].Alpha},
+	}
+	const n = 4_000_000
+	times := []float64{1e5, 1e6, 1e7}
+	res := MCCERCurve([]StateSpec{spec}, []float64{1}, times, n, 99, 0)
+	for i, tt := range times {
+		q := QuadCER(spec, tt)
+		mc := res.CER[i]
+		se := math.Sqrt(math.Max(q, 1e-7)*(1)/n)*6 + 3e-6
+		if math.Abs(mc-q) > se {
+			t.Errorf("switch t=%v: MC %v vs quad %v (tol %v)", tt, mc, q, se)
+		}
+	}
+}
+
+func TestLogRAtContinuity(t *testing.T) {
+	spec := StateSpec{
+		Nominal: 4, Sigma: SigmaLogR, Upper: 5.5,
+		Alpha:  AlphaParams{0.02, 0.008},
+		Switch: &RateSwitch{AtLogR: 4.5, Alpha: AlphaParams{0.06, 0.024}},
+	}
+	x, a1, a2 := 4.2, 0.1, 0.08 // crossing at 10^((4.5-4.2)/0.1) = 10^3 s
+	// Crossing time of the switch resistance.
+	tCross := T0 * math.Pow(10, (4.5-x)/a1)
+	before := spec.LogRAt(x, a1, a2, tCross*0.999)
+	after := spec.LogRAt(x, a1, a2, tCross*1.001)
+	if math.Abs(before-4.5) > 0.01 || math.Abs(after-4.5) > 0.01 {
+		t.Fatalf("trajectory discontinuous at switch: %v / %v", before, after)
+	}
+	// Monotone non-decreasing overall.
+	prev := -math.MaxFloat64
+	for _, tt := range []float64{1, 10, 100, tCross, 1e6, 1e9} {
+		v := spec.LogRAt(x, a1, a2, tt)
+		if v < prev {
+			t.Fatalf("trajectory decreased at t=%v", tt)
+		}
+		prev = v
+	}
+}
+
+func TestLogRAtNoDriftForNegativeAlpha(t *testing.T) {
+	spec := StateSpec{Nominal: 4, Sigma: SigmaLogR, Upper: 5.5, Alpha: AlphaParams{0.02, 0.008}}
+	if got := spec.LogRAt(4.1, -0.01, 0, 1e9); got != 4.1 {
+		t.Fatalf("negative alpha drifted: %v", got)
+	}
+}
+
+func TestAlphaForLevel(t *testing.T) {
+	cases := []struct {
+		mu   float64
+		want float64
+	}{
+		{3, 0.001}, {3.4, 0.001}, {3.9, 0.02}, {4.6, 0.06}, {5.2, 0.06}, {6, 0.1}, {7, 0.1},
+	}
+	for _, c := range cases {
+		if got := AlphaForLevel(c.mu); got.Mu != c.want {
+			t.Errorf("AlphaForLevel(%v).Mu = %v, want %v", c.mu, got.Mu, c.want)
+		}
+	}
+}
+
+func TestQuadCERBounds(t *testing.T) {
+	f := func(nomRaw, gapRaw uint16, tExp uint8) bool {
+		nominal := 3 + float64(nomRaw%2000)/1000      // [3, 5)
+		upper := nominal + 0.46 + float64(gapRaw%1500)/1000
+		tt := math.Pow(10, float64(tExp%12))
+		spec := StateSpec{
+			Nominal: nominal, Sigma: SigmaLogR, Upper: upper,
+			Alpha: AlphaForLevel(nominal),
+		}
+		p := QuadCER(spec, tt)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCCERCurvePanics(t *testing.T) {
+	spec := naive4LC()[1]
+	for name, fn := range map[string]func(){
+		"mismatch": func() {
+			MCCERCurve([]StateSpec{spec}, []float64{0.5, 0.5}, []float64{1}, 10, 1, 1)
+		},
+		"unsorted": func() {
+			MCCERCurve([]StateSpec{spec}, []float64{1}, []float64{10, 1}, 10, 1, 1)
+		},
+		"zeroSamples": func() {
+			MCCERCurve([]StateSpec{spec}, []float64{1}, []float64{1}, 0, 1, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkQuadCER(b *testing.B) {
+	s := naive4LC()[2]
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += QuadCER(s, 1020)
+	}
+	_ = sink
+}
+
+func BenchmarkQuadCERSwitch(b *testing.B) {
+	s := StateSpec{
+		Nominal: 4, Sigma: SigmaLogR, Upper: 5.53,
+		Alpha:  Table1[1].Alpha,
+		Switch: &RateSwitch{AtLogR: 4.5, Alpha: Table1[2].Alpha},
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += QuadCER(s, 1e7)
+	}
+	_ = sink
+}
+
+func BenchmarkMCCER1M(b *testing.B) {
+	specs := naive4LC()
+	probs := []float64{0.25, 0.25, 0.25, 0.25}
+	times := []float64{2, 32, 1020, 32400, 1.0368e6, 3.15e7, 1.07e9}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MCCERCurve(specs, probs, times, 1_000_000, uint64(i), 0)
+	}
+}

@@ -1,0 +1,28 @@
+package drift_test
+
+import (
+	"fmt"
+
+	"repro/internal/drift"
+)
+
+// Evaluate the drift law for an S2 cell written at its nominal value:
+// log-resistance grows linearly in log-time until it crosses the next
+// state's threshold (Figure 2).
+func Example() {
+	spec := drift.StateSpec{
+		Nominal: 4, Sigma: drift.SigmaLogR, Upper: 4.5,
+		Alpha: drift.Table1[1].Alpha, // S2: µα = 0.02
+	}
+	for _, t := range []float64{1, 1020, 3.156e7} {
+		logR := spec.LogRAt(spec.Nominal, spec.Alpha.Mu, 0, t)
+		fmt.Printf("t=%8.0fs  log10R=%.3f\n", t, logR)
+	}
+	// CER by deterministic quadrature at the 17-minute refresh interval.
+	fmt.Printf("CER(17min) = %.2E\n", drift.QuadCER(spec, 1020))
+	// Output:
+	// t=       1s  log10R=4.000
+	// t=    1020s  log10R=4.060
+	// t=31560000s  log10R=4.150
+	// CER(17min) = 1.67E-03
+}

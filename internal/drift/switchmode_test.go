@@ -1,0 +1,90 @@
+package drift
+
+import (
+	"math"
+	"testing"
+)
+
+// switchSpec builds a 3LC-like S2 spec with the given switch mode.
+func switchSpec(mode SwitchMode) StateSpec {
+	return StateSpec{
+		Nominal: 3.967, Sigma: SigmaLogR, Upper: 5.533,
+		Alpha:  Table1[1].Alpha,
+		Switch: &RateSwitch{AtLogR: 4.5, Alpha: Table1[2].Alpha, Mode: mode},
+	}
+}
+
+func TestSwitchModeStrings(t *testing.T) {
+	for _, m := range []SwitchMode{SwitchResample, SwitchCorrelated, SwitchMeanOnly} {
+		if m.String() == "SwitchMode(?)" {
+			t.Errorf("mode %d has no name", int(m))
+		}
+	}
+}
+
+func TestMeanOnlyIsMostOptimistic(t *testing.T) {
+	// With α2 pinned at its mean, the deep tail vanishes: phase 2 alone
+	// takes d2/µα2 ≈ 17 log-decades, so nothing errs on any human
+	// timescale — strictly below both stochastic modes.
+	year := 365.25 * 86400.0
+	for _, tt := range []float64{year, 10 * year, 68 * year} {
+		mean := QuadCER(switchSpec(SwitchMeanOnly), tt)
+		res := QuadCER(switchSpec(SwitchResample), tt)
+		if mean > res {
+			t.Errorf("t=%v: mean-only %v above resample %v", tt, mean, res)
+		}
+	}
+	if got := QuadCER(switchSpec(SwitchMeanOnly), 68*year); got != 0 {
+		t.Errorf("mean-only CER at 68 yr = %v, want exactly 0", got)
+	}
+}
+
+func TestModesAgreeWithMonteCarlo(t *testing.T) {
+	const n = 4_000_000
+	year := 365.25 * 86400.0
+	for _, mode := range []SwitchMode{SwitchResample, SwitchCorrelated, SwitchMeanOnly} {
+		spec := switchSpec(mode)
+		times := []float64{10 * year, 68 * year}
+		res := MCCERCurve([]StateSpec{spec}, []float64{1}, times, n, 5, 0)
+		for i, tt := range times {
+			q := QuadCER(spec, tt)
+			mc := res.CER[i]
+			tol := 6*math.Sqrt(math.Max(q, 1e-7)/n) + 3e-6
+			if math.Abs(mc-q) > tol {
+				t.Errorf("%v t=%v: MC %v vs quad %v", mode, tt, mc, q)
+			}
+		}
+	}
+}
+
+func TestCorrelatedMonotoneInTime(t *testing.T) {
+	spec := switchSpec(SwitchCorrelated)
+	prev := -1.0
+	for _, tt := range []float64{1e6, 1e7, 1e8, 1e9, 1e10} {
+		cur := QuadCER(spec, tt)
+		if cur < prev {
+			t.Fatalf("correlated CER decreased at t=%v", tt)
+		}
+		if cur < 0 || cur > 1 || math.IsNaN(cur) {
+			t.Fatalf("correlated CER out of range at t=%v: %v", tt, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestModeSpreadAtLongHorizons(t *testing.T) {
+	// The modeling choice must actually matter in the deep tail (that is
+	// the point of exposing it): at 68 years the three modes span orders
+	// of magnitude.
+	year := 365.25 * 86400.0
+	res := QuadCER(switchSpec(SwitchResample), 68*year)
+	cor := QuadCER(switchSpec(SwitchCorrelated), 68*year)
+	mean := QuadCER(switchSpec(SwitchMeanOnly), 68*year)
+	if !(mean <= cor && mean <= res) {
+		t.Errorf("mean-only (%v) not the optimistic extreme (cor %v, res %v)", mean, cor, res)
+	}
+	hi := math.Max(cor, res)
+	if hi <= 0 || mean > hi/10 {
+		t.Errorf("modes too close to matter: mean %v vs max %v", mean, hi)
+	}
+}

@@ -1,0 +1,137 @@
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+)
+
+// Enumerative is the Section 8 generalization of 3-ON-2 to arbitrary
+// non-power-of-two level counts: a group of Cells cells with Levels
+// levels each stores Capacity() = floor(log2(Levels^Cells)) bits by
+// mixed-radix enumeration, with the all-highest-state combination kept
+// out of the data range whenever the radix space has slack — preserving
+// the INV convention that enables mark-and-spare.
+//
+// Enumerative{Levels: 3, Cells: 2} is exactly the paper's 3-ON-2.
+type Enumerative struct {
+	Levels int
+	Cells  int
+}
+
+// Capacity returns the number of data bits stored per group.
+func (e Enumerative) Capacity() int {
+	if e.Levels < 2 || e.Cells < 1 {
+		panic("encoding: bad enumerative parameters")
+	}
+	return int(math.Floor(float64(e.Cells) * math.Log2(float64(e.Levels))))
+}
+
+// combos returns Levels^Cells as a uint64, panicking on overflow (the
+// group sizes used here are tiny).
+func (e Enumerative) combos() uint64 {
+	out := uint64(1)
+	for i := 0; i < e.Cells; i++ {
+		next := out * uint64(e.Levels)
+		if next/uint64(e.Levels) != out {
+			panic("encoding: enumerative group too large")
+		}
+		out = next
+	}
+	return out
+}
+
+// HasINV reports whether the group reserves the all-highest combination
+// as an INV marker (true whenever the radix space exceeds the bit space).
+func (e Enumerative) HasINV() bool {
+	return e.combos() > 1<<uint(e.Capacity())
+}
+
+// EncodeGroup stores val (< 2^Capacity) into cell states, most-significant
+// digit in the first cell, mirroring Table 2's layout.
+func (e Enumerative) EncodeGroup(val uint64) []int {
+	if val >= 1<<uint(e.Capacity()) {
+		panic(fmt.Sprintf("encoding: value %d exceeds %d-bit capacity", val, e.Capacity()))
+	}
+	cells := make([]int, e.Cells)
+	for i := e.Cells - 1; i >= 0; i-- {
+		cells[i] = int(val % uint64(e.Levels))
+		val /= uint64(e.Levels)
+	}
+	return cells
+}
+
+// DecodeGroup inverts EncodeGroup. inv reports the reserved all-highest
+// combination; out-of-range (non-INV) indices decode normally modulo the
+// capacity and flag ok=false.
+func (e Enumerative) DecodeGroup(cells []int) (val uint64, inv, ok bool) {
+	if len(cells) != e.Cells {
+		panic("encoding: wrong group size")
+	}
+	allTop := true
+	for _, c := range cells {
+		if c < 0 || c >= e.Levels {
+			panic(fmt.Sprintf("encoding: state %d out of range", c))
+		}
+		if c != e.Levels-1 {
+			allTop = false
+		}
+		val = val*uint64(e.Levels) + uint64(c)
+	}
+	if allTop && e.HasINV() {
+		return 0, true, true
+	}
+	if val >= 1<<uint(e.Capacity()) {
+		return val % (1 << uint(e.Capacity())), false, false
+	}
+	return val, false, true
+}
+
+// BitsPerCell returns the information density of the group.
+func (e Enumerative) BitsPerCell() float64 {
+	return float64(e.Capacity()) / float64(e.Cells)
+}
+
+// Encode packs a bit vector into cell states group by group, padding the
+// final partial group with zero bits.
+func (e Enumerative) Encode(data bitvec.Vector) []int {
+	cap := e.Capacity()
+	groups := (data.Len() + cap - 1) / cap
+	cells := make([]int, 0, groups*e.Cells)
+	for g := 0; g < groups; g++ {
+		var val uint64
+		for b := 0; b < cap; b++ {
+			i := g*cap + b
+			if i < data.Len() {
+				val |= uint64(data.Get(i)) << b
+			}
+		}
+		cells = append(cells, e.EncodeGroup(val)...)
+	}
+	return cells
+}
+
+// Decode unpacks cell states into dataBits bits; INV groups decode as
+// zeros and are counted.
+func (e Enumerative) Decode(cells []int, dataBits int) (data bitvec.Vector, invGroups int) {
+	if len(cells)%e.Cells != 0 {
+		panic("encoding: cell count not a whole number of groups")
+	}
+	cap := e.Capacity()
+	data = bitvec.New(dataBits)
+	for g := 0; g < len(cells)/e.Cells; g++ {
+		val, inv, _ := e.DecodeGroup(cells[g*e.Cells : (g+1)*e.Cells])
+		if inv {
+			invGroups++
+			continue
+		}
+		for b := 0; b < cap; b++ {
+			i := g*cap + b
+			if i < dataBits {
+				data.Set(i, uint(val>>b)&1)
+			}
+		}
+	}
+	return data, invGroups
+}

@@ -1,0 +1,41 @@
+package encoding_test
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+)
+
+// Walk Table 2: three bits on two ternary cells, with [S4,S4] reserved
+// as the INV marker for mark-and-spare.
+func Example() {
+	names := []string{"S1", "S2", "S4"}
+	c1, c2 := encoding.EncodePair(0b101)
+	fmt.Printf("101 -> [%s %s]\n", names[c1], names[c2])
+
+	bits, inv := encoding.DecodePair(c1, c2)
+	fmt.Printf("decode: %03b inv=%v\n", bits, inv)
+
+	_, inv = encoding.DecodePair(2, 2)
+	fmt.Printf("[S4 S4] is INV: %v\n", inv)
+	fmt.Printf("512 bits need %d cells\n", encoding.ThreeOnTwoCells(512))
+	// Output:
+	// 101 -> [S2 S4]
+	// decode: 101 inv=false
+	// [S4 S4] is INV: true
+	// 512 bits need 342 cells
+}
+
+// Generalize to five-level cells (Section 8): six bits on three cells.
+func ExampleEnumerative() {
+	e := encoding.Enumerative{Levels: 5, Cells: 3}
+	fmt.Println("capacity:", e.Capacity(), "bits; has INV:", e.HasINV())
+	cells := e.EncodeGroup(0b101101)
+	fmt.Println("cells:", cells)
+	val, inv, ok := e.DecodeGroup(cells)
+	fmt.Printf("decode: %06b inv=%v ok=%v\n", val, inv, ok)
+	// Output:
+	// capacity: 6 bits; has INV: true
+	// cells: [1 4 0]
+	// decode: 101101 inv=false ok=true
+}

@@ -1,0 +1,89 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// Property: every enumerative group code round-trips every value, never
+// emits its INV combination for data, and its capacity respects the
+// information-theoretic bound.
+func TestEnumerativeUniversalProperty(t *testing.T) {
+	f := func(levelsRaw, cellsRaw uint8, valRaw uint16) bool {
+		levels := int(levelsRaw)%5 + 2 // 2..6
+		cells := int(cellsRaw)%4 + 1   // 1..4
+		e := Enumerative{Levels: levels, Cells: cells}
+		cap := e.Capacity()
+		if cap < 1 {
+			return true // 2-level 1-cell edge: capacity 1; never < 1
+		}
+		// Capacity bound: 2^cap <= levels^cells.
+		space := 1
+		for i := 0; i < cells; i++ {
+			space *= levels
+		}
+		if 1<<uint(cap) > space {
+			return false
+		}
+		val := uint64(valRaw) % (1 << uint(cap))
+		states := e.EncodeGroup(val)
+		if e.HasINV() {
+			allTop := true
+			for _, s := range states {
+				if s != levels-1 {
+					allTop = false
+				}
+			}
+			if allTop {
+				return false // data must never collide with INV
+			}
+		}
+		got, inv, ok := e.DecodeGroup(states)
+		return !inv && ok && got == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the full 3-ON-2 block pipeline is the identity for arbitrary
+// data lengths, and the TEC bit mapping round-trips through correction.
+func TestThreeOnTwoPipelineProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%512 + 1
+		r := rng.New(seed)
+		data := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			data.Set(i, uint(r.Uint64())&1)
+		}
+		cells := EncodeThreeOnTwo(data)
+		msg := TECMessage3(cells)
+		back, bad := CellsFromTECMessage3(msg)
+		if bad != 0 {
+			return false
+		}
+		got, inv := DecodeThreeOnTwo(back, n)
+		return inv == 0 && got.Equal(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single-state drift on any cell flips exactly one TEC bit —
+// the invariant that lets BCH-1 cover drift errors.
+func TestDriftIsOneTECBitProperty(t *testing.T) {
+	f := func(stateRaw uint8) bool {
+		s := int(stateRaw) % 2 // S1 or S2 can drift up
+		before := TECBits3(s)
+		after := TECBits3(s + 1)
+		diff := before ^ after
+		return diff != 0 && diff&(diff-1) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/trace"
+)
+
+// AblationWriteCancellation measures write cancellation and write
+// pausing (Qureshi et al., the paper's reference [25]) on the 3LC
+// design: demand reads interrupt in-flight data writes — cancellation
+// restarts the write from scratch, pausing keeps its progress. Both cut
+// read tail latency dramatically; cancellation pays with wasted write
+// work (longer runtime on write-bound traces), which is precisely why
+// the original paper pairs the two.
+func AblationWriteCancellation(o Options) Result {
+	o = o.withDefaults()
+	r := Result{
+		ID:    "A8",
+		Title: "Ablation: write cancellation and pausing (3LC memory system)",
+		Header: []string{"workload", "read p99 base/cancel/pause",
+			"avg read base/cancel/pause (ns)", "time cancel", "time pause"},
+		Notes: []string{
+			"reads interrupt in-flight data writes (reference [25]); times normalized to no-interruption",
+			"cancellation restarts the write (wasted work); pausing resumes it",
+		},
+	}
+	for _, p := range trace.Profiles() {
+		base := memsim.Run(memsim.ConfigFor(memsim.ThreeLC), trace.New(p, o.MemsimOps, o.Seed))
+		cfgC := memsim.ConfigFor(memsim.ThreeLC)
+		cfgC.WriteCancellation = true
+		canc := memsim.Run(cfgC, trace.New(p, o.MemsimOps, o.Seed))
+		cfgP := memsim.ConfigFor(memsim.ThreeLC)
+		cfgP.WritePausing = true
+		paus := memsim.Run(cfgP, trace.New(p, o.MemsimOps, o.Seed))
+		r.Rows = append(r.Rows, []string{
+			p.WorkloadName,
+			fmt.Sprintf("%d / %d / %d", base.ReadLatencyPercentileNs(99),
+				canc.ReadLatencyPercentileNs(99), paus.ReadLatencyPercentileNs(99)),
+			fmt.Sprintf("%.0f / %.0f / %.0f", base.AvgReadLatencyNs(),
+				canc.AvgReadLatencyNs(), paus.AvgReadLatencyNs()),
+			fmt.Sprintf("%.3f", float64(canc.ExecNs)/float64(base.ExecNs)),
+			fmt.Sprintf("%.3f", float64(paus.ExecNs)/float64(base.ExecNs)),
+		})
+	}
+	return r
+}

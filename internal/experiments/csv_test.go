@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestCSVFormat(t *testing.T) {
+	r := Result{
+		ID:     "X",
+		Title:  "csv check",
+		Header: []string{"a", "b,with comma", `c"quoted"`},
+		Rows: [][]string{
+			{"1", "2", "3"},
+			{"x,y", `he said "hi"`, "plain"},
+		},
+	}
+	got := r.CSV()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), got)
+	}
+	if lines[0] != `a,"b,with comma","c""quoted"""` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,2,3" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != `"x,y","he said ""hi""",plain` {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestCSVOfEveryExhibitParses(t *testing.T) {
+	// Every exhibit's CSV must parse as RFC-4180 with rectangular shape
+	// and round-trip the original cells.
+	for _, s := range []string{"T1", "F4", "F15", "T5"} {
+		spec, err := ByID(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := spec.Run(cheap)
+		records, err := csv.NewReader(strings.NewReader(res.CSV())).ReadAll()
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if len(records) != len(res.Rows)+1 {
+			t.Fatalf("%s: %d records, want %d", s, len(records), len(res.Rows)+1)
+		}
+		for j, cell := range records[0] {
+			if cell != res.Header[j] {
+				t.Errorf("%s: header cell %d = %q, want %q", s, j, cell, res.Header[j])
+			}
+		}
+		for i, row := range res.Rows {
+			for j, cell := range row {
+				if records[i+1][j] != cell {
+					t.Errorf("%s: cell (%d,%d) = %q, want %q", s, i, j, records[i+1][j], cell)
+				}
+			}
+		}
+	}
+}

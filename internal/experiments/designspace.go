@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/bler"
+	"repro/internal/levels"
+	"repro/internal/progverify"
+)
+
+// DesignSpace is the capstone summary: every cell organization built in
+// this repository on the axes the paper trades against each other —
+// information density, unpowered retention, write cost, and the ECC it
+// needs to meet the ten-year one-block-per-device goal. It condenses
+// the argument of the whole paper into one table: density and retention
+// pull in opposite directions, and the three-level cell is the point
+// where both are acceptable.
+func DesignSpace(o Options) Result {
+	o = o.withDefaults()
+	p := progverify.Default()
+	year := 365.25 * 86400.0
+
+	// retentionYears returns the longest horizon (on a coarse ladder) at
+	// which the mapping's CER stays below a BCH-8-correctable operating
+	// point for the device target.
+	ladder := []float64{1.0 / 365.25, 0.1, 1, 10, 100, 1000}
+	retention := func(m levels.Mapping, cells, t int) string {
+		best := "<1day"
+		for _, yrs := range ladder {
+			if retentionMeets(m, yrs*year, cells, t) {
+				switch {
+				case yrs >= 1:
+					best = fmt.Sprintf("%gyr", yrs)
+				case yrs >= 0.09:
+					best = "~1month"
+				default:
+					best = "1day"
+				}
+			}
+		}
+		return best
+	}
+
+	// writeCost averages program-and-verify pulses over the mapping's
+	// states.
+	writeCost := func(m levels.Mapping) float64 {
+		total := 0.0
+		for _, spec := range m.Specs() {
+			st := p.Measure(spec.WriteLow(), spec.WriteHigh(), 4000, o.Seed)
+			total += st.MeanPulses
+		}
+		return total / float64(m.Levels())
+	}
+
+	r := Result{
+		ID:    "A9",
+		Title: "Design space: density vs retention vs write cost",
+		Header: []string{"design", "levels", "density b/cell", "retention @BCH<=8",
+			"avg write pulses", "endurance class"},
+		Notes: []string{
+			"density includes wearout + drift ECC overheads at the six-failure point",
+			"retention: longest ladder horizon meeting the 10-year device goal with <=8-bit ECC",
+		},
+	}
+
+	add := func(name string, m levels.Mapping, density float64, cells, t int, endurance string) {
+		r.Rows = append(r.Rows, []string{
+			name,
+			fmt.Sprintf("%d", m.Levels()),
+			fmt.Sprintf("%.2f", density),
+			retention(m, cells, t),
+			fmt.Sprintf("%.1f", writeCost(m)),
+			endurance,
+		})
+	}
+
+	slc := levels.Uniform(2)
+	add("SLC", slc, 512.0/573, 512, 0, "~1E8")
+	add("3LCo (proposal)", levels.ThreeLCOpt(), threeLCDensity(6), 354, 1, "~1E5")
+	fourUniform := levels.FourLCOpt()
+	fourUniform.Probs = []float64{0.25, 0.25, 0.25, 0.25}
+	add("4LCo", fourUniform, fourLCDensity(6), 306, 8, "~1E5")
+	optOpts := levels.DefaultOptimizeOptions()
+	optOpts.Sweeps = 2
+	five := levels.Optimize(levels.Uniform(5), optOpts)
+	add("5LC (Section 8)", five, 512.0/(258+18+60), 276, 8, "~1E5")
+	six := levels.Optimize(levels.Uniform(6), optOpts)
+	add("6LC (Section 8)", six, 512.0/(215+30+60), 245, 8, "~1E5")
+	return r
+}
+
+// retentionMeets reports whether the mapping's per-period CER at the
+// given interval keeps a cells-sized block under the device target with
+// a t-bit code.
+func retentionMeets(m levels.Mapping, intervalSeconds float64, cells, t int) bool {
+	cer := m.QuadCER(intervalSeconds)
+	if cer == 0 {
+		return true
+	}
+	d := bler.PaperDevice()
+	iv := time.Duration(intervalSeconds * float64(time.Second))
+	return bler.LogBlockError(cells, t, cer) <= math.Log(d.PerPeriodTarget(iv))
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/trace"
+)
+
+// Table5Params reproduces the simulation parameter table.
+func Table5Params(Options) Result {
+	cfg := memsim.Table5()
+	return Result{
+		ID:     "T5",
+		Title:  "Simulation parameters",
+		Header: []string{"component", "configuration"},
+		Rows: [][]string{
+			{"processor", fmt.Sprintf("trace-driven core at %.1f GHz, 1 instruction/cycle", cfg.CoreGHz)},
+			{"L1 cache", fmt.Sprintf("%d kB data, %d-way, %dB lines", cfg.L1Bytes>>10, cfg.L1Assoc, cfg.LineBytes)},
+			{"L2 cache", fmt.Sprintf("%d kB unified, %d-way, %dB lines", cfg.L2Bytes>>10, cfg.L2Assoc, cfg.LineBytes)},
+			{"MLC-PCM", fmt.Sprintf("%d GB, %d banks, %dB blocks", cfg.DeviceBytes>>30, cfg.Banks, cfg.LineBytes)},
+			{"PCM read", fmt.Sprintf("%d ns (+%d ns BCH-10 or +5 ns 3LC)", cfg.ReadLatencyNs, cfg.ECCReadAdderNs)},
+			{"PCM write", fmt.Sprintf("%d ns", cfg.WriteLatencyNs)},
+			{"write throughput", fmt.Sprintf("%d MB/s", int(cfg.WriteBandwidth)>>20)},
+			{"refresh interval", fmt.Sprintf("%d min (4LC designs)", cfg.RefreshIntervalNs/60_000_000_000)},
+		},
+	}
+}
+
+// Figure16 reproduces the system evaluation: normalized execution time,
+// energy and power for the six workloads under the four designs, with
+// the RD/WR/REF energy breakdown.
+func Figure16(o Options) Result {
+	o = o.withDefaults()
+	r := Result{
+		ID:    "F16",
+		Title: "Normalized execution time, energy, and power (lower is better)",
+		Header: []string{"workload", "design", "time", "energy", "power",
+			"E_rd%", "E_wr%", "E_ref%"},
+		Notes: []string{fmt.Sprintf("synthetic traces, %d memory ops each; normalized to 4LC-REF per workload", o.MemsimOps)},
+	}
+	for _, p := range trace.Profiles() {
+		var base memsim.Stats
+		for i, d := range memsim.Designs() {
+			s := memsim.Run(memsim.ConfigFor(d), trace.New(p, o.MemsimOps, o.Seed))
+			if i == 0 {
+				base = s
+			}
+			tot := s.TotalEnergyNJ()
+			r.Rows = append(r.Rows, []string{
+				p.WorkloadName, d.String(),
+				fmt.Sprintf("%.3f", float64(s.ExecNs)/float64(base.ExecNs)),
+				fmt.Sprintf("%.3f", tot/base.TotalEnergyNJ()),
+				fmt.Sprintf("%.3f", s.AvgPowerW()/base.AvgPowerW()),
+				fmt.Sprintf("%.0f", 100*s.EnergyRead/tot),
+				fmt.Sprintf("%.0f", 100*s.EnergyWrite/tot),
+				fmt.Sprintf("%.0f", 100*s.EnergyRefresh/tot),
+			})
+		}
+	}
+	return r
+}

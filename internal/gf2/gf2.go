@@ -1,0 +1,197 @@
+// Package gf2 implements arithmetic in the binary extension fields
+// GF(2^m) and over binary polynomials, the algebra underneath the BCH
+// codes used for transient-error correction (paper Sections 5.3 and 6.3).
+//
+// Elements of GF(2^m) are represented as uint32 bit patterns of their
+// polynomial basis coordinates. Multiplication uses log/antilog tables
+// generated from a fixed primitive polynomial per m, so results are
+// reproducible and fast.
+package gf2
+
+import (
+	"fmt"
+	"sync"
+)
+
+// primPolys[m] is a primitive polynomial of degree m over GF(2),
+// including the leading term, for each supported field degree.
+var primPolys = map[int]uint32{
+	2:  0x7,    // x^2+x+1
+	3:  0xB,    // x^3+x+1
+	4:  0x13,   // x^4+x+1
+	5:  0x25,   // x^5+x^2+1
+	6:  0x43,   // x^6+x+1
+	7:  0x89,   // x^7+x^3+1
+	8:  0x11D,  // x^8+x^4+x^3+x^2+1
+	9:  0x211,  // x^9+x^4+1
+	10: 0x409,  // x^10+x^3+1
+	11: 0x805,  // x^11+x^2+1
+	12: 0x1053, // x^12+x^6+x^4+x+1
+	13: 0x201B, // x^13+x^4+x^3+x+1
+	14: 0x4443, // x^14+x^10+x^6+x+1
+}
+
+// Field is GF(2^m). Construct with NewField; values are immutable and
+// safe for concurrent use.
+type Field struct {
+	M    int    // extension degree
+	N    int    // multiplicative order: 2^m - 1
+	Prim uint32 // primitive polynomial
+	exp  []uint32
+	logT []int32
+}
+
+var fieldCache sync.Map // int -> *Field
+
+// NewField returns GF(2^m) for 2 <= m <= 14. Fields are cached.
+func NewField(m int) (*Field, error) {
+	if f, ok := fieldCache.Load(m); ok {
+		return f.(*Field), nil
+	}
+	prim, ok := primPolys[m]
+	if !ok {
+		return nil, fmt.Errorf("gf2: unsupported field degree %d", m)
+	}
+	n := (1 << m) - 1
+	f := &Field{M: m, N: n, Prim: prim,
+		exp:  make([]uint32, 2*n),
+		logT: make([]int32, n+1),
+	}
+	x := uint32(1)
+	for i := 0; i < n; i++ {
+		f.exp[i] = x
+		f.logT[x] = int32(i)
+		x <<= 1
+		if x&(1<<m) != 0 {
+			x ^= prim
+		}
+	}
+	// Duplicate the table so Exp(i+j) needs no modulo for i, j < n.
+	copy(f.exp[n:], f.exp[:n])
+	f.logT[0] = -1
+	fieldCache.Store(m, f)
+	return f, nil
+}
+
+// MustField is NewField panicking on error, for static degrees.
+func MustField(m int) *Field {
+	f, err := NewField(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Add returns a + b (= a - b) in the field.
+func (f *Field) Add(a, b uint32) uint32 { return a ^ b }
+
+// Exp returns α^i for any integer i (negative allowed).
+func (f *Field) Exp(i int) uint32 {
+	i %= f.N
+	if i < 0 {
+		i += f.N
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete logarithm of a (a != 0); it panics on zero.
+func (f *Field) Log(a uint32) int {
+	if a == 0 || int(a) > f.N {
+		panic("gf2: Log of zero or out-of-field element")
+	}
+	return int(f.logT[a])
+}
+
+// Mul returns the field product of a and b.
+func (f *Field) Mul(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.logT[a])+int(f.logT[b])]
+}
+
+// Inv returns the multiplicative inverse of a; it panics on zero.
+func (f *Field) Inv(a uint32) uint32 {
+	if a == 0 {
+		panic("gf2: inverse of zero")
+	}
+	return f.exp[f.N-int(f.logT[a])]
+}
+
+// Div returns a / b; it panics if b is zero.
+func (f *Field) Div(a, b uint32) uint32 {
+	if b == 0 {
+		panic("gf2: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	l := int(f.logT[a]) - int(f.logT[b])
+	if l < 0 {
+		l += f.N
+	}
+	return f.exp[l]
+}
+
+// Pow returns a^e for e >= 0 (with 0^0 = 1).
+func (f *Field) Pow(a uint32, e int) uint32 {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (int(f.logT[a]) * e) % f.N
+	if l < 0 {
+		l += f.N
+	}
+	return f.exp[l]
+}
+
+// FieldPoly is a polynomial with coefficients in GF(2^m), lowest degree
+// first. Used transiently while building minimal polynomials.
+type FieldPoly []uint32
+
+// mulLinear returns p(x) * (x + r) over the field.
+func (f *Field) mulLinear(p FieldPoly, r uint32) FieldPoly {
+	out := make(FieldPoly, len(p)+1)
+	for i, c := range p {
+		out[i+1] ^= c            // x * c x^i
+		out[i] ^= f.Mul(c, r)    // r * c x^i
+	}
+	return out
+}
+
+// MinPoly returns the minimal polynomial of α^i over GF(2) as a binary
+// polynomial. It is the product of (x - α^j) over the cyclotomic coset
+// of i modulo 2^m - 1; the result always has 0/1 coefficients.
+func (f *Field) MinPoly(i int) Poly {
+	i %= f.N
+	if i < 0 {
+		i += f.N
+	}
+	// Collect the cyclotomic coset {i, 2i, 4i, ...} mod N.
+	seen := map[int]bool{}
+	coset := []int{}
+	for j := i; !seen[j]; j = (2 * j) % f.N {
+		seen[j] = true
+		coset = append(coset, j)
+	}
+	p := FieldPoly{1}
+	for _, j := range coset {
+		p = f.mulLinear(p, f.Exp(j))
+	}
+	out := NewPoly(len(p) - 1)
+	for d, c := range p {
+		switch c {
+		case 0:
+		case 1:
+			out.SetCoeff(d, true)
+		default:
+			// By Galois theory the product over a full coset lies in
+			// GF(2); anything else indicates a table corruption.
+			panic("gf2: minimal polynomial has non-binary coefficient")
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldConstruction(t *testing.T) {
+	for m := 2; m <= 14; m++ {
+		f, err := NewField(m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if f.N != (1<<m)-1 {
+			t.Errorf("m=%d: N = %d", m, f.N)
+		}
+	}
+	if _, err := NewField(20); err == nil {
+		t.Error("unsupported degree accepted")
+	}
+}
+
+func TestExpLogInverse(t *testing.T) {
+	f := MustField(10)
+	for i := 0; i < f.N; i++ {
+		a := f.Exp(i)
+		if a == 0 || int(a) > f.N {
+			t.Fatalf("Exp(%d) = %d out of field", i, a)
+		}
+		if f.Log(a) != i {
+			t.Fatalf("Log(Exp(%d)) = %d", i, f.Log(a))
+		}
+	}
+}
+
+func TestExpIsPeriodic(t *testing.T) {
+	f := MustField(8)
+	for _, i := range []int{0, 1, 100, -1, -300} {
+		if f.Exp(i) != f.Exp(i+f.N) {
+			t.Errorf("Exp not periodic at %d", i)
+		}
+	}
+}
+
+func TestPrimitiveElementGeneratesField(t *testing.T) {
+	// α must hit every nonzero element exactly once in N steps.
+	for _, m := range []int{4, 8, 10} {
+		f := MustField(m)
+		seen := make(map[uint32]bool, f.N)
+		for i := 0; i < f.N; i++ {
+			v := f.Exp(i)
+			if seen[v] {
+				t.Fatalf("m=%d: α^%d repeats", m, i)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f := MustField(10)
+	check := func(a, b, c uint32) bool {
+		// commutativity, associativity, distributivity
+		if f.Mul(a, b) != f.Mul(b, a) {
+			return false
+		}
+		if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+			return false
+		}
+		if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+			return false
+		}
+		// identity and inverse
+		if f.Mul(a, 1) != a {
+			return false
+		}
+		if a != 0 && f.Mul(a, f.Inv(a)) != 1 {
+			return false
+		}
+		return true
+	}
+	prop := func(ar, br, cr uint16) bool {
+		n := uint32(f.N)
+		return check(uint32(ar)%(n+1), uint32(br)%(n+1), uint32(cr)%(n+1))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivPow(t *testing.T) {
+	f := MustField(8)
+	for a := uint32(1); a <= 255; a += 7 {
+		for b := uint32(1); b <= 255; b += 11 {
+			if f.Mul(f.Div(a, b), b) != a {
+				t.Fatalf("Div(%d,%d) wrong", a, b)
+			}
+		}
+	}
+	if f.Pow(0, 0) != 1 || f.Pow(0, 5) != 0 || f.Pow(3, 1) != 3 {
+		t.Error("Pow edge cases wrong")
+	}
+	a := uint32(9)
+	want := f.Mul(f.Mul(a, a), a)
+	if f.Pow(a, 3) != want {
+		t.Errorf("Pow(9,3) = %d, want %d", f.Pow(a, 3), want)
+	}
+}
+
+func TestZeroHandling(t *testing.T) {
+	f := MustField(6)
+	if f.Mul(0, 5) != 0 || f.Mul(7, 0) != 0 {
+		t.Error("Mul by zero wrong")
+	}
+	if f.Div(0, 3) != 0 {
+		t.Error("Div zero wrong")
+	}
+	for name, fn := range map[string]func(){
+		"log": func() { f.Log(0) },
+		"inv": func() { f.Inv(0) },
+		"div": func() { f.Div(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(0) did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMinPolyDividesFieldPolynomial(t *testing.T) {
+	// Every minimal polynomial must divide x^N - 1 (= x^N + 1 over GF(2)).
+	f := MustField(6)
+	xN1 := PolyFromCoeffs(0, f.N)
+	for i := 1; i <= 12; i++ {
+		mp := f.MinPoly(i)
+		if mp.Degree() < 1 || mp.Degree() > f.M {
+			t.Fatalf("MinPoly(%d) degree %d", i, mp.Degree())
+		}
+		if !xN1.Mod(mp).IsZero() {
+			t.Errorf("MinPoly(%d) = %v does not divide x^%d+1", i, mp, f.N)
+		}
+	}
+}
+
+func TestMinPolyOfAlphaIsPrimitive(t *testing.T) {
+	// The minimal polynomial of α is the primitive polynomial itself.
+	for _, m := range []int{3, 8, 10} {
+		f := MustField(m)
+		mp := f.MinPoly(1)
+		want := NewPoly(m)
+		for d := 0; d <= m; d++ {
+			want.SetCoeff(d, f.Prim&(1<<d) != 0)
+		}
+		if !mp.Equal(want) {
+			t.Errorf("m=%d: MinPoly(1) = %v, want primitive %v", m, mp, want)
+		}
+	}
+}
+
+func TestMinPolyConjugatesShareMinPoly(t *testing.T) {
+	f := MustField(8)
+	// α^3 and α^6 = (α^3)^2 are conjugates.
+	if !f.MinPoly(3).Equal(f.MinPoly(6)) {
+		t.Error("conjugates have different minimal polynomials")
+	}
+}
+
+func TestFieldCaching(t *testing.T) {
+	a := MustField(10)
+	b := MustField(10)
+	if a != b {
+		t.Error("field not cached")
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	f := MustField(10)
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink ^= f.Mul(uint32(i)&1023|1, 777)
+	}
+	_ = sink
+}

@@ -1,0 +1,207 @@
+package gf2
+
+import "strings"
+
+// Poly is a polynomial over GF(2), stored as packed coefficient bits,
+// lowest degree first. The generator polynomials of the BCH codes used in
+// the paper have degree up to ~120, so operations are word-parallel.
+type Poly struct {
+	w []uint64
+	// deg is the degree of the polynomial, or -1 for the zero polynomial.
+	deg int
+}
+
+// NewPoly returns the zero polynomial with capacity for degree maxDeg.
+func NewPoly(maxDeg int) Poly {
+	return Poly{w: make([]uint64, maxDeg/64+1), deg: -1}
+}
+
+// PolyFromCoeffs builds a polynomial from the degrees of its nonzero
+// terms, e.g. PolyFromCoeffs(0, 1, 3) = 1 + x + x^3.
+func PolyFromCoeffs(degrees ...int) Poly {
+	maxDeg := 0
+	for _, d := range degrees {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	p := NewPoly(maxDeg)
+	for _, d := range degrees {
+		p.SetCoeff(d, !p.Coeff(d))
+	}
+	return p
+}
+
+// Degree returns the degree, or -1 for the zero polynomial.
+func (p Poly) Degree() int { return p.deg }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return p.deg < 0 }
+
+// Coeff returns the coefficient of x^d.
+func (p Poly) Coeff(d int) bool {
+	if d < 0 || d >= len(p.w)*64 {
+		return false
+	}
+	return p.w[d>>6]>>(d&63)&1 != 0
+}
+
+// SetCoeff assigns the coefficient of x^d, growing storage as needed, and
+// maintains the cached degree.
+func (p *Poly) SetCoeff(d int, v bool) {
+	if d < 0 {
+		panic("gf2: negative degree")
+	}
+	for d >= len(p.w)*64 {
+		p.w = append(p.w, 0)
+	}
+	mask := uint64(1) << (d & 63)
+	if v {
+		p.w[d>>6] |= mask
+		if d > p.deg {
+			p.deg = d
+		}
+	} else {
+		p.w[d>>6] &^= mask
+		if d == p.deg {
+			p.recomputeDegree()
+		}
+	}
+}
+
+func (p *Poly) recomputeDegree() {
+	for i := len(p.w) - 1; i >= 0; i-- {
+		if p.w[i] != 0 {
+			d := i * 64
+			w := p.w[i]
+			for w > 1 {
+				w >>= 1
+				d++
+			}
+			p.deg = d
+			return
+		}
+	}
+	p.deg = -1
+}
+
+// Clone returns an independent copy.
+func (p Poly) Clone() Poly {
+	out := Poly{w: make([]uint64, len(p.w)), deg: p.deg}
+	copy(out.w, p.w)
+	return out
+}
+
+// Equal reports polynomial equality.
+func (p Poly) Equal(q Poly) bool {
+	if p.deg != q.deg {
+		return false
+	}
+	n := len(p.w)
+	if len(q.w) < n {
+		n = len(q.w)
+	}
+	for i := 0; i < n; i++ {
+		if p.w[i] != q.w[i] {
+			return false
+		}
+	}
+	for i := n; i < len(p.w); i++ {
+		if p.w[i] != 0 {
+			return false
+		}
+	}
+	for i := n; i < len(q.w); i++ {
+		if q.w[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns p + q over GF(2).
+func (p Poly) Add(q Poly) Poly {
+	n := len(p.w)
+	if len(q.w) > n {
+		n = len(q.w)
+	}
+	out := Poly{w: make([]uint64, n)}
+	copy(out.w, p.w)
+	for i := range q.w {
+		out.w[i] ^= q.w[i]
+	}
+	out.recomputeDegree()
+	return out
+}
+
+// Mul returns p · q over GF(2) (carry-less polynomial product).
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return NewPoly(0)
+	}
+	out := NewPoly(p.deg + q.deg)
+	for d := 0; d <= p.deg; d++ {
+		if !p.Coeff(d) {
+			continue
+		}
+		for e := 0; e <= q.deg; e++ {
+			if q.Coeff(e) {
+				out.SetCoeff(d+e, !out.Coeff(d+e))
+			}
+		}
+	}
+	return out
+}
+
+// Mod returns p mod q; q must be nonzero.
+func (p Poly) Mod(q Poly) Poly {
+	if q.IsZero() {
+		panic("gf2: modulo by zero polynomial")
+	}
+	r := p.Clone()
+	for r.deg >= q.deg {
+		shift := r.deg - q.deg
+		for d := 0; d <= q.deg; d++ {
+			if q.Coeff(d) {
+				r.SetCoeff(d+shift, !r.Coeff(d+shift))
+			}
+		}
+	}
+	return r
+}
+
+// String renders the polynomial in conventional descending form.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var terms []string
+	for d := p.deg; d >= 0; d-- {
+		if !p.Coeff(d) {
+			continue
+		}
+		switch d {
+		case 0:
+			terms = append(terms, "1")
+		case 1:
+			terms = append(terms, "x")
+		default:
+			terms = append(terms, "x^"+itoa(d))
+		}
+	}
+	return strings.Join(terms, "+")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

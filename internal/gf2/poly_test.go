@@ -1,0 +1,122 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func polyFromMask(mask uint32) Poly {
+	p := NewPoly(32)
+	for d := 0; d < 32; d++ {
+		if mask&(1<<d) != 0 {
+			p.SetCoeff(d, true)
+		}
+	}
+	return p
+}
+
+func TestPolyBasics(t *testing.T) {
+	p := PolyFromCoeffs(0, 1, 3) // 1 + x + x^3
+	if p.Degree() != 3 {
+		t.Fatalf("degree = %d", p.Degree())
+	}
+	if !p.Coeff(0) || !p.Coeff(1) || p.Coeff(2) || !p.Coeff(3) {
+		t.Fatal("coefficients wrong")
+	}
+	if p.String() != "x^3+x+1" {
+		t.Fatalf("String = %q", p.String())
+	}
+	z := NewPoly(5)
+	if !z.IsZero() || z.Degree() != -1 || z.String() != "0" {
+		t.Fatal("zero polynomial wrong")
+	}
+}
+
+func TestPolyDegreeMaintenance(t *testing.T) {
+	p := PolyFromCoeffs(2, 5)
+	p.SetCoeff(5, false)
+	if p.Degree() != 2 {
+		t.Fatalf("degree after clearing leading term = %d", p.Degree())
+	}
+	p.SetCoeff(70, true)
+	if p.Degree() != 70 {
+		t.Fatalf("degree after growth = %d", p.Degree())
+	}
+}
+
+func TestPolyAdd(t *testing.T) {
+	a := PolyFromCoeffs(0, 2)
+	b := PolyFromCoeffs(1, 2)
+	sum := a.Add(b) // 1 + x (x^2 cancels)
+	if !sum.Equal(PolyFromCoeffs(0, 1)) {
+		t.Fatalf("Add = %v", sum)
+	}
+	if !a.Add(a).IsZero() {
+		t.Fatal("p+p should be zero over GF(2)")
+	}
+}
+
+func TestPolyMulKnown(t *testing.T) {
+	// (x+1)(x+1) = x^2+1 over GF(2)
+	a := PolyFromCoeffs(0, 1)
+	if got := a.Mul(a); !got.Equal(PolyFromCoeffs(0, 2)) {
+		t.Fatalf("(x+1)^2 = %v", got)
+	}
+	// (x^2+x+1)(x+1) = x^3+1
+	b := PolyFromCoeffs(0, 1, 2)
+	if got := b.Mul(a); !got.Equal(PolyFromCoeffs(0, 3)) {
+		t.Fatalf("product = %v", got)
+	}
+}
+
+func TestPolyModKnown(t *testing.T) {
+	// x^3+1 mod (x+1) = 0; x^3 mod (x+1) = 1
+	if !PolyFromCoeffs(0, 3).Mod(PolyFromCoeffs(0, 1)).IsZero() {
+		t.Fatal("x^3+1 mod x+1 != 0")
+	}
+	if got := PolyFromCoeffs(3).Mod(PolyFromCoeffs(0, 1)); !got.Equal(PolyFromCoeffs(0)) {
+		t.Fatalf("x^3 mod x+1 = %v", got)
+	}
+}
+
+func TestPolyModPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PolyFromCoeffs(1).Mod(NewPoly(3))
+}
+
+// Property: (a*b) mod b == 0 and ((a mod b) + b*floor) reconstructs a's
+// residue class.
+func TestPolyMulModProperty(t *testing.T) {
+	f := func(am, bm uint32) bool {
+		b := polyFromMask(bm | 1) // ensure nonzero
+		a := polyFromMask(am)
+		if !a.Mul(b).Mod(b).IsZero() {
+			return false
+		}
+		r := a.Mod(b)
+		return r.IsZero() || r.Degree() < b.Degree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multiplication is commutative and distributes over addition.
+func TestPolyRingAxioms(t *testing.T) {
+	f := func(am, bm, cm uint32) bool {
+		a, b, c := polyFromMask(am), polyFromMask(bm), polyFromMask(cm)
+		if !a.Mul(b).Equal(b.Mul(a)) {
+			return false
+		}
+		lhs := a.Mul(b.Add(c))
+		rhs := a.Mul(b).Add(a.Mul(c))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

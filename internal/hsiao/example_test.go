@@ -1,0 +1,31 @@
+package hsiao_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/hsiao"
+)
+
+// SEC-DED in action: one error corrected, two errors detected — never
+// miscorrected, unlike a bounded-distance BCH-1.
+func Example() {
+	code := hsiao.Must(64)
+	data := bitvec.New(64)
+	data.Set(7, 1)
+	parity := code.Encode(data)
+
+	single := data.Clone()
+	single.Flip(20)
+	res := code.Decode(single, parity.Clone())
+	fmt.Printf("single: corrected=%d ok=%v\n", res.Corrected, res.OK)
+
+	double := data.Clone()
+	double.Flip(20)
+	double.Flip(41)
+	res = code.Decode(double, parity.Clone())
+	fmt.Printf("double: detected=%v ok=%v\n", res.DoubleError, res.OK)
+	// Output:
+	// single: corrected=1 ok=true
+	// double: detected=true ok=false
+}

@@ -1,0 +1,223 @@
+package hsiao
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bch"
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// paperCode is the SEC-DED code for the 3LC design's 708-bit TEC message.
+func paperCode(t *testing.T) *Code {
+	t.Helper()
+	c, err := New(708)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randData(r *rng.Rand, n int) bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, uint(r.Uint64())&1)
+	}
+	return v
+}
+
+func TestCheckBitCount(t *testing.T) {
+	// 708 data bits need 11 check bits (the 10-bit odd-column pool holds
+	// only 502 columns) — one more cell than BCH-1, the DED premium.
+	if got := paperCode(t).CheckBits; got != 11 {
+		t.Fatalf("check bits = %d, want 11", got)
+	}
+	if got := Must(57).CheckBits; got != 7 {
+		t.Fatalf("57-bit code check bits = %d, want 7", got)
+	}
+}
+
+func TestColumnInvariants(t *testing.T) {
+	c := paperCode(t)
+	seen := map[uint32]bool{}
+	for i, col := range c.cols {
+		if bits.OnesCount32(col)%2 == 0 || bits.OnesCount32(col) < 3 {
+			t.Fatalf("column %d = %011b has invalid weight", i, col)
+		}
+		if seen[col] {
+			t.Fatalf("duplicate column %011b", col)
+		}
+		seen[col] = true
+	}
+}
+
+func TestCleanRoundTrip(t *testing.T) {
+	c := paperCode(t)
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		data := randData(r, c.DataBits)
+		orig := data.Clone()
+		parity := c.Encode(data)
+		res := c.Decode(data, parity)
+		if !res.OK || res.Corrected != 0 || !data.Equal(orig) {
+			t.Fatalf("clean decode: %+v", res)
+		}
+	}
+}
+
+func TestEverySingleErrorCorrected(t *testing.T) {
+	c := Must(100)
+	r := rng.New(2)
+	data := randData(r, 100)
+	orig := data.Clone()
+	parity := c.Encode(data)
+	origParity := parity.Clone()
+	for pos := 0; pos < 100+c.CheckBits; pos++ {
+		d, p := orig.Clone(), origParity.Clone()
+		if pos < 100 {
+			d.Flip(pos)
+		} else {
+			p.Flip(pos - 100)
+		}
+		res := c.Decode(d, p)
+		if !res.OK || res.Corrected != 1 || !d.Equal(orig) || !p.Equal(origParity) {
+			t.Fatalf("single error at %d not corrected: %+v", pos, res)
+		}
+	}
+}
+
+func TestEveryDoubleErrorDetectedNeverMiscorrected(t *testing.T) {
+	// The SEC-DED guarantee, checked exhaustively on a small code and by
+	// sampling on the paper-size one.
+	c := Must(40)
+	r := rng.New(3)
+	data := randData(r, 40)
+	parity := c.Encode(data)
+	total := 40 + c.CheckBits
+	for a := 0; a < total; a++ {
+		for b := a + 1; b < total; b++ {
+			d, p := data.Clone(), parity.Clone()
+			flip := func(pos int) {
+				if pos < 40 {
+					d.Flip(pos)
+				} else {
+					p.Flip(pos - 40)
+				}
+			}
+			flip(a)
+			flip(b)
+			res := c.Decode(d, p)
+			if !res.DoubleError || res.OK || res.Corrected != 0 {
+				t.Fatalf("double error (%d,%d) not cleanly detected: %+v", a, b, res)
+			}
+		}
+	}
+}
+
+func TestPaperSizeDoubleDetectionSampled(t *testing.T) {
+	c := paperCode(t)
+	r := rng.New(4)
+	data := randData(r, c.DataBits)
+	parity := c.Encode(data)
+	for trial := 0; trial < 3000; trial++ {
+		d, p := data.Clone(), parity.Clone()
+		a := r.Intn(c.DataBits)
+		b := a
+		for b == a {
+			b = r.Intn(c.DataBits)
+		}
+		d.Flip(a)
+		d.Flip(b)
+		if res := c.Decode(d, p); !res.DoubleError {
+			t.Fatalf("double error (%d,%d) missed: %+v", a, b, res)
+		}
+	}
+}
+
+func TestHsiaoVsBCH1OnDoubleErrors(t *testing.T) {
+	// Quantify the integrity gap the package comment claims: feed the
+	// same double errors to the shortened BCH-1 and count miscorrections
+	// (decode "succeeds" and flips a third bit). Hsiao must be at zero.
+	code := bch.Must(10, 1, 708)
+	r := rng.New(5)
+	miscorrected := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		msg := randData(r, 708)
+		parity := code.Encode(msg)
+		a := r.Intn(708)
+		b := a
+		for b == a {
+			b = r.Intn(708)
+		}
+		msg.Flip(a)
+		msg.Flip(b)
+		if res := code.Decode(msg, parity); res.OK {
+			miscorrected++
+		}
+	}
+	if miscorrected == 0 {
+		t.Fatal("BCH-1 never miscorrected doubles; the comparison is vacuous")
+	}
+	t.Logf("BCH-1 miscorrected %d/%d double errors; Hsiao: 0 by construction", miscorrected, trials)
+}
+
+func TestTripleErrorsNeverPanic(t *testing.T) {
+	c := Must(64)
+	r := rng.New(6)
+	for trial := 0; trial < 2000; trial++ {
+		data := randData(r, 64)
+		parity := c.Encode(data)
+		for k := 0; k < 3; k++ {
+			data.Flip(r.Intn(64))
+		}
+		res := c.Decode(data, parity)
+		// A triple error has an odd syndrome: it is either flagged (no
+		// matching column) or miscorrected into a single flip — both
+		// must be reported consistently, never as a crash.
+		if res.DoubleError && res.OK {
+			t.Fatal("inconsistent result")
+		}
+	}
+}
+
+func TestNewRejectsBadSizes(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero-size code accepted")
+	}
+	if _, err := New(1 << 23); err == nil {
+		t.Error("absurd size accepted")
+	}
+}
+
+func TestEncodeProperty(t *testing.T) {
+	// Linearity: parity(a^b) == parity(a)^parity(b).
+	c := Must(96)
+	f := func(seedA, seedB uint64) bool {
+		a := randData(rng.New(seedA), 96)
+		b := randData(rng.New(seedB), 96)
+		pa, pb := c.Encode(a), c.Encode(b)
+		a.Xor(b)
+		pab := c.Encode(a)
+		pa.Xor(pb)
+		return pab.Equal(pa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c := Must(708)
+	data := randData(rng.New(1), 708)
+	parity := c.Encode(data)
+	data.Flip(300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := data.Clone()
+		p := parity.Clone()
+		c.Decode(d, p)
+	}
+}

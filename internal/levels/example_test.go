@@ -1,0 +1,24 @@
+package levels_test
+
+import (
+	"fmt"
+
+	"repro/internal/levels"
+)
+
+// Compare per-period cell error rates of the naive four-level cell and
+// the paper's proposed optimal three-level cell at the 17-minute refresh
+// interval (Figure 8's central comparison).
+func Example() {
+	fourNaive := levels.FourLCNaive()
+	threeOpt := levels.ThreeLCOpt()
+
+	const interval = 17 * 60 // seconds
+	fmt.Printf("4LCn CER at 17 min: %.1E\n", fourNaive.QuadCER(interval))
+	fmt.Printf("3LCo CER at 17 min: %.1E\n", threeOpt.QuadCER(interval))
+	fmt.Printf("3LCo thresholds: [%.2f %.2f]\n", threeOpt.Thresholds[0], threeOpt.Thresholds[1])
+	// Output:
+	// 4LCn CER at 17 min: 9.6E-03
+	// 3LCo CER at 17 min: 8.6E-92
+	// 3LCo thresholds: [3.50 5.53]
+}

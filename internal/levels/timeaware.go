@@ -1,0 +1,76 @@
+package levels
+
+import (
+	"math"
+
+	"repro/internal/drift"
+	"repro/internal/stats"
+)
+
+// Time-aware sensing (Xu & Zhang, discussed in the paper's Section 3) is
+// a circuit-level drift mitigation: the sense thresholds move up over
+// time along the expected drift trajectory of the state below them, so a
+// typically drifting cell stays inside its region. The paper notes such
+// "complementary drift error reduction techniques show limited
+// improvement"; this model quantifies that.
+//
+// Threshold τi between states i and i+1 is raised by µα(i)·log10(t/t0).
+// Two error terms result:
+//
+//   - upward: state i still errs when its cell's exponent exceeds the
+//     compensated slope, i.e. α > (τi − x)/L + µα(i);
+//   - downward: state i+1 errs when its cell drifts *slower* than the
+//     moving threshold, i.e. x + α·L < τi + µα(i)·L.
+//
+// The second term is why the technique cannot be pushed arbitrarily far:
+// compensating for S3's mean drift eventually overtakes slow S4 cells.
+
+// TimeAwareCER returns the probability-weighted cell error rate of the
+// mapping at time t (seconds) under time-aware sensing. It applies to
+// mappings without the 3LC rate switch (the compensation interacts with
+// the piecewise regime; the technique targets four-level cells).
+func TimeAwareCER(m Mapping, t float64) float64 {
+	if m.RateSwitchAt > 0 {
+		panic("levels: TimeAwareCER does not support rate-switched mappings")
+	}
+	if t <= drift.T0 {
+		return 0
+	}
+	L := math.Log10(t / drift.T0)
+	specs := m.Specs()
+	total := 0.0
+	for i := 0; i < m.Levels()-1; i++ {
+		lower, upper := specs[i], specs[i+1]
+		shift := lower.Alpha.Mu // threshold tracks the lower state's mean drift
+		tau := m.Thresholds[i]
+
+		// Upward term for state i.
+		wrLo := stats.TruncNorm{Mean: lower.Nominal, SD: lower.Sigma,
+			Lo: lower.WriteLow(), Hi: lower.WriteHigh()}
+		up := stats.GaussLegendrePanels(func(x float64) float64 {
+			need := (tau-x)/L + shift
+			z := (need - lower.Alpha.Mu) / lower.Alpha.Sigma
+			return wrLo.PDF(x) * stats.NormSF(z)
+		}, wrLo.Lo, wrLo.Hi, 6)
+		total += m.Probs[i] * up
+
+		// Downward term for state i+1: the moving threshold overtakes a
+		// slow cell.
+		wrHi := stats.TruncNorm{Mean: upper.Nominal, SD: upper.Sigma,
+			Lo: upper.WriteLow(), Hi: upper.WriteHigh()}
+		down := stats.GaussLegendrePanels(func(x float64) float64 {
+			// err iff α < shift − (x − τ)/L
+			limit := shift - (x-tau)/L
+			z := (limit - upper.Alpha.Mu) / upper.Alpha.Sigma
+			return wrHi.PDF(x) * stats.NormCDF(z)
+		}, wrHi.Lo, wrHi.Hi, 6)
+		total += m.Probs[i+1] * down
+	}
+	if total < 0 {
+		return 0
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}

@@ -1,0 +1,82 @@
+package levels
+
+import "testing"
+
+func TestTimeAwareImprovesNaive(t *testing.T) {
+	m := FourLCNaive()
+	for _, tt := range []float64{32, 1020, 32400} {
+		naive := m.QuadCER(tt)
+		aware := TimeAwareCER(m, tt)
+		if aware >= naive/5 {
+			t.Errorf("t=%v: time-aware %v not well below naive %v", tt, aware, naive)
+		}
+	}
+}
+
+func TestTimeAwareStillVolatile(t *testing.T) {
+	// The paper's point: circuit-level mitigation is "limited" — it
+	// cannot make a four-level cell nonvolatile. At one year the
+	// compensated CER is still far above anything a practical ECC can
+	// carry to the ten-year target.
+	year := 365.25 * 86400.0
+	if got := TimeAwareCER(FourLCNaive(), year); got < 1e-3 {
+		t.Errorf("time-aware CER at 1 year = %v; expected still-volatile rates", got)
+	}
+	// And it remains orders of magnitude above the three-level designs.
+	three := ThreeLCOpt().QuadCER(year)
+	if TimeAwareCER(FourLCNaive(), year) < three*1e6 {
+		t.Error("time-aware sensing approached 3LC retention; model implausible")
+	}
+}
+
+func TestTimeAwareMonotoneInTime(t *testing.T) {
+	m := FourLCNaive()
+	prev := -1.0
+	for _, tt := range []float64{2, 32, 1020, 32400, 1.0368e6, 3.15e7} {
+		cur := TimeAwareCER(m, tt)
+		if cur < prev {
+			t.Fatalf("time-aware CER decreased at t=%v", tt)
+		}
+		prev = cur
+	}
+}
+
+func TestTimeAwareEdgeCases(t *testing.T) {
+	if got := TimeAwareCER(FourLCNaive(), 0.5); got != 0 {
+		t.Errorf("CER before t0 = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate-switched mapping accepted")
+		}
+	}()
+	TimeAwareCER(ThreeLCNaive(), 1020)
+}
+
+func TestTimeAwareDownwardTermActive(t *testing.T) {
+	// Construct a mapping where the threshold's compensation (tracking a
+	// fast lower state) overtakes a slow upper state: S3-regime below
+	// (µα=0.06), S1-regime above (µα=0.001). The downward term must
+	// dominate and grow with time.
+	// Populate only the slow upper state: it has no upper threshold, so
+	// without compensation its error rate is exactly zero — any nonzero
+	// time-aware CER is the downward (overtaken-by-the-threshold) term.
+	m := Mapping{
+		Name:       "inverted",
+		Nominals:   []float64{4.8, 5.8},
+		Thresholds: []float64{5.3},
+		Probs:      []float64{0, 1},
+		AlphaIdx:   []int{2, 0}, // fast below, slow above
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if plain := m.QuadCER(3.15e7); plain != 0 {
+		t.Fatalf("top state errs without compensation: %v", plain)
+	}
+	early := TimeAwareCER(m, 1020)
+	late := TimeAwareCER(m, 3.15e7)
+	if late <= early || late < 1e-3 {
+		t.Fatalf("downward overtake not visible: early %v late %v", early, late)
+	}
+}

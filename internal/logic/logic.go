@@ -1,0 +1,140 @@
+// Package logic provides the gate-delay models behind the paper's
+// latency claims: FO4 estimates for BCH encoding and decoding (Table 3,
+// after Strukov's bit-parallel BCH decoder analysis) and for the OR-gate
+// chains of the mark-and-spare corrector in ripple and parallel-prefix
+// (Sklansky) form (Figure 13).
+//
+// All delays are in FO4 (fanout-of-4 inverter delays), the
+// technology-neutral unit the paper reports. The decoder model is
+// calibrated to the paper's two published points — 68 FO4 for BCH-1 and
+// 569 FO4 for BCH-10 — through the per-iteration critical path of an
+// inversionless Berlekamp–Massey implementation.
+package logic
+
+import (
+	"fmt"
+	"math"
+)
+
+// FO4PerXOR2 is the nominal delay of a 2-input XOR stage.
+const FO4PerXOR2 = 1.8
+
+// FO4PerOR2 is the nominal delay of a 2-input OR stage.
+const FO4PerOR2 = 2.0
+
+// bmIterFO4 is the critical path of one inversionless Berlekamp–Massey
+// iteration (a GF(2^10) multiplier, an XOR accumulate, and a select),
+// calibrated so the paper's published decode latencies are met exactly:
+// decode(t) = bmBaseFO4 + 2t·bmIterFO4 with decode(1)=68, decode(10)=569.
+const bmIterFO4 = (569.0 - 68.0) / (2 * 9) // ≈ 27.8 FO4
+
+// bmBaseFO4 is the fixed decode cost: syndrome XOR trees and the Chien
+// output stage.
+const bmBaseFO4 = 68.0 - 2*bmIterFO4
+
+// XorTreeFO4 returns the delay of a balanced XOR tree over n inputs.
+func XorTreeFO4(n int) float64 {
+	if n < 1 {
+		panic("logic: XOR tree needs at least one input")
+	}
+	if n == 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(n))) * FO4PerXOR2
+}
+
+// BCHEncodeFO4 returns the bit-parallel encoder latency for a codeword of
+// the given length: each check bit is an XOR tree over (at most) the
+// codeword bits. For both of the paper's codes (718- and 612-bit
+// codewords) this evaluates to the published 18 FO4.
+func BCHEncodeFO4(codewordBits int) float64 {
+	return XorTreeFO4(codewordBits)
+}
+
+// BCHDecodeFO4 returns the bit-parallel decoder latency (syndromes,
+// Berlekamp–Massey, Chien search and correction) for a t-error-correcting
+// code. The 2t BM iterations dominate for large t, which is why the
+// paper's BCH-1 decode is more than 8× faster than BCH-10's.
+func BCHDecodeFO4(t int) float64 {
+	if t < 1 {
+		panic("logic: t must be >= 1")
+	}
+	return bmBaseFO4 + float64(2*t)*bmIterFO4
+}
+
+// ChainStyle selects the OR-gate chain implementation of Figure 13.
+type ChainStyle int
+
+const (
+	// Ripple is Figure 13(a): a linear chain, O(n) delay.
+	Ripple ChainStyle = iota
+	// Sklansky is Figure 13(b): a parallel-prefix tree, O(log n) delay.
+	Sklansky
+)
+
+// String implements fmt.Stringer.
+func (s ChainStyle) String() string {
+	switch s {
+	case Ripple:
+		return "ripple"
+	case Sklansky:
+		return "sklansky"
+	}
+	return fmt.Sprintf("ChainStyle(%d)", int(s))
+}
+
+// ORChainFO4 returns the delay of an n-input prefix OR chain (all prefix
+// outputs valid) in the given style.
+func ORChainFO4(n int, style ChainStyle) float64 {
+	if n < 1 {
+		panic("logic: OR chain needs at least one input")
+	}
+	if n == 1 {
+		return 0
+	}
+	switch style {
+	case Ripple:
+		return float64(n-1) * FO4PerOR2
+	case Sklansky:
+		return math.Ceil(math.Log2(float64(n))) * FO4PerOR2
+	}
+	panic("logic: unknown chain style")
+}
+
+// ORChainGates returns the gate count of the chain, the area side of the
+// prefix-network tradeoff (Sklansky trades gates for depth).
+func ORChainGates(n int, style ChainStyle) int {
+	if n < 1 {
+		panic("logic: OR chain needs at least one input")
+	}
+	switch style {
+	case Ripple:
+		return n - 1
+	case Sklansky:
+		levels := int(math.Ceil(math.Log2(float64(n))))
+		gates := 0
+		for l := 0; l < levels; l++ {
+			// Sklansky level l drives n - 2^l prefix outputs.
+			gates += n - 1<<l
+			if 1<<l >= n {
+				break
+			}
+		}
+		return gates
+	}
+	panic("logic: unknown chain style")
+}
+
+// FO4PerMux2 is the nominal delay of a 2:1 multiplexer stage.
+const FO4PerMux2 = 1.5
+
+// MarkAndSpareFO4 returns the read-side latency of an n-stage
+// mark-and-spare corrector over `pairs` pair positions: each stage is a
+// prefix OR chain over the INV flags feeding a MUX rank (Figure 12).
+func MarkAndSpareFO4(pairs, stages int, style ChainStyle) float64 {
+	if stages < 0 {
+		panic("logic: negative stage count")
+	}
+	per := ORChainFO4(pairs, style) + FO4PerMux2
+	return float64(stages) * per
+}

@@ -1,0 +1,131 @@
+package logic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperEncodeLatency(t *testing.T) {
+	// Table 3: encode is 18 FO4 for both designs — the 718-bit BCH-1
+	// codeword (708+10) and the 612-bit BCH-10 codeword (512+100).
+	if got := BCHEncodeFO4(718); got != 18 {
+		t.Errorf("BCH-1 encode = %v FO4, want 18", got)
+	}
+	if got := BCHEncodeFO4(612); got != 18 {
+		t.Errorf("BCH-10 encode = %v FO4, want 18", got)
+	}
+}
+
+func TestPaperDecodeLatency(t *testing.T) {
+	// Table 3: decode is 68 FO4 (BCH-1) vs 569 FO4 (BCH-10); Section 6.6:
+	// "BCH-1 is more than 8x faster than BCH-10".
+	d1 := BCHDecodeFO4(1)
+	d10 := BCHDecodeFO4(10)
+	if math.Abs(d1-68) > 1e-9 {
+		t.Errorf("BCH-1 decode = %v, want 68", d1)
+	}
+	if math.Abs(d10-569) > 1e-9 {
+		t.Errorf("BCH-10 decode = %v, want 569", d10)
+	}
+	if d10/d1 < 8 {
+		t.Errorf("speed ratio %v < 8", d10/d1)
+	}
+}
+
+func TestDecodeMonotone(t *testing.T) {
+	prev := 0.0
+	for tt := 1; tt <= 32; tt++ {
+		cur := BCHDecodeFO4(tt)
+		if cur <= prev {
+			t.Fatalf("decode latency not increasing at t=%d", tt)
+		}
+		prev = cur
+	}
+}
+
+func TestXorTree(t *testing.T) {
+	if XorTreeFO4(1) != 0 {
+		t.Error("single input should be free")
+	}
+	if got := XorTreeFO4(2); got != FO4PerXOR2 {
+		t.Errorf("two inputs = %v", got)
+	}
+	if got := XorTreeFO4(512); got != 9*FO4PerXOR2 {
+		t.Errorf("512 inputs = %v", got)
+	}
+}
+
+func TestORChainFigure13(t *testing.T) {
+	// Figure 13: a 177-input chain (the paper's 64B mark-and-spare block)
+	// drops from O(n) to O(log n).
+	ripple := ORChainFO4(177, Ripple)
+	skl := ORChainFO4(177, Sklansky)
+	if ripple != 176*FO4PerOR2 {
+		t.Errorf("ripple = %v", ripple)
+	}
+	if skl != 8*FO4PerOR2 {
+		t.Errorf("sklansky = %v (want 8 levels)", skl)
+	}
+	if ripple/skl < 20 {
+		t.Errorf("prefix speedup only %vx", ripple/skl)
+	}
+	// The 16-input example drawn in the figure: 4 levels.
+	if got := ORChainFO4(16, Sklansky); got != 4*FO4PerOR2 {
+		t.Errorf("16-input sklansky = %v", got)
+	}
+}
+
+func TestORChainGates(t *testing.T) {
+	// Ripple uses the fewest gates; Sklansky trades gates for depth.
+	if got := ORChainGates(16, Ripple); got != 15 {
+		t.Errorf("ripple gates = %d", got)
+	}
+	skl := ORChainGates(16, Sklansky)
+	// Sklansky over 16 inputs: 8+12+14+15 = 49 gates.
+	if skl != 49 {
+		t.Errorf("sklansky gates = %d, want 49", skl)
+	}
+	if skl <= 15 {
+		t.Error("sklansky should cost more gates than ripple")
+	}
+}
+
+func TestORChainDegenerate(t *testing.T) {
+	if ORChainFO4(1, Ripple) != 0 || ORChainFO4(1, Sklansky) != 0 {
+		t.Error("single input should be free")
+	}
+	for name, fn := range map[string]func(){
+		"zeroFO4":    func() { ORChainFO4(0, Ripple) },
+		"zeroGates":  func() { ORChainGates(0, Sklansky) },
+		"zeroXor":    func() { XorTreeFO4(0) },
+		"zeroDecode": func() { BCHDecodeFO4(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMarkAndSpareLatency(t *testing.T) {
+	// Six stages over 177 pairs: with Sklansky chains this stays well
+	// under the BCH-10 decode latency, supporting the paper's low-read-
+	// latency claim for the 3LC pipeline.
+	total := MarkAndSpareFO4(177, 6, Sklansky)
+	if total >= BCHDecodeFO4(10) {
+		t.Errorf("mark-and-spare %v FO4 not below BCH-10 decode %v", total, BCHDecodeFO4(10))
+	}
+	if MarkAndSpareFO4(177, 0, Sklansky) != 0 {
+		t.Error("zero stages should be free")
+	}
+}
+
+func TestChainStyleString(t *testing.T) {
+	if Ripple.String() != "ripple" || Sklansky.String() != "sklansky" {
+		t.Error("style strings wrong")
+	}
+}

@@ -1,0 +1,94 @@
+package memsim
+
+// Set-associative write-back, write-allocate cache with LRU replacement —
+// the L1 data and unified L2 caches of Table 5.
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Cache is a single cache level. Not safe for concurrent use.
+type Cache struct {
+	sets      [][]cacheLine // sets[i] ordered MRU first
+	setCount  uint64
+	assoc     int
+	lineBytes uint64
+
+	Hits, Misses int64
+}
+
+// NewCache builds a cache of the given total size.
+func NewCache(sizeBytes, assoc, lineBytes int) *Cache {
+	if sizeBytes <= 0 || assoc <= 0 || lineBytes <= 0 {
+		panic("memsim: invalid cache geometry")
+	}
+	lines := sizeBytes / lineBytes
+	setCount := lines / assoc
+	if setCount < 1 {
+		setCount = 1
+	}
+	c := &Cache{
+		sets:      make([][]cacheLine, setCount),
+		setCount:  uint64(setCount),
+		assoc:     assoc,
+		lineBytes: uint64(lineBytes),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, 0, assoc)
+	}
+	return c
+}
+
+// Eviction describes a line pushed out by an allocation.
+type Eviction struct {
+	Addr  uint64
+	Dirty bool
+	Valid bool
+}
+
+// Access looks the address up, allocating on miss (write-allocate for
+// both loads and stores). It returns whether it hit and any evicted line.
+func (c *Cache) Access(addr uint64, isWrite bool) (hit bool, ev Eviction) {
+	lineAddr := addr / c.lineBytes
+	set := lineAddr % c.setCount
+	tag := lineAddr / c.setCount
+	s := c.sets[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			line := s[i]
+			if isWrite {
+				line.dirty = true
+			}
+			// Move to MRU position.
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			c.Hits++
+			return true, Eviction{}
+		}
+	}
+	c.Misses++
+	newLine := cacheLine{tag: tag, valid: true, dirty: isWrite}
+	if len(s) < c.assoc {
+		s = append(s, cacheLine{})
+		copy(s[1:], s[:len(s)-1])
+		s[0] = newLine
+		c.sets[set] = s
+		return false, Eviction{}
+	}
+	victim := s[len(s)-1]
+	copy(s[1:], s[:len(s)-1])
+	s[0] = newLine
+	evAddr := (victim.tag*c.setCount + set) * c.lineBytes
+	return false, Eviction{Addr: evAddr, Dirty: victim.dirty, Valid: victim.valid}
+}
+
+// HitRate returns hits / accesses, or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

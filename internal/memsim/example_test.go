@@ -1,0 +1,26 @@
+package memsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/trace"
+)
+
+// Run the Figure 16 comparison for one workload: the refreshed 4LC
+// baseline against the refresh-free 3LC proposal.
+func Example() {
+	gen := func() trace.Generator { return trace.New(trace.STREAM, 100_000, 1) }
+	ref := memsim.Run(memsim.ConfigFor(memsim.FourLCRef), gen())
+	three := memsim.Run(memsim.ConfigFor(memsim.ThreeLC), gen())
+
+	fmt.Printf("4LC-REF refresh ops: >0 = %v\n", ref.RefreshOps > 0)
+	fmt.Printf("3LC refresh ops:     %d\n", three.RefreshOps)
+	fmt.Printf("3LC faster: %v\n", three.ExecNs < ref.ExecNs)
+	fmt.Printf("3LC less energy: %v\n", three.TotalEnergyNJ() < ref.TotalEnergyNJ())
+	// Output:
+	// 4LC-REF refresh ops: >0 = true
+	// 3LC refresh ops:     0
+	// 3LC faster: true
+	// 3LC less energy: true
+}

@@ -1,0 +1,342 @@
+package memsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+const testOps = 120000
+
+func run(t *testing.T, d Design, p trace.Profile) Stats {
+	t.Helper()
+	cfg := ConfigFor(d)
+	s := Run(cfg, trace.New(p, testOps, 1))
+	s.Design = d.String()
+	if s.ExecNs <= 0 || s.Instructions <= 0 {
+		t.Fatalf("%v/%s: degenerate stats %+v", d, p.WorkloadName, s)
+	}
+	return s
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(1024, 2, 64) // 8 sets x 2 ways
+	if hit, _ := c.Access(0, false); hit {
+		t.Fatal("cold miss reported as hit")
+	}
+	if hit, _ := c.Access(0, false); !hit {
+		t.Fatal("second access missed")
+	}
+	if hit, _ := c.Access(63, true); !hit {
+		t.Fatal("same-line access missed")
+	}
+	// Fill the set of address 0 (same set every 8 lines = 512 bytes).
+	c.Access(512, false)
+	hit, ev := c.Access(1024, false) // evicts LRU (addr 0's line, dirty)
+	if hit {
+		t.Fatal("conflict access hit")
+	}
+	if !ev.Valid || !ev.Dirty || ev.Addr != 0 {
+		t.Fatalf("eviction = %+v, want dirty line 0", ev)
+	}
+	if c.HitRate() <= 0 || c.HitRate() >= 1 {
+		t.Fatalf("hit rate %v", c.HitRate())
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(256, 4, 64) // one set, 4 ways
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*64, false)
+	}
+	c.Access(0, false)           // touch line 0: now MRU
+	_, ev := c.Access(4*64, false) // evict LRU = line 1
+	if ev.Addr != 64 {
+		t.Fatalf("evicted %#x, want 0x40", ev.Addr)
+	}
+}
+
+func TestConfigTable5Anchors(t *testing.T) {
+	cfg := Table5()
+	if got := cfg.writeTokenIntervalNs(); got != 1525 && got != 1600 {
+		// 64B / 40MiB/s = 1525 ns (the paper speaks of a 6.4 µs
+		// four-write-window, i.e. 1.6 µs per write with decimal MB).
+		t.Errorf("write token interval = %d ns", got)
+	}
+	tick := cfg.refreshTickNs()
+	// 17 min / (16GB/64B/8 banks) ≈ 30.4 µs.
+	if tick < 28000 || tick < 0 || tick > 33000 {
+		t.Errorf("refresh tick = %d ns, want ~30400", tick)
+	}
+	if ConfigFor(ThreeLC).ECCReadAdderNs != 5 {
+		t.Error("3LC read adder should be 5 ns")
+	}
+	if ConfigFor(FourLCNoRef).Refresh != RefreshOff {
+		t.Error("NO-REF should disable refresh")
+	}
+}
+
+func TestRefreshOccursAtExpectedRate(t *testing.T) {
+	s := run(t, FourLCRef, trace.STREAM)
+	tick := ConfigFor(FourLCRef).refreshTickNs()
+	expected := float64(s.ExecNs) / float64(tick) * 1 // per bank staggering ⇒ one op per tick overall per bank
+	// Total refresh ops ≈ banks × execNs/tick? No: each bank refreshes
+	// every tick, so total = banks × (ExecNs / tick).
+	expected = float64(ConfigFor(FourLCRef).Banks) * float64(s.ExecNs) / float64(tick)
+	ratio := float64(s.RefreshOps) / expected
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("refresh ops = %d, expected ~%.0f", s.RefreshOps, expected)
+	}
+}
+
+func TestFigure16OrderingMemoryIntensive(t *testing.T) {
+	// The central Figure 16 shape: for memory-intensive workloads,
+	// removing refresh contention (REF → REF-OPT → NO-REF) and shrinking
+	// the ECC adder (3LC) each help execution time.
+	for _, p := range []trace.Profile{trace.STREAM, trace.Mcf, trace.Libquantum, trace.Lbm} {
+		ref := run(t, FourLCRef, p)
+		opt := run(t, FourLCRefOpt, p)
+		noref := run(t, FourLCNoRef, p)
+		three := run(t, ThreeLC, p)
+		if !(ref.ExecNs >= opt.ExecNs) {
+			t.Errorf("%s: REF (%d) not slower than REF-OPT (%d)", p.WorkloadName, ref.ExecNs, opt.ExecNs)
+		}
+		if !(opt.ExecNs >= noref.ExecNs) {
+			t.Errorf("%s: REF-OPT (%d) not slower than NO-REF (%d)", p.WorkloadName, opt.ExecNs, noref.ExecNs)
+		}
+		if !(noref.ExecNs >= three.ExecNs) {
+			t.Errorf("%s: NO-REF (%d) not slower than 3LC (%d)", p.WorkloadName, noref.ExecNs, three.ExecNs)
+		}
+		// And the total 3LC gain over 4LC-REF must be substantial (the
+		// paper reports 33% higher performance on average).
+		speedup := float64(ref.ExecNs) / float64(three.ExecNs)
+		if speedup < 1.05 {
+			t.Errorf("%s: 3LC speedup over 4LC-REF only %.3f", p.WorkloadName, speedup)
+		}
+	}
+}
+
+func TestFigure16NamdInsensitive(t *testing.T) {
+	// namd is compute-bound: refresh and ECC latency barely matter. A
+	// longer trace amortizes the cold misses that dominate short runs.
+	const ops = 600000
+	ref := Run(ConfigFor(FourLCRef), trace.New(trace.Namd, ops, 1))
+	three := Run(ConfigFor(ThreeLC), trace.New(trace.Namd, ops, 1))
+	ratio := float64(ref.ExecNs) / float64(three.ExecNs)
+	if ratio > 1.06 {
+		t.Errorf("namd speedup %.3f; should be insensitive to the memory system", ratio)
+	}
+}
+
+func TestFigure16EnergyShape(t *testing.T) {
+	// 3LC consumes less energy than 4LC-REF on memory-intensive
+	// workloads (the paper reports 24% lower on average): no refresh
+	// writes, and shorter runtime cuts static energy.
+	for _, p := range []trace.Profile{trace.STREAM, trace.Lbm} {
+		ref := run(t, FourLCRef, p)
+		three := run(t, ThreeLC, p)
+		if three.TotalEnergyNJ() >= ref.TotalEnergyNJ() {
+			t.Errorf("%s: 3LC energy %.0f not below 4LC-REF %.0f",
+				p.WorkloadName, three.TotalEnergyNJ(), ref.TotalEnergyNJ())
+		}
+		if ref.EnergyRefresh <= 0 {
+			t.Errorf("%s: 4LC-REF shows no refresh energy", p.WorkloadName)
+		}
+		if three.EnergyRefresh != 0 {
+			t.Errorf("%s: 3LC shows refresh energy", p.WorkloadName)
+		}
+		// Section 7: "3LC's performance improvements also imply higher
+		// activity factors hence higher power" — power must not drop
+		// anywhere near as fast as energy.
+		if three.AvgPowerW() < 0.95*ref.AvgPowerW() {
+			t.Errorf("%s: 3LC power %.4f W fell below 4LC-REF %.4f W",
+				p.WorkloadName, three.AvgPowerW(), ref.AvgPowerW())
+		}
+	}
+}
+
+func TestRefreshConsumesWriteBandwidth(t *testing.T) {
+	// REF-OPT differs from NO-REF only through write-bandwidth theft; on
+	// a write-heavy workload that must cost time.
+	opt := run(t, FourLCRefOpt, trace.Lbm)
+	noref := run(t, FourLCNoRef, trace.Lbm)
+	if opt.ExecNs <= noref.ExecNs {
+		t.Errorf("REF-OPT (%d) not slower than NO-REF (%d) on write-heavy lbm",
+			opt.ExecNs, noref.ExecNs)
+	}
+}
+
+func TestCacheFiltersNamd(t *testing.T) {
+	// namd's 1 MB hot set lives in L1+L2: PCM sees very little traffic.
+	s := run(t, ThreeLC, trace.Namd)
+	missRate := float64(s.MemReads) / float64(s.MemOps)
+	if missRate > 0.2 {
+		t.Errorf("namd PCM read rate %v; working set should mostly fit", missRate)
+	}
+	// STREAM misses everywhere.
+	st := run(t, ThreeLC, trace.STREAM)
+	if float64(st.MemReads)/float64(st.MemOps) < 0.05 {
+		t.Error("STREAM traffic entirely absorbed by caches; generator broken")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := run(t, FourLCRef, trace.Bzip2)
+	if s.MemReads == 0 || s.MemWrites == 0 {
+		t.Fatalf("no memory traffic: %+v", s)
+	}
+	if s.TotalEnergyNJ() <= 0 || s.AvgPowerW() <= 0 {
+		t.Fatal("energy accounting broken")
+	}
+	if s.AvgReadLatencyNs() < float64(Table5().ReadLatencyNs) {
+		t.Errorf("avg read latency %v below array latency", s.AvgReadLatencyNs())
+	}
+	if ipc := s.IPC(Table5()); ipc <= 0 || ipc > 1.01 {
+		t.Errorf("IPC = %v", ipc)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := Run(ConfigFor(ThreeLC), trace.New(trace.Mcf, 20000, 5))
+	b := Run(ConfigFor(ThreeLC), trace.New(trace.Mcf, 20000, 5))
+	if a != b {
+		t.Fatal("same configuration and seed diverged")
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	want := []string{"4LC-REF", "4LC-REF-OPT", "4LC-NO-REF", "3LC"}
+	for i, d := range Designs() {
+		if d.String() != want[i] {
+			t.Errorf("design %d = %s", i, d)
+		}
+	}
+}
+
+func TestRefreshIntervalScaling(t *testing.T) {
+	// Halving the refresh interval doubles refresh work and cannot make
+	// execution faster.
+	cfg := ConfigFor(FourLCRef)
+	slow := Run(cfg, trace.New(trace.STREAM, testOps, 2))
+	cfg.RefreshIntervalNs = (8*time.Minute + 30*time.Second).Nanoseconds()
+	fast := Run(cfg, trace.New(trace.STREAM, testOps, 2))
+	if fast.RefreshOps <= slow.RefreshOps {
+		t.Errorf("refresh ops did not increase: %d vs %d", fast.RefreshOps, slow.RefreshOps)
+	}
+	if fast.ExecNs < slow.ExecNs {
+		t.Errorf("more refresh made execution faster: %d vs %d", fast.ExecNs, slow.ExecNs)
+	}
+}
+
+func TestOverSubscribedRefreshDoesNotStarveWrites(t *testing.T) {
+	// Regression: at a 1-minute interval the refresh schedule demands
+	// more than the device's entire write bandwidth. The controller must
+	// (a) terminate, (b) still complete every foreground write, and
+	// (c) give refresh no more than ~90% of issued write slots.
+	cfg := ConfigFor(FourLCRef)
+	cfg.RefreshIntervalNs = int64(time.Minute)
+	s := Run(cfg, trace.New(trace.Lbm, 60000, 4))
+	if s.MemWrites == 0 {
+		t.Fatal("foreground writes starved to zero")
+	}
+	baseline := Run(ConfigFor(FourLCNoRef), trace.New(trace.Lbm, 60000, 4))
+	if s.MemWrites != baseline.MemWrites {
+		t.Fatalf("completed writes differ: %d vs %d", s.MemWrites, baseline.MemWrites)
+	}
+	share := float64(s.RefreshOps) / float64(s.RefreshOps+s.MemWrites)
+	if share > 0.95 {
+		t.Fatalf("refresh took %.0f%% of write slots; alternation broken", 100*share)
+	}
+	if s.ExecNs < 3*baseline.ExecNs {
+		t.Fatalf("over-subscribed refresh barely hurt: %d vs %d ns", s.ExecNs, baseline.ExecNs)
+	}
+}
+
+func TestWriteCancellationHelpsReads(t *testing.T) {
+	// On a write-heavy workload, letting reads abort in-flight writes
+	// must reduce average demand-read latency, at the cost of some
+	// cancelled (retried) writes.
+	cfg := ConfigFor(ThreeLC)
+	base := Run(cfg, trace.New(trace.Lbm, testOps, 3))
+	cfg.WriteCancellation = true
+	canc := Run(cfg, trace.New(trace.Lbm, testOps, 3))
+	if canc.CancelledWrites == 0 {
+		t.Fatal("no writes were ever cancelled on a write-heavy workload")
+	}
+	if base.CancelledWrites != 0 {
+		t.Fatal("cancellation occurred while disabled")
+	}
+	if canc.AvgReadLatencyNs() >= base.AvgReadLatencyNs() {
+		t.Errorf("read latency did not improve: %.0f vs %.0f ns",
+			canc.AvgReadLatencyNs(), base.AvgReadLatencyNs())
+	}
+	// Completed write counts must match: every cancellation retries.
+	if canc.MemWrites != base.MemWrites {
+		t.Errorf("completed writes differ: %d vs %d", canc.MemWrites, base.MemWrites)
+	}
+}
+
+func TestWritePausingBeatsCancellationOnThroughput(t *testing.T) {
+	// Pausing keeps write progress, so on a write-heavy workload it must
+	// finish no later than cancellation while matching its read-latency
+	// benefit.
+	base := Run(ConfigFor(ThreeLC), trace.New(trace.Lbm, testOps, 3))
+	cfgC := ConfigFor(ThreeLC)
+	cfgC.WriteCancellation = true
+	canc := Run(cfgC, trace.New(trace.Lbm, testOps, 3))
+	cfgP := ConfigFor(ThreeLC)
+	cfgP.WritePausing = true
+	paus := Run(cfgP, trace.New(trace.Lbm, testOps, 3))
+
+	if paus.PausedWrites == 0 {
+		t.Fatal("no writes were ever paused")
+	}
+	if paus.CancelledWrites != 0 || canc.PausedWrites != 0 {
+		t.Fatal("mode bookkeeping crossed")
+	}
+	if paus.ExecNs > canc.ExecNs {
+		t.Errorf("pausing (%d ns) slower than cancellation (%d ns)", paus.ExecNs, canc.ExecNs)
+	}
+	if paus.AvgReadLatencyNs() >= base.AvgReadLatencyNs() {
+		t.Errorf("pausing did not improve read latency: %.0f vs %.0f",
+			paus.AvgReadLatencyNs(), base.AvgReadLatencyNs())
+	}
+	if paus.MemWrites != base.MemWrites {
+		t.Errorf("completed writes differ: %d vs %d", paus.MemWrites, base.MemWrites)
+	}
+	// Energy bookkeeping: pausing wastes no write energy, so total write
+	// energy matches the baseline closely; cancellation's is higher.
+	if paus.EnergyWrite > base.EnergyWrite*1.02 {
+		t.Errorf("paused write energy inflated: %.0f vs %.0f", paus.EnergyWrite, base.EnergyWrite)
+	}
+	if canc.EnergyWrite <= base.EnergyWrite {
+		t.Errorf("cancellation shows no wasted write energy: %.0f vs %.0f",
+			canc.EnergyWrite, base.EnergyWrite)
+	}
+}
+
+func TestReadLatencyPercentiles(t *testing.T) {
+	s := Run(ConfigFor(ThreeLC), trace.New(trace.Mcf, testOps, 1))
+	p50 := s.ReadLatencyPercentileNs(50)
+	p99 := s.ReadLatencyPercentileNs(99)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("percentiles inconsistent: p50=%d p99=%d", p50, p99)
+	}
+	// The minimum demand-read latency is 205 ns; p50's bucket bound must
+	// be at least that.
+	if p50 < 205 {
+		t.Errorf("p50 = %d below the array latency", p50)
+	}
+	if (Stats{}).ReadLatencyPercentileNs(99) != 0 {
+		t.Error("empty stats should report zero")
+	}
+}
+
+func BenchmarkSimSTREAM(b *testing.B) {
+	cfg := ConfigFor(FourLCRef)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(cfg, trace.New(trace.STREAM, 50000, uint64(i)))
+	}
+}

@@ -1,0 +1,263 @@
+// Package perm implements the permutation-coding baseline the paper
+// compares against (Section 3 and Table 3, after Mittelholzer et al.):
+// 11 bits are stored in 7 memory cells by programming the cells to seven
+// distinct resistance levels in a data-dependent order. Because decoding
+// sorts the sensed resistances and recovers only their relative order,
+// the code tolerates drift until drift reorders two cells — giving cell
+// error rates around 1E-5 out to tens of days, at 11/7 ≈ 1.57 bits per
+// cell before wearout/ECC overheads.
+package perm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/drift"
+	"repro/internal/rng"
+)
+
+// Cells is the permutation group size.
+const Cells = 7
+
+// Bits is the information stored per group: 2^11 = 2048 <= 7! = 5040.
+const Bits = 11
+
+// GroupsFor returns the number of 7-cell groups needed for dataBits bits
+// (47 groups = 329 cells for a 64-byte block, as in Table 3).
+func GroupsFor(dataBits int) int { return (dataBits + Bits - 1) / Bits }
+
+// CellsFor returns the total cell count for dataBits bits.
+func CellsFor(dataBits int) int { return Cells * GroupsFor(dataBits) }
+
+// factorials[i] = i!.
+var factorials = func() [Cells + 1]int {
+	var f [Cells + 1]int
+	f[0] = 1
+	for i := 1; i <= Cells; i++ {
+		f[i] = f[i-1] * i
+	}
+	return f
+}()
+
+// Encode maps an 11-bit value to an *even* permutation: element i of the
+// result is the resistance rank (0 = lowest) assigned to cell i. The
+// value fills the first five Lehmer digits (mixed radix 7·6·5·4·3 = 2520
+// ≥ 2^11); the sixth digit is chosen to make the permutation even.
+//
+// Restricting the codebook to even permutations gives the code distance
+// against drift: any single transposition — in particular the adjacent-
+// rank swap that a drifting cell causes — flips permutation parity and
+// thus always leaves the codebook, where RepairDecode can fix it. This
+// realizes the patent's "find the most likely basic pattern" decode step
+// with a concrete minimum-distance construction.
+func Encode(val uint16) [Cells]int {
+	if int(val) >= 1<<Bits {
+		panic(fmt.Sprintf("perm: value %d exceeds %d bits", val, Bits))
+	}
+	v := int(val)
+	var digits [Cells]int
+	// Mixed-radix digits d0..d4 with radices 7,6,5,4,3.
+	radix := [5]int{7, 6, 5, 4, 3}
+	for i := 4; i >= 0; i-- {
+		digits[i] = v % radix[i]
+		v /= radix[i]
+	}
+	// Permutation parity is the Lehmer digit sum mod 2; pick d5 ∈ {0,1}
+	// to make it even. d6 is always 0.
+	sum := digits[0] + digits[1] + digits[2] + digits[3] + digits[4]
+	digits[5] = sum & 1
+	// Select from the remaining ranks.
+	remaining := []int{0, 1, 2, 3, 4, 5, 6}
+	var out [Cells]int
+	for i, d := range digits {
+		out[i] = remaining[d]
+		remaining = append(remaining[:d], remaining[d+1:]...)
+	}
+	return out
+}
+
+// Decode inverts Encode. ok is false when the input is not a permutation,
+// is odd (a single transposition away from any codeword), or indexes
+// beyond the 11-bit range.
+func Decode(p [Cells]int) (uint16, bool) {
+	var seen [Cells]bool
+	for _, r := range p {
+		if r < 0 || r >= Cells || seen[r] {
+			return 0, false
+		}
+		seen[r] = true
+	}
+	// Recover Lehmer digits.
+	var digits [Cells]int
+	for i := 0; i < Cells; i++ {
+		smaller := 0
+		for j := i + 1; j < Cells; j++ {
+			if p[j] < p[i] {
+				smaller++
+			}
+		}
+		digits[i] = smaller
+	}
+	sum := digits[0] + digits[1] + digits[2] + digits[3] + digits[4]
+	if digits[5] != sum&1 || digits[6] != 0 {
+		return 0, false // odd permutation or out-of-codebook tail
+	}
+	radix := [5]int{7, 6, 5, 4, 3}
+	v := 0
+	for i := 0; i < 5; i++ {
+		v = v*radix[i] + digits[i]
+	}
+	if v >= 1<<Bits {
+		return 0, false
+	}
+	return uint16(v), true
+}
+
+// LevelLogR returns the nominal log10 resistance of rank r: seven levels
+// evenly spaced over the same [10^3, 10^6] Ω range used by the level-
+// based designs.
+func LevelLogR(r int) float64 {
+	if r < 0 || r >= Cells {
+		panic("perm: rank out of range")
+	}
+	return 3 + 3*float64(r)/float64(Cells-1)
+}
+
+// RankOrder recovers the permutation from sensed log-resistances by
+// sorting — the analog decode step. Ties (measure zero) break by index.
+func RankOrder(logR [Cells]float64) [Cells]int {
+	idx := [Cells]int{0, 1, 2, 3, 4, 5, 6}
+	sort.SliceStable(idx[:], func(a, b int) bool { return logR[idx[a]] < logR[idx[b]] })
+	var ranks [Cells]int
+	for rank, cell := range idx {
+		ranks[cell] = rank
+	}
+	return ranks
+}
+
+// sigmaPerm is the written log-resistance spread for permutation-coded
+// cells. Packing seven levels into the 3-decade range leaves 0.5 decades
+// between levels; rank-order coding requires write-and-verify to place
+// every cell strictly in rank order, so the programming spread must be
+// tight enough that the ±2.75σ acceptance windows of adjacent ranks do
+// not overlap: 2·2.75σ < 0.5 ⇒ σ < 0.0909. We use 0.08, which leaves a
+// 0.06-decade guard between adjacent windows at write time — drift, not
+// write noise, then sets the error rate, as in the patent's analysis.
+const sigmaPerm = 0.08
+
+// RepairDecode implements the patent's "most likely basic pattern" step:
+// if the sensed rank order is not in the 11-bit codebook, it tries the
+// six adjacent-rank transpositions (the overwhelmingly most likely drift
+// reordering) and picks the decodable candidate whose swapped cells are
+// closest in sensed log-resistance. It returns the decoded value and
+// whether decoding (possibly after repair) succeeded.
+func RepairDecode(logR [Cells]float64) (uint16, bool) {
+	p := RankOrder(logR)
+	if v, ok := Decode(p); ok {
+		return v, true
+	}
+	bestGap := math.Inf(1)
+	var bestVal uint16
+	found := false
+	for r := 0; r < Cells-1; r++ {
+		// Locate the cells holding ranks r and r+1 and swap them.
+		var lo, hi int
+		for c, rank := range p {
+			if rank == r {
+				lo = c
+			}
+			if rank == r+1 {
+				hi = c
+			}
+		}
+		q := p
+		q[lo], q[hi] = q[hi], q[lo]
+		if v, ok := Decode(q); ok {
+			gap := math.Abs(logR[lo] - logR[hi])
+			if gap < bestGap {
+				bestGap, bestVal, found = gap, v, true
+			}
+		}
+	}
+	return bestVal, found
+}
+
+// GroupErrorMC estimates, by Monte Carlo over groups, the probability
+// that drift reorders at least two cells of a group by time t (seconds),
+// i.e. the group decodes to the wrong 11-bit value. Each cell drifts with
+// the Table 1 exponent of its resistance regime.
+//
+// Note on calibration: without the repair step, Table 1's drift
+// variability (σα = 0.4·µα) reorders adjacent same-regime ranks often
+// (~3E-2 per group at 37 days). With GroupErrorRepairedMC's
+// single-transposition repair the group error at 37 days drops to
+// ~3.5E-4 (per-cell ~5E-5), the same order as the patent's quoted 1E-5 —
+// see EXPERIMENTS.md.
+func GroupErrorMC(t float64, samples int, seed uint64) float64 {
+	r := rng.New(seed)
+	errors := 0
+	for s := 0; s < samples; s++ {
+		val := uint16(r.Intn(1 << Bits))
+		p := Encode(val)
+		var logR [Cells]float64
+		for cell, rank := range p {
+			nominal := LevelLogR(rank)
+			x := r.TruncNorm(nominal, sigmaPerm,
+				nominal-drift.WriteWindow*sigmaPerm, nominal+drift.WriteWindow*sigmaPerm)
+			ap := drift.AlphaForLevel(nominal)
+			alpha := r.Normal(ap.Mu, ap.Sigma)
+			if alpha < 0 {
+				alpha = 0
+			}
+			logR[cell] = x
+			if t > drift.T0 {
+				logR[cell] = x + alpha*math.Log10(t/drift.T0)
+			}
+		}
+		got := RankOrder(logR)
+		if got != p {
+			errors++
+		}
+	}
+	return float64(errors) / float64(samples)
+}
+
+// GroupErrorRepairedMC is GroupErrorMC with the RepairDecode step applied,
+// measuring the benefit of the patent's maximum-likelihood pattern repair.
+func GroupErrorRepairedMC(t float64, samples int, seed uint64) float64 {
+	r := rng.New(seed)
+	errors := 0
+	for s := 0; s < samples; s++ {
+		val := uint16(r.Intn(1 << Bits))
+		p := Encode(val)
+		var logR [Cells]float64
+		for cell, rank := range p {
+			nominal := LevelLogR(rank)
+			x := r.TruncNorm(nominal, sigmaPerm,
+				nominal-drift.WriteWindow*sigmaPerm, nominal+drift.WriteWindow*sigmaPerm)
+			ap := drift.AlphaForLevel(nominal)
+			alpha := r.Normal(ap.Mu, ap.Sigma)
+			if alpha < 0 {
+				alpha = 0
+			}
+			logR[cell] = x
+			if t > drift.T0 {
+				logR[cell] = x + alpha*math.Log10(t/drift.T0)
+			}
+		}
+		got, ok := RepairDecode(logR)
+		if !ok || got != val {
+			errors++
+		}
+	}
+	return float64(errors) / float64(samples)
+}
+
+// CellErrorFromGroupError converts a group error rate to an equivalent
+// per-cell error rate for comparison with level-based designs (a wrong
+// group corrupts all 11 bits; we report the conservative per-cell figure
+// the paper uses: group errors spread over the group's cells).
+func CellErrorFromGroupError(groupErr float64) float64 {
+	return groupErr / Cells
+}

@@ -1,0 +1,216 @@
+package perm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeProducesPermutation(t *testing.T) {
+	for val := uint16(0); val < 1<<Bits; val += 13 {
+		p := Encode(val)
+		var seen [Cells]bool
+		for _, r := range p {
+			if r < 0 || r >= Cells || seen[r] {
+				t.Fatalf("Encode(%d) = %v is not a permutation", val, p)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for val := 0; val < 1<<Bits; val++ {
+		got, ok := Decode(Encode(uint16(val)))
+		if !ok || got != uint16(val) {
+			t.Fatalf("round trip of %d gave %d (ok=%v)", val, got, ok)
+		}
+	}
+}
+
+func TestEncodeInjective(t *testing.T) {
+	seen := map[[Cells]int]uint16{}
+	for val := 0; val < 1<<Bits; val++ {
+		p := Encode(uint16(val))
+		if prev, dup := seen[p]; dup {
+			t.Fatalf("values %d and %d share permutation %v", prev, val, p)
+		}
+		seen[p] = uint16(val)
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, ok := Decode([Cells]int{0, 0, 1, 2, 3, 4, 5}); ok {
+		t.Error("duplicate rank accepted")
+	}
+	if _, ok := Decode([Cells]int{0, 1, 2, 3, 4, 5, 9}); ok {
+		t.Error("out-of-range rank accepted")
+	}
+	// The reversed permutation has 21 inversions (odd): outside the
+	// even-permutation codebook.
+	if _, ok := Decode([Cells]int{6, 5, 4, 3, 2, 1, 0}); ok {
+		t.Error("odd permutation accepted")
+	}
+	// Every single transposition of a codeword must leave the codebook —
+	// the distance property RepairDecode relies on.
+	p := Encode(1234)
+	for i := 0; i < Cells; i++ {
+		for j := i + 1; j < Cells; j++ {
+			q := p
+			q[i], q[j] = q[j], q[i]
+			if _, ok := Decode(q); ok {
+				t.Fatalf("transposition (%d,%d) stayed in codebook", i, j)
+			}
+		}
+	}
+}
+
+func TestEncodePanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Encode(1 << Bits)
+}
+
+func TestGeometryMatchesTable3(t *testing.T) {
+	// Table 3: a 64-byte block under permutation coding uses 329 cells.
+	if got := CellsFor(512); got != 329 {
+		t.Fatalf("cells for 512 bits = %d, want 329", got)
+	}
+	if got := GroupsFor(512); got != 47 {
+		t.Fatalf("groups = %d, want 47", got)
+	}
+	bitsPerCell := float64(Bits) / float64(Cells)
+	if bitsPerCell < 1.57 || bitsPerCell > 1.58 {
+		t.Fatalf("raw density = %v", bitsPerCell)
+	}
+}
+
+func TestLevelSpacing(t *testing.T) {
+	if LevelLogR(0) != 3 || LevelLogR(6) != 6 {
+		t.Fatal("level endpoints wrong")
+	}
+	for r := 1; r < Cells; r++ {
+		d := LevelLogR(r) - LevelLogR(r-1)
+		if d < 0.49 || d > 0.51 {
+			t.Fatalf("level spacing %v", d)
+		}
+	}
+}
+
+func TestRankOrderRecoversCleanWrite(t *testing.T) {
+	for val := uint16(0); val < 1<<Bits; val += 97 {
+		p := Encode(val)
+		var logR [Cells]float64
+		for cell, rank := range p {
+			logR[cell] = LevelLogR(rank)
+		}
+		if got := RankOrder(logR); got != p {
+			t.Fatalf("rank order of nominal write differs: %v vs %v", got, p)
+		}
+	}
+}
+
+func TestGroupErrorGrowsWithTime(t *testing.T) {
+	const n = 30000
+	short := GroupErrorMC(60, n, 1)        // one minute
+	long := GroupErrorMC(37*86400, n, 1)   // the patent's 37 days
+	longer := GroupErrorMC(365*86400, n, 1)
+	if short > long+0.002 || long > longer+0.005 {
+		t.Fatalf("group error not increasing: %v, %v, %v", short, long, longer)
+	}
+	// Permutation coding is drift-resilient at memory-refresh timescales:
+	// far better than naive 4LC (whose cell error rate passes 1E-2 within
+	// 17 minutes).
+	if short > 5e-3 {
+		t.Errorf("group error at 1 min = %v, expected small", short)
+	}
+}
+
+func TestRepairDecodeFixesAdjacentSwap(t *testing.T) {
+	// A clean write, then force a single adjacent-rank swap by nudging
+	// resistances: repair must recover the original value when the
+	// swapped pattern leaves the codebook.
+	fixed, total := 0, 0
+	for val := uint16(0); val < 1<<Bits; val += 11 {
+		p := Encode(val)
+		var logR [Cells]float64
+		for cell, rank := range p {
+			logR[cell] = LevelLogR(rank)
+		}
+		// Swap ranks 3 and 4 by drifting the rank-3 cell just past rank 4.
+		var lo, hi int
+		for c, rank := range p {
+			if rank == 3 {
+				lo = c
+			}
+			if rank == 4 {
+				hi = c
+			}
+		}
+		logR[lo] = logR[hi] + 0.01
+		got, ok := RepairDecode(logR)
+		total++
+		if ok && got == val {
+			fixed++
+		}
+	}
+	// The even-permutation codebook makes every single transposition
+	// detectable, and the minimum-gap heuristic identifies the true swap
+	// (its gap is 0.01 decades vs ~0.5 for the alternatives).
+	if frac := float64(fixed) / float64(total); frac < 0.99 {
+		t.Fatalf("repair recovered only %v of adjacent swaps", frac)
+	}
+}
+
+func TestRepairReducesGroupError(t *testing.T) {
+	const n = 100000
+	tt := 37.0 * 86400
+	plain := GroupErrorMC(tt, n, 9)
+	repaired := GroupErrorRepairedMC(tt, n, 9)
+	if repaired >= plain {
+		t.Fatalf("repair did not help: %v vs %v", repaired, plain)
+	}
+}
+
+func TestGroupErrorDeterministic(t *testing.T) {
+	a := GroupErrorMC(3600, 20000, 42)
+	b := GroupErrorMC(3600, 20000, 42)
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestCellErrorConversion(t *testing.T) {
+	if got := CellErrorFromGroupError(0.7); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("conversion = %v", got)
+	}
+}
+
+// Property: every permutation Encode emits decodes back to its value.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		val := raw % (1 << Bits)
+		got, ok := Decode(Encode(val))
+		return ok && got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var sink [Cells]int
+	for i := 0; i < b.N; i++ {
+		sink = Encode(uint16(i) & 2047)
+	}
+	_ = sink
+}
+
+func BenchmarkGroupErrorMC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GroupErrorMC(86400, 10000, uint64(i))
+	}
+}

@@ -1,0 +1,193 @@
+// Package progverify models iterative program-and-verify, the write
+// mechanism MLC-PCM actually uses (Section 2.2, after Nirschl et al.'s
+// write strategies): a RESET pulse melts the cell to the amorphous
+// (highest-resistance) state, then a staircase of partial-SET pulses
+// crystallizes it step by step, sensing after each pulse, until the
+// resistance lands inside the target acceptance window. Overshooting the
+// window forces a fresh RESET and a finer staircase.
+//
+// The rest of the repository abstracts this loop as a truncated-Gaussian
+// draw (the distribution the loop delivers); this package provides the
+// loop itself so that
+//
+//   - the acceptance-window abstraction can be validated against the
+//     mechanism, and
+//   - per-state write cost (pulse counts → latency, energy, wear) can be
+//     measured, reproducing why MLC writes take ~1 µs versus ~100 ns for
+//     SLC, and why Seong et al.'s Bandwidth-Enhanced 3LC relaxes the S2
+//     window to buy write bandwidth (Section 6.7).
+package progverify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Programmer holds the pulse-staircase parameters.
+type Programmer struct {
+	// ResetLogR is the log-resistance reached by a RESET pulse (the
+	// amorphous state); the paper's S4 nominal is 6.
+	ResetLogR float64
+	// ResetSigma is the spread of the RESET level.
+	ResetSigma float64
+	// SetLogR is the log-resistance of a full SET (crystalline) pulse.
+	SetLogR float64
+	// SetSigma is the spread of the full-SET level.
+	SetSigma float64
+	// StepMean is the initial partial-SET step size in log-decades per
+	// pulse; each pulse reduces resistance by a noisy step.
+	StepMean float64
+	// StepRelSigma is the multiplicative step noise (relative).
+	StepRelSigma float64
+	// MaxPulses bounds one write attempt (including RESETs).
+	MaxPulses int
+}
+
+// Default returns parameters tuned so that intermediate-state writes
+// take on the order of ten pulses — the regime in which a ~100 ns pulse
+// train reaches the paper's ~1 µs MLC write latency.
+func Default() Programmer {
+	return Programmer{
+		ResetLogR:    6.0,
+		ResetSigma:   1.0 / 6,
+		SetLogR:      3.0,
+		SetSigma:     1.0 / 6,
+		StepMean:     0.35,
+		StepRelSigma: 0.3,
+		MaxPulses:    64,
+	}
+}
+
+// Outcome reports one programming operation.
+type Outcome struct {
+	LogR   float64 // final log-resistance
+	Pulses int     // total pulses applied (RESET and partial-SET)
+	Resets int     // RESET pulses beyond the first
+	OK     bool    // landed inside the window within MaxPulses
+}
+
+// Program drives the cell into the acceptance window [lo, hi] in
+// log-resistance. Extreme states short-circuit: a window containing the
+// RESET level is reached with a single RESET pulse; one containing the
+// full-SET level with a single SET pulse (retried on the Gaussian tail
+// miss), which is why S1 and S4 writes are cheap.
+func (p Programmer) Program(r *rng.Rand, lo, hi float64) Outcome {
+	if lo >= hi {
+		panic(fmt.Sprintf("progverify: empty window [%v, %v]", lo, hi))
+	}
+	pulses := 0
+
+	// Single-pulse fast paths for the extreme states.
+	if p.ResetLogR >= lo && p.ResetLogR <= hi {
+		for pulses < p.MaxPulses {
+			pulses++
+			x := r.Normal(p.ResetLogR, p.ResetSigma)
+			if x >= lo && x <= hi {
+				return Outcome{LogR: x, Pulses: pulses, OK: true}
+			}
+		}
+		return Outcome{Pulses: pulses}
+	}
+	if p.SetLogR >= lo && p.SetLogR <= hi {
+		for pulses < p.MaxPulses {
+			pulses++
+			x := r.Normal(p.SetLogR, p.SetSigma)
+			if x >= lo && x <= hi {
+				return Outcome{LogR: x, Pulses: pulses, OK: true}
+			}
+		}
+		return Outcome{Pulses: pulses}
+	}
+
+	// Intermediate state: RESET then staircase down.
+	resets := 0
+	step := p.StepMean
+	x := r.Normal(p.ResetLogR, p.ResetSigma)
+	pulses++
+	for pulses < p.MaxPulses {
+		if x >= lo && x <= hi {
+			return Outcome{LogR: x, Pulses: pulses, Resets: resets, OK: true}
+		}
+		if x < lo {
+			// Overshot past the window: re-amorphize and try again with
+			// a finer staircase.
+			resets++
+			step = math.Max(step*0.5, (hi-lo)/4)
+			x = r.Normal(p.ResetLogR, p.ResetSigma)
+			pulses++
+			continue
+		}
+		// Partial SET: crystallize a bit more. Within reach of the
+		// window, aim the pulse at the window centre (a trim pulse);
+		// farther out, take a full staircase step. Aiming before the
+		// window's near edge comes within one step keeps the delivered
+		// distribution centred rather than piled at the first-entry edge.
+		s := step
+		if x-hi < 2*step {
+			s = x - (lo+hi)/2
+		}
+		x -= s * (1 + p.StepRelSigma*r.Norm())
+		pulses++
+	}
+	return Outcome{LogR: x, Pulses: pulses, Resets: resets}
+}
+
+// CostStats summarizes programming cost over samples.
+type CostStats struct {
+	MeanPulses float64
+	P99Pulses  int
+	FailRate   float64
+}
+
+// Measure programs the window `samples` times and aggregates pulse
+// counts. Deterministic for a given seed.
+func (p Programmer) Measure(lo, hi float64, samples int, seed uint64) CostStats {
+	if samples <= 0 {
+		panic("progverify: non-positive sample count")
+	}
+	r := rng.New(seed)
+	counts := make([]int, 0, samples)
+	fails := 0
+	sum := 0
+	for i := 0; i < samples; i++ {
+		o := p.Program(r, lo, hi)
+		if !o.OK {
+			fails++
+			continue
+		}
+		counts = append(counts, o.Pulses)
+		sum += o.Pulses
+	}
+	st := CostStats{FailRate: float64(fails) / float64(samples)}
+	if len(counts) > 0 {
+		st.MeanPulses = float64(sum) / float64(len(counts))
+		// p99 by counting (pulse counts are small integers).
+		hist := map[int]int{}
+		maxC := 0
+		for _, c := range counts {
+			hist[c]++
+			if c > maxC {
+				maxC = c
+			}
+		}
+		need := int(math.Ceil(0.99 * float64(len(counts))))
+		acc := 0
+		for c := 1; c <= maxC; c++ {
+			acc += hist[c]
+			if acc >= need {
+				st.P99Pulses = c
+				break
+			}
+		}
+	}
+	return st
+}
+
+// PulseNs is a nominal per-pulse duration: a SET-class pulse of ~100 ns
+// (Section 4.1 quotes ~100 ns SLC writes and ~1 µs MLC writes).
+const PulseNs = 100
+
+// LatencyNs converts a pulse count to nanoseconds.
+func LatencyNs(pulses float64) float64 { return pulses * PulseNs }

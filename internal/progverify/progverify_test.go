@@ -1,0 +1,168 @@
+package progverify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/drift"
+	"repro/internal/levels"
+	"repro/internal/rng"
+)
+
+// window returns a state's acceptance window under a mapping.
+func window(m levels.Mapping, state int) (lo, hi float64) {
+	spec := m.Specs()[state]
+	return spec.WriteLow(), spec.WriteHigh()
+}
+
+func TestProgramLandsInWindow(t *testing.T) {
+	p := Default()
+	r := rng.New(1)
+	m := levels.FourLCNaive()
+	for state := 0; state < 4; state++ {
+		lo, hi := window(m, state)
+		for i := 0; i < 2000; i++ {
+			o := p.Program(r, lo, hi)
+			if !o.OK {
+				t.Fatalf("state %d: programming failed (pulses %d)", state, o.Pulses)
+			}
+			if o.LogR < lo || o.LogR > hi {
+				t.Fatalf("state %d: landed at %v outside [%v, %v]", state, o.LogR, lo, hi)
+			}
+		}
+	}
+}
+
+func TestExtremeStatesAreCheap(t *testing.T) {
+	// S1 and S4 take ~1 pulse; intermediates take several — the origin
+	// of the MLC write-latency penalty.
+	p := Default()
+	m := levels.FourLCNaive()
+	var cost [4]CostStats
+	for state := 0; state < 4; state++ {
+		lo, hi := window(m, state)
+		cost[state] = p.Measure(lo, hi, 5000, 42)
+	}
+	if cost[0].MeanPulses > 1.1 || cost[3].MeanPulses > 1.1 {
+		t.Errorf("extreme states not single-pulse: S1 %.2f, S4 %.2f",
+			cost[0].MeanPulses, cost[3].MeanPulses)
+	}
+	for _, mid := range []int{1, 2} {
+		if cost[mid].MeanPulses < 2 {
+			t.Errorf("intermediate state %d suspiciously cheap: %.2f pulses", mid, cost[mid].MeanPulses)
+		}
+		if cost[mid].MeanPulses < 1.5*cost[0].MeanPulses {
+			t.Errorf("intermediate state %d not clearly dearer than extremes", mid)
+		}
+	}
+	// S2, farther from the RESET level, needs the longer staircase.
+	if cost[1].MeanPulses <= cost[2].MeanPulses {
+		t.Errorf("S2 (%.2f) should cost more pulses than S3 (%.2f)",
+			cost[1].MeanPulses, cost[2].MeanPulses)
+	}
+	// The paper's latency anchors: SLC-like extreme writes ~100 ns, MLC
+	// intermediate writes approaching ~1 µs.
+	if l := LatencyNs(cost[1].MeanPulses); l < 300 || l > 2000 {
+		t.Errorf("S2 write latency %v ns; expect several hundred ns to ~1 us", l)
+	}
+}
+
+func TestRelaxedWindowCutsWriteCost(t *testing.T) {
+	// Section 6.7: Bandwidth-Enhanced 3LC relaxes writes to S2 to improve
+	// write latency and bandwidth. Doubling the S2 acceptance window must
+	// reduce mean pulse count.
+	p := Default()
+	m := levels.ThreeLCNaive()
+	lo, hi := window(m, 1)
+	tight := p.Measure(lo, hi, 5000, 7)
+	mid := (lo + hi) / 2
+	halfWidth := (hi - lo)
+	relaxed := p.Measure(mid-halfWidth, mid+halfWidth, 5000, 7)
+	if relaxed.MeanPulses >= tight.MeanPulses {
+		t.Fatalf("relaxed window not cheaper: %.2f vs %.2f pulses",
+			relaxed.MeanPulses, tight.MeanPulses)
+	}
+}
+
+func TestDeliveredDistributionMatchesAbstraction(t *testing.T) {
+	// The rest of the repo assumes write-and-verify delivers resistances
+	// inside ±2.75σ of nominal. The mechanism must deliver exactly that
+	// support, with most mass near the window (no systematic pile-up at
+	// a single edge beyond ~3x imbalance).
+	p := Default()
+	r := rng.New(9)
+	m := levels.FourLCNaive()
+	lo, hi := window(m, 2) // S3
+	nLow, nHigh := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		o := p.Program(r, lo, hi)
+		if !o.OK {
+			t.Fatal("programming failed")
+		}
+		mid := (lo + hi) / 2
+		if o.LogR < mid {
+			nLow++
+		} else {
+			nHigh++
+		}
+	}
+	ratio := float64(nHigh) / float64(nLow)
+	if ratio > 3 || ratio < 1.0/3 {
+		t.Errorf("delivered distribution heavily lopsided: high/low = %v", ratio)
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	p := Default()
+	a := p.Measure(3.8, 4.2, 2000, 5)
+	b := p.Measure(3.8, 4.2, 2000, 5)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFinerStaircaseAfterOvershoot(t *testing.T) {
+	// A very narrow window forces overshoots and resets; with a generous
+	// pulse budget the programmer must still converge essentially always,
+	// and the cost must reflect the precision demanded.
+	p := Default()
+	p.MaxPulses = 512
+	narrowLo, narrowHi := 4.49, 4.51
+	st := p.Measure(narrowLo, narrowHi, 2000, 11)
+	if st.FailRate > 0.01 {
+		t.Fatalf("fail rate %v on a narrow window", st.FailRate)
+	}
+	if st.MeanPulses < 6 {
+		t.Fatalf("narrow window suspiciously cheap: %.2f pulses", st.MeanPulses)
+	}
+}
+
+func TestProgramPanicsOnEmptyWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Default().Program(rng.New(1), 4.2, 4.2)
+}
+
+func TestWriteWindowConstantConsistency(t *testing.T) {
+	// The acceptance windows used above are the drift model's ±2.75σ.
+	m := levels.FourLCNaive()
+	lo, hi := window(m, 1)
+	wantHalf := drift.WriteWindow * drift.SigmaLogR
+	if math.Abs((hi-lo)/2-wantHalf) > 1e-12 {
+		t.Fatalf("window half-width %v != %v", (hi-lo)/2, wantHalf)
+	}
+}
+
+func BenchmarkProgramIntermediate(b *testing.B) {
+	p := Default()
+	r := rng.New(1)
+	m := levels.FourLCNaive()
+	lo, hi := window(m, 1)
+	for i := 0; i < b.N; i++ {
+		p.Program(r, lo, hi)
+	}
+}

@@ -1,0 +1,36 @@
+package refresh_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pcmarray"
+	"repro/internal/refresh"
+)
+
+// Keep a volatile 4LCo device alive for a simulated day with the paper's
+// 17-minute scrub schedule.
+func Example() {
+	opt := pcmarray.DefaultOptions(6)
+	opt.EnduranceMean = 0
+	dev := core.NewFourLC(16, core.FourLCConfig{Array: opt})
+	for b := 0; b < dev.Blocks(); b++ {
+		data := make([]byte, core.BlockBytes)
+		data[0] = byte(b)
+		if err := dev.Write(b, data); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	mgr := refresh.NewManager(dev, 17*60)
+	if err := mgr.Advance(86400); err != nil {
+		fmt.Println(err)
+		return
+	}
+	s := mgr.Stats()
+	fmt.Printf("scrubs per block per day: %d\n", s.Scrubs/int64(dev.Blocks()))
+	fmt.Printf("uncorrectable events: %d\n", s.Uncorrectable)
+	// Output:
+	// scrubs per block per day: 84
+	// uncorrectable events: 0
+}

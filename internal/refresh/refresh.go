@@ -1,0 +1,95 @@
+// Package refresh implements the device-level refresh (scrub) manager of
+// Sections 1 and 4: every block is periodically read, ECC-corrected, and
+// rewritten so that cell resistances return to nominal values before
+// drift accumulates into uncorrectable errors. Banks are scrubbed
+// independently and the schedule spreads block scrubs uniformly across
+// the interval, matching the bank-availability model of Figure 4.
+//
+// The manager drives any core.Arch and keeps the error bookkeeping a
+// reliability study needs: corrected (transient) events, uncorrectable
+// blocks, and wearout retirements.
+package refresh
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Stats aggregates scrub outcomes.
+type Stats struct {
+	// Scrubs is the number of block scrub operations performed.
+	Scrubs int64
+	// Uncorrectable counts scrubs that found a block beyond its ECC
+	// (data loss events; the quantity bounded by the target BLER).
+	Uncorrectable int64
+	// WornOut counts blocks retired for exceeding wearout capacity.
+	WornOut int64
+}
+
+// Manager schedules periodic scrubs of an architecture's blocks.
+type Manager struct {
+	dev core.Arch
+	// IntervalSeconds is the full-device refresh period.
+	IntervalSeconds float64
+
+	stats     Stats
+	nextBlock int
+	// carry accumulates simulated time not yet consumed by scrubs.
+	carry float64
+}
+
+// NewManager wraps a device with a refresh schedule. interval is the
+// full-device refresh period in seconds (the paper's 17 minutes for
+// 4LCo); it must be positive.
+func NewManager(dev core.Arch, intervalSeconds float64) *Manager {
+	if intervalSeconds <= 0 {
+		panic("refresh: non-positive interval")
+	}
+	return &Manager{dev: dev, IntervalSeconds: intervalSeconds}
+}
+
+// perBlockGap returns the time between consecutive block scrubs when the
+// schedule spreads one full pass uniformly over the interval.
+func (m *Manager) perBlockGap() float64 {
+	return m.IntervalSeconds / float64(m.dev.Blocks())
+}
+
+// Advance moves simulated time forward by dt seconds, performing every
+// block scrub that falls due. Uncorrectable blocks are counted, not
+// fatal: the scrub still rewrites the (corrupted) content, as hardware
+// would.
+func (m *Manager) Advance(dt float64) error {
+	if dt < 0 {
+		return errors.New("refresh: negative time step")
+	}
+	gap := m.perBlockGap()
+	remaining := dt
+	// Invariant: the array clock advances by exactly dt across this call;
+	// carry tracks how far into the current gap the schedule has moved.
+	for m.carry+remaining >= gap {
+		step := gap - m.carry
+		m.dev.Array().Advance(step)
+		remaining -= step
+		m.carry = 0
+		err := m.dev.Scrub(m.nextBlock)
+		m.stats.Scrubs++
+		switch {
+		case err == nil:
+		case errors.Is(err, core.ErrUncorrectable):
+			m.stats.Uncorrectable++
+		case errors.Is(err, core.ErrWornOut):
+			m.stats.WornOut++
+		default:
+			return fmt.Errorf("refresh: scrub block %d: %w", m.nextBlock, err)
+		}
+		m.nextBlock = (m.nextBlock + 1) % m.dev.Blocks()
+	}
+	m.dev.Array().Advance(remaining)
+	m.carry += remaining
+	return nil
+}
+
+// Stats returns accumulated outcomes.
+func (m *Manager) Stats() Stats { return m.stats }

@@ -1,0 +1,144 @@
+package refresh
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pcmarray"
+)
+
+func noWear(seed uint64) pcmarray.Options {
+	o := pcmarray.DefaultOptions(seed)
+	o.EnduranceMean = 0
+	return o
+}
+
+func pattern(b int) []byte {
+	data := make([]byte, core.BlockBytes)
+	for i := range data {
+		data[i] = byte(b*13 + i)
+	}
+	return data
+}
+
+func fill(t *testing.T, dev core.Arch) {
+	t.Helper()
+	for b := 0; b < dev.Blocks(); b++ {
+		if err := dev.Write(b, pattern(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func verify(t *testing.T, dev core.Arch) int {
+	t.Helper()
+	bad := 0
+	for b := 0; b < dev.Blocks(); b++ {
+		got, err := dev.Read(b)
+		if err != nil || !bytes.Equal(got, pattern(b)) {
+			bad++
+		}
+	}
+	return bad
+}
+
+func TestRefreshKeeps4LCAlive(t *testing.T) {
+	// 4LCo with a 17-minute refresh interval survives a simulated day —
+	// the volatile-memory use the paper argues 4LCo can support.
+	dev := core.NewFourLC(16, core.FourLCConfig{Array: noWear(1)})
+	fill(t, dev)
+	mgr := NewManager(dev, 17*60)
+	if err := mgr.Advance(86400); err != nil {
+		t.Fatal(err)
+	}
+	if bad := verify(t, dev); bad != 0 {
+		t.Fatalf("%d blocks lost under refresh", bad)
+	}
+	s := mgr.Stats()
+	// One pass scrubs 16 blocks per 1020 s: a day is ~84.7 passes.
+	day := 86400.0
+	wantScrubs := int64(day / (17 * 60) * 16)
+	if s.Scrubs < wantScrubs-2 || s.Scrubs > wantScrubs+2 {
+		t.Errorf("scrubs = %d, want ~%d", s.Scrubs, wantScrubs)
+	}
+	if s.Uncorrectable != 0 {
+		t.Errorf("uncorrectable events = %d", s.Uncorrectable)
+	}
+}
+
+func TestNoRefreshKills4LC(t *testing.T) {
+	// The control: the same device with no refresh decays within 12 days.
+	dev := core.NewFourLC(16, core.FourLCConfig{Array: noWear(1)})
+	fill(t, dev)
+	dev.Array().Advance(12 * 86400)
+	if bad := verify(t, dev); bad == 0 {
+		t.Fatal("no decay without refresh; control broken")
+	}
+}
+
+func TestTooLongIntervalShowsUncorrectables(t *testing.T) {
+	// Stretch the interval to a month: drift accumulates past BCH-10
+	// between scrubs, and the manager records uncorrectable events
+	// rather than failing silently.
+	dev := core.NewFourLC(16, core.FourLCConfig{Array: noWear(2)})
+	fill(t, dev)
+	mgr := NewManager(dev, 30*86400)
+	if err := mgr.Advance(90 * 86400); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Stats().Uncorrectable == 0 {
+		t.Fatal("month-long 4LC refresh interval reported no uncorrectables")
+	}
+}
+
+func TestThreeLCNeedsNoRefreshForDecade(t *testing.T) {
+	dev := core.NewThreeLC(16, core.ThreeLCConfig{Array: noWear(3)})
+	fill(t, dev)
+	dev.Array().Advance(10 * 365.25 * 86400)
+	if bad := verify(t, dev); bad != 0 {
+		t.Fatalf("%d 3LC blocks lost without refresh", bad)
+	}
+}
+
+func TestAdvanceSplitsArbitrarily(t *testing.T) {
+	// The schedule must be invariant to how callers chunk time.
+	mk := func() (*Manager, core.Arch) {
+		dev := core.NewThreeLC(4, core.ThreeLCConfig{Array: noWear(4)})
+		fill(t, dev)
+		return NewManager(dev, 1000), dev
+	}
+	a, devA := mk()
+	if err := a.Advance(5000); err != nil {
+		t.Fatal(err)
+	}
+	b, devB := mk()
+	for i := 0; i < 50; i++ {
+		if err := b.Advance(100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Stats().Scrubs != b.Stats().Scrubs {
+		t.Fatalf("scrub counts differ: %d vs %d", a.Stats().Scrubs, b.Stats().Scrubs)
+	}
+	if devA.Array().Now() != devB.Array().Now() {
+		t.Fatalf("clocks differ: %v vs %v", devA.Array().Now(), devB.Array().Now())
+	}
+}
+
+func TestAdvanceRejectsNegative(t *testing.T) {
+	dev := core.NewThreeLC(2, core.ThreeLCConfig{Array: noWear(5)})
+	fill(t, dev)
+	if err := NewManager(dev, 100).Advance(-1); err == nil {
+		t.Fatal("negative dt accepted")
+	}
+}
+
+func TestNewManagerPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewManager(core.NewThreeLC(1, core.ThreeLCConfig{Array: noWear(6)}), 0)
+}

@@ -1,0 +1,139 @@
+// Package remap implements fine-grained worn-block remapping in the
+// spirit of FREE-p (Yoon et al., HPCA'11), which the paper invokes for
+// end-to-end protection once a block exhausts its in-block wearout
+// tolerance (Section 6.4: "we can combine the current design with
+// fine-grained block remapping to provide end-to-end protection").
+//
+// A Device reserves a fraction of an inner architecture's blocks; when a
+// logical block's write fails with core.ErrWornOut — its mark-and-spare
+// or ECP capacity is exhausted — the block is transparently remapped to
+// a reserve block, and service continues until the reserve pool itself
+// runs dry.
+package remap
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pcmarray"
+)
+
+// ErrExhausted reports that both the block's wearout tolerance and the
+// device's reserve pool are used up — true device end-of-life.
+var ErrExhausted = errors.New("remap: reserve pool exhausted")
+
+// Device wraps an inner architecture with a remapping table and a
+// reserve pool taken from the tail of the inner block space.
+type Device struct {
+	inner   core.Arch
+	logical int
+	table   map[int]int // logical -> physical (absent: identity)
+	reserve []int       // free reserve physical blocks, LIFO
+	retired int
+}
+
+// Wrap reserves `reserve` blocks of the inner device. The wrapped device
+// exposes inner.Blocks()-reserve logical blocks.
+func Wrap(inner core.Arch, reserve int) *Device {
+	if reserve < 1 || reserve >= inner.Blocks() {
+		panic("remap: reserve must be in [1, blocks)")
+	}
+	d := &Device{
+		inner:   inner,
+		logical: inner.Blocks() - reserve,
+		table:   map[int]int{},
+	}
+	// LIFO from the end: pop order is deterministic.
+	for p := inner.Blocks() - 1; p >= d.logical; p-- {
+		d.reserve = append(d.reserve, p)
+	}
+	return d
+}
+
+// Name implements core.Arch.
+func (d *Device) Name() string { return d.inner.Name() + " + remap" }
+
+// Blocks implements core.Arch.
+func (d *Device) Blocks() int { return d.logical }
+
+// CellsPerBlock implements core.Arch.
+func (d *Device) CellsPerBlock() int { return d.inner.CellsPerBlock() }
+
+// Density implements core.Arch, amortizing the reserve pool.
+func (d *Device) Density() float64 {
+	return d.inner.Density() * float64(d.logical) / float64(d.inner.Blocks())
+}
+
+// Array implements core.Arch.
+func (d *Device) Array() *pcmarray.Array { return d.inner.Array() }
+
+// Retired returns the number of blocks remapped so far.
+func (d *Device) Retired() int { return d.retired }
+
+// ReserveLeft returns the remaining reserve capacity.
+func (d *Device) ReserveLeft() int { return len(d.reserve) }
+
+func (d *Device) physical(block int) int {
+	if p, ok := d.table[block]; ok {
+		return p
+	}
+	return block
+}
+
+func (d *Device) check(block int) error {
+	if block < 0 || block >= d.logical {
+		return fmt.Errorf("remap: block %d out of range [0,%d)", block, d.logical)
+	}
+	return nil
+}
+
+// Write implements core.Arch: on wearout, remap to reserve blocks until
+// the write sticks or the pool empties. A reserve block can itself wear
+// out, so the loop continues down the pool.
+func (d *Device) Write(block int, data []byte) error {
+	if err := d.check(block); err != nil {
+		return err
+	}
+	for {
+		err := d.inner.Write(d.physical(block), data)
+		if !errors.Is(err, core.ErrWornOut) {
+			return err
+		}
+		if len(d.reserve) == 0 {
+			return ErrExhausted
+		}
+		next := d.reserve[len(d.reserve)-1]
+		d.reserve = d.reserve[:len(d.reserve)-1]
+		d.table[block] = next
+		d.retired++
+	}
+}
+
+// Read implements core.Arch.
+func (d *Device) Read(block int) ([]byte, error) {
+	if err := d.check(block); err != nil {
+		return nil, err
+	}
+	return d.inner.Read(d.physical(block))
+}
+
+// Scrub implements core.Arch; a scrub that hits wearout triggers the
+// same remapping path as a write.
+func (d *Device) Scrub(block int) error {
+	if err := d.check(block); err != nil {
+		return err
+	}
+	err := d.inner.Scrub(d.physical(block))
+	if !errors.Is(err, core.ErrWornOut) {
+		return err
+	}
+	// Recover the block's content (possibly with corrections) and move it.
+	data, rerr := d.inner.Read(d.physical(block))
+	if rerr != nil && !errors.Is(rerr, core.ErrUncorrectable) {
+		return rerr
+	}
+	return d.Write(block, data)
+}
+
+var _ core.Arch = (*Device)(nil)

@@ -1,0 +1,219 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			t.Fatalf("sibling streams collided at draw %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 1 << 20
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.002 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 30} {
+		for i := 0; i < 10000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 1 << 20
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expect := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expect) > 5*math.Sqrt(expect) {
+			t.Fatalf("bucket %d count %d deviates from %v", i, c, expect)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 1 << 21
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.005 {
+		t.Errorf("gaussian mean %v not ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.01 {
+		t.Errorf("gaussian variance %v not ~1", variance)
+	}
+}
+
+func TestNormalScaling(t *testing.T) {
+	r := New(17)
+	const n = 1 << 20
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Normal(5, 2)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-5) > 0.02 {
+		t.Errorf("mean %v not ~5", mean)
+	}
+	if math.Abs(sd-2) > 0.02 {
+		t.Errorf("sd %v not ~2", sd)
+	}
+}
+
+func TestTruncNormInRange(t *testing.T) {
+	r := New(19)
+	lo, hi := -0.4583, 0.4583 // the paper's ±2.75σ window with σ=1/6
+	for i := 0; i < 200000; i++ {
+		x := r.TruncNorm(0, 1.0/6, lo, hi)
+		if x < lo || x > hi {
+			t.Fatalf("TruncNorm out of [%v,%v]: %v", lo, hi, x)
+		}
+	}
+}
+
+func TestTruncNormPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TruncNorm with lo>hi did not panic")
+		}
+	}()
+	New(1).TruncNorm(0, 1, 1, -1)
+}
+
+// Property: Intn output is always within bounds for arbitrary seeds and n.
+func TestIntnProperty(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the generator with a given seed is a pure function of the
+// number of draws taken.
+func TestReplayProperty(t *testing.T) {
+	f := func(seed uint64, k8 uint8) bool {
+		k := int(k8)
+		a, b := New(seed), New(seed)
+		for i := 0; i < k; i++ {
+			a.Uint64()
+			b.Uint64()
+		}
+		return a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Norm()
+	}
+	_ = sink
+}
+
+func BenchmarkTruncNorm(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.TruncNorm(0, 1.0/6, -0.4583, 0.4583)
+	}
+	_ = sink
+}

@@ -1,0 +1,267 @@
+// Package stats provides the numerical-statistics substrate of the
+// reproduction: Gaussian and truncated-Gaussian distribution functions,
+// numerically stable binomial tail probabilities (used for block error
+// rates down to 1E-15 and beyond), and fixed-order Gauss–Legendre
+// quadrature (used by the deterministic cell-error-rate integrator).
+package stats
+
+import "math"
+
+// NormCDF returns Φ(z), the standard normal cumulative distribution.
+func NormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormPDF returns φ(z), the standard normal density.
+func NormPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// NormSF returns the survival function 1-Φ(z), accurate in the upper tail.
+func NormSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// NormInvCDF returns Φ⁻¹(p) using Acklam's rational approximation refined
+// by one Halley step; the result is accurate to full double precision for
+// p in (0, 1). It returns ±Inf for p = 0, 1 and NaN outside [0, 1].
+func NormInvCDF(p float64) float64 {
+	switch {
+	case math.IsNaN(p) || p < 0 || p > 1:
+		return math.NaN()
+	case p == 0:
+		return math.Inf(-1)
+	case p == 1:
+		return math.Inf(1)
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step.
+	e := NormCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}
+
+// TruncNorm describes a Gaussian N(Mean, SD²) truncated to [Lo, Hi].
+type TruncNorm struct {
+	Mean, SD, Lo, Hi float64
+}
+
+// mass returns the untruncated probability mass inside [Lo, Hi].
+func (t TruncNorm) mass() float64 {
+	return NormCDF((t.Hi-t.Mean)/t.SD) - NormCDF((t.Lo-t.Mean)/t.SD)
+}
+
+// CDF returns P(X <= x) for the truncated distribution.
+func (t TruncNorm) CDF(x float64) float64 {
+	switch {
+	case x <= t.Lo:
+		return 0
+	case x >= t.Hi:
+		return 1
+	}
+	num := NormCDF((x-t.Mean)/t.SD) - NormCDF((t.Lo-t.Mean)/t.SD)
+	return num / t.mass()
+}
+
+// SF returns P(X > x), computed in the upper tail for accuracy.
+func (t TruncNorm) SF(x float64) float64 {
+	switch {
+	case x <= t.Lo:
+		return 1
+	case x >= t.Hi:
+		return 0
+	}
+	num := NormSF((x-t.Mean)/t.SD) - NormSF((t.Hi-t.Mean)/t.SD)
+	return num / t.mass()
+}
+
+// PDF returns the truncated density at x.
+func (t TruncNorm) PDF(x float64) float64 {
+	if x < t.Lo || x > t.Hi {
+		return 0
+	}
+	return NormPDF((x-t.Mean)/t.SD) / (t.SD * t.mass())
+}
+
+// LogChoose returns log(C(n, k)) using the log-gamma function.
+func LogChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln1, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln1 - lk - lnk
+}
+
+// BinomialTail returns P(X > k) for X ~ Binomial(n, p): the probability
+// that more than k of n independent trials fail. This is the block error
+// rate of an n-cell block protected by a k-error-correcting code when each
+// cell errs independently with probability p. The sum is evaluated in log
+// space from the smallest term up, so results far below the double-
+// precision underflow of naive evaluation (e.g. 1E-300) remain exact to
+// several digits.
+func BinomialTail(n, k int, p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		if k < n {
+			return 1
+		}
+		return 0
+	case k >= n:
+		return 0
+	case k < 0:
+		return 1
+	}
+	logP := math.Log(p)
+	logQ := math.Log1p(-p)
+	// Term j: C(n,j) p^j q^(n-j) for j = k+1..n. Accumulate via
+	// log-sum-exp anchored at the largest term.
+	maxLog := math.Inf(-1)
+	logs := make([]float64, 0, n-k)
+	for j := k + 1; j <= n; j++ {
+		l := LogChoose(n, j) + float64(j)*logP + float64(n-j)*logQ
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+		// Terms decay geometrically once past the mode; stop when
+		// negligible relative to the max so n in the thousands stays fast.
+		if l < maxLog-745 && j > int(float64(n)*p)+1 {
+			break
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		return 0
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	return math.Exp(maxLog) * sum
+}
+
+// LogBinomialTail returns log(P(X > k)) for X ~ Binomial(n, p), usable even
+// when the tail underflows float64 (it returns the log directly).
+func LogBinomialTail(n, k int, p float64) float64 {
+	switch {
+	case p <= 0 || k >= n:
+		return math.Inf(-1)
+	case k < 0:
+		return 0
+	}
+	logP := math.Log(p)
+	logQ := math.Log1p(-p)
+	maxLog := math.Inf(-1)
+	logs := make([]float64, 0, n-k)
+	for j := k + 1; j <= n; j++ {
+		l := LogChoose(n, j) + float64(j)*logP + float64(n-j)*logQ
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+		if l < maxLog-745 && j > int(float64(n)*p)+1 {
+			break
+		}
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	return maxLog + math.Log(sum)
+}
+
+// glNode holds precomputed 64-point Gauss–Legendre abscissae and weights
+// on [-1, 1], generated by Newton iteration on the Legendre polynomial.
+var glX, glW = legendre(64)
+
+// legendre computes n-point Gauss–Legendre nodes and weights on [-1, 1].
+func legendre(n int) ([]float64, []float64) {
+	x := make([]float64, n)
+	w := make([]float64, n)
+	for i := 0; i < (n+1)/2; i++ {
+		// Initial guess: Chebyshev approximation of the i-th root.
+		z := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p1, p2 := 1.0, 0.0
+			for j := 0; j < n; j++ {
+				p3 := p2
+				p2 = p1
+				p1 = ((2*float64(j)+1)*z*p2 - float64(j)*p3) / float64(j+1)
+			}
+			pp = float64(n) * (z*p1 - p2) / (z*z - 1)
+			z1 := z
+			z = z1 - p1/pp
+			if math.Abs(z-z1) < 1e-15 {
+				break
+			}
+		}
+		x[i] = -z
+		x[n-1-i] = z
+		w[i] = 2 / ((1 - z*z) * pp * pp)
+		w[n-1-i] = w[i]
+	}
+	return x, w
+}
+
+// GaussLegendre integrates f over [a, b] with 64-point Gauss–Legendre
+// quadrature. It is exact for polynomials up to degree 127 and accurate to
+// near machine precision for the smooth Gaussian integrands used here.
+func GaussLegendre(f func(float64) float64, a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	mid := 0.5 * (a + b)
+	half := 0.5 * (b - a)
+	sum := 0.0
+	for i, xi := range glX {
+		sum += glW[i] * f(mid+half*xi)
+	}
+	return half * sum
+}
+
+// GaussLegendrePanels splits [a, b] into panels and applies 64-point
+// quadrature on each, for integrands with localized structure.
+func GaussLegendrePanels(f func(float64) float64, a, b float64, panels int) float64 {
+	if panels < 1 {
+		panels = 1
+	}
+	h := (b - a) / float64(panels)
+	sum := 0.0
+	for i := 0; i < panels; i++ {
+		sum += GaussLegendre(f, a+float64(i)*h, a+float64(i+1)*h)
+	}
+	return sum
+}

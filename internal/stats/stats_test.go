@@ -1,0 +1,263 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*math.Max(scale, 1)
+}
+
+func TestNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{2.75, 0.9970202367649454},
+		{-2.75, 0.002979763235054556},
+		{5, 0.9999997133484281},
+	}
+	for _, c := range cases {
+		if got := NormCDF(c.z); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("NormCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormSFTail(t *testing.T) {
+	// Survival function must remain accurate deep into the tail where
+	// 1-Φ(z) underflows in the naive form.
+	got := NormSF(8)
+	want := 6.22096057427178e-16
+	if !almostEq(got, want, 1e-9) {
+		t.Errorf("NormSF(8) = %v, want %v", got, want)
+	}
+	if NormSF(25) <= 0 {
+		t.Error("NormSF(25) underflowed to zero")
+	}
+}
+
+func TestNormCDFSFComplement(t *testing.T) {
+	for z := -6.0; z <= 6.0; z += 0.25 {
+		if s := NormCDF(z) + NormSF(z); !almostEq(s, 1, 1e-12) {
+			t.Errorf("CDF+SF at z=%v is %v", z, s)
+		}
+	}
+}
+
+func TestNormInvCDFRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-12, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1 - 1e-6} {
+		z := NormInvCDF(p)
+		if got := NormCDF(z); !almostEq(got, p, 1e-10) {
+			t.Errorf("NormCDF(NormInvCDF(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(NormInvCDF(0), -1) || !math.IsInf(NormInvCDF(1), 1) {
+		t.Error("NormInvCDF endpoints wrong")
+	}
+	if !math.IsNaN(NormInvCDF(-0.1)) {
+		t.Error("NormInvCDF(-0.1) should be NaN")
+	}
+}
+
+func TestTruncNormBasics(t *testing.T) {
+	tn := TruncNorm{Mean: 4, SD: 1.0 / 6, Lo: 4 - 2.75/6, Hi: 4 + 2.75/6}
+	if got := tn.CDF(tn.Lo - 1); got != 0 {
+		t.Errorf("CDF below Lo = %v", got)
+	}
+	if got := tn.CDF(tn.Hi + 1); got != 1 {
+		t.Errorf("CDF above Hi = %v", got)
+	}
+	if got := tn.CDF(4); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("CDF at mean = %v, want 0.5", got)
+	}
+	if got := tn.SF(4); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("SF at mean = %v, want 0.5", got)
+	}
+	for x := tn.Lo; x <= tn.Hi; x += 0.01 {
+		if s := tn.CDF(x) + tn.SF(x); !almostEq(s, 1, 1e-10) {
+			t.Fatalf("CDF+SF at %v = %v", x, s)
+		}
+	}
+}
+
+func TestTruncNormPDFIntegratesToOne(t *testing.T) {
+	tn := TruncNorm{Mean: 0, SD: 1, Lo: -2, Hi: 1.5}
+	got := GaussLegendrePanels(tn.PDF, tn.Lo, tn.Hi, 4)
+	if !almostEq(got, 1, 1e-10) {
+		t.Errorf("integral of truncated pdf = %v", got)
+	}
+}
+
+func TestTruncNormMatchesSampling(t *testing.T) {
+	tn := TruncNorm{Mean: 5, SD: 1.0 / 6, Lo: 5 - 2.75/6, Hi: 5 + 2.75/6}
+	r := rng.New(123)
+	const n = 200000
+	x := 5.1
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.TruncNorm(tn.Mean, tn.SD, tn.Lo, tn.Hi) <= x {
+			count++
+		}
+	}
+	emp := float64(count) / n
+	if math.Abs(emp-tn.CDF(x)) > 0.005 {
+		t.Errorf("empirical CDF %v vs analytic %v", emp, tn.CDF(x))
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	if got := LogChoose(10, 3); !almostEq(got, math.Log(120), 1e-12) {
+		t.Errorf("LogChoose(10,3) = %v", got)
+	}
+	if got := LogChoose(0, 0); !almostEq(got, 0, 1e-12) {
+		t.Errorf("LogChoose(0,0) = %v", got)
+	}
+	if !math.IsInf(LogChoose(5, 6), -1) {
+		t.Error("LogChoose(5,6) should be -Inf")
+	}
+}
+
+// naiveBinomialTail computes the complement sum directly for small n.
+func naiveBinomialTail(n, k int, p float64) float64 {
+	sum := 0.0
+	for j := k + 1; j <= n; j++ {
+		sum += math.Exp(LogChoose(n, j)) * math.Pow(p, float64(j)) * math.Pow(1-p, float64(n-j))
+	}
+	return sum
+}
+
+func TestBinomialTailMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 5, 20, 100} {
+		for _, k := range []int{0, 1, 3, 10} {
+			if k >= n {
+				continue
+			}
+			for _, p := range []float64{1e-6, 1e-3, 0.1, 0.5, 0.9} {
+				got := BinomialTail(n, k, p)
+				want := naiveBinomialTail(n, k, p)
+				if !almostEq(got, want, 1e-9) {
+					t.Errorf("BinomialTail(%d,%d,%v) = %v, want %v", n, k, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBinomialTailEdgeCases(t *testing.T) {
+	if got := BinomialTail(100, 5, 0); got != 0 {
+		t.Errorf("p=0 tail = %v", got)
+	}
+	if got := BinomialTail(100, 5, 1); got != 1 {
+		t.Errorf("p=1 tail = %v", got)
+	}
+	if got := BinomialTail(100, 100, 0.5); got != 0 {
+		t.Errorf("k=n tail = %v", got)
+	}
+	if got := BinomialTail(100, -1, 0.5); got != 1 {
+		t.Errorf("k=-1 tail = %v", got)
+	}
+}
+
+func TestBinomialTailDeepTail(t *testing.T) {
+	// 256-cell block, BCH-10, CER 1e-3: the paper's Section 5.3 regime.
+	// P(X > 10) with n=256, p=1e-3: the dominant term is
+	// C(256,11) 1e-33 ≈ 3.2e-17... verify against the log variant and
+	// positivity.
+	p := BinomialTail(256, 10, 1e-3)
+	lp := LogBinomialTail(256, 10, 1e-3)
+	if p <= 0 || p > 1e-10 {
+		t.Errorf("deep tail = %v out of expected range", p)
+	}
+	if !almostEq(math.Log(p), lp, 1e-9) {
+		t.Errorf("log tail mismatch: log(%v)=%v vs %v", p, math.Log(p), lp)
+	}
+}
+
+func TestBinomialTailMonotonicInP(t *testing.T) {
+	prev := 0.0
+	for _, p := range []float64{1e-9, 1e-7, 1e-5, 1e-3, 1e-1} {
+		cur := BinomialTail(708, 1, p)
+		if cur < prev {
+			t.Fatalf("tail not monotone in p: %v after %v", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestBinomialTailMonotonicInK(t *testing.T) {
+	prev := 1.1
+	for k := 0; k < 12; k++ {
+		cur := BinomialTail(512, k, 1e-3)
+		if cur > prev {
+			t.Fatalf("tail not monotone in k at k=%d", k)
+		}
+		prev = cur
+	}
+}
+
+func TestBinomialTailProperty(t *testing.T) {
+	f := func(n16 uint16, k8 uint8, pRaw uint32) bool {
+		n := int(n16%500) + 1
+		k := int(k8) % (n + 1)
+		p := float64(pRaw%1000000) / 1000000
+		got := BinomialTail(n, k, p)
+		return got >= 0 && got <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussLegendrePolynomialExact(t *testing.T) {
+	// Exact for x^10 on [0, 2]: integral = 2^11/11.
+	got := GaussLegendre(func(x float64) float64 { return math.Pow(x, 10) }, 0, 2)
+	want := math.Pow(2, 11) / 11
+	if !almostEq(got, want, 1e-12) {
+		t.Errorf("GL x^10 = %v, want %v", got, want)
+	}
+}
+
+func TestGaussLegendreGaussian(t *testing.T) {
+	got := GaussLegendrePanels(NormPDF, -8, 8, 8)
+	if !almostEq(got, 1, 1e-12) {
+		t.Errorf("integral of normal pdf = %v", got)
+	}
+}
+
+func TestGaussLegendreDegenerate(t *testing.T) {
+	if got := GaussLegendre(math.Sin, 1, 1); got != 0 {
+		t.Errorf("zero-width integral = %v", got)
+	}
+	// Reversed limits flip the sign.
+	a := GaussLegendre(math.Exp, 0, 1)
+	b := GaussLegendre(math.Exp, 1, 0)
+	if !almostEq(a, -b, 1e-12) {
+		t.Errorf("reversed limits: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkBinomialTail(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += BinomialTail(708, 1, 1e-5)
+	}
+	_ = sink
+}
+
+func BenchmarkGaussLegendre(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += GaussLegendre(NormPDF, -4, 4)
+	}
+	_ = sink
+}

@@ -1,0 +1,36 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Record a synthetic workload to the compact trace format and replay it.
+func Example() {
+	var buf bytes.Buffer
+	n, err := trace.Write(&buf, trace.New(trace.Mcf, 10000, 42))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("recorded %d ops, compact: %v\n", n, float64(buf.Len())/float64(n) < 8)
+
+	replay, err := trace.Open(&buf)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	count := 0
+	for {
+		if _, ok := replay.Next(); !ok {
+			break
+		}
+		count++
+	}
+	fmt.Printf("replayed %d ops of %s\n", count, replay.Name())
+	// Output:
+	// recorded 10000 ops, compact: true
+	// replayed 10000 ops of mcf
+}

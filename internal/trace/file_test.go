@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	for _, p := range []Profile{STREAM, Mcf, Namd} {
+		var buf bytes.Buffer
+		n, err := Write(&buf, New(p, 5000, 42))
+		if err != nil || n != 5000 {
+			t.Fatalf("%s: wrote %d: %v", p.WorkloadName, n, err)
+		}
+		replay, err := Open(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replay.Name() != p.WorkloadName {
+			t.Fatalf("name = %q", replay.Name())
+		}
+		orig := New(p, 5000, 42)
+		count := 0
+		for {
+			a, okA := orig.Next()
+			b, okB := replay.Next()
+			if okA != okB {
+				t.Fatalf("%s: length mismatch at %d", p.WorkloadName, count)
+			}
+			if !okA {
+				break
+			}
+			if a != b {
+				t.Fatalf("%s: op %d differs: %+v vs %+v", p.WorkloadName, count, a, b)
+			}
+			count++
+		}
+		if r, ok := replay.(*reader); ok && r.Err() != nil {
+			t.Fatalf("replay error: %v", r.Err())
+		}
+	}
+}
+
+func TestFileCompression(t *testing.T) {
+	var buf bytes.Buffer
+	const ops = 100000
+	if _, err := Write(&buf, New(STREAM, ops, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Raw encoding would be ~10+ bytes/op; gzip of the delta form should
+	// be well under half that.
+	if perOp := float64(buf.Len()) / ops; perOp > 5 {
+		t.Errorf("%.1f bytes/op; compression ineffective", perOp)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	if _, err := Open(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Open(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Valid magic, truncated payload.
+	var buf bytes.Buffer
+	buf.Write(fileMagic[:])
+	buf.WriteByte(3)
+	buf.WriteString("abc")
+	buf.Write([]byte{0x1f}) // half a gzip header
+	if _, err := Open(&buf); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestTruncatedRecordsReported(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Write(&buf, New(Bzip2, 100, 9)); err != nil {
+		t.Fatal(err)
+	}
+	// Clip the tail of the gzip stream.
+	clipped := buf.Bytes()[:buf.Len()-8]
+	replay, err := Open(bytes.NewReader(clipped))
+	if err != nil {
+		// Acceptable: the gzip footer is gone.
+		return
+	}
+	for {
+		if _, ok := replay.Next(); !ok {
+			break
+		}
+	}
+	// Either a clean early EOF or a reported error; never a panic.
+}
+
+func TestReplayDrivesLikeOriginal(t *testing.T) {
+	// A recorded trace must behave identically through arbitrary
+	// consumers; spot-check aggregate statistics.
+	var buf bytes.Buffer
+	if _, err := Write(&buf, New(Lbm, 20000, rngSeed())); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := Open(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	ops := 0
+	for {
+		op, ok := replay.Next()
+		if !ok {
+			break
+		}
+		ops++
+		if op.IsWrite {
+			writes++
+		}
+	}
+	if ops != 20000 {
+		t.Fatalf("ops = %d", ops)
+	}
+	frac := float64(writes) / float64(ops)
+	if frac < Lbm.WriteFraction-0.03 || frac > Lbm.WriteFraction+0.03 {
+		t.Fatalf("write fraction %v", frac)
+	}
+}
+
+func rngSeed() uint64 { return rng.New(1).Uint64() }

@@ -1,0 +1,150 @@
+// Package trace provides deterministic synthetic memory-access traces
+// standing in for the SPEC CPU 2006 and STREAM workloads of the paper's
+// Section 7 evaluation (Figure 16). The paper's conclusions there depend
+// on each workload's memory intensity, read/write mix, and locality — not
+// on instruction semantics — so each generator is parameterized to match
+// the qualitative profile of its namesake: STREAM, mcf and libquantum and
+// lbm memory-intensive with distinct patterns, bzip2 moderate, namd
+// compute-bound. See DESIGN.md's substitution table.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Op is one memory operation in a trace, with the number of non-memory
+// instructions the core executes before it.
+type Op struct {
+	NonMemInstrs int
+	Addr         uint64
+	IsWrite      bool
+}
+
+// Generator produces a finite stream of operations.
+type Generator interface {
+	// Next returns the next operation; ok is false at end of trace.
+	Next() (op Op, ok bool)
+	// Name identifies the workload.
+	Name() string
+}
+
+// Profile parameterizes a synthetic workload.
+type Profile struct {
+	// WorkloadName labels the profile.
+	WorkloadName string
+	// InstrsPerMemOp is the mean number of non-memory instructions
+	// between memory operations (memory intensity is its inverse).
+	InstrsPerMemOp int
+	// WriteFraction is the store share of memory operations.
+	WriteFraction float64
+	// WorkingSetBytes bounds the address footprint.
+	WorkingSetBytes uint64
+	// SequentialFraction is the share of accesses that continue a
+	// sequential stream (the rest jump uniformly inside the working set,
+	// modeling pointer chasing).
+	SequentialFraction float64
+	// Streams is the number of concurrent sequential streams (STREAM's
+	// a, b, c arrays; lbm's lattice sweeps).
+	Streams int
+}
+
+// The six profiles of Figure 16. Intensities follow the paper's
+// classification: "memory intensive applications (STREAM, mcf,
+// libquantum, bzip2, and lbm) ... as well as compute intensive one
+// (namd)".
+var (
+	// STREAM: pure streaming over three large arrays, one store per two
+	// loads (a[i] = b[i] + c[i] with write-allocate), extremely memory
+	// intensive.
+	STREAM = Profile{"STREAM", 2, 0.34, 512 << 20, 1.0, 3}
+	// Mcf: pointer-chasing network simplex, large working set, almost no
+	// spatial locality.
+	Mcf = Profile{"mcf", 6, 0.20, 1 << 30, 0.05, 1}
+	// Libquantum: streaming reads over a big quantum-state vector.
+	Libquantum = Profile{"libquantum", 5, 0.10, 256 << 20, 0.95, 1}
+	// Bzip2: moderate intensity, mixed locality.
+	Bzip2 = Profile{"bzip2", 20, 0.30, 8 << 20, 0.55, 2}
+	// Namd: compute-bound molecular dynamics; its hot set fits in the L2.
+	Namd = Profile{"namd", 90, 0.25, 384 << 10, 0.90, 2}
+	// Lbm: lattice-Boltzmann, streaming and write-heavy.
+	Lbm = Profile{"lbm", 5, 0.45, 512 << 20, 0.95, 2}
+)
+
+// Profiles returns the Figure 16 workloads in presentation order.
+func Profiles() []Profile {
+	return []Profile{STREAM, Bzip2, Mcf, Namd, Libquantum, Lbm}
+}
+
+// ProfileByName looks a profile up by its workload name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.WorkloadName == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("trace: unknown workload %q", name)
+}
+
+// synth is the deterministic generator behind every profile.
+type synth struct {
+	p         Profile
+	r         *rng.Rand
+	remaining int
+	streams   []uint64
+	next      int // round-robin stream index
+}
+
+// New returns a generator emitting nOps operations of the profile,
+// deterministically for a given seed.
+func New(p Profile, nOps int, seed uint64) Generator {
+	if nOps <= 0 {
+		panic("trace: non-positive op count")
+	}
+	if p.InstrsPerMemOp < 1 || p.WorkingSetBytes == 0 {
+		panic("trace: invalid profile")
+	}
+	streams := p.Streams
+	if streams < 1 {
+		streams = 1
+	}
+	s := &synth{p: p, r: rng.New(seed), remaining: nOps,
+		streams: make([]uint64, streams)}
+	// Spread stream bases across the working set.
+	for i := range s.streams {
+		s.streams[i] = (p.WorkingSetBytes / uint64(streams)) * uint64(i)
+	}
+	return s
+}
+
+// Name implements Generator.
+func (s *synth) Name() string { return s.p.WorkloadName }
+
+// Next implements Generator.
+func (s *synth) Next() (Op, bool) {
+	if s.remaining <= 0 {
+		return Op{}, false
+	}
+	s.remaining--
+
+	// Geometric-ish gap around the mean, in [1, 3*mean], keeps bursts
+	// realistic while staying deterministic and cheap.
+	mean := s.p.InstrsPerMemOp
+	gap := 1 + s.r.Intn(2*mean)
+
+	var addr uint64
+	if s.r.Float64() < s.p.SequentialFraction {
+		i := s.next
+		s.next = (s.next + 1) % len(s.streams)
+		s.streams[i] += 8 // one double per element; lines advance every 8 ops
+		addr = s.streams[i] % s.p.WorkingSetBytes
+	} else {
+		addr = uint64(s.r.Intn(int(s.p.WorkingSetBytes/64))) * 64
+	}
+	return Op{
+		NonMemInstrs: gap,
+		Addr:         addr,
+		IsWrite:      s.r.Float64() < s.p.WriteFraction,
+	}, true
+}

@@ -1,0 +1,111 @@
+package trace
+
+import "testing"
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, p := range Profiles() {
+		a := New(p, 5000, 42)
+		b := New(p, 5000, 42)
+		for {
+			x, okA := a.Next()
+			y, okB := b.Next()
+			if okA != okB {
+				t.Fatalf("%s: stream lengths differ", p.WorkloadName)
+			}
+			if !okA {
+				break
+			}
+			if x != y {
+				t.Fatalf("%s: divergence", p.WorkloadName)
+			}
+		}
+	}
+}
+
+func TestGeneratorLengthAndBounds(t *testing.T) {
+	for _, p := range Profiles() {
+		g := New(p, 1000, 7)
+		count := 0
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			count++
+			if op.Addr >= p.WorkingSetBytes {
+				t.Fatalf("%s: address %#x outside working set", p.WorkloadName, op.Addr)
+			}
+			if op.NonMemInstrs < 1 {
+				t.Fatalf("%s: non-positive instruction gap", p.WorkloadName)
+			}
+		}
+		if count != 1000 {
+			t.Fatalf("%s: %d ops", p.WorkloadName, count)
+		}
+	}
+}
+
+func TestProfileStatistics(t *testing.T) {
+	for _, p := range Profiles() {
+		g := New(p, 200000, 11)
+		var writes, ops, instrs int
+		for {
+			op, ok := g.Next()
+			if !ok {
+				break
+			}
+			ops++
+			instrs += op.NonMemInstrs
+			if op.IsWrite {
+				writes++
+			}
+		}
+		wf := float64(writes) / float64(ops)
+		if wf < p.WriteFraction-0.02 || wf > p.WriteFraction+0.02 {
+			t.Errorf("%s: write fraction %v, want ~%v", p.WorkloadName, wf, p.WriteFraction)
+		}
+		meanGap := float64(instrs) / float64(ops)
+		if meanGap < 0.7*float64(p.InstrsPerMemOp) || meanGap > 1.3*float64(p.InstrsPerMemOp) {
+			t.Errorf("%s: mean gap %v, want ~%d", p.WorkloadName, meanGap, p.InstrsPerMemOp)
+		}
+	}
+}
+
+func TestIntensityOrdering(t *testing.T) {
+	// The paper's classification: namd is compute-bound; STREAM is the
+	// most memory-intensive.
+	if STREAM.InstrsPerMemOp >= Namd.InstrsPerMemOp {
+		t.Error("STREAM should be far more memory-intensive than namd")
+	}
+	for _, p := range []Profile{STREAM, Mcf, Libquantum, Lbm} {
+		if p.InstrsPerMemOp > 10 {
+			t.Errorf("%s should be memory-intensive", p.WorkloadName)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("mcf")
+	if err != nil || p.WorkloadName != "mcf" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zeroOps":    func() { New(STREAM, 0, 1) },
+		"badProfile": func() { New(Profile{WorkloadName: "x", InstrsPerMemOp: 0, WorkingSetBytes: 1}, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,94 @@
+package wearout
+
+import "fmt"
+
+// ECP implements Error Correcting Pointers (Schechter et al., adapted in
+// the paper's Section 6.6): each entry stores a pointer to a failed cell
+// plus a replacement value; on read, entries patch the failed cells.
+//
+// Two variants are modeled:
+//
+//   - SLC ECP (the original): the pointer addresses a bit, the
+//     replacement is one bit, and each entry costs PointerBits+1 cells in
+//     SLC mode.
+//   - MLC ECP (Figure 14): for a 256-cell four-level block, an 8-bit
+//     pointer is stored in four 2-bit cells and the replacement state in
+//     one additional cell, so an entry costs five cells; a full flag adds
+//     one cell per block.
+type ECP struct {
+	// DataCells is the number of correctable positions.
+	DataCells int
+	// Entries is the number of failures tolerated (6 in the paper).
+	Entries int
+	// CellsPerEntry is the per-entry cell cost (5 for the paper's MLC
+	// adaptation; 10 for the SLC entries guarding permutation-coded
+	// blocks in Table 3).
+	CellsPerEntry int
+	// FlagCells is the fixed overhead (1 full-flag cell in Figure 14).
+	FlagCells int
+}
+
+// MLCECP returns Figure 14's configuration for a 256-cell 4LC block.
+func MLCECP() ECP {
+	return ECP{DataCells: 256, Entries: 6, CellsPerEntry: 5, FlagCells: 1}
+}
+
+// SLCECPForPermutation returns the ECP-6 configuration the paper attaches
+// to permutation coding in Table 3 (10 cells per failure, SLC mode).
+func SLCECPForPermutation(dataCells int) ECP {
+	return ECP{DataCells: dataCells, Entries: 6, CellsPerEntry: 10, FlagCells: 0}
+}
+
+// Entry is one correction record.
+type Entry struct {
+	Ptr         int // failed cell index
+	Replacement int // state the failed cell should read as
+	Valid       bool
+}
+
+// CellOverhead returns the total cell cost of the table.
+func (e ECP) CellOverhead() int { return e.Entries*e.CellsPerEntry + e.FlagCells }
+
+// Apply patches cells in place using the valid entries and returns the
+// number applied. Later entries take precedence over earlier ones when
+// they point at the same cell — matching ECP's write-ordering semantics,
+// where a replacement cell that itself fails is patched by a later entry.
+func (e ECP) Apply(cells []int, entries []Entry) (int, error) {
+	if len(cells) != e.DataCells {
+		return 0, fmt.Errorf("wearout: got %d cells, want %d", len(cells), e.DataCells)
+	}
+	if len(entries) > e.Entries {
+		return 0, fmt.Errorf("wearout: %d entries exceed capacity %d", len(entries), e.Entries)
+	}
+	applied := 0
+	for _, en := range entries {
+		if !en.Valid {
+			continue
+		}
+		if en.Ptr < 0 || en.Ptr >= e.DataCells {
+			return applied, fmt.Errorf("wearout: pointer %d out of range", en.Ptr)
+		}
+		cells[en.Ptr] = en.Replacement
+		applied++
+	}
+	return applied, nil
+}
+
+// Allocate returns an entry table patching the given failed cells with
+// their intended states, or ErrTooManyFailures if capacity is exceeded.
+func (e ECP) Allocate(failures map[int]int) ([]Entry, error) {
+	if len(failures) > e.Entries {
+		return nil, ErrTooManyFailures
+	}
+	entries := make([]Entry, 0, len(failures))
+	// Deterministic order: ascending pointer.
+	for ptr := 0; ptr < e.DataCells && len(entries) < len(failures); ptr++ {
+		if state, ok := failures[ptr]; ok {
+			entries = append(entries, Entry{Ptr: ptr, Replacement: state, Valid: true})
+		}
+	}
+	if len(entries) != len(failures) {
+		return nil, fmt.Errorf("wearout: failure pointer out of range")
+	}
+	return entries, nil
+}

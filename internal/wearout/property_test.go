@@ -1,0 +1,81 @@
+package wearout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// Property: SpareSet Layout∘Correct is the identity for arbitrary
+// geometries, data, and in-capacity markings.
+func TestSpareSetRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, dataRaw, spareRaw, invRaw uint8, markRaw uint8) bool {
+		dataGroups := int(dataRaw)%32 + 1
+		spareGroups := int(spareRaw)%8 + 1
+		invVal := int(invRaw)%100 + 1
+		ss := SpareSet{DataGroups: dataGroups, SpareGroups: spareGroups, INV: invVal}
+		r := rng.New(seed)
+		data := make([]int, dataGroups)
+		for i := range data {
+			data[i] = r.Intn(invVal)
+		}
+		marked := map[int]bool{}
+		for len(marked) < int(markRaw)%(spareGroups+1) {
+			marked[r.Intn(ss.Total())] = true
+		}
+		phys, err := ss.Layout(data, marked)
+		if err != nil {
+			return false
+		}
+		got, used, err := ss.Correct(phys)
+		if err != nil || used != len(marked) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ECP Allocate∘Apply restores any in-capacity failure set.
+func TestECPRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nFail uint8) bool {
+		e := MLCECP()
+		r := rng.New(seed)
+		intended := make([]int, e.DataCells)
+		cells := make([]int, e.DataCells)
+		for i := range cells {
+			intended[i] = r.Intn(4)
+			cells[i] = intended[i]
+		}
+		failures := map[int]int{}
+		for len(failures) < int(nFail)%(e.Entries+1) {
+			ptr := r.Intn(e.DataCells)
+			failures[ptr] = intended[ptr]
+			cells[ptr] = 3 // stuck high
+		}
+		entries, err := e.Allocate(failures)
+		if err != nil {
+			return false
+		}
+		if _, err := e.Apply(cells, entries); err != nil {
+			return false
+		}
+		for i := range cells {
+			if cells[i] != intended[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package wearout
+
+import "fmt"
+
+// SpareSet generalizes mark-and-spare from cell pairs to arbitrary
+// enumerative groups (Section 8: the same INV-marking idea works for any
+// non-power-of-two-level cell whose group code reserves the all-highest
+// combination). A group whose value equals INV is skipped on read and a
+// spare group shifts in.
+type SpareSet struct {
+	DataGroups  int
+	SpareGroups int
+	// INV is the reserved marker value (one past the largest data value).
+	INV int
+}
+
+// Total returns data plus spare groups.
+func (s SpareSet) Total() int { return s.DataGroups + s.SpareGroups }
+
+// Correct squeezes INV groups out of the physical sequence and returns
+// the DataGroups logical values, plus the number of spares consumed.
+func (s SpareSet) Correct(groups []int) (data []int, used int, err error) {
+	if len(groups) != s.Total() {
+		return nil, 0, fmt.Errorf("wearout: got %d groups, want %d", len(groups), s.Total())
+	}
+	data = make([]int, 0, s.DataGroups)
+	inv := 0
+	for _, g := range groups {
+		if g < 0 || g > s.INV {
+			return nil, 0, fmt.Errorf("wearout: group value %d out of range", g)
+		}
+		if g == s.INV {
+			inv++
+			continue
+		}
+		if len(data) < s.DataGroups {
+			data = append(data, g)
+		}
+	}
+	if inv > s.SpareGroups {
+		return nil, inv, ErrTooManyFailures
+	}
+	if len(data) < s.DataGroups {
+		return nil, inv, fmt.Errorf("wearout: internal shortfall: %d data groups", len(data))
+	}
+	return data, inv, nil
+}
+
+// Layout is the write-side inverse of Correct: data values placed over
+// unmarked positions in order, marked positions pinned to INV, trailing
+// spares zeroed.
+func (s SpareSet) Layout(data []int, marked map[int]bool) ([]int, error) {
+	if len(data) != s.DataGroups {
+		return nil, fmt.Errorf("wearout: got %d data groups, want %d", len(data), s.DataGroups)
+	}
+	if len(marked) > s.SpareGroups {
+		return nil, ErrTooManyFailures
+	}
+	out := make([]int, s.Total())
+	next := 0
+	for i := range out {
+		if marked[i] {
+			out[i] = s.INV
+			continue
+		}
+		if next < len(data) {
+			v := data[next]
+			if v < 0 || v >= s.INV {
+				return nil, fmt.Errorf("wearout: data value %d invalid", v)
+			}
+			out[i] = v
+			next++
+		}
+	}
+	if next < len(data) {
+		return nil, ErrTooManyFailures
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+// Package wearout implements the paper's hard-error (wearout) tolerance
+// mechanisms: the proposed mark-and-spare scheme for 3-ON-2 encoded
+// three-level cells (Section 6.4, Figures 10–12) and the Error Correcting
+// Pointers baseline, both in its original SLC form and the MLC adaptation
+// of Figure 14. It also models PCM's two wearout failure modes.
+package wearout
+
+import "fmt"
+
+// FailureMode is a PCM wearout failure type (Section 6.4, after Burr et
+// al.): stuck-reset cells are pinned at the highest resistance state;
+// stuck-set cells cannot be RESET to the highest state (and can usually
+// be revived into it by a reverse current pulse, per Goux et al.).
+type FailureMode int
+
+const (
+	// Healthy marks a functioning cell.
+	Healthy FailureMode = iota
+	// StuckReset pins the cell at the highest-resistance state.
+	StuckReset
+	// StuckSet prevents the cell from reaching the highest-resistance
+	// state; it reads back at a lower state than written.
+	StuckSet
+	// StuckSetRevived is a stuck-set cell forced into the highest state
+	// by reverse current: it behaves as permanently highest-resistance.
+	StuckSetRevived
+)
+
+// String implements fmt.Stringer.
+func (m FailureMode) String() string {
+	switch m {
+	case Healthy:
+		return "healthy"
+	case StuckReset:
+		return "stuck-reset"
+	case StuckSet:
+		return "stuck-set"
+	case StuckSetRevived:
+		return "stuck-set-revived"
+	}
+	return fmt.Sprintf("FailureMode(%d)", int(m))
+}
+
+// Pinned reports whether the mode forces the cell to the top state.
+func (m FailureMode) Pinned(topState int) (state int, pinned bool) {
+	switch m {
+	case StuckReset, StuckSetRevived:
+		return topState, true
+	}
+	return 0, false
+}

@@ -1,0 +1,274 @@
+package wearout
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/encoding"
+	"repro/internal/rng"
+)
+
+func TestPaperDesignGeometry(t *testing.T) {
+	m := PaperDesign()
+	if m.TotalPairs() != 177 || m.TotalCells() != 354 {
+		t.Fatalf("geometry: %d pairs, %d cells", m.TotalPairs(), m.TotalCells())
+	}
+	// Section 6.4: "Tolerating six wearout failures requires 12 spare
+	// cells", i.e. 2 per failure.
+	if CellOverhead(6) != 12 {
+		t.Fatalf("overhead for 6 failures = %d", CellOverhead(6))
+	}
+}
+
+func randPairs(r *rng.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Intn(8) // valid (non-INV) pair values
+	}
+	return out
+}
+
+func TestMarkAndSpareCleanPassThrough(t *testing.T) {
+	m := PaperDesign()
+	r := rng.New(1)
+	data := randPairs(r, m.DataPairs)
+	phys, err := m.Layout(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, used, err := m.Correct(phys)
+	if err != nil || used != 0 {
+		t.Fatalf("clean correct: used=%d err=%v", used, err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}
+
+func TestMarkAndSpareFigure12Example(t *testing.T) {
+	// Figure 12: eight data pairs, two spare pairs, failures at data
+	// positions 1 and 4. After correction the logical data is intact.
+	m := MarkAndSpare{DataPairs: 8, SparePairs: 2}
+	data := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	phys, err := m.Layout(data, map[int]bool{1: true, 4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phys[1] != encoding.INV || phys[4] != encoding.INV {
+		t.Fatalf("marked positions not INV: %v", phys)
+	}
+	got, used, err := m.Correct(phys)
+	if err != nil || used != 2 {
+		t.Fatalf("used=%d err=%v", used, err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("pair %d: got %d want %d (phys %v)", i, got[i], data[i], phys)
+		}
+	}
+}
+
+func TestMarkAndSpareAllFailurePositions(t *testing.T) {
+	// Any combination of up to SparePairs marked positions — including
+	// marked spares themselves — must round-trip.
+	m := MarkAndSpare{DataPairs: 8, SparePairs: 4}
+	r := rng.New(2)
+	for trial := 0; trial < 500; trial++ {
+		data := randPairs(r, m.DataPairs)
+		marked := map[int]bool{}
+		for len(marked) < r.Intn(m.SparePairs+1) {
+			marked[r.Intn(m.TotalPairs())] = true
+		}
+		phys, err := m.Layout(data, marked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, used, err := m.Correct(phys)
+		if err != nil {
+			t.Fatalf("marked=%v: %v", marked, err)
+		}
+		if used != len(marked) {
+			t.Fatalf("used=%d, marked=%d", used, len(marked))
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("marked=%v pair %d wrong", marked, i)
+			}
+		}
+	}
+}
+
+func TestMarkAndSpareOverCapacity(t *testing.T) {
+	m := MarkAndSpare{DataPairs: 8, SparePairs: 2}
+	marked := map[int]bool{0: true, 1: true, 2: true}
+	if _, err := m.Layout(randPairs(rng.New(3), 8), marked); !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("Layout over capacity: %v", err)
+	}
+	// Read side: three INV pairs with two spares is uncorrectable.
+	phys := make([]int, m.TotalPairs())
+	phys[0], phys[3], phys[9] = encoding.INV, encoding.INV, encoding.INV
+	if _, _, err := m.Correct(phys); !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("Correct over capacity: %v", err)
+	}
+}
+
+func TestMarkAndSpareValidation(t *testing.T) {
+	m := MarkAndSpare{DataPairs: 4, SparePairs: 1}
+	if _, _, err := m.Correct([]int{1, 2}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, _, err := m.Correct([]int{0, 1, 2, 3, 9}); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+	if _, err := m.Layout([]int{1}, nil); err == nil {
+		t.Error("short data accepted")
+	}
+	if _, err := m.Layout([]int{1, 2, 3, encoding.INV}, nil); err == nil {
+		t.Error("INV data value accepted")
+	}
+}
+
+// Property: Layout followed by Correct is the identity for any data and
+// any in-capacity marking.
+func TestMarkAndSpareRoundTripProperty(t *testing.T) {
+	m := PaperDesign()
+	f := func(seed uint64, nMarked uint8) bool {
+		r := rng.New(seed)
+		data := randPairs(r, m.DataPairs)
+		marked := map[int]bool{}
+		want := int(nMarked) % (m.SparePairs + 1)
+		for len(marked) < want {
+			marked[r.Intn(m.TotalPairs())] = true
+		}
+		phys, err := m.Layout(data, marked)
+		if err != nil {
+			return false
+		}
+		got, used, err := m.Correct(phys)
+		if err != nil || used != len(marked) {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailureModePinning(t *testing.T) {
+	if _, pinned := Healthy.Pinned(2); pinned {
+		t.Error("healthy cell pinned")
+	}
+	if s, pinned := StuckReset.Pinned(2); !pinned || s != 2 {
+		t.Error("stuck-reset should pin to top state")
+	}
+	if s, pinned := StuckSetRevived.Pinned(3); !pinned || s != 3 {
+		t.Error("revived stuck-set should pin to top state")
+	}
+	if _, pinned := StuckSet.Pinned(2); pinned {
+		t.Error("un-revived stuck-set is not pinned")
+	}
+	for _, m := range []FailureMode{Healthy, StuckReset, StuckSet, StuckSetRevived} {
+		if m.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func TestECPFigure14Geometry(t *testing.T) {
+	e := MLCECP()
+	// Section 6.6: "an ECP entry of five cells is required for correcting
+	// a cell failure. To tolerate six wearout failures, a total of 31
+	// cells ... are needed."
+	if e.CellOverhead() != 31 {
+		t.Fatalf("MLC ECP overhead = %d, want 31", e.CellOverhead())
+	}
+	p := SLCECPForPermutation(329)
+	if p.CellOverhead() != 60 {
+		t.Fatalf("SLC ECP overhead = %d, want 60", p.CellOverhead())
+	}
+}
+
+func TestECPApply(t *testing.T) {
+	e := MLCECP()
+	r := rng.New(4)
+	cells := make([]int, 256)
+	intended := make([]int, 256)
+	for i := range cells {
+		intended[i] = r.Intn(4)
+		cells[i] = intended[i]
+	}
+	// Six cells fail: they read back as garbage.
+	failures := map[int]int{3: intended[3], 77: intended[77], 100: intended[100],
+		200: intended[200], 254: intended[254], 255: intended[255]}
+	for ptr := range failures {
+		cells[ptr] = 3 // stuck at top state
+	}
+	entries, err := e.Allocate(failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Apply(cells, entries)
+	if err != nil || n != 6 {
+		t.Fatalf("applied %d, err %v", n, err)
+	}
+	for i := range cells {
+		if cells[i] != intended[i] {
+			t.Fatalf("cell %d not restored", i)
+		}
+	}
+}
+
+func TestECPLaterEntryWins(t *testing.T) {
+	e := ECP{DataCells: 8, Entries: 2, CellsPerEntry: 5}
+	cells := make([]int, 8)
+	entries := []Entry{
+		{Ptr: 3, Replacement: 1, Valid: true},
+		{Ptr: 3, Replacement: 2, Valid: true},
+	}
+	if _, err := e.Apply(cells, entries); err != nil {
+		t.Fatal(err)
+	}
+	if cells[3] != 2 {
+		t.Fatalf("cell 3 = %d, want later entry's 2", cells[3])
+	}
+}
+
+func TestECPValidation(t *testing.T) {
+	e := ECP{DataCells: 8, Entries: 2, CellsPerEntry: 5}
+	if _, err := e.Apply(make([]int, 7), nil); err == nil {
+		t.Error("wrong cell count accepted")
+	}
+	if _, err := e.Apply(make([]int, 8), make([]Entry, 3)); err == nil {
+		t.Error("too many entries accepted")
+	}
+	if _, err := e.Apply(make([]int, 8), []Entry{{Ptr: 9, Valid: true}}); err == nil {
+		t.Error("out-of-range pointer accepted")
+	}
+	if _, err := e.Allocate(map[int]int{0: 1, 1: 1, 2: 1}); !errors.Is(err, ErrTooManyFailures) {
+		t.Error("over-capacity allocation accepted")
+	}
+	if _, err := e.Allocate(map[int]int{100: 1}); err == nil {
+		t.Error("out-of-range failure accepted")
+	}
+}
+
+func BenchmarkMarkAndSpareCorrect(b *testing.B) {
+	m := PaperDesign()
+	data := randPairs(rng.New(1), m.DataPairs)
+	phys, _ := m.Layout(data, map[int]bool{5: true, 80: true, 176: true})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Correct(phys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
