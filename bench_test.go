@@ -13,17 +13,22 @@
 package repro
 
 import (
+	"context"
+	"net"
 	"testing"
+	"time"
 
 	"repro/internal/bch"
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/drift"
 	"repro/internal/experiments"
 	"repro/internal/levels"
 	"repro/internal/logic"
 	"repro/internal/memsim"
 	"repro/internal/pcmarray"
+	"repro/internal/pcmserve"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -230,6 +235,73 @@ func BenchmarkMemsimThroughput(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				memsim.Run(cfg, trace.New(trace.Mcf, 100_000, uint64(i+1)))
 			}
+		})
+	}
+}
+
+// BenchmarkPCMServe measures the networked serving layer end to end:
+// a loopback pcmserve server over a 4-shard 3LC device, driven by
+// concurrent pipelined clients. ns/op is the per-request wire+device
+// latency under load; with -benchmem, MB/s follows from the 64-byte
+// op payload.
+func BenchmarkPCMServe(b *testing.B) {
+	shards, err := pcmserve.NewShards(pcmserve.ShardsConfig{
+		Shards:     4,
+		QueueDepth: 64,
+		Device: device.Config{
+			Kind:           device.ThreeLC,
+			Blocks:         256,
+			Seed:           benchOpts.Seed,
+			DisableWearout: true,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer shards.Close()
+	srv := pcmserve.NewServer(shards, pcmserve.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := ln.Addr().String()
+	size := shards.Size()
+
+	for _, mode := range []string{"write", "read", "mixed"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			b.SetBytes(core.BlockBytes)
+			b.RunParallel(func(pb *testing.PB) {
+				c, err := pcmserve.Dial(addr)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer c.Close()
+				buf := make([]byte, core.BlockBytes)
+				var i int64
+				for pb.Next() {
+					off := (i * 8 * core.BlockBytes) % (size - core.BlockBytes)
+					var err error
+					switch {
+					case mode == "write" || (mode == "mixed" && i%3 == 0):
+						_, err = c.WriteAt(buf, off)
+					default:
+						_, err = c.ReadAt(buf, off)
+					}
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
 		})
 	}
 }

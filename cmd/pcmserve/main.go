@@ -1,0 +1,250 @@
+// Command pcmserve serves a sharded PCM device over TCP using the
+// internal/pcmserve length-prefixed binary protocol, or — with -loadgen
+// — spins up a loopback server plus a fleet of concurrent clients and
+// reports throughput, latency, and per-shard statistics.
+//
+// Usage:
+//
+//	pcmserve -addr :7070 -kind 3LC -mb 4 -shards 8        # serve
+//	pcmserve -loadgen -clients 8 -duration 3s             # self-benchmark
+//	pcmserve -loadgen -addr host:7070 -clients 4          # load an external server
+//
+// Metrics are also published through expvar; mount expvar's handler in
+// a sidecar HTTP server or query the STATS op through the client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pcmserve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address (serve) or target address (loadgen; empty = in-process loopback server)")
+		kindArg = flag.String("kind", "3LC", "3LC, 4LCo, or permutation")
+		mb      = flag.Float64("mb", 1, "total device capacity in MiB, split across shards")
+		shards  = flag.Int("shards", 4, "independent device shards")
+		queue   = flag.Int("queue", 64, "bounded per-shard queue depth (backpressure limit)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		level   = flag.Bool("wearlevel", true, "enable start-gap wear leveling per shard")
+		reserve = flag.Int("reserve", 4, "remapping reserve blocks per shard")
+		noWear  = flag.Bool("nowearout", false, "disable endurance limits")
+
+		inflight = flag.Int("inflight", 32, "max in-flight requests per connection")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		clients  = flag.Int("clients", 4, "loadgen: concurrent client connections")
+		duration = flag.Duration("duration", 2*time.Second, "loadgen: how long to run")
+		opSize   = flag.Int("opsize", 64, "loadgen: bytes per read/write")
+		readPct  = flag.Int("readpct", 70, "loadgen: percentage of ops that are reads")
+	)
+	flag.Parse()
+
+	kinds := map[string]device.ArchKind{
+		"3LC": device.ThreeLC, "4LCo": device.FourLC, "permutation": device.Permutation,
+	}
+	kind, ok := kinds[*kindArg]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kindArg)
+		os.Exit(2)
+	}
+
+	blocksPerShard := int(*mb*1024*1024) / core.BlockBytes / *shards
+	if blocksPerShard < 1 {
+		blocksPerShard = 1
+	}
+	newShards := func() *pcmserve.Shards {
+		g, err := pcmserve.NewShards(pcmserve.ShardsConfig{
+			Shards:     *shards,
+			QueueDepth: *queue,
+			Device: device.Config{
+				Kind: kind, Blocks: blocksPerShard, Seed: *seed,
+				WearLeveling: *level, ReserveBlocks: *reserve,
+				DisableWearout: *noWear,
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return g
+	}
+
+	if *loadgen {
+		runLoadgen(*addr, newShards, *inflight, *clients, *duration, *opSize, *readPct)
+		return
+	}
+
+	g := newShards()
+	defer g.Close()
+	srv := pcmserve.NewServer(g, pcmserve.ServerConfig{
+		MaxInflight: *inflight,
+		ExpvarName:  "pcmserve",
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("pcmserve: %s (%.2f MiB, %d shards × %d blocks) on %s\n",
+		g.Name(), float64(g.Size())/(1<<20), g.NumShards(), blocksPerShard, ln.Addr())
+
+	// Serve until SIGINT/SIGTERM, then drain gracefully.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("pcmserve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runLoadgen drives a server — an in-process loopback one when target
+// is empty — with concurrent clients issuing random reads and writes,
+// then prints throughput and the server's own statistics.
+func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clients int, duration time.Duration, opSize, readPct int) {
+	if target == "" || target == "127.0.0.1:7070" {
+		g := newShards()
+		defer g.Close()
+		srv := pcmserve.NewServer(g, pcmserve.ServerConfig{MaxInflight: inflight})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		go srv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		target = ln.Addr().String()
+		fmt.Printf("loadgen: loopback server %s on %s\n", g.Name(), target)
+	}
+
+	// Probe the device size through a throwaway client.
+	probe, err := pcmserve.Dial(target)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st, err := probe.Stats()
+	probe.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats probe:", err)
+		os.Exit(1)
+	}
+	span := st.SizeBytes
+	if span < int64(opSize) {
+		fmt.Fprintf(os.Stderr, "device %d bytes smaller than -opsize %d\n", span, opSize)
+		os.Exit(1)
+	}
+
+	var ops, bytesMoved atomic.Uint64
+	var errCount atomic.Uint64
+	stop := make(chan struct{})
+	time.AfterFunc(duration, func() { close(stop) })
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := pcmserve.Dial(target)
+			if err != nil {
+				errCount.Add(1)
+				return
+			}
+			defer c.Close()
+			r := rand.New(rand.NewSource(int64(w) + 1))
+			buf := make([]byte, opSize)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := r.Int63n(span - int64(opSize) + 1)
+				var err error
+				if r.Intn(100) < readPct {
+					_, err = c.ReadAt(buf, off)
+				} else {
+					r.Read(buf)
+					_, err = c.WriteAt(buf, off)
+				}
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				ops.Add(1)
+				bytesMoved.Add(uint64(opSize))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	done, moved := ops.Load(), bytesMoved.Load()
+	fmt.Printf("loadgen: %d clients, %v: %d ops (%.0f ops/s), %.2f MiB/s, %d errors\n",
+		clients, elapsed.Round(time.Millisecond), done,
+		float64(done)/elapsed.Seconds(),
+		float64(moved)/(1<<20)/elapsed.Seconds(), errCount.Load())
+
+	final, err := pcmserve.Dial(target)
+	if err == nil {
+		if st, err := final.Stats(); err == nil {
+			fmt.Printf("server: reads=%d writes=%d errors=%d conns=%d\n",
+				st.Reads, st.Writes, st.Errors, st.TotalConns)
+			for _, s := range st.Shards {
+				fmt.Printf("  shard %d: reads=%d writes=%d queue=%d/%d p50(read)=%s\n",
+					s.Shard, s.Reads, s.Writes, s.QueueDepth, s.QueueCap,
+					histP50(s.ReadLatencyUs))
+			}
+		}
+		final.Close()
+	}
+}
+
+// histP50 estimates the median latency bucket of a power-of-two
+// histogram, returning a human-readable bound.
+func histP50(buckets []uint64) string {
+	var total uint64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return "n/a"
+	}
+	var cum uint64
+	for i, c := range buckets {
+		cum += c
+		if cum*2 >= total {
+			return fmt.Sprintf("<%dµs", uint64(1)<<uint(i))
+		}
+	}
+	return "n/a"
+}

@@ -10,6 +10,20 @@
 // block operations with read-modify-write at the edges. Simulated time
 // advances explicitly through Advance, which also drives refresh for
 // architectures that need it.
+//
+// # Concurrency
+//
+// A Device is NOT safe for concurrent use. The composed stack (cell
+// array, wear leveling, remapping, refresh bookkeeping) is mutable
+// state with no internal locking — mirroring real PCM, where a rank is
+// owned by one memory-controller channel. Callers must confine a
+// Device to a single goroutine or serialize access themselves:
+//
+//   - internal/pcmserve shards the byte address space across several
+//     devices, each owned by one goroutine draining a bounded queue —
+//     the intended path for serving concurrent request streams.
+//   - For embedding a single device directly, wrap it in a mutex (see
+//     the package example ExampleDevice_lockedWrapper).
 package device
 
 import (
@@ -211,6 +225,15 @@ func (d *Device) WriteAt(p []byte, off int64) (int, error) {
 			cur, err := d.readBlock(b)
 			if err != nil && !errors.Is(err, core.ErrUncorrectable) {
 				return n, fmt.Errorf("device: rmw read block %d: %w", b, err)
+			}
+			// An uncorrectable read is tolerated — the write replaces
+			// the damaged span anyway — but the returned buffer may be
+			// nil or short; the read-modify-write below needs a full
+			// block to splice into.
+			if len(cur) < core.BlockBytes {
+				full := make([]byte, core.BlockBytes)
+				copy(full, cur)
+				cur = full
 			}
 			copy(cur[inBlk:], p[n:n+span])
 			blk = cur

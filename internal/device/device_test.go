@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/core"
+	"repro/internal/pcmarray"
 	"repro/internal/rng"
 )
 
@@ -221,5 +223,141 @@ func TestArchKindString(t *testing.T) {
 	}
 	if _, err := New(Config{Blocks: 1, Kind: ArchKind(9)}); err == nil {
 		t.Error("unknown kind accepted")
+	}
+}
+
+// faultyArch wraps a real core.Arch but makes reads of designated
+// blocks fail uncorrectably with the worst-case contract a decoder may
+// exhibit: a nil or short buffer alongside core.ErrUncorrectable.
+type faultyArch struct {
+	core.Arch
+	uncorrectable map[int][]byte // block → buffer to return (may be nil/short)
+}
+
+func (f *faultyArch) Read(b int) ([]byte, error) {
+	if buf, ok := f.uncorrectable[b]; ok {
+		return buf, core.ErrUncorrectable
+	}
+	return f.Arch.Read(b)
+}
+
+// TestWriteAtUncorrectableRMW is the regression test for the
+// read-modify-write path when the underlying block read is
+// uncorrectable: a nil (or short) buffer from the decoder used to
+// panic the splice; the write must instead proceed, replacing the
+// damaged block.
+func TestWriteAtUncorrectableRMW(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		buf  []byte
+	}{
+		{"nil buffer", nil},
+		{"short buffer", make([]byte, 17)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := pcmarray.DefaultOptions(99)
+			opt.EnduranceMean = 0
+			fa := &faultyArch{
+				Arch:          core.NewThreeLC(2, core.ThreeLCConfig{Array: opt}),
+				uncorrectable: map[int][]byte{0: tc.buf},
+			}
+			d := &Device{cfg: Config{Blocks: 2}, arch: fa, valid: make([]bool, 2)}
+			// Mark block 0 as written so the RMW path consults the
+			// (failing) decoder rather than the zero-fill shortcut.
+			d.valid[0] = true
+
+			splice := []byte{0xAB, 0xCD, 0xEF, 0x01}
+			if _, err := d.WriteAt(splice, 10); err != nil {
+				t.Fatalf("unaligned WriteAt over uncorrectable block: %v", err)
+			}
+
+			// The write landed; with the fault cleared the block reads
+			// back as the spliced content over a zero (or short) base.
+			delete(fa.uncorrectable, 0)
+			got := make([]byte, core.BlockBytes)
+			if _, err := d.ReadAt(got, 0); err != nil {
+				t.Fatalf("readback: %v", err)
+			}
+			want := make([]byte, core.BlockBytes)
+			copy(want, tc.buf)
+			copy(want[10:], splice)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("spliced block mismatch:\n got %x\nwant %x", got, want)
+			}
+		})
+	}
+}
+
+// TestReadWriteEdges pins down the unaligned-edge semantics of
+// ReadAt/WriteAt: block-boundary straddles, ranges ending exactly at
+// Size(), zero-length buffers, and EOF behaviour.
+func TestReadWriteEdges(t *testing.T) {
+	d := newDev(t, Config{Blocks: 4}) // 256 bytes, 64-byte blocks
+	size := d.Size()
+
+	writes := []struct {
+		name string
+		off  int64
+		n    int
+	}{
+		{"within one block, unaligned", 5, 20},
+		{"straddles blocks 0/1", 60, 8},
+		{"exactly one aligned block", 64, 64},
+		{"straddles three blocks", 70, 130},
+		{"ends exactly at Size", size - 9, 9},
+		{"single byte at last offset", size - 1, 1},
+	}
+	mirror := make([]byte, size)
+	pat := byte(3)
+	for _, w := range writes {
+		t.Run("write "+w.name, func(t *testing.T) {
+			p := make([]byte, w.n)
+			for i := range p {
+				p[i] = pat
+				pat = pat*7 + 1
+			}
+			n, err := d.WriteAt(p, w.off)
+			if err != nil || n != w.n {
+				t.Fatalf("WriteAt(%d bytes, %d) = %d, %v", w.n, w.off, n, err)
+			}
+			copy(mirror[w.off:], p)
+		})
+	}
+
+	reads := []struct {
+		name    string
+		off     int64
+		n       int
+		wantN   int
+		wantErr error
+	}{
+		{"full device", 0, int(size), int(size), nil},
+		{"straddling blocks 1/2", 100, 56, 56, nil},
+		{"ends exactly at Size", size - 13, 13, 13, nil},
+		{"crosses Size", size - 5, 12, 5, io.EOF},
+		{"starts at Size", size, 4, 0, io.EOF},
+		{"starts past Size", size + 40, 4, 0, io.EOF},
+		{"zero-length at 0", 0, 0, 0, nil},
+		{"zero-length at Size", size, 0, 0, nil},
+	}
+	for _, r := range reads {
+		t.Run("read "+r.name, func(t *testing.T) {
+			p := make([]byte, r.n)
+			n, err := d.ReadAt(p, r.off)
+			if n != r.wantN || err != r.wantErr {
+				t.Fatalf("ReadAt(%d bytes, %d) = %d, %v; want %d, %v", r.n, r.off, n, err, r.wantN, r.wantErr)
+			}
+			if r.off < size && !bytes.Equal(p[:n], mirror[r.off:r.off+int64(n)]) {
+				t.Fatal("content mismatch against mirror")
+			}
+		})
+	}
+
+	// Zero-length writes are accepted anywhere in range.
+	if n, err := d.WriteAt(nil, 0); n != 0 || err != nil {
+		t.Fatalf("zero-length WriteAt = %d, %v", n, err)
+	}
+	if n, err := d.WriteAt(nil, size); n != 0 || err != nil {
+		t.Fatalf("zero-length WriteAt at Size = %d, %v", n, err)
 	}
 }

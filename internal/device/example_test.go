@@ -2,6 +2,7 @@ package device_test
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/device"
 )
@@ -39,4 +40,72 @@ func Example() {
 	fmt.Printf("%s\n", got)
 	// Output:
 	// persistent across a decade without power
+}
+
+// lockedDevice is the minimal way to share one Device between
+// goroutines: serialize every access behind a mutex. A Device is not
+// safe for concurrent use (see the package documentation); when
+// per-device serialization becomes the bottleneck, shard the address
+// space across several devices instead — internal/pcmserve does
+// exactly that, one goroutine per shard.
+type lockedDevice struct {
+	mu  sync.Mutex
+	dev *device.Device
+}
+
+func (l *lockedDevice) ReadAt(p []byte, off int64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.ReadAt(p, off)
+}
+
+func (l *lockedDevice) WriteAt(p []byte, off int64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.WriteAt(p, off)
+}
+
+func (l *lockedDevice) Advance(dt float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.Advance(dt)
+}
+
+// Share a single device between concurrent writers by wrapping it in a
+// mutex — the embedder-side answer to the package's single-goroutine
+// concurrency contract.
+func ExampleDevice_lockedWrapper() {
+	dev, err := device.New(device.Config{
+		Kind:           device.ThreeLC,
+		Blocks:         32,
+		Seed:           7,
+		DisableWearout: true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	shared := &lockedDevice{dev: dev}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := []byte(fmt.Sprintf("writer %d", w))
+			if _, err := shared.WriteAt(chunk, int64(w)*128+33); err != nil {
+				fmt.Println(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got := make([]byte, 8)
+	if _, err := shared.ReadAt(got, 2*128+33); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s\n", got)
+	// Output:
+	// writer 2
 }

@@ -1,0 +1,232 @@
+package pcmserve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// maxChunk is the largest read or write payload the client puts in one
+// frame; larger ReadAt/WriteAt calls are split into sequential chunks.
+const maxChunk = 1 << 20
+
+// Client is a pipelined pcmserve client. It is safe for concurrent use:
+// any number of goroutines may issue requests on one connection, each
+// call blocking only its own goroutine while responses are matched back
+// by request id.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	pmu     sync.Mutex
+	pending map[uint64]chan response
+	err     error // sticky; set when the connection dies
+	closed  bool
+
+	nextID     atomic.Uint64
+	readerDone chan struct{}
+}
+
+var _ io.ReaderAt = (*Client)(nil)
+var _ io.WriterAt = (*Client)(nil)
+
+// Dial connects to a pcmserve server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful for tests and
+// custom transports). The client owns conn from here on.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:       conn,
+		bw:         bufio.NewWriter(conn),
+		pending:    make(map[uint64]chan response),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop routes response frames to waiting callers by request id.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReader(c.conn)
+	for {
+		buf, err := readFrame(br, DefaultMaxFrame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		resp, err := parseResponse(buf)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[resp.id]
+		delete(c.pending, resp.id)
+		c.pmu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+// fail marks the client dead and wakes every waiter.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.err == nil {
+		if c.closed {
+			err = ErrClosed
+		}
+		c.err = fmt.Errorf("pcmserve: connection failed: %w", err)
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch) // a closed channel signals "see c.err"
+	}
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *Client) Close() error {
+	c.pmu.Lock()
+	c.closed = true
+	c.pmu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// roundTrip sends one encoded request frame and waits for its response.
+func (c *Client) roundTrip(id uint64, reqFrame []byte) (response, error) {
+	ch := make(chan response, 1)
+	c.pmu.Lock()
+	if c.err != nil || c.closed {
+		err := c.err
+		c.pmu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return response{}, err
+	}
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	_, werr := c.bw.Write(reqFrame)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return response{}, fmt.Errorf("pcmserve: send: %w", werr)
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		c.pmu.Lock()
+		err := c.err
+		c.pmu.Unlock()
+		return response{}, err
+	}
+	if resp.status == StatusErr {
+		return resp, errors.New(string(resp.payload))
+	}
+	return resp, nil
+}
+
+// ReadAt implements io.ReaderAt against the remote device, preserving
+// its EOF semantics. Calls larger than 1 MiB are split into chunks.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	n := 0
+	for n < len(p) {
+		chunk := len(p) - n
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
+		id := c.nextID.Add(1)
+		resp, err := c.roundTrip(id, encodeReadReq(id, off+int64(n), uint32(chunk)))
+		if err != nil {
+			return n, err
+		}
+		if len(resp.payload) > chunk {
+			return n, fmt.Errorf("pcmserve: server returned %d bytes for a %d-byte read", len(resp.payload), chunk)
+		}
+		n += copy(p[n:], resp.payload)
+		if resp.status == StatusEOF {
+			return n, io.EOF
+		}
+		if len(resp.payload) < chunk {
+			return n, io.ErrUnexpectedEOF
+		}
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt against the remote device. Calls
+// larger than 1 MiB are split into chunks.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n := 0
+	for n < len(p) {
+		chunk := len(p) - n
+		if chunk > maxChunk {
+			chunk = maxChunk
+		}
+		id := c.nextID.Add(1)
+		resp, err := c.roundTrip(id, encodeWriteReq(id, off+int64(n), p[n:n+chunk]))
+		if err != nil {
+			return n, err
+		}
+		if len(resp.payload) != 4 {
+			return n, fmt.Errorf("pcmserve: malformed WRITE response (%d bytes)", len(resp.payload))
+		}
+		wrote := int(binary.BigEndian.Uint32(resp.payload))
+		n += wrote
+		if wrote < chunk {
+			return n, io.ErrShortWrite
+		}
+	}
+	return n, nil
+}
+
+// Advance moves the remote device's simulated time forward by dt
+// seconds (driving refresh where the architecture needs it).
+func (c *Client) Advance(dt float64) error {
+	id := c.nextID.Add(1)
+	_, err := c.roundTrip(id, encodeAdvanceReq(id, dt))
+	return err
+}
+
+// Stats fetches the server's observability snapshot via the STATS op.
+func (c *Client) Stats() (Stats, error) {
+	id := c.nextID.Add(1)
+	resp, err := c.roundTrip(id, encodeStatsReq(id))
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := json.Unmarshal(resp.payload, &st); err != nil {
+		return Stats{}, fmt.Errorf("pcmserve: decoding STATS response: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,40 @@
+// Package pcmserve turns the composed internal/device storage stack
+// into a network service: the serving layer that the paper's Section 1
+// adoption scenarios (file systems, checkpointing, persistent key-value
+// stores) assume sits between many request streams and the underlying
+// PCM device, in the role a memory controller plays in hardware.
+//
+// The package has four layers, bottom to top:
+//
+//   - Shards partitions the byte address space across N independent
+//     device.Device instances. Each shard is owned by exactly one
+//     goroutine that drains a bounded request channel, which both
+//     serializes access to the non-thread-safe device (see the
+//     internal/device concurrency contract) and gives linear scaling of
+//     independent reads across shards. Requests that straddle a shard
+//     boundary are split, dispatched concurrently, and reassembled.
+//
+//   - The wire protocol (protocol.go) is a length-prefixed binary
+//     framing over TCP with four operations — OpRead, OpWrite,
+//     OpAdvance, OpStats — each carrying a caller-chosen request ID so
+//     that many requests can be in flight on one connection and
+//     responses may return out of order (pipelining).
+//
+//   - Server accepts TCP connections and runs one reader and one writer
+//     goroutine per connection. Backpressure is structural: the bounded
+//     per-shard queues plus a bounded per-connection in-flight limit
+//     mean a slow device stalls the connection reader rather than
+//     queueing unbounded work. Read and write deadlines bound
+//     dead-peer detection, and Shutdown drains in-flight requests
+//     before closing.
+//
+//   - Client is a concurrency-safe, pipelined client: any number of
+//     goroutines may issue ReadAt/WriteAt/Advance/Stats calls on one
+//     connection; a single reader goroutine matches responses to
+//     waiters by request ID.
+//
+// Observability: every shard keeps atomic op and error counters, a
+// queue-depth gauge, and power-of-two latency histograms. The same
+// snapshot is served by the STATS op (as JSON) and optionally published
+// through expvar for scraping alongside the rest of the process.
+package pcmserve

@@ -1,0 +1,109 @@
+package pcmserve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets. Bucket 0
+// counts operations under 1 µs; bucket i counts latencies in
+// [2^(i-1), 2^i) µs; the last bucket absorbs everything slower
+// (2^22 µs ≈ 4.2 s and beyond).
+const histBuckets = 24
+
+// histogram is a lock-free power-of-two latency histogram. Shard
+// goroutines observe into it; Snapshot readers race benignly (each
+// bucket is individually atomic, totals may be momentarily skewed).
+type histogram struct {
+	b [histBuckets]atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	i := 0
+	for us > 0 && i < histBuckets-1 {
+		us >>= 1
+		i++
+	}
+	h.b[i].Add(1)
+}
+
+func (h *histogram) snapshot() []uint64 {
+	out := make([]uint64, histBuckets)
+	for i := range out {
+		out[i] = h.b[i].Load()
+	}
+	return out
+}
+
+// ShardStats is one shard's observability snapshot.
+type ShardStats struct {
+	Shard    int    `json:"shard"`
+	Device   string `json:"device"`
+	Reads    uint64 `json:"reads"`
+	Writes   uint64 `json:"writes"`
+	Advances uint64 `json:"advances"`
+	Errors   uint64 `json:"errors"`
+	// QueueDepth is the instantaneous bounded-queue occupancy; QueueCap
+	// is its capacity (the backpressure limit).
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Latency histograms in power-of-two microsecond buckets (see
+	// histBuckets for the bucket boundaries).
+	ReadLatencyUs  []uint64 `json:"read_latency_us"`
+	WriteLatencyUs []uint64 `json:"write_latency_us"`
+}
+
+// Stats is the full service snapshot returned by the STATS op and
+// published through expvar.
+type Stats struct {
+	// Device describes the sharded stack (e.g. "4×3LC+wl+remap");
+	// SizeBytes is the combined byte capacity.
+	Device    string `json:"device"`
+	SizeBytes int64  `json:"size_bytes"`
+
+	// Request-level op counts as issued by clients (a request that
+	// straddles shard boundaries counts once here but once per touched
+	// shard in the per-shard counters).
+	Reads    uint64 `json:"reads"`
+	Writes   uint64 `json:"writes"`
+	Advances uint64 `json:"advances"`
+	StatsOps uint64 `json:"stats_ops"`
+	Errors   uint64 `json:"errors"`
+
+	BytesRead    uint64 `json:"bytes_read"`
+	BytesWritten uint64 `json:"bytes_written"`
+
+	// ActiveConns is the number of currently open connections;
+	// TotalConns counts every connection ever accepted.
+	ActiveConns int64 `json:"active_conns"`
+	TotalConns  int64 `json:"total_conns"`
+
+	Shards []ShardStats `json:"shards"`
+}
+
+// serverMetrics holds the request-level counters (one increment per
+// client request, regardless of how many shards it fans out to).
+type serverMetrics struct {
+	reads, writes, advances, statsOps, errors atomic.Uint64
+	bytesRead, bytesWritten                   atomic.Uint64
+	activeConns, totalConns                   atomic.Int64
+}
+
+func (m *serverMetrics) countOp(op uint8, n int, err error) {
+	switch op {
+	case OpRead:
+		m.reads.Add(1)
+		m.bytesRead.Add(uint64(n))
+	case OpWrite:
+		m.writes.Add(1)
+		m.bytesWritten.Add(uint64(n))
+	case OpAdvance:
+		m.advances.Add(1)
+	case OpStats:
+		m.statsOps.Add(1)
+	}
+	if err != nil {
+		m.errors.Add(1)
+	}
+}

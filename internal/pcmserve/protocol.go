@@ -1,0 +1,190 @@
+package pcmserve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format. Every message — request or response — is one
+// length-prefixed frame:
+//
+//	uint32  frame length N (bytes that follow, big-endian)
+//	uint64  request id (chosen by the client, echoed by the server)
+//	uint8   op (request) / status (response)
+//	...     op-specific body
+//
+// Request bodies:
+//
+//	OpRead     uint64 offset, uint32 length
+//	OpWrite    uint64 offset, then the data to write (to frame end)
+//	OpAdvance  uint64 IEEE-754 bits of the float64 seconds to advance
+//	OpStats    empty
+//
+// Response bodies:
+//
+//	StatusOK   OpRead → the bytes read; OpWrite → uint32 bytes written;
+//	           OpAdvance → empty; OpStats → JSON-encoded Stats
+//	StatusEOF  OpRead only: the bytes read before end-of-device
+//	           (the client surfaces io.EOF)
+//	StatusErr  UTF-8 error message
+//
+// Request ids let many requests be in flight on one connection and let
+// responses return out of order (pipelining); the client matches them
+// back to waiters.
+
+// Operations.
+const (
+	OpRead    uint8 = 1
+	OpWrite   uint8 = 2
+	OpAdvance uint8 = 3
+	OpStats   uint8 = 4
+)
+
+// Response statuses.
+const (
+	StatusOK  uint8 = 0
+	StatusErr uint8 = 1
+	StatusEOF uint8 = 2
+)
+
+// headerBytes is the fixed id+op prefix inside a frame.
+const headerBytes = 8 + 1
+
+// DefaultMaxFrame bounds a single frame (1 MiB of payload plus
+// header); larger reads and writes must be issued in pieces.
+const DefaultMaxFrame = 1<<20 + headerBytes + 12
+
+// readFrame reads one length-prefixed frame body (everything after the
+// length word) into a fresh buffer.
+func readFrame(r io.Reader, maxFrame uint32) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerBytes {
+		return nil, fmt.Errorf("pcmserve: frame length %d below header size", n)
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("pcmserve: frame length %d exceeds limit %d", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// frame assembles a full frame (length prefix included) from the id,
+// op/status byte, and body parts.
+func frame(id uint64, opOrStatus uint8, body ...[]byte) []byte {
+	n := headerBytes
+	for _, b := range body {
+		n += len(b)
+	}
+	out := make([]byte, 4+n)
+	binary.BigEndian.PutUint32(out, uint32(n))
+	binary.BigEndian.PutUint64(out[4:], id)
+	out[12] = opOrStatus
+	p := 13
+	for _, b := range body {
+		p += copy(out[p:], b)
+	}
+	return out
+}
+
+func u64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func u32(v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return b[:]
+}
+
+func encodeReadReq(id uint64, off int64, n uint32) []byte {
+	return frame(id, OpRead, u64(uint64(off)), u32(n))
+}
+
+func encodeWriteReq(id uint64, off int64, data []byte) []byte {
+	return frame(id, OpWrite, u64(uint64(off)), data)
+}
+
+func encodeAdvanceReq(id uint64, dt float64) []byte {
+	return frame(id, OpAdvance, u64(math.Float64bits(dt)))
+}
+
+func encodeStatsReq(id uint64) []byte {
+	return frame(id, OpStats)
+}
+
+// request is a decoded client request.
+type request struct {
+	id   uint64
+	op   uint8
+	off  int64
+	n    uint32  // OpRead: bytes wanted
+	data []byte  // OpWrite: payload (aliases the frame buffer)
+	dt   float64 // OpAdvance
+}
+
+// parseRequest decodes a frame body produced by the encode*Req helpers.
+func parseRequest(buf []byte) (request, error) {
+	var req request
+	if len(buf) < headerBytes {
+		return req, fmt.Errorf("pcmserve: short request frame (%d bytes)", len(buf))
+	}
+	req.id = binary.BigEndian.Uint64(buf)
+	req.op = buf[8]
+	body := buf[headerBytes:]
+	switch req.op {
+	case OpRead:
+		if len(body) != 12 {
+			return req, fmt.Errorf("pcmserve: READ body %d bytes, want 12", len(body))
+		}
+		req.off = int64(binary.BigEndian.Uint64(body))
+		req.n = binary.BigEndian.Uint32(body[8:])
+	case OpWrite:
+		if len(body) < 8 {
+			return req, fmt.Errorf("pcmserve: WRITE body %d bytes, want ≥ 8", len(body))
+		}
+		req.off = int64(binary.BigEndian.Uint64(body))
+		req.data = body[8:]
+	case OpAdvance:
+		if len(body) != 8 {
+			return req, fmt.Errorf("pcmserve: ADVANCE body %d bytes, want 8", len(body))
+		}
+		req.dt = math.Float64frombits(binary.BigEndian.Uint64(body))
+	case OpStats:
+		if len(body) != 0 {
+			return req, fmt.Errorf("pcmserve: STATS body %d bytes, want 0", len(body))
+		}
+	default:
+		return req, fmt.Errorf("pcmserve: unknown op %d", req.op)
+	}
+	return req, nil
+}
+
+// response is a decoded server response.
+type response struct {
+	id      uint64
+	status  uint8
+	payload []byte
+}
+
+// parseResponse decodes a frame body produced by frame().
+func parseResponse(buf []byte) (response, error) {
+	if len(buf) < headerBytes {
+		return response{}, fmt.Errorf("pcmserve: short response frame (%d bytes)", len(buf))
+	}
+	return response{
+		id:      binary.BigEndian.Uint64(buf),
+		status:  buf[8],
+		payload: buf[headerBytes:],
+	}, nil
+}

@@ -1,0 +1,322 @@
+package pcmserve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("pcmserve: server closed")
+
+// ServerConfig tunes the serving layer. The zero value is usable.
+type ServerConfig struct {
+	// MaxInflight bounds concurrently executing requests per
+	// connection (default 32). Together with the bounded shard queues
+	// this is the backpressure budget: when it is exhausted the
+	// connection reader stops consuming frames and TCP flow control
+	// pushes back on the client.
+	MaxInflight int
+	// IdleTimeout closes a connection that sends no frame for this
+	// long (default 2 minutes; negative disables).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write (default 30 s; negative
+	// disables).
+	WriteTimeout time.Duration
+	// MaxFrame bounds a single request or response frame
+	// (default DefaultMaxFrame).
+	MaxFrame uint32
+	// ExpvarName, when non-empty, publishes the server's Stats through
+	// expvar under this name (e.g. "pcmserve"). Names are global to
+	// the process; publishing the same name twice is a no-op.
+	ExpvarName string
+}
+
+func (c *ServerConfig) withDefaults() ServerConfig {
+	out := *c
+	if out.MaxInflight == 0 {
+		out.MaxInflight = 32
+	}
+	if out.IdleTimeout == 0 {
+		out.IdleTimeout = 2 * time.Minute
+	}
+	if out.WriteTimeout == 0 {
+		out.WriteTimeout = 30 * time.Second
+	}
+	if out.MaxFrame == 0 {
+		out.MaxFrame = DefaultMaxFrame
+	}
+	return out
+}
+
+// Server serves a Shards device over length-prefixed TCP framing.
+type Server struct {
+	shards  *Shards
+	cfg     ServerConfig
+	metrics serverMetrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	connWG sync.WaitGroup
+}
+
+// NewServer wraps an assembled Shards device. The caller retains
+// ownership of shards (Shutdown does not close it).
+func NewServer(shards *Shards, cfg ServerConfig) *Server {
+	s := &Server{
+		shards: shards,
+		cfg:    cfg.withDefaults(),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	if name := s.cfg.ExpvarName; name != "" {
+		publishExpvar(name, s)
+	}
+	return s
+}
+
+// expvarMu serializes the get-then-publish check; expvar.Publish
+// panics on duplicate names.
+var expvarMu sync.Mutex
+
+func publishExpvar(name string, s *Server) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return s.Stats() }))
+}
+
+// Stats combines request-level counters with the per-shard snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := int64(len(s.conns))
+	s.mu.Unlock()
+	return Stats{
+		Device:       s.shards.Name(),
+		SizeBytes:    s.shards.Size(),
+		Reads:        s.metrics.reads.Load(),
+		Writes:       s.metrics.writes.Load(),
+		Advances:     s.metrics.advances.Load(),
+		StatsOps:     s.metrics.statsOps.Load(),
+		Errors:       s.metrics.errors.Load(),
+		BytesRead:    s.metrics.bytesRead.Load(),
+		BytesWritten: s.metrics.bytesWritten.Load(),
+		ActiveConns:  active,
+		TotalConns:   s.metrics.totalConns.Load(),
+		Shards:       s.shards.Snapshot(),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. It always closes ln.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer ln.Close()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.metrics.totalConns.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown stops accepting, interrupts idle connection readers, waits
+// for in-flight requests to drain, and force-closes any connection
+// still open when ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Unblock every connection reader; handleConn treats a deadline
+	// error during shutdown as "finish in-flight work and exit".
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// handleConn runs the per-connection reader loop plus a writer
+// goroutine. Responses may be sent out of order; the request id keys
+// them back to callers.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	out := make(chan []byte, s.cfg.MaxInflight)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		bw := bufio.NewWriter(conn)
+		for buf := range out {
+			if s.cfg.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
+			if _, err := bw.Write(buf); err != nil {
+				// Keep draining so request handlers never block on a
+				// dead connection's response channel.
+				for range out {
+				}
+				return
+			}
+			// Flush when no more responses are immediately ready:
+			// batches pipelined responses into fewer packets.
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					for range out {
+					}
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	inflight := make(chan struct{}, s.cfg.MaxInflight)
+	br := bufio.NewReader(conn)
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		buf, err := readFrame(br, s.cfg.MaxFrame)
+		if err != nil {
+			break // EOF, peer error, idle timeout, or shutdown nudge
+		}
+		req, err := parseRequest(buf)
+		if err != nil {
+			// The id parsed (frames shorter than the header are
+			// rejected by readFrame), so the error can be returned
+			// in-band before closing.
+			out <- frame(req.id, StatusErr, []byte(err.Error()))
+			break
+		}
+		inflight <- struct{}{} // backpressure: cap concurrent handlers
+		go func() {
+			defer func() { <-inflight }()
+			out <- s.execute(req)
+		}()
+	}
+	// Drain in-flight handlers before closing the response stream.
+	for i := 0; i < cap(inflight); i++ {
+		inflight <- struct{}{}
+	}
+	close(out)
+	writerWG.Wait()
+}
+
+// execute runs one request against the sharded device and encodes the
+// response frame.
+func (s *Server) execute(req request) []byte {
+	switch req.op {
+	case OpRead:
+		if req.n > s.cfg.MaxFrame-headerBytes {
+			err := fmt.Errorf("pcmserve: read length %d exceeds frame limit", req.n)
+			s.metrics.countOp(OpRead, 0, err)
+			return frame(req.id, StatusErr, []byte(err.Error()))
+		}
+		buf := make([]byte, req.n)
+		n, err := s.shards.ReadAt(buf, req.off)
+		if err == io.EOF {
+			s.metrics.countOp(OpRead, n, nil)
+			return frame(req.id, StatusEOF, buf[:n])
+		}
+		s.metrics.countOp(OpRead, n, err)
+		if err != nil {
+			return frame(req.id, StatusErr, []byte(err.Error()))
+		}
+		return frame(req.id, StatusOK, buf[:n])
+	case OpWrite:
+		n, err := s.shards.WriteAt(req.data, req.off)
+		s.metrics.countOp(OpWrite, n, err)
+		if err != nil {
+			return frame(req.id, StatusErr, []byte(err.Error()))
+		}
+		return frame(req.id, StatusOK, u32(uint32(n)))
+	case OpAdvance:
+		err := s.shards.Advance(req.dt)
+		s.metrics.countOp(OpAdvance, 0, err)
+		if err != nil {
+			return frame(req.id, StatusErr, []byte(err.Error()))
+		}
+		return frame(req.id, StatusOK)
+	case OpStats:
+		st := s.Stats()
+		s.metrics.countOp(OpStats, 0, nil)
+		payload, err := json.Marshal(st)
+		if err != nil {
+			return frame(req.id, StatusErr, []byte(err.Error()))
+		}
+		return frame(req.id, StatusOK, payload)
+	}
+	err := fmt.Errorf("pcmserve: unknown op %d", req.op)
+	s.metrics.errors.Add(1)
+	return frame(req.id, StatusErr, []byte(err.Error()))
+}

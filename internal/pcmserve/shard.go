@@ -1,0 +1,319 @@
+package pcmserve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// ShardsConfig assembles a sharded device.
+type ShardsConfig struct {
+	// Shards is the number of independent device instances the byte
+	// address space is partitioned across (default 4).
+	Shards int
+	// QueueDepth bounds each shard's request queue; a full queue blocks
+	// the enqueuer, which is the service's backpressure mechanism
+	// (default 64).
+	QueueDepth int
+	// Device configures each shard's device. Blocks is the PER-SHARD
+	// block count; the sharded device's total capacity is
+	// Shards × Blocks × 64 bytes. Seed is decorrelated per shard.
+	Device device.Config
+}
+
+// shardReq is one shard-local unit of work, always fully contained in
+// the owning shard's address range.
+type shardReq struct {
+	op   uint8
+	off  int64   // shard-local byte offset
+	buf  []byte  // read destination / write source
+	dt   float64 // OpAdvance only
+	pos  int     // offset of buf within the caller's buffer
+	done chan<- shardResult
+}
+
+type shardResult struct {
+	pos int
+	n   int
+	err error
+}
+
+// shard owns one device.Device. Exactly one goroutine (run) touches the
+// device, honouring the internal/device concurrency contract.
+type shard struct {
+	index int
+	dev   *device.Device
+	ch    chan shardReq
+
+	reads, writes, advances, errCount atomic.Uint64
+	readLat, writeLat                 histogram
+}
+
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for req := range s.ch {
+		start := time.Now()
+		var n int
+		var err error
+		switch req.op {
+		case OpRead:
+			n, err = s.dev.ReadAt(req.buf, req.off)
+			s.reads.Add(1)
+			s.readLat.observe(time.Since(start))
+		case OpWrite:
+			n, err = s.dev.WriteAt(req.buf, req.off)
+			s.writes.Add(1)
+			s.writeLat.observe(time.Since(start))
+		case OpAdvance:
+			err = s.dev.Advance(req.dt)
+			s.advances.Add(1)
+		default:
+			err = fmt.Errorf("pcmserve: shard %d: unknown op %d", s.index, req.op)
+		}
+		if err != nil && err != io.EOF {
+			s.errCount.Add(1)
+		}
+		req.done <- shardResult{pos: req.pos, n: n, err: err}
+	}
+}
+
+// Shards partitions a byte address space across N device.Device
+// instances, each drained by a dedicated goroutine through a bounded
+// queue. It implements io.ReaderAt/io.WriterAt over the combined space
+// and, unlike a bare Device, is safe for concurrent use by any number
+// of goroutines.
+type Shards struct {
+	shards    []*shard
+	shardSize int64 // bytes per shard
+	size      int64 // total bytes
+
+	mu     sync.RWMutex // guards closed vs. in-flight enqueues
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ io.ReaderAt = (*Shards)(nil)
+var _ io.WriterAt = (*Shards)(nil)
+
+// ErrClosed is returned for operations on a closed Shards or Client.
+var ErrClosed = errors.New("pcmserve: closed")
+
+// NewShards builds the sharded device. Each shard gets its own
+// device.Device with a decorrelated seed.
+func NewShards(cfg ShardsConfig) (*Shards, error) {
+	n := cfg.Shards
+	if n == 0 {
+		n = 4
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("pcmserve: shard count %d < 1", n)
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = 64
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("pcmserve: queue depth %d < 1", depth)
+	}
+	if cfg.Device.Blocks < 1 {
+		return nil, errors.New("pcmserve: need at least one block per shard")
+	}
+	g := &Shards{
+		shards:    make([]*shard, n),
+		shardSize: int64(cfg.Device.Blocks) * core.BlockBytes,
+	}
+	g.size = g.shardSize * int64(n)
+	for i := range g.shards {
+		dcfg := cfg.Device
+		// SplitMix64 increment keeps per-shard stochastic behaviour
+		// decorrelated even for adjacent seeds.
+		dcfg.Seed = cfg.Device.Seed + uint64(i)*0x9e3779b97f4a7c15
+		dev, err := device.New(dcfg)
+		if err != nil {
+			return nil, fmt.Errorf("pcmserve: shard %d: %w", i, err)
+		}
+		g.shards[i] = &shard{index: i, dev: dev, ch: make(chan shardReq, depth)}
+		g.wg.Add(1)
+		go g.shards[i].run(&g.wg)
+	}
+	return g, nil
+}
+
+// Size returns the combined capacity in bytes.
+func (g *Shards) Size() int64 { return g.size }
+
+// NumShards returns the shard count.
+func (g *Shards) NumShards() int { return len(g.shards) }
+
+// Name describes the per-shard device stack.
+func (g *Shards) Name() string {
+	return fmt.Sprintf("%d×%s", len(g.shards), g.shards[0].dev.Name())
+}
+
+// Close stops all shard goroutines after in-flight requests drain.
+// Operations issued after Close return ErrClosed.
+func (g *Shards) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	for _, s := range g.shards {
+		close(s.ch)
+	}
+	g.mu.Unlock()
+	g.wg.Wait()
+	return nil
+}
+
+// span is one shard-local slice of a caller request.
+type span struct {
+	shard    int64
+	localOff int64
+	pos, n   int // range within the caller's buffer
+}
+
+// splitSpans cuts [off, off+n) at shard boundaries.
+func (g *Shards) splitSpans(off int64, n int) []span {
+	spans := make([]span, 0, n/int(g.shardSize)+2)
+	for pos := 0; pos < n; {
+		abs := off + int64(pos)
+		localOff := abs % g.shardSize
+		sz := int(g.shardSize - localOff)
+		if sz > n-pos {
+			sz = n - pos
+		}
+		spans = append(spans, span{shard: abs / g.shardSize, localOff: localOff, pos: pos, n: sz})
+		pos += sz
+	}
+	return spans
+}
+
+// dispatch splits the byte range [off, off+len(p)) into per-shard spans
+// and enqueues them, then waits for every span. It returns the number
+// of contiguous bytes processed from the start of p and the first error
+// in address order.
+func (g *Shards) dispatch(op uint8, p []byte, off int64) (int, error) {
+	spans := g.splitSpans(off, len(p))
+	g.mu.RLock()
+	if g.closed {
+		g.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	done := make(chan shardResult, len(spans))
+	for _, sp := range spans {
+		// A full queue blocks here: backpressure propagates to the
+		// connection reader and ultimately to the client.
+		g.shards[sp.shard].ch <- shardReq{
+			op: op, off: sp.localOff, buf: p[sp.pos : sp.pos+sp.n], pos: sp.pos, done: done,
+		}
+	}
+	g.mu.RUnlock()
+
+	// Reassemble: spans complete out of order; report the contiguous
+	// prefix and the first error in address order.
+	byPos := make(map[int]shardResult, len(spans))
+	for range spans {
+		r := <-done
+		byPos[r.pos] = r
+	}
+	n := 0
+	for _, sp := range spans {
+		r := byPos[sp.pos]
+		n += r.n
+		if r.err != nil {
+			return n, r.err
+		}
+	}
+	return n, nil
+}
+
+// ReadAt implements io.ReaderAt over the combined byte space with the
+// same EOF semantics as device.Device: reads past the end return the
+// available prefix and io.EOF.
+func (g *Shards) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pcmserve: negative offset")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off >= g.size {
+		return 0, io.EOF
+	}
+	eof := false
+	if off+int64(len(p)) > g.size {
+		p = p[:g.size-off]
+		eof = true
+	}
+	n, err := g.dispatch(OpRead, p, off)
+	if err == nil && eof {
+		err = io.EOF
+	}
+	return n, err
+}
+
+// WriteAt implements io.WriterAt. Writes beyond the device size are
+// rejected whole, matching device.Device.
+func (g *Shards) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pcmserve: negative offset")
+	}
+	if off+int64(len(p)) > g.size {
+		return 0, fmt.Errorf("pcmserve: write [%d, %d) exceeds size %d", off, off+int64(len(p)), g.size)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	return g.dispatch(OpWrite, p, off)
+}
+
+// Advance moves simulated time forward by dt seconds on every shard,
+// running any refresh work that falls due. It waits for all shards.
+func (g *Shards) Advance(dt float64) error {
+	g.mu.RLock()
+	if g.closed {
+		g.mu.RUnlock()
+		return ErrClosed
+	}
+	done := make(chan shardResult, len(g.shards))
+	for _, s := range g.shards {
+		s.ch <- shardReq{op: OpAdvance, dt: dt, done: done}
+	}
+	g.mu.RUnlock()
+	var first error
+	for range g.shards {
+		if r := <-done; r.err != nil && first == nil {
+			first = r.err
+		}
+	}
+	return first
+}
+
+// Snapshot captures per-shard counters, queue gauges, and latency
+// histograms. Safe to call concurrently with traffic.
+func (g *Shards) Snapshot() []ShardStats {
+	out := make([]ShardStats, len(g.shards))
+	for i, s := range g.shards {
+		out[i] = ShardStats{
+			Shard:          i,
+			Device:         s.dev.Name(),
+			Reads:          s.reads.Load(),
+			Writes:         s.writes.Load(),
+			Advances:       s.advances.Load(),
+			Errors:         s.errCount.Load(),
+			QueueDepth:     len(s.ch),
+			QueueCap:       cap(s.ch),
+			ReadLatencyUs:  s.readLat.snapshot(),
+			WriteLatencyUs: s.writeLat.snapshot(),
+		}
+	}
+	return out
+}

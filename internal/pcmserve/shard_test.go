@@ -1,0 +1,223 @@
+package pcmserve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+)
+
+// testShards builds a small sharded 3LC device: shards × blocksPerShard
+// 64-byte blocks.
+func testShards(t testing.TB, shards, blocksPerShard, queueDepth int) *Shards {
+	t.Helper()
+	g, err := NewShards(ShardsConfig{
+		Shards:     shards,
+		QueueDepth: queueDepth,
+		Device: device.Config{
+			Kind:           device.ThreeLC,
+			Blocks:         blocksPerShard,
+			Seed:           12345,
+			DisableWearout: true,
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewShards: %v", err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+func TestShardsSize(t *testing.T) {
+	g := testShards(t, 4, 8, 16)
+	want := int64(4 * 8 * core.BlockBytes)
+	if g.Size() != want {
+		t.Fatalf("Size() = %d, want %d", g.Size(), want)
+	}
+	if g.NumShards() != 4 {
+		t.Fatalf("NumShards() = %d, want 4", g.NumShards())
+	}
+}
+
+// TestShardsCrossBoundary writes and reads ranges that straddle shard
+// boundaries and verifies contents against a plain byte-slice mirror.
+func TestShardsCrossBoundary(t *testing.T) {
+	g := testShards(t, 4, 4, 8) // shardSize = 256 bytes, total 1024
+	mirror := make([]byte, g.Size())
+
+	shardSize := g.Size() / int64(g.NumShards())
+	cases := []struct {
+		off int64
+		n   int
+	}{
+		{0, 64},                                // block-aligned, one shard
+		{shardSize - 10, 20},                   // straddles shard 0/1
+		{shardSize*2 - 1, 2},                   // single byte each side
+		{shardSize - 5, int(shardSize*2 + 10)}, // spans three boundaries
+		{g.Size() - 7, 7},                      // ends exactly at Size()
+		{13, 1},                                // single unaligned byte
+	}
+	rng := byte(1)
+	for _, tc := range cases {
+		p := make([]byte, tc.n)
+		for i := range p {
+			p[i] = rng
+			rng = rng*31 + 7
+		}
+		n, err := g.WriteAt(p, tc.off)
+		if err != nil || n != tc.n {
+			t.Fatalf("WriteAt(%d bytes, %d) = %d, %v", tc.n, tc.off, n, err)
+		}
+		copy(mirror[tc.off:], p)
+	}
+
+	// Full readback plus the straddling sub-ranges.
+	got := make([]byte, g.Size())
+	if n, err := g.ReadAt(got, 0); err != nil || int64(n) != g.Size() {
+		t.Fatalf("full ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, mirror) {
+		t.Fatal("full readback differs from mirror")
+	}
+	for _, tc := range cases {
+		p := make([]byte, tc.n)
+		if n, err := g.ReadAt(p, tc.off); err != nil || n != tc.n {
+			t.Fatalf("ReadAt(%d, %d) = %d, %v", tc.n, tc.off, n, err)
+		}
+		if !bytes.Equal(p, mirror[tc.off:tc.off+int64(tc.n)]) {
+			t.Fatalf("readback at %d differs", tc.off)
+		}
+	}
+}
+
+func TestShardsEOFAndBounds(t *testing.T) {
+	g := testShards(t, 2, 2, 4)
+	size := g.Size()
+
+	// Read past the end: available prefix + io.EOF.
+	p := make([]byte, 100)
+	n, err := g.ReadAt(p, size-10)
+	if n != 10 || err != io.EOF {
+		t.Fatalf("ReadAt past end = %d, %v; want 10, io.EOF", n, err)
+	}
+	// Read starting at/after the end.
+	if n, err := g.ReadAt(p, size); n != 0 || err != io.EOF {
+		t.Fatalf("ReadAt at size = %d, %v; want 0, io.EOF", n, err)
+	}
+	// Zero-length read anywhere valid returns 0, nil.
+	if n, err := g.ReadAt(nil, 0); n != 0 || err != nil {
+		t.Fatalf("zero-length ReadAt = %d, %v", n, err)
+	}
+	// Writes beyond the end are rejected whole.
+	if n, err := g.WriteAt(p, size-10); err == nil || n != 0 {
+		t.Fatalf("overlong WriteAt = %d, %v; want 0, error", n, err)
+	}
+	// Negative offsets.
+	if _, err := g.ReadAt(p, -1); err == nil {
+		t.Fatal("negative-offset ReadAt succeeded")
+	}
+	if _, err := g.WriteAt(p, -1); err == nil {
+		t.Fatal("negative-offset WriteAt succeeded")
+	}
+}
+
+// TestShardsConcurrent hammers disjoint regions from many goroutines;
+// run under -race this is the shard layer's thread-safety proof.
+func TestShardsConcurrent(t *testing.T) {
+	g := testShards(t, 4, 8, 4)
+	const workers = 8
+	region := g.Size() / workers
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * region
+			buf := make([]byte, 96) // straddles blocks and shards
+			for i := range buf {
+				buf[i] = byte(w*31 + i)
+			}
+			for iter := 0; iter < 10; iter++ {
+				off := base + int64(iter*7)%(region-int64(len(buf)))
+				if _, err := g.WriteAt(buf, off); err != nil {
+					errs <- err
+					return
+				}
+				got := make([]byte, len(buf))
+				if _, err := g.ReadAt(got, off); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					errs <- errors.New("read-after-write mismatch")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestShardsAdvanceAndSnapshot(t *testing.T) {
+	g := testShards(t, 4, 2, 4)
+	buf := make([]byte, core.BlockBytes)
+	for i := 0; i < g.NumShards(); i++ {
+		off := int64(i) * (g.Size() / int64(g.NumShards()))
+		if _, err := g.WriteAt(buf, off); err != nil {
+			t.Fatalf("WriteAt shard %d: %v", i, err)
+		}
+	}
+	if err := g.Advance(3600); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	snap := g.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot() has %d shards, want 4", len(snap))
+	}
+	for i, st := range snap {
+		if st.Writes != 1 {
+			t.Errorf("shard %d: Writes = %d, want 1", i, st.Writes)
+		}
+		if st.Advances != 1 {
+			t.Errorf("shard %d: Advances = %d, want 1", i, st.Advances)
+		}
+		if st.QueueCap != 4 {
+			t.Errorf("shard %d: QueueCap = %d, want 4", i, st.QueueCap)
+		}
+		var hist uint64
+		for _, c := range st.WriteLatencyUs {
+			hist += c
+		}
+		if hist != st.Writes {
+			t.Errorf("shard %d: write histogram total %d != writes %d", i, hist, st.Writes)
+		}
+	}
+}
+
+func TestShardsClose(t *testing.T) {
+	g := testShards(t, 2, 2, 4)
+	if err := g.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := g.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadAt after Close = %v, want ErrClosed", err)
+	}
+	if _, err := g.WriteAt(make([]byte, 8), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteAt after Close = %v, want ErrClosed", err)
+	}
+	if err := g.Advance(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Advance after Close = %v, want ErrClosed", err)
+	}
+}
