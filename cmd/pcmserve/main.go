@@ -44,22 +44,53 @@ func main() {
 		noWear  = flag.Bool("nowearout", false, "disable endurance limits")
 
 		inflight = flag.Int("inflight", 32, "max in-flight requests per connection")
+		scrub    = flag.Duration("scrub", 0, "background scrub interval (0 disables); repairs drifted blocks and spares uncorrectable ones")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		clients  = flag.Int("clients", 4, "loadgen: concurrent client connections")
 		duration = flag.Duration("duration", 2*time.Second, "loadgen: how long to run")
 		opSize   = flag.Int("opsize", 64, "loadgen: bytes per read/write")
 		readPct  = flag.Int("readpct", 70, "loadgen: percentage of ops that are reads")
+		retry    = flag.Bool("retry", false, "loadgen: use the reconnecting retry client instead of bare connections")
 	)
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pcmserve: "+format+"\n", args...)
+		os.Exit(2)
+	}
 	kinds := map[string]device.ArchKind{
 		"3LC": device.ThreeLC, "4LCo": device.FourLC, "permutation": device.Permutation,
 	}
 	kind, ok := kinds[*kindArg]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kindArg)
-		os.Exit(2)
+		fail("unknown -kind %q (want 3LC, 4LCo, or permutation)", *kindArg)
+	}
+	switch {
+	case *mb <= 0:
+		fail("-mb must be positive, got %g", *mb)
+	case *shards < 1:
+		fail("-shards must be at least 1, got %d", *shards)
+	case *queue < 1:
+		fail("-queue must be at least 1, got %d", *queue)
+	case *reserve < 0:
+		fail("-reserve must not be negative, got %d", *reserve)
+	case *inflight < 1:
+		fail("-inflight must be at least 1, got %d", *inflight)
+	case *scrub < 0:
+		fail("-scrub must not be negative, got %v", *scrub)
+	}
+	if *loadgen {
+		switch {
+		case *clients < 1:
+			fail("-clients must be at least 1, got %d", *clients)
+		case *duration <= 0:
+			fail("-duration must be positive, got %v", *duration)
+		case *opSize < 1:
+			fail("-opsize must be at least 1, got %d", *opSize)
+		case *readPct < 0 || *readPct > 100:
+			fail("-readpct must be in [0,100], got %d", *readPct)
+		}
 	}
 
 	blocksPerShard := int(*mb*1024*1024) / core.BlockBytes / *shards
@@ -68,8 +99,9 @@ func main() {
 	}
 	newShards := func() *pcmserve.Shards {
 		g, err := pcmserve.NewShards(pcmserve.ShardsConfig{
-			Shards:     *shards,
-			QueueDepth: *queue,
+			Shards:        *shards,
+			QueueDepth:    *queue,
+			ScrubInterval: *scrub,
 			Device: device.Config{
 				Kind: kind, Blocks: blocksPerShard, Seed: *seed,
 				WearLeveling: *level, ReserveBlocks: *reserve,
@@ -84,7 +116,7 @@ func main() {
 	}
 
 	if *loadgen {
-		runLoadgen(*addr, newShards, *inflight, *clients, *duration, *opSize, *readPct)
+		runLoadgen(*addr, newShards, *inflight, *clients, *duration, *opSize, *readPct, *retry)
 		return
 	}
 
@@ -122,10 +154,20 @@ func main() {
 	}
 }
 
+// loadClient is the slice of the client API the load generator uses;
+// both pcmserve.Client and pcmserve.RetryClient satisfy it.
+type loadClient interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Stats() (pcmserve.Stats, error)
+	Close() error
+}
+
 // runLoadgen drives a server — an in-process loopback one when target
 // is empty — with concurrent clients issuing random reads and writes,
-// then prints throughput and the server's own statistics.
-func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clients int, duration time.Duration, opSize, readPct int) {
+// then prints throughput and the server's own statistics. SIGINT or
+// SIGTERM ends the run early but still prints the report.
+func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clients int, duration time.Duration, opSize, readPct int, retry bool) {
 	if target == "" || target == "127.0.0.1:7070" {
 		g := newShards()
 		defer g.Close()
@@ -166,7 +208,26 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 	var ops, bytesMoved atomic.Uint64
 	var errCount atomic.Uint64
 	stop := make(chan struct{})
-	time.AfterFunc(duration, func() { close(stop) })
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	timer := time.AfterFunc(duration, halt)
+	defer timer.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		if s, ok := <-sig; ok {
+			fmt.Printf("loadgen: %v, stopping early\n", s)
+			halt()
+		}
+	}()
+
+	dial := func(w int) (loadClient, error) {
+		if retry {
+			return pcmserve.DialRetry(target, pcmserve.RetryConfig{Seed: uint64(w) + 1})
+		}
+		return pcmserve.Dial(target)
+	}
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -174,7 +235,7 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c, err := pcmserve.Dial(target)
+			c, err := dial(w)
 			if err != nil {
 				errCount.Add(1)
 				return
@@ -219,10 +280,14 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 		if st, err := final.Stats(); err == nil {
 			fmt.Printf("server: reads=%d writes=%d errors=%d conns=%d\n",
 				st.Reads, st.Writes, st.Errors, st.TotalConns)
+			if sc := st.Scrub; sc.Scrubbed > 0 {
+				fmt.Printf("scrub: passes=%d scrubbed=%d repaired=%d uncorrectable=%d spared=%d retired=%d\n",
+					sc.Passes, sc.Scrubbed, sc.Repaired, sc.Uncorrectable, sc.Spared, sc.Retired)
+			}
 			for _, s := range st.Shards {
-				fmt.Printf("  shard %d: reads=%d writes=%d queue=%d/%d p50(read)=%s\n",
-					s.Shard, s.Reads, s.Writes, s.QueueDepth, s.QueueCap,
-					histP50(s.ReadLatencyUs))
+				fmt.Printf("  shard %d [%s]: reads=%d writes=%d queue=%d/%d restarts=%d p50(read)=%s\n",
+					s.Shard, s.Health, s.Reads, s.Writes, s.QueueDepth, s.QueueCap,
+					s.Restarts, histP50(s.ReadLatencyUs))
 			}
 		}
 		final.Close()

@@ -1,0 +1,153 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// ErrCut is wrapped by every injected connection failure.
+var ErrCut = fmt.Errorf("connection cut: %w", ErrInjected)
+
+// ConnPlan configures a flaky connection. Budgets are byte counts; when
+// one is exhausted the connection delivers the remaining bytes of the
+// current call (a partial frame, exactly what a mid-write reset
+// produces), closes the underlying conn, and fails every later call.
+type ConnPlan struct {
+	// CutReadAfter cuts after this many bytes have been read
+	// (0 = unlimited).
+	CutReadAfter int64
+	// CutWriteAfter cuts after this many bytes have been written
+	// (0 = unlimited).
+	CutWriteAfter int64
+}
+
+// Conn wraps a net.Conn with injected drops, partial frames, and
+// resets. It is safe for one reader plus one writer goroutine, the
+// contract net.Conn itself promises.
+type Conn struct {
+	net.Conn
+
+	mu          sync.Mutex
+	readBudget  int64 // <0 = unlimited
+	writeBudget int64
+	cut         bool
+}
+
+// WrapConn applies plan to conn.
+func WrapConn(conn net.Conn, plan ConnPlan) *Conn {
+	c := &Conn{Conn: conn, readBudget: -1, writeBudget: -1}
+	if plan.CutReadAfter > 0 {
+		c.readBudget = plan.CutReadAfter
+	}
+	if plan.CutWriteAfter > 0 {
+		c.writeBudget = plan.CutWriteAfter
+	}
+	return c
+}
+
+// Cut severs the connection immediately; in-flight and future calls
+// fail and the underlying conn is closed.
+func (c *Conn) Cut() {
+	c.mu.Lock()
+	c.cut = true
+	c.mu.Unlock()
+	c.Conn.Close()
+}
+
+// take reserves up to want bytes from a budget. It returns how many may
+// pass and whether the connection dies after they do.
+func take(budget *int64, want int) (allowed int, dies bool) {
+	if *budget < 0 {
+		return want, false
+	}
+	if int64(want) >= *budget {
+		allowed = int(*budget)
+		*budget = 0
+		return allowed, true
+	}
+	*budget -= int64(want)
+	return want, false
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultinject: read on cut conn: %w", ErrCut)
+	}
+	allowed, dies := take(&c.readBudget, len(p))
+	if dies {
+		c.cut = true
+	}
+	c.mu.Unlock()
+	if !dies {
+		return c.Conn.Read(p)
+	}
+	n := 0
+	if allowed > 0 {
+		n, _ = c.Conn.Read(p[:allowed])
+	}
+	c.Conn.Close()
+	return n, fmt.Errorf("faultinject: read: %w", ErrCut)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultinject: write on cut conn: %w", ErrCut)
+	}
+	allowed, dies := take(&c.writeBudget, len(p))
+	if dies {
+		c.cut = true
+	}
+	c.mu.Unlock()
+	if !dies {
+		return c.Conn.Write(p)
+	}
+	// Deliver a partial frame to the peer, then reset.
+	n := 0
+	if allowed > 0 {
+		n, _ = c.Conn.Write(p[:allowed])
+	}
+	c.Conn.Close()
+	return n, fmt.Errorf("faultinject: write: %w", ErrCut)
+}
+
+// Dialer returns a dial function whose connections each get read and
+// write cut budgets drawn uniformly from [minBytes, maxBytes] with a
+// seeded generator — the repeatable "network blips every so often"
+// workload for retry-layer tests. maxBytes ≤ 0 disables cutting.
+func Dialer(addr string, seed uint64, minBytes, maxBytes int64) func() (net.Conn, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(int64(seed)))
+	return func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if maxBytes <= 0 {
+			return conn, nil
+		}
+		mu.Lock()
+		span := maxBytes - minBytes + 1
+		if span < 1 {
+			span = 1
+		}
+		plan := ConnPlan{
+			CutReadAfter:  minBytes + rng.Int63n(span),
+			CutWriteAfter: minBytes + rng.Int63n(span),
+		}
+		mu.Unlock()
+		return WrapConn(conn, plan), nil
+	}
+}
+
+// IsInjected reports whether err originates from this package.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }

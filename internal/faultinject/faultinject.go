@@ -1,0 +1,348 @@
+// Package faultinject provides deterministic, seedable fault injection
+// for the serving stack: a device wrapper that produces uncorrectable
+// reads, write errors, latency spikes, and panics on a configurable
+// schedule, and a net.Conn wrapper that cuts connections mid-frame.
+//
+// It is the test substrate for the self-healing machinery in
+// internal/pcmserve (shard supervisor, scrubber, retrying client): the
+// device model knows how to fail, and this package makes those failures
+// reproducible on demand. Everything is driven either by a Schedule
+// (fire every Nth operation, optionally a bounded number of times), by
+// a seeded probability, or by explicit one-shot arming from a test.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Target is the device surface the wrapper intercepts — the same
+// contract internal/pcmserve expects of a per-shard device.
+type Target interface {
+	io.ReaderAt
+	io.WriterAt
+	Advance(dt float64) error
+	Name() string
+}
+
+// ErrInjected is the base sentinel wrapped by every injected failure,
+// so tests can tell injected faults from organic ones with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Schedule fires deterministically on an operation counter. The zero
+// value never fires.
+type Schedule struct {
+	// Every fires on every Nth eligible operation (0 disables).
+	Every uint64
+	// Start skips the first Start eligible operations.
+	Start uint64
+	// Times bounds the total number of firings (0 = unlimited).
+	Times uint64
+}
+
+// scheduleState tracks per-family counters for one Schedule.
+type scheduleState struct {
+	sched Schedule
+	seen  uint64
+	fired uint64
+}
+
+// hit advances the counter and reports whether the schedule fires.
+func (s *scheduleState) hit() bool {
+	if s.sched.Every == 0 {
+		return false
+	}
+	if s.sched.Times > 0 && s.fired >= s.sched.Times {
+		return false
+	}
+	s.seen++
+	if s.seen <= s.sched.Start {
+		return false
+	}
+	if (s.seen-s.sched.Start)%s.sched.Every != 0 {
+		return false
+	}
+	s.fired++
+	return true
+}
+
+// Plan configures a Device wrapper. All schedules count only the
+// operations of their own family (reads for UncorrectableRead, writes
+// for WriteError, any op for Panic and Latency).
+type Plan struct {
+	// Seed drives the probabilistic knobs (default 1).
+	Seed uint64
+
+	// UncorrectableRead makes ReadAt fail with core.ErrUncorrectable.
+	UncorrectableRead Schedule
+	// WriteError makes WriteAt fail without touching the device.
+	WriteError Schedule
+	// Panic panics the calling goroutine (the shard owner) mid-op.
+	Panic Schedule
+	// Latency sleeps LatencyDuration before the op proceeds.
+	Latency         Schedule
+	LatencyDuration time.Duration
+
+	// Probabilistic variants, applied after the schedules (0 disables).
+	PUncorrectable float64
+	PWriteError    float64
+}
+
+// Stats counts injected events; read it with Device.Stats.
+type Stats struct {
+	Reads, Writes, Advances uint64 // operations seen
+
+	UncorrectableReads uint64 // injected read failures
+	WriteErrors        uint64 // injected write failures
+	Panics             uint64 // injected panics
+	LatencySpikes      uint64
+
+	CorruptHeals uint64 // corrupt blocks cleared by a covering write
+	DriftHeals   uint64 // drifted blocks cleared by a covering write
+}
+
+// Device wraps a Target with fault injection. It is safe for concurrent
+// use by the device-owning goroutine plus any number of test goroutines
+// arming faults; injected latency sleeps outside the lock.
+type Device struct {
+	inner Target
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	uncorr  scheduleState
+	wrErr   scheduleState
+	panicS  scheduleState
+	latency scheduleState
+	plan    Plan
+
+	armedPanics      int            // one-shot: next N ops panic
+	armedReadErrs    int            // one-shot: next N reads fail uncorrectable
+	armedWriteErrs   int            // one-shot: next N writes fail
+	corrupt, drifted map[int64]bool // block index → armed state
+
+	stats Stats
+}
+
+var _ Target = (*Device)(nil)
+
+// New wraps dev according to plan.
+func New(dev Target, plan Plan) *Device {
+	if plan.Seed == 0 {
+		plan.Seed = 1
+	}
+	return &Device{
+		inner:   dev,
+		rng:     rand.New(rand.NewSource(int64(plan.Seed))),
+		uncorr:  scheduleState{sched: plan.UncorrectableRead},
+		wrErr:   scheduleState{sched: plan.WriteError},
+		panicS:  scheduleState{sched: plan.Panic},
+		latency: scheduleState{sched: plan.Latency},
+		plan:    plan,
+		corrupt: make(map[int64]bool),
+		drifted: make(map[int64]bool),
+	}
+}
+
+// Name tags the wrapped device so stack descriptions show the wrapper.
+func (d *Device) Name() string { return "fi(" + d.inner.Name() + ")" }
+
+// Stats returns a snapshot of operation and injection counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// CorruptBlock arms a persistent uncorrectable fault on the 64-byte
+// block with the given index: every read touching it fails with
+// core.ErrUncorrectable until a write covering the whole block heals it
+// (the model of a drifted-beyond-ECC block that a scrub rewrite can
+// reclaim).
+func (d *Device) CorruptBlock(block int64) {
+	d.mu.Lock()
+	d.corrupt[block] = true
+	d.mu.Unlock()
+}
+
+// DriftBlock arms a correctable-drift marker on a block: reads still
+// succeed, but the block stays marked until a covering write (a scrub
+// rewrite) heals it. DriftedCount observes the healing.
+func (d *Device) DriftBlock(block int64) {
+	d.mu.Lock()
+	d.drifted[block] = true
+	d.mu.Unlock()
+}
+
+// DriftedCount returns the number of blocks still marked as drifted.
+func (d *Device) DriftedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.drifted)
+}
+
+// CorruptCount returns the number of blocks still armed corrupt.
+func (d *Device) CorruptCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.corrupt)
+}
+
+// ArmPanic makes the next n operations panic (one-shot, on top of the
+// Panic schedule).
+func (d *Device) ArmPanic(n int) {
+	d.mu.Lock()
+	d.armedPanics += n
+	d.mu.Unlock()
+}
+
+// ArmReadError makes the next n reads fail with core.ErrUncorrectable.
+func (d *Device) ArmReadError(n int) {
+	d.mu.Lock()
+	d.armedReadErrs += n
+	d.mu.Unlock()
+}
+
+// ArmWriteError makes the next n writes fail.
+func (d *Device) ArmWriteError(n int) {
+	d.mu.Lock()
+	d.armedWriteErrs += n
+	d.mu.Unlock()
+}
+
+// blocksTouched reports the inclusive block index range of [off, off+n).
+func blocksTouched(off int64, n int) (lo, hi int64) {
+	if n <= 0 {
+		return off / core.BlockBytes, off/core.BlockBytes - 1
+	}
+	return off / core.BlockBytes, (off + int64(n) - 1) / core.BlockBytes
+}
+
+// preOp runs the op-family-independent injections (latency, panic) and
+// returns a sleep to perform outside the lock.
+func (d *Device) preOp() time.Duration {
+	var sleep time.Duration
+	if d.latency.hit() {
+		d.stats.LatencySpikes++
+		sleep = d.plan.LatencyDuration
+	}
+	if d.armedPanics > 0 {
+		d.armedPanics--
+		d.stats.Panics++
+		d.mu.Unlock()
+		panic(fmt.Sprintf("faultinject: injected panic (armed): %v", ErrInjected))
+	}
+	if d.panicS.hit() {
+		d.stats.Panics++
+		d.mu.Unlock()
+		panic(fmt.Sprintf("faultinject: injected panic (scheduled): %v", ErrInjected))
+	}
+	return sleep
+}
+
+// ReadAt injects scheduled/armed/probabilistic uncorrectable reads and
+// corrupt-block faults, then delegates.
+func (d *Device) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	d.stats.Reads++
+	sleep := d.preOp() // may panic (unlocks first)
+	fail := false
+	switch {
+	case d.armedReadErrs > 0:
+		d.armedReadErrs--
+		fail = true
+	case d.uncorr.hit():
+		fail = true
+	case d.plan.PUncorrectable > 0 && d.rng.Float64() < d.plan.PUncorrectable:
+		fail = true
+	default:
+		lo, hi := blocksTouched(off, len(p))
+		for b := lo; b <= hi; b++ {
+			if d.corrupt[b] {
+				fail = true
+				break
+			}
+		}
+	}
+	if fail {
+		d.stats.UncorrectableReads++
+	}
+	d.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if fail {
+		return 0, fmt.Errorf("faultinject: read at %d: %w: %w", off, ErrInjected, core.ErrUncorrectable)
+	}
+	return d.inner.ReadAt(p, off)
+}
+
+// WriteAt injects scheduled/armed/probabilistic write errors; on a
+// successful delegate write it heals corrupt and drifted blocks fully
+// covered by the written range.
+func (d *Device) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	d.stats.Writes++
+	sleep := d.preOp()
+	fail := false
+	switch {
+	case d.armedWriteErrs > 0:
+		d.armedWriteErrs--
+		fail = true
+	case d.wrErr.hit():
+		fail = true
+	case d.plan.PWriteError > 0 && d.rng.Float64() < d.plan.PWriteError:
+		fail = true
+	}
+	if fail {
+		d.stats.WriteErrors++
+	}
+	d.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if fail {
+		return 0, fmt.Errorf("faultinject: write at %d: %w", off, ErrInjected)
+	}
+	n, err := d.inner.WriteAt(p, off)
+	if n > 0 {
+		d.healCovered(off, n)
+	}
+	return n, err
+}
+
+// healCovered clears armed corrupt/drift state for blocks whose full
+// 64 bytes fall inside the successfully written range.
+func (d *Device) healCovered(off int64, n int) {
+	first := (off + core.BlockBytes - 1) / core.BlockBytes // first block starting at/after off
+	last := (off + int64(n)) / core.BlockBytes             // one past the last fully covered block
+	d.mu.Lock()
+	for b := first; b < last; b++ {
+		if d.corrupt[b] {
+			delete(d.corrupt, b)
+			d.stats.CorruptHeals++
+		}
+		if d.drifted[b] {
+			delete(d.drifted, b)
+			d.stats.DriftHeals++
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Advance passes through (it participates in panic/latency schedules).
+func (d *Device) Advance(dt float64) error {
+	d.mu.Lock()
+	d.stats.Advances++
+	sleep := d.preOp()
+	d.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return d.inner.Advance(dt)
+}

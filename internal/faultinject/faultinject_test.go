@@ -1,0 +1,274 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// memTarget is a plain in-memory Target.
+type memTarget struct {
+	buf []byte
+}
+
+func newMemTarget(blocks int) *memTarget {
+	return &memTarget{buf: make([]byte, blocks*core.BlockBytes)}
+}
+
+func (m *memTarget) Name() string { return "mem" }
+
+func (m *memTarget) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memTarget) WriteAt(p []byte, off int64) (int, error) {
+	if off+int64(len(p)) > int64(len(m.buf)) {
+		return 0, errors.New("mem: write out of bounds")
+	}
+	return copy(m.buf[off:], p), nil
+}
+
+func (m *memTarget) Advance(float64) error { return nil }
+
+func TestScheduleDeterminism(t *testing.T) {
+	s := scheduleState{sched: Schedule{Every: 3, Start: 2, Times: 2}}
+	var fires []int
+	for i := 1; i <= 15; i++ {
+		if s.hit() {
+			fires = append(fires, i)
+		}
+	}
+	// Eligible ops are 3,4,5,... (after Start=2); every 3rd fires: op 5
+	// and op 8; Times=2 stops it there.
+	want := []int{5, 8}
+	if len(fires) != len(want) || fires[0] != want[0] || fires[1] != want[1] {
+		t.Fatalf("schedule fired at %v, want %v", fires, want)
+	}
+}
+
+func TestInjectedUncorrectableRead(t *testing.T) {
+	d := New(newMemTarget(4), Plan{UncorrectableRead: Schedule{Every: 2}})
+	p := make([]byte, 16)
+	if _, err := d.ReadAt(p, 0); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	_, err := d.ReadAt(p, 0)
+	if !errors.Is(err, core.ErrUncorrectable) {
+		t.Fatalf("read 2 = %v, want core.ErrUncorrectable", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2 = %v, want ErrInjected in chain", err)
+	}
+	if st := d.Stats(); st.UncorrectableReads != 1 || st.Reads != 2 {
+		t.Fatalf("stats = %+v, want 1 injected / 2 reads", st)
+	}
+}
+
+func TestInjectedWriteError(t *testing.T) {
+	d := New(newMemTarget(4), Plan{})
+	d.ArmWriteError(1)
+	if _, err := d.WriteAt(make([]byte, 8), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write = %v, want ErrInjected", err)
+	}
+	if _, err := d.WriteAt(make([]byte, 8), 0); err != nil {
+		t.Fatalf("write after arm spent: %v", err)
+	}
+}
+
+func TestCorruptAndHeal(t *testing.T) {
+	d := New(newMemTarget(4), Plan{})
+	d.CorruptBlock(1)
+	p := make([]byte, core.BlockBytes)
+	// Reads not touching block 1 still work.
+	if _, err := d.ReadAt(p, 0); err != nil {
+		t.Fatalf("read block 0: %v", err)
+	}
+	if _, err := d.ReadAt(p, core.BlockBytes); !errors.Is(err, core.ErrUncorrectable) {
+		t.Fatalf("read corrupt block = %v, want uncorrectable", err)
+	}
+	// A partial write does not heal; a covering write does.
+	if _, err := d.WriteAt(make([]byte, 8), core.BlockBytes); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+	if d.CorruptCount() != 1 {
+		t.Fatal("partial write healed the block")
+	}
+	if _, err := d.WriteAt(make([]byte, core.BlockBytes), core.BlockBytes); err != nil {
+		t.Fatalf("covering write: %v", err)
+	}
+	if d.CorruptCount() != 0 {
+		t.Fatal("covering write did not heal")
+	}
+	if _, err := d.ReadAt(p, core.BlockBytes); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if st := d.Stats(); st.CorruptHeals != 1 {
+		t.Fatalf("CorruptHeals = %d, want 1", st.CorruptHeals)
+	}
+}
+
+func TestDriftMarking(t *testing.T) {
+	d := New(newMemTarget(4), Plan{})
+	d.DriftBlock(2)
+	p := make([]byte, core.BlockBytes)
+	// Drifted blocks still read fine.
+	if _, err := d.ReadAt(p, 2*core.BlockBytes); err != nil {
+		t.Fatalf("read drifted: %v", err)
+	}
+	if d.DriftedCount() != 1 {
+		t.Fatal("read cleared drift marker")
+	}
+	if _, err := d.WriteAt(make([]byte, core.BlockBytes), 2*core.BlockBytes); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if d.DriftedCount() != 0 {
+		t.Fatal("covering rewrite did not clear drift marker")
+	}
+}
+
+func TestInjectedPanic(t *testing.T) {
+	d := New(newMemTarget(4), Plan{Panic: Schedule{Every: 2}})
+	if _, err := d.ReadAt(make([]byte, 8), 0); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		d.ReadAt(make([]byte, 8), 0)
+		return false
+	}()
+	if !panicked {
+		t.Fatal("scheduled panic did not fire")
+	}
+	// The device stays usable after the panic (the mutex was released).
+	if _, err := d.ReadAt(make([]byte, 8), 0); err != nil {
+		t.Fatalf("op after panic: %v", err)
+	}
+	if st := d.Stats(); st.Panics != 1 {
+		t.Fatalf("Panics = %d, want 1", st.Panics)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	d := New(newMemTarget(4), Plan{
+		Latency:         Schedule{Every: 1},
+		LatencyDuration: 5 * time.Millisecond,
+	})
+	start := time.Now()
+	if _, err := d.ReadAt(make([]byte, 8), 0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("read took %v, want ≥ 5ms", elapsed)
+	}
+}
+
+// TestConnCut proves the wrapper delivers a partial frame and then
+// fails both ends.
+func TestConnCut(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	received := make([]byte, 0, 64)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 64)
+		for {
+			n, err := conn.Read(buf)
+			received = append(received, buf[:n]...)
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c := WrapConn(raw, ConnPlan{CutWriteAfter: 10})
+	msg := bytes.Repeat([]byte{0xAB}, 16)
+	n, err := c.Write(msg)
+	if !errors.Is(err, ErrCut) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write = %d, %v; want ErrCut", n, err)
+	}
+	if n != 10 {
+		t.Fatalf("partial frame delivered %d bytes, want 10", n)
+	}
+	if _, err := c.Write(msg); !errors.Is(err, ErrCut) {
+		t.Fatalf("write after cut = %v, want ErrCut", err)
+	}
+	if _, err := c.Read(make([]byte, 8)); !errors.Is(err, ErrCut) {
+		t.Fatalf("read after cut = %v, want ErrCut", err)
+	}
+	wg.Wait()
+	if len(received) != 10 {
+		t.Fatalf("peer received %d bytes, want the 10-byte partial frame", len(received))
+	}
+}
+
+func TestDialerBudgets(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(io.Discard, conn)
+				conn.Close()
+			}()
+		}
+	}()
+
+	dial := Dialer(ln.Addr().String(), 7, 4, 16)
+	conn, err := dial()
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// The budget is in [4,16]; pushing 64 bytes must hit the cut.
+	var total int
+	var werr error
+	for i := 0; i < 8; i++ {
+		var n int
+		n, werr = conn.Write(make([]byte, 8))
+		total += n
+		if werr != nil {
+			break
+		}
+	}
+	if !errors.Is(werr, ErrCut) {
+		t.Fatalf("no cut after %d bytes: %v", total, werr)
+	}
+	if total < 4 || total > 16 {
+		t.Fatalf("cut after %d bytes, want within [4,16]", total)
+	}
+}

@@ -2,24 +2,29 @@ package pcmserve
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxChunk is the largest read or write payload the client puts in one
 // frame; larger ReadAt/WriteAt calls are split into sequential chunks.
 const maxChunk = 1 << 20
 
-// Client is a pipelined pcmserve client. It is safe for concurrent use:
-// any number of goroutines may issue requests on one connection, each
+// Client is a pipelined pcmserve client over ONE connection. It is safe
+// for concurrent use: any number of goroutines may issue requests, each
 // call blocking only its own goroutine while responses are matched back
 // by request id.
+//
+// A Client does not survive its connection: once the conn dies every
+// call fails with a sticky error. RetryClient layers reconnection and
+// retry policy on top.
 type Client struct {
 	conn net.Conn
 
@@ -32,6 +37,7 @@ type Client struct {
 	closed  bool
 
 	nextID     atomic.Uint64
+	opTimeout  atomic.Int64 // nanoseconds; 0 = none
 	readerDone chan struct{}
 }
 
@@ -58,6 +64,21 @@ func NewClient(conn net.Conn) *Client {
 	}
 	go c.readLoop()
 	return c
+}
+
+// SetOpTimeout bounds every subsequent deadline-less operation (the
+// plain ReadAt/WriteAt/Advance/Stats API): each op gets a context with
+// this timeout, so a stalled server fails the call instead of blocking
+// it forever. Zero (the default) disables the bound. Context-taking
+// variants are unaffected.
+func (c *Client) SetOpTimeout(d time.Duration) { c.opTimeout.Store(int64(d)) }
+
+// opCtx derives the context for a deadline-less API call.
+func (c *Client) opCtx() (context.Context, context.CancelFunc) {
+	if d := time.Duration(c.opTimeout.Load()); d > 0 {
+		return context.WithTimeout(context.Background(), d)
+	}
+	return context.Background(), func() {}
 }
 
 // readLoop routes response frames to waiting callers by request id.
@@ -91,9 +112,12 @@ func (c *Client) fail(err error) {
 	defer c.pmu.Unlock()
 	if c.err == nil {
 		if c.closed {
-			err = ErrClosed
+			c.err = fmt.Errorf("%w: %w", ErrConnFailed, ErrClosed)
+		} else {
+			// The cause goes in as text only: a peer close is io.EOF, and
+			// wrapping it would alias a dead conn with end-of-device.
+			c.err = fmt.Errorf("%w: %v", ErrConnFailed, err)
 		}
-		c.err = fmt.Errorf("pcmserve: connection failed: %w", err)
 	}
 	for id, ch := range c.pending {
 		delete(c.pending, id)
@@ -101,9 +125,15 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// Close tears down the connection; outstanding calls fail.
+// Close tears down the connection; outstanding calls fail. It is
+// idempotent and concurrent-safe: exactly one caller closes the conn
+// and awaits the reader, every later call returns ErrClosed.
 func (c *Client) Close() error {
 	c.pmu.Lock()
+	if c.closed {
+		c.pmu.Unlock()
+		return ErrClosed
+	}
 	c.closed = true
 	c.pmu.Unlock()
 	err := c.conn.Close()
@@ -111,8 +141,9 @@ func (c *Client) Close() error {
 	return err
 }
 
-// roundTrip sends one encoded request frame and waits for its response.
-func (c *Client) roundTrip(id uint64, reqFrame []byte) (response, error) {
+// roundTrip sends one encoded request frame and waits for its response,
+// abandoning the wait (but not the server-side work) when ctx ends.
+func (c *Client) roundTrip(ctx context.Context, id uint64, reqFrame []byte) (response, error) {
 	ch := make(chan response, 1)
 	c.pmu.Lock()
 	if c.err != nil || c.closed {
@@ -139,22 +170,41 @@ func (c *Client) roundTrip(id uint64, reqFrame []byte) (response, error) {
 		return response{}, fmt.Errorf("pcmserve: send: %w", werr)
 	}
 
-	resp, ok := <-ch
-	if !ok {
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.pmu.Lock()
+			err := c.err
+			c.pmu.Unlock()
+			return response{}, err
+		}
+		if resp.status == StatusErr {
+			return resp, decodeWireError(resp.payload)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		// Unregister so the late response (if any) is dropped; the
+		// request may still execute server-side.
 		c.pmu.Lock()
-		err := c.err
+		delete(c.pending, id)
 		c.pmu.Unlock()
-		return response{}, err
+		return response{}, fmt.Errorf("pcmserve: request %d abandoned: %w", id, ctx.Err())
 	}
-	if resp.status == StatusErr {
-		return resp, errors.New(string(resp.payload))
-	}
-	return resp, nil
 }
 
 // ReadAt implements io.ReaderAt against the remote device, preserving
-// its EOF semantics. Calls larger than 1 MiB are split into chunks.
+// its EOF semantics, bounded by the SetOpTimeout deadline if one is
+// set. Calls larger than 1 MiB are split into chunks.
 func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	return c.ReadAtCtx(ctx, p, off)
+}
+
+// ReadAtCtx is ReadAt under a caller context: when ctx ends the call
+// returns immediately with ctx's error (the wait is abandoned; reads
+// are idempotent so nothing is lost).
+func (c *Client) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	n := 0
 	for n < len(p) {
 		chunk := len(p) - n
@@ -162,7 +212,7 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 			chunk = maxChunk
 		}
 		id := c.nextID.Add(1)
-		resp, err := c.roundTrip(id, encodeReadReq(id, off+int64(n), uint32(chunk)))
+		resp, err := c.roundTrip(ctx, id, encodeReadReq(id, off+int64(n), uint32(chunk)))
 		if err != nil {
 			return n, err
 		}
@@ -180,9 +230,19 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-// WriteAt implements io.WriterAt against the remote device. Calls
-// larger than 1 MiB are split into chunks.
+// WriteAt implements io.WriterAt against the remote device, bounded by
+// the SetOpTimeout deadline if one is set. Calls larger than 1 MiB are
+// split into chunks.
 func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	return c.WriteAtCtx(ctx, p, off)
+}
+
+// WriteAtCtx is WriteAt under a caller context. An abandoned write may
+// still apply server-side; callers needing certainty must read back or
+// resubmit (RetryClient does the latter with bounded attempts).
+func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
@@ -193,7 +253,7 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 			chunk = maxChunk
 		}
 		id := c.nextID.Add(1)
-		resp, err := c.roundTrip(id, encodeWriteReq(id, off+int64(n), p[n:n+chunk]))
+		resp, err := c.roundTrip(ctx, id, encodeWriteReq(id, off+int64(n), p[n:n+chunk]))
 		if err != nil {
 			return n, err
 		}
@@ -212,15 +272,29 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 // Advance moves the remote device's simulated time forward by dt
 // seconds (driving refresh where the architecture needs it).
 func (c *Client) Advance(dt float64) error {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	return c.AdvanceCtx(ctx, dt)
+}
+
+// AdvanceCtx is Advance under a caller context.
+func (c *Client) AdvanceCtx(ctx context.Context, dt float64) error {
 	id := c.nextID.Add(1)
-	_, err := c.roundTrip(id, encodeAdvanceReq(id, dt))
+	_, err := c.roundTrip(ctx, id, encodeAdvanceReq(id, dt))
 	return err
 }
 
 // Stats fetches the server's observability snapshot via the STATS op.
 func (c *Client) Stats() (Stats, error) {
+	ctx, cancel := c.opCtx()
+	defer cancel()
+	return c.StatsCtx(ctx)
+}
+
+// StatsCtx is Stats under a caller context.
+func (c *Client) StatsCtx(ctx context.Context) (Stats, error) {
 	id := c.nextID.Add(1)
-	resp, err := c.roundTrip(id, encodeStatsReq(id))
+	resp, err := c.roundTrip(ctx, id, encodeStatsReq(id))
 	if err != nil {
 		return Stats{}, err
 	}

@@ -1,0 +1,147 @@
+package pcmserve
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Wire error codes carried in the first byte of a StatusErr payload.
+// They let errors.Is work across the network: the client rebuilds a
+// RemoteError that unwraps to the matching sentinel, so the retry layer
+// can classify failures without parsing message strings.
+const (
+	// CodeGeneric is any server error without a more specific sentinel
+	// (bounds violations, protocol misuse): permanent, not retryable.
+	CodeGeneric uint8 = 0
+	// CodeUncorrectable maps to core.ErrUncorrectable: the block's
+	// accumulated errors exceed ECC capability (data integrity loss).
+	CodeUncorrectable uint8 = 1
+	// CodeShardUnavailable maps to ErrShardUnavailable: the owning
+	// shard is restarting or dead; idempotent requests may be retried.
+	CodeShardUnavailable uint8 = 2
+	// CodeClosed maps to ErrClosed: the serving stack is shutting down.
+	CodeClosed uint8 = 3
+)
+
+// ErrShardUnavailable reports a request that hit a shard whose owner
+// goroutine is restarting after a panic (retryable) or has been
+// declared dead after exhausting its restart budget.
+var ErrShardUnavailable = errors.New("pcmserve: shard unavailable")
+
+// ErrConnFailed marks a connection-level failure: the transport died
+// before a response arrived, so the request outcome is unknown. The
+// underlying cause is recorded as text only — deliberately NOT wrapped —
+// because a peer close surfaces as io.EOF, and wrapping it would make a
+// dead connection satisfy errors.Is(err, io.EOF), the io.ReaderAt
+// end-of-device marker.
+var ErrConnFailed = errors.New("pcmserve: connection failed")
+
+// RemoteError is a server-side failure reconstructed on the client. It
+// unwraps to the sentinel matching its wire code, so
+// errors.Is(err, core.ErrUncorrectable) and friends hold across the
+// network.
+type RemoteError struct {
+	Code uint8
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Unwrap maps the wire code back to its sentinel.
+func (e *RemoteError) Unwrap() error {
+	switch e.Code {
+	case CodeUncorrectable:
+		return core.ErrUncorrectable
+	case CodeShardUnavailable:
+		return ErrShardUnavailable
+	case CodeClosed:
+		return ErrClosed
+	}
+	return nil
+}
+
+// errCode picks the wire code for a server-side error.
+func errCode(err error) uint8 {
+	switch {
+	case errors.Is(err, core.ErrUncorrectable):
+		return CodeUncorrectable
+	case errors.Is(err, ErrShardUnavailable):
+		return CodeShardUnavailable
+	case errors.Is(err, ErrClosed):
+		return CodeClosed
+	}
+	return CodeGeneric
+}
+
+// errFrame encodes a StatusErr response: one code byte, then the
+// message.
+func errFrame(id uint64, err error) []byte {
+	return frame(id, StatusErr, []byte{errCode(err)}, []byte(err.Error()))
+}
+
+// decodeWireError rebuilds the typed error from a StatusErr payload.
+func decodeWireError(payload []byte) error {
+	if len(payload) == 0 {
+		return &RemoteError{Code: CodeGeneric, Msg: "pcmserve: empty error payload"}
+	}
+	return &RemoteError{Code: payload[0], Msg: string(payload[1:])}
+}
+
+// ErrorClass groups failures by what a caller should do about them.
+type ErrorClass int
+
+const (
+	// ClassTransient failures (connection loss, shard restarts, server
+	// shutdown) may succeed on retry, possibly after reconnecting.
+	ClassTransient ErrorClass = iota
+	// ClassPermanent failures (bounds violations, protocol misuse,
+	// io.EOF device-end semantics) will fail identically on retry.
+	ClassPermanent
+	// ClassCorrupt failures carry core.ErrUncorrectable: the data is
+	// lost and retrying cannot recover it; surface, never retry.
+	ClassCorrupt
+)
+
+// String implements fmt.Stringer.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassPermanent:
+		return "permanent"
+	case ClassCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Classify maps an error returned by the client (or the Shards layer)
+// to its retry class. io.EOF is the device-end marker of io.ReaderAt,
+// not a failure, and classifies permanent so no retry loop chases it.
+func Classify(err error) ErrorClass {
+	switch {
+	case err == nil:
+		return ClassPermanent
+	case errors.Is(err, core.ErrUncorrectable):
+		return ClassCorrupt
+	case errors.Is(err, ErrShardUnavailable):
+		return ClassTransient
+	case errors.Is(err, ErrClosed):
+		return ClassTransient
+	case errors.Is(err, ErrConnFailed):
+		return ClassTransient
+	case errors.Is(err, io.EOF):
+		return ClassPermanent
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		// The server executed the request and rejected it; retrying the
+		// same request gives the same answer.
+		return ClassPermanent
+	}
+	// Everything else is connection-level (dial failures, resets,
+	// truncated frames): retry after reconnecting.
+	return ClassTransient
+}

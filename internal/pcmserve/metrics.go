@@ -38,12 +38,20 @@ func (h *histogram) snapshot() []uint64 {
 
 // ShardStats is one shard's observability snapshot.
 type ShardStats struct {
-	Shard    int    `json:"shard"`
-	Device   string `json:"device"`
+	Shard  int    `json:"shard"`
+	Device string `json:"device"`
+	// Health is the supervisor state: "healthy", "degraded" (serving
+	// again after a panic restart), or "dead" (restart budget spent;
+	// requests fail fast).
+	Health   string `json:"health"`
 	Reads    uint64 `json:"reads"`
 	Writes   uint64 `json:"writes"`
 	Advances uint64 `json:"advances"`
 	Errors   uint64 `json:"errors"`
+	// Panics counts recovered owner-goroutine panics; Restarts counts
+	// supervisor restarts of the owner loop.
+	Panics   uint64 `json:"panics"`
+	Restarts uint64 `json:"restarts"`
 	// QueueDepth is the instantaneous bounded-queue occupancy; QueueCap
 	// is its capacity (the backpressure limit).
 	QueueDepth int `json:"queue_depth"`
@@ -78,6 +86,9 @@ type Stats struct {
 	// TotalConns counts every connection ever accepted.
 	ActiveConns int64 `json:"active_conns"`
 	TotalConns  int64 `json:"total_conns"`
+
+	// Scrub reports background scrubber progress (zero when disabled).
+	Scrub ScrubStats `json:"scrub"`
 
 	Shards []ShardStats `json:"shards"`
 }

@@ -28,7 +28,10 @@ import (
 //	           OpAdvance → empty; OpStats → JSON-encoded Stats
 //	StatusEOF  OpRead only: the bytes read before end-of-device
 //	           (the client surfaces io.EOF)
-//	StatusErr  UTF-8 error message
+//	StatusErr  uint8 sentinel code (see errors.go), then the UTF-8
+//	           error message; the client rebuilds a RemoteError that
+//	           unwraps to the coded sentinel, so errors.Is works
+//	           across the network
 //
 // Request ids let many requests be in flight on one connection and let
 // responses return out of order (pipelining); the client matches them

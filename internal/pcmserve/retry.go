@@ -1,0 +1,313 @@
+package pcmserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RetryConfig tunes RetryClient. The zero value (plus a Dial function
+// or DialRetry) is usable.
+type RetryConfig struct {
+	// Dial opens a new server connection; it is called on first use and
+	// after every connection failure. Required unless the client is
+	// built with DialRetry.
+	Dial func() (net.Conn, error)
+
+	// MaxReadAttempts bounds attempts for idempotent ops — reads,
+	// Stats — which are retried transparently across reconnects
+	// (default 16).
+	MaxReadAttempts int
+	// MaxWriteAttempts bounds attempts for writes and Advance, whose
+	// resubmission after a lost response may apply twice; failures
+	// surface the attempt count (default 4).
+	MaxWriteAttempts int
+
+	// BaseBackoff is the first retry delay; each attempt doubles it up
+	// to MaxBackoff, with ±50% seeded jitter (defaults 5ms / 500ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the jitter generator (default 1), keeping retry
+	// schedules reproducible in tests.
+	Seed uint64
+
+	// OpTimeout bounds each attempt (not the whole op); it is installed
+	// on every underlying Client via SetOpTimeout (default 10s,
+	// negative disables).
+	OpTimeout time.Duration
+}
+
+func (cfg RetryConfig) withDefaults() RetryConfig {
+	if cfg.MaxReadAttempts <= 0 {
+		cfg.MaxReadAttempts = 16
+	}
+	if cfg.MaxWriteAttempts <= 0 {
+		cfg.MaxWriteAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 5 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 500 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.OpTimeout == 0 {
+		cfg.OpTimeout = 10 * time.Second
+	} else if cfg.OpTimeout < 0 {
+		cfg.OpTimeout = 0
+	}
+	return cfg
+}
+
+// RetryStats counts the retry layer's recovery work.
+type RetryStats struct {
+	// Redials is the number of connections established (including the
+	// first).
+	Redials uint64
+	// Retries counts op attempts beyond each op's first.
+	Retries uint64
+}
+
+// RetryClient wraps Client with error classification, automatic
+// reconnection, and capped exponential backoff with jitter: transient
+// failures (connection loss, shard restarts, server shutdown) are
+// retried — transparently for idempotent reads, with bounded surfaced
+// attempts for writes — while permanent and corrupt errors return
+// immediately. It is safe for concurrent use.
+type RetryClient struct {
+	cfg RetryConfig
+
+	mu     sync.Mutex
+	cur    *Client
+	gen    uint64 // bumped per established connection
+	rng    *rand.Rand
+	closed bool
+
+	redials, retries atomic.Uint64
+}
+
+var _ io.ReaderAt = (*RetryClient)(nil)
+var _ io.WriterAt = (*RetryClient)(nil)
+
+// NewRetryClient builds a client over cfg.Dial. The first connection is
+// established lazily, so a server that is still starting (or
+// restarting) does not fail construction.
+func NewRetryClient(cfg RetryConfig) (*RetryClient, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("pcmserve: RetryConfig.Dial is required")
+	}
+	cfg = cfg.withDefaults()
+	return &RetryClient{cfg: cfg, rng: rand.New(rand.NewSource(int64(cfg.Seed)))}, nil
+}
+
+// DialRetry builds a RetryClient for a TCP address.
+func DialRetry(addr string, cfg RetryConfig) (*RetryClient, error) {
+	if cfg.Dial == nil {
+		cfg.Dial = func() (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	return NewRetryClient(cfg)
+}
+
+// RetryStats snapshots the recovery counters.
+func (r *RetryClient) RetryStats() RetryStats {
+	return RetryStats{Redials: r.redials.Load(), Retries: r.retries.Load()}
+}
+
+// Close closes the current connection. It is idempotent: later calls
+// return ErrClosed, and in-flight operations stop retrying.
+func (r *RetryClient) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.closed = true
+	c := r.cur
+	r.cur = nil
+	r.mu.Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// conn returns the live connection, dialing one if needed.
+func (r *RetryClient) conn() (*Client, uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, 0, ErrClosed
+	}
+	if r.cur != nil {
+		return r.cur, r.gen, nil
+	}
+	conn, err := r.cfg.Dial()
+	if err != nil {
+		return nil, 0, fmt.Errorf("pcmserve: redial: %w", err)
+	}
+	c := NewClient(conn)
+	if r.cfg.OpTimeout > 0 {
+		c.SetOpTimeout(r.cfg.OpTimeout)
+	}
+	r.cur = c
+	r.gen++
+	r.redials.Add(1)
+	return c, r.gen, nil
+}
+
+// invalidate drops a failed connection so the next attempt redials. The
+// generation check keeps a slow goroutine from closing a replacement
+// connection that other goroutines are already using.
+func (r *RetryClient) invalidate(c *Client, gen uint64) {
+	r.mu.Lock()
+	if r.cur == c && r.gen == gen {
+		r.cur = nil
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// backoff sleeps before attempt a (no sleep for the first attempt),
+// doubling from BaseBackoff up to MaxBackoff with ±50% jitter, honoring
+// ctx.
+func (r *RetryClient) backoff(ctx context.Context, attempt int) error {
+	if attempt == 0 {
+		return nil
+	}
+	r.retries.Add(1)
+	d := r.cfg.BaseBackoff << (attempt - 1)
+	if d > r.cfg.MaxBackoff || d <= 0 {
+		d = r.cfg.MaxBackoff
+	}
+	r.mu.Lock()
+	jitter := 0.5 + r.rng.Float64() // ×[0.5, 1.5)
+	r.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do runs one op through the retry loop. Each attempt gets its own
+// OpTimeout-bounded context derived from ctx, so a stalled server fails
+// the attempt (and invalidates its connection) rather than blocking
+// forever. ok-or-EOF results return as is; permanent and corrupt errors
+// return immediately; transient errors retry up to attempts,
+// reconnecting when the failure was connection-level (anything that is
+// not a typed in-band RemoteError).
+func (r *RetryClient) do(ctx context.Context, attempts int, op func(ctx context.Context, c *Client) error) error {
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := r.backoff(ctx, a); err != nil {
+			return errors.Join(err, lastErr)
+		}
+		c, gen, err := r.conn()
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return err
+			}
+			lastErr = err // dial failure: transient, back off and retry
+			continue
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if r.cfg.OpTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.cfg.OpTimeout)
+		}
+		err = op(actx, c)
+		cancel()
+		if err == nil || errors.Is(err, io.EOF) {
+			return err
+		}
+		switch Classify(err) {
+		case ClassPermanent, ClassCorrupt:
+			return err
+		}
+		lastErr = err
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			// Connection-level failure (including a per-attempt
+			// timeout on a stalled server): this conn is done.
+			r.invalidate(c, gen)
+		}
+		if ctx.Err() != nil {
+			// The caller's own context ended; stop retrying.
+			return errors.Join(ctx.Err(), lastErr)
+		}
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return fmt.Errorf("%w (last error: %w)", ErrClosed, lastErr)
+		}
+	}
+	return fmt.Errorf("pcmserve: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// ReadAt retries transient failures transparently across reconnects;
+// reads are idempotent so a retried read is indistinguishable from a
+// slow one. io.EOF keeps its io.ReaderAt end-of-device meaning.
+func (r *RetryClient) ReadAt(p []byte, off int64) (int, error) {
+	return r.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx is ReadAt bounded by ctx across all attempts.
+func (r *RetryClient) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	var n int
+	err := r.do(ctx, r.cfg.MaxReadAttempts, func(ctx context.Context, c *Client) error {
+		var err error
+		n, err = c.ReadAtCtx(ctx, p, off)
+		return err
+	})
+	return n, err
+}
+
+// WriteAt resubmits on transient failure with bounded attempts. A
+// write whose response was lost may have applied server-side before the
+// resubmission; writers needing exactly-once must layer sequence
+// numbers above this API.
+func (r *RetryClient) WriteAt(p []byte, off int64) (int, error) {
+	return r.WriteAtCtx(context.Background(), p, off)
+}
+
+// WriteAtCtx is WriteAt bounded by ctx across all attempts.
+func (r *RetryClient) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	var n int
+	err := r.do(ctx, r.cfg.MaxWriteAttempts, func(ctx context.Context, c *Client) error {
+		var err error
+		n, err = c.WriteAtCtx(ctx, p, off)
+		return err
+	})
+	return n, err
+}
+
+// Advance retries like a write (resubmission may double-apply the time
+// step if the original was executed but its response lost).
+func (r *RetryClient) Advance(dt float64) error {
+	return r.do(context.Background(), r.cfg.MaxWriteAttempts, func(ctx context.Context, c *Client) error {
+		return c.AdvanceCtx(ctx, dt)
+	})
+}
+
+// Stats retries like a read.
+func (r *RetryClient) Stats() (Stats, error) {
+	var st Stats
+	err := r.do(context.Background(), r.cfg.MaxReadAttempts, func(ctx context.Context, c *Client) error {
+		var err error
+		st, err = c.StatsCtx(ctx)
+		return err
+	})
+	return st, err
+}

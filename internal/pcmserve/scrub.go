@@ -1,0 +1,145 @@
+package pcmserve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wearout"
+)
+
+// ScrubStats counts what the background scrubber has found and fixed;
+// it is part of the Stats snapshot and the expvar export.
+type ScrubStats struct {
+	// Passes counts completed walks of the whole logical block space.
+	Passes uint64 `json:"passes"`
+	// Scrubbed counts block scrub operations performed.
+	Scrubbed uint64 `json:"scrubbed"`
+	// Repaired counts correctable blocks rewritten at nominal levels
+	// (drift cleared before it could accumulate past ECC).
+	Repaired uint64 `json:"repaired"`
+	// Uncorrectable counts scrubs that found a block beyond ECC.
+	Uncorrectable uint64 `json:"uncorrectable"`
+	// Spared counts spare pairs consumed by mark-and-spare accounting
+	// (one per uncorrectable event, per the paper's Section 6.4).
+	Spared uint64 `json:"spared"`
+	// Retired counts blocks whose failures exceeded the spare capacity
+	// of the paper's mark-and-spare design (6 spare pairs per block).
+	Retired uint64 `json:"retired"`
+	// Skipped counts scrub slots dropped because the owning shard was
+	// dead or the scrub op itself failed.
+	Skipped uint64 `json:"skipped"`
+}
+
+// scrubber walks the logical block space at a fixed cadence, issuing
+// one opScrub per interval through the owning shard's queue so scrubs
+// serialize with client traffic. Uncorrectable blocks are routed
+// through internal/wearout mark-and-spare accounting: each failure
+// marks one pair and consumes one spare; a block that exhausts the
+// spare budget is retired (the ErrTooManyFailures condition).
+type scrubber struct {
+	g        *Shards
+	interval time.Duration
+	design   wearout.MarkAndSpare
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu         sync.Mutex
+	sparesUsed map[int64]int // logical block → spare pairs consumed
+	stats      ScrubStats
+}
+
+func newScrubber(g *Shards, interval time.Duration) *scrubber {
+	return &scrubber{
+		g:          g,
+		interval:   interval,
+		design:     wearout.PaperDesign(),
+		stop:       make(chan struct{}),
+		sparesUsed: make(map[int64]int),
+	}
+}
+
+func (sc *scrubber) start() {
+	sc.wg.Add(1)
+	go sc.run()
+}
+
+func (sc *scrubber) snapshot() ScrubStats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.stats
+}
+
+func (sc *scrubber) run() {
+	defer sc.wg.Done()
+	tick := time.NewTicker(sc.interval)
+	defer tick.Stop()
+	nBlocks := sc.g.size / core.BlockBytes
+	var block int64
+	for {
+		select {
+		case <-sc.stop:
+			return
+		case <-tick.C:
+		}
+		sc.scrubOne(block)
+		block++
+		if block >= nBlocks {
+			block = 0
+			sc.mu.Lock()
+			sc.stats.Passes++
+			sc.mu.Unlock()
+		}
+	}
+}
+
+// scrubOne scrubs the logical block with the given global index. The
+// enqueue follows the dispatch locking discipline: the closed check and
+// the channel send happen under the read lock, so Close cannot close
+// the queue out from under the send.
+func (sc *scrubber) scrubOne(block int64) {
+	off := block * core.BlockBytes
+	s := sc.g.shards[off/sc.g.shardSize]
+
+	sc.g.mu.RLock()
+	if sc.g.closed {
+		sc.g.mu.RUnlock()
+		return
+	}
+	if s.healthState() == Dead {
+		sc.g.mu.RUnlock()
+		sc.mu.Lock()
+		sc.stats.Skipped++
+		sc.mu.Unlock()
+		return
+	}
+	done := make(chan shardResult, 1)
+	s.ch <- shardReq{op: opScrub, off: off % sc.g.shardSize, done: done}
+	sc.g.mu.RUnlock()
+
+	r := <-done
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.stats.Scrubbed++
+	switch r.scrub {
+	case scrubRepaired:
+		sc.stats.Repaired++
+	case scrubUncorrectable:
+		sc.stats.Uncorrectable++
+		// Mark-and-spare: the failure marks one pair INV and shifts a
+		// spare in. Past SparePairs the block is beyond the scheme's
+		// capacity and is retired (counted once).
+		sc.sparesUsed[block]++
+		used := sc.sparesUsed[block]
+		if used <= sc.design.SparePairs {
+			sc.stats.Spared++
+		} else if used == sc.design.SparePairs+1 {
+			sc.stats.Retired++
+		}
+	}
+	if r.err != nil && !errors.Is(r.err, core.ErrUncorrectable) {
+		sc.stats.Skipped++
+	}
+}

@@ -114,6 +114,7 @@ func (s *Server) Stats() Stats {
 		BytesWritten: s.metrics.bytesWritten.Load(),
 		ActiveConns:  active,
 		TotalConns:   s.metrics.totalConns.Load(),
+		Scrub:        s.shards.ScrubStats(),
 		Shards:       s.shards.Snapshot(),
 	}
 }
@@ -255,7 +256,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			// The id parsed (frames shorter than the header are
 			// rejected by readFrame), so the error can be returned
 			// in-band before closing.
-			out <- frame(req.id, StatusErr, []byte(err.Error()))
+			out <- errFrame(req.id, err)
 			break
 		}
 		inflight <- struct{}{} // backpressure: cap concurrent handlers
@@ -280,7 +281,7 @@ func (s *Server) execute(req request) []byte {
 		if req.n > s.cfg.MaxFrame-headerBytes {
 			err := fmt.Errorf("pcmserve: read length %d exceeds frame limit", req.n)
 			s.metrics.countOp(OpRead, 0, err)
-			return frame(req.id, StatusErr, []byte(err.Error()))
+			return errFrame(req.id, err)
 		}
 		buf := make([]byte, req.n)
 		n, err := s.shards.ReadAt(buf, req.off)
@@ -290,21 +291,21 @@ func (s *Server) execute(req request) []byte {
 		}
 		s.metrics.countOp(OpRead, n, err)
 		if err != nil {
-			return frame(req.id, StatusErr, []byte(err.Error()))
+			return errFrame(req.id, err)
 		}
 		return frame(req.id, StatusOK, buf[:n])
 	case OpWrite:
 		n, err := s.shards.WriteAt(req.data, req.off)
 		s.metrics.countOp(OpWrite, n, err)
 		if err != nil {
-			return frame(req.id, StatusErr, []byte(err.Error()))
+			return errFrame(req.id, err)
 		}
 		return frame(req.id, StatusOK, u32(uint32(n)))
 	case OpAdvance:
 		err := s.shards.Advance(req.dt)
 		s.metrics.countOp(OpAdvance, 0, err)
 		if err != nil {
-			return frame(req.id, StatusErr, []byte(err.Error()))
+			return errFrame(req.id, err)
 		}
 		return frame(req.id, StatusOK)
 	case OpStats:
@@ -312,11 +313,11 @@ func (s *Server) execute(req request) []byte {
 		s.metrics.countOp(OpStats, 0, nil)
 		payload, err := json.Marshal(st)
 		if err != nil {
-			return frame(req.id, StatusErr, []byte(err.Error()))
+			return errFrame(req.id, err)
 		}
 		return frame(req.id, StatusOK, payload)
 	}
 	err := fmt.Errorf("pcmserve: unknown op %d", req.op)
 	s.metrics.errors.Add(1)
-	return frame(req.id, StatusErr, []byte(err.Error()))
+	return errFrame(req.id, err)
 }

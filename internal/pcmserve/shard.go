@@ -12,6 +12,16 @@ import (
 	"repro/internal/device"
 )
 
+// ShardDevice is the per-shard device contract: the byte-addressable
+// surface of device.Device, which internal/faultinject can wrap to
+// inject failures underneath the serving stack.
+type ShardDevice interface {
+	io.ReaderAt
+	io.WriterAt
+	Advance(dt float64) error
+	Name() string
+}
+
 // ShardsConfig assembles a sharded device.
 type ShardsConfig struct {
 	// Shards is the number of independent device instances the byte
@@ -25,7 +35,55 @@ type ShardsConfig struct {
 	// block count; the sharded device's total capacity is
 	// Shards × Blocks × 64 bytes. Seed is decorrelated per shard.
 	Device device.Config
+
+	// WrapDevice, when non-nil, wraps each freshly built shard device —
+	// the hook internal/faultinject uses to sit underneath the shard
+	// owner goroutine.
+	WrapDevice func(shard int, dev ShardDevice) ShardDevice
+
+	// MaxRestarts bounds how many times a shard owner goroutine is
+	// restarted after panics before the shard is declared dead
+	// (default 8; negative means never restart).
+	MaxRestarts int
+	// HealAfter is the number of completed operations after a restart
+	// before a degraded shard is considered healthy again (default 16).
+	HealAfter int
+
+	// ScrubInterval enables the background scrubber: one block is
+	// scrubbed (read, wearout-accounted, rewritten) every interval,
+	// walking the whole logical space round-robin (0 disables).
+	ScrubInterval time.Duration
 }
+
+// Health is a shard's lifecycle state.
+type Health int32
+
+const (
+	// Healthy shards serve normally.
+	Healthy Health = iota
+	// Degraded shards are serving again after a panic restart but have
+	// not yet completed HealAfter operations.
+	Degraded
+	// Dead shards exhausted their restart budget; requests touching
+	// them fail fast with ErrShardUnavailable.
+	Dead
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("Health(%d)", int32(h))
+}
+
+// Shard-queue-internal operation codes (never on the wire).
+const opScrub uint8 = 0xF0
 
 // shardReq is one shard-local unit of work, always fully contained in
 // the owning shard's address range.
@@ -42,56 +100,179 @@ type shardResult struct {
 	pos int
 	n   int
 	err error
+	// scrub reports the outcome of an opScrub request.
+	scrub scrubOutcome
 }
 
-// shard owns one device.Device. Exactly one goroutine (run) touches the
-// device, honouring the internal/device concurrency contract.
+// scrubOutcome describes what one block scrub found and did.
+type scrubOutcome int
+
+const (
+	scrubNone scrubOutcome = iota
+	// scrubRepaired: the block read back correctable and was rewritten
+	// at nominal levels (drift cleared).
+	scrubRepaired
+	// scrubUncorrectable: the read was beyond ECC; the block was
+	// rewritten (content replaced) and must be wearout-accounted.
+	scrubUncorrectable
+)
+
+// shard owns one ShardDevice. Exactly one goroutine (runOnce inside
+// supervise) touches the device at a time, honouring the
+// internal/device concurrency contract; the supervisor restarts that
+// goroutine's work loop when it panics.
 type shard struct {
-	index int
-	dev   *device.Device
-	ch    chan shardReq
+	index     int
+	dev       ShardDevice
+	ch        chan shardReq
+	healAfter uint64
 
 	reads, writes, advances, errCount atomic.Uint64
 	readLat, writeLat                 histogram
+
+	health   atomic.Int32
+	panics   atomic.Uint64
+	restarts atomic.Uint64
+	okStreak atomic.Uint64 // completed ops since the last restart
+
+	// cur is the request being handled; only the owner goroutine (and
+	// its own recover) touches it, so no lock is needed.
+	cur *shardReq
 }
 
-func (s *shard) run(wg *sync.WaitGroup) {
-	defer wg.Done()
-	for req := range s.ch {
-		start := time.Now()
-		var n int
-		var err error
-		switch req.op {
-		case OpRead:
-			n, err = s.dev.ReadAt(req.buf, req.off)
-			s.reads.Add(1)
-			s.readLat.observe(time.Since(start))
-		case OpWrite:
-			n, err = s.dev.WriteAt(req.buf, req.off)
-			s.writes.Add(1)
-			s.writeLat.observe(time.Since(start))
-		case OpAdvance:
-			err = s.dev.Advance(req.dt)
-			s.advances.Add(1)
-		default:
-			err = fmt.Errorf("pcmserve: shard %d: unknown op %d", s.index, req.op)
+func (s *shard) healthState() Health { return Health(s.health.Load()) }
+
+// handle executes one request against the device and replies on done.
+func (s *shard) handle(req shardReq) {
+	start := time.Now()
+	var n int
+	var err error
+	outcome := scrubNone
+	switch req.op {
+	case OpRead:
+		n, err = s.dev.ReadAt(req.buf, req.off)
+		s.reads.Add(1)
+		s.readLat.observe(time.Since(start))
+	case OpWrite:
+		n, err = s.dev.WriteAt(req.buf, req.off)
+		s.writes.Add(1)
+		s.writeLat.observe(time.Since(start))
+	case OpAdvance:
+		err = s.dev.Advance(req.dt)
+		s.advances.Add(1)
+	case opScrub:
+		outcome, err = s.scrubBlock(req.off)
+	default:
+		err = fmt.Errorf("pcmserve: shard %d: unknown op %d", s.index, req.op)
+	}
+	if err != nil && err != io.EOF {
+		s.errCount.Add(1)
+	}
+	if s.healthState() == Degraded {
+		if s.okStreak.Add(1) >= s.healAfter {
+			s.health.CompareAndSwap(int32(Degraded), int32(Healthy))
 		}
-		if err != nil && err != io.EOF {
-			s.errCount.Add(1)
+	}
+	req.done <- shardResult{pos: req.pos, n: n, err: err, scrub: outcome}
+}
+
+// scrubBlock performs one atomic read-correct-rewrite cycle on the
+// 64-byte block at shard-local offset off — the refresh operation of
+// the paper's Section 4, executed inside the owner goroutine so it
+// serializes with client traffic and can never interleave with a
+// concurrent write. A correctable block is rewritten as read (returning
+// every cell to nominal resistance); an uncorrectable one has its
+// content replaced, containing the loss to this block, and is reported
+// for mark-and-spare accounting.
+func (s *shard) scrubBlock(off int64) (scrubOutcome, error) {
+	buf := make([]byte, core.BlockBytes)
+	_, rerr := s.dev.ReadAt(buf, off)
+	switch {
+	case rerr == nil:
+		if _, werr := s.dev.WriteAt(buf, off); werr != nil {
+			return scrubNone, fmt.Errorf("pcmserve: scrub rewrite at %d: %w", off, werr)
 		}
-		req.done <- shardResult{pos: req.pos, n: n, err: err}
+		return scrubRepaired, nil
+	case errors.Is(rerr, core.ErrUncorrectable):
+		// The read buffer may hold garbage; rewrite zeros so the block
+		// is usable again (data loss is the caller-visible event).
+		zero := make([]byte, core.BlockBytes)
+		if _, werr := s.dev.WriteAt(zero, off); werr != nil {
+			return scrubUncorrectable, fmt.Errorf("pcmserve: scrub replace at %d: %w", off, werr)
+		}
+		return scrubUncorrectable, nil
+	default:
+		return scrubNone, fmt.Errorf("pcmserve: scrub read at %d: %w", off, rerr)
 	}
 }
 
-// Shards partitions a byte address space across N device.Device
-// instances, each drained by a dedicated goroutine through a bounded
+// runOnce drains the queue until the channel closes (clean shutdown,
+// returns false) or a panic escapes the device (returns true). A panic
+// mid-request fails that request with ErrShardUnavailable so its waiter
+// is never stranded; queued requests stay queued for the restarted
+// loop.
+func (s *shard) runOnce() (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			s.panics.Add(1)
+			if req := s.cur; req != nil {
+				s.cur = nil
+				req.done <- shardResult{
+					pos: req.pos,
+					err: fmt.Errorf("pcmserve: shard %d panicked: %v: %w", s.index, r, ErrShardUnavailable),
+				}
+			}
+		}
+	}()
+	for req := range s.ch {
+		req := req
+		s.cur = &req
+		s.handle(req)
+		s.cur = nil
+	}
+	return false
+}
+
+// supervise owns the shard lifecycle: run, recover, restart with a
+// bounded budget, and — once the budget is spent — fail everything fast
+// until shutdown.
+func (s *shard) supervise(g *Shards) {
+	defer g.wg.Done()
+	for {
+		if !s.runOnce() {
+			return // queue closed: clean shutdown
+		}
+		n := s.restarts.Add(1)
+		if g.maxRestarts >= 0 && n > uint64(g.maxRestarts) {
+			s.health.Store(int32(Dead))
+			// Drain-and-fail so enqueuers (and queued waiters) are
+			// never stranded behind a dead shard.
+			for req := range s.ch {
+				req.done <- shardResult{
+					pos: req.pos,
+					err: fmt.Errorf("pcmserve: shard %d dead after %d restarts: %w", s.index, n-1, ErrShardUnavailable),
+				}
+			}
+			return
+		}
+		s.okStreak.Store(0)
+		s.health.Store(int32(Degraded))
+	}
+}
+
+// Shards partitions a byte address space across N ShardDevice
+// instances, each drained by a supervised goroutine through a bounded
 // queue. It implements io.ReaderAt/io.WriterAt over the combined space
 // and, unlike a bare Device, is safe for concurrent use by any number
 // of goroutines.
 type Shards struct {
-	shards    []*shard
-	shardSize int64 // bytes per shard
-	size      int64 // total bytes
+	shards      []*shard
+	shardSize   int64 // bytes per shard
+	size        int64 // total bytes
+	maxRestarts int
+
+	scrub *scrubber
 
 	mu     sync.RWMutex // guards closed vs. in-flight enqueues
 	closed bool
@@ -124,9 +305,18 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 	if cfg.Device.Blocks < 1 {
 		return nil, errors.New("pcmserve: need at least one block per shard")
 	}
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = 8
+	}
+	healAfter := cfg.HealAfter
+	if healAfter <= 0 {
+		healAfter = 16
+	}
 	g := &Shards{
-		shards:    make([]*shard, n),
-		shardSize: int64(cfg.Device.Blocks) * core.BlockBytes,
+		shards:      make([]*shard, n),
+		shardSize:   int64(cfg.Device.Blocks) * core.BlockBytes,
+		maxRestarts: maxRestarts,
 	}
 	g.size = g.shardSize * int64(n)
 	for i := range g.shards {
@@ -138,9 +328,22 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pcmserve: shard %d: %w", i, err)
 		}
-		g.shards[i] = &shard{index: i, dev: dev, ch: make(chan shardReq, depth)}
+		var sd ShardDevice = dev
+		if cfg.WrapDevice != nil {
+			sd = cfg.WrapDevice(i, sd)
+		}
+		g.shards[i] = &shard{
+			index:     i,
+			dev:       sd,
+			ch:        make(chan shardReq, depth),
+			healAfter: uint64(healAfter),
+		}
 		g.wg.Add(1)
-		go g.shards[i].run(&g.wg)
+		go g.shards[i].supervise(g)
+	}
+	if cfg.ScrubInterval > 0 {
+		g.scrub = newScrubber(g, cfg.ScrubInterval)
+		g.scrub.start()
 	}
 	return g, nil
 }
@@ -156,8 +359,11 @@ func (g *Shards) Name() string {
 	return fmt.Sprintf("%d×%s", len(g.shards), g.shards[0].dev.Name())
 }
 
-// Close stops all shard goroutines after in-flight requests drain.
-// Operations issued after Close return ErrClosed.
+// Health returns the lifecycle state of one shard.
+func (g *Shards) Health(shard int) Health { return g.shards[shard].healthState() }
+
+// Close stops the scrubber and all shard goroutines after in-flight
+// requests drain. Operations issued after Close return ErrClosed.
 func (g *Shards) Close() error {
 	g.mu.Lock()
 	if g.closed {
@@ -165,10 +371,16 @@ func (g *Shards) Close() error {
 		return nil
 	}
 	g.closed = true
+	if g.scrub != nil {
+		close(g.scrub.stop)
+	}
 	for _, s := range g.shards {
 		close(s.ch)
 	}
 	g.mu.Unlock()
+	if g.scrub != nil {
+		g.scrub.wg.Wait()
+	}
 	g.wg.Wait()
 	return nil
 }
@@ -196,10 +408,20 @@ func (g *Shards) splitSpans(off int64, n int) []span {
 	return spans
 }
 
+// deadResult synthesizes the fast-fail reply for a span whose shard is
+// dead, without touching its queue.
+func deadResult(index int, pos int) shardResult {
+	return shardResult{
+		pos: pos,
+		err: fmt.Errorf("pcmserve: shard %d is dead: %w", index, ErrShardUnavailable),
+	}
+}
+
 // dispatch splits the byte range [off, off+len(p)) into per-shard spans
-// and enqueues them, then waits for every span. It returns the number
-// of contiguous bytes processed from the start of p and the first error
-// in address order.
+// and enqueues them, then waits for every span. Spans owned by a dead
+// shard fail fast with ErrShardUnavailable while the rest are served.
+// It returns the number of contiguous bytes processed from the start of
+// p and the first error in address order.
 func (g *Shards) dispatch(op uint8, p []byte, off int64) (int, error) {
 	spans := g.splitSpans(off, len(p))
 	g.mu.RLock()
@@ -209,9 +431,14 @@ func (g *Shards) dispatch(op uint8, p []byte, off int64) (int, error) {
 	}
 	done := make(chan shardResult, len(spans))
 	for _, sp := range spans {
+		s := g.shards[sp.shard]
+		if s.healthState() == Dead {
+			done <- deadResult(s.index, sp.pos)
+			continue
+		}
 		// A full queue blocks here: backpressure propagates to the
 		// connection reader and ultimately to the client.
-		g.shards[sp.shard].ch <- shardReq{
+		s.ch <- shardReq{
 			op: op, off: sp.localOff, buf: p[sp.pos : sp.pos+sp.n], pos: sp.pos, done: done,
 		}
 	}
@@ -275,8 +502,9 @@ func (g *Shards) WriteAt(p []byte, off int64) (int, error) {
 	return g.dispatch(OpWrite, p, off)
 }
 
-// Advance moves simulated time forward by dt seconds on every shard,
-// running any refresh work that falls due. It waits for all shards.
+// Advance moves simulated time forward by dt seconds on every live
+// shard, running any refresh work that falls due. It waits for all
+// shards; a dead shard contributes an ErrShardUnavailable.
 func (g *Shards) Advance(dt float64) error {
 	g.mu.RLock()
 	if g.closed {
@@ -285,6 +513,10 @@ func (g *Shards) Advance(dt float64) error {
 	}
 	done := make(chan shardResult, len(g.shards))
 	for _, s := range g.shards {
+		if s.healthState() == Dead {
+			done <- deadResult(s.index, 0)
+			continue
+		}
 		s.ch <- shardReq{op: OpAdvance, dt: dt, done: done}
 	}
 	g.mu.RUnlock()
@@ -297,18 +529,21 @@ func (g *Shards) Advance(dt float64) error {
 	return first
 }
 
-// Snapshot captures per-shard counters, queue gauges, and latency
-// histograms. Safe to call concurrently with traffic.
+// Snapshot captures per-shard counters, health, queue gauges, and
+// latency histograms. Safe to call concurrently with traffic.
 func (g *Shards) Snapshot() []ShardStats {
 	out := make([]ShardStats, len(g.shards))
 	for i, s := range g.shards {
 		out[i] = ShardStats{
 			Shard:          i,
 			Device:         s.dev.Name(),
+			Health:         s.healthState().String(),
 			Reads:          s.reads.Load(),
 			Writes:         s.writes.Load(),
 			Advances:       s.advances.Load(),
 			Errors:         s.errCount.Load(),
+			Panics:         s.panics.Load(),
+			Restarts:       s.restarts.Load(),
 			QueueDepth:     len(s.ch),
 			QueueCap:       cap(s.ch),
 			ReadLatencyUs:  s.readLat.snapshot(),
@@ -316,4 +551,13 @@ func (g *Shards) Snapshot() []ShardStats {
 		}
 	}
 	return out
+}
+
+// ScrubStats returns the scrubber's counters (the zero value when
+// scrubbing is disabled).
+func (g *Shards) ScrubStats() ScrubStats {
+	if g.scrub == nil {
+		return ScrubStats{}
+	}
+	return g.scrub.snapshot()
 }

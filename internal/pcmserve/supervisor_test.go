@@ -1,0 +1,310 @@
+package pcmserve
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// waitHealth polls until every shard reports the wanted state.
+func waitHealth(t *testing.T, g *Shards, want Health, timeout time.Duration, tick func()) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		all := true
+		for i := 0; i < g.NumShards(); i++ {
+			if g.Health(i) != want {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		if tick != nil {
+			tick()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < g.NumShards(); i++ {
+		t.Logf("shard %d: %v", i, g.Health(i))
+	}
+	t.Fatalf("shards did not reach %v within %v", want, timeout)
+}
+
+// TestSupervisorRecoversPanic: a panic mid-request fails that request
+// with the typed retryable error, the owner goroutine restarts, and the
+// shard heals back to Healthy after HealAfter completed operations.
+func TestSupervisorRecoversPanic(t *testing.T) {
+	g, fis := testShardsFI(t, ShardsConfig{Shards: 2, QueueDepth: 8, HealAfter: 4}, nil)
+
+	fis[0].ArmPanic(1)
+	_, err := g.ReadAt(make([]byte, 8), 0) // shard 0
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("panicked read = %v, want ErrShardUnavailable", err)
+	}
+	if Classify(err) != ClassTransient {
+		t.Fatalf("Classify(panic error) = %v, want transient", Classify(err))
+	}
+	if h := g.Health(0); h != Degraded {
+		t.Fatalf("health after panic = %v, want degraded", h)
+	}
+
+	// Subsequent requests are served by the restarted goroutine, and
+	// HealAfter of them restore Healthy.
+	for i := 0; i < 6; i++ {
+		if _, err := g.ReadAt(make([]byte, 8), 0); err != nil {
+			t.Fatalf("read %d after restart: %v", i, err)
+		}
+	}
+	if h := g.Health(0); h != Healthy {
+		t.Fatalf("health after recovery ops = %v, want healthy", h)
+	}
+
+	snap := g.Snapshot()
+	if snap[0].Panics != 1 || snap[0].Restarts != 1 {
+		t.Fatalf("shard 0 panics=%d restarts=%d, want 1/1", snap[0].Panics, snap[0].Restarts)
+	}
+	if snap[0].Health != "healthy" || snap[1].Health != "healthy" {
+		t.Fatalf("snapshot healths = %q/%q", snap[0].Health, snap[1].Health)
+	}
+}
+
+// TestSupervisorDeadShard: a shard that exhausts its restart budget
+// goes Dead; requests touching it fail fast with ErrShardUnavailable
+// while the other shards keep serving.
+func TestSupervisorDeadShard(t *testing.T) {
+	g, fis := testShardsFI(t, ShardsConfig{Shards: 2, QueueDepth: 8, MaxRestarts: 1}, nil)
+	shardSize := g.Size() / 2
+
+	fis[0].ArmPanic(2) // panic, restart, panic again → budget spent
+	for i := 0; i < 2; i++ {
+		if _, err := g.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrShardUnavailable) {
+			t.Fatalf("panicked read %d = %v, want ErrShardUnavailable", i, err)
+		}
+	}
+	// The supervisor transitions to Dead asynchronously after the
+	// second recover; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Health(0) != Dead && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h := g.Health(0); h != Dead {
+		t.Fatalf("health = %v, want dead", h)
+	}
+
+	// Fast-fail on the dead shard, normal service on the live one.
+	if _, err := g.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("read on dead shard = %v, want ErrShardUnavailable", err)
+	}
+	buf := bytes.Repeat([]byte{7}, 64)
+	if _, err := g.WriteAt(buf, shardSize); err != nil {
+		t.Fatalf("write on live shard: %v", err)
+	}
+	got := make([]byte, 64)
+	if _, err := g.ReadAt(got, shardSize); err != nil || !bytes.Equal(got, buf) {
+		t.Fatalf("live shard readback: %v", err)
+	}
+	// A span straddling the dead shard fails with the typed error.
+	if _, err := g.WriteAt(make([]byte, 64), shardSize-32); !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("straddling write = %v, want ErrShardUnavailable", err)
+	}
+	// Advance reports the dead shard but does not hang.
+	if err := g.Advance(1); !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("Advance = %v, want ErrShardUnavailable", err)
+	}
+	if snap := g.Snapshot(); snap[0].Health != "dead" || snap[1].Health != "healthy" {
+		t.Fatalf("snapshot healths = %q/%q, want dead/healthy", snap[0].Health, snap[1].Health)
+	}
+}
+
+// TestDispatchPartialFailureReassembly is the satellite check: when one
+// shard of a split span errors, dispatch reports the contiguous prefix
+// and the first error in address order, and spans on other shards are
+// still applied.
+func TestDispatchPartialFailureReassembly(t *testing.T) {
+	g, fis := testShardsFI(t, ShardsConfig{Shards: 4, QueueDepth: 8}, nil)
+	shardSize := g.Size() / 4 // 512 B with the 8-block default
+
+	fis[1].ArmWriteError(1)
+	p := make([]byte, 16+int(shardSize)+32) // spans shards 0,1,2
+	for i := range p {
+		p[i] = byte(i*7 + 1)
+	}
+	off := shardSize - 16
+	n, err := g.WriteAt(p, off)
+	if err == nil {
+		t.Fatal("write with failing middle shard succeeded")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error = %v, want the injected write error", err)
+	}
+	if n != 16 {
+		t.Fatalf("contiguous prefix = %d, want 16 (the shard-0 span)", n)
+	}
+
+	// The shard-0 and shard-2 spans were applied; the shard-1 span was
+	// not.
+	head := make([]byte, 16)
+	if _, err := g.ReadAt(head, off); err != nil {
+		t.Fatalf("read head: %v", err)
+	}
+	if !bytes.Equal(head, p[:16]) {
+		t.Fatal("shard-0 span not applied")
+	}
+	tail := make([]byte, 32)
+	if _, err := g.ReadAt(tail, 2*shardSize); err != nil {
+		t.Fatalf("read tail: %v", err)
+	}
+	if !bytes.Equal(tail, p[16+shardSize:]) {
+		t.Fatal("shard-2 span not applied")
+	}
+	mid := make([]byte, shardSize)
+	if _, err := g.ReadAt(mid, shardSize); err != nil {
+		t.Fatalf("read middle: %v", err)
+	}
+	if !bytes.Equal(mid, make([]byte, shardSize)) {
+		t.Fatal("failed shard-1 span was partially applied")
+	}
+}
+
+// TestStraddlingWritesRaceAdvance is the satellite check: writes that
+// straddle a shard boundary racing concurrent Advance calls — run under
+// -race this proves the queue discipline keeps device access
+// single-threaded.
+func TestStraddlingWritesRaceAdvance(t *testing.T) {
+	g := testShards(t, 2, 8, 4)
+	shardSize := g.Size() / 2
+	const iters = 200
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	wg.Add(3)
+	go func() { // straddling writer
+		defer wg.Done()
+		buf := make([]byte, 64)
+		for i := 0; i < iters; i++ {
+			for j := range buf {
+				buf[j] = byte(i + j)
+			}
+			if _, err := g.WriteAt(buf, shardSize-32); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() { // straddling reader
+		defer wg.Done()
+		buf := make([]byte, 64)
+		for i := 0; i < iters; i++ {
+			if _, err := g.ReadAt(buf, shardSize-32); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() { // time advancer
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := g.Advance(0.001); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiescent read-after-write across the boundary still checks out.
+	want := bytes.Repeat([]byte{0xC3}, 64)
+	if _, err := g.WriteAt(want, shardSize-32); err != nil {
+		t.Fatalf("final write: %v", err)
+	}
+	got := make([]byte, 64)
+	if _, err := g.ReadAt(got, shardSize-32); err != nil {
+		t.Fatalf("final read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("final straddling readback mismatch")
+	}
+}
+
+// TestScrubberRepairsAndSpares: the scrubber rewrites a drifted block
+// (clearing its marker) and routes an uncorrectable one through
+// mark-and-spare accounting, with both visible in ScrubStats and the
+// server Stats snapshot.
+func TestScrubberRepairsAndSpares(t *testing.T) {
+	g, fis := testShardsFI(t, ShardsConfig{
+		Shards:        2,
+		QueueDepth:    8,
+		ScrubInterval: time.Millisecond,
+	}, nil)
+	shardBlocks := g.Size() / 2 / core.BlockBytes
+
+	// Fill the device so every block holds data.
+	pattern := make([]byte, g.Size())
+	for i := range pattern {
+		pattern[i] = byte(i%251 + 1)
+	}
+	if _, err := g.WriteAt(pattern, 0); err != nil {
+		t.Fatalf("fill: %v", err)
+	}
+
+	fis[0].DriftBlock(3)   // global block 3: correctable drift
+	fis[1].CorruptBlock(1) // global block shardBlocks+1: uncorrectable
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if fis[0].DriftedCount() == 0 && fis[1].CorruptCount() == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := fis[0].DriftedCount(); n != 0 {
+		t.Fatalf("drifted blocks remaining = %d, want 0 (scrub rewrite should heal)", n)
+	}
+	if n := fis[1].CorruptCount(); n != 0 {
+		t.Fatalf("corrupt blocks remaining = %d, want 0 (scrub replace should heal)", n)
+	}
+
+	st := g.ScrubStats()
+	if st.Scrubbed == 0 {
+		t.Fatal("no blocks scrubbed")
+	}
+	if st.Repaired == 0 {
+		t.Fatal("no correctable blocks repaired")
+	}
+	if st.Uncorrectable == 0 || st.Spared == 0 {
+		t.Fatalf("uncorrectable=%d spared=%d, want both > 0", st.Uncorrectable, st.Spared)
+	}
+
+	// The drifted block kept its contents (repair is a rewrite of the
+	// corrected data); the corrupt block was replaced (its loss is the
+	// counted event) and is readable again.
+	got := make([]byte, core.BlockBytes)
+	if _, err := g.ReadAt(got, 3*core.BlockBytes); err != nil {
+		t.Fatalf("read repaired block: %v", err)
+	}
+	if !bytes.Equal(got, pattern[3*core.BlockBytes:4*core.BlockBytes]) {
+		t.Fatal("repaired block lost its contents")
+	}
+	corruptOff := (shardBlocks + 1) * core.BlockBytes
+	if _, err := g.ReadAt(got, corruptOff); err != nil {
+		t.Fatalf("read replaced block: %v", err)
+	}
+
+	// The counters flow through the server Stats snapshot (and hence
+	// expvar and the STATS op).
+	srv := NewServer(g, ServerConfig{})
+	if sst := srv.Stats(); sst.Scrub.Scrubbed == 0 || sst.Scrub.Spared == 0 {
+		t.Fatalf("server Stats scrub = %+v, want populated", sst.Scrub)
+	}
+}
