@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/levels"
+	"repro/internal/obs"
 )
 
 // parseDuration accepts s/m/h/d/y suffixes.
@@ -49,8 +50,13 @@ func main() {
 		tArg    = flag.String("t", "17m", "retention time (suffix s/m/h/d/y)")
 		samples = flag.Int64("samples", 0, "optional Monte Carlo sample count")
 		seed    = flag.Uint64("seed", 1, "Monte Carlo seed")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("driftcalc", obs.BuildInfo())
+		return
+	}
 
 	var m levels.Mapping
 	found := false

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -45,8 +46,13 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		level   = flag.Bool("wearlevel", true, "enable start-gap wear leveling")
 		reserve = flag.Int("reserve", 4, "remapping reserve blocks")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("pcmdev", obs.BuildInfo())
+		return
+	}
 
 	kinds := map[string]device.ArchKind{
 		"3LC": device.ThreeLC, "4LCo": device.FourLC, "permutation": device.Permutation,

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 type idList []string
@@ -30,17 +31,22 @@ func (l *idList) Set(v string) error {
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		samples = flag.Int64("samples", 10_000_000, "Monte Carlo samples for drift experiments")
-		memops  = flag.Int("memops", 200_000, "memory operations per Figure 16 simulation")
-		seed    = flag.Uint64("seed", 20130817, "random seed")
-		workers = flag.Int("workers", 0, "Monte Carlo workers (0 = all cores)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		samples  = flag.Int64("samples", 10_000_000, "Monte Carlo samples for drift experiments")
+		memops   = flag.Int("memops", 200_000, "memory operations per Figure 16 simulation")
+		seed     = flag.Uint64("seed", 20130817, "random seed")
+		workers  = flag.Int("workers", 0, "Monte Carlo workers (0 = all cores)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel = flag.Bool("parallel", false, "run independent experiments concurrently (output stays in order)")
+		version  = flag.Bool("version", false, "print build information and exit")
 		ids      idList
 	)
 	flag.Var(&ids, "id", "experiment id to run (repeatable); default all")
 	flag.Parse()
+	if *version {
+		fmt.Println("pcmrepro", obs.BuildInfo())
+		return
+	}
 
 	if *list {
 		for _, s := range experiments.All() {

@@ -6,11 +6,15 @@
 // Usage:
 //
 //	pcmserve -addr :7070 -kind 3LC -mb 4 -shards 8        # serve
+//	pcmserve -addr :7070 -obs :9090                       # serve + admin plane
 //	pcmserve -loadgen -clients 8 -duration 3s             # self-benchmark
 //	pcmserve -loadgen -addr host:7070 -clients 4          # load an external server
 //
-// Metrics are also published through expvar; mount expvar's handler in
-// a sidecar HTTP server or query the STATS op through the client.
+// With -obs, an admin HTTP plane is served on a second listener:
+// /metrics (Prometheus text exposition), /healthz, /tracez (sampled
+// request traces and the slow-op log), /debug/flightrecorder, and
+// /debug/pprof. Metrics are also published through expvar and the
+// STATS wire op.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -28,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/pcmserve"
 )
 
@@ -45,6 +51,9 @@ func main() {
 
 		inflight = flag.Int("inflight", 32, "max in-flight requests per connection")
 		scrub    = flag.Duration("scrub", 0, "background scrub interval (0 disables); repairs drifted blocks and spares uncorrectable ones")
+		obsAddr  = flag.String("obs", "", "admin HTTP listen address for /metrics, /healthz, /tracez, /debug/pprof (empty disables)")
+		slowOp   = flag.Duration("slowop", 50*time.Millisecond, "slow-op log threshold for /tracez (negative disables)")
+		version  = flag.Bool("version", false, "print build information and exit")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		clients  = flag.Int("clients", 4, "loadgen: concurrent client connections")
@@ -54,6 +63,10 @@ func main() {
 		retry    = flag.Bool("retry", false, "loadgen: use the reconnecting retry client instead of bare connections")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("pcmserve", obs.BuildInfo())
+		return
+	}
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "pcmserve: "+format+"\n", args...)
@@ -102,6 +115,7 @@ func main() {
 			Shards:        *shards,
 			QueueDepth:    *queue,
 			ScrubInterval: *scrub,
+			Obs:           &pcmserve.Observability{SlowOp: *slowOp},
 			Device: device.Config{
 				Kind: kind, Blocks: blocksPerShard, Seed: *seed,
 				WearLeveling: *level, ReserveBlocks: *reserve,
@@ -133,6 +147,18 @@ func main() {
 	}
 	fmt.Printf("pcmserve: %s (%.2f MiB, %d shards × %d blocks) on %s\n",
 		g.Name(), float64(g.Size())/(1<<20), g.NumShards(), blocksPerShard, ln.Addr())
+
+	if *obsAddr != "" {
+		obsLn, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs listen:", err)
+			os.Exit(1)
+		}
+		obsSrv := &http.Server{Handler: srv.AdminHandler()}
+		go obsSrv.Serve(obsLn)
+		defer obsSrv.Close()
+		fmt.Printf("pcmserve: admin plane (metrics, healthz, tracez, pprof) on %s\n", obsLn.Addr())
+	}
 
 	// Serve until SIGINT/SIGTERM, then drain gracefully.
 	sig := make(chan os.Signal, 1)

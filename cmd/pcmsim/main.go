@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/memsim"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -26,8 +27,13 @@ func main() {
 		refreshMin = flag.Int("refresh-min", 17, "refresh interval in minutes (4LC-REF designs)")
 		record     = flag.String("record", "", "record the synthetic trace to this file and exit")
 		traceFile  = flag.String("trace", "", "replay a recorded trace file instead of a synthetic workload")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("pcmsim", obs.BuildInfo())
+		return
+	}
 
 	p, err := trace.ProfileByName(*workload)
 	if err != nil && *traceFile == "" {

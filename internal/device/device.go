@@ -161,6 +161,17 @@ func (d *Device) Advance(dt float64) error {
 	return nil
 }
 
+// RemapStats reports FREE-p remapping occupancy: reserve blocks still
+// available and worn blocks remapped so far (zeros when remapping is
+// disabled). Like every Device method it must be called from the
+// owning goroutine.
+func (d *Device) RemapStats() (reserveLeft, retired int) {
+	if rd, ok := d.arch.(*remap.Device); ok {
+		return rd.ReserveLeft(), rd.Retired()
+	}
+	return 0, 0
+}
+
 // RefreshStats reports scrub outcomes (zero value when refresh is off).
 func (d *Device) RefreshStats() refresh.Stats {
 	if d.mgr == nil {

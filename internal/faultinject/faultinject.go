@@ -152,6 +152,16 @@ func New(dev Target, plan Plan) *Device {
 // Name tags the wrapped device so stack descriptions show the wrapper.
 func (d *Device) Name() string { return "fi(" + d.inner.Name() + ")" }
 
+// RemapStats forwards the wrapped device's FREE-p remapping occupancy,
+// so spare-pool gauge collection sees through the fault wrapper (zeros
+// when the target does not report it).
+func (d *Device) RemapStats() (reserveLeft, retired int) {
+	if rr, ok := d.inner.(interface{ RemapStats() (int, int) }); ok {
+		return rr.RemapStats()
+	}
+	return 0, 0
+}
+
 // Stats returns a snapshot of operation and injection counters.
 func (d *Device) Stats() Stats {
 	d.mu.Lock()

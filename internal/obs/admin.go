@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ComponentHealth is one supervised component's state for /healthz.
+type ComponentHealth struct {
+	Name   string `json:"name"`
+	State  string `json:"state"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// HealthReport is the /healthz payload.
+type HealthReport struct {
+	// Healthy is the overall verdict; false makes /healthz serve 503.
+	Healthy    bool              `json:"healthy"`
+	Components []ComponentHealth `json:"components"`
+}
+
+// AdminConfig assembles the admin HTTP plane. Only Registry is
+// required; nil optional fields disable their endpoints' content (the
+// routes still respond).
+type AdminConfig struct {
+	// Registry backs /metrics.
+	Registry *Registry
+	// Health sources /healthz (nil reports healthy with no components).
+	Health func() HealthReport
+	// Traces sources /tracez.
+	Traces *TraceLog
+	// Dumps sources live flight-recorder snapshots for /tracez and
+	// /debug/flightrecorder.
+	Dumps func() []Dump
+}
+
+// AdminHandler serves the admin plane:
+//
+//	/metrics                 Prometheus text exposition
+//	/healthz                 JSON component health; 503 when unhealthy
+//	/tracez                  recent sampled traces + slow-op log (JSON)
+//	/debug/flightrecorder    live per-shard flight-recorder snapshots
+//	/debug/pprof/...         net/http/pprof profiles
+func AdminHandler(cfg AdminConfig) http.Handler {
+	mux := http.NewServeMux()
+	if cfg.Registry != nil {
+		mux.Handle("/metrics", cfg.Registry.Handler())
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		report := HealthReport{Healthy: true}
+		if cfg.Health != nil {
+			report = cfg.Health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !report.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, report)
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		var payload struct {
+			Now       time.Time `json:"now"`
+			SlowTotal uint64    `json:"slow_total"`
+			Slow      []Trace   `json:"slow"`
+			Recent    []Trace   `json:"recent"`
+		}
+		payload.Now = time.Now()
+		if cfg.Traces != nil {
+			payload.SlowTotal = cfg.Traces.SlowTotal()
+			payload.Slow = cfg.Traces.Slow()
+			payload.Recent = cfg.Traces.Recent()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, payload)
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+		var dumps []Dump
+		if cfg.Dumps != nil {
+			dumps = cfg.Dumps()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, dumps)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

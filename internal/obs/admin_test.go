@@ -1,0 +1,105 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestAdminHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("admin_test_total", "help").Inc()
+	traces := obs.NewTraceLog(obs.TraceLogConfig{SampleEvery: 1})
+	traces.Observe(obs.Trace{ID: 0x123, Op: "read", Total: time.Millisecond})
+
+	healthy := true
+	h := obs.AdminHandler(obs.AdminConfig{
+		Registry: reg,
+		Health: func() obs.HealthReport {
+			return obs.HealthReport{
+				Healthy:    healthy,
+				Components: []obs.ComponentHealth{{Name: "shard/0", State: "healthy"}},
+			}
+		},
+		Traces: traces,
+		Dumps: func() []obs.Dump {
+			return []obs.Dump{{Shard: 0, Reason: "live snapshot"}}
+		},
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: read body: %v", path, err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if _, err := obs.ParseExposition(strings.NewReader(body)); err != nil {
+		t.Errorf("/metrics not valid exposition: %v", err)
+	}
+	if !strings.Contains(body, "admin_test_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	resp, body = get("/healthz")
+	if resp.StatusCode != 200 {
+		t.Errorf("/healthz status = %d, want 200", resp.StatusCode)
+	}
+	var hr obs.HealthReport
+	if err := json.Unmarshal([]byte(body), &hr); err != nil || !hr.Healthy || len(hr.Components) != 1 {
+		t.Errorf("/healthz body = %q (err %v)", body, err)
+	}
+	healthy = false
+	resp, _ = get("/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("unhealthy /healthz status = %d, want 503", resp.StatusCode)
+	}
+
+	resp, body = get("/tracez")
+	if resp.StatusCode != 200 || !strings.Contains(body, `"recent"`) {
+		t.Errorf("/tracez status=%d body=%q", resp.StatusCode, body)
+	}
+
+	resp, body = get("/debug/flightrecorder")
+	if resp.StatusCode != 200 || !strings.Contains(body, "live snapshot") {
+		t.Errorf("/debug/flightrecorder status=%d body=%q", resp.StatusCode, body)
+	}
+
+	resp, _ = get("/debug/pprof/")
+	if resp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/ status = %d, want 200", resp.StatusCode)
+	}
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/cmdline status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	s := obs.BuildInfo()
+	if s == "" {
+		t.Fatal("BuildInfo returned empty string")
+	}
+	// Under `go test` the module path and toolchain are always known.
+	if !strings.Contains(s, "go1") && !strings.Contains(s, "devel") {
+		t.Errorf("BuildInfo = %q, expected a Go version or devel marker", s)
+	}
+}

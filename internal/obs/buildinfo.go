@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// BuildInfo returns a one-line build description for -version flags:
+// module version, VCS revision and time when stamped, dirty marker,
+// and the Go toolchain version. It degrades gracefully when build info
+// is unavailable (e.g. binaries built outside module mode).
+func BuildInfo() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "version unknown (no build info)"
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var rev, revTime string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			revTime = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", bi.Main.Path, version)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (%s", rev)
+		if dirty {
+			b.WriteString("-dirty")
+		}
+		if revTime != "" {
+			fmt.Fprintf(&b, ", %s", revTime)
+		}
+		b.WriteString(")")
+	}
+	fmt.Fprintf(&b, " %s", bi.GoVersion)
+	return b.String()
+}

@@ -1,0 +1,21 @@
+// Package obs is the self-contained observability layer of the serving
+// stack: a Prometheus-style metrics registry (counters, gauges,
+// cumulative-bucket histograms, text exposition format), request-trace
+// identifiers with context propagation and a sampled trace/slow-op log,
+// a lock-free per-shard flight recorder that preserves the last N
+// operations for post-incident replay, an admin HTTP plane serving
+// /metrics, /healthz, /tracez, and net/http/pprof, and build-info
+// reporting for -version flags.
+//
+// The package has no dependencies outside the standard library and no
+// knowledge of the PCM device model; internal/pcmserve wires it through
+// every layer of the serving stack (client → wire protocol → server →
+// shard queue → device op).
+//
+// The design mirrors the paper's own methodology: Sections 2.4 and 5.3
+// quantify rare, time-dependent failure (drift-induced CER,
+// refresh-interval availability, mark-and-spare wearout), and the same
+// quantities — drift repairs, spare-pool occupancy, scrub progress,
+// per-class error counts — are exported here as first-class,
+// continuously observable signals rather than post-hoc printouts.
+package obs

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a validating parser for the Prometheus text
+// exposition format (version 0.0.4) — enough for tests (and external
+// consumers) to check that /metrics output is well formed and to read
+// sample values back, without importing a Prometheus client library.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// suffix on histogram series.
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily groups the samples of one metric family.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary, untyped
+	Samples []Sample
+}
+
+// ParseExposition parses and validates Prometheus text exposition
+// format. It checks lexical validity (metric/label names, float
+// values, escape sequences), that samples follow their family's TYPE
+// line, and histogram invariants (le label present, cumulative bucket
+// counts non-decreasing, +Inf bucket equal to _count).
+func ParseExposition(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams := make(map[string]*ParsedFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, fams); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(fams, s.Name)
+		if fam == nil {
+			// Untyped metric with no TYPE line: tolerated by Prometheus,
+			// registered as untyped here.
+			fam = &ParsedFamily{Name: s.Name, Type: "untyped"}
+			fams[s.Name] = fam
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, fmt.Errorf("histogram %s: %w", f.Name, err)
+			}
+		}
+	}
+	return fams, nil
+}
+
+// parseComment handles # HELP and # TYPE lines (other comments are
+// ignored).
+func parseComment(line string, fams map[string]*ParsedFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // plain comment
+	}
+	switch fields[1] {
+	case "HELP":
+		name := fields[2]
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		f := fams[name]
+		if f == nil {
+			f = &ParsedFamily{Name: name, Type: "untyped"}
+			fams[name] = f
+		}
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	case "TYPE":
+		name := fields[2]
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE", name)
+		}
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE line for %q missing type", name)
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %q", typ, name)
+		}
+		f := fams[name]
+		if f == nil {
+			f = &ParsedFamily{Name: name}
+			fams[name] = f
+		} else if len(f.Samples) > 0 {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		f.Type = typ
+	}
+	return nil
+}
+
+// familyFor resolves a sample name to its family, handling histogram
+// and summary series suffixes.
+func familyFor(fams map[string]*ParsedFamily, name string) *ParsedFamily {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name{k="v",...} value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !metricNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	if rest[i] == '{' {
+		end, err := parseLabels(rest[i:], s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[i+end:]
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseFloat(tok string) (float64, error) {
+	switch tok {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(tok, 64)
+}
+
+// parseLabels parses `{k="v",...}` starting at text[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(text string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(text) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if text[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("missing '=' in label set")
+		}
+		key := text[i : i+eq]
+		if !labelNameRe.MatchString(key) {
+			return 0, fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return 0, fmt.Errorf("label %q value not quoted", key)
+		}
+		val, n, err := parseLabelValue(text[i:])
+		if err != nil {
+			return 0, fmt.Errorf("label %q: %w", key, err)
+		}
+		if _, dup := out[key]; dup {
+			return 0, fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val
+		i += n
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parseLabelValue parses a quoted, escaped label value starting at
+// text[0] == '"' and returns the value plus bytes consumed.
+func parseLabelValue(text string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(text); i++ {
+		switch text[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(text) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch text[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c", text[i])
+			}
+		default:
+			b.WriteByte(text[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// validateHistogram checks bucket invariants for one series set: each
+// distinct non-le label combination must have non-decreasing cumulative
+// bucket counts ordered by le, a +Inf bucket, and _count equal to it.
+func validateHistogram(f *ParsedFamily) error {
+	type series struct {
+		les    []float64
+		counts map[float64]float64
+		count  float64
+		hasCnt bool
+	}
+	bySig := map[string]*series{}
+	sigOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	get := func(sig string) *series {
+		s := bySig[sig]
+		if s == nil {
+			s = &series{counts: map[float64]float64{}}
+			bySig[sig] = s
+		}
+		return s
+	}
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket sample without le label")
+			}
+			le, err := parseFloat(leStr)
+			if err != nil {
+				return fmt.Errorf("bad le %q", leStr)
+			}
+			sr := get(sigOf(s.Labels))
+			sr.les = append(sr.les, le)
+			sr.counts[le] = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			sr := get(sigOf(s.Labels))
+			sr.count = s.Value
+			sr.hasCnt = true
+		}
+	}
+	for sig, sr := range bySig {
+		sort.Float64s(sr.les)
+		if len(sr.les) == 0 || !math.IsInf(sr.les[len(sr.les)-1], 1) {
+			return fmt.Errorf("series {%s} missing +Inf bucket", sig)
+		}
+		prev := -1.0
+		for _, le := range sr.les {
+			c := sr.counts[le]
+			if c < prev {
+				return fmt.Errorf("series {%s} bucket counts decrease at le=%g", sig, le)
+			}
+			prev = c
+		}
+		if sr.hasCnt && sr.count != sr.counts[math.Inf(1)] {
+			return fmt.Errorf("series {%s} _count %g != +Inf bucket %g", sig, sr.count, sr.counts[math.Inf(1)])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// EventClass classifies a recorded operation's outcome.
+type EventClass uint8
+
+const (
+	// EventOK is a successful operation.
+	EventOK EventClass = iota
+	// EventTransient is a failure that may succeed on retry.
+	EventTransient
+	// EventPermanent is a failure that will repeat identically.
+	EventPermanent
+	// EventCorrupt is an uncorrectable (data-loss) failure.
+	EventCorrupt
+)
+
+// String implements fmt.Stringer.
+func (c EventClass) String() string {
+	switch c {
+	case EventOK:
+		return "ok"
+	case EventTransient:
+		return "transient"
+	case EventPermanent:
+		return "permanent"
+	case EventCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("EventClass(%d)", uint8(c))
+}
+
+// Event is one recorded operation.
+type Event struct {
+	// Seq is the operation's position in the recorder's history; dumps
+	// are ordered by Seq.
+	Seq uint64 `json:"seq"`
+	// TraceID ties the event to its request trace (0 for untraced work
+	// such as background scrubs).
+	TraceID uint64 `json:"trace_id"`
+	// Op is the operation code (the pcmserve wire op, or an internal
+	// code such as scrub).
+	Op uint8 `json:"op"`
+	// Block is the device block the operation touched (its starting
+	// block for multi-block ranges).
+	Block int64 `json:"block"`
+	// Latency is the device service time, saturating at ~2^47 µs.
+	Latency time.Duration `json:"latency_ns"`
+	// Class is the outcome class.
+	Class EventClass `json:"class"`
+	// Time is the completion time, unix nanoseconds.
+	Time int64 `json:"time"`
+}
+
+// slot is one ring entry. Each field is individually atomic and the seq
+// word brackets writes (odd while a write is in progress), so readers
+// can detect and skip slots being overwritten instead of blocking the
+// writer — the recorder never adds a lock to the op hot path.
+type slot struct {
+	seq    atomic.Uint64 // 2*recordSeq+1 while writing, 2*recordSeq+2 when stable
+	trace  atomic.Uint64
+	block  atomic.Uint64
+	meta   atomic.Uint64 // op | class<<8 | latencyMicros<<16
+	tstamp atomic.Uint64
+}
+
+// FlightRecorder is a lock-free ring buffer of the last N operations.
+// It is designed for one writer (the shard owner goroutine) and any
+// number of concurrent readers (dump on panic, admin snapshots); a
+// torn slot — one mid-overwrite during a snapshot — is skipped, never
+// misread.
+type FlightRecorder struct {
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64 // sequence of the next record
+}
+
+// NewFlightRecorder builds a recorder retaining the last depth
+// operations (rounded up to a power of two, minimum 16).
+func NewFlightRecorder(depth int) *FlightRecorder {
+	n := 16
+	for n < depth {
+		n <<= 1
+	}
+	return &FlightRecorder{slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Depth returns the ring capacity.
+func (r *FlightRecorder) Depth() int { return len(r.slots) }
+
+const maxLatencyMicros = (1 << 47) - 1
+
+// Record appends one event. Only Seq and Time are assigned here; other
+// fields come from ev.
+func (r *FlightRecorder) Record(ev Event) {
+	seq := r.next.Add(1) - 1
+	s := &r.slots[seq&r.mask]
+	us := uint64(ev.Latency.Microseconds())
+	if us > maxLatencyMicros {
+		us = maxLatencyMicros
+	}
+	s.seq.Store(2*seq + 1) // mark: write in progress
+	s.trace.Store(ev.TraceID)
+	s.block.Store(uint64(ev.Block))
+	s.meta.Store(uint64(ev.Op) | uint64(ev.Class)<<8 | us<<16)
+	s.tstamp.Store(uint64(time.Now().UnixNano()))
+	s.seq.Store(2*seq + 2) // publish
+}
+
+// Snapshot returns the recorded events oldest-first. Slots that are
+// mid-overwrite (or already recycled) during the scan are skipped, so
+// a snapshot taken concurrently with traffic returns a consistent —
+// possibly slightly shorter — history.
+func (r *FlightRecorder) Snapshot() []Event {
+	end := r.next.Load()
+	start := uint64(0)
+	if end > uint64(len(r.slots)) {
+		start = end - uint64(len(r.slots))
+	}
+	out := make([]Event, 0, end-start)
+	for seq := start; seq < end; seq++ {
+		s := &r.slots[seq&r.mask]
+		if s.seq.Load() != 2*seq+2 {
+			continue // being overwritten, or never stably written
+		}
+		trace := s.trace.Load()
+		block := s.block.Load()
+		meta := s.meta.Load()
+		ts := s.tstamp.Load()
+		if s.seq.Load() != 2*seq+2 {
+			continue // overwritten underneath us: discard the torn read
+		}
+		out = append(out, Event{
+			Seq:     seq,
+			TraceID: trace,
+			Op:      uint8(meta),
+			Block:   int64(block),
+			Latency: time.Duration(meta>>16) * time.Microsecond,
+			Class:   EventClass(meta >> 8),
+			Time:    int64(ts),
+		})
+	}
+	return out
+}
+
+// Dump is one emitted flight-recorder capture: the event window that
+// preceded a panic, shard death, or uncorrectable error.
+type Dump struct {
+	// Shard is the index of the shard whose recorder was dumped.
+	Shard int `json:"shard"`
+	// Reason describes the trigger ("panic: ...", "shard dead",
+	// "uncorrectable error").
+	Reason string `json:"reason"`
+	// Time is the capture time, unix nanoseconds.
+	Time int64 `json:"time"`
+	// Events is the preserved history, oldest first.
+	Events []Event `json:"events"`
+}
+
+// FormatDump renders a dump for logs: one header line, then one line
+// per event.
+func FormatDump(d Dump, opName func(uint8) string) string {
+	if opName == nil {
+		opName = func(op uint8) string { return fmt.Sprintf("op%d", op) }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: shard %d: %s (%d events)\n", d.Shard, d.Reason, len(d.Events))
+	for _, ev := range d.Events {
+		fmt.Fprintf(&b, "  #%d %s block=%d latency=%v class=%s",
+			ev.Seq, opName(ev.Op), ev.Block, ev.Latency, ev.Class)
+		if ev.TraceID != 0 {
+			fmt.Fprintf(&b, " trace=%016x", ev.TraceID)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package obs_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestFlightRecorderRoundTrip(t *testing.T) {
+	r := obs.NewFlightRecorder(16)
+	r.Record(obs.Event{
+		TraceID: 0xFEED,
+		Op:      2,
+		Block:   42,
+		Latency: 1500 * time.Microsecond,
+		Class:   obs.EventCorrupt,
+	})
+	evs := r.Snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("Snapshot len = %d, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Seq != 0 || ev.TraceID != 0xFEED || ev.Op != 2 || ev.Block != 42 ||
+		ev.Latency != 1500*time.Microsecond || ev.Class != obs.EventCorrupt {
+		t.Errorf("round-trip mismatch: %+v", ev)
+	}
+	if ev.Time == 0 {
+		t.Error("event time not stamped")
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := obs.NewFlightRecorder(16)
+	const total = 100
+	for i := 0; i < total; i++ {
+		r.Record(obs.Event{Block: int64(i)})
+	}
+	evs := r.Snapshot()
+	if len(evs) != r.Depth() {
+		t.Fatalf("Snapshot len = %d, want depth %d", len(evs), r.Depth())
+	}
+	// Oldest-first and contiguous: the last Depth() blocks in order.
+	for i, ev := range evs {
+		wantBlock := int64(total - r.Depth() + i)
+		if ev.Block != wantBlock {
+			t.Fatalf("event %d: block = %d, want %d", i, ev.Block, wantBlock)
+		}
+		if i > 0 && ev.Seq != evs[i-1].Seq+1 {
+			t.Fatalf("event %d: seq %d not contiguous after %d", i, ev.Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestFlightRecorderDepthRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 16}, {16, 16}, {17, 32}, {100, 128}} {
+		if got := obs.NewFlightRecorder(tc.in).Depth(); got != tc.want {
+			t.Errorf("NewFlightRecorder(%d).Depth() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestFlightRecorderConcurrent drives one writer against concurrent
+// snapshotters; under -race this proves the seq-bracketing protocol has
+// no data races, and every returned snapshot must be ordered.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := obs.NewFlightRecorder(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Record(obs.Event{Block: int64(i)})
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				evs := r.Snapshot()
+				for j := 1; j < len(evs); j++ {
+					if evs[j].Seq <= evs[j-1].Seq {
+						t.Errorf("snapshot out of order: seq %d after %d", evs[j].Seq, evs[j-1].Seq)
+						return
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func TestFormatDump(t *testing.T) {
+	d := obs.Dump{
+		Shard:  3,
+		Reason: "panic: boom",
+		Events: []obs.Event{
+			{Seq: 7, Op: 1, Block: 9, Latency: time.Millisecond, Class: obs.EventOK, TraceID: 0xBEEF},
+			{Seq: 8, Op: 2, Block: 10, Class: obs.EventTransient},
+		},
+	}
+	s := obs.FormatDump(d, func(op uint8) string {
+		if op == 1 {
+			return "read"
+		}
+		return "write"
+	})
+	for _, want := range []string{"shard 3", "panic: boom", "2 events", "read", "write", "000000000000beef", "class=transient"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("FormatDump missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric and label names follow the Prometheus data model.
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Label is one name/value pair attached to an instrument. Every child
+// of a family must carry the same label names in the same order.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a label list from alternating key/value strings:
+// L("shard", "0", "op", "read").
+func L(kv ...string) []Label {
+	if len(kv)%2 != 0 {
+		panic("obs: L needs an even number of strings")
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// Counter is a monotonically increasing uint64 instrument. All methods
+// are safe for concurrent use and lock-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 instrument that can go up and down. A gauge built
+// by GaugeFunc is read-only: its value is sourced from the callback at
+// collection time.
+type Gauge struct {
+	bits atomic.Uint64
+	fn   func() float64
+}
+
+// Set replaces the gauge value. It is a no-op on a func-backed gauge.
+func (g *Gauge) Set(v float64) {
+	if g.fn != nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta (negative to decrease). It is a no-op
+// on a func-backed gauge.
+func (g *Gauge) Add(delta float64) {
+	if g.fn != nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (calling the source callback for
+// func-backed gauges).
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a cumulative-bucket histogram with fixed upper bounds.
+// Observations and snapshots are lock-free; concurrent snapshots may be
+// momentarily skewed across buckets (each cell is individually atomic),
+// which Prometheus scrapes tolerate by design.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf bucket implied
+	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		cur := math.Float64frombits(old)
+		if h.sum.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Bounds returns the configured upper bounds (without the implicit
+// +Inf bucket). The returned slice is shared; do not modify it.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Counts returns per-bucket (non-cumulative) observation counts; the
+// last element is the overflow (+Inf) bucket.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// instrument kinds.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// child is one instrument plus the label values that identify it.
+type child struct {
+	labels []Label
+	inst   any // *Counter, *Gauge, or *Histogram
+}
+
+// family is all children sharing one metric name.
+type family struct {
+	name, help, typ string
+	labelKeys       []string
+
+	mu       sync.Mutex
+	children map[string]*child // label signature → instrument
+	order    []string          // signatures in registration order
+	bounds   []float64         // histogram families only
+}
+
+// Registry holds instrument families and renders them in Prometheus
+// text exposition format. All methods are safe for concurrent use.
+// Instrument registration is idempotent: asking for an existing
+// name+labels pair returns the same instrument; asking for an existing
+// name with a different type, help string, label-key set, or histogram
+// bounds panics (a programming error, as in expvar.Publish).
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func labelKeys(labels []Label) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = l.Key
+	}
+	return out
+}
+
+// signature encodes label values unambiguously (values may contain any
+// byte; keys are fixed per family).
+func signature(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(strconv.Quote(l.Value))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func validateLabels(name string, labels []Label) {
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Key, name))
+		}
+	}
+}
+
+// getFamily finds or creates the family, checking for metadata clashes.
+func (r *Registry) getFamily(name, help, typ string, labels []Label, bounds []float64) *family {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	validateLabels(name, labels)
+	keys := labelKeys(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{
+			name: name, help: help, typ: typ,
+			labelKeys: keys,
+			children:  make(map[string]*child),
+			bounds:    bounds,
+		}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	if len(f.labelKeys) != len(keys) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with label keys %v (was %v)", name, keys, f.labelKeys))
+	}
+	for i := range keys {
+		if f.labelKeys[i] != keys[i] {
+			panic(fmt.Sprintf("obs: metric %q re-registered with label keys %v (was %v)", name, keys, f.labelKeys))
+		}
+	}
+	if typ == typeHistogram && len(f.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds (was %d)", name, len(bounds), len(f.bounds)))
+	}
+	return f
+}
+
+// child finds or creates the instrument for one label-value set.
+func (f *family) child(labels []Label, mk func() any) any {
+	sig := signature(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[sig]; ok {
+		return c.inst
+	}
+	c := &child{labels: labels, inst: mk()}
+	f.children[sig] = c
+	f.order = append(f.order, sig)
+	return c.inst
+}
+
+// Counter registers (or retrieves) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.getFamily(name, help, typeCounter, labels, nil)
+	return f.child(labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or retrieves) a settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.getFamily(name, help, typeGauge, labels, nil)
+	return f.child(labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is sourced from fn at
+// collection time. Registering the same name+labels twice keeps the
+// first callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.getFamily(name, help, typeGauge, labels, nil)
+	f.child(labels, func() any { return &Gauge{fn: fn} })
+}
+
+// Histogram registers (or retrieves) a histogram with the given
+// ascending upper bounds (the +Inf bucket is implicit). bounds must be
+// non-empty and strictly increasing.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	f := r.getFamily(name, help, typeHistogram, labels, bounds)
+	return f.child(labels, func() any {
+		return &Histogram{
+			bounds: f.bounds,
+			counts: make([]atomic.Uint64, len(f.bounds)+1),
+		}
+	}).(*Histogram)
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...}, optionally with an extra trailing
+// label (the histogram "le").
+func labelString(keys []string, labels []Label, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[i].Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w *strings.Builder) {
+	r.mu.RLock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		order := make([]*child, 0, len(f.order))
+		for _, sig := range f.order {
+			order = append(order, f.children[sig])
+		}
+		f.mu.Unlock()
+
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, ch := range order {
+			labels := ch.labels
+			ls := labelString(f.labelKeys, labels, "", "")
+			switch c := ch.inst.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, ls, c.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatFloat(c.Value()))
+			case *Histogram:
+				counts := c.Counts()
+				var cum uint64
+				for i, bound := range c.bounds {
+					cum += counts[i]
+					bl := labelString(f.labelKeys, labels, "le", formatFloat(bound))
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum)
+				}
+				cum += counts[len(counts)-1]
+				bl := labelString(f.labelKeys, labels, "le", "+Inf")
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, formatFloat(c.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, cum)
+			}
+		}
+	}
+}
+
+// Exposition renders the registry as one exposition-format string.
+func (r *Registry) Exposition() string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+// Handler serves the registry at any path in the Prometheus text
+// exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Exposition()))
+	})
+}

@@ -1,0 +1,176 @@
+package obs_test
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	reads := reg.Counter("test_ops_total", "Ops by kind.", obs.L("op", "read")...)
+	writes := reg.Counter("test_ops_total", "Ops by kind.", obs.L("op", "write")...)
+	reads.Add(3)
+	writes.Inc()
+
+	g := reg.Gauge("test_depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-2)
+	reg.GaugeFunc("test_funcgauge", "Sourced at collection.", func() float64 { return 42 })
+
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+
+	fams, err := obs.ParseExposition(strings.NewReader(reg.Exposition()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, reg.Exposition())
+	}
+
+	ops := fams["test_ops_total"]
+	if ops == nil || ops.Type != "counter" {
+		t.Fatalf("test_ops_total family = %+v", ops)
+	}
+	byOp := map[string]float64{}
+	for _, s := range ops.Samples {
+		byOp[s.Labels["op"]] = s.Value
+	}
+	if byOp["read"] != 3 || byOp["write"] != 1 {
+		t.Errorf("ops samples = %v, want read=3 write=1", byOp)
+	}
+
+	if got := fams["test_depth"].Samples[0].Value; got != 5 {
+		t.Errorf("test_depth = %g, want 5", got)
+	}
+	if got := fams["test_funcgauge"].Samples[0].Value; got != 42 {
+		t.Errorf("test_funcgauge = %g, want 42", got)
+	}
+
+	lat := fams["test_latency_seconds"]
+	if lat == nil || lat.Type != "histogram" {
+		t.Fatalf("test_latency_seconds family = %+v", lat)
+	}
+	buckets := map[string]float64{}
+	var count, sum float64
+	for _, s := range lat.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			buckets[s.Labels["le"]] = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		}
+	}
+	// Cumulative: ≤0.001 → 1, ≤0.01 → 3, ≤0.1 → 4, +Inf → 5.
+	want := map[string]float64{"0.001": 1, "0.01": 3, "0.1": 4, "+Inf": 5}
+	for le, w := range want {
+		if buckets[le] != w {
+			t.Errorf("bucket le=%s = %g, want %g", le, buckets[le], w)
+		}
+	}
+	if count != 5 {
+		t.Errorf("_count = %g, want 5", count)
+	}
+	if math.Abs(sum-5.0605) > 1e-9 {
+		t.Errorf("_sum = %g, want 5.0605", sum)
+	}
+
+	if h.Count() != 5 {
+		t.Errorf("Histogram.Count = %d, want 5", h.Count())
+	}
+	if got := h.Counts(); len(got) != 4 || got[3] != 1 {
+		t.Errorf("Histogram.Counts = %v, want 4 buckets with overflow 1", got)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := reg.Counter("dup_total", "help", obs.L("k", "v")...)
+	b := reg.Counter("dup_total", "help", obs.L("k", "v")...)
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("idempotent registration did not share state")
+	}
+}
+
+func TestRegistryTypeClashPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("clash_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	reg.Gauge("clash_total", "help")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	reg.Counter("bad-name", "help")
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	reg := obs.NewRegistry()
+	ugly := "a\"b\\c\nd"
+	reg.Counter("esc_total", "help", obs.L("path", ugly)...).Inc()
+	fams, err := obs.ParseExposition(strings.NewReader(reg.Exposition()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, reg.Exposition())
+	}
+	got := fams["esc_total"].Samples[0].Labels["path"]
+	if got != ugly {
+		t.Errorf("label round-trip = %q, want %q", got, ugly)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "help").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want exposition 0.0.4", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestParseExpositionRejectsBadHistograms(t *testing.T) {
+	cases := map[string]string{
+		"missing +Inf": `# TYPE h histogram
+h_bucket{le="1"} 1
+h_count 1
+`,
+		"decreasing buckets": `# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="+Inf"} 3
+h_count 3
+`,
+		"count mismatch": `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_count 4
+`,
+	}
+	for name, text := range cases {
+		if _, err := obs.ParseExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: accepted invalid exposition", name)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace identifiers are nonzero uint64s allocated client-side, carried
+// in a reserved field of the pcmserve wire protocol, and propagated
+// server → shard queue → device op, so one request can be followed
+// through every layer of the stack.
+
+// traceCtr feeds NextTraceID; it is seeded once per process so IDs from
+// different processes are unlikely to collide.
+var traceCtr atomic.Uint64
+
+func init() {
+	traceCtr.Store(uint64(time.Now().UnixNano()))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer that
+// spreads sequential counter values across the full 64-bit space.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NextTraceID allocates a fresh nonzero trace ID.
+func NextTraceID() uint64 {
+	for {
+		if id := splitmix64(traceCtr.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+type traceKey struct{}
+
+// ContextWithTrace attaches a trace ID to ctx; operations issued under
+// it reuse the ID instead of allocating one, tying multi-step work (and
+// retry attempts) into one trace.
+func ContextWithTrace(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFromContext returns the trace ID attached to ctx, or zero.
+func TraceFromContext(ctx context.Context) uint64 {
+	id, _ := ctx.Value(traceKey{}).(uint64)
+	return id
+}
+
+// EnsureTrace returns ctx carrying a trace ID, allocating one if ctx
+// has none, plus the ID.
+func EnsureTrace(ctx context.Context) (context.Context, uint64) {
+	if id := TraceFromContext(ctx); id != 0 {
+		return ctx, id
+	}
+	id := NextTraceID()
+	return ContextWithTrace(ctx, id), id
+}
+
+// Span is one shard-local slice of a traced request.
+type Span struct {
+	// Shard is the index of the shard that served this slice.
+	Shard int `json:"shard"`
+	// Wait is the time the slice spent in the shard's bounded queue
+	// before the owner goroutine picked it up.
+	Wait time.Duration `json:"wait_ns"`
+	// Service is the device operation time.
+	Service time.Duration `json:"service_ns"`
+	// ScrubOps counts background scrub operations the shard executed
+	// between this slice's enqueue and its completion — the scrub
+	// interference visible to this request.
+	ScrubOps uint32 `json:"scrub_ops"`
+	// Err is the error class of the slice outcome ("" on success).
+	Err string `json:"err,omitempty"`
+}
+
+// Trace is one request's span record set.
+type Trace struct {
+	ID     uint64    `json:"id"`
+	Op     string    `json:"op"`
+	Offset int64     `json:"offset"`
+	Bytes  int       `json:"bytes"`
+	Start  time.Time `json:"start"`
+	// Total is the end-to-end server-side duration (split + queue +
+	// device + reassembly).
+	Total time.Duration `json:"total_ns"`
+	Spans []Span        `json:"spans"`
+}
+
+// String renders a trace compactly for logs and /tracez.
+func (t Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x %s off=%d len=%d total=%v", t.ID, t.Op, t.Offset, t.Bytes, t.Total)
+	for _, s := range t.Spans {
+		fmt.Fprintf(&b, " [shard %d wait=%v service=%v", s.Shard, s.Wait, s.Service)
+		if s.ScrubOps > 0 {
+			fmt.Fprintf(&b, " scrubs=%d", s.ScrubOps)
+		}
+		if s.Err != "" {
+			fmt.Fprintf(&b, " err=%s", s.Err)
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// TraceLog retains a bounded window of recent traces: every trace whose
+// total duration crosses the slow threshold (the sampled slow-op log),
+// plus one in every SampleEvery of the rest. Both windows are rings —
+// new entries evict the oldest. All methods are safe for concurrent
+// use.
+type TraceLog struct {
+	slowThreshold time.Duration
+	sampleEvery   uint64
+
+	seen atomic.Uint64
+
+	mu         sync.Mutex
+	recent     []Trace // ring of sampled fast traces
+	recentNext int
+	slow       []Trace // ring of slow traces
+	slowNext   int
+
+	slowTotal atomic.Uint64
+}
+
+// TraceLogConfig tunes a TraceLog; the zero value gets defaults.
+type TraceLogConfig struct {
+	// RecentCap bounds the sampled-trace ring (default 64).
+	RecentCap int
+	// SlowCap bounds the slow-op ring (default 64).
+	SlowCap int
+	// SampleEvery keeps one in N fast traces (default 64; 1 keeps all).
+	SampleEvery int
+	// SlowThreshold marks a trace slow (default 50ms; negative disables
+	// the slow log).
+	SlowThreshold time.Duration
+}
+
+// NewTraceLog builds a TraceLog.
+func NewTraceLog(cfg TraceLogConfig) *TraceLog {
+	if cfg.RecentCap <= 0 {
+		cfg.RecentCap = 64
+	}
+	if cfg.SlowCap <= 0 {
+		cfg.SlowCap = 64
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 64
+	}
+	if cfg.SlowThreshold == 0 {
+		cfg.SlowThreshold = 50 * time.Millisecond
+	}
+	return &TraceLog{
+		slowThreshold: cfg.SlowThreshold,
+		sampleEvery:   uint64(cfg.SampleEvery),
+		recent:        make([]Trace, 0, cfg.RecentCap),
+		slow:          make([]Trace, 0, cfg.SlowCap),
+	}
+}
+
+// Observe records one completed trace, deciding between the slow log
+// (always kept) and the sampled recent ring.
+func (l *TraceLog) Observe(t Trace) {
+	if l == nil {
+		return
+	}
+	slow := l.slowThreshold > 0 && t.Total >= l.slowThreshold
+	if !slow && l.seen.Add(1)%l.sampleEvery != 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if slow {
+		l.slowTotal.Add(1)
+		if len(l.slow) < cap(l.slow) {
+			l.slow = append(l.slow, t)
+		} else {
+			l.slow[l.slowNext] = t
+			l.slowNext = (l.slowNext + 1) % cap(l.slow)
+		}
+		return
+	}
+	if len(l.recent) < cap(l.recent) {
+		l.recent = append(l.recent, t)
+	} else {
+		l.recent[l.recentNext] = t
+		l.recentNext = (l.recentNext + 1) % cap(l.recent)
+	}
+}
+
+// ring returns buf's contents oldest-first given the next-evict index.
+func ring(buf []Trace, next int) []Trace {
+	out := make([]Trace, 0, len(buf))
+	if len(buf) == cap(buf) {
+		out = append(out, buf[next:]...)
+		out = append(out, buf[:next]...)
+	} else {
+		out = append(out, buf...)
+	}
+	return out
+}
+
+// Recent returns the sampled fast traces, oldest first.
+func (l *TraceLog) Recent() []Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ring(l.recent, l.recentNext)
+}
+
+// Slow returns the retained slow traces, oldest first.
+func (l *TraceLog) Slow() []Trace {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ring(l.slow, l.slowNext)
+}
+
+// SlowTotal counts every trace that crossed the slow threshold
+// (including ones since evicted from the ring).
+func (l *TraceLog) SlowTotal() uint64 { return l.slowTotal.Load() }

@@ -1,0 +1,88 @@
+package obs_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if id := obs.TraceFromContext(ctx); id != 0 {
+		t.Fatalf("bare context carries trace %d", id)
+	}
+	ctx2, id := obs.EnsureTrace(ctx)
+	if id == 0 {
+		t.Fatal("EnsureTrace allocated trace 0")
+	}
+	if got := obs.TraceFromContext(ctx2); got != id {
+		t.Fatalf("TraceFromContext = %d, want %d", got, id)
+	}
+	// Idempotent: an existing trace is kept, not replaced.
+	ctx3, id2 := obs.EnsureTrace(ctx2)
+	if id2 != id || ctx3 != ctx2 {
+		t.Errorf("EnsureTrace replaced existing trace %d with %d", id, id2)
+	}
+}
+
+func TestNextTraceIDDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := obs.NextTraceID()
+		if id == 0 {
+			t.Fatal("zero trace ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceLogSlowAndSampling(t *testing.T) {
+	l := obs.NewTraceLog(obs.TraceLogConfig{
+		RecentCap:     4,
+		SlowCap:       2,
+		SampleEvery:   2,
+		SlowThreshold: 10 * time.Millisecond,
+	})
+	// 3 slow traces into a 2-deep ring: the oldest is evicted but the
+	// total keeps counting.
+	for i := 0; i < 3; i++ {
+		l.Observe(obs.Trace{ID: uint64(100 + i), Total: 20 * time.Millisecond})
+	}
+	if got := l.SlowTotal(); got != 3 {
+		t.Errorf("SlowTotal = %d, want 3", got)
+	}
+	slow := l.Slow()
+	if len(slow) != 2 || slow[0].ID != 101 || slow[1].ID != 102 {
+		t.Errorf("Slow = %+v, want IDs 101,102 oldest-first", slow)
+	}
+	// 8 fast traces at SampleEvery=2 → 4 sampled.
+	for i := 0; i < 8; i++ {
+		l.Observe(obs.Trace{ID: uint64(i + 1), Total: time.Millisecond})
+	}
+	if got := len(l.Recent()); got != 4 {
+		t.Errorf("Recent kept %d traces, want 4", got)
+	}
+	// A nil log must swallow observes (shard code calls it uncondit.).
+	var nilLog *obs.TraceLog
+	nilLog.Observe(obs.Trace{ID: 1})
+}
+
+func TestTraceString(t *testing.T) {
+	tr := obs.Trace{
+		ID: 0xABC, Op: "read", Offset: 128, Bytes: 64,
+		Total: 3 * time.Millisecond,
+		Spans: []obs.Span{{Shard: 1, Wait: time.Millisecond, Service: 2 * time.Millisecond, ScrubOps: 1, Err: "transient"}},
+	}
+	s := tr.String()
+	for _, want := range []string{"0000000000000abc", "read", "shard 1", "scrubs=1", "err=transient"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Trace.String() = %q, missing %q", s, want)
+		}
+	}
+}

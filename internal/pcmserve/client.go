@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // maxChunk is the largest read or write payload the client puts in one
@@ -203,8 +205,11 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 
 // ReadAtCtx is ReadAt under a caller context: when ctx ends the call
 // returns immediately with ctx's error (the wait is abandoned; reads
-// are idempotent so nothing is lost).
+// are idempotent so nothing is lost). A trace ID attached to ctx via
+// internal/obs rides the request frames to the server, where it keys
+// span records, the sampled trace log, and flight-recorder entries.
 func (c *Client) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	trace := obs.TraceFromContext(ctx)
 	n := 0
 	for n < len(p) {
 		chunk := len(p) - n
@@ -212,7 +217,7 @@ func (c *Client) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error
 			chunk = maxChunk
 		}
 		id := c.nextID.Add(1)
-		resp, err := c.roundTrip(ctx, id, encodeReadReq(id, off+int64(n), uint32(chunk)))
+		resp, err := c.roundTrip(ctx, id, encodeReadReq(id, trace, off+int64(n), uint32(chunk)))
 		if err != nil {
 			return n, err
 		}
@@ -241,11 +246,13 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 
 // WriteAtCtx is WriteAt under a caller context. An abandoned write may
 // still apply server-side; callers needing certainty must read back or
-// resubmit (RetryClient does the latter with bounded attempts).
+// resubmit (RetryClient does the latter with bounded attempts). A
+// trace ID attached to ctx via internal/obs rides the request frames.
 func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	trace := obs.TraceFromContext(ctx)
 	n := 0
 	for n < len(p) {
 		chunk := len(p) - n
@@ -253,7 +260,7 @@ func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, erro
 			chunk = maxChunk
 		}
 		id := c.nextID.Add(1)
-		resp, err := c.roundTrip(ctx, id, encodeWriteReq(id, off+int64(n), p[n:n+chunk]))
+		resp, err := c.roundTrip(ctx, id, encodeWriteReq(id, trace, off+int64(n), p[n:n+chunk]))
 		if err != nil {
 			return n, err
 		}
@@ -280,7 +287,7 @@ func (c *Client) Advance(dt float64) error {
 // AdvanceCtx is Advance under a caller context.
 func (c *Client) AdvanceCtx(ctx context.Context, dt float64) error {
 	id := c.nextID.Add(1)
-	_, err := c.roundTrip(ctx, id, encodeAdvanceReq(id, dt))
+	_, err := c.roundTrip(ctx, id, encodeAdvanceReq(id, obs.TraceFromContext(ctx), dt))
 	return err
 }
 
@@ -294,7 +301,7 @@ func (c *Client) Stats() (Stats, error) {
 // StatsCtx is Stats under a caller context.
 func (c *Client) StatsCtx(ctx context.Context) (Stats, error) {
 	id := c.nextID.Add(1)
-	resp, err := c.roundTrip(ctx, id, encodeStatsReq(id))
+	resp, err := c.roundTrip(ctx, id, encodeStatsReq(id, obs.TraceFromContext(ctx)))
 	if err != nil {
 		return Stats{}, err
 	}

@@ -1,40 +1,16 @@
 package pcmserve
 
 import (
-	"sync/atomic"
-	"time"
+	"repro/internal/obs"
 )
 
-// histBuckets is the number of power-of-two latency buckets. Bucket 0
-// counts operations under 1 µs; bucket i counts latencies in
-// [2^(i-1), 2^i) µs; the last bucket absorbs everything slower
-// (2^22 µs ≈ 4.2 s and beyond).
+// histBuckets is the number of latency buckets. Bucket 0 counts
+// operations of at most 1 µs; bucket i counts latencies in
+// (2^(i-1), 2^i] µs; the last bucket absorbs everything slower
+// (2^22 µs ≈ 4.2 s and beyond). The boundaries are exported through
+// HistBucketBoundsUs and the LatencyBucketBoundsUs field of
+// ShardStats, so external consumers can label the buckets.
 const histBuckets = 24
-
-// histogram is a lock-free power-of-two latency histogram. Shard
-// goroutines observe into it; Snapshot readers race benignly (each
-// bucket is individually atomic, totals may be momentarily skewed).
-type histogram struct {
-	b [histBuckets]atomic.Uint64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	i := 0
-	for us > 0 && i < histBuckets-1 {
-		us >>= 1
-		i++
-	}
-	h.b[i].Add(1)
-}
-
-func (h *histogram) snapshot() []uint64 {
-	out := make([]uint64, histBuckets)
-	for i := range out {
-		out[i] = h.b[i].Load()
-	}
-	return out
-}
 
 // ShardStats is one shard's observability snapshot.
 type ShardStats struct {
@@ -56,8 +32,19 @@ type ShardStats struct {
 	// is its capacity (the backpressure limit).
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
-	// Latency histograms in power-of-two microsecond buckets (see
-	// histBuckets for the bucket boundaries).
+	// SpareBlocksLeft and BlocksRemapped report the shard device's
+	// FREE-p remapping occupancy (zero when remapping is disabled):
+	// reserve blocks still available, and worn blocks remapped into the
+	// reserve so far.
+	SpareBlocksLeft int `json:"spare_blocks_left"`
+	BlocksRemapped  int `json:"blocks_remapped"`
+	// LatencyBucketBoundsUs are the histogram bucket upper bounds in
+	// microseconds: bucket i of the latency histograms below counts
+	// operations of at most LatencyBucketBoundsUs[i] µs (and above the
+	// previous bound); the final bucket, at index
+	// len(LatencyBucketBoundsUs), absorbs everything slower.
+	LatencyBucketBoundsUs []uint64 `json:"latency_bucket_bounds_us"`
+	// Latency histograms: per-bucket operation counts.
 	ReadLatencyUs  []uint64 `json:"read_latency_us"`
 	WriteLatencyUs []uint64 `json:"write_latency_us"`
 }
@@ -79,6 +66,8 @@ type Stats struct {
 	StatsOps uint64 `json:"stats_ops"`
 	Errors   uint64 `json:"errors"`
 
+	// Bytes moved by SUCCESSFUL requests only — a failed read or write
+	// does not accrue throughput.
 	BytesRead    uint64 `json:"bytes_read"`
 	BytesWritten uint64 `json:"bytes_written"`
 
@@ -87,34 +76,77 @@ type Stats struct {
 	ActiveConns int64 `json:"active_conns"`
 	TotalConns  int64 `json:"total_conns"`
 
+	// SlowOps counts server-side traces that crossed the slow-op
+	// threshold (see Observability.SlowOp).
+	SlowOps uint64 `json:"slow_ops"`
+
 	// Scrub reports background scrubber progress (zero when disabled).
 	Scrub ScrubStats `json:"scrub"`
 
 	Shards []ShardStats `json:"shards"`
 }
 
-// serverMetrics holds the request-level counters (one increment per
-// client request, regardless of how many shards it fans out to).
+// serverMetrics holds the request-level instruments (one increment per
+// client request, regardless of how many shards it fans out to). They
+// are registered instruments in the obs registry, so the same counters
+// feed the STATS snapshot, expvar, and /metrics.
 type serverMetrics struct {
-	reads, writes, advances, statsOps, errors atomic.Uint64
-	bytesRead, bytesWritten                   atomic.Uint64
-	activeConns, totalConns                   atomic.Int64
+	reads, writes, advances, statsOps *obs.Counter
+	errors                            *obs.Counter
+	errByClass                        map[ErrorClass]*obs.Counter
+	bytesRead, bytesWritten           *obs.Counter
+	totalConns                        *obs.Counter
 }
 
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	const opsName = "pcmserve_requests_total"
+	const opsHelp = "Client requests by wire op."
+	m := &serverMetrics{
+		reads:    reg.Counter(opsName, opsHelp, obs.L("op", "read")...),
+		writes:   reg.Counter(opsName, opsHelp, obs.L("op", "write")...),
+		advances: reg.Counter(opsName, opsHelp, obs.L("op", "advance")...),
+		statsOps: reg.Counter(opsName, opsHelp, obs.L("op", "stats")...),
+		errors: reg.Counter("pcmserve_request_errors_total",
+			"Failed client requests (any error class)."),
+		errByClass: make(map[ErrorClass]*obs.Counter),
+		bytesRead: reg.Counter("pcmserve_bytes_total",
+			"Bytes moved by successful requests.", obs.L("direction", "read")...),
+		bytesWritten: reg.Counter("pcmserve_bytes_total",
+			"Bytes moved by successful requests.", obs.L("direction", "write")...),
+		totalConns: reg.Counter("pcmserve_connections_total",
+			"Connections accepted since start."),
+	}
+	for _, c := range []ErrorClass{ClassTransient, ClassPermanent, ClassCorrupt} {
+		m.errByClass[c] = reg.Counter("pcmserve_request_errors_by_class_total",
+			"Failed client requests by retry class.", obs.L("class", c.String())...)
+	}
+	return m
+}
+
+// countOp accrues one client request. Byte throughput is accrued only
+// for successful operations: a failed read or write counts as a
+// request and an error, never as bytes moved.
 func (m *serverMetrics) countOp(op uint8, n int, err error) {
 	switch op {
 	case OpRead:
-		m.reads.Add(1)
-		m.bytesRead.Add(uint64(n))
+		m.reads.Inc()
+		if err == nil {
+			m.bytesRead.Add(uint64(n))
+		}
 	case OpWrite:
-		m.writes.Add(1)
-		m.bytesWritten.Add(uint64(n))
+		m.writes.Inc()
+		if err == nil {
+			m.bytesWritten.Add(uint64(n))
+		}
 	case OpAdvance:
-		m.advances.Add(1)
+		m.advances.Inc()
 	case OpStats:
-		m.statsOps.Add(1)
+		m.statsOps.Inc()
 	}
 	if err != nil {
-		m.errors.Add(1)
+		m.errors.Inc()
+		if c, ok := m.errByClass[Classify(err)]; ok {
+			c.Inc()
+		}
 	}
 }

@@ -1,0 +1,149 @@
+package pcmserve
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observability tunes the obs layer threaded through the serving
+// stack. The zero value (and a nil *Observability) is fully usable:
+// every Shards gets a private metrics registry, a sampled trace log,
+// and per-shard flight recorders, with dumps logged to stderr.
+type Observability struct {
+	// Registry receives every instrument (nil → a private registry;
+	// share one registry across components to serve a single /metrics).
+	Registry *obs.Registry
+
+	// SlowOp is the slow-op log threshold: server-side traces at least
+	// this slow are always retained (default 50ms, negative disables).
+	SlowOp time.Duration
+	// TraceSampleEvery keeps one in N fast traces for /tracez
+	// (default 64; 1 keeps all).
+	TraceSampleEvery int
+	// TraceDepth bounds each of the recent and slow trace rings
+	// (default 64).
+	TraceDepth int
+
+	// RecorderDepth is the per-shard flight-recorder window, rounded up
+	// to a power of two (default 256).
+	RecorderDepth int
+	// DumpSink receives flight-recorder dumps on shard panic, shard
+	// death, and (when enabled) uncorrectable errors. Nil logs a
+	// formatted dump to stderr.
+	DumpSink func(obs.Dump)
+	// DumpOnUncorrectable also dumps on every uncorrectable device
+	// error (off by default: chaos tests and drifted devices can make
+	// these frequent; panic and death dumps are always on).
+	DumpOnUncorrectable bool
+}
+
+// serveObs is the wired observability state shared by the Shards
+// layer, the Server, and the scrubber.
+type serveObs struct {
+	reg                 *obs.Registry
+	traces              *obs.TraceLog
+	sink                func(obs.Dump)
+	recorderDepth       int
+	dumpOnUncorrectable bool
+}
+
+func newServeObs(cfg *Observability) *serveObs {
+	var c Observability
+	if cfg != nil {
+		c = *cfg
+	}
+	o := &serveObs{
+		reg:                 c.Registry,
+		sink:                c.DumpSink,
+		recorderDepth:       c.RecorderDepth,
+		dumpOnUncorrectable: c.DumpOnUncorrectable,
+	}
+	if o.reg == nil {
+		o.reg = obs.NewRegistry()
+	}
+	if o.recorderDepth <= 0 {
+		o.recorderDepth = 256
+	}
+	if o.sink == nil {
+		o.sink = logDump
+	}
+	o.traces = obs.NewTraceLog(obs.TraceLogConfig{
+		RecentCap:     c.TraceDepth,
+		SlowCap:       c.TraceDepth,
+		SampleEvery:   c.TraceSampleEvery,
+		SlowThreshold: c.SlowOp,
+	})
+	return o
+}
+
+// logDump is the default dump sink: one formatted block to stderr.
+func logDump(d obs.Dump) {
+	log.New(os.Stderr, "", log.LstdFlags).Print(obs.FormatDump(d, opName))
+}
+
+// opName maps wire and internal op codes to metric label values.
+func opName(op uint8) string {
+	switch op {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAdvance:
+		return "advance"
+	case OpStats:
+		return "stats"
+	case opScrub:
+		return "scrub"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// latBoundsSeconds are the histogram upper bounds: power-of-two
+// microseconds from 1 µs to ~4.2 s (2^22 µs), matching the bucket
+// scheme the STATS snapshot has always used; the +Inf bucket makes
+// histBuckets (24) buckets in total.
+var latBoundsSeconds = func() []float64 {
+	out := make([]float64, histBuckets-1)
+	for i := range out {
+		out[i] = float64(uint64(1)<<uint(i)) * 1e-6
+	}
+	return out
+}()
+
+// HistBucketBoundsUs returns the latency histogram bucket upper bounds
+// in microseconds: bucket i of a ShardStats latency histogram counts
+// operations with latency ≤ bounds[i] µs (and above the previous
+// bound); the final bucket, at index len(bounds), absorbs everything
+// slower. The returned slice is fresh on every call.
+func HistBucketBoundsUs() []uint64 {
+	out := make([]uint64, histBuckets-1)
+	for i := range out {
+		out[i] = uint64(1) << uint(i)
+	}
+	return out
+}
+
+// remapReporter is the optional device interface gauge collection uses
+// to source spare-pool occupancy (device.Device implements it;
+// faultinject.Device forwards it).
+type remapReporter interface {
+	RemapStats() (reserveLeft, retired int)
+}
+
+// eventClass maps an op outcome to its flight-recorder class.
+func eventClass(err error) obs.EventClass {
+	if err == nil {
+		return obs.EventOK
+	}
+	switch Classify(err) {
+	case ClassTransient:
+		return obs.EventTransient
+	case ClassCorrupt:
+		return obs.EventCorrupt
+	}
+	return obs.EventPermanent
+}

@@ -13,7 +13,15 @@ import (
 //	uint32  frame length N (bytes that follow, big-endian)
 //	uint64  request id (chosen by the client, echoed by the server)
 //	uint8   op (request) / status (response)
+//	uint64  trace id (requests only; 0 = untraced)
 //	...     op-specific body
+//
+// The trace id is the observability correlation key: the client
+// allocates it (or inherits it from a context via internal/obs), and
+// the server propagates it through the shard queues into span records,
+// the sampled trace log, and the per-shard flight recorder. Responses
+// do not carry it — the client already knows the trace of each request
+// id it has in flight.
 //
 // Request bodies:
 //
@@ -52,12 +60,17 @@ const (
 	StatusEOF uint8 = 2
 )
 
-// headerBytes is the fixed id+op prefix inside a frame.
+// headerBytes is the fixed id+status prefix inside a response frame
+// (and the minimum parseable frame).
 const headerBytes = 8 + 1
 
+// reqHeaderBytes is the fixed id+op+trace prefix inside a request
+// frame.
+const reqHeaderBytes = headerBytes + 8
+
 // DefaultMaxFrame bounds a single frame (1 MiB of payload plus
-// header); larger reads and writes must be issued in pieces.
-const DefaultMaxFrame = 1<<20 + headerBytes + 12
+// request header); larger reads and writes must be issued in pieces.
+const DefaultMaxFrame = 1<<20 + reqHeaderBytes + 12
 
 // readFrame reads one length-prefixed frame body (everything after the
 // length word) into a fresh buffer.
@@ -110,30 +123,31 @@ func u32(v uint32) []byte {
 	return b[:]
 }
 
-func encodeReadReq(id uint64, off int64, n uint32) []byte {
-	return frame(id, OpRead, u64(uint64(off)), u32(n))
+func encodeReadReq(id, trace uint64, off int64, n uint32) []byte {
+	return frame(id, OpRead, u64(trace), u64(uint64(off)), u32(n))
 }
 
-func encodeWriteReq(id uint64, off int64, data []byte) []byte {
-	return frame(id, OpWrite, u64(uint64(off)), data)
+func encodeWriteReq(id, trace uint64, off int64, data []byte) []byte {
+	return frame(id, OpWrite, u64(trace), u64(uint64(off)), data)
 }
 
-func encodeAdvanceReq(id uint64, dt float64) []byte {
-	return frame(id, OpAdvance, u64(math.Float64bits(dt)))
+func encodeAdvanceReq(id, trace uint64, dt float64) []byte {
+	return frame(id, OpAdvance, u64(trace), u64(math.Float64bits(dt)))
 }
 
-func encodeStatsReq(id uint64) []byte {
-	return frame(id, OpStats)
+func encodeStatsReq(id, trace uint64) []byte {
+	return frame(id, OpStats, u64(trace))
 }
 
 // request is a decoded client request.
 type request struct {
-	id   uint64
-	op   uint8
-	off  int64
-	n    uint32  // OpRead: bytes wanted
-	data []byte  // OpWrite: payload (aliases the frame buffer)
-	dt   float64 // OpAdvance
+	id    uint64
+	op    uint8
+	trace uint64
+	off   int64
+	n     uint32  // OpRead: bytes wanted
+	data  []byte  // OpWrite: payload (aliases the frame buffer)
+	dt    float64 // OpAdvance
 }
 
 // parseRequest decodes a frame body produced by the encode*Req helpers.
@@ -144,7 +158,11 @@ func parseRequest(buf []byte) (request, error) {
 	}
 	req.id = binary.BigEndian.Uint64(buf)
 	req.op = buf[8]
-	body := buf[headerBytes:]
+	if len(buf) < reqHeaderBytes {
+		return req, fmt.Errorf("pcmserve: request frame %d bytes, below header size %d", len(buf), reqHeaderBytes)
+	}
+	req.trace = binary.BigEndian.Uint64(buf[headerBytes:])
+	body := buf[reqHeaderBytes:]
 	switch req.op {
 	case OpRead:
 		if len(body) != 12 {

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RetryConfig tunes RetryClient. The zero value (plus a Dial function
@@ -209,6 +211,10 @@ func (r *RetryClient) backoff(ctx context.Context, attempt int) error {
 // reconnecting when the failure was connection-level (anything that is
 // not a typed in-band RemoteError).
 func (r *RetryClient) do(ctx context.Context, attempts int, op func(ctx context.Context, c *Client) error) error {
+	// One trace ID spans every attempt of the op, so server-side traces
+	// and flight-recorder entries show retries as repeats of the same
+	// ID rather than unrelated requests.
+	ctx, _ = obs.EnsureTrace(ctx)
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if err := r.backoff(ctx, a); err != nil {

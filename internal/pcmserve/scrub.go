@@ -3,9 +3,11 @@ package pcmserve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wearout"
 )
 
@@ -30,6 +32,11 @@ type ScrubStats struct {
 	// Skipped counts scrub slots dropped because the owning shard was
 	// dead or the scrub op itself failed.
 	Skipped uint64 `json:"skipped"`
+	// PassHeadroomSeconds is the projected wall-clock time to finish
+	// the current scrub pass at the configured cadence — the
+	// refresh-interval headroom: it must stay below the drift window
+	// the device can tolerate, or blocks go unrefreshed too long.
+	PassHeadroomSeconds float64 `json:"pass_headroom_seconds"`
 }
 
 // scrubber walks the logical block space at a fixed cadence, issuing
@@ -42,23 +49,63 @@ type scrubber struct {
 	g        *Shards
 	interval time.Duration
 	design   wearout.MarkAndSpare
+	nBlocks  int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	// cursor is the next logical block to scrub; the headroom gauge
+	// derives pass-completion time from it.
+	cursor atomic.Int64
+
+	passes, scrubbed      *obs.Counter
+	repairedDrift         *obs.Counter
+	repairedUncorrectable *obs.Counter
+	spared, retired       *obs.Counter
+	skipped               *obs.Counter
+
 	mu         sync.Mutex
 	sparesUsed map[int64]int // logical block → spare pairs consumed
-	stats      ScrubStats
 }
 
 func newScrubber(g *Shards, interval time.Duration) *scrubber {
-	return &scrubber{
+	sc := &scrubber{
 		g:          g,
 		interval:   interval,
 		design:     wearout.PaperDesign(),
+		nBlocks:    g.size / core.BlockBytes,
 		stop:       make(chan struct{}),
 		sparesUsed: make(map[int64]int),
 	}
+	reg := g.obs.reg
+	sc.passes = reg.Counter("pcmserve_scrub_passes_total",
+		"Completed scrub walks of the whole logical block space.")
+	sc.scrubbed = reg.Counter("pcmserve_scrub_blocks_total",
+		"Block scrub operations performed.")
+	const repairsName = "pcmserve_scrub_repairs_total"
+	const repairsHelp = "Blocks rewritten by the scrubber, by cause: drift (correctable, refreshed at nominal levels) or uncorrectable (content replaced, spare-accounted)."
+	sc.repairedDrift = reg.Counter(repairsName, repairsHelp, obs.L("cause", "drift")...)
+	sc.repairedUncorrectable = reg.Counter(repairsName, repairsHelp, obs.L("cause", "uncorrectable")...)
+	sc.spared = reg.Counter("pcmserve_scrub_spared_total",
+		"Spare pairs consumed by mark-and-spare accounting.")
+	sc.retired = reg.Counter("pcmserve_scrub_retired_total",
+		"Blocks retired after exhausting the mark-and-spare budget.")
+	sc.skipped = reg.Counter("pcmserve_scrub_skipped_total",
+		"Scrub slots dropped (dead shard or scrub op failure).")
+	reg.GaugeFunc("pcmserve_scrub_pass_headroom_seconds",
+		"Projected time to finish the current scrub pass at the configured cadence (the refresh-interval headroom).",
+		sc.headroomSeconds)
+	return sc
+}
+
+// headroomSeconds projects the remaining wall-clock time of the
+// current pass: blocks still unvisited × the per-block cadence.
+func (sc *scrubber) headroomSeconds() float64 {
+	remaining := sc.nBlocks - sc.cursor.Load()
+	if remaining < 0 {
+		remaining = 0
+	}
+	return float64(remaining) * sc.interval.Seconds()
 }
 
 func (sc *scrubber) start() {
@@ -67,31 +114,36 @@ func (sc *scrubber) start() {
 }
 
 func (sc *scrubber) snapshot() ScrubStats {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return sc.stats
+	return ScrubStats{
+		Passes:              sc.passes.Value(),
+		Scrubbed:            sc.scrubbed.Value(),
+		Repaired:            sc.repairedDrift.Value(),
+		Uncorrectable:       sc.repairedUncorrectable.Value(),
+		Spared:              sc.spared.Value(),
+		Retired:             sc.retired.Value(),
+		Skipped:             sc.skipped.Value(),
+		PassHeadroomSeconds: sc.headroomSeconds(),
+	}
 }
 
 func (sc *scrubber) run() {
 	defer sc.wg.Done()
 	tick := time.NewTicker(sc.interval)
 	defer tick.Stop()
-	nBlocks := sc.g.size / core.BlockBytes
-	var block int64
 	for {
 		select {
 		case <-sc.stop:
 			return
 		case <-tick.C:
 		}
+		block := sc.cursor.Load()
 		sc.scrubOne(block)
 		block++
-		if block >= nBlocks {
+		if block >= sc.nBlocks {
 			block = 0
-			sc.mu.Lock()
-			sc.stats.Passes++
-			sc.mu.Unlock()
+			sc.passes.Inc()
 		}
+		sc.cursor.Store(block)
 	}
 }
 
@@ -110,36 +162,34 @@ func (sc *scrubber) scrubOne(block int64) {
 	}
 	if s.healthState() == Dead {
 		sc.g.mu.RUnlock()
-		sc.mu.Lock()
-		sc.stats.Skipped++
-		sc.mu.Unlock()
+		sc.skipped.Inc()
 		return
 	}
 	done := make(chan shardResult, 1)
-	s.ch <- shardReq{op: opScrub, off: off % sc.g.shardSize, done: done}
+	s.ch <- shardReq{op: opScrub, off: off % sc.g.shardSize, enq: time.Now(), done: done}
 	sc.g.mu.RUnlock()
 
 	r := <-done
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	sc.stats.Scrubbed++
+	sc.scrubbed.Inc()
 	switch r.scrub {
 	case scrubRepaired:
-		sc.stats.Repaired++
+		sc.repairedDrift.Inc()
 	case scrubUncorrectable:
-		sc.stats.Uncorrectable++
+		sc.repairedUncorrectable.Inc()
 		// Mark-and-spare: the failure marks one pair INV and shifts a
 		// spare in. Past SparePairs the block is beyond the scheme's
 		// capacity and is retired (counted once).
+		sc.mu.Lock()
 		sc.sparesUsed[block]++
 		used := sc.sparesUsed[block]
+		sc.mu.Unlock()
 		if used <= sc.design.SparePairs {
-			sc.stats.Spared++
+			sc.spared.Inc()
 		} else if used == sc.design.SparePairs+1 {
-			sc.stats.Retired++
+			sc.retired.Inc()
 		}
 	}
 	if r.err != nil && !errors.Is(r.err, core.ErrUncorrectable) {
-		sc.stats.Skipped++
+		sc.skipped.Inc()
 	}
 }

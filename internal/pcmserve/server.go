@@ -9,8 +9,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrServerClosed is returned by Serve after Shutdown.
@@ -60,7 +64,7 @@ func (c *ServerConfig) withDefaults() ServerConfig {
 type Server struct {
 	shards  *Shards
 	cfg     ServerConfig
-	metrics serverMetrics
+	metrics *serverMetrics
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -74,10 +78,17 @@ type Server struct {
 // ownership of shards (Shutdown does not close it).
 func NewServer(shards *Shards, cfg ServerConfig) *Server {
 	s := &Server{
-		shards: shards,
-		cfg:    cfg.withDefaults(),
-		conns:  make(map[net.Conn]struct{}),
+		shards:  shards,
+		cfg:     cfg.withDefaults(),
+		metrics: newServerMetrics(shards.obs.reg),
+		conns:   make(map[net.Conn]struct{}),
 	}
+	shards.obs.reg.GaugeFunc("pcmserve_connections_active",
+		"Currently open client connections.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		})
 	if name := s.cfg.ExpvarName; name != "" {
 		publishExpvar(name, s)
 	}
@@ -105,18 +116,49 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Device:       s.shards.Name(),
 		SizeBytes:    s.shards.Size(),
-		Reads:        s.metrics.reads.Load(),
-		Writes:       s.metrics.writes.Load(),
-		Advances:     s.metrics.advances.Load(),
-		StatsOps:     s.metrics.statsOps.Load(),
-		Errors:       s.metrics.errors.Load(),
-		BytesRead:    s.metrics.bytesRead.Load(),
-		BytesWritten: s.metrics.bytesWritten.Load(),
+		Reads:        s.metrics.reads.Value(),
+		Writes:       s.metrics.writes.Value(),
+		Advances:     s.metrics.advances.Value(),
+		StatsOps:     s.metrics.statsOps.Value(),
+		Errors:       s.metrics.errors.Value(),
+		BytesRead:    s.metrics.bytesRead.Value(),
+		BytesWritten: s.metrics.bytesWritten.Value(),
 		ActiveConns:  active,
-		TotalConns:   s.metrics.totalConns.Load(),
+		TotalConns:   int64(s.metrics.totalConns.Value()),
+		SlowOps:      s.shards.obs.traces.SlowTotal(),
 		Scrub:        s.shards.ScrubStats(),
 		Shards:       s.shards.Snapshot(),
 	}
+}
+
+// AdminHandler returns the admin HTTP plane for this server: /metrics
+// (Prometheus text exposition of every instrument in the shared
+// registry), /healthz (503 when any shard is dead), /tracez (sampled
+// traces and the slow-op log), /debug/flightrecorder (live per-shard
+// flight-recorder snapshots), and /debug/pprof. Mount it on a separate
+// listener from the data plane.
+func (s *Server) AdminHandler() http.Handler {
+	return obs.AdminHandler(obs.AdminConfig{
+		Registry: s.shards.obs.reg,
+		Health:   s.healthReport,
+		Traces:   s.shards.obs.traces,
+		Dumps:    s.shards.RecorderSnapshots,
+	})
+}
+
+func (s *Server) healthReport() obs.HealthReport {
+	report := obs.HealthReport{Healthy: true}
+	for i := 0; i < s.shards.NumShards(); i++ {
+		h := s.shards.Health(i)
+		if h == Dead {
+			report.Healthy = false
+		}
+		report.Components = append(report.Components, obs.ComponentHealth{
+			Name:  "shard/" + strconv.Itoa(i),
+			State: h.String(),
+		})
+	}
+	return report
 }
 
 // Serve accepts connections on ln until Shutdown. It always closes ln.
@@ -149,7 +191,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
-		s.metrics.totalConns.Add(1)
+		s.metrics.totalConns.Inc()
 		s.connWG.Add(1)
 		go s.handleConn(conn)
 	}
@@ -284,7 +326,7 @@ func (s *Server) execute(req request) []byte {
 			return errFrame(req.id, err)
 		}
 		buf := make([]byte, req.n)
-		n, err := s.shards.ReadAt(buf, req.off)
+		n, err := s.shards.readAtTraced(req.trace, buf, req.off)
 		if err == io.EOF {
 			s.metrics.countOp(OpRead, n, nil)
 			return frame(req.id, StatusEOF, buf[:n])
@@ -295,7 +337,7 @@ func (s *Server) execute(req request) []byte {
 		}
 		return frame(req.id, StatusOK, buf[:n])
 	case OpWrite:
-		n, err := s.shards.WriteAt(req.data, req.off)
+		n, err := s.shards.writeAtTraced(req.trace, req.data, req.off)
 		s.metrics.countOp(OpWrite, n, err)
 		if err != nil {
 			return errFrame(req.id, err)
@@ -318,6 +360,6 @@ func (s *Server) execute(req request) []byte {
 		return frame(req.id, StatusOK, payload)
 	}
 	err := fmt.Errorf("pcmserve: unknown op %d", req.op)
-	s.metrics.errors.Add(1)
+	s.metrics.errors.Inc()
 	return errFrame(req.id, err)
 }

@@ -264,11 +264,12 @@ func TestGracefulShutdown(t *testing.T) {
 
 // TestProtocolRoundTrip fuzzes the codec helpers directly.
 func TestProtocolRoundTrip(t *testing.T) {
+	const trace = 0xDEADBEEFCAFE
 	reqs := [][]byte{
-		encodeReadReq(7, 1024, 512),
-		encodeWriteReq(8, 64, []byte("hello pcm")),
-		encodeAdvanceReq(9, 3.5),
-		encodeStatsReq(10),
+		encodeReadReq(7, trace, 1024, 512),
+		encodeWriteReq(8, trace, 64, []byte("hello pcm")),
+		encodeAdvanceReq(9, trace, 3.5),
+		encodeStatsReq(10, trace),
 	}
 	for i, fr := range reqs {
 		body, err := readFrame(bytes.NewReader(fr), DefaultMaxFrame)
@@ -282,12 +283,15 @@ func TestProtocolRoundTrip(t *testing.T) {
 		if req.id != uint64(7+i) {
 			t.Errorf("req %d: id = %d, want %d", i, req.id, 7+i)
 		}
+		if req.trace != trace {
+			t.Errorf("req %d: trace = %#x, want %#x", i, req.trace, uint64(trace))
+		}
 	}
 	if _, err := parseRequest([]byte{1, 2, 3}); err == nil {
 		t.Error("short request parsed")
 	}
 	// Oversized frame rejected before allocation.
-	big := encodeWriteReq(1, 0, make([]byte, 1024))
+	big := encodeWriteReq(1, 0, 0, make([]byte, 1024))
 	if _, err := readFrame(bytes.NewReader(big), 64); err == nil {
 		t.Error("oversized frame accepted")
 	}

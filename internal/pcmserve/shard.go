@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 )
 
 // ShardDevice is the per-shard device contract: the byte-addressable
@@ -53,6 +55,11 @@ type ShardsConfig struct {
 	// scrubbed (read, wearout-accounted, rewritten) every interval,
 	// walking the whole logical space round-robin (0 disables).
 	ScrubInterval time.Duration
+
+	// Obs tunes the observability layer (nil → defaults: a private
+	// metrics registry, sampled traces, 256-entry flight recorders,
+	// dumps to stderr).
+	Obs *Observability
 }
 
 // Health is a shard's lifecycle state.
@@ -88,12 +95,18 @@ const opScrub uint8 = 0xF0
 // shardReq is one shard-local unit of work, always fully contained in
 // the owning shard's address range.
 type shardReq struct {
-	op   uint8
-	off  int64   // shard-local byte offset
-	buf  []byte  // read destination / write source
-	dt   float64 // OpAdvance only
-	pos  int     // offset of buf within the caller's buffer
-	done chan<- shardResult
+	op    uint8
+	off   int64   // shard-local byte offset
+	buf   []byte  // read destination / write source
+	dt    float64 // OpAdvance only
+	pos   int     // offset of buf within the caller's buffer
+	trace uint64  // request trace ID (0 = untraced)
+	enq   time.Time
+	// scrubSeq0 is the shard's scrub sequence at enqueue time; the
+	// difference at completion is the scrub interference the request
+	// observed.
+	scrubSeq0 uint64
+	done      chan<- shardResult
 }
 
 type shardResult struct {
@@ -102,6 +115,11 @@ type shardResult struct {
 	err error
 	// scrub reports the outcome of an opScrub request.
 	scrub scrubOutcome
+	// Span detail for traced requests: queue wait, device service
+	// time, and scrub ops interleaved since enqueue.
+	wait    time.Duration
+	service time.Duration
+	scrubs  uint32
 }
 
 // scrubOutcome describes what one block scrub found and did.
@@ -127,13 +145,27 @@ type shard struct {
 	ch        chan shardReq
 	healAfter uint64
 
-	reads, writes, advances, errCount atomic.Uint64
-	readLat, writeLat                 histogram
+	o   *serveObs
+	rec *obs.FlightRecorder
+
+	reads, writes, advances, errCount *obs.Counter
+	readLat, writeLat                 *obs.Histogram
 
 	health   atomic.Int32
 	panics   atomic.Uint64
 	restarts atomic.Uint64
 	okStreak atomic.Uint64 // completed ops since the last restart
+
+	// scrubSeq counts completed opScrub requests; the delta across a
+	// request's queue residence is its scrub interference.
+	scrubSeq atomic.Uint64
+
+	// Cached device-level gauges, refreshed by the owner goroutine
+	// after each operation so gauge collection never touches the
+	// single-goroutine device from a scrape.
+	remap          remapReporter // nil when the device stack has no remapping
+	spareLeft      atomic.Int64
+	blocksRemapped atomic.Int64
 
 	// cur is the request being handled; only the owner goroutine (and
 	// its own recover) touches it, so no lock is needed.
@@ -142,38 +174,119 @@ type shard struct {
 
 func (s *shard) healthState() Health { return Health(s.health.Load()) }
 
+// initInstruments registers the shard's metrics in the registry.
+func (s *shard) initInstruments() {
+	reg := s.o.reg
+	si := strconv.Itoa(s.index)
+	const opsName = "pcmserve_shard_ops_total"
+	const opsHelp = "Operations executed by each shard's owner goroutine."
+	s.reads = reg.Counter(opsName, opsHelp, obs.L("shard", si, "op", "read")...)
+	s.writes = reg.Counter(opsName, opsHelp, obs.L("shard", si, "op", "write")...)
+	s.advances = reg.Counter(opsName, opsHelp, obs.L("shard", si, "op", "advance")...)
+	s.errCount = reg.Counter("pcmserve_shard_errors_total",
+		"Failed shard operations (excluding io.EOF).", obs.L("shard", si)...)
+	const latName = "pcmserve_shard_op_latency_seconds"
+	const latHelp = "Device operation latency by shard and op."
+	s.readLat = reg.Histogram(latName, latHelp, latBoundsSeconds, obs.L("shard", si, "op", "read")...)
+	s.writeLat = reg.Histogram(latName, latHelp, latBoundsSeconds, obs.L("shard", si, "op", "write")...)
+	reg.GaugeFunc("pcmserve_shard_health",
+		"Supervisor state: 0 healthy, 1 degraded, 2 dead.",
+		func() float64 { return float64(s.health.Load()) }, obs.L("shard", si)...)
+	reg.GaugeFunc("pcmserve_shard_queue_depth",
+		"Instantaneous bounded-queue occupancy.",
+		func() float64 { return float64(len(s.ch)) }, obs.L("shard", si)...)
+	reg.GaugeFunc("pcmserve_shard_queue_capacity",
+		"Bounded-queue capacity (the backpressure limit).",
+		func() float64 { return float64(cap(s.ch)) }, obs.L("shard", si)...)
+	reg.GaugeFunc("pcmserve_shard_panics_total",
+		"Recovered owner-goroutine panics.",
+		func() float64 { return float64(s.panics.Load()) }, obs.L("shard", si)...)
+	reg.GaugeFunc("pcmserve_shard_restarts_total",
+		"Supervisor restarts of the owner loop.",
+		func() float64 { return float64(s.restarts.Load()) }, obs.L("shard", si)...)
+	reg.GaugeFunc("pcmserve_shard_spare_blocks",
+		"FREE-p reserve blocks still available on the shard device.",
+		func() float64 { return float64(s.spareLeft.Load()) }, obs.L("shard", si)...)
+	reg.GaugeFunc("pcmserve_shard_blocks_remapped",
+		"Worn blocks remapped into the FREE-p reserve so far.",
+		func() float64 { return float64(s.blocksRemapped.Load()) }, obs.L("shard", si)...)
+}
+
+// refreshDeviceGauges re-caches remap occupancy. Called from the owner
+// goroutine (and once before it starts), so the device is never
+// touched concurrently.
+func (s *shard) refreshDeviceGauges() {
+	if s.remap == nil {
+		return
+	}
+	left, remapped := s.remap.RemapStats()
+	s.spareLeft.Store(int64(left))
+	s.blocksRemapped.Store(int64(remapped))
+}
+
+// dump emits the flight-recorder window to the configured sink.
+func (s *shard) dump(reason string) {
+	s.o.sink(obs.Dump{
+		Shard:  s.index,
+		Reason: reason,
+		Time:   time.Now().UnixNano(),
+		Events: s.rec.Snapshot(),
+	})
+}
+
 // handle executes one request against the device and replies on done.
 func (s *shard) handle(req shardReq) {
 	start := time.Now()
+	var wait time.Duration
+	if !req.enq.IsZero() {
+		wait = start.Sub(req.enq)
+	}
 	var n int
 	var err error
 	outcome := scrubNone
 	switch req.op {
 	case OpRead:
 		n, err = s.dev.ReadAt(req.buf, req.off)
-		s.reads.Add(1)
-		s.readLat.observe(time.Since(start))
+		s.reads.Inc()
+		s.readLat.Observe(time.Since(start).Seconds())
 	case OpWrite:
 		n, err = s.dev.WriteAt(req.buf, req.off)
-		s.writes.Add(1)
-		s.writeLat.observe(time.Since(start))
+		s.writes.Inc()
+		s.writeLat.Observe(time.Since(start).Seconds())
 	case OpAdvance:
 		err = s.dev.Advance(req.dt)
-		s.advances.Add(1)
+		s.advances.Inc()
 	case opScrub:
 		outcome, err = s.scrubBlock(req.off)
+		s.scrubSeq.Add(1)
 	default:
 		err = fmt.Errorf("pcmserve: shard %d: unknown op %d", s.index, req.op)
 	}
+	service := time.Since(start)
 	if err != nil && err != io.EOF {
-		s.errCount.Add(1)
+		s.errCount.Inc()
+	}
+	s.rec.Record(obs.Event{
+		TraceID: req.trace,
+		Op:      req.op,
+		Block:   req.off / core.BlockBytes,
+		Latency: service,
+		Class:   eventClass(err),
+	})
+	s.refreshDeviceGauges()
+	if err != nil && s.o.dumpOnUncorrectable && errors.Is(err, core.ErrUncorrectable) {
+		s.dump("uncorrectable error")
 	}
 	if s.healthState() == Degraded {
 		if s.okStreak.Add(1) >= s.healAfter {
 			s.health.CompareAndSwap(int32(Degraded), int32(Healthy))
 		}
 	}
-	req.done <- shardResult{pos: req.pos, n: n, err: err, scrub: outcome}
+	req.done <- shardResult{
+		pos: req.pos, n: n, err: err, scrub: outcome,
+		wait: wait, service: service,
+		scrubs: uint32(s.scrubSeq.Load() - req.scrubSeq0),
+	}
 }
 
 // scrubBlock performs one atomic read-correct-rewrite cycle on the
@@ -216,6 +329,7 @@ func (s *shard) runOnce() (panicked bool) {
 		if r := recover(); r != nil {
 			panicked = true
 			s.panics.Add(1)
+			s.dump(fmt.Sprintf("panic: %v", r))
 			if req := s.cur; req != nil {
 				s.cur = nil
 				req.done <- shardResult{
@@ -246,6 +360,7 @@ func (s *shard) supervise(g *Shards) {
 		n := s.restarts.Add(1)
 		if g.maxRestarts >= 0 && n > uint64(g.maxRestarts) {
 			s.health.Store(int32(Dead))
+			s.dump(fmt.Sprintf("shard dead after %d restarts", n-1))
 			// Drain-and-fail so enqueuers (and queued waiters) are
 			// never stranded behind a dead shard.
 			for req := range s.ch {
@@ -272,6 +387,7 @@ type Shards struct {
 	size        int64 // total bytes
 	maxRestarts int
 
+	obs   *serveObs
 	scrub *scrubber
 
 	mu     sync.RWMutex // guards closed vs. in-flight enqueues
@@ -317,6 +433,7 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 		shards:      make([]*shard, n),
 		shardSize:   int64(cfg.Device.Blocks) * core.BlockBytes,
 		maxRestarts: maxRestarts,
+		obs:         newServeObs(cfg.Obs),
 	}
 	g.size = g.shardSize * int64(n)
 	for i := range g.shards {
@@ -332,14 +449,20 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 		if cfg.WrapDevice != nil {
 			sd = cfg.WrapDevice(i, sd)
 		}
-		g.shards[i] = &shard{
+		s := &shard{
 			index:     i,
 			dev:       sd,
 			ch:        make(chan shardReq, depth),
 			healAfter: uint64(healAfter),
+			o:         g.obs,
+			rec:       obs.NewFlightRecorder(g.obs.recorderDepth),
 		}
+		s.remap, _ = sd.(remapReporter)
+		s.refreshDeviceGauges() // seed gauges before the owner starts
+		s.initInstruments()
+		g.shards[i] = s
 		g.wg.Add(1)
-		go g.shards[i].supervise(g)
+		go s.supervise(g)
 	}
 	if cfg.ScrubInterval > 0 {
 		g.scrub = newScrubber(g, cfg.ScrubInterval)
@@ -361,6 +484,28 @@ func (g *Shards) Name() string {
 
 // Health returns the lifecycle state of one shard.
 func (g *Shards) Health(shard int) Health { return g.shards[shard].healthState() }
+
+// Registry returns the metrics registry every instrument of this
+// Shards (and any Server built over it) is registered in.
+func (g *Shards) Registry() *obs.Registry { return g.obs.reg }
+
+// Traces returns the sampled trace / slow-op log.
+func (g *Shards) Traces() *obs.TraceLog { return g.obs.traces }
+
+// RecorderSnapshots returns a live flight-recorder snapshot per shard,
+// oldest events first. Safe to call concurrently with traffic.
+func (g *Shards) RecorderSnapshots() []obs.Dump {
+	out := make([]obs.Dump, len(g.shards))
+	for i, s := range g.shards {
+		out[i] = obs.Dump{
+			Shard:  i,
+			Reason: "live snapshot",
+			Time:   time.Now().UnixNano(),
+			Events: s.rec.Snapshot(),
+		}
+	}
+	return out
+}
 
 // Close stops the scrubber and all shard goroutines after in-flight
 // requests drain. Operations issued after Close return ErrClosed.
@@ -421,8 +566,10 @@ func deadResult(index int, pos int) shardResult {
 // and enqueues them, then waits for every span. Spans owned by a dead
 // shard fail fast with ErrShardUnavailable while the rest are served.
 // It returns the number of contiguous bytes processed from the start of
-// p and the first error in address order.
-func (g *Shards) dispatch(op uint8, p []byte, off int64) (int, error) {
+// p and the first error in address order. A nonzero trace assembles the
+// span details into a Trace observed by the trace log.
+func (g *Shards) dispatch(op uint8, p []byte, off int64, trace uint64) (int, error) {
+	t0 := time.Now()
 	spans := g.splitSpans(off, len(p))
 	g.mu.RLock()
 	if g.closed {
@@ -439,7 +586,9 @@ func (g *Shards) dispatch(op uint8, p []byte, off int64) (int, error) {
 		// A full queue blocks here: backpressure propagates to the
 		// connection reader and ultimately to the client.
 		s.ch <- shardReq{
-			op: op, off: sp.localOff, buf: p[sp.pos : sp.pos+sp.n], pos: sp.pos, done: done,
+			op: op, off: sp.localOff, buf: p[sp.pos : sp.pos+sp.n], pos: sp.pos,
+			trace: trace, enq: t0, scrubSeq0: s.scrubSeq.Load(),
+			done: done,
 		}
 	}
 	g.mu.RUnlock()
@@ -452,20 +601,62 @@ func (g *Shards) dispatch(op uint8, p []byte, off int64) (int, error) {
 		byPos[r.pos] = r
 	}
 	n := 0
+	var firstErr error
 	for _, sp := range spans {
 		r := byPos[sp.pos]
-		n += r.n
-		if r.err != nil {
-			return n, r.err
+		if firstErr == nil {
+			n += r.n
+			if r.err != nil {
+				firstErr = r.err
+			}
 		}
 	}
-	return n, nil
+	g.observeTrace(trace, op, off, len(p), t0, spans, byPos)
+	return n, firstErr
+}
+
+// observeTrace assembles one request's span records and hands them to
+// the trace log.
+func (g *Shards) observeTrace(trace uint64, op uint8, off int64, n int, t0 time.Time, spans []span, byPos map[int]shardResult) {
+	if trace == 0 {
+		return
+	}
+	t := obs.Trace{
+		ID:     trace,
+		Op:     opName(op),
+		Offset: off,
+		Bytes:  n,
+		Start:  t0,
+		Total:  time.Since(t0),
+		Spans:  make([]obs.Span, 0, len(spans)),
+	}
+	for _, sp := range spans {
+		r := byPos[sp.pos]
+		errClass := ""
+		if r.err != nil {
+			errClass = Classify(r.err).String()
+		}
+		t.Spans = append(t.Spans, obs.Span{
+			Shard:    int(sp.shard),
+			Wait:     r.wait,
+			Service:  r.service,
+			ScrubOps: r.scrubs,
+			Err:      errClass,
+		})
+	}
+	g.obs.traces.Observe(t)
 }
 
 // ReadAt implements io.ReaderAt over the combined byte space with the
 // same EOF semantics as device.Device: reads past the end return the
 // available prefix and io.EOF.
 func (g *Shards) ReadAt(p []byte, off int64) (int, error) {
+	return g.readAtTraced(0, p, off)
+}
+
+// readAtTraced is ReadAt carrying the request's trace ID into the
+// shard queues and span records.
+func (g *Shards) readAtTraced(trace uint64, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pcmserve: negative offset")
 	}
@@ -480,7 +671,7 @@ func (g *Shards) ReadAt(p []byte, off int64) (int, error) {
 		p = p[:g.size-off]
 		eof = true
 	}
-	n, err := g.dispatch(OpRead, p, off)
+	n, err := g.dispatch(OpRead, p, off, trace)
 	if err == nil && eof {
 		err = io.EOF
 	}
@@ -490,6 +681,11 @@ func (g *Shards) ReadAt(p []byte, off int64) (int, error) {
 // WriteAt implements io.WriterAt. Writes beyond the device size are
 // rejected whole, matching device.Device.
 func (g *Shards) WriteAt(p []byte, off int64) (int, error) {
+	return g.writeAtTraced(0, p, off)
+}
+
+// writeAtTraced is WriteAt carrying the request's trace ID.
+func (g *Shards) writeAtTraced(trace uint64, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pcmserve: negative offset")
 	}
@@ -499,7 +695,7 @@ func (g *Shards) WriteAt(p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	return g.dispatch(OpWrite, p, off)
+	return g.dispatch(OpWrite, p, off, trace)
 }
 
 // Advance moves simulated time forward by dt seconds on every live
@@ -512,12 +708,13 @@ func (g *Shards) Advance(dt float64) error {
 		return ErrClosed
 	}
 	done := make(chan shardResult, len(g.shards))
+	enq := time.Now()
 	for _, s := range g.shards {
 		if s.healthState() == Dead {
 			done <- deadResult(s.index, 0)
 			continue
 		}
-		s.ch <- shardReq{op: OpAdvance, dt: dt, done: done}
+		s.ch <- shardReq{op: OpAdvance, dt: dt, enq: enq, done: done}
 	}
 	g.mu.RUnlock()
 	var first error
@@ -529,25 +726,30 @@ func (g *Shards) Advance(dt float64) error {
 	return first
 }
 
-// Snapshot captures per-shard counters, health, queue gauges, and
-// latency histograms. Safe to call concurrently with traffic.
+// Snapshot captures per-shard counters, health, queue gauges, device
+// spare-pool occupancy, and latency histograms. Safe to call
+// concurrently with traffic.
 func (g *Shards) Snapshot() []ShardStats {
+	bounds := HistBucketBoundsUs()
 	out := make([]ShardStats, len(g.shards))
 	for i, s := range g.shards {
 		out[i] = ShardStats{
-			Shard:          i,
-			Device:         s.dev.Name(),
-			Health:         s.healthState().String(),
-			Reads:          s.reads.Load(),
-			Writes:         s.writes.Load(),
-			Advances:       s.advances.Load(),
-			Errors:         s.errCount.Load(),
-			Panics:         s.panics.Load(),
-			Restarts:       s.restarts.Load(),
-			QueueDepth:     len(s.ch),
-			QueueCap:       cap(s.ch),
-			ReadLatencyUs:  s.readLat.snapshot(),
-			WriteLatencyUs: s.writeLat.snapshot(),
+			Shard:                 i,
+			Device:                s.dev.Name(),
+			Health:                s.healthState().String(),
+			Reads:                 s.reads.Value(),
+			Writes:                s.writes.Value(),
+			Advances:              s.advances.Value(),
+			Errors:                s.errCount.Value(),
+			Panics:                s.panics.Load(),
+			Restarts:              s.restarts.Load(),
+			QueueDepth:            len(s.ch),
+			QueueCap:              cap(s.ch),
+			SpareBlocksLeft:       int(s.spareLeft.Load()),
+			BlocksRemapped:        int(s.blocksRemapped.Load()),
+			LatencyBucketBoundsUs: bounds,
+			ReadLatencyUs:         s.readLat.Counts(),
+			WriteLatencyUs:        s.writeLat.Counts(),
 		}
 	}
 	return out
