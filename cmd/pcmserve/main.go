@@ -49,11 +49,13 @@ func main() {
 		reserve = flag.Int("reserve", 4, "remapping reserve blocks per shard")
 		noWear  = flag.Bool("nowearout", false, "disable endurance limits")
 
-		inflight = flag.Int("inflight", 32, "max in-flight requests per connection")
-		scrub    = flag.Duration("scrub", 0, "background scrub interval (0 disables); repairs drifted blocks and spares uncorrectable ones")
-		obsAddr  = flag.String("obs", "", "admin HTTP listen address for /metrics, /healthz, /tracez, /debug/pprof (empty disables)")
-		slowOp   = flag.Duration("slowop", 50*time.Millisecond, "slow-op log threshold for /tracez (negative disables)")
-		version  = flag.Bool("version", false, "print build information and exit")
+		inflight  = flag.Int("inflight", 32, "max in-flight requests per connection")
+		scrub     = flag.Duration("scrub", 0, "background scrub interval (0 disables); repairs drifted blocks and spares uncorrectable ones")
+		integrity = flag.Int("integrity", 0, "BCH correction capability t per 64-byte block (0 disables stored-block integrity; check bits live in sideband blocks and shrink the advertised capacity)")
+		verify    = flag.Bool("verify-scrub", false, "scrub by decoding check bits (clean/corrected/uncorrectable outcomes) instead of blind rewrites; requires -integrity and -scrub")
+		obsAddr   = flag.String("obs", "", "admin HTTP listen address for /metrics, /healthz, /tracez, /debug/pprof (empty disables)")
+		slowOp    = flag.Duration("slowop", 50*time.Millisecond, "slow-op log threshold for /tracez (negative disables)")
+		version   = flag.Bool("version", false, "print build information and exit")
 
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		clients  = flag.Int("clients", 4, "loadgen: concurrent client connections")
@@ -92,6 +94,12 @@ func main() {
 		fail("-inflight must be at least 1, got %d", *inflight)
 	case *scrub < 0:
 		fail("-scrub must not be negative, got %v", *scrub)
+	case *integrity < 0:
+		fail("-integrity must not be negative, got %d", *integrity)
+	case *verify && *integrity == 0:
+		fail("-verify-scrub requires -integrity")
+	case *verify && *scrub == 0:
+		fail("-verify-scrub requires a -scrub interval")
 	}
 	if *loadgen {
 		switch {
@@ -111,10 +119,16 @@ func main() {
 		blocksPerShard = 1
 	}
 	newShards := func() *pcmserve.Shards {
+		var integCfg *pcmserve.IntegrityConfig
+		if *integrity > 0 {
+			integCfg = &pcmserve.IntegrityConfig{T: *integrity}
+		}
 		g, err := pcmserve.NewShards(pcmserve.ShardsConfig{
 			Shards:        *shards,
 			QueueDepth:    *queue,
 			ScrubInterval: *scrub,
+			Integrity:     integCfg,
+			VerifyScrub:   *verify,
 			Obs:           &pcmserve.Observability{SlowOp: *slowOp},
 			Device: device.Config{
 				Kind: kind, Blocks: blocksPerShard, Seed: *seed,
@@ -301,22 +315,44 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 		float64(done)/elapsed.Seconds(),
 		float64(moved)/(1<<20)/elapsed.Seconds(), errCount.Load())
 
+	printFinalStats(target)
+}
+
+// printFinalStats fetches one last STATS snapshot and prints the
+// server-side view — scrub, verify, and integrity-repair counters
+// included — even when the run was cut short by SIGINT. Fetch failures
+// are reported instead of silently dropping the report: the counters
+// are half the point of a scrub- or integrity-enabled run.
+func printFinalStats(target string) {
 	final, err := pcmserve.Dial(target)
-	if err == nil {
-		if st, err := final.Stats(); err == nil {
-			fmt.Printf("server: reads=%d writes=%d errors=%d conns=%d\n",
-				st.Reads, st.Writes, st.Errors, st.TotalConns)
-			if sc := st.Scrub; sc.Scrubbed > 0 {
-				fmt.Printf("scrub: passes=%d scrubbed=%d repaired=%d uncorrectable=%d spared=%d retired=%d\n",
-					sc.Passes, sc.Scrubbed, sc.Repaired, sc.Uncorrectable, sc.Spared, sc.Retired)
-			}
-			for _, s := range st.Shards {
-				fmt.Printf("  shard %d [%s]: reads=%d writes=%d queue=%d/%d restarts=%d p50(read)=%s\n",
-					s.Shard, s.Health, s.Reads, s.Writes, s.QueueDepth, s.QueueCap,
-					s.Restarts, histP50(s.ReadLatencyUs))
-			}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "final stats: dial:", err)
+		return
+	}
+	defer final.Close()
+	st, err := final.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "final stats:", err)
+		return
+	}
+	fmt.Printf("server: reads=%d writes=%d errors=%d conns=%d\n",
+		st.Reads, st.Writes, st.Errors, st.TotalConns)
+	if sc := st.Scrub; sc.Scrubbed > 0 {
+		fmt.Printf("scrub: passes=%d scrubbed=%d repaired=%d uncorrectable=%d spared=%d retired=%d\n",
+			sc.Passes, sc.Scrubbed, sc.Repaired, sc.Uncorrectable, sc.Spared, sc.Retired)
+		if verify := sc.VerifyClean + sc.VerifyCorrected + sc.VerifyUncorrectable; verify > 0 {
+			fmt.Printf("verify: clean=%d corrected=%d uncorrectable=%d\n",
+				sc.VerifyClean, sc.VerifyCorrected, sc.VerifyUncorrectable)
 		}
-		final.Close()
+	}
+	if ig := st.Integrity; ig.Enabled {
+		fmt.Printf("integrity [%s]: corrected_bits=%d read_repairs=%d uncorrectable=%d spared=%d escalated=%d\n",
+			ig.Code, ig.CorrectedBits, ig.ReadRepairs, ig.Uncorrectable, ig.Spared, ig.Escalated)
+	}
+	for _, s := range st.Shards {
+		fmt.Printf("  shard %d [%s]: reads=%d writes=%d queue=%d/%d restarts=%d p50(read)=%s\n",
+			s.Shard, s.Health, s.Reads, s.Writes, s.QueueDepth, s.QueueCap,
+			s.Restarts, histP50(s.ReadLatencyUs))
 	}
 }
 

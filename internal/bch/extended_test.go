@@ -1,0 +1,195 @@
+package bch
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/rng"
+)
+
+// servePathCodes are the exact extended codes the pcmserve integrity
+// layer stores in per-shard sideband: BCH-1 and BCH-10 over GF(2^10)
+// shortened to one 64-byte (512-bit) block.
+func servePathCodes(t *testing.T) map[string]*Extended {
+	t.Helper()
+	return map[string]*Extended{
+		"BCH-1+p":  MustExtended(10, 1, 512),
+		"BCH-10+p": MustExtended(10, 10, 512),
+	}
+}
+
+// flipDistinct flips exactly k distinct bit positions across the
+// extended codeword (message first, then parity) and returns the
+// positions chosen.
+func flipDistinct(r *rng.Rand, msg, parity bitvec.Vector, k int) []int {
+	total := msg.Len() + parity.Len()
+	chosen := map[int]bool{}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		p := r.Intn(total)
+		if chosen[p] {
+			continue
+		}
+		chosen[p] = true
+		out = append(out, p)
+		if p < msg.Len() {
+			msg.Flip(p)
+		} else {
+			parity.Flip(p - msg.Len())
+		}
+	}
+	return out
+}
+
+func TestExtendedParitySizes(t *testing.T) {
+	codes := servePathCodes(t)
+	if got := codes["BCH-1+p"].ParityBits(); got != 11 {
+		t.Errorf("BCH-1+p parity = %d, want 11", got)
+	}
+	if got := codes["BCH-10+p"].ParityBits(); got != 101 {
+		t.Errorf("BCH-10+p parity = %d, want 101", got)
+	}
+}
+
+// TestExtendedCorrectsUpToT: any pattern of at most T errors — including
+// patterns touching the BCH check bits and the overall parity bit — is
+// corrected exactly.
+func TestExtendedCorrectsUpToT(t *testing.T) {
+	for name, code := range servePathCodes(t) {
+		code := code
+		t.Run(name, func(t *testing.T) {
+			r := rng.New(0xEC0DE)
+			trials := 150
+			if code.T() > 1 {
+				trials = 40 // decode is costlier at t=10
+			}
+			for trial := 0; trial < trials; trial++ {
+				msg := randMsg(r, code.MsgBits())
+				parity := code.Encode(msg)
+				wantMsg, wantPar := msg.Clone(), parity.Clone()
+
+				k := 1 + r.Intn(code.T())
+				flipDistinct(r, msg, parity, k)
+				res := code.Decode(msg, parity)
+				if !res.OK {
+					t.Fatalf("trial %d: %d ≤ t errors not corrected", trial, k)
+				}
+				if res.Corrected != k {
+					t.Fatalf("trial %d: Corrected = %d, want %d", trial, res.Corrected, k)
+				}
+				if !msg.Equal(wantMsg) || !parity.Equal(wantPar) {
+					t.Fatalf("trial %d: decode did not restore the codeword", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestExtendedDetectsTPlusOne is the beyond-t contract the integrity
+// layer relies on: EVERY pattern of exactly t+1 flipped bits must come
+// back as a detection error with the data untouched. The bare
+// bounded-distance code cannot promise this — a t+1 pattern can sit
+// within distance t of a neighbouring codeword and be silently
+// "corrected" into it — which is exactly what the overall parity bit
+// forbids.
+func TestExtendedDetectsTPlusOne(t *testing.T) {
+	for name, code := range servePathCodes(t) {
+		code := code
+		t.Run(name, func(t *testing.T) {
+			r := rng.New(0xDE7EC7)
+			trials := 400
+			if code.T() > 1 {
+				trials = 60
+			}
+			for trial := 0; trial < trials; trial++ {
+				msg := randMsg(r, code.MsgBits())
+				parity := code.Encode(msg)
+
+				corrupted := msg.Clone()
+				corruptedPar := parity.Clone()
+				flipDistinct(r, corrupted, corruptedPar, code.T()+1)
+				before, beforePar := corrupted.Clone(), corruptedPar.Clone()
+
+				res := code.Decode(corrupted, corruptedPar)
+				if res.OK {
+					t.Fatalf("trial %d: t+1 = %d flips silently decoded (Corrected=%d)",
+						trial, code.T()+1, res.Corrected)
+				}
+				if !corrupted.Equal(before) || !corruptedPar.Equal(beforePar) {
+					t.Fatalf("trial %d: failed decode modified the data", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestExtendedBareCodeMiscorrects documents why the overall parity bit
+// exists: over the bare BCH-1 code, t+1 = 2 flips can be silently
+// miscorrected (the decoder reports success with the wrong data), so
+// the serve path must not use the bare decoder.
+func TestExtendedBareCodeMiscorrects(t *testing.T) {
+	c, err := New(10, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	miscorrected := false
+	for trial := 0; trial < 400 && !miscorrected; trial++ {
+		msg := randMsg(r, c.MsgBits)
+		parity := c.Encode(msg)
+		want := msg.Clone()
+
+		// Flip two distinct message bits.
+		a := r.Intn(c.MsgBits)
+		b := r.Intn(c.MsgBits)
+		for b == a {
+			b = r.Intn(c.MsgBits)
+		}
+		msg.Flip(a)
+		msg.Flip(b)
+		if res := c.Decode(msg, parity); res.OK && !msg.Equal(want) {
+			miscorrected = true
+		}
+	}
+	if !miscorrected {
+		t.Skip("no bare-code miscorrection found in 400 trials (distance may exceed design); extended guarantee still holds")
+	}
+}
+
+// TestExtendedZeroAndBoundary covers the degenerate patterns: no
+// errors, a single error on the overall parity bit, and t errors plus
+// the parity bit (t+1 total — must detect).
+func TestExtendedZeroAndBoundary(t *testing.T) {
+	for name, code := range servePathCodes(t) {
+		code := code
+		t.Run(name, func(t *testing.T) {
+			r := rng.New(99)
+			msg := randMsg(r, code.MsgBits())
+			parity := code.Encode(msg)
+
+			if res := code.Decode(msg.Clone(), parity.Clone()); !res.OK || res.Corrected != 0 {
+				t.Fatalf("clean decode: %+v", res)
+			}
+
+			// Only the overall parity bit flipped: one error, corrected.
+			m2, p2 := msg.Clone(), parity.Clone()
+			p2.Flip(code.ParityBits() - 1)
+			if res := code.Decode(m2, p2); !res.OK || res.Corrected != 1 {
+				t.Fatalf("parity-bit-only error: %+v", res)
+			}
+			if !m2.Equal(msg) || !p2.Equal(parity) {
+				t.Fatal("parity-bit-only error not restored")
+			}
+
+			// t message errors plus the overall parity bit: t+1 total.
+			m3, p3 := msg.Clone(), parity.Clone()
+			for i := 0; i < code.T(); i++ {
+				m3.Flip(i * 7)
+			}
+			p3.Flip(code.ParityBits() - 1)
+			if res := code.Decode(m3, p3); res.OK {
+				t.Fatalf("t+parity-bit (t+1 total) errors decoded OK: %+v", res)
+			}
+		})
+	}
+}

@@ -172,6 +172,24 @@ func (d *Device) RemapStats() (reserveLeft, retired int) {
 	return 0, 0
 }
 
+// RetireBlock force-remaps logical block b onto a fresh reserve block —
+// the escalation path for a block whose content failed an end-to-end
+// integrity check beyond correction capability (pcmserve's BCH layer).
+// The relocated block's content is undefined until rewritten; callers
+// rewrite it immediately. Returns an error when remapping is disabled
+// or the reserve pool is exhausted. Like every Device method it must be
+// called from the owning goroutine.
+func (d *Device) RetireBlock(b int) error {
+	rd, ok := d.arch.(*remap.Device)
+	if !ok {
+		return errors.New("device: block remapping disabled (no reserve blocks)")
+	}
+	if b < 0 || b >= d.cfg.Blocks {
+		return fmt.Errorf("device: retire block %d out of range [0,%d)", b, d.cfg.Blocks)
+	}
+	return rd.Retire(b)
+}
+
 // RefreshStats reports scrub outcomes (zero value when refresh is off).
 func (d *Device) RefreshStats() refresh.Stats {
 	if d.mgr == nil {

@@ -22,6 +22,16 @@ type ConnPlan struct {
 	// CutWriteAfter cuts after this many bytes have been written
 	// (0 = unlimited).
 	CutWriteAfter int64
+
+	// FlipReadOneIn flips one random bit in roughly 1 of every N bytes
+	// read (0 disables) — in-flight corruption the frame CRC must catch.
+	FlipReadOneIn int64
+	// FlipWriteOneIn flips one random bit in roughly 1 of every N bytes
+	// written (0 disables). Writes flip a copy; the caller's buffer is
+	// never modified.
+	FlipWriteOneIn int64
+	// FlipSeed seeds the per-connection flip generator (default 1).
+	FlipSeed uint64
 }
 
 // Conn wraps a net.Conn with injected drops, partial frames, and
@@ -34,6 +44,11 @@ type Conn struct {
 	readBudget  int64 // <0 = unlimited
 	writeBudget int64
 	cut         bool
+
+	flipRdOneIn int64
+	flipWrOneIn int64
+	flipRng     *rand.Rand
+	bitsFlipped uint64
 }
 
 // WrapConn applies plan to conn.
@@ -45,7 +60,43 @@ func WrapConn(conn net.Conn, plan ConnPlan) *Conn {
 	if plan.CutWriteAfter > 0 {
 		c.writeBudget = plan.CutWriteAfter
 	}
+	c.flipRdOneIn = plan.FlipReadOneIn
+	c.flipWrOneIn = plan.FlipWriteOneIn
+	if c.flipRdOneIn > 0 || c.flipWrOneIn > 0 {
+		seed := plan.FlipSeed
+		if seed == 0 {
+			seed = 1
+		}
+		c.flipRng = rand.New(rand.NewSource(int64(seed)))
+	}
 	return c
+}
+
+// BitsFlipped returns how many in-flight bits this connection flipped.
+func (c *Conn) BitsFlipped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bitsFlipped
+}
+
+// flipBits walks p and flips one random bit in roughly 1 of every oneIn
+// bytes, returning how many bits it flipped. Caller holds no lock; the
+// per-conn rng is guarded here.
+func (c *Conn) flipBits(p []byte, oneIn int64) int {
+	if oneIn <= 0 || len(p) == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	flipped := 0
+	for i := range p {
+		if c.flipRng.Int63n(oneIn) == 0 {
+			p[i] ^= 1 << c.flipRng.Intn(8)
+			flipped++
+		}
+	}
+	c.bitsFlipped += uint64(flipped)
+	return flipped
 }
 
 // Cut severs the connection immediately; in-flight and future calls
@@ -84,7 +135,11 @@ func (c *Conn) Read(p []byte) (int, error) {
 	}
 	c.mu.Unlock()
 	if !dies {
-		return c.Conn.Read(p)
+		n, err := c.Conn.Read(p)
+		if n > 0 {
+			c.flipBits(p[:n], c.flipRdOneIn)
+		}
+		return n, err
 	}
 	n := 0
 	if allowed > 0 {
@@ -106,6 +161,12 @@ func (c *Conn) Write(p []byte) (int, error) {
 	}
 	c.mu.Unlock()
 	if !dies {
+		if c.flipWrOneIn > 0 {
+			cp := make([]byte, len(p))
+			copy(cp, p)
+			c.flipBits(cp, c.flipWrOneIn)
+			return c.Conn.Write(cp)
+		}
 		return c.Conn.Write(p)
 	}
 	// Deliver a partial frame to the peer, then reset.
@@ -146,6 +207,37 @@ func Dialer(addr string, seed uint64, minBytes, maxBytes int64) func() (net.Conn
 		}
 		mu.Unlock()
 		return WrapConn(conn, plan), nil
+	}
+}
+
+// FlipDialer returns a dial function whose connections each flip one
+// random bit in roughly 1 of every oneIn bytes in both directions,
+// with per-connection seeds derived deterministically from seed — the
+// repeatable "noisy wire" workload for frame-CRC tests. oneIn ≤ 0
+// disables flipping.
+func FlipDialer(addr string, seed uint64, oneIn int64) func() (net.Conn, error) {
+	if seed == 0 {
+		seed = 1
+	}
+	var mu sync.Mutex
+	conns := uint64(0)
+	return func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if oneIn <= 0 {
+			return conn, nil
+		}
+		mu.Lock()
+		conns++
+		connSeed := seed + conns*0x9E3779B97F4A7C15 // golden-ratio stride
+		mu.Unlock()
+		return WrapConn(conn, ConnPlan{
+			FlipReadOneIn:  oneIn,
+			FlipWriteOneIn: oneIn,
+			FlipSeed:       connSeed,
+		}), nil
 	}
 }
 

@@ -89,6 +89,14 @@ type Plan struct {
 	Latency         Schedule
 	LatencyDuration time.Duration
 
+	// BitFlip flips BitFlipBits random bits in the stored bytes of the
+	// first 64-byte block a scheduled read touches, BEFORE the read is
+	// served — modeling resistance drift past a level boundary. The
+	// flips are physical: they persist in the underlying store until a
+	// covering rewrite (an ECC read-repair or scrub) replaces them.
+	BitFlip     Schedule
+	BitFlipBits int // bits flipped per firing (default 1)
+
 	// Probabilistic variants, applied after the schedules (0 disables).
 	PUncorrectable float64
 	PWriteError    float64
@@ -105,6 +113,9 @@ type Stats struct {
 
 	CorruptHeals uint64 // corrupt blocks cleared by a covering write
 	DriftHeals   uint64 // drifted blocks cleared by a covering write
+
+	BitFlips       uint64 // stored bits flipped (scheduled + armed)
+	BitFlipsFailed uint64 // flip attempts that could not touch the store
 }
 
 // Device wraps a Target with fault injection. It is safe for concurrent
@@ -119,12 +130,14 @@ type Device struct {
 	wrErr   scheduleState
 	panicS  scheduleState
 	latency scheduleState
+	flip    scheduleState
 	plan    Plan
 
 	armedPanics      int            // one-shot: next N ops panic
 	armedReadErrs    int            // one-shot: next N reads fail uncorrectable
 	armedWriteErrs   int            // one-shot: next N writes fail
 	corrupt, drifted map[int64]bool // block index → armed state
+	armedFlips       map[int64]int  // block index → bits to flip on next read
 
 	stats Stats
 }
@@ -136,16 +149,21 @@ func New(dev Target, plan Plan) *Device {
 	if plan.Seed == 0 {
 		plan.Seed = 1
 	}
+	if plan.BitFlipBits == 0 {
+		plan.BitFlipBits = 1
+	}
 	return &Device{
-		inner:   dev,
-		rng:     rand.New(rand.NewSource(int64(plan.Seed))),
-		uncorr:  scheduleState{sched: plan.UncorrectableRead},
-		wrErr:   scheduleState{sched: plan.WriteError},
-		panicS:  scheduleState{sched: plan.Panic},
-		latency: scheduleState{sched: plan.Latency},
-		plan:    plan,
-		corrupt: make(map[int64]bool),
-		drifted: make(map[int64]bool),
+		inner:      dev,
+		rng:        rand.New(rand.NewSource(int64(plan.Seed))),
+		uncorr:     scheduleState{sched: plan.UncorrectableRead},
+		wrErr:      scheduleState{sched: plan.WriteError},
+		panicS:     scheduleState{sched: plan.Panic},
+		latency:    scheduleState{sched: plan.Latency},
+		flip:       scheduleState{sched: plan.BitFlip},
+		plan:       plan,
+		corrupt:    make(map[int64]bool),
+		drifted:    make(map[int64]bool),
+		armedFlips: make(map[int64]int),
 	}
 }
 
@@ -160,6 +178,16 @@ func (d *Device) RemapStats() (reserveLeft, retired int) {
 		return rr.RemapStats()
 	}
 	return 0, 0
+}
+
+// RetireBlock forwards the wrapped device's force-remap escalation path
+// (pcmserve's integrity layer retires blocks whose corruption exceeded
+// BCH capability), so escalation sees through the fault wrapper.
+func (d *Device) RetireBlock(b int) error {
+	if r, ok := d.inner.(interface{ RetireBlock(int) error }); ok {
+		return r.RetireBlock(b)
+	}
+	return fmt.Errorf("faultinject: %s cannot retire blocks", d.inner.Name())
 }
 
 // Stats returns a snapshot of operation and injection counters.
@@ -201,6 +229,21 @@ func (d *Device) CorruptCount() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.corrupt)
+}
+
+// FlipStoredBits arms a one-shot bit-flip fault on the 64-byte block
+// with the given index: the next read touching it first flips `bits`
+// random stored bits in that block (chosen by the seeded rng), then
+// serves the damaged data. The flips are physical — they persist until
+// a covering rewrite — so an ECC layer above sees genuine stored-data
+// corruption it can correct and repair in place.
+func (d *Device) FlipStoredBits(block int64, bits int) {
+	if bits < 1 {
+		bits = 1
+	}
+	d.mu.Lock()
+	d.armedFlips[block] += bits
+	d.mu.Unlock()
 }
 
 // ArmPanic makes the next n operations panic (one-shot, on top of the
@@ -262,6 +305,7 @@ func (d *Device) ReadAt(p []byte, off int64) (int, error) {
 	d.stats.Reads++
 	sleep := d.preOp() // may panic (unlocks first)
 	fail := false
+	lo, hi := blocksTouched(off, len(p))
 	switch {
 	case d.armedReadErrs > 0:
 		d.armedReadErrs--
@@ -271,7 +315,6 @@ func (d *Device) ReadAt(p []byte, off int64) (int, error) {
 	case d.plan.PUncorrectable > 0 && d.rng.Float64() < d.plan.PUncorrectable:
 		fail = true
 	default:
-		lo, hi := blocksTouched(off, len(p))
 		for b := lo; b <= hi; b++ {
 			if d.corrupt[b] {
 				fail = true
@@ -282,6 +325,40 @@ func (d *Device) ReadAt(p []byte, off int64) (int, error) {
 	if fail {
 		d.stats.UncorrectableReads++
 	}
+	// Collect bit flips to apply before serving the read: armed flips on
+	// any touched block, plus a scheduled firing targeting the first
+	// touched block. Bit positions are drawn under the lock (seeded rng)
+	// but applied after unlocking, on the calling goroutine — the same
+	// goroutine that owns the inner device.
+	type flipJob struct {
+		block int64
+		bits  []int
+	}
+	var flips []flipJob
+	if !fail && lo <= hi {
+		pick := func(block int64, k int) {
+			job := flipJob{block: block}
+			chosen := map[int]bool{}
+			for len(job.bits) < k {
+				bit := d.rng.Intn(core.BlockBytes * 8)
+				if chosen[bit] {
+					continue
+				}
+				chosen[bit] = true
+				job.bits = append(job.bits, bit)
+			}
+			flips = append(flips, job)
+		}
+		for b := lo; b <= hi; b++ {
+			if k := d.armedFlips[b]; k > 0 {
+				delete(d.armedFlips, b)
+				pick(b, k)
+			}
+		}
+		if d.flip.hit() {
+			pick(lo, d.plan.BitFlipBits)
+		}
+	}
 	d.mu.Unlock()
 	if sleep > 0 {
 		time.Sleep(sleep)
@@ -289,7 +366,36 @@ func (d *Device) ReadAt(p []byte, off int64) (int, error) {
 	if fail {
 		return 0, fmt.Errorf("faultinject: read at %d: %w: %w", off, ErrInjected, core.ErrUncorrectable)
 	}
+	for _, job := range flips {
+		d.applyFlips(job.block, job.bits)
+	}
 	return d.inner.ReadAt(p, off)
+}
+
+// applyFlips physically flips the given bit positions in one stored
+// 64-byte block via a read-modify-write on the inner device. Must run
+// on the device-owning goroutine (it is called from ReadAt).
+func (d *Device) applyFlips(block int64, bits []int) {
+	buf := make([]byte, core.BlockBytes)
+	off := block * core.BlockBytes
+	if _, err := d.inner.ReadAt(buf, off); err != nil {
+		d.mu.Lock()
+		d.stats.BitFlipsFailed += uint64(len(bits))
+		d.mu.Unlock()
+		return
+	}
+	for _, bit := range bits {
+		buf[bit/8] ^= 1 << (bit % 8)
+	}
+	if _, err := d.inner.WriteAt(buf, off); err != nil {
+		d.mu.Lock()
+		d.stats.BitFlipsFailed += uint64(len(bits))
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Lock()
+	d.stats.BitFlips += uint64(len(bits))
+	d.mu.Unlock()
 }
 
 // WriteAt injects scheduled/armed/probabilistic write errors; on a

@@ -272,3 +272,144 @@ func TestDialerBudgets(t *testing.T) {
 		t.Fatalf("cut after %d bytes, want within [4,16]", total)
 	}
 }
+
+// countBitDiff returns the number of differing bits between a and b.
+func countBitDiff(a, b []byte) int {
+	diff := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			diff += int(x & 1)
+			x >>= 1
+		}
+	}
+	return diff
+}
+
+func TestFlipStoredBitsArmed(t *testing.T) {
+	mem := newMemTarget(4)
+	d := New(mem, Plan{Seed: 11})
+
+	orig := bytes.Repeat([]byte{0x5A}, core.BlockBytes)
+	if _, err := d.WriteAt(orig, 2*core.BlockBytes); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	d.FlipStoredBits(2, 3)
+	got := make([]byte, core.BlockBytes)
+	if _, err := d.ReadAt(got, 2*core.BlockBytes); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if diff := countBitDiff(orig, got); diff != 3 {
+		t.Fatalf("read saw %d flipped bits, want 3", diff)
+	}
+	// The flips are physical: a second read sees the same damage.
+	again := make([]byte, core.BlockBytes)
+	if _, err := d.ReadAt(again, 2*core.BlockBytes); err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatal("damage did not persist across reads")
+	}
+	// A covering rewrite clears it.
+	if _, err := d.WriteAt(orig, 2*core.BlockBytes); err != nil {
+		t.Fatalf("repair write: %v", err)
+	}
+	if _, err := d.ReadAt(again, 2*core.BlockBytes); err != nil {
+		t.Fatalf("post-repair read: %v", err)
+	}
+	if !bytes.Equal(orig, again) {
+		t.Fatal("rewrite did not clear the flipped bits")
+	}
+	if st := d.Stats(); st.BitFlips != 3 || st.BitFlipsFailed != 0 {
+		t.Fatalf("stats = %+v, want 3 flips, 0 failed", st)
+	}
+}
+
+func TestFlipScheduledDeterministic(t *testing.T) {
+	run := func() (Stats, []byte) {
+		mem := newMemTarget(2)
+		d := New(mem, Plan{Seed: 5, BitFlip: Schedule{Every: 3}, BitFlipBits: 2})
+		blk := bytes.Repeat([]byte{0xFF}, core.BlockBytes)
+		if _, err := d.WriteAt(blk, 0); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got := make([]byte, core.BlockBytes)
+		for i := 0; i < 6; i++ {
+			if _, err := d.ReadAt(got, 0); err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+		}
+		return d.Stats(), got
+	}
+	st1, data1 := run()
+	st2, data2 := run()
+	// 6 reads with Every=3 fire twice, 2 bits per firing.
+	if st1.BitFlips != 4 {
+		t.Fatalf("BitFlips = %d, want 4", st1.BitFlips)
+	}
+	if st1 != st2 || !bytes.Equal(data1, data2) {
+		t.Fatal("scheduled flips are not deterministic across identical runs")
+	}
+}
+
+func TestConnBitFlips(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	const total = 4096
+	echoed := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, total)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			echoed <- nil
+			return
+		}
+		echoed <- buf
+		conn.Write(buf) // echo back through the flaky side's Read path
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c := WrapConn(raw, ConnPlan{FlipReadOneIn: 64, FlipWriteOneIn: 64, FlipSeed: 9})
+	defer c.Close()
+
+	sent := bytes.Repeat([]byte{0x00}, total)
+	if _, err := c.Write(sent); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	peerGot := <-echoed
+	if peerGot == nil {
+		t.Fatal("peer read failed")
+	}
+	wireDiff := countBitDiff(sent, peerGot)
+	if wireDiff == 0 {
+		t.Fatal("no bits flipped on the write path over 4 KiB at 1/64")
+	}
+	// The caller's buffer must be untouched — flips act on a copy.
+	if !bytes.Equal(sent, make([]byte, total)) {
+		t.Fatal("Write modified the caller's buffer")
+	}
+
+	back := make([]byte, total)
+	if _, err := io.ReadFull(c, back); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	readDiff := countBitDiff(peerGot, back)
+	if readDiff == 0 {
+		t.Fatal("no bits flipped on the read path")
+	}
+	if got := c.BitsFlipped(); got != uint64(wireDiff+readDiff) {
+		t.Fatalf("BitsFlipped = %d, want %d+%d", got, wireDiff, readDiff)
+	}
+}

@@ -3,6 +3,7 @@ package pcmserve
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -12,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/device"
 	"repro/internal/faultinject"
 )
 
@@ -353,5 +355,255 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if panics > 0 && restarts == 0 {
 		t.Error("panics fired but no supervisor restarts recorded")
+	}
+}
+
+// TestIntegrityChaosSoak is the end-to-end data-integrity proof: bits
+// flip both in the stored blocks (under the BCH layer) and on the wire
+// (under the frame CRC) while clients hammer a live server with the
+// verify-scrubber running. The invariant is absolute — every read
+// returns exactly the data last written or a typed error; silent
+// corruption is an immediate failure. Run under -race this also proves
+// the new integrity paths are data-race free.
+func TestIntegrityChaosSoak(t *testing.T) {
+	minOps := 1500
+	if testing.Short() {
+		minOps = 300
+	}
+
+	g, fis := testShardsFI(t, ShardsConfig{
+		Shards:     2,
+		QueueDepth: 16,
+		Device: device.Config{
+			Kind:           device.ThreeLC,
+			Blocks:         48,
+			Seed:           2026,
+			ReserveBlocks:  4,
+			DisableWearout: true,
+		},
+		Integrity:     &IntegrityConfig{T: 10},
+		VerifyScrub:   true,
+		ScrubInterval: 2 * time.Millisecond,
+	}, func(i int) faultinject.Plan {
+		return faultinject.Plan{
+			Seed: uint64(i)*6151 + 3,
+			// Flip 3 stored bits on every 20th read — always within
+			// BCH-10 capability, so reads must come back exact.
+			BitFlip:     faultinject.Schedule{Every: 20},
+			BitFlipBits: 3,
+		}
+	})
+
+	srv := NewServer(g, ServerConfig{MaxInflight: 16})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveErr
+	}()
+	addr := ln.Addr().String()
+
+	// Seed the whole device through a clean connection, so every later
+	// read has a known expected value.
+	pattern := make([]byte, g.Size())
+	for i := range pattern {
+		pattern[i] = byte(i*17 + 5)
+	}
+	seed, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := seed.WriteAt(pattern, 0); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	seed.Close()
+
+	const clients = 2
+	region := g.Size() / clients
+	const opLen = 96
+
+	type report struct {
+		worker     int
+		mismatches int
+		readFails  int
+		writeFails int
+		redials    uint64
+		detail     string
+	}
+	reports := make(chan report, clients)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rep := report{worker: w}
+			defer func() { reports <- rep }()
+
+			rc, err := NewRetryClient(RetryConfig{
+				// Roughly 1 flipped bit per 4 KiB in BOTH directions:
+				// connections die on CRC mismatches and the retry layer
+				// must reconnect, transparently.
+				Dial:             faultinject.FlipDialer(addr, uint64(w)*31+7, 4096),
+				MaxReadAttempts:  32,
+				MaxWriteAttempts: 8,
+				BaseBackoff:      time.Millisecond,
+				MaxBackoff:       10 * time.Millisecond,
+				OpTimeout:        5 * time.Second,
+				Seed:             uint64(w) + 1,
+			})
+			if err != nil {
+				rep.detail = err.Error()
+				rep.mismatches++
+				return
+			}
+			defer func() {
+				rep.redials = rc.RetryStats().Redials
+				rc.Close()
+			}()
+
+			base := int64(w) * region
+			mirror := make([]byte, region)
+			copy(mirror, pattern[base:base+region])
+			valid := make([]bool, region)
+			for i := range valid {
+				valid[i] = true
+			}
+			rng := rand.New(rand.NewSource(int64(w)*631 + 9))
+			buf := make([]byte, opLen)
+
+			for op := 0; op < minOps; op++ {
+				off := rng.Int63n(region - opLen)
+				if rng.Intn(100) < 60 {
+					n, err := rc.ReadAt(buf[:opLen], base+off)
+					if err != nil {
+						// No beyond-capability faults are injected, so even
+						// a corrupt classification would be a bug — but a
+						// read that errors at least never lied.
+						rep.readFails++
+						if Classify(err) == ClassCorrupt {
+							rep.mismatches++
+							rep.detail = fmt.Sprintf("worker %d: corrupt verdict without beyond-t injection: %v", w, err)
+							return
+						}
+						continue
+					}
+					for i := 0; i < n; i++ {
+						if valid[off+int64(i)] && buf[i] != mirror[off+int64(i)] {
+							rep.mismatches++
+							rep.detail = fmt.Sprintf("worker %d: silent corruption at %d (op %d)", w, base+off+int64(i), op)
+							return
+						}
+					}
+				} else {
+					rng.Read(buf[:opLen])
+					n, err := rc.WriteAt(buf[:opLen], base+off)
+					if err == nil && n == opLen {
+						copy(mirror[off:off+opLen], buf[:opLen])
+						for i := int64(0); i < opLen; i++ {
+							valid[off+i] = true
+						}
+					} else {
+						rep.writeFails++
+						for i := int64(0); i < opLen; i++ {
+							valid[off+i] = false
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(reports)
+
+	var totalReadFails, totalWriteFails int
+	var totalRedials uint64
+	for rep := range reports {
+		if rep.mismatches != 0 {
+			t.Fatalf("worker %d: %s", rep.worker, rep.detail)
+		}
+		totalReadFails += rep.readFails
+		totalWriteFails += rep.writeFails
+		totalRedials += rep.redials
+	}
+
+	// The faults must actually have fired, and the integrity machinery
+	// must have caught and healed them.
+	var storedFlips, correctedBits, readRepairs uint64
+	for _, fi := range fis {
+		storedFlips += fi.Stats().BitFlips
+	}
+	for _, s := range g.shards {
+		correctedBits += s.integ.correctedBits.Value()
+		readRepairs += s.integ.readRepairs.Value()
+	}
+	scrub := g.ScrubStats()
+	t.Logf("soak: storedFlips=%d correctedBits=%d readRepairs=%d frameCRC=%d redials=%d readFails=%d writeFails=%d verify={clean:%d corrected:%d uncorrectable:%d}",
+		storedFlips, correctedBits, readRepairs, srv.metrics.frameCRCMismatch.Value(),
+		totalRedials, totalReadFails, totalWriteFails,
+		scrub.VerifyClean, scrub.VerifyCorrected, scrub.VerifyUncorrectable)
+
+	if storedFlips == 0 {
+		t.Error("no stored bits were flipped; the soak did not exercise the BCH layer")
+	}
+	if correctedBits == 0 {
+		t.Error("no bits were corrected; flips were injected but never decoded")
+	}
+	if readRepairs == 0 {
+		t.Error("no read-repairs performed")
+	}
+	if srv.metrics.frameCRCMismatch.Value() == 0 {
+		t.Error("server saw no frame CRC mismatches; wire flips did not reach it")
+	}
+	if totalRedials <= clients {
+		t.Errorf("total redials = %d, want > %d (wire corruption must force reconnects)", totalRedials, clients)
+	}
+	if scrub.VerifyClean == 0 {
+		t.Error("verify scrubber never saw a clean block")
+	}
+	if scrub.VerifyUncorrectable != 0 {
+		t.Errorf("verify scrubber reported %d uncorrectable blocks with only within-t faults injected", scrub.VerifyUncorrectable)
+	}
+}
+
+// TestWireCRCKillsConnTyped pins the client-visible contract of a CRC
+// mismatch: the blocking call fails with ErrConnFailed AND ErrFrameCRC
+// (transient), never a payload silently delivered. A hand-rolled server
+// over a pipe answers the first request with a frame whose body is
+// corrupted after the checksum was computed.
+func TestWireCRCKillsConnTyped(t *testing.T) {
+	cliSide, srvSide := net.Pipe()
+	go func() {
+		defer srvSide.Close()
+		req, err := readFrame(srvSide, DefaultMaxFrame)
+		if err != nil {
+			return
+		}
+		r, err := parseRequest(req)
+		if err != nil {
+			return
+		}
+		resp := frame(r.id, StatusOK, make([]byte, 64))
+		resp[len(resp)-1] ^= 0x40 // body bit flips in flight; CRC is stale
+		srvSide.Write(resp)
+	}()
+
+	c := NewClient(cliSide)
+	defer c.Close()
+
+	_, rerr := c.ReadAt(make([]byte, 64), 0)
+	if rerr == nil {
+		t.Fatal("read returned a payload whose frame failed its checksum")
+	}
+	if !errors.Is(rerr, ErrConnFailed) || !errors.Is(rerr, ErrFrameCRC) {
+		t.Fatalf("error = %v, want ErrConnFailed wrapping ErrFrameCRC", rerr)
+	}
+	if Classify(rerr) != ClassTransient {
+		t.Fatalf("classified %v, want transient", Classify(rerr))
 	}
 }

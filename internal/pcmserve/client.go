@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -113,9 +114,15 @@ func (c *Client) fail(err error) {
 	c.pmu.Lock()
 	defer c.pmu.Unlock()
 	if c.err == nil {
-		if c.closed {
+		switch {
+		case c.closed:
 			c.err = fmt.Errorf("%w: %w", ErrConnFailed, ErrClosed)
-		} else {
+		case errors.Is(err, ErrFrameCRC):
+			// Keep the typed identity: callers distinguishing wire
+			// corruption from plain disconnects rely on errors.Is, and
+			// ErrFrameCRC has no aliasing hazard.
+			c.err = fmt.Errorf("%w: %w", ErrConnFailed, ErrFrameCRC)
+		default:
 			// The cause goes in as text only: a peer close is io.EOF, and
 			// wrapping it would alias a dead conn with end-of-device.
 			c.err = fmt.Errorf("%w: %v", ErrConnFailed, err)

@@ -141,7 +141,7 @@ func TestErrFrameRoundTrip(t *testing.T) {
 	}
 	for _, tc := range cases {
 		fr := errFrame(42, tc.err)
-		resp, err := parseResponse(fr[4:])
+		resp, err := parseResponse(fr[8:])
 		if err != nil {
 			t.Fatalf("parseResponse: %v", err)
 		}

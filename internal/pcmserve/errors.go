@@ -30,6 +30,12 @@ const (
 // declared dead after exhausting its restart budget.
 var ErrShardUnavailable = errors.New("pcmserve: shard unavailable")
 
+// ErrFrameCRC reports a frame whose body failed its CRC32-C check:
+// bits flipped in flight. The stream cannot be resynchronized, so the
+// connection is torn down; the fault is transient (reconnect and
+// retry), never a data-integrity verdict on the stored bytes.
+var ErrFrameCRC = errors.New("pcmserve: frame checksum mismatch")
+
 // ErrConnFailed marks a connection-level failure: the transport died
 // before a response arrived, so the request outcome is unknown. The
 // underlying cause is recorded as text only — deliberately NOT wrapped —
@@ -131,6 +137,8 @@ func Classify(err error) ErrorClass {
 	case errors.Is(err, ErrClosed):
 		return ClassTransient
 	case errors.Is(err, ErrConnFailed):
+		return ClassTransient
+	case errors.Is(err, ErrFrameCRC):
 		return ClassTransient
 	case errors.Is(err, io.EOF):
 		return ClassPermanent

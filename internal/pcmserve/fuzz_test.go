@@ -1,0 +1,147 @@
+package pcmserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeeds returns representative wire inputs: one valid frame per
+// request op, a response frame, and hostile mutants (truncations,
+// corrupted CRC, lying length prefixes). The same set seeds the fuzzer
+// and backs the checked-in corpus under testdata/fuzz/FuzzDecodeFrame.
+func fuzzSeeds() [][]byte {
+	seeds := [][]byte{
+		encodeReadReq(1, 0xABCD, 128, 64),
+		encodeWriteReq(2, 0, 64, bytes.Repeat([]byte{0x5A}, 64)),
+		encodeAdvanceReq(3, 7, 0.5),
+		encodeStatsReq(4, 0),
+		frame(5, StatusOK, bytes.Repeat([]byte{0x11}, 32)),
+		errFrame(6, errors.New("some failure")),
+	}
+	// Truncated mid-header and mid-body.
+	full := encodeReadReq(7, 0, 0, 16)
+	seeds = append(seeds, full[:3], full[:9], full[:len(full)-2])
+	// Corrupted CRC word and corrupted body.
+	badCRC := append([]byte(nil), full...)
+	badCRC[5] ^= 0xFF
+	badBody := append([]byte(nil), full...)
+	badBody[len(badBody)-1] ^= 0x01
+	seeds = append(seeds, badCRC, badBody)
+	// Lying length prefixes: zero, below header, huge, and a length
+	// claiming more bytes than follow.
+	for _, n := range []uint32{0, headerBytes - 1, 1 << 31, 1 << 20} {
+		var hdr [8]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		seeds = append(seeds, append(hdr[:], 0xEE, 0xEE))
+	}
+	return seeds
+}
+
+// FuzzDecodeFrame drives arbitrary bytes through the full inbound wire
+// path — readFrame, then both parsers — asserting it never panics and
+// that frames surviving the CRC check uphold the parser contracts.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf, err := readFrame(bytes.NewReader(data), DefaultMaxFrame)
+		if err != nil {
+			// Rejected input must carry a diagnosable cause: either the
+			// typed CRC sentinel or an I/O/length error.
+			if buf != nil {
+				t.Fatal("readFrame returned a buffer alongside an error")
+			}
+			return
+		}
+		if len(buf) < headerBytes {
+			t.Fatalf("readFrame accepted a %d-byte frame below header size", len(buf))
+		}
+		// Responses have no op-specific validation beyond the header, so
+		// any CRC-valid frame must parse as one without error or panic.
+		if _, err := parseResponse(buf); err != nil {
+			t.Fatalf("parseResponse rejected a CRC-valid frame: %v", err)
+		}
+		req, err := parseRequest(buf)
+		if err != nil {
+			return
+		}
+		// A frame that parses as a request must re-encode to the exact
+		// bytes read off the wire (the codec is canonical).
+		var re []byte
+		switch req.op {
+		case OpRead:
+			re = encodeReadReq(req.id, req.trace, req.off, req.n)
+		case OpWrite:
+			re = encodeWriteReq(req.id, req.trace, req.off, req.data)
+		case OpAdvance:
+			re = encodeAdvanceReq(req.id, req.trace, req.dt)
+		case OpStats:
+			re = encodeStatsReq(req.id, req.trace)
+		default:
+			t.Fatalf("parseRequest accepted unknown op %d", req.op)
+		}
+		if !bytes.Equal(re[8:], buf) {
+			// NaN float bit patterns are the one legitimate asymmetry:
+			// Float64frombits/Float64bits round-trip every pattern, so
+			// inequality here is a real codec bug.
+			t.Fatalf("request did not re-encode canonically:\n got %x\nwant %x", re[8:], buf)
+		}
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the checked-in seed corpus under
+// testdata/fuzz/FuzzDecodeFrame from fuzzSeeds(). Run it after a wire
+// format change:
+//
+//	PCMSERVE_WRITE_FUZZ_CORPUS=1 go test -run TestRegenerateFuzzCorpus ./internal/pcmserve
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("PCMSERVE_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set PCMSERVE_WRITE_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range fuzzSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFuzzSeedsStillParse pins the seed corpus to the current wire
+// format: the valid seeds must parse, the mutants must be rejected with
+// the right cause. If the format changes, regenerate testdata/fuzz.
+func TestFuzzSeedsStillParse(t *testing.T) {
+	seeds := fuzzSeeds()
+	for i := 0; i < 6; i++ {
+		if _, err := readFrame(bytes.NewReader(seeds[i]), DefaultMaxFrame); err != nil {
+			t.Errorf("valid seed %d rejected: %v", i, err)
+		}
+	}
+	for i, wantCRC := range map[int]bool{6: false, 7: false, 8: false, 9: true, 10: true} {
+		_, err := readFrame(bytes.NewReader(seeds[i]), DefaultMaxFrame)
+		if err == nil {
+			t.Errorf("mutant seed %d accepted", i)
+			continue
+		}
+		if got := errors.Is(err, ErrFrameCRC); got != wantCRC {
+			t.Errorf("mutant seed %d: ErrFrameCRC = %v, want %v (err: %v)", i, got, wantCRC, err)
+		}
+		if wantCRC {
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+			t.Errorf("mutant seed %d: want a truncation error, got %v", i, err)
+		}
+	}
+}

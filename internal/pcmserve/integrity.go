@@ -1,0 +1,326 @@
+package pcmserve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/bch"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/wearout"
+)
+
+// IntegrityConfig enables the stored-block integrity layer: every
+// 64-byte block a shard stores carries extended-BCH check bits in a
+// per-shard sideband region, so the serving path can prove the bytes it
+// returns are the bytes that were written — the end-to-end complement
+// to the cell-level ECC the device model already simulates.
+type IntegrityConfig struct {
+	// T is the correction capability in bits per 64-byte block — the
+	// paper's serve-path codes are BCH-1 (T=1) and BCH-10 (T=10, the
+	// default). The stored code is extended with an overall parity bit,
+	// so any T+1-bit pattern is detected rather than miscorrected.
+	T int
+}
+
+// Internal op code for read-repair events in the flight recorder.
+const opRepair uint8 = 0xF1
+
+// retirer is the optional device interface the escalation ladder uses
+// to force-remap a block whose corruption exceeded BCH capability
+// (device.Device implements it; faultinject.Device forwards it).
+type retirer interface{ RetireBlock(int) error }
+
+// integrityDevice wraps a shard's device with block-granular extended
+// BCH protection. The raw block space is split in two: the first
+// dataBlocks 64-byte blocks hold data, the tail holds the sideband —
+// parityBytes of check bits per data block, packed back to back. Every
+// read decodes; every write re-encodes.
+//
+// On decode, the correction→repair→remap ladder applies:
+//
+//  1. up to T flipped bits: corrected in memory, then REPAIRED in
+//     place (block and parity rewritten at nominal levels — the same
+//     healing action as a scrub rewrite, surfaced in the read-repair
+//     counters and the flight recorder);
+//  2. beyond T: detection, never silent miscorrection. The block is
+//     escalated through mark-and-spare accounting (one spare pair per
+//     event, the paper's Section 6.4 budget); past SparePairs the
+//     block is force-remapped onto a FREE-p reserve block. Either way
+//     its content is replaced (zeros, valid parity) so the block
+//     serves again, and the read fails with core.ErrUncorrectable —
+//     a typed data-loss verdict, never raw corrupt bytes.
+//
+// Like the device it wraps, an integrityDevice is confined to the
+// shard owner goroutine; the obs instruments it updates are safe to
+// scrape concurrently.
+type integrityDevice struct {
+	inner ShardDevice
+	code  *bch.Extended
+	shard int
+	rec   *obs.FlightRecorder
+
+	dataBlocks   int64
+	parityBytes  int64
+	sidebandBase int64 // byte offset of the sideband region
+
+	design     wearout.MarkAndSpare
+	sparesUsed map[int64]int // data block → spare pairs consumed
+
+	correctedBits *obs.Counter
+	readRepairs   *obs.Counter
+	uncorrectable *obs.Counter
+	spared        *obs.Counter
+	escalated     *obs.Counter // blocks force-remapped (also a gauge)
+}
+
+var _ ShardDevice = (*integrityDevice)(nil)
+
+// integrityCode builds the extended serve-path code for a config.
+func integrityCode(cfg *IntegrityConfig) (*bch.Extended, error) {
+	t := cfg.T
+	if t == 0 {
+		t = 10
+	}
+	return bch.NewExtended(10, t, core.BlockBytes*8)
+}
+
+// integrityDataBlocks computes how many of rawBlocks 64-byte blocks
+// hold data once each must also fund parityBytes of sideband.
+func integrityDataBlocks(rawBlocks int, code *bch.Extended) int {
+	parityBytes := (code.ParityBits() + 7) / 8
+	return rawBlocks * core.BlockBytes / (core.BlockBytes + parityBytes)
+}
+
+func newIntegrityDevice(inner ShardDevice, code *bch.Extended, rawBlocks, shard int, reg *obs.Registry, rec *obs.FlightRecorder) (*integrityDevice, error) {
+	dataBlocks := integrityDataBlocks(rawBlocks, code)
+	if dataBlocks < 1 {
+		return nil, fmt.Errorf("pcmserve: %d raw blocks cannot fund one BCH-%d protected block", rawBlocks, code.T())
+	}
+	d := &integrityDevice{
+		inner:        inner,
+		code:         code,
+		shard:        shard,
+		rec:          rec,
+		dataBlocks:   int64(dataBlocks),
+		parityBytes:  int64((code.ParityBits() + 7) / 8),
+		sidebandBase: int64(dataBlocks) * core.BlockBytes,
+		design:       wearout.PaperDesign(),
+		sparesUsed:   make(map[int64]int),
+	}
+	si := strconv.Itoa(shard)
+	d.correctedBits = reg.Counter("pcmserve_integrity_corrected_bits_total",
+		"Stored bits corrected by the block-level BCH decode.", obs.L("shard", si)...)
+	d.readRepairs = reg.Counter("pcmserve_integrity_read_repairs_total",
+		"Corrected blocks rewritten in place on the read path.", obs.L("shard", si)...)
+	d.uncorrectable = reg.Counter("pcmserve_integrity_uncorrectable_total",
+		"Block decodes beyond BCH capability (typed data loss).", obs.L("shard", si)...)
+	d.spared = reg.Counter("pcmserve_integrity_spared_total",
+		"Spare pairs consumed by integrity mark-and-spare accounting.", obs.L("shard", si)...)
+	d.escalated = reg.Counter("pcmserve_integrity_escalated_total",
+		"Blocks escalated past mark-and-spare onto FREE-p reserve blocks.", obs.L("shard", si)...)
+	reg.GaugeFunc("pcmserve_integrity_escalated_blocks",
+		"Blocks this shard has force-remapped after integrity escalation.",
+		func() float64 { return float64(d.escalated.Value()) }, obs.L("shard", si)...)
+	return d, nil
+}
+
+// Name tags the stack with the protection level.
+func (d *integrityDevice) Name() string {
+	return fmt.Sprintf("bch%d+p(%s)", d.code.T(), d.inner.Name())
+}
+
+// Advance passes through to the device clock.
+func (d *integrityDevice) Advance(dt float64) error { return d.inner.Advance(dt) }
+
+// RemapStats forwards spare-pool occupancy so shard gauges see through
+// this wrapper.
+func (d *integrityDevice) RemapStats() (reserveLeft, retired int) {
+	if rr, ok := d.inner.(remapReporter); ok {
+		return rr.RemapStats()
+	}
+	return 0, 0
+}
+
+// Size returns the protected (client-visible) capacity in bytes.
+func (d *integrityDevice) Size() int64 { return d.dataBlocks * core.BlockBytes }
+
+// parityOff returns the sideband offset of block b's check bits.
+func (d *integrityDevice) parityOff(b int64) int64 {
+	return d.sidebandBase + b*d.parityBytes
+}
+
+// decodeBlock reads and decodes one data block, running the
+// correction→repair→remap ladder. It returns the proven-correct 64
+// bytes and the verify outcome; on scrubVerifyUncorrectable the error
+// wraps core.ErrUncorrectable and the returned data is nil.
+func (d *integrityDevice) decodeBlock(b int64) ([]byte, scrubOutcome, error) {
+	blk := make([]byte, core.BlockBytes)
+	if _, err := d.inner.ReadAt(blk, b*core.BlockBytes); err != nil {
+		return nil, scrubNone, err
+	}
+	par := make([]byte, d.parityBytes)
+	if _, err := d.inner.ReadAt(par, d.parityOff(b)); err != nil {
+		return nil, scrubNone, err
+	}
+	msg := bitvec.FromBytes(blk, core.BlockBytes*8)
+	parity := bitvec.FromBytes(par, d.code.ParityBits())
+	res := d.code.Decode(msg, parity)
+	if !res.OK {
+		return nil, scrubVerifyUncorrectable, d.escalate(b)
+	}
+	if res.Corrected == 0 {
+		return blk, scrubVerifyClean, nil
+	}
+	data := msg.Bytes()
+	d.repair(b, data, parity, res.Corrected)
+	return data, scrubVerifyCorrected, nil
+}
+
+// repair rewrites a corrected block (data and check bits) in place —
+// the read path doing the scrubber's healing work the moment drift is
+// caught, instead of leaving the damage to accumulate until the next
+// scrub pass reaches the block.
+func (d *integrityDevice) repair(b int64, data []byte, parity bitvec.Vector, corrected int) {
+	start := time.Now()
+	d.correctedBits.Add(uint64(corrected))
+	_, err := d.inner.WriteAt(data, b*core.BlockBytes)
+	if err == nil {
+		_, err = d.inner.WriteAt(parity.Bytes(), d.parityOff(b))
+	}
+	// A failed repair write is not a read failure: the decoded data in
+	// hand is correct; the rewrite retries on the next read or scrub.
+	d.readRepairs.Inc()
+	d.rec.Record(obs.Event{
+		Op:      opRepair,
+		Block:   b,
+		Latency: time.Since(start),
+		Class:   eventClass(err),
+	})
+}
+
+// escalate runs the beyond-capability ladder for block b and returns
+// the typed data-loss error the caller must surface.
+func (d *integrityDevice) escalate(b int64) error {
+	d.uncorrectable.Inc()
+	d.sparesUsed[b]++
+	used := d.sparesUsed[b]
+	verdict := "spare pair marked"
+	if used <= d.design.SparePairs {
+		d.spared.Inc()
+	} else {
+		// The mark-and-spare budget is spent: this block keeps failing
+		// integrity checks, so move it wholesale onto a FREE-p reserve
+		// block (the paper's Section 6.4 end-to-end combination).
+		delete(d.sparesUsed, b)
+		verdict = "remapped to reserve"
+		if r, ok := d.inner.(retirer); ok {
+			if err := r.RetireBlock(int(b)); err != nil {
+				verdict = fmt.Sprintf("remap failed: %v", err)
+			} else {
+				d.escalated.Inc()
+			}
+		} else {
+			verdict = "remap unavailable"
+		}
+	}
+	// Replace the content — zeros with valid check bits — so the block
+	// serves again. The data loss is the typed error, never raw bytes.
+	if err := d.writeBlock(b, make([]byte, core.BlockBytes)); err != nil {
+		verdict += fmt.Sprintf("; replace failed: %v", err)
+	}
+	return fmt.Errorf("pcmserve: shard %d: block %d beyond BCH-%d+p capability (%s): %w",
+		d.shard, b, d.code.T(), verdict, core.ErrUncorrectable)
+}
+
+// writeBlock encodes and stores one aligned data block.
+func (d *integrityDevice) writeBlock(b int64, data []byte) error {
+	msg := bitvec.FromBytes(data, core.BlockBytes*8)
+	parity := d.code.Encode(msg)
+	if _, err := d.inner.WriteAt(data, b*core.BlockBytes); err != nil {
+		return err
+	}
+	_, err := d.inner.WriteAt(parity.Bytes(), d.parityOff(b))
+	return err
+}
+
+// verifyBlock is the scrubber's decode-don't-blindly-rewrite pass on
+// the block at shard-local byte offset off.
+func (d *integrityDevice) verifyBlock(off int64) (scrubOutcome, error) {
+	b := off / core.BlockBytes
+	if b >= d.dataBlocks {
+		return scrubNone, fmt.Errorf("pcmserve: verify block %d beyond %d data blocks", b, d.dataBlocks)
+	}
+	_, outcome, err := d.decodeBlock(b)
+	return outcome, err
+}
+
+// ReadAt implements io.ReaderAt over the protected byte space with
+// device.Device EOF semantics.
+func (d *integrityDevice) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pcmserve: negative offset %d", off)
+	}
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		if pos >= d.Size() {
+			return n, io.EOF
+		}
+		b := pos / core.BlockBytes
+		inBlk := int(pos % core.BlockBytes)
+		data, _, err := d.decodeBlock(b)
+		if err != nil {
+			return n, err
+		}
+		n += copy(p[n:], data[inBlk:])
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, re-encoding check bits for every
+// touched block with read-modify-write at the edges.
+func (d *integrityDevice) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pcmserve: negative offset %d", off)
+	}
+	if off+int64(len(p)) > d.Size() {
+		return 0, fmt.Errorf("pcmserve: write [%d, %d) exceeds protected capacity %d",
+			off, off+int64(len(p)), d.Size())
+	}
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		b := pos / core.BlockBytes
+		inBlk := int(pos % core.BlockBytes)
+		span := core.BlockBytes - inBlk
+		if span > len(p)-n {
+			span = len(p) - n
+		}
+		var blk []byte
+		if inBlk == 0 && span == core.BlockBytes {
+			blk = p[n : n+core.BlockBytes]
+		} else {
+			cur, _, err := d.decodeBlock(b)
+			if err != nil {
+				if !errors.Is(err, core.ErrUncorrectable) {
+					return n, err
+				}
+				// The write replaces the damaged span; escalate already
+				// replaced the rest with zeros, so build on that.
+				cur = make([]byte, core.BlockBytes)
+			}
+			copy(cur[inBlk:], p[n:n+span])
+			blk = cur
+		}
+		if err := d.writeBlock(b, blk); err != nil {
+			return n, err
+		}
+		n += span
+	}
+	return n, nil
+}

@@ -1,0 +1,221 @@
+package pcmserve
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/faultinject"
+)
+
+// newIntegrityShards builds a single-shard integrity-protected stack
+// with a fault injector UNDER the integrity layer, so armed stored-bit
+// flips land beneath the decode ladder.
+func newIntegrityShards(t *testing.T, tbits int, verify bool) (*Shards, *faultinject.Device) {
+	t.Helper()
+	var fi *faultinject.Device
+	g, err := NewShards(ShardsConfig{
+		Shards: 1,
+		Device: device.Config{Blocks: 24, Seed: 42, ReserveBlocks: 4, DisableWearout: true},
+		WrapDevice: func(shard int, dev ShardDevice) ShardDevice {
+			fi = faultinject.New(dev, faultinject.Plan{Seed: 7})
+			return fi
+		},
+		Integrity:   &IntegrityConfig{T: tbits},
+		VerifyScrub: verify,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, fi
+}
+
+func TestIntegrityLayoutAndRoundTrip(t *testing.T) {
+	g, _ := newIntegrityShards(t, 1, false)
+	// 24 raw blocks, BCH-1+p = 11 parity bits = 2 sideband bytes per
+	// block: 24·64/66 = 23 protected blocks.
+	if got, want := g.Size(), int64(23*core.BlockBytes); got != want {
+		t.Fatalf("protected size = %d, want %d", got, want)
+	}
+	// Unaligned write/read round-trip across block boundaries.
+	data := make([]byte, 3*core.BlockBytes+17)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	const off = 5*core.BlockBytes - 11
+	if _, err := g.WriteAt(data, off); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(data))
+	if _, err := g.ReadAt(got, off); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(data, got) {
+		t.Fatal("round-trip mismatch through the integrity layer")
+	}
+	// Name advertises the protection level.
+	if name := g.Name(); !bytes.Contains([]byte(name), []byte("bch1+p(")) {
+		t.Fatalf("stack name %q does not advertise the integrity layer", name)
+	}
+}
+
+func TestIntegrityReadRepair(t *testing.T) {
+	g, fi := newIntegrityShards(t, 1, false)
+	integ := g.shards[0].integ
+
+	want := bytes.Repeat([]byte{0xC3}, core.BlockBytes)
+	if _, err := g.WriteAt(want, 3*core.BlockBytes); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	// One stored bit flips under the integrity layer; the read must
+	// correct it, return proven-correct data, and repair in place.
+	fi.FlipStoredBits(3, 1)
+	got := make([]byte, core.BlockBytes)
+	if _, err := g.ReadAt(got, 3*core.BlockBytes); err != nil {
+		t.Fatalf("read over flipped bit: %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("read returned corrupt data instead of correcting")
+	}
+	if fi.Stats().BitFlips != 1 {
+		t.Fatalf("fault injector flipped %d bits, want 1", fi.Stats().BitFlips)
+	}
+	if v := integ.correctedBits.Value(); v != 1 {
+		t.Fatalf("corrected-bit counter = %d, want 1", v)
+	}
+	if v := integ.readRepairs.Value(); v != 1 {
+		t.Fatalf("read-repair counter = %d, want 1", v)
+	}
+
+	// The repair was physical: the next read decodes clean (no new
+	// repair) and still matches.
+	if _, err := g.ReadAt(got, 3*core.BlockBytes); err != nil {
+		t.Fatalf("re-read: %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("re-read mismatch after repair")
+	}
+	if v := integ.readRepairs.Value(); v != 1 {
+		t.Fatalf("read-repair counter moved to %d on a clean re-read", v)
+	}
+
+	// The correction left a repair event in the flight recorder.
+	found := false
+	for _, ev := range g.RecorderSnapshots()[0].Events {
+		if ev.Op == opRepair && ev.Block == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no repair event in the flight recorder")
+	}
+}
+
+// TestIntegrityEscalation drives one block through the full ladder:
+// repeated beyond-capability corruption consumes the mark-and-spare
+// budget (6 spare pairs), then forces a FREE-p remap — the spare-block
+// gauge drops — and every read surfaces a typed error, never garbage.
+func TestIntegrityEscalation(t *testing.T) {
+	g, fi := newIntegrityShards(t, 1, false)
+	integ := g.shards[0].integ
+
+	payload := bytes.Repeat([]byte{0x7E}, core.BlockBytes)
+	buf := make([]byte, core.BlockBytes)
+	const block = 5
+	spares0 := g.Snapshot()[0].SpareBlocksLeft
+
+	for event := 1; event <= 7; event++ {
+		if _, err := g.WriteAt(payload, block*core.BlockBytes); err != nil {
+			t.Fatalf("event %d: write: %v", event, err)
+		}
+		// T=1, so two flipped bits are beyond capability — and with the
+		// extended code, guaranteed detected.
+		fi.FlipStoredBits(block, 2)
+		_, err := g.ReadAt(buf, block*core.BlockBytes)
+		if !errors.Is(err, core.ErrUncorrectable) {
+			t.Fatalf("event %d: read = %v, want ErrUncorrectable", event, err)
+		}
+		if Classify(err) != ClassCorrupt {
+			t.Fatalf("event %d: classified %v, want corrupt", event, Classify(err))
+		}
+	}
+
+	// Events 1–6 marked spare pairs; event 7 exceeded the budget and
+	// remapped the block onto the FREE-p reserve.
+	if v := integ.spared.Value(); v != 6 {
+		t.Fatalf("spared = %d, want 6", v)
+	}
+	if v := integ.escalated.Value(); v != 1 {
+		t.Fatalf("escalated = %d, want 1", v)
+	}
+	if spares := g.Snapshot()[0].SpareBlocksLeft; spares != spares0-1 {
+		t.Fatalf("spare blocks = %d, want %d (gauge must drop on remap)", spares, spares0-1)
+	}
+
+	// The block serves again: content was replaced (zeros, valid check
+	// bits), and writes stick on the fresh physical block.
+	if _, err := g.ReadAt(buf, block*core.BlockBytes); err != nil {
+		t.Fatalf("post-remap read: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, core.BlockBytes)) {
+		t.Fatal("replaced block is not zeroed")
+	}
+	if _, err := g.WriteAt(payload, block*core.BlockBytes); err != nil {
+		t.Fatalf("post-remap write: %v", err)
+	}
+	if _, err := g.ReadAt(buf, block*core.BlockBytes); err != nil {
+		t.Fatalf("post-remap re-read: %v", err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("post-remap round-trip mismatch")
+	}
+}
+
+// TestVerifyScrubOutcomes exercises the decode-based scrub pass
+// synchronously through a manually driven scrubber.
+func TestVerifyScrubOutcomes(t *testing.T) {
+	g, fi := newIntegrityShards(t, 1, true)
+	sc := newScrubber(g, time.Minute) // never started: driven by hand
+
+	payload := bytes.Repeat([]byte{0x42}, core.BlockBytes)
+	for b := int64(0); b < 3; b++ {
+		if _, err := g.WriteAt(payload, b*core.BlockBytes); err != nil {
+			t.Fatalf("write block %d: %v", b, err)
+		}
+	}
+
+	sc.scrubOne(0) // clean
+	fi.FlipStoredBits(1, 1)
+	sc.scrubOne(1) // corrected
+	fi.FlipStoredBits(2, 2)
+	sc.scrubOne(2) // beyond BCH-1: uncorrectable, escalated
+
+	st := sc.snapshot()
+	if st.VerifyClean != 1 || st.VerifyCorrected != 1 || st.VerifyUncorrectable != 1 {
+		t.Fatalf("verify outcomes = %d/%d/%d, want 1/1/1",
+			st.VerifyClean, st.VerifyCorrected, st.VerifyUncorrectable)
+	}
+	// The verify pass repaired block 1 in place...
+	buf := make([]byte, core.BlockBytes)
+	if _, err := g.ReadAt(buf, 1*core.BlockBytes); err != nil {
+		t.Fatalf("read repaired block: %v", err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("verify pass did not repair the corrected block")
+	}
+	// ...and replaced block 2 (typed loss already accounted).
+	if _, err := g.ReadAt(buf, 2*core.BlockBytes); err != nil {
+		t.Fatalf("read replaced block: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, core.BlockBytes)) {
+		t.Fatal("uncorrectable block was not replaced with zeros")
+	}
+	if v := g.shards[0].integ.spared.Value(); v != 1 {
+		t.Fatalf("integrity spare accounting = %d, want 1", v)
+	}
+}

@@ -83,7 +83,31 @@ type Stats struct {
 	// Scrub reports background scrubber progress (zero when disabled).
 	Scrub ScrubStats `json:"scrub"`
 
+	// Integrity reports the BCH stored-block protection layer (zero
+	// when integrity protection is disabled).
+	Integrity IntegrityStats `json:"integrity"`
+
 	Shards []ShardStats `json:"shards"`
+}
+
+// IntegrityStats aggregates the stored-block integrity layer's
+// counters across shards. Enabled is false (and everything zero) when
+// the service runs without BCH protection.
+type IntegrityStats struct {
+	Enabled bool `json:"enabled"`
+	// Code names the protection, e.g. "bch10+p" (BCH with t=10 plus an
+	// overall parity bit for guaranteed t+1 detection).
+	Code string `json:"code"`
+	// CorrectedBits counts data/check bits corrected during decodes;
+	// ReadRepairs counts corrected blocks rewritten in place.
+	CorrectedBits uint64 `json:"corrected_bits"`
+	ReadRepairs   uint64 `json:"read_repairs"`
+	// Uncorrectable counts beyond-capability decode failures; Spared is
+	// the mark-and-spare events they consumed, and Escalated the blocks
+	// force-remapped onto the FREE-p reserve after the spare budget.
+	Uncorrectable uint64 `json:"uncorrectable"`
+	Spared        uint64 `json:"spared"`
+	Escalated     uint64 `json:"escalated"`
 }
 
 // serverMetrics holds the request-level instruments (one increment per
@@ -96,6 +120,7 @@ type serverMetrics struct {
 	errByClass                        map[ErrorClass]*obs.Counter
 	bytesRead, bytesWritten           *obs.Counter
 	totalConns                        *obs.Counter
+	frameCRCMismatch                  *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -115,6 +140,8 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Bytes moved by successful requests.", obs.L("direction", "write")...),
 		totalConns: reg.Counter("pcmserve_connections_total",
 			"Connections accepted since start."),
+		frameCRCMismatch: reg.Counter("pcmserve_frame_crc_mismatch_total",
+			"Request frames whose CRC32-C check failed (connection dropped)."),
 	}
 	for _, c := range []ErrorClass{ClassTransient, ClassPermanent, ClassCorrupt} {
 		m.errByClass[c] = reg.Counter("pcmserve_request_errors_by_class_total",

@@ -98,6 +98,8 @@ func opName(op uint8) string {
 		return "stats"
 	case opScrub:
 		return "scrub"
+	case opRepair:
+		return "repair"
 	}
 	return fmt.Sprintf("op%d", op)
 }

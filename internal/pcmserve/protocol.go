@@ -3,18 +3,28 @@ package pcmserve
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
 
 // Wire format. Every message — request or response — is one
-// length-prefixed frame:
+// length-prefixed, checksummed frame:
 //
-//	uint32  frame length N (bytes that follow, big-endian)
+//	uint32  frame length N (bytes after the checksum, big-endian)
+//	uint32  CRC32-C (Castagnoli) of the N body bytes
 //	uint64  request id (chosen by the client, echoed by the server)
 //	uint8   op (request) / status (response)
 //	uint64  trace id (requests only; 0 = untraced)
 //	...     op-specific body
+//
+// The checksum covers everything after itself (id, op/status, and the
+// op-specific body — not the length word, whose corruption surfaces as
+// a bounds error or a misparse of the next frame). A mismatch means
+// bits flipped in flight; the reader cannot resynchronize mid-stream,
+// so both sides treat it as a dead connection: the client fails over
+// to ErrFrameCRC→ErrConnFailed (transient — the retry layer
+// reconnects), the server drops the connection.
 //
 // The trace id is the observability correlation key: the client
 // allocates it (or inherits it from a context via internal/obs), and
@@ -72,14 +82,20 @@ const reqHeaderBytes = headerBytes + 8
 // request header); larger reads and writes must be issued in pieces.
 const DefaultMaxFrame = 1<<20 + reqHeaderBytes + 12
 
+// castagnoli is the CRC32-C table shared by framers and parsers; the
+// Castagnoli polynomial has hardware support (SSE4.2, ARMv8 CRC) and
+// better error-detection properties than IEEE for short messages.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // readFrame reads one length-prefixed frame body (everything after the
-// length word) into a fresh buffer.
+// length and checksum words) into a fresh buffer, verifying the CRC.
 func readFrame(r io.Reader, maxFrame uint32) ([]byte, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
+	wantCRC := binary.BigEndian.Uint32(hdr[4:])
 	if n < headerBytes {
 		return nil, fmt.Errorf("pcmserve: frame length %d below header size", n)
 	}
@@ -90,24 +106,29 @@ func readFrame(r io.Reader, maxFrame uint32) ([]byte, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
+	if got := crc32.Checksum(buf, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("pcmserve: frame body CRC %08x, header says %08x: %w",
+			got, wantCRC, ErrFrameCRC)
+	}
 	return buf, nil
 }
 
-// frame assembles a full frame (length prefix included) from the id,
-// op/status byte, and body parts.
+// frame assembles a full frame (length prefix and checksum included)
+// from the id, op/status byte, and body parts.
 func frame(id uint64, opOrStatus uint8, body ...[]byte) []byte {
 	n := headerBytes
 	for _, b := range body {
 		n += len(b)
 	}
-	out := make([]byte, 4+n)
+	out := make([]byte, 8+n)
 	binary.BigEndian.PutUint32(out, uint32(n))
-	binary.BigEndian.PutUint64(out[4:], id)
-	out[12] = opOrStatus
-	p := 13
+	binary.BigEndian.PutUint64(out[8:], id)
+	out[16] = opOrStatus
+	p := 17
 	for _, b := range body {
 		p += copy(out[p:], b)
 	}
+	binary.BigEndian.PutUint32(out[4:], crc32.Checksum(out[8:], castagnoli))
 	return out
 }
 

@@ -32,6 +32,12 @@ type ScrubStats struct {
 	// Skipped counts scrub slots dropped because the owning shard was
 	// dead or the scrub op itself failed.
 	Skipped uint64 `json:"skipped"`
+	// Verify-pass outcomes (integrity layer + VerifyScrub): decoded
+	// blocks found clean (no rewrite), corrected and repaired in place,
+	// or beyond BCH capability (escalated by the integrity ladder).
+	VerifyClean         uint64 `json:"verify_clean"`
+	VerifyCorrected     uint64 `json:"verify_corrected"`
+	VerifyUncorrectable uint64 `json:"verify_uncorrectable"`
 	// PassHeadroomSeconds is the projected wall-clock time to finish
 	// the current scrub pass at the configured cadence — the
 	// refresh-interval headroom: it must stay below the drift window
@@ -64,6 +70,10 @@ type scrubber struct {
 	spared, retired       *obs.Counter
 	skipped               *obs.Counter
 
+	verifyClean         *obs.Counter
+	verifyCorrected     *obs.Counter
+	verifyUncorrectable *obs.Counter
+
 	mu         sync.Mutex
 	sparesUsed map[int64]int // logical block → spare pairs consumed
 }
@@ -92,6 +102,11 @@ func newScrubber(g *Shards, interval time.Duration) *scrubber {
 		"Blocks retired after exhausting the mark-and-spare budget.")
 	sc.skipped = reg.Counter("pcmserve_scrub_skipped_total",
 		"Scrub slots dropped (dead shard or scrub op failure).")
+	const verifyName = "pcmserve_scrub_verify_total"
+	const verifyHelp = "Verify-pass scrub outcomes: decoded clean (no rewrite), corrected (repaired in place), or uncorrectable (escalated)."
+	sc.verifyClean = reg.Counter(verifyName, verifyHelp, obs.L("outcome", "clean")...)
+	sc.verifyCorrected = reg.Counter(verifyName, verifyHelp, obs.L("outcome", "corrected")...)
+	sc.verifyUncorrectable = reg.Counter(verifyName, verifyHelp, obs.L("outcome", "uncorrectable")...)
 	reg.GaugeFunc("pcmserve_scrub_pass_headroom_seconds",
 		"Projected time to finish the current scrub pass at the configured cadence (the refresh-interval headroom).",
 		sc.headroomSeconds)
@@ -122,6 +137,9 @@ func (sc *scrubber) snapshot() ScrubStats {
 		Spared:              sc.spared.Value(),
 		Retired:             sc.retired.Value(),
 		Skipped:             sc.skipped.Value(),
+		VerifyClean:         sc.verifyClean.Value(),
+		VerifyCorrected:     sc.verifyCorrected.Value(),
+		VerifyUncorrectable: sc.verifyUncorrectable.Value(),
 		PassHeadroomSeconds: sc.headroomSeconds(),
 	}
 }
@@ -188,6 +206,14 @@ func (sc *scrubber) scrubOne(block int64) {
 		} else if used == sc.design.SparePairs+1 {
 			sc.retired.Inc()
 		}
+	case scrubVerifyClean:
+		sc.verifyClean.Inc()
+	case scrubVerifyCorrected:
+		sc.verifyCorrected.Inc()
+	case scrubVerifyUncorrectable:
+		// The integrity ladder already spared/remapped and replaced the
+		// content; the scrubber only observes the outcome.
+		sc.verifyUncorrectable.Inc()
 	}
 	if r.err != nil && !errors.Is(r.err, core.ErrUncorrectable) {
 		sc.skipped.Inc()

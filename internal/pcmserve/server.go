@@ -127,6 +127,7 @@ func (s *Server) Stats() Stats {
 		TotalConns:   int64(s.metrics.totalConns.Value()),
 		SlowOps:      s.shards.obs.traces.SlowTotal(),
 		Scrub:        s.shards.ScrubStats(),
+		Integrity:    s.shards.IntegrityStats(),
 		Shards:       s.shards.Snapshot(),
 	}
 }
@@ -291,7 +292,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		buf, err := readFrame(br, s.cfg.MaxFrame)
 		if err != nil {
-			break // EOF, peer error, idle timeout, or shutdown nudge
+			if errors.Is(err, ErrFrameCRC) {
+				s.metrics.frameCRCMismatch.Inc()
+			}
+			break // EOF, CRC mismatch, idle timeout, or shutdown nudge
 		}
 		req, err := parseRequest(buf)
 		if err != nil {

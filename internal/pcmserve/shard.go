@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bch"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/obs"
@@ -55,6 +56,17 @@ type ShardsConfig struct {
 	// scrubbed (read, wearout-accounted, rewritten) every interval,
 	// walking the whole logical space round-robin (0 disables).
 	ScrubInterval time.Duration
+
+	// Integrity enables per-block extended-BCH protection with sideband
+	// check bits (nil disables). It shrinks the client-visible capacity:
+	// each shard's usable blocks drop to what its raw blocks can fund
+	// once every 64-byte block also stores its check bits.
+	Integrity *IntegrityConfig
+	// VerifyScrub switches the scrubber from blind read-rewrite to a
+	// decode pass that distinguishes clean, corrected, and uncorrectable
+	// blocks, rewriting only when there is something to fix. Requires
+	// Integrity.
+	VerifyScrub bool
 
 	// Obs tunes the observability layer (nil → defaults: a private
 	// metrics registry, sampled traces, 256-entry flight recorders,
@@ -133,6 +145,14 @@ const (
 	// scrubUncorrectable: the read was beyond ECC; the block was
 	// rewritten (content replaced) and must be wearout-accounted.
 	scrubUncorrectable
+
+	// Verify-pass outcomes (integrity layer + VerifyScrub). The
+	// integrity ladder has already done any repairing, spare accounting,
+	// and remapping by the time these are reported, so the scrubber
+	// only counts them.
+	scrubVerifyClean
+	scrubVerifyCorrected
+	scrubVerifyUncorrectable
 )
 
 // shard owns one ShardDevice. Exactly one goroutine (runOnce inside
@@ -144,6 +164,11 @@ type shard struct {
 	dev       ShardDevice
 	ch        chan shardReq
 	healAfter uint64
+
+	// integ is the shard's integrity layer (nil when disabled);
+	// verifyScrub selects the decode-based scrub pass.
+	integ       *integrityDevice
+	verifyScrub bool
 
 	o   *serveObs
 	rec *obs.FlightRecorder
@@ -257,7 +282,11 @@ func (s *shard) handle(req shardReq) {
 		err = s.dev.Advance(req.dt)
 		s.advances.Inc()
 	case opScrub:
-		outcome, err = s.scrubBlock(req.off)
+		if s.integ != nil && s.verifyScrub {
+			outcome, err = s.integ.verifyBlock(req.off)
+		} else {
+			outcome, err = s.scrubBlock(req.off)
+		}
 		s.scrubSeq.Add(1)
 	default:
 		err = fmt.Errorf("pcmserve: shard %d: unknown op %d", s.index, req.op)
@@ -429,9 +458,27 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 	if healAfter <= 0 {
 		healAfter = 16
 	}
+	if cfg.VerifyScrub && cfg.Integrity == nil {
+		return nil, errors.New("pcmserve: VerifyScrub requires Integrity")
+	}
+	shardSize := int64(cfg.Device.Blocks) * core.BlockBytes
+	var code *bch.Extended
+	if cfg.Integrity != nil {
+		var err error
+		code, err = integrityCode(cfg.Integrity)
+		if err != nil {
+			return nil, fmt.Errorf("pcmserve: integrity: %w", err)
+		}
+		db := integrityDataBlocks(cfg.Device.Blocks, code)
+		if db < 1 {
+			return nil, fmt.Errorf("pcmserve: %d blocks per shard cannot fund one BCH-%d protected block",
+				cfg.Device.Blocks, code.T())
+		}
+		shardSize = int64(db) * core.BlockBytes
+	}
 	g := &Shards{
 		shards:      make([]*shard, n),
-		shardSize:   int64(cfg.Device.Blocks) * core.BlockBytes,
+		shardSize:   shardSize,
 		maxRestarts: maxRestarts,
 		obs:         newServeObs(cfg.Obs),
 	}
@@ -449,13 +496,26 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 		if cfg.WrapDevice != nil {
 			sd = cfg.WrapDevice(i, sd)
 		}
+		rec := obs.NewFlightRecorder(g.obs.recorderDepth)
+		var integ *integrityDevice
+		if code != nil {
+			// Integrity sits OUTERMOST: injected stored-bit faults land
+			// underneath it, so the decode ladder sees (and heals) them.
+			integ, err = newIntegrityDevice(sd, code, cfg.Device.Blocks, i, g.obs.reg, rec)
+			if err != nil {
+				return nil, err
+			}
+			sd = integ
+		}
 		s := &shard{
-			index:     i,
-			dev:       sd,
-			ch:        make(chan shardReq, depth),
-			healAfter: uint64(healAfter),
-			o:         g.obs,
-			rec:       obs.NewFlightRecorder(g.obs.recorderDepth),
+			index:       i,
+			dev:         sd,
+			ch:          make(chan shardReq, depth),
+			healAfter:   uint64(healAfter),
+			o:           g.obs,
+			rec:         rec,
+			integ:       integ,
+			verifyScrub: cfg.VerifyScrub,
 		}
 		s.remap, _ = sd.(remapReporter)
 		s.refreshDeviceGauges() // seed gauges before the owner starts
@@ -753,6 +813,25 @@ func (g *Shards) Snapshot() []ShardStats {
 		}
 	}
 	return out
+}
+
+// IntegrityStats aggregates the BCH layer's counters across shards
+// (the zero value when integrity protection is disabled).
+func (g *Shards) IntegrityStats() IntegrityStats {
+	var st IntegrityStats
+	for _, s := range g.shards {
+		if s.integ == nil {
+			return IntegrityStats{}
+		}
+		st.Enabled = true
+		st.Code = fmt.Sprintf("bch%d+p", s.integ.code.T())
+		st.CorrectedBits += s.integ.correctedBits.Value()
+		st.ReadRepairs += s.integ.readRepairs.Value()
+		st.Uncorrectable += s.integ.uncorrectable.Value()
+		st.Spared += s.integ.spared.Value()
+		st.Escalated += s.integ.escalated.Value()
+	}
+	return st
 }
 
 // ScrubStats returns the scrubber's counters (the zero value when

@@ -110,6 +110,27 @@ func (d *Device) Write(block int, data []byte) error {
 	}
 }
 
+// Retire force-remaps a logical block onto a fresh reserve block
+// without waiting for a write to hit core.ErrWornOut — the escalation
+// path for a block whose stored content failed end-to-end integrity
+// checks beyond correction capability. The new physical block starts
+// with whatever it last held; callers are expected to rewrite the
+// logical block immediately. Returns ErrExhausted when the reserve
+// pool is empty (the old mapping is kept).
+func (d *Device) Retire(block int) error {
+	if err := d.check(block); err != nil {
+		return err
+	}
+	if len(d.reserve) == 0 {
+		return ErrExhausted
+	}
+	next := d.reserve[len(d.reserve)-1]
+	d.reserve = d.reserve[:len(d.reserve)-1]
+	d.table[block] = next
+	d.retired++
+	return nil
+}
+
 // Read implements core.Arch.
 func (d *Device) Read(block int) ([]byte, error) {
 	if err := d.check(block); err != nil {

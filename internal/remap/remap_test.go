@@ -268,3 +268,50 @@ func TestEnduranceLifetimeExtension(t *testing.T) {
 	}
 	t.Log(fmt.Sprintf("hot-block lifetime: raw %d writes, +3 reserves %d writes", raw, remapped))
 }
+
+// TestRetireForceRemaps: the escalation path moves a logical block onto
+// a fresh reserve block without a wearout event, consuming reserve and
+// counting as retired; the rewritten content lands on the new physical
+// block.
+func TestRetireForceRemaps(t *testing.T) {
+	d, _ := newDev(t, 4, 2, 3)
+	want := make([]byte, core.BlockBytes)
+	copy(want, "pre-retire content")
+	if err := d.Write(2, want); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.Retire(2); err != nil {
+		t.Fatalf("Retire: %v", err)
+	}
+	if d.Retired() != 1 || d.ReserveLeft() != 1 {
+		t.Fatalf("retired=%d reserve=%d, want 1/1", d.Retired(), d.ReserveLeft())
+	}
+	// The caller's contract: rewrite immediately; the write must land on
+	// the replacement block and read back.
+	copy(want, "post-retire content")
+	if err := d.Write(2, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Read(2)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("post-retire round trip: %v", err)
+	}
+
+	// Exhaust the pool: one more retire succeeds, the next reports
+	// ErrExhausted and keeps the old mapping serving.
+	if err := d.Retire(0); err != nil {
+		t.Fatalf("second retire: %v", err)
+	}
+	if err := d.Retire(1); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("retire on empty pool = %v, want ErrExhausted", err)
+	}
+	if _, err := d.Read(2); err != nil {
+		t.Fatalf("read after exhaustion: %v", err)
+	}
+
+	// Bounds still checked.
+	if err := d.Retire(99); err == nil {
+		t.Fatal("out-of-range retire accepted")
+	}
+}
