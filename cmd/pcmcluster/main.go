@@ -1,0 +1,312 @@
+// Command pcmcluster drives a replicated cluster of pcmserve nodes
+// with quorum reads and writes, verifying that every read returns the
+// exact last-acknowledged data — the client-side harness for the
+// internal/pcmcluster replication layer.
+//
+// Usage:
+//
+//	pcmcluster -nodes h1:7070,h2:7070,h3:7070 -duration 10s   # load external nodes
+//	pcmcluster -spawn 3 -duration 5s                          # self-contained: 3 in-process nodes
+//	pcmcluster -nodes ... -obs :9091                          # + admin plane (/metrics, /healthz)
+//
+// The load generator partitions the block space across workers; each
+// worker mirrors its acknowledged writes and checks every read against
+// the mirror. Quorum errors under failure are tolerated (and counted);
+// a read returning wrong bytes is a data error, and any data error
+// makes the process exit nonzero. The final report prints "data
+// errors: N" even when the run is cut short by SIGINT.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/obs"
+	"repro/internal/pcmcluster"
+	"repro/internal/pcmserve"
+)
+
+func main() {
+	var (
+		nodesArg = flag.String("nodes", "", "comma-separated pcmserve node addresses")
+		spawn    = flag.Int("spawn", 0, "spawn this many in-process loopback nodes instead of -nodes")
+		mb       = flag.Float64("mb", 1, "spawned nodes: per-node capacity in MiB")
+		shards   = flag.Int("shards", 4, "spawned nodes: device shards per node")
+
+		rf = flag.Int("rf", 0, "replication factor (default min(3, nodes))")
+		w  = flag.Int("w", 0, "write quorum (default rf/2+1)")
+		r  = flag.Int("r", 0, "read quorum (default rf/2+1)")
+
+		clients  = flag.Int("clients", 4, "concurrent loadgen workers")
+		duration = flag.Duration("duration", 3*time.Second, "how long to run")
+		readPct  = flag.Int("readpct", 50, "percentage of ops that are reads")
+		span     = flag.Int64("blocks", 0, "restrict the loadgen to the first N blocks (0 = all)")
+
+		antiEntropy = flag.Duration("antientropy", 5*time.Millisecond, "per-block anti-entropy sweep cadence (0 disables)")
+		hintReplay  = flag.Duration("hint-replay", 50*time.Millisecond, "hinted-handoff replay cadence")
+		probe       = flag.Duration("probe", 100*time.Millisecond, "down-node half-open probe interval")
+		opTimeout   = flag.Duration("optimeout", 2*time.Second, "per-replica operation timeout")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		obsAddr     = flag.String("obs", "", "admin HTTP listen address for /metrics and /healthz (empty disables)")
+		version     = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("pcmcluster", obs.BuildInfo())
+		return
+	}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "pcmcluster: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	switch {
+	case *nodesArg == "" && *spawn == 0:
+		fail("need -nodes or -spawn")
+	case *nodesArg != "" && *spawn > 0:
+		fail("-nodes and -spawn are mutually exclusive")
+	case *spawn < 0:
+		fail("-spawn must not be negative, got %d", *spawn)
+	case *mb <= 0:
+		fail("-mb must be positive, got %g", *mb)
+	case *shards < 1:
+		fail("-shards must be at least 1, got %d", *shards)
+	case *rf < 0 || *w < 0 || *r < 0:
+		fail("-rf, -w, -r must not be negative")
+	case *clients < 1:
+		fail("-clients must be at least 1, got %d", *clients)
+	case *duration <= 0:
+		fail("-duration must be positive, got %v", *duration)
+	case *readPct < 0 || *readPct > 100:
+		fail("-readpct must be in [0,100], got %d", *readPct)
+	case *span < 0:
+		fail("-blocks must not be negative, got %d", *span)
+	case *hintReplay <= 0:
+		fail("-hint-replay must be positive, got %v", *hintReplay)
+	case *probe <= 0:
+		fail("-probe must be positive, got %v", *probe)
+	case *opTimeout <= 0:
+		fail("-optimeout must be positive, got %v", *opTimeout)
+	case *antiEntropy < 0:
+		fail("-antientropy must not be negative, got %v", *antiEntropy)
+	}
+
+	var addrs []string
+	if *spawn > 0 {
+		for i := 0; i < *spawn; i++ {
+			addrs = append(addrs, spawnNode(fail, *mb, *shards, *seed+uint64(i)*1000))
+		}
+		fmt.Printf("pcmcluster: spawned %d loopback nodes: %s\n", *spawn, strings.Join(addrs, ", "))
+	} else {
+		for _, a := range strings.Split(*nodesArg, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				fail("-nodes contains an empty address: %q", *nodesArg)
+			}
+			addrs = append(addrs, a)
+		}
+	}
+
+	c, err := pcmcluster.New(pcmcluster.Config{
+		Nodes:               addrs,
+		ReplicationFactor:   *rf,
+		WriteQuorum:         *w,
+		ReadQuorum:          *r,
+		OpTimeout:           *opTimeout,
+		ProbeInterval:       *probe,
+		HintReplayInterval:  *hintReplay,
+		AntiEntropyInterval: *antiEntropy,
+		Seed:                *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcmcluster:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs listen:", err)
+			os.Exit(1)
+		}
+		obsSrv := &http.Server{Handler: obs.AdminHandler(obs.AdminConfig{
+			Registry: c.Registry(),
+			Health:   c.Health,
+		})}
+		go obsSrv.Serve(ln)
+		defer obsSrv.Close()
+		fmt.Printf("pcmcluster: admin plane (metrics, healthz) on %s\n", ln.Addr())
+	}
+
+	blocks := c.Blocks()
+	if *span > 0 && *span < blocks {
+		blocks = *span
+	}
+	if blocks < int64(*clients) {
+		fail("only %d blocks for %d clients; shrink -clients or grow the nodes", blocks, *clients)
+	}
+	st := c.Stats()
+	fmt.Printf("pcmcluster: %d nodes, rf=%d w=%d r=%d, %d blocks (%d in play)\n",
+		len(addrs), st.ReplicationFactor, st.WriteQuorum, st.ReadQuorum, c.Blocks(), blocks)
+
+	dataErrors := runLoadgen(c, blocks, *clients, *duration, *readPct)
+
+	report(c, dataErrors)
+	if dataErrors > 0 {
+		os.Exit(1)
+	}
+}
+
+// spawnNode brings up one in-process pcmserve node on a loopback port
+// and returns its address. The node lives until process exit.
+func spawnNode(fail func(string, ...any), mb float64, shards int, seed uint64) string {
+	blocksPerShard := int(mb*1024*1024) / 64 / shards
+	if blocksPerShard < 1 {
+		blocksPerShard = 1
+	}
+	g, err := pcmserve.NewShards(pcmserve.ShardsConfig{
+		Shards: shards,
+		Device: device.Config{Blocks: blocksPerShard, Seed: seed, DisableWearout: true},
+	})
+	if err != nil {
+		fail("spawn node: %v", err)
+	}
+	srv := pcmserve.NewServer(g, pcmserve.ServerConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail("spawn node listen: %v", err)
+	}
+	go srv.Serve(ln)
+	return ln.Addr().String()
+}
+
+// runLoadgen drives the cluster with workers that own disjoint block
+// sets, mirror acknowledged writes, and verify every read. It returns
+// the number of data errors — reads that decoded cleanly but did not
+// match the last-acknowledged bytes, the failure replication exists to
+// prevent. SIGINT/SIGTERM stops the run early.
+func runLoadgen(c *pcmcluster.Cluster, blocks int64, clients int, duration time.Duration, readPct int) uint64 {
+	var ops, quorumErrs, dataErrs atomic.Uint64
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	timer := time.AfterFunc(duration, halt)
+	defer timer.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		if s, ok := <-sig; ok {
+			fmt.Printf("pcmcluster: %v, stopping early\n", s)
+			halt()
+		}
+	}()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*101 + 5))
+			lastAcked := make(map[int64][]byte)
+			data := make([]byte, pcmcluster.DataBytes)
+			ownSpan := int(blocks) / clients
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := int64(rng.Intn(ownSpan)*clients + w)
+				if rng.Intn(100) >= readPct { // write
+					for i := range data {
+						data[i] = byte(w*31 + iter*7 + i)
+					}
+					if err := c.WriteBlock(ctx, b, data); err != nil {
+						quorumErrs.Add(1)
+						lastAcked[b] = nil // undefined until re-acknowledged
+						continue
+					}
+					lastAcked[b] = append([]byte(nil), data...)
+					ops.Add(1)
+					continue
+				}
+				got, err := c.ReadBlock(ctx, b)
+				if err != nil {
+					quorumErrs.Add(1)
+					if errors.Is(err, pcmcluster.ErrClosed) {
+						return
+					}
+					continue
+				}
+				ops.Add(1)
+				want, wrote := lastAcked[b]
+				switch {
+				case !wrote:
+					if !bytes.Equal(got, make([]byte, pcmcluster.DataBytes)) {
+						dataErrs.Add(1)
+					}
+				case want == nil:
+					// Unverifiable after an unacknowledged write.
+				default:
+					if !bytes.Equal(got, want) {
+						dataErrs.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	done := ops.Load()
+	fmt.Printf("loadgen: %d clients, %v: %d ops (%.0f ops/s), %d quorum errors, data errors: %d\n",
+		clients, elapsed.Round(time.Millisecond), done,
+		float64(done)/elapsed.Seconds(), quorumErrs.Load(), dataErrs.Load())
+	return dataErrs.Load()
+}
+
+// report prints the cluster's own accounting — quorum traffic,
+// degraded operations, repairs, hints, breaker transitions, and
+// per-node state — even when the run was cut short.
+func report(c *pcmcluster.Cluster, dataErrors uint64) {
+	st := c.Stats()
+	fmt.Printf("cluster: reads=%d writes=%d read_quorum_failures=%d write_quorum_failures=%d degraded(r/w)=%d/%d\n",
+		st.QuorumReads, st.QuorumWrites, st.ReadQuorumFailures, st.WriteQuorumFails,
+		st.DegradedReads, st.DegradedWrites)
+	fmt.Printf("repair: read=%d antientropy=%d skipped=%d failed=%d divergent(stale/corrupt)=%d/%d\n",
+		st.ReadRepairs, st.AntiEntropyRepairs, st.RepairsSkipped, st.RepairsFailed,
+		st.DivergentStale, st.DivergentCorrupt)
+	fmt.Printf("hints: queued=%d replayed=%d dropped(stale/overflow)=%d/%d down_transitions=%d\n",
+		st.HintsQueued, st.HintsReplayed, st.HintsDroppedStale, st.HintsDroppedFull,
+		st.NodeDownTransitions)
+	if st.AntiEntropyPasses > 0 || st.AntiEntropyClean > 0 {
+		fmt.Printf("antientropy: passes=%d clean=%d unavailable=%d\n",
+			st.AntiEntropyPasses, st.AntiEntropyClean, st.AntiEntropyUnavailable)
+	}
+	for _, n := range st.Nodes {
+		fmt.Printf("  node %s [%s]: reads=%d writes=%d errors=%d hints_pending=%d\n",
+			n.Addr, n.State, n.Reads, n.Writes, n.Errors, n.HintsPending)
+	}
+	if dataErrors > 0 {
+		fmt.Fprintf(os.Stderr, "pcmcluster: FAILED: %d reads returned wrong data\n", dataErrors)
+	}
+}

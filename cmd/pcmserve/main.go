@@ -9,6 +9,7 @@
 //	pcmserve -addr :7070 -obs :9090                       # serve + admin plane
 //	pcmserve -loadgen -clients 8 -duration 3s             # self-benchmark
 //	pcmserve -loadgen -addr host:7070 -clients 4          # load an external server
+//	pcmserve -loadgen -addr h1:7070,h2:7070 -clients 8    # round-robin a server fleet
 //
 // With -obs, an admin HTTP plane is served on a second listener:
 // /metrics (Prometheus text exposition), /healthz, /tracez (sampled
@@ -26,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -39,7 +41,7 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "listen address (serve) or target address (loadgen; empty = in-process loopback server)")
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address (serve) or comma-separated target addresses spread round-robin across clients (loadgen; empty = in-process loopback server)")
 		kindArg = flag.String("kind", "3LC", "3LC, 4LCo, or permutation")
 		mb      = flag.Float64("mb", 1, "total device capacity in MiB, split across shards")
 		shards  = flag.Int("shards", 4, "independent device shards")
@@ -112,6 +114,8 @@ func main() {
 		case *readPct < 0 || *readPct > 100:
 			fail("-readpct must be in [0,100], got %d", *readPct)
 		}
+	} else if strings.Contains(*addr, ",") {
+		fail("serve mode takes a single -addr; the comma-separated list %q is loadgen-only", *addr)
 	}
 
 	blocksPerShard := int(*mb*1024*1024) / core.BlockBytes / *shards
@@ -203,11 +207,14 @@ type loadClient interface {
 	Close() error
 }
 
-// runLoadgen drives a server — an in-process loopback one when target
-// is empty — with concurrent clients issuing random reads and writes,
-// then prints throughput and the server's own statistics. SIGINT or
-// SIGTERM ends the run early but still prints the report.
+// runLoadgen drives one or more servers — an in-process loopback one
+// when target is empty or left at the default — with concurrent
+// clients issuing random reads and writes, then prints throughput and
+// each server's own statistics. A comma-separated target list is
+// spread round-robin across the client fleet. SIGINT or SIGTERM ends
+// the run early but still prints the report.
 func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clients int, duration time.Duration, opSize, readPct int, retry bool) {
+	var targets []string
 	if target == "" || target == "127.0.0.1:7070" {
 		g := newShards()
 		defer g.Close()
@@ -223,25 +230,40 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 			defer cancel()
 			srv.Shutdown(ctx)
 		}()
-		target = ln.Addr().String()
-		fmt.Printf("loadgen: loopback server %s on %s\n", g.Name(), target)
+		targets = []string{ln.Addr().String()}
+		fmt.Printf("loadgen: loopback server %s on %s\n", g.Name(), targets[0])
+	} else {
+		for _, a := range strings.Split(target, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				fmt.Fprintf(os.Stderr, "-addr contains an empty element: %q\n", target)
+				os.Exit(2)
+			}
+			targets = append(targets, a)
+		}
 	}
 
-	// Probe the device size through a throwaway client.
-	probe, err := pcmserve.Dial(target)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// Probe every target's device size through throwaway clients; the
+	// offset span must fit the smallest one.
+	span := int64(-1)
+	for _, tgt := range targets {
+		probe, err := pcmserve.Dial(tgt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, err := probe.Stats()
+		probe.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stats probe %s: %v\n", tgt, err)
+			os.Exit(1)
+		}
+		if span < 0 || st.SizeBytes < span {
+			span = st.SizeBytes
+		}
 	}
-	st, err := probe.Stats()
-	probe.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "stats probe:", err)
-		os.Exit(1)
-	}
-	span := st.SizeBytes
 	if span < int64(opSize) {
-		fmt.Fprintf(os.Stderr, "device %d bytes smaller than -opsize %d\n", span, opSize)
+		fmt.Fprintf(os.Stderr, "smallest device %d bytes smaller than -opsize %d\n", span, opSize)
 		os.Exit(1)
 	}
 
@@ -263,10 +285,11 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 	}()
 
 	dial := func(w int) (loadClient, error) {
+		tgt := targets[w%len(targets)]
 		if retry {
-			return pcmserve.DialRetry(target, pcmserve.RetryConfig{Seed: uint64(w) + 1})
+			return pcmserve.DialRetry(tgt, pcmserve.RetryConfig{Seed: uint64(w) + 1})
 		}
-		return pcmserve.Dial(target)
+		return pcmserve.Dial(tgt)
 	}
 
 	var wg sync.WaitGroup
@@ -315,7 +338,12 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 		float64(done)/elapsed.Seconds(),
 		float64(moved)/(1<<20)/elapsed.Seconds(), errCount.Load())
 
-	printFinalStats(target)
+	for _, tgt := range targets {
+		if len(targets) > 1 {
+			fmt.Printf("--- %s ---\n", tgt)
+		}
+		printFinalStats(tgt)
+	}
 }
 
 // printFinalStats fetches one last STATS snapshot and prints the

@@ -1,0 +1,81 @@
+package pcmcluster
+
+import "time"
+
+// antiEntropyLoop is the cross-node scrubber: it walks the block space
+// one block per tick, reads every replica, and repairs the ones that
+// diverge from the highest-version valid copy — catching divergence on
+// blocks foreground reads never touch (a down node that missed writes,
+// dropped hints, bit rot on a cold replica).
+func (c *Cluster) antiEntropyLoop(interval time.Duration) {
+	defer c.loops.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	cursor := int64(0)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		c.sweepBlock(cursor)
+		cursor++
+		if cursor >= c.blocks {
+			cursor = 0
+			c.met.aePasses.Inc()
+		}
+	}
+}
+
+// sweepBlock reconciles one block across its replicas.
+func (c *Cluster) sweepBlock(b int64) {
+	reps := replicasFor(c.seeds, b, c.rf)
+	all := make([]replicaRead, 0, len(reps))
+	results := make(chan replicaRead, len(reps))
+	for _, idx := range reps {
+		c.bg.Add(1)
+		go func(idx int) {
+			defer c.bg.Done()
+			results <- c.readReplica(c.ctx, idx, b)
+		}(idx)
+	}
+	for range reps {
+		all = append(all, <-results)
+	}
+
+	var winner replicaRead
+	found := false
+	for _, res := range all {
+		if res.valid() && (!found || res.meta.Version > winner.meta.Version) {
+			winner, found = res, true
+		}
+	}
+	if !found {
+		// No structurally valid copy reachable: nothing trustworthy to
+		// repair from. Foreground reads fail typed; the sweep retries
+		// next pass.
+		c.met.aeUnavailable.Inc()
+		return
+	}
+	repaired := false
+	for _, res := range all {
+		if res.err != nil {
+			continue
+		}
+		switch {
+		case res.status == slotCorrupt:
+			c.met.divergentCorrupt.Inc()
+		case res.meta.Version < winner.meta.Version:
+			c.met.divergentStale.Inc()
+		default:
+			continue
+		}
+		repaired = true
+		c.repairReplica(res.idx, b, winner.slot, winner.meta.Version, c.met.repairsAntiEntropy)
+	}
+	if repaired {
+		c.met.aeRepaired.Inc()
+	} else {
+		c.met.aeClean.Inc()
+	}
+}

@@ -1,0 +1,220 @@
+package pcmcluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/pcmserve"
+)
+
+// TestClusterChaosSoak is the acceptance soak: RF=3 W=2 R=2 over three
+// nodes while connections are cut mid-frame by a byte-budget dialer,
+// node 0 is killed and later restarted, and stored bits keep flipping
+// on node 1's replicas. Workers own disjoint block sets and mirror
+// every acknowledged write; the invariant under fire is that each read
+// returns either the exact last-acknowledged bytes or a typed quorum
+// error — never silently stale or corrupt data. Afterwards the cluster
+// must converge: every acknowledged value readable, and the repair,
+// hint, and breaker counters accounting for the recoveries.
+func TestClusterChaosSoak(t *testing.T) {
+	soak := 2500 * time.Millisecond
+	if testing.Short() {
+		soak = 800 * time.Millisecond
+	}
+
+	nodes := make([]*testNode, 3)
+	addrs := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startTestNode(t, 64, uint64(1000*i+7))
+		addrs[i] = nodes[i].addr
+	}
+	c, err := New(Config{
+		Nodes: addrs,
+		DialNode: func(addr string) (NodeClient, error) {
+			// Connections die after a random 32–256 KiB budget, killing
+			// some ops mid-frame; the retry layer redials underneath.
+			return pcmserve.NewRetryClient(pcmserve.RetryConfig{
+				Dial:             faultinject.Dialer(addr, 17^nodeSeed(addr), 32<<10, 256<<10),
+				MaxReadAttempts:  3,
+				MaxWriteAttempts: 3,
+				BaseBackoff:      time.Millisecond,
+				MaxBackoff:       20 * time.Millisecond,
+				OpTimeout:        2 * time.Second,
+				Seed:             nodeSeed(addr),
+			})
+		},
+		ReplicationFactor:   3,
+		WriteQuorum:         2,
+		ReadQuorum:          2,
+		FailThreshold:       2,
+		ProbeInterval:       50 * time.Millisecond,
+		HintReplayInterval:  20 * time.Millisecond,
+		AntiEntropyInterval: 500 * time.Microsecond,
+		Seed:                4242,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const workers = 4
+	const blockSpan = 40 // blocks 0..39; worker w owns b % workers == w
+
+	stop := make(chan struct{})
+	failures := make(chan error, workers+1)
+	mirrors := make(chan map[int64][]byte, workers)
+	var wg sync.WaitGroup
+
+	// Chaos controller: kill node 0 a quarter in, restart it at the
+	// half; flip stored bits on node 1 throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(777))
+		killAt := time.After(soak / 4)
+		restartAt := time.After(soak / 2)
+		flip := time.NewTicker(25 * time.Millisecond)
+		defer flip.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-killAt:
+				nodes[0].kill()
+			case <-restartAt:
+				nodes[0].restart()
+			case <-flip.C:
+				// Corrupt a stored 64-byte device block under a verified
+				// slot (blocks 0..39 span device bytes 0..3200 → device
+				// blocks 0..49, i.e. the first 50 of shard 0's 64).
+				fi := nodes[1].fis[0]
+				fi.FlipStoredBits(rng.Int63n(50), 1+rng.Intn(3))
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(int64(w)*101 + 5))
+			// lastAcked[b] is the exact data of b's newest acknowledged
+			// write; nil marks a block undefined after a failed write
+			// (it may or may not have partially applied).
+			lastAcked := make(map[int64][]byte)
+			defer func() { mirrors <- lastAcked }()
+			data := make([]byte, DataBytes)
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := int64(rng.Intn(blockSpan/workers)*workers + w)
+				if rng.Intn(10) < 6 { // write
+					for i := range data {
+						data[i] = byte(w*31 + iter*7 + i)
+					}
+					if err := c.WriteBlock(ctx, b, data); err != nil {
+						if !errors.Is(err, ErrWriteQuorum) {
+							failures <- fmt.Errorf("worker %d: write block %d: untyped error %w", w, b, err)
+							return
+						}
+						lastAcked[b] = nil // undefined until re-acknowledged
+						continue
+					}
+					lastAcked[b] = append([]byte(nil), data...)
+					continue
+				}
+				got, err := c.ReadBlock(ctx, b)
+				if err != nil {
+					if !errors.Is(err, ErrReadQuorum) {
+						failures <- fmt.Errorf("worker %d: read block %d: untyped error %w", w, b, err)
+						return
+					}
+					continue // degraded is allowed; silent bad data is not
+				}
+				want, wrote := lastAcked[b]
+				switch {
+				case !wrote:
+					if !bytes.Equal(got, make([]byte, DataBytes)) {
+						failures <- fmt.Errorf("worker %d: unwritten block %d returned nonzero data", w, b)
+						return
+					}
+				case want == nil:
+					// Undefined after an unacknowledged write: content
+					// unverifiable, but it still had to decode cleanly.
+				default:
+					if !bytes.Equal(got, want) {
+						failures <- fmt.Errorf("worker %d: block %d diverged from last-acknowledged write", w, b)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(soak)
+	close(stop)
+	wg.Wait()
+	close(failures)
+	close(mirrors)
+	for err := range failures {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Convergence: with all nodes back and the chaos stopped, every
+	// block must become readable, and every block with a known
+	// last-acknowledged value must read back exactly those bytes
+	// (anti-entropy and hint replay clean up remaining divergence).
+	want := make(map[int64][]byte)
+	for m := range mirrors {
+		for b, v := range m {
+			want[b] = v // block sets are disjoint; no clobbering
+		}
+	}
+	ctx := context.Background()
+	deadline := time.Now().Add(15 * time.Second)
+	for b := int64(0); b < blockSpan; b++ {
+		for {
+			got, err := c.ReadBlock(ctx, b)
+			if err == nil {
+				if w, ok := want[b]; ok && w != nil && !bytes.Equal(got, w) {
+					t.Fatalf("block %d converged to wrong data", b)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("block %d never became readable: %v", b, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	st := c.Stats()
+	t.Logf("soak stats: %+v", st)
+	if st.NodeDownTransitions == 0 {
+		t.Error("breaker never tripped despite a killed node")
+	}
+	if st.DivergentCorrupt == 0 {
+		t.Error("bit flips were never detected as corrupt replicas")
+	}
+	recoveries := st.ReadRepairs + st.AntiEntropyRepairs + st.HintsReplayed + st.HintsDroppedStale
+	if recoveries == 0 {
+		t.Error("no recovery work recorded (repairs, hints) despite injected faults")
+	}
+	if st.QuorumReads == 0 || st.QuorumWrites == 0 {
+		t.Error("soak produced no quorum traffic")
+	}
+}

@@ -1,0 +1,701 @@
+package pcmcluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pcmserve"
+)
+
+// Typed cluster errors; errors.Is-able through every wrap.
+var (
+	// ErrClosed: the cluster was closed.
+	ErrClosed = errors.New("pcmcluster: cluster closed")
+	// ErrReadQuorum: too few structurally valid replica replies.
+	ErrReadQuorum = errors.New("pcmcluster: read quorum not met")
+	// ErrWriteQuorum: too few replica acknowledgements. The write may
+	// still have applied on some replicas; callers must treat the
+	// block's content as undefined until a later write acknowledges.
+	ErrWriteQuorum = errors.New("pcmcluster: write quorum not met")
+
+	// errNodeDown is a replica-level fast-fail when the breaker holds a
+	// node down; it classifies as transient.
+	errNodeDown = errors.New("pcmcluster: node marked down")
+)
+
+const writeStripes = 1024
+
+// Config assembles a Cluster. Zero values take documented defaults.
+type Config struct {
+	// Nodes lists the pcmserve node addresses. Placement depends only
+	// on the set of addresses, not their order.
+	Nodes []string
+	// DialNode overrides how node connections are made (tests). The
+	// default dials a pcmserve.RetryClient tuned for fast failover
+	// (2 attempts, OpTimeout per attempt).
+	DialNode func(addr string) (NodeClient, error)
+
+	// ReplicationFactor is replicas per block (default min(3, nodes)).
+	ReplicationFactor int
+	// WriteQuorum (W) acknowledgements make a write durable;
+	// ReadQuorum (R) valid replies serve a read. Defaults RF/2+1 each.
+	// W+R > RF is enforced so read and write sets always intersect.
+	WriteQuorum int
+	ReadQuorum  int
+
+	// Blocks fixes the replicated capacity; 0 probes every node's
+	// STATS and uses the smallest node's capacity in SlotBytes slots.
+	Blocks int64
+
+	// OpTimeout bounds each replica attempt (default 1s).
+	OpTimeout time.Duration
+	// FailThreshold consecutive transient failures mark a node down
+	// (default 2); ProbeInterval spaces half-open probes (default 500ms).
+	FailThreshold int
+	ProbeInterval time.Duration
+
+	// HintCapacity bounds buffered writes per down node (default 4096);
+	// HintReplayInterval paces the replay loop (default 200ms).
+	HintCapacity       int
+	HintReplayInterval time.Duration
+
+	// AntiEntropyInterval is the per-block cadence of the background
+	// reconciliation sweep; 0 disables it.
+	AntiEntropyInterval time.Duration
+
+	// Seed decorrelates version tiebreak tags and node retry jitter
+	// between cluster clients (default 1).
+	Seed uint64
+
+	// Registry receives the pcmcluster_* instruments (default: a
+	// private registry, reachable via Cluster.Registry).
+	Registry *obs.Registry
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = min(3, len(cfg.Nodes))
+	}
+	if cfg.WriteQuorum <= 0 {
+		cfg.WriteQuorum = cfg.ReplicationFactor/2 + 1
+	}
+	if cfg.ReadQuorum <= 0 {
+		cfg.ReadQuorum = cfg.ReplicationFactor/2 + 1
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.HintCapacity <= 0 {
+		cfg.HintCapacity = 4096
+	}
+	if cfg.HintReplayInterval <= 0 {
+		cfg.HintReplayInterval = 200 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	return cfg
+}
+
+// Cluster is a client-embedded replication layer over pcmserve nodes.
+// It is safe for concurrent use.
+type Cluster struct {
+	nodes  []*node
+	seeds  []uint64
+	rf     int
+	w, r   int
+	blocks int64
+
+	opTimeout time.Duration
+
+	// verCounter, shifted over verTag, produces cluster-unique
+	// monotonically increasing version stamps; the tag byte breaks
+	// ties between distinct cluster clients (best-effort, seeded).
+	verCounter atomic.Uint64
+	verTag     uint8
+
+	// stripes serialize every mutation of one block issued by this
+	// client — quorum writes (held until all replicas resolve, not
+	// just W), read-repairs, and hint replays — so a repair's
+	// re-check-then-write can never clobber a newer in-flight write.
+	stripes [writeStripes]sync.Mutex
+
+	met *metrics
+
+	closed atomic.Bool
+	// opGate lets Close wait for in-flight public ops (read lock) to
+	// finish spawning background work before it waits on bg.
+	opGate sync.RWMutex
+	stop   chan struct{}
+	ctx    context.Context
+	cancel context.CancelFunc
+	bg     sync.WaitGroup // straggler drains + repairs
+	loops  sync.WaitGroup // hint drainer + anti-entropy sweeper
+}
+
+// New validates cfg, connects to every node, sizes the cluster, and
+// starts the background loops.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("pcmcluster: at least one node required")
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	for _, a := range cfg.Nodes {
+		if a == "" {
+			return nil, errors.New("pcmcluster: empty node address")
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("pcmcluster: duplicate node address %q", a)
+		}
+		seen[a] = true
+	}
+	cfg = cfg.withDefaults()
+	if cfg.ReplicationFactor > len(cfg.Nodes) {
+		return nil, fmt.Errorf("pcmcluster: replication factor %d exceeds %d nodes",
+			cfg.ReplicationFactor, len(cfg.Nodes))
+	}
+	rf := cfg.ReplicationFactor
+	if cfg.WriteQuorum > rf || cfg.ReadQuorum > rf {
+		return nil, fmt.Errorf("pcmcluster: quorums W=%d R=%d exceed replication factor %d",
+			cfg.WriteQuorum, cfg.ReadQuorum, rf)
+	}
+	if cfg.WriteQuorum+cfg.ReadQuorum <= rf {
+		return nil, fmt.Errorf("pcmcluster: W=%d + R=%d must exceed replication factor %d or reads can miss acknowledged writes",
+			cfg.WriteQuorum, cfg.ReadQuorum, rf)
+	}
+
+	dial := cfg.DialNode
+	if dial == nil {
+		opTimeout := cfg.OpTimeout
+		seed := cfg.Seed
+		dial = func(addr string) (NodeClient, error) {
+			return pcmserve.DialRetry(addr, pcmserve.RetryConfig{
+				MaxReadAttempts:  2,
+				MaxWriteAttempts: 2,
+				BaseBackoff:      time.Millisecond,
+				MaxBackoff:       50 * time.Millisecond,
+				OpTimeout:        opTimeout,
+				Seed:             seed ^ nodeSeed(addr),
+			})
+		}
+	}
+
+	c := &Cluster{
+		rf:        rf,
+		w:         cfg.WriteQuorum,
+		r:         cfg.ReadQuorum,
+		blocks:    cfg.Blocks,
+		opTimeout: cfg.OpTimeout,
+		verTag:    uint8(mix64(cfg.Seed)),
+		stop:      make(chan struct{}),
+	}
+	c.ctx, c.cancel = context.WithCancel(context.Background())
+	for _, addr := range cfg.Nodes {
+		nc, err := dial(addr)
+		if err != nil {
+			for _, n := range c.nodes {
+				n.client.Close()
+			}
+			return nil, fmt.Errorf("pcmcluster: dial node %s: %w", addr, err)
+		}
+		n := newNode(addr, nc, cfg.FailThreshold, cfg.ProbeInterval, cfg.HintCapacity)
+		c.nodes = append(c.nodes, n)
+		c.seeds = append(c.seeds, n.seed)
+	}
+	c.met = newMetrics(cfg.Registry, c)
+
+	if c.blocks == 0 {
+		if err := c.probeCapacity(); err != nil {
+			for _, n := range c.nodes {
+				n.client.Close()
+			}
+			return nil, err
+		}
+	}
+
+	c.loops.Add(1)
+	go c.drainLoop(cfg.HintReplayInterval)
+	if cfg.AntiEntropyInterval > 0 {
+		c.loops.Add(1)
+		go c.antiEntropyLoop(cfg.AntiEntropyInterval)
+	}
+	return c, nil
+}
+
+// probeCapacity sizes the cluster from the smallest reachable node.
+// Unreachable nodes start their breaker history; at least one node
+// must answer.
+func (c *Cluster) probeCapacity() error {
+	type probe struct {
+		idx  int
+		size int64
+		err  error
+	}
+	results := make(chan probe, len(c.nodes))
+	for i, n := range c.nodes {
+		go func(i int, n *node) {
+			st, err := n.client.Stats()
+			results <- probe{idx: i, size: st.SizeBytes, err: err}
+		}(i, n)
+	}
+	minSize := int64(-1)
+	var lastErr error
+	for range c.nodes {
+		p := <-results
+		if p.err != nil {
+			lastErr = p.err
+			c.nodes[p.idx].onFailure()
+			continue
+		}
+		c.nodes[p.idx].onSuccess()
+		if minSize < 0 || p.size < minSize {
+			minSize = p.size
+		}
+	}
+	if minSize < 0 {
+		return fmt.Errorf("pcmcluster: no node answered the capacity probe (last error: %w)", lastErr)
+	}
+	c.blocks = minSize / SlotBytes
+	if c.blocks < 1 {
+		return fmt.Errorf("pcmcluster: smallest node (%d bytes) cannot hold one %d-byte slot", minSize, SlotBytes)
+	}
+	return nil
+}
+
+// Blocks returns the replicated block capacity.
+func (c *Cluster) Blocks() int64 { return c.blocks }
+
+// Close stops the background loops, waits for in-flight work, and
+// closes every node connection.
+func (c *Cluster) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	close(c.stop)
+	c.loops.Wait()
+	c.cancel()
+	// Wait for public ops to finish spawning background work, then for
+	// that work itself.
+	c.opGate.Lock()
+	//lint:ignore SA2001 the Lock/Unlock pair is a barrier for in-flight ops, not a critical section
+	c.opGate.Unlock()
+	c.bg.Wait()
+	var firstErr error
+	for _, n := range c.nodes {
+		if err := n.client.Close(); err != nil && firstErr == nil && !errors.Is(err, pcmserve.ErrClosed) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (c *Cluster) stripe(b int64) *sync.Mutex {
+	return &c.stripes[uint64(b)%writeStripes]
+}
+
+func (c *Cluster) nextVersion() uint64 {
+	return c.verCounter.Add(1)<<8 | uint64(c.verTag)
+}
+
+func (c *Cluster) checkBlock(b int64) error {
+	if b < 0 || b >= c.blocks {
+		return fmt.Errorf("pcmcluster: block %d out of range [0, %d)", b, c.blocks)
+	}
+	return nil
+}
+
+// noteResult feeds one replica op's outcome to the node's breaker and
+// the per-node instruments. Typed in-band responses — including
+// permanent and corrupt verdicts — prove the node alive; only
+// transient failures (connection loss, timeouts, fast-fail while
+// down) count toward marking it down.
+func (c *Cluster) noteResult(idx int, write bool, err error) {
+	n := c.nodes[idx]
+	if write {
+		c.met.nodeWrites[idx].Inc()
+	} else {
+		c.met.nodeReads[idx].Inc()
+	}
+	if err == nil {
+		n.onSuccess()
+		return
+	}
+	c.met.nodeErrs[idx].Inc()
+	if errors.Is(err, errNodeDown) {
+		return // fast-fail, not new evidence
+	}
+	if pcmserve.Classify(err) == pcmserve.ClassTransient {
+		if n.onFailure() {
+			c.met.nodeTransitions.Inc()
+		}
+		return
+	}
+	n.onSuccess()
+}
+
+// replicaRead is one replica's reply to a slot read.
+type replicaRead struct {
+	idx    int
+	slot   []byte
+	data   []byte
+	meta   blockMeta
+	status slotStatus
+	err    error
+}
+
+// valid reports whether this reply counts toward the read quorum: a
+// structurally sound slot (written or provably unwritten). Corrupt
+// slots and errors do not count.
+func (r replicaRead) valid() bool {
+	return r.err == nil && r.status != slotCorrupt
+}
+
+// readReplica reads block b's slot from one node.
+func (c *Cluster) readReplica(ctx context.Context, idx int, b int64) replicaRead {
+	n := c.nodes[idx]
+	if !n.admit() {
+		c.noteResult(idx, false, errNodeDown)
+		return replicaRead{idx: idx, err: errNodeDown}
+	}
+	buf := make([]byte, SlotBytes)
+	_, err := n.client.ReadAtCtx(ctx, buf, b*SlotBytes)
+	c.noteResult(idx, false, err)
+	if err != nil {
+		return replicaRead{idx: idx, err: err}
+	}
+	data, meta, status := decodeSlot(buf)
+	return replicaRead{idx: idx, slot: buf, data: data, meta: meta, status: status}
+}
+
+// writeReplica writes a stamped slot to one node, buffering a hint
+// when the node is down or the write fails transiently.
+func (c *Cluster) writeReplica(ctx context.Context, idx int, b int64, slot []byte, version uint64) error {
+	n := c.nodes[idx]
+	if !n.admit() {
+		c.noteResult(idx, true, errNodeDown)
+		c.queueHint(idx, b, slot, version)
+		return errNodeDown
+	}
+	_, err := n.client.WriteAtCtx(ctx, slot, b*SlotBytes)
+	c.noteResult(idx, true, err)
+	if err != nil && pcmserve.Classify(err) == pcmserve.ClassTransient {
+		c.queueHint(idx, b, slot, version)
+	}
+	return err
+}
+
+func (c *Cluster) queueHint(idx int, b int64, slot []byte, version uint64) {
+	if c.nodes[idx].addHint(b, slot, version) {
+		c.met.hintsQueued.Inc()
+	} else {
+		c.met.hintsDroppedFull.Inc()
+	}
+}
+
+// ReadBlock reads block b with read-quorum semantics: it returns the
+// highest-version structurally valid copy among R valid replica
+// replies (64 bytes; all zeros if the block was never written), or a
+// typed error — never silently stale or corrupt data. Divergent
+// replicas found along the way are repaired in the background.
+func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := c.checkBlock(b); err != nil {
+		return nil, err
+	}
+	c.opGate.RLock()
+	defer c.opGate.RUnlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	c.met.quorumReads.Inc()
+	t0 := time.Now()
+
+	reps := replicasFor(c.seeds, b, c.rf)
+	results := make(chan replicaRead, len(reps))
+	for _, idx := range reps {
+		c.bg.Add(1)
+		go func(idx int) {
+			defer c.bg.Done()
+			results <- c.readReplica(ctx, idx, b)
+		}(idx)
+	}
+
+	var all []replicaRead
+	valids := 0
+	degraded := false
+	for len(all) < len(reps) && valids < c.r {
+		select {
+		case res := <-results:
+			all = append(all, res)
+			if res.valid() {
+				valids++
+			} else {
+				degraded = true
+			}
+		case <-ctx.Done():
+			c.drainReads(b, len(reps)-len(all), results, all, blockMeta{}, nil, false)
+			c.met.quorumFailRead.Inc()
+			return nil, fmt.Errorf("pcmcluster: read block %d: %d/%d valid replies: %w: %w",
+				b, valids, c.r, ctx.Err(), ErrReadQuorum)
+		}
+	}
+	if valids < c.r {
+		c.drainReads(b, len(reps)-len(all), results, all, blockMeta{}, nil, false)
+		c.met.quorumFailRead.Inc()
+		return nil, fmt.Errorf("pcmcluster: read block %d: %d/%d valid replies from %d replicas (last: %v): %w",
+			b, valids, c.r, len(reps), firstProblem(all), ErrReadQuorum)
+	}
+
+	// Last-writer-wins: the highest version among the valid replies.
+	var winner replicaRead
+	found := false
+	for _, res := range all {
+		if res.valid() && (!found || res.meta.Version > winner.meta.Version) {
+			winner, found = res, true
+		}
+	}
+	c.met.latRead.Observe(time.Since(t0).Seconds())
+	if degraded {
+		c.met.degradedReads.Inc()
+	}
+	// Stragglers still resolve, and any divergent replica (in the
+	// quorum or behind it) is repaired — in the background so the read
+	// returns at quorum speed.
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		c.drainReads(b, len(reps)-len(all), results, all, winner.meta, winner.slot, true)
+	}()
+	out := make([]byte, DataBytes)
+	copy(out, winner.data)
+	return out, nil
+}
+
+// firstProblem summarizes the first non-valid reply for error text.
+func firstProblem(all []replicaRead) error {
+	for _, r := range all {
+		if r.err != nil {
+			return r.err
+		}
+		if r.status == slotCorrupt {
+			return errors.New("corrupt slot")
+		}
+	}
+	return nil
+}
+
+// drainReads consumes remaining replica replies and, when repair is
+// set, reconciles every divergent replica against the winner.
+func (c *Cluster) drainReads(b int64, remaining int, results chan replicaRead, all []replicaRead, winner blockMeta, winnerSlot []byte, repair bool) {
+	for ; remaining > 0; remaining-- {
+		all = append(all, <-results)
+	}
+	if !repair {
+		return
+	}
+	for _, res := range all {
+		if res.err != nil {
+			continue
+		}
+		switch {
+		case res.status == slotCorrupt:
+			c.met.divergentCorrupt.Inc()
+			c.repairReplica(res.idx, b, winnerSlot, winner.Version, c.met.repairsRead)
+		case res.meta.Version < winner.Version:
+			c.met.divergentStale.Inc()
+			c.repairReplica(res.idx, b, winnerSlot, winner.Version, c.met.repairsRead)
+		}
+	}
+}
+
+// repairReplica rewrites block b on one replica from the winner slot.
+// Under the block's stripe lock it re-reads the stored slot first: if a
+// newer structurally valid write landed in the meantime the repair is
+// skipped, so a repair can never regress a replica past what this
+// client wrote. The re-check decodes the whole slot, not just the
+// trailer — corrupted data under an intact trailer must still be
+// rewritten.
+func (c *Cluster) repairReplica(idx int, b int64, winnerSlot []byte, winnerVersion uint64, counter *obs.Counter) {
+	n := c.nodes[idx]
+	if n.currentState() != NodeUp {
+		return // unreachable replicas converge via hints or later sweeps
+	}
+	mu := c.stripe(b)
+	mu.Lock()
+	defer mu.Unlock()
+	cur := make([]byte, SlotBytes)
+	if _, err := n.client.ReadAtCtx(c.ctx, cur, b*SlotBytes); err == nil {
+		if _, m, status := decodeSlot(cur); status == slotOK && m.Version >= winnerVersion {
+			c.met.repairsSkipped.Inc()
+			return
+		}
+	}
+	_, err := n.client.WriteAtCtx(c.ctx, winnerSlot, b*SlotBytes)
+	c.noteResult(idx, true, err)
+	if err != nil {
+		c.met.repairsFailed.Inc()
+		return
+	}
+	counter.Inc()
+}
+
+// WriteBlock writes 64 bytes to block b with write-quorum semantics:
+// it stamps a fresh version, fans out to every replica, and returns
+// once W replicas acknowledge (stragglers finish in the background;
+// failed or unreachable replicas get hinted writes). On ErrWriteQuorum
+// the write may still have partially applied.
+func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
+	if len(data) != DataBytes {
+		return fmt.Errorf("pcmcluster: write needs exactly %d bytes, got %d", DataBytes, len(data))
+	}
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if err := c.checkBlock(b); err != nil {
+		return err
+	}
+	c.opGate.RLock()
+	defer c.opGate.RUnlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	c.met.quorumWrites.Inc()
+	t0 := time.Now()
+
+	version := c.nextVersion()
+	slot := make([]byte, SlotBytes)
+	encodeSlot(slot, data, version)
+	reps := replicasFor(c.seeds, b, c.rf)
+
+	// The stripe stays locked until every replica write resolves (not
+	// just the first W), so no repair or hint replay can interleave
+	// with this write's stragglers.
+	mu := c.stripe(b)
+	mu.Lock()
+	results := make(chan error, len(reps))
+	for _, idx := range reps {
+		c.bg.Add(1)
+		go func(idx int) {
+			defer c.bg.Done()
+			results <- c.writeReplica(ctx, idx, b, slot, version)
+		}(idx)
+	}
+
+	acks, resolved := 0, 0
+	var lastErr error
+	ctxErr := error(nil)
+	for resolved < len(reps) && acks < c.w && ctxErr == nil {
+		select {
+		case err := <-results:
+			resolved++
+			if err == nil {
+				acks++
+			} else {
+				lastErr = err
+			}
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+		}
+	}
+	if resolved == len(reps) {
+		mu.Unlock()
+	} else {
+		c.bg.Add(1)
+		go func(remaining int) {
+			defer c.bg.Done()
+			for ; remaining > 0; remaining-- {
+				<-results
+			}
+			mu.Unlock()
+		}(len(reps) - resolved)
+	}
+
+	if acks >= c.w {
+		c.met.latWrite.Observe(time.Since(t0).Seconds())
+		if lastErr != nil {
+			c.met.degradedWrites.Inc()
+		}
+		return nil
+	}
+	c.met.quorumFailWrite.Inc()
+	if ctxErr != nil {
+		return fmt.Errorf("pcmcluster: write block %d: %d/%d acks: %w: %w",
+			b, acks, c.w, ctxErr, ErrWriteQuorum)
+	}
+	return fmt.Errorf("pcmcluster: write block %d: %d/%d acks from %d replicas (last: %v): %w",
+		b, acks, c.w, len(reps), lastErr, ErrWriteQuorum)
+}
+
+// drainLoop replays hinted writes to nodes that have come back.
+func (c *Cluster) drainLoop(interval time.Duration) {
+	defer c.loops.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for idx, n := range c.nodes {
+			if n.hintCount() == 0 {
+				continue
+			}
+			if !n.admit() { // down and no probe due
+				continue
+			}
+			hints := n.takeHints(256)
+			requeue := false
+			for b, h := range hints {
+				if requeue {
+					n.addHint(b, h.slot, h.version)
+					continue
+				}
+				if !c.replayHint(idx, b, h) {
+					requeue = true
+					n.addHint(b, h.slot, h.version)
+				}
+			}
+		}
+	}
+}
+
+// replayHint applies one buffered write if the node's stored slot is
+// still older. It returns false when the node failed again (the
+// caller re-queues).
+func (c *Cluster) replayHint(idx int, b int64, h hint) bool {
+	n := c.nodes[idx]
+	mu := c.stripe(b)
+	mu.Lock()
+	defer mu.Unlock()
+	cur := make([]byte, SlotBytes)
+	if _, err := n.client.ReadAtCtx(c.ctx, cur, b*SlotBytes); err == nil {
+		if _, m, status := decodeSlot(cur); status == slotOK && m.Version >= h.version {
+			c.met.hintsDroppedStale.Inc()
+			return true
+		}
+	}
+	_, err := n.client.WriteAtCtx(c.ctx, h.slot, b*SlotBytes)
+	c.noteResult(idx, true, err)
+	if err != nil {
+		return pcmserve.Classify(err) != pcmserve.ClassTransient
+	}
+	c.met.hintsReplayed.Inc()
+	return true
+}

@@ -1,0 +1,34 @@
+// Package pcmcluster replicates 64-byte blocks across N independent
+// pcmserve nodes — the paper's redundancy-plus-background-repair
+// argument lifted one level, from cells and blocks inside a chip to
+// whole devices in a fleet.
+//
+// Placement is rendezvous hashing: each block hashes every node and
+// lives on the ReplicationFactor highest scorers, so the layout is
+// deterministic from the node list alone (in any order) and no
+// membership table has to be replicated. Every replica stores the
+// block in an 80-byte slot — 64 data bytes plus a 16-byte sideband
+// trailer carrying a version tag, a CRC32-C over the data, and a
+// CRC32-C self-check over the trailer (the PR 4 sideband technique
+// applied cross-node). An all-zero slot means never written.
+//
+// Writes stamp a cluster-unique, monotonically increasing version and
+// fan out to all replicas; WriteQuorum acknowledgements make the write
+// durable and the call returns while stragglers finish in the
+// background. Reads fan out and need ReadQuorum structurally valid
+// replies; the highest version wins (last-writer-wins), and because
+// ReadQuorum+WriteQuorum > ReplicationFactor every read set intersects
+// every acknowledged write set, so an acknowledged write is never
+// silently missed. Divergent replicas — stale versions or slots whose
+// CRCs fail — are rewritten from the winner (read-repair), with a
+// re-check under a per-block stripe lock so a repair can never clobber
+// a newer concurrent write from this client.
+//
+// Node health is a breaker driven by pcmserve.Classify: consecutive
+// transient failures (connection loss, timeouts) mark a node down, and
+// probes re-admit it; typed in-band errors prove the node alive.
+// Writes to down nodes buffer as hinted handoff and replay, newest
+// version per block, when the node returns. A background anti-entropy
+// sweeper walks the block space like the scrubber and reconciles
+// replicas that foreground traffic never reads.
+package pcmcluster

@@ -1,0 +1,127 @@
+package pcmcluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// slotFuzzSeeds returns representative slot images: a canonical written
+// slot, the unwritten all-zero slot, and hostile mutants (bit flips in
+// data, version, and both CRCs; truncations; a forged version-0
+// trailer). The same set seeds the fuzzer and backs the checked-in
+// corpus under testdata/fuzz/FuzzDecodeSlot.
+func slotFuzzSeeds() [][]byte {
+	data := make([]byte, DataBytes)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+	canonical := make([]byte, SlotBytes)
+	encodeSlot(canonical, data, 42<<8|0xA7)
+
+	flip := func(at int) []byte {
+		s := append([]byte(nil), canonical...)
+		s[at] ^= 0x40
+		return s
+	}
+	seeds := [][]byte{
+		canonical,
+		make([]byte, SlotBytes), // unwritten
+		flip(0),                 // data corruption
+		flip(DataBytes + 3),     // version corruption
+		flip(DataBytes + 13),    // data-CRC corruption
+		flip(DataBytes + 14),    // meta-CRC self-check corruption
+		canonical[:DataBytes],   // trailer torn off entirely
+		canonical[:SlotBytes-1], // short by one byte
+	}
+	// Nonzero data with an all-zero trailer: looks like a torn write.
+	torn := make([]byte, SlotBytes)
+	copy(torn, data)
+	seeds = append(seeds, torn)
+	return seeds
+}
+
+// FuzzDecodeSlot drives arbitrary bytes through the replica slot codec,
+// asserting it never panics, that accepted slots re-encode canonically,
+// and that the bare-trailer decoder agrees with the full one.
+func FuzzDecodeSlot(f *testing.F) {
+	for _, s := range slotFuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, slot []byte) {
+		data, meta, status := decodeSlot(slot)
+		switch status {
+		case slotOK:
+			if meta.Version == 0 {
+				t.Fatal("decodeSlot accepted a version-0 slot as written")
+			}
+			// A slot that decodes must re-encode to the exact bytes: the
+			// codec is canonical, so repairs forward verbatim replicas.
+			re := make([]byte, SlotBytes)
+			encodeSlot(re, data, meta.Version)
+			if !bytes.Equal(re, slot) {
+				t.Fatalf("slot did not re-encode canonically:\n got %x\nwant %x", re, slot)
+			}
+			m, ok := decodeMeta(slot[DataBytes:])
+			if !ok || m != meta {
+				t.Fatalf("decodeMeta = %+v ok=%v disagrees with decodeSlot %+v", m, ok, meta)
+			}
+		case slotUnwritten:
+			for _, b := range slot {
+				if b != 0 {
+					t.Fatal("nonzero slot classified unwritten")
+				}
+			}
+		case slotCorrupt:
+			// Fine: rejected input never contributes to a read quorum.
+		default:
+			t.Fatalf("decodeSlot returned unknown status %v", status)
+		}
+		if len(slot) >= SlotBytes {
+			// decodeMeta must never panic on an arbitrary trailer.
+			_, _ = decodeMeta(slot[DataBytes:])
+		}
+	})
+}
+
+// TestRegenerateSlotFuzzCorpus rewrites the checked-in seed corpus under
+// testdata/fuzz/FuzzDecodeSlot from slotFuzzSeeds(). Run it after a slot
+// layout change:
+//
+//	PCMCLUSTER_WRITE_FUZZ_CORPUS=1 go test -run TestRegenerateSlotFuzzCorpus ./internal/pcmcluster
+func TestRegenerateSlotFuzzCorpus(t *testing.T) {
+	if os.Getenv("PCMCLUSTER_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set PCMCLUSTER_WRITE_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeSlot")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range slotFuzzSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSlotFuzzSeedsStillParse pins the seed corpus to the current slot
+// layout: the canonical seed decodes, the zero slot is unwritten, every
+// mutant is corrupt. If the layout changes, regenerate testdata/fuzz.
+func TestSlotFuzzSeedsStillParse(t *testing.T) {
+	seeds := slotFuzzSeeds()
+	if _, meta, status := decodeSlot(seeds[0]); status != slotOK || meta.Version != 42<<8|0xA7 {
+		t.Errorf("canonical seed: status=%v version=%#x, want ok/42<<8|0xA7", status, meta.Version)
+	}
+	if _, _, status := decodeSlot(seeds[1]); status != slotUnwritten {
+		t.Errorf("zero seed: status=%v, want unwritten", status)
+	}
+	for i := 2; i < len(seeds); i++ {
+		if _, _, status := decodeSlot(seeds[i]); status != slotCorrupt {
+			t.Errorf("mutant seed %d: status=%v, want corrupt", i, status)
+		}
+	}
+}

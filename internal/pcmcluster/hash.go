@@ -1,0 +1,58 @@
+package pcmcluster
+
+import "hash/fnv"
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
+// permutation used as the rendezvous scoring hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nodeSeed derives a node's stable hash identity from its address, so
+// placement depends only on the membership set, never on list order.
+func nodeSeed(addr string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// rendezvousScore ranks node (by seed) for block b: each block
+// independently permutes the node set and its replicas are the top
+// scorers — highest-random-weight (rendezvous) hashing.
+func rendezvousScore(seed uint64, b int64) uint64 {
+	return mix64(seed ^ mix64(uint64(b)+0x9e3779b97f4a7c15))
+}
+
+// replicasFor returns the indices of the rf highest-scoring nodes for
+// block b, in descending score order.
+func replicasFor(seeds []uint64, b int64, rf int) []int {
+	top := make([]int, 0, rf)
+	scores := make([]uint64, 0, rf)
+	for i, s := range seeds {
+		sc := rendezvousScore(s, b)
+		// Insertion into the small descending top-rf list.
+		pos := len(top)
+		for pos > 0 && sc > scores[pos-1] {
+			pos--
+		}
+		if pos == rf {
+			continue
+		}
+		top = append(top, 0)
+		scores = append(scores, 0)
+		copy(top[pos+1:], top[pos:])
+		copy(scores[pos+1:], scores[pos:])
+		top[pos] = i
+		scores[pos] = sc
+		if len(top) > rf {
+			top = top[:rf]
+			scores = scores[:rf]
+		}
+	}
+	return top
+}

@@ -1,0 +1,85 @@
+package pcmcluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testSeeds(n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = nodeSeed(fmt.Sprintf("10.0.0.%d:7070", i))
+	}
+	return seeds
+}
+
+func TestReplicasForDeterministicAndDistinct(t *testing.T) {
+	seeds := testSeeds(5)
+	for b := int64(0); b < 200; b++ {
+		reps := replicasFor(seeds, b, 3)
+		if len(reps) != 3 {
+			t.Fatalf("block %d: %d replicas, want 3", b, len(reps))
+		}
+		seen := map[int]bool{}
+		for _, idx := range reps {
+			if idx < 0 || idx >= 5 || seen[idx] {
+				t.Fatalf("block %d: bad replica set %v", b, reps)
+			}
+			seen[idx] = true
+		}
+		again := replicasFor(seeds, b, 3)
+		for i := range reps {
+			if reps[i] != again[i] {
+				t.Fatalf("block %d: placement not deterministic: %v vs %v", b, reps, again)
+			}
+		}
+	}
+}
+
+// TestReplicasForOrderIndependent: placement must depend on the set of
+// addresses, not the order the node list was written in.
+func TestReplicasForOrderIndependent(t *testing.T) {
+	seeds := testSeeds(5)
+	shuffled := []uint64{seeds[3], seeds[0], seeds[4], seeds[2], seeds[1]}
+	perm := []int{3, 0, 4, 2, 1} // shuffled[i] == seeds[perm[i]]
+	for b := int64(0); b < 100; b++ {
+		a := replicasFor(seeds, b, 3)
+		s := replicasFor(shuffled, b, 3)
+		for i := range a {
+			if a[i] != perm[s[i]] {
+				t.Fatalf("block %d: placement depends on node order: %v vs %v", b, a, s)
+			}
+		}
+	}
+}
+
+// TestReplicasForBalance: rendezvous hashing should spread primaries
+// roughly evenly; no node may be starved or doubly loaded.
+func TestReplicasForBalance(t *testing.T) {
+	seeds := testSeeds(5)
+	const blocks = 5000
+	counts := make([]int, 5)
+	for b := int64(0); b < blocks; b++ {
+		for _, idx := range replicasFor(seeds, b, 3) {
+			counts[idx]++
+		}
+	}
+	want := blocks * 3 / 5
+	for i, got := range counts {
+		if got < want*8/10 || got > want*12/10 {
+			t.Fatalf("node %d holds %d replicas, want %d ±20%%: %v", i, got, want, counts)
+		}
+	}
+}
+
+func TestReplicasForFullSet(t *testing.T) {
+	seeds := testSeeds(3)
+	reps := replicasFor(seeds, 7, 3)
+	seen := map[int]bool{}
+	for _, idx := range reps {
+		seen[idx] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("rf == nodes must place on every node, got %v", reps)
+	}
+}

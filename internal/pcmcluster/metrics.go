@@ -1,0 +1,236 @@
+package pcmcluster
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// latBoundsSeconds mirrors pcmserve's histogram scheme: power-of-two
+// microsecond upper bounds from 1 µs to ~4.2 s, +Inf making 24 buckets.
+var latBoundsSeconds = func() []float64 {
+	out := make([]float64, 23)
+	for i := range out {
+		out[i] = float64(uint64(1)<<uint(i)) * 1e-6
+	}
+	return out
+}()
+
+// metrics holds the cluster's registered instruments.
+type metrics struct {
+	reg *obs.Registry
+
+	quorumReads, quorumWrites           *obs.Counter
+	quorumFailRead, quorumFailWrite     *obs.Counter
+	degradedReads, degradedWrites       *obs.Counter
+	latRead, latWrite                   *obs.Histogram
+	repairsRead, repairsAntiEntropy     *obs.Counter
+	repairsSkipped, repairsFailed       *obs.Counter
+	divergentStale, divergentCorrupt    *obs.Counter
+	hintsQueued, hintsReplayed          *obs.Counter
+	hintsDroppedStale, hintsDroppedFull *obs.Counter
+	nodeTransitions                     *obs.Counter
+	aeClean, aeRepaired, aeUnavailable  *obs.Counter
+	aePasses                            *obs.Counter
+
+	nodeReads, nodeWrites []*obs.Counter // per node index
+	nodeErrs              []*obs.Counter
+}
+
+func newMetrics(reg *obs.Registry, c *Cluster) *metrics {
+	m := &metrics{reg: reg}
+
+	reg.GaugeFunc("pcmcluster_nodes", "Nodes in the cluster membership.",
+		func() float64 { return float64(len(c.nodes)) })
+	reg.GaugeFunc("pcmcluster_blocks", "Replicated block capacity.",
+		func() float64 { return float64(c.blocks) })
+	reg.GaugeFunc("pcmcluster_replication_factor", "Replicas per block.",
+		func() float64 { return float64(c.rf) })
+
+	const qName = "pcmcluster_quorum_requests_total"
+	const qHelp = "Quorum operations issued, by op."
+	m.quorumReads = reg.Counter(qName, qHelp, obs.L("op", "read")...)
+	m.quorumWrites = reg.Counter(qName, qHelp, obs.L("op", "write")...)
+	const qfName = "pcmcluster_quorum_failures_total"
+	const qfHelp = "Quorum operations that could not gather enough replica replies."
+	m.quorumFailRead = reg.Counter(qfName, qfHelp, obs.L("op", "read")...)
+	m.quorumFailWrite = reg.Counter(qfName, qfHelp, obs.L("op", "write")...)
+	const dgName = "pcmcluster_degraded_quorums_total"
+	const dgHelp = "Quorum operations that succeeded despite at least one replica failure or corrupt reply (failover working as designed)."
+	m.degradedReads = reg.Counter(dgName, dgHelp, obs.L("op", "read")...)
+	m.degradedWrites = reg.Counter(dgName, dgHelp, obs.L("op", "write")...)
+	const latName = "pcmcluster_quorum_latency_seconds"
+	const latHelp = "Latency from issuing a quorum operation to reaching its quorum."
+	m.latRead = reg.Histogram(latName, latHelp, latBoundsSeconds, obs.L("op", "read")...)
+	m.latWrite = reg.Histogram(latName, latHelp, latBoundsSeconds, obs.L("op", "write")...)
+
+	const rrName = "pcmcluster_read_repairs_total"
+	const rrHelp = "Divergent replicas rewritten from the quorum winner, by repair source."
+	m.repairsRead = reg.Counter(rrName, rrHelp, obs.L("source", "read")...)
+	m.repairsAntiEntropy = reg.Counter(rrName, rrHelp, obs.L("source", "antientropy")...)
+	m.repairsSkipped = reg.Counter("pcmcluster_repairs_skipped_total",
+		"Repairs abandoned because the stripe-locked re-check found the replica already at or past the winner version.")
+	m.repairsFailed = reg.Counter("pcmcluster_repairs_failed_total",
+		"Repair writes that failed; the divergence stands until re-detected.")
+	const dvName = "pcmcluster_divergent_replicas_total"
+	const dvHelp = "Replica divergences detected on the read path, by cause."
+	m.divergentStale = reg.Counter(dvName, dvHelp, obs.L("cause", "stale")...)
+	m.divergentCorrupt = reg.Counter(dvName, dvHelp, obs.L("cause", "corrupt")...)
+
+	const hName = "pcmcluster_hints_total"
+	const hHelp = "Hinted-handoff events: writes buffered for down nodes, replays, and drops."
+	m.hintsQueued = reg.Counter(hName, hHelp, obs.L("outcome", "queued")...)
+	m.hintsReplayed = reg.Counter(hName, hHelp, obs.L("outcome", "replayed")...)
+	m.hintsDroppedStale = reg.Counter(hName, hHelp, obs.L("outcome", "dropped_stale")...)
+	m.hintsDroppedFull = reg.Counter(hName, hHelp, obs.L("outcome", "dropped_overflow")...)
+
+	m.nodeTransitions = reg.Counter("pcmcluster_node_down_transitions_total",
+		"Times the breaker marked a node down.")
+
+	const aeName = "pcmcluster_antientropy_blocks_total"
+	const aeHelp = "Anti-entropy sweep outcomes per block visited."
+	m.aeClean = reg.Counter(aeName, aeHelp, obs.L("outcome", "clean")...)
+	m.aeRepaired = reg.Counter(aeName, aeHelp, obs.L("outcome", "repaired")...)
+	m.aeUnavailable = reg.Counter(aeName, aeHelp, obs.L("outcome", "unavailable")...)
+	m.aePasses = reg.Counter("pcmcluster_antientropy_passes_total",
+		"Completed anti-entropy walks of the whole block space.")
+
+	const nopName = "pcmcluster_node_ops_total"
+	const nopHelp = "Replica operations sent per node, by op."
+	const nerrName = "pcmcluster_node_errors_total"
+	const nerrHelp = "Replica operations that failed per node (any error class)."
+	for _, n := range c.nodes {
+		labels := obs.L("node", n.addr)
+		reg.GaugeFunc("pcmcluster_node_up",
+			"Breaker verdict per node: 1 up, 0 down.",
+			func() float64 {
+				if n.currentState() == NodeUp {
+					return 1
+				}
+				return 0
+			}, labels...)
+		reg.GaugeFunc("pcmcluster_node_hints_pending",
+			"Hinted writes buffered for this node.",
+			func() float64 { return float64(n.hintCount()) }, labels...)
+		m.nodeReads = append(m.nodeReads, reg.Counter(nopName, nopHelp, obs.L("node", n.addr, "op", "read")...))
+		m.nodeWrites = append(m.nodeWrites, reg.Counter(nopName, nopHelp, obs.L("node", n.addr, "op", "write")...))
+		m.nodeErrs = append(m.nodeErrs, reg.Counter(nerrName, nerrHelp, labels...))
+	}
+	return m
+}
+
+// NodeStats is one node's slice of a ClusterStats snapshot.
+type NodeStats struct {
+	Addr         string `json:"addr"`
+	State        string `json:"state"`
+	Reads        uint64 `json:"reads"`
+	Writes       uint64 `json:"writes"`
+	Errors       uint64 `json:"errors"`
+	HintsPending int    `json:"hints_pending"`
+}
+
+// ClusterStats is a JSON-friendly snapshot of the cluster's counters —
+// the loadgen report and test assertions read this instead of scraping
+// the exposition text.
+type ClusterStats struct {
+	Blocks            int64 `json:"blocks"`
+	ReplicationFactor int   `json:"replication_factor"`
+	WriteQuorum       int   `json:"write_quorum"`
+	ReadQuorum        int   `json:"read_quorum"`
+
+	QuorumReads        uint64 `json:"quorum_reads"`
+	QuorumWrites       uint64 `json:"quorum_writes"`
+	ReadQuorumFailures uint64 `json:"read_quorum_failures"`
+	WriteQuorumFails   uint64 `json:"write_quorum_failures"`
+	DegradedReads      uint64 `json:"degraded_reads"`
+	DegradedWrites     uint64 `json:"degraded_writes"`
+
+	ReadRepairs        uint64 `json:"read_repairs"`
+	AntiEntropyRepairs uint64 `json:"antientropy_repairs"`
+	RepairsSkipped     uint64 `json:"repairs_skipped"`
+	RepairsFailed      uint64 `json:"repairs_failed"`
+	DivergentStale     uint64 `json:"divergent_stale"`
+	DivergentCorrupt   uint64 `json:"divergent_corrupt"`
+
+	HintsQueued         uint64 `json:"hints_queued"`
+	HintsReplayed       uint64 `json:"hints_replayed"`
+	HintsDroppedStale   uint64 `json:"hints_dropped_stale"`
+	HintsDroppedFull    uint64 `json:"hints_dropped_overflow"`
+	NodeDownTransitions uint64 `json:"node_down_transitions"`
+
+	AntiEntropyClean       uint64 `json:"antientropy_clean"`
+	AntiEntropyUnavailable uint64 `json:"antientropy_unavailable"`
+	AntiEntropyPasses      uint64 `json:"antientropy_passes"`
+
+	Nodes []NodeStats `json:"nodes"`
+}
+
+// Stats snapshots the cluster counters.
+func (c *Cluster) Stats() ClusterStats {
+	m := c.met
+	st := ClusterStats{
+		Blocks:            c.blocks,
+		ReplicationFactor: c.rf,
+		WriteQuorum:       c.w,
+		ReadQuorum:        c.r,
+
+		QuorumReads:        m.quorumReads.Value(),
+		QuorumWrites:       m.quorumWrites.Value(),
+		ReadQuorumFailures: m.quorumFailRead.Value(),
+		WriteQuorumFails:   m.quorumFailWrite.Value(),
+		DegradedReads:      m.degradedReads.Value(),
+		DegradedWrites:     m.degradedWrites.Value(),
+
+		ReadRepairs:        m.repairsRead.Value(),
+		AntiEntropyRepairs: m.repairsAntiEntropy.Value(),
+		RepairsSkipped:     m.repairsSkipped.Value(),
+		RepairsFailed:      m.repairsFailed.Value(),
+		DivergentStale:     m.divergentStale.Value(),
+		DivergentCorrupt:   m.divergentCorrupt.Value(),
+
+		HintsQueued:         m.hintsQueued.Value(),
+		HintsReplayed:       m.hintsReplayed.Value(),
+		HintsDroppedStale:   m.hintsDroppedStale.Value(),
+		HintsDroppedFull:    m.hintsDroppedFull.Value(),
+		NodeDownTransitions: m.nodeTransitions.Value(),
+
+		AntiEntropyClean:       m.aeClean.Value(),
+		AntiEntropyUnavailable: m.aeUnavailable.Value(),
+		AntiEntropyPasses:      m.aePasses.Value(),
+	}
+	for i, n := range c.nodes {
+		st.Nodes = append(st.Nodes, NodeStats{
+			Addr:         n.addr,
+			State:        n.currentState().String(),
+			Reads:        m.nodeReads[i].Value(),
+			Writes:       m.nodeWrites[i].Value(),
+			Errors:       m.nodeErrs[i].Value(),
+			HintsPending: n.hintCount(),
+		})
+	}
+	return st
+}
+
+// Registry returns the metrics registry backing this cluster, for
+// mounting on an obs.AdminHandler.
+func (c *Cluster) Registry() *obs.Registry { return c.met.reg }
+
+// Health reports breaker state per node for /healthz: healthy while
+// enough nodes are up to meet both quorums.
+func (c *Cluster) Health() obs.HealthReport {
+	up := 0
+	rep := obs.HealthReport{}
+	for _, n := range c.nodes {
+		st := n.currentState()
+		if st == NodeUp {
+			up++
+		}
+		rep.Components = append(rep.Components, obs.ComponentHealth{
+			Name:   "node/" + n.addr,
+			State:  st.String(),
+			Detail: strconv.Itoa(n.hintCount()) + " hints pending",
+		})
+	}
+	rep.Healthy = up >= c.w && up >= c.r
+	return rep
+}

@@ -1,0 +1,176 @@
+package pcmcluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/pcmserve"
+)
+
+// NodeClient is what the cluster needs from one node's connection.
+// *pcmserve.RetryClient satisfies it; tests substitute in-process
+// fakes via Config.DialNode.
+type NodeClient interface {
+	ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error)
+	WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error)
+	Stats() (pcmserve.Stats, error)
+	Close() error
+}
+
+// NodeState is a node's breaker verdict.
+type NodeState int32
+
+const (
+	// NodeUp: ops are admitted normally.
+	NodeUp NodeState = iota
+	// NodeDown: consecutive transient failures reached the threshold;
+	// ops fast-fail (writes buffer as hints) until a probe succeeds.
+	NodeDown
+)
+
+func (s NodeState) String() string {
+	if s == NodeDown {
+		return "down"
+	}
+	return "up"
+}
+
+// hint is one buffered write awaiting a down node's return. Only the
+// newest version per block is kept.
+type hint struct {
+	slot    []byte
+	version uint64
+}
+
+// node pairs one pcmserve connection with breaker state and a hinted
+// handoff buffer. The breaker is deliberately one-sided: only
+// transient failures (connection loss, timeouts — pcmserve.Classify
+// ClassTransient) count against the node, because a typed in-band
+// RemoteError is proof the node is alive and serving.
+type node struct {
+	addr   string
+	seed   uint64
+	client NodeClient
+
+	failThreshold int
+	probeInterval time.Duration
+	hintCap       int
+
+	mu        sync.Mutex
+	state     NodeState
+	fails     int // consecutive transient failures while up
+	downSince time.Time
+	probing   bool
+	hints     map[int64]hint
+}
+
+func newNode(addr string, client NodeClient, failThreshold int, probeInterval time.Duration, hintCap int) *node {
+	return &node{
+		addr:          addr,
+		seed:          nodeSeed(addr),
+		client:        client,
+		failThreshold: failThreshold,
+		probeInterval: probeInterval,
+		hintCap:       hintCap,
+		hints:         make(map[int64]hint),
+	}
+}
+
+// admit reports whether an op may be sent: always while up, and once
+// per probe interval while down (the half-open probe whose outcome
+// decides revival).
+func (n *node) admit() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state == NodeUp {
+		return true
+	}
+	if !n.probing && time.Since(n.downSince) >= n.probeInterval {
+		n.probing = true
+		return true
+	}
+	return false
+}
+
+// onSuccess records a live response (including typed in-band errors)
+// and revives a down node.
+func (n *node) onSuccess() {
+	n.mu.Lock()
+	n.fails = 0
+	n.probing = false
+	n.state = NodeUp
+	n.mu.Unlock()
+}
+
+// onFailure records a transient failure; it returns true when this
+// failure transitioned the node to down. A failed probe re-arms the
+// probe window without re-counting a transition.
+func (n *node) onFailure() (wentDown bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.state == NodeDown {
+		n.probing = false
+		n.downSince = time.Now()
+		return false
+	}
+	n.fails++
+	if n.fails >= n.failThreshold {
+		n.state = NodeDown
+		n.downSince = time.Now()
+		n.probing = false
+		return true
+	}
+	return false
+}
+
+func (n *node) currentState() NodeState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// addHint buffers a write for replay, keeping only the newest version
+// per block. It reports whether the hint was stored (false: the buffer
+// is full, or a newer hint for the block is already queued — the
+// caller counts the drop).
+func (n *node) addHint(b int64, slot []byte, version uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.hints[b]; ok {
+		if old.version >= version {
+			return false
+		}
+	} else if len(n.hints) >= n.hintCap {
+		return false
+	}
+	cp := make([]byte, SlotBytes)
+	copy(cp, slot)
+	n.hints[b] = hint{slot: cp, version: version}
+	return true
+}
+
+// takeHints removes and returns up to max buffered hints. Failed
+// replays re-queue via addHint, which keeps whichever version is newer.
+func (n *node) takeHints(max int) map[int64]hint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.hints) == 0 {
+		return nil
+	}
+	out := make(map[int64]hint, min(max, len(n.hints)))
+	for b, h := range n.hints {
+		out[b] = h
+		delete(n.hints, b)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+func (n *node) hintCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.hints)
+}

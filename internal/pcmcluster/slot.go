@@ -1,0 +1,125 @@
+package pcmcluster
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"repro/internal/core"
+)
+
+const (
+	// DataBytes is the replicated payload: one device block.
+	DataBytes = core.BlockBytes
+	// metaBytes is the sideband trailer: version (8), CRC32-C over the
+	// data (4), CRC32-C self-check over the previous 12 bytes (4).
+	metaBytes = 16
+	// SlotBytes is one block's on-node footprint; block b occupies the
+	// byte range [b·SlotBytes, (b+1)·SlotBytes) on each of its replicas.
+	SlotBytes = DataBytes + metaBytes
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// blockMeta is the decoded sideband trailer of one slot.
+type blockMeta struct {
+	// Version orders writes cluster-wide (last-writer-wins). Writers
+	// always stamp a version ≥ 1; 0 means the slot was never written.
+	Version uint64
+	// DataCRC is the CRC32-C of the 64 data bytes.
+	DataCRC uint32
+}
+
+// slotStatus classifies one replica's stored slot.
+type slotStatus int
+
+const (
+	// slotOK: trailer self-check and data CRC both hold.
+	slotOK slotStatus = iota
+	// slotUnwritten: the slot is all zeros — fresh PCM reads back
+	// zeros, so an untouched block is structurally valid with version 0.
+	slotUnwritten
+	// slotCorrupt: a CRC fails — a torn write (the 80-byte slot is not
+	// atomic on the node) or stored-bit corruption. The replica is
+	// divergent and must be repaired from a valid peer.
+	slotCorrupt
+)
+
+func (s slotStatus) String() string {
+	switch s {
+	case slotOK:
+		return "ok"
+	case slotUnwritten:
+		return "unwritten"
+	case slotCorrupt:
+		return "corrupt"
+	}
+	return "invalid"
+}
+
+// encodeSlot fills dst (SlotBytes) with data (DataBytes) and a trailer
+// stamped with version.
+func encodeSlot(dst, data []byte, version uint64) {
+	_ = dst[SlotBytes-1]
+	copy(dst, data[:DataBytes])
+	binary.BigEndian.PutUint64(dst[DataBytes:], version)
+	binary.BigEndian.PutUint32(dst[DataBytes+8:], crc32.Checksum(data[:DataBytes], castagnoli))
+	binary.BigEndian.PutUint32(dst[DataBytes+12:], crc32.Checksum(dst[DataBytes:DataBytes+12], castagnoli))
+}
+
+// decodeSlot validates one stored slot. On slotOK the returned data
+// aliases slot and meta carries the trailer; on slotUnwritten the data
+// is the (all-zero) payload with Version 0; on slotCorrupt both are
+// zero values.
+func decodeSlot(slot []byte) ([]byte, blockMeta, slotStatus) {
+	if len(slot) != SlotBytes {
+		return nil, blockMeta{}, slotCorrupt
+	}
+	data := slot[:DataBytes]
+	metaCRC := binary.BigEndian.Uint32(slot[DataBytes+12:])
+	if crc32.Checksum(slot[DataBytes:DataBytes+12], castagnoli) == metaCRC {
+		m := blockMeta{
+			Version: binary.BigEndian.Uint64(slot[DataBytes:]),
+			DataCRC: binary.BigEndian.Uint32(slot[DataBytes+8:]),
+		}
+		if m.Version == 0 {
+			// Writers stamp versions ≥ 1; a self-consistent trailer
+			// claiming version 0 is not something encodeSlot produces.
+			return nil, blockMeta{}, slotCorrupt
+		}
+		if crc32.Checksum(data, castagnoli) != m.DataCRC {
+			return nil, blockMeta{}, slotCorrupt
+		}
+		return data, m, slotOK
+	}
+	for _, b := range slot {
+		if b != 0 {
+			return nil, blockMeta{}, slotCorrupt
+		}
+	}
+	return data, blockMeta{}, slotUnwritten
+}
+
+// decodeMeta validates a bare 16-byte trailer (read without its data,
+// e.g. the stale-check before replaying a hint). ok is false when the
+// self-check fails and the trailer is not all zeros.
+func decodeMeta(trailer []byte) (blockMeta, bool) {
+	if len(trailer) != metaBytes {
+		return blockMeta{}, false
+	}
+	if crc32.Checksum(trailer[:12], castagnoli) == binary.BigEndian.Uint32(trailer[12:]) {
+		m := blockMeta{
+			Version: binary.BigEndian.Uint64(trailer),
+			DataCRC: binary.BigEndian.Uint32(trailer[8:]),
+		}
+		if m.Version != 0 {
+			return m, true
+		}
+		return blockMeta{}, false
+	}
+	for _, b := range trailer {
+		if b != 0 {
+			return blockMeta{}, false
+		}
+	}
+	return blockMeta{}, true // unwritten: Version 0
+}

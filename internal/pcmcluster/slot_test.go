@@ -1,0 +1,93 @@
+package pcmcluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+func TestSlotRoundTrip(t *testing.T) {
+	data := make([]byte, DataBytes)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	slot := make([]byte, SlotBytes)
+	encodeSlot(slot, data, 0x1234567890ab)
+
+	got, meta, status := decodeSlot(slot)
+	if status != slotOK {
+		t.Fatalf("status = %v, want ok", status)
+	}
+	if meta.Version != 0x1234567890ab {
+		t.Fatalf("version = %#x, want 0x1234567890ab", meta.Version)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after round-trip")
+	}
+	// The bare trailer decodes to the same verdict.
+	m, ok := decodeMeta(slot[DataBytes:])
+	if !ok || m != meta {
+		t.Fatalf("decodeMeta = %+v ok=%v, want %+v ok=true", m, ok, meta)
+	}
+}
+
+func TestSlotUnwritten(t *testing.T) {
+	zero := make([]byte, SlotBytes)
+	data, meta, status := decodeSlot(zero)
+	if status != slotUnwritten {
+		t.Fatalf("all-zero slot status = %v, want unwritten", status)
+	}
+	if meta.Version != 0 {
+		t.Fatalf("unwritten version = %d, want 0", meta.Version)
+	}
+	for _, b := range data {
+		if b != 0 {
+			t.Fatal("unwritten payload not zero")
+		}
+	}
+	if m, ok := decodeMeta(zero[DataBytes:]); !ok || m.Version != 0 {
+		t.Fatalf("decodeMeta(zero trailer) = %+v ok=%v, want version 0 ok=true", m, ok)
+	}
+}
+
+func TestSlotCorruptionDetected(t *testing.T) {
+	data := bytes.Repeat([]byte{0xC3}, DataBytes)
+	canonical := make([]byte, SlotBytes)
+	encodeSlot(canonical, data, 99<<8|7)
+
+	// Any single flipped bit — data, version, either CRC — must turn
+	// the slot corrupt, never silently decode.
+	for byteIdx := 0; byteIdx < SlotBytes; byteIdx++ {
+		slot := make([]byte, SlotBytes)
+		copy(slot, canonical)
+		slot[byteIdx] ^= 0x10
+		if _, _, status := decodeSlot(slot); status != slotCorrupt {
+			t.Fatalf("flip at byte %d: status = %v, want corrupt", byteIdx, status)
+		}
+	}
+	// A nonzero slot with a garbage trailer is corrupt, not unwritten.
+	slot := make([]byte, SlotBytes)
+	slot[0] = 1
+	if _, _, status := decodeSlot(slot); status != slotCorrupt {
+		t.Fatal("nonzero slot with zero trailer must be corrupt")
+	}
+	// Wrong length is corrupt.
+	if _, _, status := decodeSlot(canonical[:SlotBytes-1]); status != slotCorrupt {
+		t.Fatal("short slot must be corrupt")
+	}
+	// A forged version-0 trailer with a valid self-check is corrupt:
+	// writers never stamp version 0, so it cannot pass as written OR
+	// as unwritten (the data is nonzero).
+	forged := make([]byte, SlotBytes)
+	encodeSlot(forged, data, 1)
+	binary.BigEndian.PutUint64(forged[DataBytes:], 0) // version → 0
+	binary.BigEndian.PutUint32(forged[DataBytes+12:],
+		crc32.Checksum(forged[DataBytes:DataBytes+12], castagnoli)) // re-seal self-check
+	if _, _, status := decodeSlot(forged); status != slotCorrupt {
+		t.Fatal("version-0 trailer with valid self-check must be corrupt")
+	}
+	if _, ok := decodeMeta(forged[DataBytes:]); ok {
+		t.Fatal("decodeMeta must reject a sealed version-0 trailer")
+	}
+}

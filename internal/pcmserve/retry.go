@@ -87,11 +87,16 @@ type RetryStats struct {
 type RetryClient struct {
 	cfg RetryConfig
 
-	mu     sync.Mutex
-	cur    *Client
-	gen    uint64 // bumped per established connection
-	rng    *rand.Rand
-	closed bool
+	mu  sync.Mutex
+	cur *Client
+	gen uint64 // bumped per established connection
+	rng *rand.Rand
+
+	// closed is set before Close contends for mu, so an in-progress
+	// Close is visible to the retry loop even while a dial holds the
+	// mutex — a write resubmission racing Close must report ErrClosed,
+	// not the dial's generic connection error.
+	closed atomic.Bool
 
 	redials, retries atomic.Uint64
 }
@@ -128,12 +133,10 @@ func (r *RetryClient) RetryStats() RetryStats {
 // Close closes the current connection. It is idempotent: later calls
 // return ErrClosed, and in-flight operations stop retrying.
 func (r *RetryClient) Close() error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if !r.closed.CompareAndSwap(false, true) {
 		return ErrClosed
 	}
-	r.closed = true
+	r.mu.Lock()
 	c := r.cur
 	r.cur = nil
 	r.mu.Unlock()
@@ -147,7 +150,7 @@ func (r *RetryClient) Close() error {
 func (r *RetryClient) conn() (*Client, uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed {
+	if r.closed.Load() {
 		return nil, 0, ErrClosed
 	}
 	if r.cur != nil {
@@ -226,6 +229,9 @@ func (r *RetryClient) do(ctx context.Context, attempts int, op func(ctx context.
 				return err
 			}
 			lastErr = err // dial failure: transient, back off and retry
+			if r.isClosed() {
+				return fmt.Errorf("%w (last error: %w)", ErrClosed, lastErr)
+			}
 			continue
 		}
 		actx, cancel := ctx, context.CancelFunc(func() {})
@@ -252,14 +258,21 @@ func (r *RetryClient) do(ctx context.Context, attempts int, op func(ctx context.
 			// The caller's own context ended; stop retrying.
 			return errors.Join(ctx.Err(), lastErr)
 		}
-		r.mu.Lock()
-		closed := r.closed
-		r.mu.Unlock()
-		if closed {
+		if r.isClosed() {
 			return fmt.Errorf("%w (last error: %w)", ErrClosed, lastErr)
 		}
 	}
+	// A close that raced with the final attempt must surface as
+	// ErrClosed, not as whatever connection error the dying conn
+	// produced.
+	if r.isClosed() {
+		return fmt.Errorf("%w (last error: %w)", ErrClosed, lastErr)
+	}
 	return fmt.Errorf("pcmserve: giving up after %d attempts: %w", attempts, lastErr)
+}
+
+func (r *RetryClient) isClosed() bool {
+	return r.closed.Load()
 }
 
 // ReadAt retries transient failures transparently across reconnects;

@@ -1,0 +1,133 @@
+package pcmserve
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestRetryWriteCloseDuringFinalDial pins the satellite fix: a write
+// resubmission whose final dial attempt races with Close must surface
+// ErrClosed, not the generic dial error. The second Dial call holds
+// the client mutex, so Close blocks mid-teardown — but its closing
+// flag is already visible, and the retry loop must honor it when the
+// dial fails.
+func TestRetryWriteCloseDuringFinalDial(t *testing.T) {
+	dialCalls := 0
+	dialing := make(chan struct{}, 1)
+	rc, err := NewRetryClient(RetryConfig{
+		Dial: func() (net.Conn, error) {
+			dialCalls++ // serialized under the client mutex
+			if dialCalls == 2 {
+				dialing <- struct{}{}
+				time.Sleep(50 * time.Millisecond)
+			}
+			return nil, errors.New("synthetic dial failure")
+		},
+		MaxWriteAttempts: 2,
+		BaseBackoff:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewRetryClient: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, werr := rc.WriteAt(make([]byte, 64), 0)
+		done <- werr
+	}()
+	<-dialing
+	rc.Close() // blocks until the in-flight dial releases the mutex
+	werr := <-done
+	if !errors.Is(werr, ErrClosed) {
+		t.Fatalf("WriteAt after Close race = %v, want ErrClosed", werr)
+	}
+	if dialCalls != 2 {
+		t.Fatalf("dialCalls = %d, want 2", dialCalls)
+	}
+}
+
+// TestRetryWriteCloseBetweenAttempts pins the other interleaving: Close
+// lands while a resubmission is backing off, so the next attempt's
+// conn() must return ErrClosed rather than redialing.
+func TestRetryWriteCloseBetweenAttempts(t *testing.T) {
+	dialCalls := 0
+	firstFail := make(chan struct{}, 1)
+	rc, err := NewRetryClient(RetryConfig{
+		Dial: func() (net.Conn, error) {
+			dialCalls++
+			firstFail <- struct{}{}
+			return nil, errors.New("synthetic dial failure")
+		},
+		MaxWriteAttempts: 3,
+		BaseBackoff:      50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewRetryClient: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, werr := rc.WriteAt(make([]byte, 64), 0)
+		done <- werr
+	}()
+	<-firstFail
+	rc.Close() // completes during the first backoff window
+	werr := <-done
+	if !errors.Is(werr, ErrClosed) {
+		t.Fatalf("WriteAt after Close = %v, want ErrClosed", werr)
+	}
+}
+
+// TestRetryStatsAcrossReconnect pins the retry-count metrics across one
+// forced reconnect: the first connection delivers 8 bytes of the write
+// frame and dies, so the retry layer must redial exactly once and
+// resubmit exactly once, and the resubmitted write must be readable.
+func TestRetryStatsAcrossReconnect(t *testing.T) {
+	g := testShards(t, 2, 4, 8)
+	addr := startServer(t, g, ServerConfig{})
+
+	var dials atomic.Int64
+	rc, err := NewRetryClient(RetryConfig{
+		Dial: func() (net.Conn, error) {
+			conn, derr := net.Dial("tcp", addr)
+			if derr != nil {
+				return nil, derr
+			}
+			if dials.Add(1) == 1 {
+				return faultinject.WrapConn(conn, faultinject.ConnPlan{CutWriteAfter: 8}), nil
+			}
+			return conn, nil
+		},
+		BaseBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewRetryClient: %v", err)
+	}
+	defer rc.Close()
+
+	data := bytes.Repeat([]byte{0xA5}, 64)
+	if _, err := rc.WriteAt(data, 0); err != nil {
+		t.Fatalf("WriteAt across reconnect: %v", err)
+	}
+	if st := rc.RetryStats(); st != (RetryStats{Redials: 2, Retries: 1}) {
+		t.Fatalf("RetryStats after reconnect = %+v, want {Redials:2 Retries:1}", st)
+	}
+
+	got := make([]byte, 64)
+	if _, err := rc.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("resubmitted write not visible: got % x", got[:8])
+	}
+	// The read rode the healthy second connection: no new recovery work.
+	if st := rc.RetryStats(); st != (RetryStats{Redials: 2, Retries: 1}) {
+		t.Fatalf("RetryStats after read = %+v, want unchanged {Redials:2 Retries:1}", st)
+	}
+}

@@ -1,0 +1,100 @@
+package pcmserve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/faultinject"
+)
+
+// TestVerifyScrubNoDoubleCountWithReadRepair pins the interaction
+// between the foreground read-repair ladder and the verify-scrub pass
+// with exact counter deltas: a repair performed by one path must show
+// up once, and the other path must then observe the block as clean —
+// never a second repair for the same damage.
+func TestVerifyScrubNoDoubleCountWithReadRepair(t *testing.T) {
+	var fi *faultinject.Device
+	g, err := NewShards(ShardsConfig{
+		Shards: 1,
+		Device: device.Config{Blocks: 24, Seed: 42, ReserveBlocks: 4, DisableWearout: true},
+		WrapDevice: func(shard int, dev ShardDevice) ShardDevice {
+			fi = faultinject.New(dev, faultinject.Plan{Seed: 7})
+			return fi
+		},
+		Integrity:   &IntegrityConfig{T: 10},
+		VerifyScrub: true,
+		// A real scrubber (so scrubOne is wired up) that never ticks on
+		// its own: the test drives every scrub by hand.
+		ScrubInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	const block = int64(3)
+	want := bytes.Repeat([]byte{0xC3}, core.BlockBytes)
+	if _, err := g.WriteAt(want, block*core.BlockBytes); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	assertCounters := func(step string, wantInteg IntegrityStats, wantScrub ScrubStats) {
+		t.Helper()
+		integ := g.IntegrityStats()
+		if integ.CorrectedBits != wantInteg.CorrectedBits || integ.ReadRepairs != wantInteg.ReadRepairs {
+			t.Fatalf("%s: integrity = {CorrectedBits:%d ReadRepairs:%d}, want {CorrectedBits:%d ReadRepairs:%d}",
+				step, integ.CorrectedBits, integ.ReadRepairs, wantInteg.CorrectedBits, wantInteg.ReadRepairs)
+		}
+		scrub := g.ScrubStats()
+		if scrub.VerifyClean != wantScrub.VerifyClean ||
+			scrub.VerifyCorrected != wantScrub.VerifyCorrected ||
+			scrub.VerifyUncorrectable != wantScrub.VerifyUncorrectable {
+			t.Fatalf("%s: scrub verify = {Clean:%d Corrected:%d Uncorrectable:%d}, want {Clean:%d Corrected:%d Uncorrectable:%d}",
+				step, scrub.VerifyClean, scrub.VerifyCorrected, scrub.VerifyUncorrectable,
+				wantScrub.VerifyClean, wantScrub.VerifyCorrected, wantScrub.VerifyUncorrectable)
+		}
+	}
+
+	// Order 1: foreground read repairs first, then a verify scrub must
+	// find the block clean — the scrub observes the earlier repair, it
+	// does not redo (or recount) it.
+	fi.FlipStoredBits(block, 3)
+	got := make([]byte, core.BlockBytes)
+	if _, err := g.ReadAt(got, block*core.BlockBytes); err != nil {
+		t.Fatalf("read over flipped bits: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read returned corrupt data instead of correcting it")
+	}
+	assertCounters("after foreground read-repair",
+		IntegrityStats{CorrectedBits: 3, ReadRepairs: 1}, ScrubStats{})
+
+	g.scrub.scrubOne(block)
+	assertCounters("after scrub of repaired block",
+		IntegrityStats{CorrectedBits: 3, ReadRepairs: 1}, ScrubStats{VerifyClean: 1})
+
+	// Order 2: the verify scrub repairs first (one repair, counted once
+	// as a verify-corrected outcome AND once in the shared read-repair
+	// counter that did the rewrite), then a foreground read must find
+	// the block clean and add nothing.
+	fi.FlipStoredBits(block, 2)
+	g.scrub.scrubOne(block)
+	assertCounters("after scrub-first repair",
+		IntegrityStats{CorrectedBits: 5, ReadRepairs: 2}, ScrubStats{VerifyClean: 1, VerifyCorrected: 1})
+
+	if _, err := g.ReadAt(got, block*core.BlockBytes); err != nil {
+		t.Fatalf("read after scrub repair: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("scrub repair corrupted the block")
+	}
+	assertCounters("after foreground read of scrub-repaired block",
+		IntegrityStats{CorrectedBits: 5, ReadRepairs: 2}, ScrubStats{VerifyClean: 1, VerifyCorrected: 1})
+
+	if sc := g.ScrubStats(); sc.Scrubbed != 2 {
+		t.Fatalf("Scrubbed = %d, want 2 (one per hand-driven scrub)", sc.Scrubbed)
+	}
+}
