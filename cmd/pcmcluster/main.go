@@ -13,8 +13,11 @@
 // worker mirrors its acknowledged writes and checks every read against
 // the mirror. Quorum errors under failure are tolerated (and counted);
 // a read returning wrong bytes is a data error, and any data error
-// makes the process exit nonzero. The final report prints "data
-// errors: N" even when the run is cut short by SIGINT.
+// makes the process exit nonzero. Blocks this run never wrote are
+// required to read as zeros only in -spawn mode (fresh nodes); an
+// external -nodes fleet may legitimately hold data from earlier runs.
+// The final report prints "data errors: N" even when the run is cut
+// short by SIGINT.
 package main
 
 import (
@@ -60,7 +63,7 @@ func main() {
 		hintReplay  = flag.Duration("hint-replay", 50*time.Millisecond, "hinted-handoff replay cadence")
 		probe       = flag.Duration("probe", 100*time.Millisecond, "down-node half-open probe interval")
 		opTimeout   = flag.Duration("optimeout", 2*time.Second, "per-replica operation timeout")
-		seed        = flag.Uint64("seed", 1, "random seed")
+		seed        = flag.Uint64("seed", 0, "seed for version tags, retry jitter, and spawned devices (0 = random per process)")
 		obsAddr     = flag.String("obs", "", "admin HTTP listen address for /metrics and /healthz (empty disables)")
 		version     = flag.Bool("version", false, "print build information and exit")
 	)
@@ -107,8 +110,12 @@ func main() {
 
 	var addrs []string
 	if *spawn > 0 {
+		devSeed := *seed
+		if devSeed == 0 {
+			devSeed = 1 // device sim wants a deterministic nonzero seed
+		}
 		for i := 0; i < *spawn; i++ {
-			addrs = append(addrs, spawnNode(fail, *mb, *shards, *seed+uint64(i)*1000))
+			addrs = append(addrs, spawnNode(fail, *mb, *shards, devSeed+uint64(i)*1000))
 		}
 		fmt.Printf("pcmcluster: spawned %d loopback nodes: %s\n", *spawn, strings.Join(addrs, ", "))
 	} else {
@@ -164,7 +171,7 @@ func main() {
 	fmt.Printf("pcmcluster: %d nodes, rf=%d w=%d r=%d, %d blocks (%d in play)\n",
 		len(addrs), st.ReplicationFactor, st.WriteQuorum, st.ReadQuorum, c.Blocks(), blocks)
 
-	dataErrors := runLoadgen(c, blocks, *clients, *duration, *readPct)
+	dataErrors := runLoadgen(c, blocks, *clients, *duration, *readPct, *spawn > 0)
 
 	report(c, dataErrors)
 	if dataErrors > 0 {
@@ -199,8 +206,11 @@ func spawnNode(fail func(string, ...any), mb float64, shards int, seed uint64) s
 // sets, mirror acknowledged writes, and verify every read. It returns
 // the number of data errors — reads that decoded cleanly but did not
 // match the last-acknowledged bytes, the failure replication exists to
-// prevent. SIGINT/SIGTERM stops the run early.
-func runLoadgen(c *pcmcluster.Cluster, blocks int64, clients int, duration time.Duration, readPct int) uint64 {
+// prevent. fresh marks nodes this process spawned empty: only then may
+// never-written blocks be required to read as zeros (an external fleet
+// can hold real data from earlier runs). SIGINT/SIGTERM stops the run
+// early.
+func runLoadgen(c *pcmcluster.Cluster, blocks int64, clients int, duration time.Duration, readPct int, fresh bool) uint64 {
 	var ops, quorumErrs, dataErrs atomic.Uint64
 
 	stop := make(chan struct{})
@@ -261,7 +271,7 @@ func runLoadgen(c *pcmcluster.Cluster, blocks int64, clients int, duration time.
 				want, wrote := lastAcked[b]
 				switch {
 				case !wrote:
-					if !bytes.Equal(got, make([]byte, pcmcluster.DataBytes)) {
+					if fresh && !bytes.Equal(got, make([]byte, pcmcluster.DataBytes)) {
 						dataErrs.Add(1)
 					}
 				case want == nil:

@@ -46,7 +46,7 @@ func (c *Cluster) sweepBlock(b int64) {
 	var winner replicaRead
 	found := false
 	for _, res := range all {
-		if res.valid() && (!found || res.meta.Version > winner.meta.Version) {
+		if res.valid() && (!found || res.meta.newer(winner.meta)) {
 			winner, found = res, true
 		}
 	}
@@ -65,13 +65,13 @@ func (c *Cluster) sweepBlock(b int64) {
 		switch {
 		case res.status == slotCorrupt:
 			c.met.divergentCorrupt.Inc()
-		case res.meta.Version < winner.meta.Version:
+		case winner.meta.newer(res.meta):
 			c.met.divergentStale.Inc()
 		default:
 			continue
 		}
 		repaired = true
-		c.repairReplica(res.idx, b, winner.slot, winner.meta.Version, c.met.repairsAntiEntropy)
+		c.repairReplica(res.idx, b, winner.slot, winner.meta, c.met.repairsAntiEntropy)
 	}
 	if repaired {
 		c.met.aeRepaired.Inc()

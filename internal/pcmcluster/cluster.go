@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +52,8 @@ type Config struct {
 
 	// Blocks fixes the replicated capacity; 0 probes every node's
 	// STATS and uses the smallest node's capacity in SlotBytes slots.
+	// The probe requires every node to answer (see probeCapacity); set
+	// Blocks explicitly to start against a fleet with a node down.
 	Blocks int64
 
 	// OpTimeout bounds each replica attempt (default 1s).
@@ -69,7 +73,9 @@ type Config struct {
 	AntiEntropyInterval time.Duration
 
 	// Seed decorrelates version tiebreak tags and node retry jitter
-	// between cluster clients (default 1).
+	// between cluster clients. The default is a fresh random value per
+	// process, so two clients never share a tiebreak tag unless both
+	// are configured with the same explicit seed.
 	Seed uint64
 
 	// Registry receives the pcmcluster_* instruments (default: a
@@ -103,7 +109,7 @@ func (cfg Config) withDefaults() Config {
 		cfg.HintReplayInterval = 200 * time.Millisecond
 	}
 	if cfg.Seed == 0 {
-		cfg.Seed = 1
+		cfg.Seed = randomSeed()
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
@@ -122,9 +128,14 @@ type Cluster struct {
 
 	opTimeout time.Duration
 
-	// verCounter, shifted over verTag, produces cluster-unique
-	// monotonically increasing version stamps; the tag byte breaks
-	// ties between distinct cluster clients (best-effort, seeded).
+	// verCounter, shifted over verTag, produces the version stamps. It
+	// is a hybrid logical clock — max(wall-clock µs, last+1), seeded
+	// from the clock at startup and ratcheted past every version
+	// observed on any replica — so a restarted or second client keeps
+	// stamping above everything already stored; a plain in-memory
+	// counter would restart at 0 and lose last-writer-wins to its own
+	// predecessor's data. The tag byte breaks ties between distinct
+	// clients, and exact ties fall back to the data CRC (blockMeta.newer).
 	verCounter atomic.Uint64
 	verTag     uint8
 
@@ -203,6 +214,7 @@ func New(cfg Config) (*Cluster, error) {
 		verTag:    uint8(mix64(cfg.Seed)),
 		stop:      make(chan struct{}),
 	}
+	c.verCounter.Store(uint64(time.Now().UnixMicro()))
 	c.ctx, c.cancel = context.WithCancel(context.Background())
 	for _, addr := range cfg.Nodes {
 		nc, err := dial(addr)
@@ -236,9 +248,13 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// probeCapacity sizes the cluster from the smallest reachable node.
-// Unreachable nodes start their breaker history; at least one node
-// must answer.
+// probeCapacity sizes the cluster from the smallest node. Every
+// configured node must answer: sizing from the smallest *reachable*
+// node would overshoot an unreachable smaller one, and once it came
+// back every write, hint, and repair beyond its capacity would fail
+// permanently — its blocks stuck at RF-1 durability with no alarm. To
+// start against a fleet with a node known down, set Config.Blocks
+// explicitly.
 func (c *Cluster) probeCapacity() error {
 	type probe struct {
 		idx  int
@@ -253,21 +269,21 @@ func (c *Cluster) probeCapacity() error {
 		}(i, n)
 	}
 	minSize := int64(-1)
-	var lastErr error
+	var unreachable []string
 	for range c.nodes {
 		p := <-results
 		if p.err != nil {
-			lastErr = p.err
-			c.nodes[p.idx].onFailure()
+			unreachable = append(unreachable, fmt.Sprintf("%s (%v)", c.nodes[p.idx].addr, p.err))
 			continue
 		}
-		c.nodes[p.idx].onSuccess()
 		if minSize < 0 || p.size < minSize {
 			minSize = p.size
 		}
 	}
-	if minSize < 0 {
-		return fmt.Errorf("pcmcluster: no node answered the capacity probe (last error: %w)", lastErr)
+	if len(unreachable) > 0 {
+		sort.Strings(unreachable)
+		return fmt.Errorf("pcmcluster: capacity probe needs every node, %d unreachable: %s (set Config.Blocks to size the cluster without probing)",
+			len(unreachable), strings.Join(unreachable, "; "))
 	}
 	c.blocks = minSize / SlotBytes
 	if c.blocks < 1 {
@@ -308,7 +324,29 @@ func (c *Cluster) stripe(b int64) *sync.Mutex {
 }
 
 func (c *Cluster) nextVersion() uint64 {
-	return c.verCounter.Add(1)<<8 | uint64(c.verTag)
+	now := uint64(time.Now().UnixMicro())
+	for {
+		cur := c.verCounter.Load()
+		next := cur + 1
+		if now > next {
+			next = now
+		}
+		if c.verCounter.CompareAndSwap(cur, next) {
+			return next<<8 | uint64(c.verTag)
+		}
+	}
+}
+
+// observeVersion ratchets the clock past a version seen on a replica,
+// so every future write by this client orders after it.
+func (c *Cluster) observeVersion(v uint64) {
+	vc := v >> 8
+	for {
+		cur := c.verCounter.Load()
+		if cur >= vc || c.verCounter.CompareAndSwap(cur, vc) {
+			return
+		}
+	}
 }
 
 func (c *Cluster) checkBlock(b int64) error {
@@ -378,6 +416,9 @@ func (c *Cluster) readReplica(ctx context.Context, idx int, b int64) replicaRead
 		return replicaRead{idx: idx, err: err}
 	}
 	data, meta, status := decodeSlot(buf)
+	if status == slotOK {
+		c.observeVersion(meta.Version)
+	}
 	return replicaRead{idx: idx, slot: buf, data: data, meta: meta, status: status}
 }
 
@@ -399,9 +440,24 @@ func (c *Cluster) writeReplica(ctx context.Context, idx int, b int64, slot []byt
 }
 
 func (c *Cluster) queueHint(idx int, b int64, slot []byte, version uint64) {
-	if c.nodes[idx].addHint(b, slot, version) {
+	switch c.nodes[idx].addHint(b, slot, version) {
+	case hintStored:
 		c.met.hintsQueued.Inc()
-	} else {
+	case hintSuperseded:
+		c.met.hintsDroppedStale.Inc()
+	case hintOverflow:
+		c.met.hintsDroppedFull.Inc()
+	}
+}
+
+// requeueHint puts a hint back after a failed replay batch. The re-add
+// can itself fail — the buffer refilled meanwhile, or a newer hint for
+// the block arrived — and those drops must be counted, not silent.
+func (c *Cluster) requeueHint(n *node, b int64, h hint) {
+	switch n.addHint(b, h.slot, h.version) {
+	case hintSuperseded:
+		c.met.hintsDroppedStale.Inc()
+	case hintOverflow:
 		c.met.hintsDroppedFull.Inc()
 	}
 }
@@ -462,11 +518,12 @@ func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 			b, valids, c.r, len(reps), firstProblem(all), ErrReadQuorum)
 	}
 
-	// Last-writer-wins: the highest version among the valid replies.
+	// Last-writer-wins: the highest version among the valid replies
+	// (exact ties broken by data CRC — see blockMeta.newer).
 	var winner replicaRead
 	found := false
 	for _, res := range all {
-		if res.valid() && (!found || res.meta.Version > winner.meta.Version) {
+		if res.valid() && (!found || res.meta.newer(winner.meta)) {
 			winner, found = res, true
 		}
 	}
@@ -516,22 +573,22 @@ func (c *Cluster) drainReads(b int64, remaining int, results chan replicaRead, a
 		switch {
 		case res.status == slotCorrupt:
 			c.met.divergentCorrupt.Inc()
-			c.repairReplica(res.idx, b, winnerSlot, winner.Version, c.met.repairsRead)
-		case res.meta.Version < winner.Version:
+			c.repairReplica(res.idx, b, winnerSlot, winner, c.met.repairsRead)
+		case winner.newer(res.meta):
 			c.met.divergentStale.Inc()
-			c.repairReplica(res.idx, b, winnerSlot, winner.Version, c.met.repairsRead)
+			c.repairReplica(res.idx, b, winnerSlot, winner, c.met.repairsRead)
 		}
 	}
 }
 
 // repairReplica rewrites block b on one replica from the winner slot.
 // Under the block's stripe lock it re-reads the stored slot first: if a
-// newer structurally valid write landed in the meantime the repair is
-// skipped, so a repair can never regress a replica past what this
-// client wrote. The re-check decodes the whole slot, not just the
-// trailer — corrupted data under an intact trailer must still be
-// rewritten.
-func (c *Cluster) repairReplica(idx int, b int64, winnerSlot []byte, winnerVersion uint64, counter *obs.Counter) {
+// copy at or past the winner (in the version-then-CRC order) landed in
+// the meantime the repair is skipped, so a repair can never regress a
+// replica past a newer write. The re-check decodes the whole slot, not
+// just the trailer — corrupted data under an intact trailer must still
+// be rewritten.
+func (c *Cluster) repairReplica(idx int, b int64, winnerSlot []byte, winner blockMeta, counter *obs.Counter) {
 	n := c.nodes[idx]
 	if n.currentState() != NodeUp {
 		return // unreachable replicas converge via hints or later sweeps
@@ -541,9 +598,12 @@ func (c *Cluster) repairReplica(idx int, b int64, winnerSlot []byte, winnerVersi
 	defer mu.Unlock()
 	cur := make([]byte, SlotBytes)
 	if _, err := n.client.ReadAtCtx(c.ctx, cur, b*SlotBytes); err == nil {
-		if _, m, status := decodeSlot(cur); status == slotOK && m.Version >= winnerVersion {
-			c.met.repairsSkipped.Inc()
-			return
+		if _, m, status := decodeSlot(cur); status == slotOK {
+			c.observeVersion(m.Version)
+			if !winner.newer(m) {
+				c.met.repairsSkipped.Inc()
+				return
+			}
 		}
 	}
 	_, err := n.client.WriteAtCtx(c.ctx, winnerSlot, b*SlotBytes)
@@ -664,12 +724,12 @@ func (c *Cluster) drainLoop(interval time.Duration) {
 			requeue := false
 			for b, h := range hints {
 				if requeue {
-					n.addHint(b, h.slot, h.version)
+					c.requeueHint(n, b, h)
 					continue
 				}
 				if !c.replayHint(idx, b, h) {
 					requeue = true
-					n.addHint(b, h.slot, h.version)
+					c.requeueHint(n, b, h)
 				}
 			}
 		}
@@ -681,14 +741,18 @@ func (c *Cluster) drainLoop(interval time.Duration) {
 // caller re-queues).
 func (c *Cluster) replayHint(idx int, b int64, h hint) bool {
 	n := c.nodes[idx]
+	_, hMeta, _ := decodeSlot(h.slot) // always slotOK: hints hold encodeSlot output
 	mu := c.stripe(b)
 	mu.Lock()
 	defer mu.Unlock()
 	cur := make([]byte, SlotBytes)
 	if _, err := n.client.ReadAtCtx(c.ctx, cur, b*SlotBytes); err == nil {
-		if _, m, status := decodeSlot(cur); status == slotOK && m.Version >= h.version {
-			c.met.hintsDroppedStale.Inc()
-			return true
+		if _, m, status := decodeSlot(cur); status == slotOK {
+			c.observeVersion(m.Version)
+			if !hMeta.newer(m) {
+				c.met.hintsDroppedStale.Inc()
+				return true
+			}
 		}
 	}
 	_, err := n.client.WriteAtCtx(c.ctx, h.slot, b*SlotBytes)

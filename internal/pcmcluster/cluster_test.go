@@ -172,6 +172,20 @@ func readNodeSlot(t *testing.T, addr string, b int64) ([]byte, blockMeta, slotSt
 	return data, meta, status
 }
 
+// writeNodeSlot plants a raw slot image directly on one node, outside
+// the cluster — for forging divergent replica states.
+func writeNodeSlot(t *testing.T, addr string, b int64, slot []byte) {
+	t.Helper()
+	cl, err := pcmserve.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer cl.Close()
+	if _, err := cl.WriteAt(slot, b*SlotBytes); err != nil {
+		t.Fatalf("raw write %s block %d: %v", addr, b, err)
+	}
+}
+
 func TestClusterConfigValidation(t *testing.T) {
 	cases := []struct {
 		name string
@@ -429,6 +443,193 @@ func TestClusterAntiEntropyRepairsColdBlock(t *testing.T) {
 	waitFor(t, 5*time.Second, "a full sweep pass", func() bool {
 		return c.Stats().AntiEntropyPasses >= 1
 	})
+}
+
+// TestClusterRestartedClientWins pins the version-stamp contract
+// across client restarts: a brand-new cluster client (fresh process,
+// same tag seed — the worst case) writing over data stored by an
+// earlier client must outrank it, so its acknowledged writes are never
+// reverted to the predecessor's data by read-repair. A plain
+// in-memory version counter restarting at 0 breaks this.
+func TestClusterRestartedClientWins(t *testing.T) {
+	nodes := make([]*testNode, 3)
+	addrs := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startTestNode(t, 64, uint64(1000*i+7))
+		addrs[i] = nodes[i].addr
+	}
+	mkCfg := func() Config {
+		return Config{
+			Nodes:              addrs,
+			OpTimeout:          2 * time.Second,
+			FailThreshold:      1,
+			ProbeInterval:      20 * time.Millisecond,
+			HintReplayInterval: 10 * time.Millisecond,
+			Seed:               7, // identical on purpose: both clients share a tag
+		}
+	}
+	ctx := context.Background()
+	const b = int64(6)
+
+	a, err := New(mkCfg())
+	if err != nil {
+		t.Fatalf("New (first client): %v", err)
+	}
+	v1 := bytes.Repeat([]byte{0xAA}, DataBytes)
+	for i := 0; i < 50; i++ { // advance the first client's clock well past 1 tick
+		if err := a.WriteBlock(ctx, b, v1); err != nil {
+			t.Fatalf("first client write: %v", err)
+		}
+	}
+	_, aMeta, status := readNodeSlot(t, nodes[0].addr, b)
+	if status != slotOK {
+		t.Fatalf("stored slot after first client: %v", status)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close (first client): %v", err)
+	}
+
+	bCl, err := New(mkCfg())
+	if err != nil {
+		t.Fatalf("New (restarted client): %v", err)
+	}
+	t.Cleanup(func() { bCl.Close() })
+	v2 := bytes.Repeat([]byte{0xBB}, DataBytes)
+	if err := bCl.WriteBlock(ctx, b, v2); err != nil {
+		t.Fatalf("restarted client write: %v", err)
+	}
+	// The new write must outrank everything the predecessor stored…
+	for _, n := range nodes {
+		_, m, status := readNodeSlot(t, n.addr, b)
+		if status != slotOK || !m.newer(aMeta) {
+			t.Fatalf("node %s: version %d does not outrank predecessor's %d (status %v)",
+				n.addr, m.Version, aMeta.Version, status)
+		}
+	}
+	// …and reads (plus the repairs they trigger) must never revert it.
+	for i := 0; i < 20; i++ {
+		got, err := bCl.ReadBlock(ctx, b)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, v2) {
+			t.Fatalf("read %d reverted to the predecessor's data", i)
+		}
+	}
+}
+
+// TestClusterEqualVersionTiebreakConverges forges the concurrent-client
+// worst case: replicas disagreeing at byte-identical versions. The
+// data-CRC tiebreak must pick one winner deterministically and repair
+// the losers, instead of replicas disagreeing forever with reads
+// flipping by quorum sample.
+func TestClusterEqualVersionTiebreakConverges(t *testing.T) {
+	c, nodes := testCluster(t, 3, func(cfg *Config) {
+		cfg.AntiEntropyInterval = 2 * time.Millisecond
+	})
+	ctx := context.Background()
+
+	const b = int64(2)
+	ver := uint64(77)<<8 | 0x5A // same stamp, as if two clients shared counter and tag
+	dataX := bytes.Repeat([]byte{0xA1}, DataBytes)
+	dataY := bytes.Repeat([]byte{0xB2}, DataBytes)
+	slotX := make([]byte, SlotBytes)
+	slotY := make([]byte, SlotBytes)
+	encodeSlot(slotX, dataX, ver)
+	encodeSlot(slotY, dataY, ver)
+	writeNodeSlot(t, nodes[0].addr, b, slotX)
+	writeNodeSlot(t, nodes[1].addr, b, slotX)
+	writeNodeSlot(t, nodes[2].addr, b, slotY)
+
+	_, mX, _ := decodeSlot(slotX)
+	_, mY, _ := decodeSlot(slotY)
+	want := dataX
+	if mY.newer(mX) {
+		want = dataY
+	}
+
+	waitFor(t, 5*time.Second, "replicas to converge on the tie winner", func() bool {
+		for _, n := range nodes {
+			got, _, status := readNodeSlot(t, n.addr, b)
+			if status != slotOK || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	})
+	for i := 0; i < 10; i++ {
+		got, err := c.ReadBlock(ctx, b)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %d returned the tie loser after convergence", i)
+		}
+	}
+}
+
+// TestClusterProbeRequiresAllNodes pins the sizing contract: with a
+// node unreachable, auto-sizing must refuse to construct (sizing from
+// the smallest *reachable* node could overshoot the missing node's
+// capacity and strand its blocks at RF-1 durability once it returned);
+// an explicit Blocks skips the probe and still works.
+func TestClusterProbeRequiresAllNodes(t *testing.T) {
+	nodes := make([]*testNode, 3)
+	addrs := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startTestNode(t, 64, uint64(1000*i+7))
+		addrs[i] = nodes[i].addr
+	}
+	nodes[2].kill()
+	cfg := Config{
+		Nodes:         addrs,
+		OpTimeout:     time.Second,
+		FailThreshold: 1,
+	}
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "capacity probe needs every node") {
+		t.Fatalf("New with a node down = %v, want capacity probe failure", err)
+	}
+	cfg.Blocks = 10
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New with explicit Blocks: %v", err)
+	}
+	defer c.Close()
+	if got := c.Blocks(); got != 10 {
+		t.Fatalf("Blocks() = %d, want 10", got)
+	}
+	if err := c.WriteBlock(context.Background(), 0, make([]byte, DataBytes)); err != nil {
+		t.Fatalf("write on explicitly sized cluster: %v", err)
+	}
+}
+
+// TestAddHintResults pins addHint's outcome classification, which the
+// hint metrics (queued / dropped_stale / dropped_overflow) rely on —
+// including in the drain-loop requeue path.
+func TestAddHintResults(t *testing.T) {
+	n := newNode("test:0", nil, 1, time.Second, 2)
+	slot := make([]byte, SlotBytes)
+	steps := []struct {
+		b    int64
+		ver  uint64
+		want hintAddResult
+	}{
+		{1, 10, hintStored},
+		{1, 9, hintSuperseded},  // older than queued
+		{1, 10, hintSuperseded}, // equal to queued
+		{1, 11, hintStored},     // newer replaces in place
+		{2, 1, hintStored},      // fills the 2-slot buffer
+		{3, 1, hintOverflow},    // new block at capacity
+		{1, 12, hintStored},     // replacement still allowed at capacity
+	}
+	for i, s := range steps {
+		if got := n.addHint(s.b, slot, s.ver); got != s.want {
+			t.Fatalf("step %d: addHint(%d, v%d) = %v, want %v", i, s.b, s.ver, got, s.want)
+		}
+	}
+	if got := n.hintCount(); got != 2 {
+		t.Fatalf("hintCount = %d, want 2", got)
+	}
 }
 
 // TestClusterBlocksFixedByConfig skips the capacity probe.

@@ -1,6 +1,26 @@
 package pcmcluster
 
-import "hash/fnv"
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// randomSeed draws a nonzero per-process seed so distinct cluster
+// clients get decorrelated version tags and retry jitter by default;
+// it falls back to the clock if the entropy source fails.
+func randomSeed() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	s := binary.LittleEndian.Uint64(b[:])
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
 
 // mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
 // permutation used as the rendezvous scoring hash.

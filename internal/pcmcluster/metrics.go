@@ -69,7 +69,7 @@ func newMetrics(reg *obs.Registry, c *Cluster) *metrics {
 	m.repairsRead = reg.Counter(rrName, rrHelp, obs.L("source", "read")...)
 	m.repairsAntiEntropy = reg.Counter(rrName, rrHelp, obs.L("source", "antientropy")...)
 	m.repairsSkipped = reg.Counter("pcmcluster_repairs_skipped_total",
-		"Repairs abandoned because the stripe-locked re-check found the replica already at or past the winner version.")
+		"Repairs abandoned because the stripe-locked re-check found the replica already at or past the winner (version order, data-CRC tiebreak).")
 	m.repairsFailed = reg.Counter("pcmcluster_repairs_failed_total",
 		"Repair writes that failed; the divergence stands until re-detected.")
 	const dvName = "pcmcluster_divergent_replicas_total"

@@ -130,24 +130,37 @@ func (n *node) currentState() NodeState {
 	return n.state
 }
 
+// hintAddResult says what addHint did with a hint, so callers can
+// count stores, supersessions, and overflow drops distinctly.
+type hintAddResult int
+
+const (
+	// hintStored: the hint was buffered (possibly replacing an older one).
+	hintStored hintAddResult = iota
+	// hintSuperseded: an equal-or-newer hint for the block is already
+	// queued; the offered write is obsolete, not lost.
+	hintSuperseded
+	// hintOverflow: the buffer is at capacity; the write is dropped and
+	// only anti-entropy can recover the replica.
+	hintOverflow
+)
+
 // addHint buffers a write for replay, keeping only the newest version
-// per block. It reports whether the hint was stored (false: the buffer
-// is full, or a newer hint for the block is already queued — the
-// caller counts the drop).
-func (n *node) addHint(b int64, slot []byte, version uint64) bool {
+// per block.
+func (n *node) addHint(b int64, slot []byte, version uint64) hintAddResult {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if old, ok := n.hints[b]; ok {
 		if old.version >= version {
-			return false
+			return hintSuperseded
 		}
 	} else if len(n.hints) >= n.hintCap {
-		return false
+		return hintOverflow
 	}
 	cp := make([]byte, SlotBytes)
 	copy(cp, slot)
 	n.hints[b] = hint{slot: cp, version: version}
-	return true
+	return hintStored
 }
 
 // takeHints removes and returns up to max buffered hints. Failed

@@ -29,6 +29,19 @@ type blockMeta struct {
 	DataCRC uint32
 }
 
+// newer reports whether m orders strictly after other under the
+// cluster's last-writer-wins order: by version, with exact version
+// ties (distinct clients that happen to share a tag byte) broken
+// deterministically by the data CRC. Without the tiebreak, replicas
+// holding different data at equal versions would never converge: every
+// repair would see the other copy as "at or past the winner" and skip.
+func (m blockMeta) newer(other blockMeta) bool {
+	if m.Version != other.Version {
+		return m.Version > other.Version
+	}
+	return m.DataCRC > other.DataCRC
+}
+
 // slotStatus classifies one replica's stored slot.
 type slotStatus int
 

@@ -51,6 +51,29 @@ func TestSlotUnwritten(t *testing.T) {
 	}
 }
 
+// TestBlockMetaNewer pins the last-writer-wins order: version first,
+// exact ties broken deterministically by data CRC, equal metas ordered
+// by neither side (so repair treats them as converged).
+func TestBlockMetaNewer(t *testing.T) {
+	lo := blockMeta{Version: 5 << 8, DataCRC: 0xFFFF}
+	hi := blockMeta{Version: 6 << 8, DataCRC: 0x0001}
+	if !hi.newer(lo) || lo.newer(hi) {
+		t.Fatal("higher version must win regardless of CRC")
+	}
+	tieA := blockMeta{Version: 7 << 8, DataCRC: 0x10}
+	tieB := blockMeta{Version: 7 << 8, DataCRC: 0x20}
+	if !tieB.newer(tieA) || tieA.newer(tieB) {
+		t.Fatal("equal versions must order by data CRC, exactly one way")
+	}
+	if tieA.newer(tieA) {
+		t.Fatal("a meta must not order after itself")
+	}
+	written := blockMeta{Version: 1 << 8}
+	if !written.newer(blockMeta{}) {
+		t.Fatal("any written meta must order after unwritten")
+	}
+}
+
 func TestSlotCorruptionDetected(t *testing.T) {
 	data := bytes.Repeat([]byte{0xC3}, DataBytes)
 	canonical := make([]byte, SlotBytes)
