@@ -1,0 +1,165 @@
+// Command benchdiff compares two Go benchmark runs and gates on
+// regressions of a chosen metric. It understands both raw `go test
+// -bench` text and `go test -json` streams (the format CI archives as
+// BENCH_baseline.json), so a committed baseline can be compared against
+// a fresh run directly:
+//
+//	go test -run xxx -bench PCMServe -benchtime 1x -json . > current.json
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current current.json
+//
+// Every benchmark present in both runs is printed with its per-unit
+// deltas. The run fails (exit 1) when the gated metric (default
+// p99-us, the served-op tail latency) regresses by more than
+// -threshold percent on any benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's metrics: unit → value (e.g.
+// "ns/op" → 69957, "p99-us" → 115).
+type benchResult map[string]float64
+
+// parseFile reads a benchmark output file into name → metrics. A
+// `go test -json` stream is first reassembled into plain output —
+// test2json splits one benchmark result line across several Output
+// events (the name and the metrics arrive separately), so events must
+// be concatenated before line-scanning.
+func parseFile(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev struct {
+				Output string `json:"Output"`
+			}
+			if json.Unmarshal([]byte(line), &ev) == nil {
+				text.WriteString(ev.Output)
+				continue
+			}
+		}
+		text.WriteString(line)
+		text.WriteString("\n")
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]benchResult)
+	for _, line := range strings.Split(text.String(), "\n") {
+		if name, res, ok := parseBenchLine(line); ok {
+			out[name] = res
+		}
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one `BenchmarkX-8  123  456 ns/op  7.8 p99-us`
+// result line.
+func parseBenchLine(line string) (string, benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false // not an iteration count: some other output
+	}
+	res := make(benchResult)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		res[fields[i+1]] = v
+	}
+	if len(res) == 0 {
+		return "", nil, false
+	}
+	// Strip the GOMAXPROCS suffix so baselines survive core-count changes.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, res, true
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "baseline benchmark output (raw or -json)")
+	current := flag.String("current", "", "current benchmark output to compare (required)")
+	metric := flag.String("metric", "p99-us", "metric unit gated by -threshold")
+	threshold := flag.Float64("threshold", 25, "fail when the gated metric regresses by more than this percent")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: baseline:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: current:", err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in", *current)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("%-40s new benchmark (no baseline)\n", name)
+			continue
+		}
+		units := make([]string, 0, len(cur[name]))
+		for u := range cur[name] {
+			if _, ok := b[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		parts := make([]string, 0, len(units))
+		for _, u := range units {
+			from, to := b[u], cur[name][u]
+			delta := 0.0
+			if from != 0 {
+				delta = 100 * (to - from) / from
+			}
+			parts = append(parts, fmt.Sprintf("%s %.4g→%.4g (%+.1f%%)", u, from, to, delta))
+			if u == *metric && delta > *threshold {
+				failed = true
+				parts[len(parts)-1] += " REGRESSION"
+			}
+		}
+		fmt.Printf("%-40s %s\n", name, strings.Join(parts, "  "))
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed beyond %.0f%% on at least one benchmark\n", *metric, *threshold)
+		os.Exit(1)
+	}
+}

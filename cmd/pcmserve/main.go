@@ -10,6 +10,16 @@
 //	pcmserve -loadgen -clients 8 -duration 3s             # self-benchmark
 //	pcmserve -loadgen -addr host:7070 -clients 4          # load an external server
 //	pcmserve -loadgen -addr h1:7070,h2:7070 -clients 8    # round-robin a server fleet
+//	pcmserve -live -levels 4 -timescale 21600 -obs :9090  # drift-backed shards + budgeted refresh
+//	pcmserve -sweep -duration 2s                          # refresh-interval sweep benchmark
+//
+// With -live, each shard is a drift-accumulating pcmlive device: blocks
+// age under the paper's CER curves and a budgeted refresh scheduler
+// (replacing -scrub) rewrites them within -refresh-interval of
+// simulated time, competing with foreground writes for -write-budget
+// MB/s. -sweep runs the Figure 16 experiment as a live serving
+// benchmark: both organizations × a ladder of refresh intervals, each
+// arm reporting availability and tail latency.
 //
 // With -obs, an admin HTTP plane is served on a second listener:
 // /metrics (Prometheus text exposition), /healthz, /tracez (sampled
@@ -59,6 +69,13 @@ func main() {
 		slowOp    = flag.Duration("slowop", 50*time.Millisecond, "slow-op log threshold for /tracez (negative disables)")
 		version   = flag.Bool("version", false, "print build information and exit")
 
+		liveMode    = flag.Bool("live", false, "serve drift-accumulating pcmlive devices with budgeted refresh (replaces -kind/-scrub and the classic device knobs)")
+		levels      = flag.Int("levels", 4, "live: cell organization — 4 (4LCo+BCH-10, needs refresh) or 3 (3LCo+BCH-1, nonvolatile)")
+		refreshIntv = flag.Duration("refresh-interval", 17*time.Minute, "live: full-device refresh interval in SIMULATED time (0 disables refresh)")
+		writeBudget = flag.Float64("write-budget", 40, "live: shared write bandwidth budget in MB/s, foreground+refresh (0 = unmetered)")
+		timescale   = flag.Float64("timescale", 1, "live: simulated seconds per wall second")
+		sweep       = flag.Bool("sweep", false, "run the refresh-interval sweep benchmark (implies -live; in-process only)")
+
 		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		clients  = flag.Int("clients", 4, "loadgen: concurrent client connections")
 		duration = flag.Duration("duration", 2*time.Second, "loadgen: how long to run")
@@ -100,8 +117,55 @@ func main() {
 		fail("-integrity must not be negative, got %d", *integrity)
 	case *verify && *integrity == 0:
 		fail("-verify-scrub requires -integrity")
-	case *verify && *scrub == 0:
+	case *verify && *scrub == 0 && !*liveMode:
 		fail("-verify-scrub requires a -scrub interval")
+	}
+	if *sweep {
+		*liveMode = true
+	}
+	if *liveMode {
+		// The live device models drift only and is refreshed by its own
+		// budgeted scheduler: the classic architecture knobs and the
+		// fixed-cadence scrubber have no effect, so explicitly setting
+		// them alongside -live is a configuration error. Report every
+		// conflicting flag at once.
+		conflicting := map[string]bool{
+			"scrub": true, "verify-scrub": true, "kind": true,
+			"wearlevel": true, "reserve": true, "nowearout": true,
+		}
+		var set []string
+		flag.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] {
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			fail("-live replaces the classic device and scrubber; drop the conflicting flags: %s", strings.Join(set, ", "))
+		}
+		switch {
+		case *levels != 3 && *levels != 4:
+			fail("-levels must be 3 or 4, got %d", *levels)
+		case *refreshIntv < 0:
+			fail("-refresh-interval must not be negative, got %v", *refreshIntv)
+		case *writeBudget < 0:
+			fail("-write-budget must not be negative, got %g", *writeBudget)
+		case *timescale <= 0:
+			fail("-timescale must be positive, got %g", *timescale)
+		}
+	} else {
+		// The live knobs only mean something with -live.
+		liveOnly := map[string]bool{
+			"levels": true, "refresh-interval": true, "write-budget": true, "timescale": true,
+		}
+		var set []string
+		flag.Visit(func(f *flag.Flag) {
+			if liveOnly[f.Name] {
+				set = append(set, "-"+f.Name)
+			}
+		})
+		if len(set) > 0 {
+			fail("%s need -live (or -sweep)", strings.Join(set, ", "))
+		}
 	}
 	if *loadgen {
 		switch {
@@ -127,7 +191,7 @@ func main() {
 		if *integrity > 0 {
 			integCfg = &pcmserve.IntegrityConfig{T: *integrity}
 		}
-		g, err := pcmserve.NewShards(pcmserve.ShardsConfig{
+		cfg := pcmserve.ShardsConfig{
 			Shards:        *shards,
 			QueueDepth:    *queue,
 			ScrubInterval: *scrub,
@@ -139,12 +203,36 @@ func main() {
 				WearLeveling: *level, ReserveBlocks: *reserve,
 				DisableWearout: *noWear,
 			},
-		})
+		}
+		if *liveMode {
+			cfg.ScrubInterval = 0
+			cfg.VerifyScrub = false
+			cfg.Live = &pcmserve.LiveConfig{
+				Levels:                 *levels,
+				RefreshIntervalSeconds: refreshIntv.Seconds(),
+				WriteBudgetBytesPerSec: *writeBudget * 1e6,
+				TimeScale:              *timescale,
+			}
+		}
+		g, err := pcmserve.NewShards(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return g
+	}
+
+	if *sweep {
+		runSweep(sweepConfig{
+			shards:         *shards,
+			blocksPerShard: blocksPerShard,
+			seed:           *seed,
+			baseInterval:   refreshIntv.Seconds(),
+			budgetMBs:      *writeBudget,
+			perArm:         *duration,
+			clients:        *clients,
+		})
+		return
 	}
 
 	if *loadgen {
@@ -165,6 +253,14 @@ func main() {
 	}
 	fmt.Printf("pcmserve: %s (%.2f MiB, %d shards × %d blocks) on %s\n",
 		g.Name(), float64(g.Size())/(1<<20), g.NumShards(), blocksPerShard, ln.Addr())
+	if *liveMode {
+		refresh := "disabled"
+		if *refreshIntv > 0 {
+			refresh = fmt.Sprintf("every %v (sim)", *refreshIntv)
+		}
+		fmt.Printf("pcmserve: live drift mode, %dLCo, refresh %s, budget %g MB/s, timescale %g×\n",
+			*levels, refresh, *writeBudget, *timescale)
+	}
 
 	if *obsAddr != "" {
 		obsLn, err := net.Listen("tcp", *obsAddr)
@@ -376,6 +472,14 @@ func printFinalStats(target string) {
 	if ig := st.Integrity; ig.Enabled {
 		fmt.Printf("integrity [%s]: corrected_bits=%d read_repairs=%d uncorrectable=%d spared=%d escalated=%d\n",
 			ig.Code, ig.CorrectedBits, ig.ReadRepairs, ig.Uncorrectable, ig.Spared, ig.Escalated)
+	}
+	if lv := st.Live; lv.Enabled {
+		fmt.Printf("live [%s]: interval=%.0fs(sim) timescale=%g sim_elapsed=%.0fs passes=%d\n",
+			lv.Model, lv.IntervalSeconds, lv.TimeScale, lv.SimSeconds, lv.Passes)
+		fmt.Printf("live: uncorrectable_reads=%d corrected_reads=%d refresh_clean=%d refresh_corrected=%d refresh_uncorrectable=%d\n",
+			lv.UncorrectableReads, lv.CorrectedReads, lv.RefreshClean, lv.RefreshCorrected, lv.RefreshUncorrectable)
+		fmt.Printf("live: debt=%d debt_peak=%d deadline_misses=%d forced=%d skipped_budget=%d stalled_writes=%d stall=%.3fs\n",
+			lv.DebtBlocks, lv.DebtPeak, lv.DeadlineMisses, lv.Forced, lv.SkippedBudget, lv.StalledWrites, lv.StallSeconds)
 	}
 	for _, s := range st.Shards {
 		fmt.Printf("  shard %d [%s]: reads=%d writes=%d queue=%d/%d restarts=%d p50(read)=%s\n",

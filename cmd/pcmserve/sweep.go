@@ -1,0 +1,230 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pcmserve"
+)
+
+// sweepConfig parameterizes the refresh-interval sweep benchmark.
+type sweepConfig struct {
+	shards         int
+	blocksPerShard int
+	seed           uint64
+	baseInterval   float64 // paper refresh interval in sim seconds
+	budgetMBs      float64
+	perArm         time.Duration
+	clients        int
+}
+
+// sweepMults are the refresh-interval ladder: the paper interval and
+// 10×/100×/1000× relaxations, plus a refresh-off control arm (0).
+var sweepMults = []float64{1, 10, 100, 1000, 0}
+
+// passesPerArm is how many full refresh passes each arm's wall
+// duration covers; the per-arm time scale is derived from it, which
+// keeps the refresh WALL bandwidth demand identical across arms — only
+// the simulated interval (and hence the drift exposure) varies.
+const passesPerArm = 4
+
+// armResult is one (organization, interval) cell of the sweep.
+type armResult struct {
+	org         string
+	label       string
+	intervalSim float64
+	timeScale   float64
+
+	reads, badReads, writes uint64
+	readP50, readP99        time.Duration
+	writeP99                time.Duration
+
+	live pcmserve.LiveStats
+}
+
+// runSweep is the paper's Figure 16 retention study recast as a live
+// serving benchmark: for each cell organization and each refresh
+// interval, drift-backed shards serve concurrent random reads and
+// writes for one arm duration at a time scale that compresses
+// passesPerArm refresh intervals into the arm. Reported per arm:
+// availability (reads not lost to drift), foreground tail latency, and
+// the refresh-side counters (uncorrectable refreshes, debt peak,
+// deadline misses, budget stalls).
+func runSweep(cfg sweepConfig) {
+	fmt.Printf("sweep: %d shards × %d blocks, budget %g MB/s, %v per arm (%d passes), %d clients\n",
+		cfg.shards, cfg.blocksPerShard, cfg.budgetMBs, cfg.perArm, passesPerArm, cfg.clients)
+	var results []armResult
+	for _, levels := range []int{4, 3} {
+		for _, mult := range sweepMults {
+			res, err := runArm(cfg, levels, mult)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			results = append(results, res)
+		}
+	}
+	printSweepTable(results)
+}
+
+// armTimeScale derives the arm's sim-seconds-per-wall-second. The
+// refresh-off arm borrows the largest refreshing arm's scale, so its
+// drift exposure brackets the ladder from above.
+func armTimeScale(cfg sweepConfig, mult float64) float64 {
+	m := mult
+	if m == 0 {
+		m = sweepMults[len(sweepMults)-2] // largest refreshing multiplier
+	}
+	return passesPerArm * cfg.baseInterval * m / cfg.perArm.Seconds()
+}
+
+func armLabel(mult float64) string {
+	if mult == 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%g×", mult)
+}
+
+// runArm serves one (organization, interval) arm and collects its
+// result row.
+func runArm(cfg sweepConfig, levels int, mult float64) (armResult, error) {
+	ts := armTimeScale(cfg, mult)
+	live := pcmserve.LiveConfig{
+		Levels:                 levels,
+		RefreshIntervalSeconds: cfg.baseInterval * mult, // 0 disables
+		WriteBudgetBytesPerSec: cfg.budgetMBs * 1e6,
+		TimeScale:              ts,
+	}
+	g, err := pcmserve.NewShards(pcmserve.ShardsConfig{
+		Shards: cfg.shards,
+		Device: device.Config{Blocks: cfg.blocksPerShard, Seed: cfg.seed},
+		Live:   &live,
+	})
+	if err != nil {
+		return armResult{}, err
+	}
+	defer g.Close()
+
+	// Pre-fill so every block drifts from the start.
+	buf := make([]byte, core.BlockBytes)
+	for off := int64(0); off < g.Size(); off += core.BlockBytes {
+		for i := range buf {
+			buf[i] = byte(off) + byte(i)
+		}
+		if _, err := g.WriteAt(buf, off); err != nil {
+			return armResult{}, fmt.Errorf("fill: %w", err)
+		}
+	}
+
+	type workerTally struct {
+		reads, badReads, writes uint64
+		readLat, writeLat       []time.Duration
+	}
+	tallies := make([]workerTally, cfg.clients)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	blocks := g.Size() / core.BlockBytes
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tl := &tallies[w]
+			r := rand.New(rand.NewSource(int64(cfg.seed) + int64(w)))
+			p := make([]byte, core.BlockBytes)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := r.Int63n(blocks) * core.BlockBytes
+				t0 := time.Now()
+				if r.Intn(100) < 70 {
+					_, err := g.ReadAt(p, off)
+					tl.readLat = append(tl.readLat, time.Since(t0))
+					tl.reads++
+					switch {
+					case err == nil:
+					case errors.Is(err, core.ErrUncorrectable):
+						tl.badReads++
+					default:
+						return
+					}
+				} else {
+					r.Read(p)
+					if _, err := g.WriteAt(p, off); err != nil {
+						return
+					}
+					tl.writeLat = append(tl.writeLat, time.Since(t0))
+					tl.writes++
+				}
+			}
+		}(w)
+	}
+	time.Sleep(cfg.perArm)
+	close(stop)
+	wg.Wait()
+
+	res := armResult{
+		org:         fmt.Sprintf("%dLCo", levels),
+		label:       armLabel(mult),
+		intervalSim: cfg.baseInterval * mult,
+		timeScale:   ts,
+		live:        g.LiveStats(),
+	}
+	var readLat, writeLat []time.Duration
+	for i := range tallies {
+		res.reads += tallies[i].reads
+		res.badReads += tallies[i].badReads
+		res.writes += tallies[i].writes
+		readLat = append(readLat, tallies[i].readLat...)
+		writeLat = append(writeLat, tallies[i].writeLat...)
+	}
+	res.readP50 = percentile(readLat, 50)
+	res.readP99 = percentile(readLat, 99)
+	res.writeP99 = percentile(writeLat, 99)
+	return res, nil
+}
+
+// percentile returns the pth percentile of the (unsorted) samples.
+func percentile(lat []time.Duration, p int) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := len(lat) * p / 100
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return lat[idx]
+}
+
+// printSweepTable renders the sweep as a markdown table (the format
+// EXPERIMENTS.md records).
+func printSweepTable(results []armResult) {
+	fmt.Println("\n| org | refresh | sim interval | timescale | reads | availability | p50 read | p99 read | p99 write | refresh uncorr | debt peak | misses | stalled writes |")
+	fmt.Println("|-----|---------|--------------|-----------|-------|--------------|----------|----------|-----------|----------------|-----------|--------|----------------|")
+	for _, r := range results {
+		avail := 100.0
+		if r.reads > 0 {
+			avail = 100 * float64(r.reads-r.badReads) / float64(r.reads)
+		}
+		interval := "—"
+		if r.intervalSim > 0 {
+			interval = fmt.Sprintf("%.0fs", r.intervalSim)
+		}
+		fmt.Printf("| %s | %s | %s | %.0f× | %d | %.4f%% | %s | %s | %s | %d | %d | %d | %d |\n",
+			r.org, r.label, interval, r.timeScale, r.reads, avail,
+			r.readP50.Round(time.Microsecond), r.readP99.Round(time.Microsecond),
+			r.writeP99.Round(time.Microsecond),
+			r.live.RefreshUncorrectable, r.live.DebtPeak,
+			r.live.DeadlineMisses, r.live.StalledWrites)
+	}
+}

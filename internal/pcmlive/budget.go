@@ -1,0 +1,167 @@
+package pcmlive
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Budget is a wall-clock token bucket metering the device's write
+// bandwidth in bytes — the paper's Section 4 accounting where refresh
+// and foreground writes compete for the same 40 MB/s of array write
+// throughput. One Budget is shared by every shard of a live device;
+// three take paths encode the priority scheme:
+//
+//   - Take (foreground writes) blocks until tokens are available. The
+//     time spent blocked is the refresh-induced bank-busy stall the
+//     caller observes.
+//   - TryTake (on-schedule refresh) only succeeds when taking would
+//     still leave the requested headroom, so routine refresh yields to
+//     foreground bursts.
+//   - ForceTake (overdue refresh) always succeeds, driving the bucket
+//     negative if needed; foreground Take then stalls until the refill
+//     pays the debt off. This is the priority aging that keeps refresh
+//     from starving.
+//
+// All methods are safe for concurrent use.
+type Budget struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per wall second
+	burst  float64 // bucket capacity in bytes
+	tokens float64 // current tokens; negative = overdue-refresh debt
+	last   time.Time
+
+	stallNanos atomic.Int64
+	stalls     atomic.Uint64
+	forced     atomic.Uint64
+}
+
+// NewBudget builds a bucket refilling at bytesPerSec with the given
+// burst capacity in bytes. A zero or negative burst defaults to 50 ms
+// of refill (but never less than four 64-byte blocks). bytesPerSec
+// must be positive; callers wanting an unmetered device pass a nil
+// *Budget instead.
+func NewBudget(bytesPerSec, burst float64) *Budget {
+	if bytesPerSec <= 0 {
+		panic("pcmlive: budget rate must be positive (use a nil Budget for unmetered)")
+	}
+	if burst <= 0 {
+		burst = bytesPerSec / 20
+		if burst < 256 {
+			burst = 256
+		}
+	}
+	return &Budget{rate: bytesPerSec, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Rate returns the refill rate in bytes per wall second.
+func (b *Budget) Rate() float64 { return b.rate }
+
+// Burst returns the bucket capacity in bytes.
+func (b *Budget) Burst() float64 { return b.burst }
+
+// refillLocked accrues tokens for the wall time since the last refill.
+// The cap only applies on the way up: a negative balance (ForceTake
+// debt) accrues toward zero at the same rate.
+func (b *Budget) refillLocked(now time.Time) {
+	dt := now.Sub(b.last).Seconds()
+	if dt > 0 {
+		b.tokens += b.rate * dt
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// Take debits n bytes for a foreground write, blocking until the
+// bucket can fund them, and returns how long it blocked — the
+// bank-busy stall the write observed.
+func (b *Budget) Take(n int) time.Duration {
+	need := float64(n)
+	var start time.Time // zero until the first time we have to wait
+	for {
+		now := time.Now()
+		b.mu.Lock()
+		b.refillLocked(now)
+		if b.tokens >= need {
+			b.tokens -= need
+			b.mu.Unlock()
+			if start.IsZero() {
+				return 0 // funded on the first try: no stall
+			}
+			stall := time.Since(start)
+			b.stallNanos.Add(int64(stall))
+			b.stalls.Add(1)
+			return stall
+		}
+		if start.IsZero() {
+			start = now
+		}
+		wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		// Sleep for the projected refill, then re-check: a concurrent
+		// taker may have raced us to the tokens.
+		if wait < 10*time.Microsecond {
+			wait = 10 * time.Microsecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+// TryTake debits n bytes only if the bucket would still hold at least
+// headroom bytes afterwards — the yielding path for on-schedule
+// refresh.
+func (b *Budget) TryTake(n int, headroom float64) bool {
+	need := float64(n)
+	now := time.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens-need < headroom {
+		return false
+	}
+	b.tokens -= need
+	return true
+}
+
+// ForceTake debits n bytes unconditionally, driving the bucket
+// negative if needed — the preempting path for overdue refresh.
+// Foreground Take callers stall until the refill clears the debt.
+func (b *Budget) ForceTake(n int) {
+	now := time.Now()
+	b.mu.Lock()
+	b.refillLocked(now)
+	b.tokens -= float64(n)
+	b.mu.Unlock()
+	b.forced.Add(1)
+}
+
+// BudgetStats is a point-in-time snapshot of the bucket's contention
+// counters.
+type BudgetStats struct {
+	// StalledTakes counts foreground Takes that blocked; StallSeconds
+	// is their cumulative blocked time.
+	StalledTakes uint64
+	StallSeconds float64
+	// ForcedTakes counts overdue-refresh debits that preempted the
+	// bucket.
+	ForcedTakes uint64
+	// Tokens is the instantaneous balance (negative = refresh debt).
+	Tokens float64
+}
+
+// Stats snapshots the bucket. Safe to call concurrently with takers.
+func (b *Budget) Stats() BudgetStats {
+	now := time.Now()
+	b.mu.Lock()
+	b.refillLocked(now)
+	tokens := b.tokens
+	b.mu.Unlock()
+	return BudgetStats{
+		StalledTakes: b.stalls.Load(),
+		StallSeconds: float64(b.stallNanos.Load()) / 1e9,
+		ForcedTakes:  b.forced.Load(),
+		Tokens:       tokens,
+	}
+}

@@ -1,0 +1,64 @@
+package pcmlive
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBudgetTryTakeHonorsHeadroom(t *testing.T) {
+	b := NewBudget(1e6, 1024)
+	// Full bucket: taking 512 leaves 512, exactly the headroom.
+	if !b.TryTake(512, 512) {
+		t.Fatal("TryTake refused with exact headroom available")
+	}
+	// Now ~512 tokens: another 512 would leave nothing.
+	if b.TryTake(512, 512) {
+		t.Fatal("TryTake consumed the reserved headroom")
+	}
+	// Without a headroom requirement it may proceed.
+	if !b.TryTake(256, 0) {
+		t.Fatal("TryTake refused despite sufficient tokens and zero headroom")
+	}
+}
+
+func TestBudgetForceTakeStallsForeground(t *testing.T) {
+	// 64 KiB/s, small burst: a forced 64 KiB debit leaves ~1 s of debt.
+	b := NewBudget(64*1024, 1024)
+	b.ForceTake(64 * 1024)
+	start := time.Now()
+	stall := b.Take(64)
+	elapsed := time.Since(start)
+	if stall <= 0 {
+		t.Fatalf("foreground take did not stall behind forced refresh debt (stall=%v)", stall)
+	}
+	if elapsed < 500*time.Millisecond {
+		t.Fatalf("debt cleared implausibly fast: %v", elapsed)
+	}
+	st := b.Stats()
+	if st.StalledTakes != 1 || st.ForcedTakes != 1 {
+		t.Fatalf("stats = %+v, want 1 stalled take and 1 forced take", st)
+	}
+	if st.StallSeconds <= 0 {
+		t.Fatalf("stall seconds not accrued: %+v", st)
+	}
+}
+
+func TestBudgetTakeUnblockedWhenFunded(t *testing.T) {
+	b := NewBudget(1e9, 1<<20)
+	if stall := b.Take(4096); stall != 0 {
+		t.Fatalf("funded take stalled %v", stall)
+	}
+}
+
+func TestBudgetDefaultsAndPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-rate budget did not panic")
+		}
+	}()
+	b := NewBudget(40e6, 0)
+	if b.Burst() != 40e6/20 {
+		t.Fatalf("default burst = %g, want 50 ms of refill", b.Burst())
+	}
+	NewBudget(0, 0)
+}

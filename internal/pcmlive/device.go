@@ -1,0 +1,387 @@
+package pcmlive
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// neverWritten is the lastWrite sentinel for blocks that have never
+// been written: they hold zeros, do not drift, and need no refresh.
+const neverWritten = math.MinInt64
+
+// DeviceConfig assembles a live drift-backed device.
+type DeviceConfig struct {
+	// Blocks is the 64-byte block capacity (required).
+	Blocks int
+	// Model is the error model blocks age under (required); build one
+	// per organization and share it across shards.
+	Model *ErrorModel
+	// Seed drives the per-block life sampling.
+	Seed uint64
+	// TimeScale is simulated seconds per wall second (default 1). The
+	// simulated clock runs continuously at this rate and additionally
+	// jumps by explicit Advance calls.
+	TimeScale float64
+	// Budget, when non-nil, meters foreground writes: each touched
+	// block debits one block write and may stall (bank busy) while
+	// refresh holds the tokens.
+	Budget *Budget
+	// OnStall, when non-nil, observes each nonzero foreground budget
+	// stall — the glue point for a latency histogram.
+	OnStall func(time.Duration)
+}
+
+// Device is a byte-addressable block store whose blocks age under the
+// configured drift error model. It implements the pcmserve shard
+// device contract (io.ReaderAt, io.WriterAt, Advance, Name).
+//
+// Concurrency follows internal/device: ReadAt, WriteAt, Advance and
+// RefreshBlock must be confined to one goroutine (the shard owner).
+// SimNow, BlockAge, Written, OverdueBlocks, DebtBlocks and Stats are
+// safe from any goroutine — they are what the Scheduler and metric
+// scrapes use.
+type Device struct {
+	model     *ErrorModel
+	blocks    int
+	timeScale float64
+	budget    *Budget
+	onStall   func(time.Duration)
+
+	r    *rng.Rand
+	data []byte
+
+	// lastWrite[b] is the sim-clock nanosecond of block b's most recent
+	// write (neverWritten before the first). Atomic so the scheduler
+	// and debt gauges can scan ages without touching the owner's state.
+	lastWrite []atomic.Int64
+	// firstAt/deadAt are the absolute sim seconds at which block b
+	// starts needing correction / passes beyond ECC. Owner-confined.
+	firstAt []float64
+	deadAt  []float64
+
+	// base is the accumulated Advance offset in sim nanoseconds; the
+	// continuous part is timeScale × wall time since start.
+	base      atomic.Int64
+	wallStart time.Time
+
+	safeAge float64
+
+	correctedReads atomic.Uint64
+	uncorrReads    atomic.Uint64
+	stallNanos     atomic.Int64
+	stalledWrites  atomic.Uint64
+	refClean       atomic.Uint64
+	refCorrected   atomic.Uint64
+	refUncorr      atomic.Uint64
+}
+
+var _ io.ReaderAt = (*Device)(nil)
+var _ io.WriterAt = (*Device)(nil)
+
+// NewDevice builds the device with every block unwritten (reads as
+// zeros, no drift until first written).
+func NewDevice(cfg DeviceConfig) (*Device, error) {
+	if cfg.Blocks < 1 {
+		return nil, errors.New("pcmlive: need at least one block")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("pcmlive: DeviceConfig.Model is required")
+	}
+	ts := cfg.TimeScale
+	if ts == 0 {
+		ts = 1
+	}
+	if ts < 0 {
+		return nil, fmt.Errorf("pcmlive: negative time scale %g", ts)
+	}
+	d := &Device{
+		model:     cfg.Model,
+		blocks:    cfg.Blocks,
+		timeScale: ts,
+		budget:    cfg.Budget,
+		onStall:   cfg.OnStall,
+		r:         rng.New(cfg.Seed),
+		data:      make([]byte, cfg.Blocks*core.BlockBytes),
+		lastWrite: make([]atomic.Int64, cfg.Blocks),
+		firstAt:   make([]float64, cfg.Blocks),
+		deadAt:    make([]float64, cfg.Blocks),
+		wallStart: time.Now(),
+		safeAge:   cfg.Model.SafeInterval(safeAgeTarget),
+	}
+	for b := range d.lastWrite {
+		d.lastWrite[b].Store(neverWritten)
+		d.firstAt[b] = math.Inf(1)
+		d.deadAt[b] = math.Inf(1)
+	}
+	return d, nil
+}
+
+// safeAgeTarget is the per-block uncorrectable probability defining
+// the model-derived safe refresh age: a block older than
+// SafeInterval(safeAgeTarget) counts as refresh debt. 1e-9 puts the
+// paper's 17-minute 4LCo interval just inside the safe region.
+const safeAgeTarget = 1e-9
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return int64(d.blocks) * core.BlockBytes }
+
+// Blocks returns the block capacity.
+func (d *Device) Blocks() int { return d.blocks }
+
+// Name describes the device for shard reports.
+func (d *Device) Name() string { return d.model.Name() }
+
+// TimeScale returns simulated seconds per wall second.
+func (d *Device) TimeScale() float64 { return d.timeScale }
+
+// SafeAge returns the model-derived age in sim seconds past which a
+// block counts as refresh debt (+Inf for organizations, like 3LCo,
+// that never reach the debt threshold on the model horizon).
+func (d *Device) SafeAge() float64 { return d.safeAge }
+
+// SimNow returns the simulated clock in seconds since device start:
+// TimeScale × wall elapsed, plus every Advance jump. Safe from any
+// goroutine.
+func (d *Device) SimNow() float64 {
+	return float64(d.base.Load())/1e9 + d.timeScale*time.Since(d.wallStart).Seconds()
+}
+
+// Advance jumps the simulated clock forward dt seconds, aging every
+// written block. Part of the shard device contract.
+func (d *Device) Advance(dt float64) error {
+	if dt < 0 {
+		return fmt.Errorf("pcmlive: negative advance %g", dt)
+	}
+	d.base.Add(int64(dt * 1e9))
+	return nil
+}
+
+// Written reports whether block b has ever been written. Safe from
+// any goroutine.
+func (d *Device) Written(b int) bool { return d.lastWrite[b].Load() != neverWritten }
+
+// BlockAge returns the sim seconds since block b's last write, or -1
+// if it was never written. Safe from any goroutine.
+func (d *Device) BlockAge(b int) float64 {
+	lw := d.lastWrite[b].Load()
+	if lw == neverWritten {
+		return -1
+	}
+	return d.SimNow() - float64(lw)/1e9
+}
+
+// OverdueBlocks counts written blocks older than age sim seconds.
+// Safe from any goroutine.
+func (d *Device) OverdueBlocks(age float64) int {
+	now := d.SimNow()
+	cutoff := int64((now - age) * 1e9)
+	n := 0
+	for b := range d.lastWrite {
+		if lw := d.lastWrite[b].Load(); lw != neverWritten && lw < cutoff {
+			n++
+		}
+	}
+	return n
+}
+
+// DebtBlocks counts written blocks older than the model-derived safe
+// age — the refresh-debt gauge. Unlike OverdueBlocks (measured against
+// the configured interval, which drives scheduling priority), debt is
+// measured against what the MODEL says is safe, so an operator who
+// configures the interval 10× too long sees nonzero debt even while
+// the scheduler dutifully meets that too-long deadline. Safe from any
+// goroutine.
+func (d *Device) DebtBlocks() int {
+	if math.IsInf(d.safeAge, 1) {
+		return 0
+	}
+	return d.OverdueBlocks(d.safeAge)
+}
+
+// ReadAt implements io.ReaderAt with device.Device semantics: reads
+// past the end return the available prefix and io.EOF. A block whose
+// age has passed its sampled uncorrectable time fails the read with
+// core.ErrUncorrectable; one past its first-error time is served
+// corrected (counted, content intact).
+func (d *Device) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pcmlive: negative offset")
+	}
+	now := d.SimNow()
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		if pos >= d.Size() {
+			return n, io.EOF
+		}
+		b := int(pos / core.BlockBytes)
+		inBlk := int(pos % core.BlockBytes)
+		if d.lastWrite[b].Load() != neverWritten {
+			switch {
+			case now >= d.deadAt[b]:
+				d.uncorrReads.Add(1)
+				return n, fmt.Errorf("pcmlive: block %d drifted beyond ECC: %w", b, core.ErrUncorrectable)
+			case now >= d.firstAt[b]:
+				d.correctedReads.Add(1)
+			}
+		}
+		n += copy(p[n:], d.data[b*core.BlockBytes+inBlk:(b+1)*core.BlockBytes])
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt with device.Device semantics: writes
+// beyond the device size are rejected whole; partial blocks are
+// read-modify-write (tolerating drifted content — the rewrite replaces
+// it physically). Every touched block is rewritten at nominal levels:
+// its drift clock restarts and its error times are resampled. Each
+// touched block debits one block write from the budget; the stall, if
+// any, is the refresh-induced bank-busy latency.
+func (d *Device) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pcmlive: negative offset")
+	}
+	if off+int64(len(p)) > d.Size() {
+		return 0, fmt.Errorf("pcmlive: write [%d, %d) exceeds size %d", off, off+int64(len(p)), d.Size())
+	}
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		b := int(pos / core.BlockBytes)
+		inBlk := int(pos % core.BlockBytes)
+		span := core.BlockBytes - inBlk
+		if span > len(p)-n {
+			span = len(p) - n
+		}
+		if d.budget != nil {
+			if stall := d.budget.Take(core.BlockBytes); stall > 0 {
+				d.stallNanos.Add(int64(stall))
+				d.stalledWrites.Add(1)
+				if d.onStall != nil {
+					d.onStall(stall)
+				}
+			}
+		}
+		copy(d.data[b*core.BlockBytes+inBlk:], p[n:n+span])
+		d.restamp(b, d.SimNow())
+		n += span
+	}
+	return n, nil
+}
+
+// restamp restarts block b's drift clock at sim time now and resamples
+// its error times — the effect of any full-block rewrite at nominal
+// resistance.
+func (d *Device) restamp(b int, now float64) {
+	first, uncorr := d.model.SampleLife(d.r)
+	d.firstAt[b] = now + first
+	d.deadAt[b] = now + uncorr
+	d.lastWrite[b].Store(int64(now * 1e9))
+}
+
+// Outcome classifies what one block refresh found.
+type Outcome int
+
+const (
+	// RefreshUnwritten: the block was never written; nothing to do.
+	RefreshUnwritten Outcome = iota
+	// RefreshClean: no cell had erred yet; rewritten at nominal anyway.
+	RefreshClean
+	// RefreshCorrected: the block needed ECC correction and was
+	// rewritten in place — drift cleared before it could accumulate.
+	RefreshCorrected
+	// RefreshUncorrectable: the block had drifted beyond ECC; its
+	// content was replaced with zeros (the data loss is the event the
+	// refresh interval exists to prevent).
+	RefreshUncorrectable
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case RefreshUnwritten:
+		return "unwritten"
+	case RefreshClean:
+		return "clean"
+	case RefreshCorrected:
+		return "corrected"
+	case RefreshUncorrectable:
+		return "uncorrectable"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// RefreshBlock performs one refresh cycle on block b: read with
+// correction, rewrite at nominal levels, restart the drift clock. An
+// uncorrectable block has its content replaced with zeros, containing
+// the loss to this block. Refresh does NOT debit the budget — the
+// Scheduler pays for refresh bytes before dispatching, under its own
+// priority rules. Owner-confined, like ReadAt/WriteAt.
+func (d *Device) RefreshBlock(b int) (Outcome, error) {
+	if b < 0 || b >= d.blocks {
+		return RefreshUnwritten, fmt.Errorf("pcmlive: refresh block %d out of range [0,%d)", b, d.blocks)
+	}
+	now := d.SimNow()
+	lw := d.lastWrite[b].Load()
+	if lw == neverWritten {
+		return RefreshUnwritten, nil
+	}
+	out := RefreshClean
+	switch {
+	case now >= d.deadAt[b]:
+		out = RefreshUncorrectable
+		d.refUncorr.Add(1)
+		clear(d.data[b*core.BlockBytes : (b+1)*core.BlockBytes])
+	case now >= d.firstAt[b]:
+		out = RefreshCorrected
+		d.refCorrected.Add(1)
+	default:
+		d.refClean.Add(1)
+	}
+	d.restamp(b, now)
+	return out, nil
+}
+
+// DeviceStats is a point-in-time snapshot of the device's drift and
+// contention counters. Safe to collect concurrently with traffic.
+type DeviceStats struct {
+	// CorrectedReads counts reads served from blocks past their first
+	// cell error (ECC did its job); UncorrectableReads counts reads
+	// that failed because the block drifted beyond ECC.
+	CorrectedReads     uint64 `json:"corrected_reads"`
+	UncorrectableReads uint64 `json:"uncorrectable_reads"`
+	// Refresh outcomes (see Outcome).
+	RefreshClean         uint64 `json:"refresh_clean"`
+	RefreshCorrected     uint64 `json:"refresh_corrected"`
+	RefreshUncorrectable uint64 `json:"refresh_uncorrectable"`
+	// StalledWrites counts foreground writes that blocked on the write
+	// budget; StallSeconds is their cumulative bank-busy time.
+	StalledWrites uint64  `json:"stalled_writes"`
+	StallSeconds  float64 `json:"stall_seconds"`
+	// DebtBlocks is the instantaneous refresh debt (see DebtBlocks).
+	DebtBlocks int `json:"debt_blocks"`
+	// SimSeconds is the simulated clock.
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// Stats snapshots the device counters. Safe from any goroutine.
+func (d *Device) Stats() DeviceStats {
+	return DeviceStats{
+		CorrectedReads:       d.correctedReads.Load(),
+		UncorrectableReads:   d.uncorrReads.Load(),
+		RefreshClean:         d.refClean.Load(),
+		RefreshCorrected:     d.refCorrected.Load(),
+		RefreshUncorrectable: d.refUncorr.Load(),
+		StalledWrites:        d.stalledWrites.Load(),
+		StallSeconds:         float64(d.stallNanos.Load()) / 1e9,
+		DebtBlocks:           d.DebtBlocks(),
+		SimSeconds:           d.SimNow(),
+	}
+}

@@ -1,0 +1,299 @@
+package pcmlive
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+const day = 86400.0
+
+func fourModel(t *testing.T) *ErrorModel {
+	t.Helper()
+	m, err := NewErrorModel(FourLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newDev(t *testing.T, blocks int, seed uint64) *Device {
+	t.Helper()
+	d, err := NewDevice(DeviceConfig{Blocks: blocks, Model: fourModel(t), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func blockPattern(b int) []byte {
+	p := make([]byte, core.BlockBytes)
+	for i := range p {
+		p[i] = byte(b*31 + i)
+	}
+	return p
+}
+
+func fillDev(t *testing.T, d *Device) {
+	t.Helper()
+	for b := 0; b < d.Blocks(); b++ {
+		if _, err := d.WriteAt(blockPattern(b), int64(b)*core.BlockBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func countBad(d *Device) (bad int) {
+	buf := make([]byte, core.BlockBytes)
+	for b := 0; b < d.Blocks(); b++ {
+		_, err := d.ReadAt(buf, int64(b)*core.BlockBytes)
+		if err != nil || !bytes.Equal(buf, blockPattern(b)) {
+			bad++
+		}
+	}
+	return bad
+}
+
+func TestUnwrittenReadsZeros(t *testing.T) {
+	d := newDev(t, 4, 1)
+	// Unwritten blocks never drift, even across a huge jump.
+	if err := d.Advance(3650 * day); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4*core.BlockBytes)
+	if _, err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range buf {
+		if v != 0 {
+			t.Fatal("unwritten block read nonzero")
+		}
+	}
+	if d.DebtBlocks() != 0 {
+		t.Fatalf("unwritten device reports debt %d", d.DebtBlocks())
+	}
+}
+
+func TestDriftKillsUnrefreshedBlocks(t *testing.T) {
+	d := newDev(t, 64, 2)
+	fillDev(t, d)
+	if bad := countBad(d); bad != 0 {
+		t.Fatalf("%d blocks bad immediately after write", bad)
+	}
+	// 45 unrefreshed days: ~51% of 4LCo blocks are beyond BCH-10
+	// (P(all 64 survive) ≈ 1e-20).
+	if err := d.Advance(45 * day); err != nil {
+		t.Fatal(err)
+	}
+	bad := countBad(d)
+	if bad == 0 {
+		t.Fatal("no blocks lost after 45 unrefreshed days; drift model inert")
+	}
+	st := d.Stats()
+	if st.UncorrectableReads == 0 {
+		t.Fatal("uncorrectable reads not counted")
+	}
+	if !errors.Is(firstReadErr(d), core.ErrUncorrectable) {
+		t.Fatal("dead block read did not wrap core.ErrUncorrectable")
+	}
+}
+
+func firstReadErr(d *Device) error {
+	buf := make([]byte, core.BlockBytes)
+	for b := 0; b < d.Blocks(); b++ {
+		if _, err := d.ReadAt(buf, int64(b)*core.BlockBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestRefreshKeepsBlocksAlive(t *testing.T) {
+	d := newDev(t, 64, 3)
+	fillDev(t, d)
+	// A simulated week in paper-interval steps, refreshing every block
+	// each step: nothing may die (per-step uncorr ≈ 1e-10 per block).
+	steps := int(7*day) / 1020
+	for i := 0; i < steps; i++ {
+		if err := d.Advance(1020); err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < d.Blocks(); b++ {
+			out, err := d.RefreshBlock(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out == RefreshUncorrectable {
+				t.Fatalf("block %d uncorrectable at step %d under paper-interval refresh", b, i)
+			}
+		}
+	}
+	if bad := countBad(d); bad != 0 {
+		t.Fatalf("%d blocks lost under paper-interval refresh", bad)
+	}
+	st := d.Stats()
+	if st.RefreshClean+st.RefreshCorrected == 0 {
+		t.Fatal("refresh outcomes not counted")
+	}
+}
+
+func TestRefreshZeroFillsUncorrectable(t *testing.T) {
+	d := newDev(t, 32, 4)
+	fillDev(t, d)
+	if err := d.Advance(45 * day); err != nil {
+		t.Fatal(err)
+	}
+	sawUncorr := false
+	for b := 0; b < d.Blocks(); b++ {
+		out, err := d.RefreshBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == RefreshUncorrectable {
+			sawUncorr = true
+			buf := make([]byte, core.BlockBytes)
+			if _, err := d.ReadAt(buf, int64(b)*core.BlockBytes); err != nil {
+				t.Fatalf("refreshed block %d still unreadable: %v", b, err)
+			}
+			if !bytes.Equal(buf, make([]byte, core.BlockBytes)) {
+				t.Fatalf("uncorrectable block %d not zero-filled by refresh", b)
+			}
+		}
+	}
+	if !sawUncorr {
+		t.Fatal("45 unrefreshed days produced no uncorrectable refresh outcome")
+	}
+	// Every block is fresh again: nothing may read uncorrectable now.
+	if err := firstReadErr(d); err != nil {
+		t.Fatalf("read after full refresh pass: %v", err)
+	}
+}
+
+func TestPartialWriteRestampsWholeBlock(t *testing.T) {
+	d := newDev(t, 8, 5)
+	fillDev(t, d)
+	if err := d.Advance(45 * day); err != nil {
+		t.Fatal(err)
+	}
+	// A 1-byte write physically rewrites its whole block: the block is
+	// alive afterwards regardless of prior drift state (the RMW path
+	// tolerates drifted content; the write replaces it at nominal).
+	for b := 0; b < d.Blocks(); b++ {
+		if _, err := d.WriteAt([]byte{0xAA}, int64(b)*core.BlockBytes+7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := firstReadErr(d); err != nil {
+		t.Fatalf("read after touching every block: %v", err)
+	}
+	buf := make([]byte, 1)
+	if _, err := d.ReadAt(buf, 7); err != nil || buf[0] != 0xAA {
+		t.Fatalf("partial write not applied: %v %x", err, buf[0])
+	}
+}
+
+func TestDeviceBoundsAndEOF(t *testing.T) {
+	d := newDev(t, 2, 6)
+	buf := make([]byte, 3*core.BlockBytes)
+	n, err := d.ReadAt(buf, 0)
+	if err != io.EOF || n != 2*core.BlockBytes {
+		t.Fatalf("overlong read = (%d, %v), want (%d, EOF)", n, err, 2*core.BlockBytes)
+	}
+	if _, err := d.WriteAt(buf, 0); err == nil {
+		t.Fatal("overlong write accepted")
+	}
+	if _, err := d.ReadAt(buf[:1], -1); err == nil {
+		t.Fatal("negative read offset accepted")
+	}
+	if _, err := d.WriteAt(buf[:1], -1); err == nil {
+		t.Fatal("negative write offset accepted")
+	}
+	if err := d.Advance(-1); err == nil {
+		t.Fatal("negative advance accepted")
+	}
+}
+
+func TestCorrectedReadsCounted(t *testing.T) {
+	d := newDev(t, 256, 7)
+	fillDev(t, d)
+	// At ~3 hours, P(first error) ≈ 0.87 but P(beyond ECC) ≈ 1e-6:
+	// essentially every block serves corrected, none die.
+	if err := d.Advance(10200); err != nil {
+		t.Fatal(err)
+	}
+	if bad := countBad(d); bad != 0 {
+		t.Fatalf("%d blocks dead at 3 hours (uncorr should be ~1e-6)", bad)
+	}
+	if st := d.Stats(); st.CorrectedReads == 0 {
+		t.Fatal("no corrected reads counted at an age where most blocks need correction")
+	}
+}
+
+func TestDebtAgainstModelSafeAge(t *testing.T) {
+	d := newDev(t, 16, 8)
+	fillDev(t, d)
+	safe := d.SafeAge()
+	if safe < 1020 || safe > 20400 {
+		t.Fatalf("4LCo safe age = %g s; want between the paper interval and ~20×", safe)
+	}
+	if d.DebtBlocks() != 0 {
+		t.Fatal("fresh device already in debt")
+	}
+	if err := d.Advance(safe * 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.DebtBlocks(); got != 16 {
+		t.Fatalf("debt = %d, want all 16 blocks past the safe age", got)
+	}
+	if got := d.OverdueBlocks(3 * safe); got != 0 {
+		t.Fatalf("overdue(3×safe) = %d, want 0", got)
+	}
+}
+
+func TestThreeLCNeverInDebt(t *testing.T) {
+	m, err := NewErrorModel(ThreeLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDevice(DeviceConfig{Blocks: 8, Model: m, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDev(t, d)
+	if err := d.Advance(3650 * day); err != nil {
+		t.Fatal(err)
+	}
+	if d.DebtBlocks() != 0 {
+		t.Fatal("3LCo in refresh debt: nonvolatility broken")
+	}
+	if bad := countBad(d); bad != 0 {
+		t.Fatalf("%d 3LCo blocks lost in a decade", bad)
+	}
+}
+
+func TestWriteDebitsBudget(t *testing.T) {
+	b := NewBudget(64*1024, 512)
+	m := fourModel(t)
+	var stalls int
+	d, err := NewDevice(DeviceConfig{
+		Blocks: 8, Model: m, Seed: 10, Budget: b,
+		OnStall: func(_ time.Duration) { stalls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the bucket with a forced debit, then write: the write must
+	// stall and the stall must be observed.
+	b.ForceTake(32 * 1024)
+	if _, err := d.WriteAt(blockPattern(0), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.StalledWrites == 0 || st.StallSeconds <= 0 || stalls == 0 {
+		t.Fatalf("stall not recorded: %+v (hook calls %d)", st, stalls)
+	}
+}

@@ -1,0 +1,45 @@
+// Package pcmlive makes served PCM shards drift in simulated time and
+// pays for their refresh out of the same write-bandwidth budget as
+// foreground traffic — the paper's central systems tension (Sections 1,
+// 4 and 7, Figure 16) turned into a live serving component.
+//
+// Three pieces compose:
+//
+//   - ErrorModel precomputes, from the same drift distributions that
+//     generate the paper's CER curves (internal/drift quadrature over a
+//     levels.Mapping), the distribution of two per-block order
+//     statistics: the time of the first cell error and the time of the
+//     (t+1)-th cell error, where t is the block's ECC correction
+//     capability. A block whose age crosses the first is served
+//     corrected; one that crosses the second is beyond ECC and returns
+//     core.ErrUncorrectable.
+//
+//   - Device is a byte-addressable block store (the pcmserve shard
+//     device contract: io.ReaderAt, io.WriterAt, Advance, Name) whose
+//     blocks age against a simulated clock. Every write — foreground or
+//     refresh — restores nominal resistance and resamples the block's
+//     error times from the model. The clock advances with wall time
+//     scaled by TimeScale and jumps explicitly through Advance.
+//
+//   - Scheduler walks every device's blocks once per refresh interval,
+//     in simulated time, the way the paper's Section 4 scrubber spreads
+//     one full pass uniformly over the interval — but each refresh must
+//     first buy its bytes from a Budget shared with foreground writes
+//     (the paper's 40 MB/s write-bandwidth budget). On-schedule
+//     refreshes yield to foreground traffic (they take tokens only when
+//     headroom exists); once a block ages past the interval it is
+//     overdue and its refresh preempts foreground token waiters, so
+//     refresh never starves while foreground writes observe the
+//     resulting bank-busy stall.
+//
+// Like internal/device, a Device is NOT safe for concurrent use except
+// where noted: ReadAt/WriteAt/Advance/RefreshBlock must be confined to
+// one goroutine (the pcmserve shard owner), while SimNow, BlockAge,
+// OverdueBlocks and the stats snapshot are safe from any goroutine and
+// are what the Scheduler and metric collection use.
+//
+// The model is drift-only: wearout (endurance limits, mark-and-spare)
+// is served by the classic device.Device stack; pcmlive trades that
+// fidelity for per-block O(1) sampling so drift-faithful shards can
+// sustain production-shaped traffic.
+package pcmlive

@@ -1,0 +1,236 @@
+package pcmlive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/drift"
+	"repro/internal/levels"
+	"repro/internal/rng"
+)
+
+// LevelsConfig describes the cell organization of one live 64-byte
+// block: the level mapping its cells are programmed under, how many of
+// its cells drift, and how many transient cell errors its ECC corrects.
+type LevelsConfig struct {
+	// Mapping is the level design (nominals, thresholds, occurrence
+	// probabilities, drift parameters) the cells are written under.
+	Mapping levels.Mapping
+	// Cells is the number of drifting cells per block, ECC overhead
+	// included (SLC-mode check cells, which do not drift on any horizon
+	// this model resolves, are excluded).
+	Cells int
+	// ECCT is the transient-error correction capability t: a block with
+	// more than t cell errors is uncorrectable.
+	ECCT int
+}
+
+// FourLC returns the 4LCo organization of core.FourLC: 256 Gray-coded
+// data cells plus 50 four-level check cells holding the BCH-10 parity,
+// all drifting under the optimal four-level mapping.
+func FourLC() LevelsConfig {
+	return LevelsConfig{Mapping: levels.FourLCOpt(), Cells: 306, ECCT: 10}
+}
+
+// ThreeLC returns the 3LCo organization of core.ThreeLC: 354 ternary
+// pair cells under the paper's optimally mapped three-level design with
+// BCH-1 transient correction (the 10 check bits live in SLC cells and
+// do not drift).
+func ThreeLC() LevelsConfig {
+	return LevelsConfig{Mapping: levels.ThreeLCOpt(), Cells: 354, ECCT: 1}
+}
+
+// ConfigForLevels maps a level count (4 or 3) to its preset.
+func ConfigForLevels(levels int) (LevelsConfig, error) {
+	switch levels {
+	case 4:
+		return FourLC(), nil
+	case 3:
+		return ThreeLC(), nil
+	}
+	return LevelsConfig{}, fmt.Errorf("pcmlive: unsupported level count %d (want 4 or 3)", levels)
+}
+
+// modelGrid is the log-spaced time grid the CDFs are tabulated on:
+// from the drift reference time out to ~317 years, past any horizon
+// the paper (or a serving benchmark) evaluates.
+const (
+	gridPoints = 384
+	gridLo     = drift.T0 // 1 s
+	gridHi     = 1e10     // ~317 years
+)
+
+// ErrorModel tabulates, for one cell organization, the CDFs of the two
+// per-block drift order statistics that decide serving outcomes:
+//
+//	first(t)  = P(any cell errs by t)        = 1 − (1 − CER(t))^Cells
+//	uncorr(t) = P(more than t errors by t)   = P(Binomial(Cells, CER(t)) ≥ ECCT+1)
+//
+// where CER is the mapping's cell error rate by deterministic
+// quadrature (drift.QuadCERMix) — the exact curves of Figures 3, 7 and
+// 8. Sampling a block life is then two inverse-CDF lookups sharing one
+// uniform variate (comonotone coupling), which guarantees the first
+// error never lands after the uncorrectable one while keeping both
+// marginals exact.
+type ErrorModel struct {
+	cfg    LevelsConfig
+	times  []float64 // ascending, log-spaced
+	first  []float64 // CDF of the first cell error time
+	uncorr []float64 // CDF of the (ECCT+1)-th cell error time
+}
+
+// NewErrorModel tabulates the model for one organization. The build
+// runs the mapping's quadrature CER over the whole grid once (a few
+// hundred evaluations); callers should reuse the model across devices.
+func NewErrorModel(cfg LevelsConfig) (*ErrorModel, error) {
+	if err := cfg.Mapping.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cells < 1 {
+		return nil, errors.New("pcmlive: need at least one cell per block")
+	}
+	if cfg.ECCT < 0 || cfg.ECCT >= cfg.Cells {
+		return nil, fmt.Errorf("pcmlive: ECC capability %d outside [0,%d)", cfg.ECCT, cfg.Cells)
+	}
+	m := &ErrorModel{
+		cfg:    cfg,
+		times:  make([]float64, gridPoints),
+		first:  make([]float64, gridPoints),
+		uncorr: make([]float64, gridPoints),
+	}
+	specs := cfg.Mapping.Specs()
+	lo, hi := math.Log10(gridLo), math.Log10(gridHi)
+	for i := range m.times {
+		t := math.Pow(10, lo+(hi-lo)*float64(i)/float64(gridPoints-1))
+		cer := drift.QuadCERMix(specs, cfg.Mapping.Probs, t)
+		m.times[i] = t
+		m.first[i] = -math.Expm1(float64(cfg.Cells) * math.Log1p(-cer))
+		m.uncorr[i] = binomTail(cfg.Cells, cer, cfg.ECCT+1)
+	}
+	// Quadrature noise can leave microscopic non-monotonicity; the
+	// inverse lookups require monotone CDFs.
+	for i := 1; i < gridPoints; i++ {
+		m.first[i] = math.Max(m.first[i], m.first[i-1])
+		m.uncorr[i] = math.Max(m.uncorr[i], m.uncorr[i-1])
+	}
+	return m, nil
+}
+
+// Config returns the organization the model was built for.
+func (m *ErrorModel) Config() LevelsConfig { return m.cfg }
+
+// Name identifies the model in device names and reports.
+func (m *ErrorModel) Name() string {
+	return fmt.Sprintf("live-%s/bch%d", m.cfg.Mapping.Name, m.cfg.ECCT)
+}
+
+// SampleLife draws one block's drift life: the seconds after a write at
+// which the block starts needing correction (first) and at which it
+// passes beyond ECC (uncorr). Either may be +Inf (never, within the
+// model horizon). Always first ≤ uncorr.
+func (m *ErrorModel) SampleLife(r *rng.Rand) (first, uncorr float64) {
+	u := r.Float64()
+	return m.invert(m.first, u), m.invert(m.uncorr, u)
+}
+
+// FirstErrorProb returns P(any cell of a block errs within t seconds
+// of its write) on the tabulated grid.
+func (m *ErrorModel) FirstErrorProb(t float64) float64 { return m.at(m.first, t) }
+
+// UncorrectableProb returns P(a block is beyond ECC within t seconds of
+// its write) on the tabulated grid — the block error rate the paper's
+// Section 4 bounds with the refresh interval.
+func (m *ErrorModel) UncorrectableProb(t float64) float64 { return m.at(m.uncorr, t) }
+
+// SafeInterval returns the longest age t at which the per-block
+// uncorrectable probability is still at most target — the model's own
+// answer to "how long may a block go unrefreshed". Returns +Inf when
+// the whole tabulated horizon stays under target (3LCo at any
+// practical target: the nonvolatile case).
+func (m *ErrorModel) SafeInterval(target float64) float64 {
+	n := len(m.uncorr)
+	if m.uncorr[n-1] <= target {
+		return math.Inf(1)
+	}
+	// Largest i with uncorr[i] <= target; the CDF is monotone.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if m.uncorr[mid] <= target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return m.times[lo]
+}
+
+// at evaluates a tabulated CDF at time t with log-time interpolation.
+func (m *ErrorModel) at(cdf []float64, t float64) float64 {
+	if t <= m.times[0] {
+		return 0
+	}
+	if t >= m.times[len(m.times)-1] {
+		return cdf[len(cdf)-1]
+	}
+	lo, hi := math.Log10(gridLo), math.Log10(gridHi)
+	pos := (math.Log10(t) - lo) / (hi - lo) * float64(gridPoints-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	return cdf[i] + (cdf[i+1]-cdf[i])*frac
+}
+
+// invert returns the time at which the tabulated CDF reaches u, +Inf
+// when it never does within the grid horizon.
+func (m *ErrorModel) invert(cdf []float64, u float64) float64 {
+	n := len(cdf)
+	if u > cdf[n-1] {
+		return math.Inf(1)
+	}
+	// Binary search: smallest i with cdf[i] >= u.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] >= u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 || cdf[lo] == cdf[lo-1] {
+		return m.times[lo]
+	}
+	// Interpolate in log-time between the bracketing grid points.
+	frac := (u - cdf[lo-1]) / (cdf[lo] - cdf[lo-1])
+	lt := math.Log10(m.times[lo-1]) + frac*(math.Log10(m.times[lo])-math.Log10(m.times[lo-1]))
+	return math.Pow(10, lt)
+}
+
+// binomTail returns P(Binomial(n, p) ≥ k), computed through the
+// complement sum of the k lowest terms in log space — stable for the
+// small p and small k (ECC capability + 1) this model needs.
+func binomTail(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	sum := 0.0
+	lchoose := 0.0 // log C(n,0)
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			lchoose += math.Log(float64(n-i+1)) - math.Log(float64(i))
+		}
+		sum += math.Exp(lchoose + float64(i)*lp + float64(n-i)*lq)
+	}
+	if sum >= 1 {
+		return 0
+	}
+	return 1 - sum
+}

@@ -1,0 +1,53 @@
+package pcmlive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/levels"
+	"repro/internal/rng"
+)
+
+func TestModelCalibration(t *testing.T) {
+	four, err := NewErrorModel(FourLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := NewErrorModel(ThreeLC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := 86400.0
+	for _, tc := range []struct {
+		name string
+		m    *ErrorModel
+		t    float64
+	}{
+		{"4LC@17m", four, 1020},
+		{"4LC@170m", four, 10200},
+		{"4LC@1d", four, day},
+		{"4LC@4d", four, 4 * day},
+		{"4LC@12d", four, 12 * day},
+		{"4LC@30d", four, 30 * day},
+		{"4LC@45d", four, 45 * day},
+		{"3LC@10y", three, 10 * 365.25 * day},
+	} {
+		t.Logf("%-10s first=%.3e uncorr=%.3e", tc.name, tc.m.FirstErrorProb(tc.t), tc.m.UncorrectableProb(tc.t))
+	}
+	_ = levels.FourLCOpt()
+	r := rng.New(1)
+	inf, dead := 0, 0
+	for i := 0; i < 10000; i++ {
+		f, u := four.SampleLife(r)
+		if f > u {
+			t.Fatalf("first %v > uncorr %v", f, u)
+		}
+		if math.IsInf(u, 1) {
+			inf++
+		}
+		if u < 45*day {
+			dead++
+		}
+	}
+	t.Logf("4LC samples: %d/10000 never uncorrectable, %d/10000 dead within 45d", inf, dead)
+}

@@ -1,0 +1,298 @@
+package pcmlive
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SchedulerConfig assembles the refresh scheduler.
+type SchedulerConfig struct {
+	// Interval is the refresh interval in sim seconds: every written
+	// block is revisited once per interval, the pass spread uniformly
+	// across it the way the paper's Section 4 scrubber amortizes
+	// refresh bandwidth (required > 0).
+	Interval float64
+	// Budget, when non-nil, is the shared write-bandwidth bucket
+	// refresh bytes are bought from. On-schedule refreshes take tokens
+	// only when ReserveBytes of headroom remain (yielding to
+	// foreground); a refresh slot skipped for budget is retried next
+	// tick without advancing the cursor, so the block keeps aging until
+	// it is overdue (half a grace past the interval) — at which point
+	// ForceTake preempts foreground.
+	Budget *Budget
+	// ReserveBytes is the headroom on-schedule refresh leaves in the
+	// bucket (default: half the burst).
+	ReserveBytes float64
+	// Exec performs one block refresh on a shard, typically by routing
+	// through the shard's queue so refresh serializes with foreground
+	// traffic (required). The scheduler has already paid for the
+	// refresh bytes when Exec is called.
+	Exec func(shard, block int) (Outcome, error)
+	// GraceFactor sets the deadline-miss threshold: a refresh executed
+	// at block age > Interval×(1+GraceFactor) counts as a missed
+	// deadline (default 0.25). The grace absorbs pass-phase jitter so
+	// steady-state operation at the configured interval reports zero
+	// misses.
+	GraceFactor float64
+	// OnOutcome and OnDeadlineMiss, when non-nil, observe per-refresh
+	// events — the glue points for metric counters.
+	OnOutcome      func(shard int, o Outcome)
+	OnDeadlineMiss func(shard int)
+}
+
+// minWake is the shortest wall sleep the pass loop takes: faster
+// cadences batch multiple due slots per wakeup, and a budget-starved
+// loop retries no faster than this.
+const minWake = 200 * time.Microsecond
+
+// Scheduler drives budgeted refresh over a set of live Devices (one
+// per shard), one goroutine per device. Construct with NewScheduler,
+// arm with Start, and Stop before closing the shards.
+type Scheduler struct {
+	devs []*Device
+	cfg  SchedulerConfig
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	passes        atomic.Uint64
+	refreshed     atomic.Uint64
+	forced        atomic.Uint64
+	skipBudget    atomic.Uint64
+	skipUnwritten atomic.Uint64
+	execErrors    atomic.Uint64
+	misses        atomic.Uint64
+	outClean      atomic.Uint64
+	outCorrected  atomic.Uint64
+	outUncorr     atomic.Uint64
+	debtPeak      atomic.Int64
+}
+
+// NewScheduler validates the configuration against the devices (one
+// per shard, all sharing a time scale).
+func NewScheduler(devs []*Device, cfg SchedulerConfig) (*Scheduler, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("pcmlive: scheduler needs at least one device")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("pcmlive: refresh interval %g must be positive", cfg.Interval)
+	}
+	if cfg.Exec == nil {
+		return nil, errors.New("pcmlive: SchedulerConfig.Exec is required")
+	}
+	if cfg.GraceFactor == 0 {
+		cfg.GraceFactor = 0.25
+	}
+	if cfg.GraceFactor < 0 {
+		return nil, fmt.Errorf("pcmlive: negative grace factor %g", cfg.GraceFactor)
+	}
+	if cfg.Budget != nil && cfg.ReserveBytes <= 0 {
+		cfg.ReserveBytes = cfg.Budget.Burst() / 2
+	}
+	return &Scheduler{devs: devs, cfg: cfg, stop: make(chan struct{})}, nil
+}
+
+// Start launches one pass goroutine per device.
+func (sc *Scheduler) Start() {
+	for i := range sc.devs {
+		sc.wg.Add(1)
+		go sc.run(i)
+	}
+}
+
+// Stop halts all pass goroutines and waits for them. Idempotent.
+func (sc *Scheduler) Stop() {
+	sc.stopOnce.Do(func() { close(sc.stop) })
+	sc.wg.Wait()
+}
+
+// DebtPeak returns the highest refresh debt (blocks past the model
+// safe age, summed over devices) the scheduler has observed.
+func (sc *Scheduler) DebtPeak() int { return int(sc.debtPeak.Load()) }
+
+// run is one device's pass loop: visit every block once per Interval
+// of sim time, spread uniformly, buying each refresh from the budget.
+// Pacing is slot-based: slot k falls due k ticks after start, and each
+// wakeup processes every slot now due, so sleep overshoot batches up
+// instead of stretching the pass past the interval.
+func (sc *Scheduler) run(i int) {
+	defer sc.wg.Done()
+	d := sc.devs[i]
+	// Wall nanoseconds per block so one pass spans Interval sim seconds.
+	tickNs := sc.cfg.Interval / d.TimeScale() / float64(d.Blocks()) * 1e9
+	if tickNs < 1 {
+		tickNs = 1
+	}
+	start := time.Now()
+	var slots int64 // refresh slots consumed so far
+	cursor := 0
+	timer := time.NewTimer(minWake)
+	defer timer.Stop()
+	for {
+		due := int64(float64(time.Since(start))/tickNs) - slots
+		if maxDue := int64(d.Blocks()); due > maxDue {
+			// More than a full pass behind (budget debt, shard queue
+			// pressure): a pass visits each block at most once, so the
+			// surplus backlog is dropped rather than replayed.
+			slots += due - maxDue
+			due = maxDue
+		}
+		for ; due > 0; due-- {
+			if !sc.refreshOne(i, d, cursor) {
+				break // budget-starved: retry this block after a sleep
+			}
+			slots++
+			cursor++
+			if cursor >= d.Blocks() {
+				cursor = 0
+				sc.passes.Add(1)
+				sc.sampleDebt()
+			} else if slots%1024 == 0 {
+				sc.sampleDebt()
+			}
+		}
+		// Sleep until the next slot falls due, with a floor so a
+		// budget-starved retry loop still yields the CPU.
+		wait := time.Duration(float64(slots+1)*tickNs) - time.Since(start)
+		if wait < minWake {
+			wait = minWake
+		}
+		timer.Reset(wait)
+		select {
+		case <-sc.stop:
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// sampleDebt folds the instantaneous total debt into the peak gauge.
+func (sc *Scheduler) sampleDebt() {
+	debt := 0
+	for _, d := range sc.devs {
+		debt += d.DebtBlocks()
+	}
+	for {
+		cur := sc.debtPeak.Load()
+		if int64(debt) <= cur || sc.debtPeak.CompareAndSwap(cur, int64(debt)) {
+			return
+		}
+	}
+}
+
+// refreshOne refreshes one block, honouring the budget's priority
+// rules. Returns false when the slot was skipped for budget and the
+// cursor must not advance (the block keeps aging toward overdue).
+func (sc *Scheduler) refreshOne(shard int, d *Device, block int) bool {
+	if !d.Written(block) {
+		sc.skipUnwritten.Add(1)
+		return true
+	}
+	age := d.BlockAge(block)
+	// In steady state a block's age at its slot is exactly ~Interval
+	// (it was last refreshed one pass ago), so "overdue" starts half a
+	// grace past that — between the two, the budget-yielding TryTake
+	// path applies and skipped slots retry; past it, the block has
+	// genuinely been starved and preempts. The full grace marks a
+	// deadline miss.
+	overdue := age > sc.cfg.Interval*(1+0.5*sc.cfg.GraceFactor)
+	if sc.cfg.Budget != nil {
+		if overdue {
+			sc.cfg.Budget.ForceTake(core.BlockBytes)
+			sc.forced.Add(1)
+		} else if !sc.cfg.Budget.TryTake(core.BlockBytes, sc.cfg.ReserveBytes) {
+			sc.skipBudget.Add(1)
+			return false
+		}
+	}
+	if age > sc.cfg.Interval*(1+sc.cfg.GraceFactor) {
+		sc.misses.Add(1)
+		if sc.cfg.OnDeadlineMiss != nil {
+			sc.cfg.OnDeadlineMiss(shard)
+		}
+	}
+	out, err := sc.cfg.Exec(shard, block)
+	if err != nil {
+		// Shard dead or shutting down; drop the slot and move on.
+		sc.execErrors.Add(1)
+		return true
+	}
+	sc.refreshed.Add(1)
+	switch out {
+	case RefreshClean:
+		sc.outClean.Add(1)
+	case RefreshCorrected:
+		sc.outCorrected.Add(1)
+	case RefreshUncorrectable:
+		sc.outUncorr.Add(1)
+	case RefreshUnwritten:
+		sc.skipUnwritten.Add(1)
+	}
+	if sc.cfg.OnOutcome != nil {
+		sc.cfg.OnOutcome(shard, out)
+	}
+	return true
+}
+
+// SchedStats is a point-in-time snapshot of the scheduler's counters.
+type SchedStats struct {
+	// Passes counts completed walks of a device's block space (summed
+	// over devices); Refreshed counts executed block refreshes.
+	Passes    uint64 `json:"passes"`
+	Refreshed uint64 `json:"refreshed"`
+	// Outcome breakdown of executed refreshes.
+	Clean         uint64 `json:"clean"`
+	Corrected     uint64 `json:"corrected"`
+	Uncorrectable uint64 `json:"uncorrectable"`
+	// Forced counts overdue refreshes that preempted the budget;
+	// SkippedBudget counts slots deferred for lack of budget headroom;
+	// SkippedUnwritten counts slots over never-written blocks.
+	Forced           uint64 `json:"forced"`
+	SkippedBudget    uint64 `json:"skipped_budget"`
+	SkippedUnwritten uint64 `json:"skipped_unwritten"`
+	// ExecErrors counts refreshes dropped because the shard was dead or
+	// closing; DeadlineMisses counts refreshes executed past
+	// Interval×(1+GraceFactor) of block age.
+	ExecErrors     uint64 `json:"exec_errors"`
+	DeadlineMisses uint64 `json:"deadline_misses"`
+	// DebtPeak is the highest total refresh debt observed.
+	DebtPeak int `json:"debt_peak"`
+}
+
+// Stats snapshots the scheduler. Safe from any goroutine.
+func (sc *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		Passes:           sc.passes.Load(),
+		Refreshed:        sc.refreshed.Load(),
+		Clean:            sc.outClean.Load(),
+		Corrected:        sc.outCorrected.Load(),
+		Uncorrectable:    sc.outUncorr.Load(),
+		Forced:           sc.forced.Load(),
+		SkippedBudget:    sc.skipBudget.Load(),
+		SkippedUnwritten: sc.skipUnwritten.Load(),
+		ExecErrors:       sc.execErrors.Load(),
+		DeadlineMisses:   sc.misses.Load(),
+		DebtPeak:         sc.DebtPeak(),
+	}
+}
+
+// RecommendedTimeScale returns a time scale at which a refresh pass of
+// the given sim interval over blocks×shards blocks demands about
+// demandBytesPerSec of wall write bandwidth — the helper sweep modes
+// use to keep refresh wall-demand constant while sweeping the sim
+// interval.
+func RecommendedTimeScale(intervalSim float64, blocks, shards int, demandBytesPerSec float64) float64 {
+	totalBytes := float64(blocks*shards) * core.BlockBytes
+	if totalBytes <= 0 || demandBytesPerSec <= 0 {
+		return 1
+	}
+	ts := intervalSim * demandBytesPerSec / totalBytes
+	return math.Max(ts, 1)
+}

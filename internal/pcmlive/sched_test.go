@@ -1,0 +1,169 @@
+package pcmlive
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// schedDev builds a filled device at the given time scale, plus an
+// Exec that routes refreshes straight to the device. The device
+// itself is unmetered (tests wanting budget contention give the
+// Budget to the scheduler only, so the fill doesn't stall); tests
+// that also touch owner-confined state from the test goroutine do so
+// only while the scheduler is stopped.
+func schedDev(t *testing.T, blocks int, seed uint64, timeScale float64) (*Device, func(int, int) (Outcome, error)) {
+	t.Helper()
+	d, err := NewDevice(DeviceConfig{
+		Blocks: blocks, Model: fourModel(t), Seed: seed,
+		TimeScale: timeScale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < blocks; b++ {
+		if _, err := d.WriteAt(blockPattern(b), int64(b)*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, func(_, block int) (Outcome, error) { return d.RefreshBlock(block) }
+}
+
+func TestSchedulerKeepsDeviceAliveAtPaperInterval(t *testing.T) {
+	// A quarter sim day per wall second: the 17-minute interval is
+	// ~47 ms of wall time, so OS scheduling hiccups stay well inside
+	// the deadline grace. Two wall seconds ≈ 42 passes; nothing may
+	// die.
+	d, exec := schedDev(t, 64, 11, day/4)
+	sc, err := NewScheduler([]*Device{d}, SchedulerConfig{Interval: 1020, Exec: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+	time.Sleep(2 * time.Second)
+	sc.Stop()
+	st := sc.Stats()
+	if st.Refreshed < 64 {
+		t.Fatalf("only %d refreshes in 2 wall seconds; pass loop stalled", st.Refreshed)
+	}
+	if st.Uncorrectable != 0 {
+		t.Fatalf("%d uncorrectable refresh outcomes at the paper interval", st.Uncorrectable)
+	}
+	// Wall-paced refresh can miss a deadline when the OS stalls the
+	// pass goroutine; steady state must keep that rare.
+	if st.DeadlineMisses*50 > st.Refreshed {
+		t.Fatalf("%d deadline misses in %d refreshes (>2%%) in unobstructed steady state",
+			st.DeadlineMisses, st.Refreshed)
+	}
+	if bad := countBad(d); bad != 0 {
+		t.Fatalf("%d blocks lost under scheduled refresh", bad)
+	}
+}
+
+func TestSchedulerAccruesDebtAtTooLongInterval(t *testing.T) {
+	// Interval 10× the paper's: the scheduler meets ITS deadline, but
+	// blocks spend most of each pass beyond the model-safe age, so the
+	// debt gauge and its peak must go nonzero.
+	d, exec := schedDev(t, 64, 12, day)
+	sc, err := NewScheduler([]*Device{d}, SchedulerConfig{Interval: 10200, Exec: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+	time.Sleep(1500 * time.Millisecond)
+	sc.Stop()
+	if peak := sc.DebtPeak(); peak == 0 {
+		t.Fatal("10×-interval run observed zero refresh-debt peak")
+	}
+	if d.DebtBlocks() == 0 {
+		t.Fatal("10×-interval run shows no instantaneous debt")
+	}
+}
+
+func TestSchedulerForcesOverdueRefreshUnderStarvedBudget(t *testing.T) {
+	// A budget far too small for the refresh demand: on-schedule
+	// refreshes are skipped, the cursor block ages past the interval,
+	// and the overdue path preempts with ForceTake — refresh never
+	// starves (priority aging).
+	budget := NewBudget(64, 128) // one block per second
+	d, exec := schedDev(t, 32, 13, day)
+	sc, err := NewScheduler([]*Device{d}, SchedulerConfig{
+		Interval: 1020, Exec: exec, Budget: budget, ReserveBytes: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+	time.Sleep(1200 * time.Millisecond)
+	sc.Stop()
+	st := sc.Stats()
+	if st.SkippedBudget == 0 {
+		t.Fatalf("starved budget never deferred a refresh: %+v", st)
+	}
+	if st.Forced == 0 {
+		t.Fatalf("no overdue refresh preempted the starved budget: %+v", st)
+	}
+	if st.Refreshed == 0 {
+		t.Fatalf("refresh fully starved: %+v", st)
+	}
+}
+
+func TestSchedulerExecErrorsDropSlots(t *testing.T) {
+	d, _ := schedDev(t, 16, 14, day)
+	var calls atomic.Int64
+	sc, err := NewScheduler([]*Device{d}, SchedulerConfig{
+		Interval: 1020,
+		Exec: func(_, _ int) (Outcome, error) {
+			calls.Add(1)
+			return RefreshUnwritten, errShardGone
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Start()
+	time.Sleep(300 * time.Millisecond)
+	sc.Stop()
+	st := sc.Stats()
+	if st.ExecErrors == 0 || st.ExecErrors != uint64(calls.Load()) {
+		t.Fatalf("exec errors %d, calls %d", st.ExecErrors, calls.Load())
+	}
+	if st.Refreshed != 0 {
+		t.Fatalf("failed execs counted as refreshes: %+v", st)
+	}
+}
+
+var errShardGone = &schedTestErr{}
+
+type schedTestErr struct{}
+
+func (*schedTestErr) Error() string { return "shard gone" }
+
+func TestSchedulerConfigValidation(t *testing.T) {
+	d, exec := schedDev(t, 1, 15, 1)
+	if _, err := NewScheduler(nil, SchedulerConfig{Interval: 1, Exec: exec}); err == nil {
+		t.Fatal("no devices accepted")
+	}
+	if _, err := NewScheduler([]*Device{d}, SchedulerConfig{Interval: 0, Exec: exec}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, err := NewScheduler([]*Device{d}, SchedulerConfig{Interval: 1}); err == nil {
+		t.Fatal("nil Exec accepted")
+	}
+	if _, err := NewScheduler([]*Device{d}, SchedulerConfig{Interval: 1, Exec: exec, GraceFactor: -1}); err == nil {
+		t.Fatal("negative grace accepted")
+	}
+}
+
+func TestRecommendedTimeScale(t *testing.T) {
+	// 4096 blocks × 4 shards × 64 B = 1 MiB per pass; demanding
+	// 1 MiB/s of wall refresh bandwidth at a 1020 s sim interval needs
+	// ts ≈ 1020.
+	ts := RecommendedTimeScale(1020, 4096, 4, float64(4096*4*64))
+	if ts < 1019 || ts > 1021 {
+		t.Fatalf("ts = %g, want ≈1020", ts)
+	}
+	if ts := RecommendedTimeScale(1, 1, 1, 1e-12); ts != 1 {
+		t.Fatalf("degenerate demand: ts = %g, want floor 1", ts)
+	}
+}

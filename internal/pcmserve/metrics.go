@@ -87,6 +87,10 @@ type Stats struct {
 	// when integrity protection is disabled).
 	Integrity IntegrityStats `json:"integrity"`
 
+	// Live reports the drift/refresh state of live-mode shards (zero
+	// when live mode is disabled).
+	Live LiveStats `json:"live"`
+
 	Shards []ShardStats `json:"shards"`
 }
 

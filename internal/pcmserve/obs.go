@@ -100,6 +100,8 @@ func opName(op uint8) string {
 		return "scrub"
 	case opRepair:
 		return "repair"
+	case opRefresh:
+		return "refresh"
 	}
 	return fmt.Sprintf("op%d", op)
 }

@@ -128,6 +128,7 @@ func (s *Server) Stats() Stats {
 		SlowOps:      s.shards.obs.traces.SlowTotal(),
 		Scrub:        s.shards.ScrubStats(),
 		Integrity:    s.shards.IntegrityStats(),
+		Live:         s.shards.LiveStats(),
 		Shards:       s.shards.Snapshot(),
 	}
 }

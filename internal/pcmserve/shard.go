@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/obs"
+	"repro/internal/pcmlive"
 )
 
 // ShardDevice is the per-shard device contract: the byte-addressable
@@ -56,6 +57,15 @@ type ShardsConfig struct {
 	// scrubbed (read, wearout-accounted, rewritten) every interval,
 	// walking the whole logical space round-robin (0 disables).
 	ScrubInterval time.Duration
+
+	// Live, when non-nil, replaces each shard's device.Device with a
+	// drift-backed pcmlive.Device and the fixed-cadence scrubber with
+	// the budgeted pcmlive.Scheduler. Device.Blocks and Device.Seed
+	// still apply (per-shard block count and decorrelated seeding); the
+	// other device.Config knobs are ignored — the live device models
+	// drift only. Mutually exclusive with ScrubInterval and VerifyScrub
+	// (see LiveConfig).
+	Live *LiveConfig
 
 	// Integrity enables per-block extended-BCH protection with sideband
 	// check bits (nil disables). It shrinks the client-visible capacity:
@@ -102,7 +112,10 @@ func (h Health) String() string {
 }
 
 // Shard-queue-internal operation codes (never on the wire).
-const opScrub uint8 = 0xF0
+const (
+	opScrub   uint8 = 0xF0
+	opRefresh uint8 = 0xF2 // 0xF1 is integrity's opRepair
+)
 
 // shardReq is one shard-local unit of work, always fully contained in
 // the owning shard's address range.
@@ -127,6 +140,8 @@ type shardResult struct {
 	err error
 	// scrub reports the outcome of an opScrub request.
 	scrub scrubOutcome
+	// live reports the outcome of an opRefresh request.
+	live pcmlive.Outcome
 	// Span detail for traced requests: queue wait, device service
 	// time, and scrub ops interleaved since enqueue.
 	wait    time.Duration
@@ -169,6 +184,11 @@ type shard struct {
 	// verifyScrub selects the decode-based scrub pass.
 	integ       *integrityDevice
 	verifyScrub bool
+
+	// liveDev is the shard's raw drift-backed device (nil outside live
+	// mode). opRefresh targets it directly: refresh is a physical
+	// operation on raw blocks, underneath any integrity mapping.
+	liveDev *pcmlive.Device
 
 	o   *serveObs
 	rec *obs.FlightRecorder
@@ -269,6 +289,7 @@ func (s *shard) handle(req shardReq) {
 	var n int
 	var err error
 	outcome := scrubNone
+	var liveOut pcmlive.Outcome
 	switch req.op {
 	case OpRead:
 		n, err = s.dev.ReadAt(req.buf, req.off)
@@ -287,6 +308,15 @@ func (s *shard) handle(req shardReq) {
 		} else {
 			outcome, err = s.scrubBlock(req.off)
 		}
+		s.scrubSeq.Add(1)
+	case opRefresh:
+		if s.liveDev == nil {
+			err = fmt.Errorf("pcmserve: shard %d: refresh on non-live device", s.index)
+		} else {
+			liveOut, err = s.liveDev.RefreshBlock(int(req.off / core.BlockBytes))
+		}
+		// Refresh counts as scrub interference on foreground requests:
+		// it occupies the owner exactly like an opScrub would.
 		s.scrubSeq.Add(1)
 	default:
 		err = fmt.Errorf("pcmserve: shard %d: unknown op %d", s.index, req.op)
@@ -312,7 +342,7 @@ func (s *shard) handle(req shardReq) {
 		}
 	}
 	req.done <- shardResult{
-		pos: req.pos, n: n, err: err, scrub: outcome,
+		pos: req.pos, n: n, err: err, scrub: outcome, live: liveOut,
 		wait: wait, service: service,
 		scrubs: uint32(s.scrubSeq.Load() - req.scrubSeq0),
 	}
@@ -418,6 +448,7 @@ type Shards struct {
 
 	obs   *serveObs
 	scrub *scrubber
+	live  *liveState // nil outside live mode
 
 	mu     sync.RWMutex // guards closed vs. in-flight enqueues
 	closed bool
@@ -461,6 +492,9 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 	if cfg.VerifyScrub && cfg.Integrity == nil {
 		return nil, errors.New("pcmserve: VerifyScrub requires Integrity")
 	}
+	if err := validateLive(cfg); err != nil {
+		return nil, err
+	}
 	shardSize := int64(cfg.Device.Blocks) * core.BlockBytes
 	var code *bch.Extended
 	if cfg.Integrity != nil {
@@ -483,16 +517,48 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 		obs:         newServeObs(cfg.Obs),
 	}
 	g.size = g.shardSize * int64(n)
+	if cfg.Live != nil {
+		ls, err := newLiveState(*cfg.Live, n, g.obs.reg)
+		if err != nil {
+			return nil, err
+		}
+		g.live = ls
+	}
 	for i := range g.shards {
 		dcfg := cfg.Device
 		// SplitMix64 increment keeps per-shard stochastic behaviour
 		// decorrelated even for adjacent seeds.
 		dcfg.Seed = cfg.Device.Seed + uint64(i)*0x9e3779b97f4a7c15
-		dev, err := device.New(dcfg)
-		if err != nil {
-			return nil, fmt.Errorf("pcmserve: shard %d: %w", i, err)
+		var sd ShardDevice
+		var liveDev *pcmlive.Device
+		if g.live != nil {
+			si := strconv.Itoa(i)
+			stallHist := g.obs.reg.Histogram("pcmlive_foreground_stall_seconds",
+				"Foreground write stalls behind the shared write budget (refresh-induced bank-busy time).",
+				latBoundsSeconds, obs.L("shard", si)...)
+			ld, err := pcmlive.NewDevice(pcmlive.DeviceConfig{
+				Blocks:    cfg.Device.Blocks,
+				Model:     g.live.model,
+				Seed:      dcfg.Seed,
+				TimeScale: g.live.cfg.TimeScale,
+				Budget:    g.live.budget,
+				OnStall:   func(stall time.Duration) { stallHist.Observe(stall.Seconds()) },
+			})
+			if err != nil {
+				return nil, fmt.Errorf("pcmserve: shard %d: %w", i, err)
+			}
+			g.obs.reg.GaugeFunc("pcmlive_refresh_debt",
+				"Written blocks currently older than the model-derived safe refresh age.",
+				func() float64 { return float64(ld.DebtBlocks()) }, obs.L("shard", si)...)
+			g.live.devs = append(g.live.devs, ld)
+			liveDev, sd = ld, ld
+		} else {
+			dev, err := device.New(dcfg)
+			if err != nil {
+				return nil, fmt.Errorf("pcmserve: shard %d: %w", i, err)
+			}
+			sd = dev
 		}
-		var sd ShardDevice = dev
 		if cfg.WrapDevice != nil {
 			sd = cfg.WrapDevice(i, sd)
 		}
@@ -501,6 +567,7 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 		if code != nil {
 			// Integrity sits OUTERMOST: injected stored-bit faults land
 			// underneath it, so the decode ladder sees (and heals) them.
+			var err error
 			integ, err = newIntegrityDevice(sd, code, cfg.Device.Blocks, i, g.obs.reg, rec)
 			if err != nil {
 				return nil, err
@@ -516,6 +583,7 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 			rec:         rec,
 			integ:       integ,
 			verifyScrub: cfg.VerifyScrub,
+			liveDev:     liveDev,
 		}
 		s.remap, _ = sd.(remapReporter)
 		s.refreshDeviceGauges() // seed gauges before the owner starts
@@ -527,6 +595,13 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 	if cfg.ScrubInterval > 0 {
 		g.scrub = newScrubber(g, cfg.ScrubInterval)
 		g.scrub.start()
+	}
+	if g.live != nil {
+		g.live.registerGauges(g.obs.reg)
+		if err := g.live.startScheduler(g); err != nil {
+			g.Close()
+			return nil, err
+		}
 	}
 	return g, nil
 }
@@ -567,9 +642,17 @@ func (g *Shards) RecorderSnapshots() []obs.Dump {
 	return out
 }
 
-// Close stops the scrubber and all shard goroutines after in-flight
-// requests drain. Operations issued after Close return ErrClosed.
+// Close stops the refresh scheduler, the scrubber, and all shard
+// goroutines after in-flight requests drain. Operations issued after
+// Close return ErrClosed.
 func (g *Shards) Close() error {
+	// Stop the live refresh scheduler before closing the shard queues:
+	// its pass goroutines enqueue refreshes under g.mu.RLock, so they
+	// must be quiesced while the owners still drain (Stop is
+	// idempotent, making concurrent Close calls safe).
+	if g.live != nil && g.live.sched != nil {
+		g.live.sched.Stop()
+	}
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()

@@ -59,13 +59,19 @@ func (m *Manager) perBlockGap() float64 {
 // Advance moves simulated time forward by dt seconds, performing every
 // block scrub that falls due. Uncorrectable blocks are counted, not
 // fatal: the scrub still rewrites the (corrupted) content, as hardware
-// would.
+// would. An unexpected scrub error does not abort the pass either: the
+// schedule completes (the array clock advances by exactly dt, every due
+// block is still visited, carry stays consistent with the caller's
+// clock) and the first such error is returned at the end — so the
+// schedule remains invariant to how callers chunk time even across
+// failures.
 func (m *Manager) Advance(dt float64) error {
 	if dt < 0 {
 		return errors.New("refresh: negative time step")
 	}
 	gap := m.perBlockGap()
 	remaining := dt
+	var firstErr error
 	// Invariant: the array clock advances by exactly dt across this call;
 	// carry tracks how far into the current gap the schedule has moved.
 	for m.carry+remaining >= gap {
@@ -82,13 +88,15 @@ func (m *Manager) Advance(dt float64) error {
 		case errors.Is(err, core.ErrWornOut):
 			m.stats.WornOut++
 		default:
-			return fmt.Errorf("refresh: scrub block %d: %w", m.nextBlock, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("refresh: scrub block %d: %w", m.nextBlock, err)
+			}
 		}
 		m.nextBlock = (m.nextBlock + 1) % m.dev.Blocks()
 	}
 	m.dev.Array().Advance(remaining)
 	m.carry += remaining
-	return nil
+	return firstErr
 }
 
 // Stats returns accumulated outcomes.

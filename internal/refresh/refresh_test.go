@@ -2,6 +2,9 @@ package refresh
 
 import (
 	"bytes"
+	"errors"
+	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -141,4 +144,114 @@ func TestNewManagerPanicsOnBadInterval(t *testing.T) {
 		}
 	}()
 	NewManager(core.NewThreeLC(1, core.ThreeLCConfig{Array: noWear(6)}), 0)
+}
+
+// failingArch wraps a real Arch and fails Scrub on selected blocks with
+// an error outside the counted classes (not ErrUncorrectable/ErrWornOut).
+type failingArch struct {
+	core.Arch
+	failOn map[int]error
+}
+
+func (f *failingArch) Scrub(block int) error {
+	if err, ok := f.failOn[block]; ok {
+		return err
+	}
+	return f.Arch.Scrub(block)
+}
+
+func TestAdvanceErrorKeepsClockExact(t *testing.T) {
+	// Regression: an unexpected scrub error used to return mid-pass with
+	// the array clock advanced by less than dt and the failing block's
+	// slot half-consumed. The pass must now complete — exact clock, every
+	// due block visited — and report the first error at the end.
+	boom := errors.New("injected scrub failure")
+	mk := func(fail bool) (*Manager, core.Arch) {
+		dev := core.NewThreeLC(8, core.ThreeLCConfig{Array: noWear(7)})
+		fill(t, dev)
+		var arch core.Arch = dev
+		if fail {
+			arch = &failingArch{Arch: dev, failOn: map[int]error{2: boom, 5: boom}}
+		}
+		return NewManager(arch, 800), dev
+	}
+
+	a, devA := mk(true)
+	err := a.Advance(1234) // 12 due scrubs at a 100 s gap, failures at blocks 2, 5, …
+	if err == nil {
+		t.Fatal("injected scrub failure not reported")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the scrub failure", err)
+	}
+
+	b, devB := mk(false)
+	if err := b.Advance(1234); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := devA.Array().Now(), devB.Array().Now(); got != want {
+		t.Fatalf("clock after failing pass = %v, want exactly %v", got, want)
+	}
+	if got, want := a.Stats().Scrubs, b.Stats().Scrubs; got != want {
+		t.Fatalf("scrubs after failing pass = %d, want %d (every due block visited)", got, want)
+	}
+
+	// The schedule stays chunk-invariant across failures: a second
+	// Advance lands on the same clock as the healthy manager's.
+	if err := a.Advance(321); !errors.Is(err, boom) && err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Advance(321); err != nil {
+		t.Fatal(err)
+	}
+	if devA.Array().Now() != devB.Array().Now() {
+		t.Fatalf("clocks diverge after the failing pass: %v vs %v",
+			devA.Array().Now(), devB.Array().Now())
+	}
+}
+
+func TestAdvanceCarryPropertyRandomSplits(t *testing.T) {
+	// Property: for any way of splitting a total advance into steps, the
+	// scrub count and array clock match one monolithic call. Fractional
+	// gaps are the interesting regime, so steps are drawn non-uniformly
+	// around the 250 s per-block gap.
+	const total = 13579.0
+	mkDev := func() (*Manager, core.Arch) {
+		dev := core.NewThreeLC(4, core.ThreeLCConfig{Array: noWear(8)})
+		fill(t, dev)
+		return NewManager(dev, 1000), dev
+	}
+	ref, refDev := mkDev()
+	if err := ref.Advance(total); err != nil {
+		t.Fatal(err)
+	}
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		m, dev := mkDev()
+		left := total
+		for left > 0 {
+			var step float64
+			switch rnd.Intn(3) {
+			case 0: // tiny fraction of a gap
+				step = rnd.Float64() * 25
+			case 1: // around one gap
+				step = 150 + rnd.Float64()*200
+			default: // several gaps at once
+				step = rnd.Float64() * 2000
+			}
+			if step > left {
+				step = left
+			}
+			if err := m.Advance(step); err != nil {
+				t.Fatal(err)
+			}
+			left -= step
+		}
+		if got, want := m.Stats().Scrubs, ref.Stats().Scrubs; got != want {
+			t.Fatalf("trial %d: scrubs = %d, want %d", trial, got, want)
+		}
+		if got, want := dev.Array().Now(), refDev.Array().Now(); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: clock = %v, want %v", trial, got, want)
+		}
+	}
 }
