@@ -8,16 +8,27 @@
 //	pcmcluster -nodes h1:7070,h2:7070,h3:7070 -duration 10s   # load external nodes
 //	pcmcluster -spawn 3 -duration 5s                          # self-contained: 3 in-process nodes
 //	pcmcluster -nodes ... -obs :9091                          # + admin plane (/metrics, /healthz)
+//	pcmcluster -nodes h1:7070,h2:7070,h3:7070 -drain h2:7070  # drain one node, report safe-to-stop
+//	pcmcluster -spawn 3 -join-at 2s -drain-at 4s -duration 8s # membership churn under load
 //
 // The load generator partitions the block space across workers; each
 // worker mirrors its acknowledged writes and checks every read against
 // the mirror. Quorum errors under failure are tolerated (and counted);
 // a read returning wrong bytes is a data error, and any data error
-// makes the process exit nonzero. Blocks this run never wrote are
-// required to read as zeros only in -spawn mode (fresh nodes); an
-// external -nodes fleet may legitimately hold data from earlier runs.
-// The final report prints "data errors: N" even when the run is cut
-// short by SIGINT.
+// makes the process exit nonzero — as does a hinted-handoff overflow
+// drop (dropped_overflow), which silently widens the divergence window
+// and means the run was undersized for its hint capacity. Blocks this
+// run never wrote are required to read as zeros only in -spawn mode
+// (fresh nodes); an external -nodes fleet may legitimately hold data
+// from earlier runs. The final report prints "data errors: N" even
+// when the run is cut short by SIGINT.
+//
+// Membership actions: -drain re-replicates the named node's slots,
+// fences it, replays its pending hints, and prints safe-to-stop.
+// In -spawn mode, -join-at spawns one extra node mid-run and joins it
+// under load; -drain-at drains the first spawned node mid-run and then
+// stops its server gracefully. SIGINT/SIGTERM stops the loadgen early
+// and still shuts every spawned node down via graceful drain.
 package main
 
 import (
@@ -59,13 +70,18 @@ func main() {
 		readPct  = flag.Int("readpct", 50, "percentage of ops that are reads")
 		span     = flag.Int64("blocks", 0, "restrict the loadgen to the first N blocks (0 = all)")
 
-		antiEntropy = flag.Duration("antientropy", 5*time.Millisecond, "per-block anti-entropy sweep cadence (0 disables)")
+		antiEntropy = flag.Duration("antientropy", 5*time.Millisecond, "per-partition anti-entropy sweep cadence (0 disables)")
 		hintReplay  = flag.Duration("hint-replay", 50*time.Millisecond, "hinted-handoff replay cadence")
 		probe       = flag.Duration("probe", 100*time.Millisecond, "down-node half-open probe interval")
 		opTimeout   = flag.Duration("optimeout", 2*time.Second, "per-replica operation timeout")
 		seed        = flag.Uint64("seed", 0, "seed for version tags, retry jitter, and spawned devices (0 = random per process)")
 		obsAddr     = flag.String("obs", "", "admin HTTP listen address for /metrics and /healthz (empty disables)")
-		version     = flag.Bool("version", false, "print build information and exit")
+
+		drainArg = flag.String("drain", "", "admin action: drain this node from the -nodes cluster, report safe-to-stop, and exit (no loadgen)")
+		joinAt   = flag.Duration("join-at", 0, "spawn mode: spawn and join one extra node this long into the run (0 disables)")
+		drainAt  = flag.Duration("drain-at", 0, "spawn mode: drain and stop the first spawned node this long into the run (0 disables)")
+
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -106,16 +122,27 @@ func main() {
 		fail("-optimeout must be positive, got %v", *opTimeout)
 	case *antiEntropy < 0:
 		fail("-antientropy must not be negative, got %v", *antiEntropy)
+	case *drainArg != "" && *nodesArg == "":
+		fail("-drain is an admin action against an external -nodes cluster")
+	case *joinAt < 0 || *drainAt < 0:
+		fail("-join-at and -drain-at must not be negative")
+	case (*joinAt > 0 || *drainAt > 0) && *spawn == 0:
+		fail("-join-at and -drain-at need -spawn (they manage in-process nodes)")
+	case *joinAt >= *duration && *joinAt > 0:
+		fail("-join-at %v must fall inside -duration %v", *joinAt, *duration)
+	case *drainAt >= *duration && *drainAt > 0:
+		fail("-drain-at %v must fall inside -duration %v", *drainAt, *duration)
 	}
 
+	devSeed := *seed
+	if devSeed == 0 {
+		devSeed = 1 // device sim wants a deterministic nonzero seed
+	}
+	fleet := newFleet()
 	var addrs []string
 	if *spawn > 0 {
-		devSeed := *seed
-		if devSeed == 0 {
-			devSeed = 1 // device sim wants a deterministic nonzero seed
-		}
 		for i := 0; i < *spawn; i++ {
-			addrs = append(addrs, spawnNode(fail, *mb, *shards, devSeed+uint64(i)*1000))
+			addrs = append(addrs, fleet.spawn(fail, *mb, *shards, devSeed+uint64(i)*1000))
 		}
 		fmt.Printf("pcmcluster: spawned %d loopback nodes: %s\n", *spawn, strings.Join(addrs, ", "))
 	} else {
@@ -145,6 +172,11 @@ func main() {
 	}
 	defer c.Close()
 
+	if *drainArg != "" {
+		runDrainAction(c, *drainArg)
+		return
+	}
+
 	if *obsAddr != "" {
 		ln, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
@@ -171,17 +203,113 @@ func main() {
 	fmt.Printf("pcmcluster: %d nodes, rf=%d w=%d r=%d, %d blocks (%d in play)\n",
 		len(addrs), st.ReplicationFactor, st.WriteQuorum, st.ReadQuorum, c.Blocks(), blocks)
 
+	// Membership churn rides alongside the loadgen: the join spawns a
+	// fresh node and streams it in; the drain re-replicates node 1's
+	// slots and then stops its server for real. Cluster.memMu serializes
+	// the two, so -join-at < -drain-at simply queues the drain behind
+	// the join.
+	var memWG sync.WaitGroup
+	var memErrs atomic.Uint64
+	if *joinAt > 0 {
+		memWG.Add(1)
+		go func() {
+			defer memWG.Done()
+			time.Sleep(*joinAt)
+			addr := fleet.spawn(fail, *mb, *shards, devSeed+uint64(*spawn)*1000)
+			fmt.Printf("pcmcluster: joining %s mid-run\n", addr)
+			if err := c.Join(context.Background(), addr); err != nil {
+				fmt.Fprintf(os.Stderr, "pcmcluster: join %s: %v\n", addr, err)
+				memErrs.Add(1)
+				return
+			}
+			fmt.Printf("pcmcluster: joined %s (caught up, serving reads)\n", addr)
+		}()
+	}
+	if *drainAt > 0 {
+		memWG.Add(1)
+		go func() {
+			defer memWG.Done()
+			time.Sleep(*drainAt)
+			target := addrs[0]
+			fmt.Printf("pcmcluster: draining %s mid-run\n", target)
+			if err := c.Drain(context.Background(), target); err != nil {
+				fmt.Fprintf(os.Stderr, "pcmcluster: drain %s: %v\n", target, err)
+				memErrs.Add(1)
+				return
+			}
+			fmt.Printf("pcmcluster: drained %s; stopping its server\n", target)
+			if err := fleet.stop(target); err != nil {
+				fmt.Fprintf(os.Stderr, "pcmcluster: stop %s: %v\n", target, err)
+				memErrs.Add(1)
+			}
+		}()
+	}
+
 	dataErrors := runLoadgen(c, blocks, *clients, *duration, *readPct, *spawn > 0)
+	memWG.Wait()
 
 	report(c, dataErrors)
+
+	// Spawned servers get the same graceful drain a SIGTERMed external
+	// node would: stop client traffic first, then shut each down and
+	// wait for in-flight requests.
+	c.Close()
+	fleet.stopAll()
+
+	final := c.Stats()
+	exit := 0
 	if dataErrors > 0 {
-		os.Exit(1)
+		exit = 1
+	}
+	if final.HintsDroppedFull > 0 {
+		fmt.Fprintf(os.Stderr, "pcmcluster: FAILED: %d hints dropped on overflow (divergence window exceeded hint capacity)\n",
+			final.HintsDroppedFull)
+		exit = 1
+	}
+	if memErrs.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "pcmcluster: FAILED: %d membership actions failed\n", memErrs.Load())
+		exit = 1
+	}
+	if exit != 0 {
+		os.Exit(exit)
 	}
 }
 
-// spawnNode brings up one in-process pcmserve node on a loopback port
-// and returns its address. The node lives until process exit.
-func spawnNode(fail func(string, ...any), mb float64, shards int, seed uint64) string {
+// runDrainAction is the -drain admin path: one planned removal, then
+// a safe-to-stop report. SIGINT/SIGTERM aborts the drain cleanly (the
+// cluster reverts to the old placement).
+func runDrainAction(c *pcmcluster.Cluster, target string) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	start := time.Now()
+	fmt.Printf("pcmcluster: draining %s (re-replicating its slots, then fencing writes)\n", target)
+	if err := c.Drain(ctx, target); err != nil {
+		fmt.Fprintf(os.Stderr, "pcmcluster: drain %s: %v\n", target, err)
+		os.Exit(1)
+	}
+	st := c.Stats()
+	fmt.Printf("drain: done in %v: slots pushed=%d skipped=%d, segments=%d resumes=%d, hints replayed=%d stale=%d\n",
+		time.Since(start).Round(time.Millisecond),
+		st.TransferSlotsPushed, st.TransferSlotsSkipped,
+		st.TransferSegments, st.TransferResumes,
+		st.DrainHintsReplayed, st.DrainHintsStale)
+	fmt.Printf("pcmcluster: %s is out of every placement and fenced — safe to stop\n", target)
+}
+
+// fleet tracks the in-process pcmserve nodes this run spawned so
+// membership actions and shutdown can stop them gracefully.
+type fleet struct {
+	mu   sync.Mutex
+	srvs map[string]*pcmserve.Server
+}
+
+func newFleet() *fleet {
+	return &fleet{srvs: make(map[string]*pcmserve.Server)}
+}
+
+// spawn brings up one in-process pcmserve node on a loopback port and
+// returns its address.
+func (f *fleet) spawn(fail func(string, ...any), mb float64, shards int, seed uint64) string {
 	blocksPerShard := int(mb*1024*1024) / 64 / shards
 	if blocksPerShard < 1 {
 		blocksPerShard = 1
@@ -199,7 +327,46 @@ func spawnNode(fail func(string, ...any), mb float64, shards int, seed uint64) s
 		fail("spawn node listen: %v", err)
 	}
 	go srv.Serve(ln)
-	return ln.Addr().String()
+	addr := ln.Addr().String()
+	f.mu.Lock()
+	f.srvs[addr] = srv
+	f.mu.Unlock()
+	return addr
+}
+
+// stop gracefully shuts down one spawned node.
+func (f *fleet) stop(addr string) error {
+	f.mu.Lock()
+	srv := f.srvs[addr]
+	delete(f.srvs, addr)
+	f.mu.Unlock()
+	if srv == nil {
+		return fmt.Errorf("no spawned node at %s", addr)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// stopAll gracefully shuts down every still-running spawned node.
+func (f *fleet) stopAll() {
+	f.mu.Lock()
+	srvs := f.srvs
+	f.srvs = make(map[string]*pcmserve.Server)
+	f.mu.Unlock()
+	var wg sync.WaitGroup
+	for addr, srv := range srvs {
+		wg.Add(1)
+		go func(addr string, srv *pcmserve.Server) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "pcmcluster: stop %s: %v\n", addr, err)
+			}
+		}(addr, srv)
+	}
+	wg.Wait()
 }
 
 // runLoadgen drives the cluster with workers that own disjoint block
@@ -295,8 +462,9 @@ func runLoadgen(c *pcmcluster.Cluster, blocks int64, clients int, duration time.
 }
 
 // report prints the cluster's own accounting — quorum traffic,
-// degraded operations, repairs, hints, breaker transitions, and
-// per-node state — even when the run was cut short.
+// degraded operations, repairs, hints, membership changes, Merkle
+// anti-entropy, breaker transitions, and per-node state — even when
+// the run was cut short.
 func report(c *pcmcluster.Cluster, dataErrors uint64) {
 	st := c.Stats()
 	fmt.Printf("cluster: reads=%d writes=%d read_quorum_failures=%d write_quorum_failures=%d degraded(r/w)=%d/%d\n",
@@ -305,12 +473,25 @@ func report(c *pcmcluster.Cluster, dataErrors uint64) {
 	fmt.Printf("repair: read=%d antientropy=%d skipped=%d failed=%d divergent(stale/corrupt)=%d/%d\n",
 		st.ReadRepairs, st.AntiEntropyRepairs, st.RepairsSkipped, st.RepairsFailed,
 		st.DivergentStale, st.DivergentCorrupt)
-	fmt.Printf("hints: queued=%d replayed=%d dropped(stale/overflow)=%d/%d down_transitions=%d\n",
+	fmt.Printf("hints: queued=%d replayed=%d dropped(stale/overflow/obsolete)=%d/%d/%d down_transitions=%d\n",
 		st.HintsQueued, st.HintsReplayed, st.HintsDroppedStale, st.HintsDroppedFull,
-		st.NodeDownTransitions)
-	if st.AntiEntropyPasses > 0 || st.AntiEntropyClean > 0 {
-		fmt.Printf("antientropy: passes=%d clean=%d unavailable=%d\n",
-			st.AntiEntropyPasses, st.AntiEntropyClean, st.AntiEntropyUnavailable)
+		st.HintsDroppedObsolete, st.NodeDownTransitions)
+	if st.AntiEntropyPasses > 0 || st.AntiEntropyClean > 0 || st.MerkleDigestRPCs > 0 {
+		fmt.Printf("antientropy: passes=%d clean=%d unavailable=%d throttled=%d\n",
+			st.AntiEntropyPasses, st.AntiEntropyClean, st.AntiEntropyUnavailable,
+			st.AntiEntropyThrottled)
+		fmt.Printf("merkle: digest_rpcs=%d slots_fetched=%d parts(clean/divergent/unavailable)=%d/%d/%d fallback_sweeps=%d\n",
+			st.MerkleDigestRPCs, st.MerkleSlotsFetched,
+			st.MerklePartsClean, st.MerklePartsDivergent, st.MerklePartsUnavailable,
+			st.MerkleFallbackSweeps)
+	}
+	if st.JoinsStarted > 0 || st.DrainsStarted > 0 {
+		fmt.Printf("membership: joins=%d/%d drains=%d/%d aborted(j/d)=%d/%d segments=%d resumes=%d slots(pushed/skipped)=%d/%d drain_hints(replayed/stale)=%d/%d\n",
+			st.JoinsCompleted, st.JoinsStarted, st.DrainsCompleted, st.DrainsStarted,
+			st.JoinsAborted, st.DrainsAborted,
+			st.TransferSegments, st.TransferResumes,
+			st.TransferSlotsPushed, st.TransferSlotsSkipped,
+			st.DrainHintsReplayed, st.DrainHintsStale)
 	}
 	for _, n := range st.Nodes {
 		fmt.Printf("  node %s [%s]: reads=%d writes=%d errors=%d hints_pending=%d\n",

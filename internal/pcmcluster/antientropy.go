@@ -2,11 +2,18 @@ package pcmcluster
 
 import "time"
 
-// antiEntropyLoop is the cross-node scrubber: it walks the block space
-// one block per tick, reads every replica, and repairs the ones that
-// diverge from the highest-version valid copy — catching divergence on
-// blocks foreground reads never touch (a down node that missed writes,
+// antiEntropyLoop is the cross-node scrubber: it walks the partition
+// space one partition per tick and reconciles replicas that diverge
+// from the highest-version valid copy — catching divergence on blocks
+// foreground reads never touch (a down node that missed writes,
 // dropped hints, bit rot on a cold replica).
+//
+// When every replica of a partition speaks the range ops, the sweep is
+// a Merkle digest exchange (merkle.go): it reads O(divergence) slots,
+// not O(blocks). Replicas that answered a range op with ErrUnsupported
+// — old pcmserve builds — drop their partitions to the legacy per-slot
+// sweep, whose replica reads are metered by the sweep budget so a big
+// keyspace walk cannot starve foreground traffic.
 func (c *Cluster) antiEntropyLoop(interval time.Duration) {
 	defer c.loops.Done()
 	t := time.NewTicker(interval)
@@ -18,26 +25,81 @@ func (c *Cluster) antiEntropyLoop(interval time.Duration) {
 			return
 		case <-t.C:
 		}
-		c.sweepBlock(cursor)
+		if cursor >= c.numParts() {
+			cursor = 0
+		}
+		c.sweepPartition(cursor)
 		cursor++
-		if cursor >= c.blocks {
+		if cursor >= c.numParts() {
 			cursor = 0
 			c.met.aePasses.Inc()
 		}
 	}
 }
 
-// sweepBlock reconciles one block across its replicas.
-func (c *Cluster) sweepBlock(b int64) {
-	reps := replicasFor(c.seeds, b, c.rf)
+// sweepPartition reconciles one partition, preferring the Merkle
+// exchange and falling back to the metered per-slot sweep.
+func (c *Cluster) sweepPartition(part int64) {
+	ep := c.epoch.Load()
+	reps := ep.cur.replicas(part, c.rf)
+	if len(reps) == 0 {
+		return
+	}
+	if !c.disableMerkle {
+		merkleOK := true
+		for _, n := range reps {
+			if n.noMerkle.Load() {
+				merkleOK = false
+				break
+			}
+		}
+		if merkleOK && c.merkleSweepPartition(part, reps) != merkleUnsupported {
+			return
+		}
+	}
+	c.met.mkFallback.Inc()
+	lo, n := c.partSpan(part)
+	for b := lo; b < lo+n; b++ {
+		if !c.aeTake(int64(len(reps)) * SlotBytes) {
+			return // closing
+		}
+		c.sweepBlockReplicas(b, reps)
+	}
+}
+
+// aeTake blocks until the sweep budget grants n bytes of replica
+// reads, returning false when the cluster is closing. The poll loop
+// (rather than Budget.Take) keeps Close from waiting out a long
+// budget debt.
+func (c *Cluster) aeTake(n int64) bool {
+	if c.aeBudget == nil {
+		return true
+	}
+	throttled := false
+	for !c.aeBudget.TryTake(int(n), 0) {
+		if !throttled {
+			throttled = true
+			c.met.aeThrottled.Inc()
+		}
+		select {
+		case <-c.stop:
+			return false
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return true
+}
+
+// sweepBlockReplicas reconciles one block across the given replicas.
+func (c *Cluster) sweepBlockReplicas(b int64, reps []*node) {
 	all := make([]replicaRead, 0, len(reps))
 	results := make(chan replicaRead, len(reps))
-	for _, idx := range reps {
+	for _, n := range reps {
 		c.bg.Add(1)
-		go func(idx int) {
+		go func(n *node) {
 			defer c.bg.Done()
-			results <- c.readReplica(c.ctx, idx, b)
-		}(idx)
+			results <- c.readReplica(c.ctx, n, b)
+		}(n)
 	}
 	for range reps {
 		all = append(all, <-results)
@@ -71,7 +133,7 @@ func (c *Cluster) sweepBlock(b int64) {
 			continue
 		}
 		repaired = true
-		c.repairReplica(res.idx, b, winner.slot, winner.meta, c.met.repairsAntiEntropy)
+		c.repairReplica(res.n, b, winner.slot, winner.meta, c.met.repairsAntiEntropy)
 	}
 	if repaired {
 		c.met.aeRepaired.Inc()

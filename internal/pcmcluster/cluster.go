@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/pcmlive"
 	"repro/internal/pcmserve"
 )
 
@@ -39,7 +40,8 @@ type Config struct {
 	Nodes []string
 	// DialNode overrides how node connections are made (tests). The
 	// default dials a pcmserve.RetryClient tuned for fast failover
-	// (2 attempts, OpTimeout per attempt).
+	// (2 attempts, OpTimeout per attempt). Join dials through the same
+	// function.
 	DialNode func(addr string) (NodeClient, error)
 
 	// ReplicationFactor is replicas per block (default min(3, nodes)).
@@ -56,6 +58,18 @@ type Config struct {
 	// Blocks explicitly to start against a fleet with a node down.
 	Blocks int64
 
+	// PartitionSlots is the placement granularity: consecutive runs of
+	// this many slots share their replica set, making a partition the
+	// unit of membership transfer and Merkle anti-entropy exchange. The
+	// default (defaultPartitionSlots) is 1 slot per partition until the
+	// block count exceeds maxPartitions, then the smallest power of two
+	// keeping the partition count bounded.
+	PartitionSlots int64
+
+	// TransferSegmentSlots is the membership bulk-transfer batch: slots
+	// moved per checkpointed segment (default 64).
+	TransferSegmentSlots int64
+
 	// OpTimeout bounds each replica attempt (default 1s).
 	OpTimeout time.Duration
 	// FailThreshold consecutive transient failures mark a node down
@@ -68,9 +82,16 @@ type Config struct {
 	HintCapacity       int
 	HintReplayInterval time.Duration
 
-	// AntiEntropyInterval is the per-block cadence of the background
+	// AntiEntropyInterval is the per-partition cadence of the background
 	// reconciliation sweep; 0 disables it.
 	AntiEntropyInterval time.Duration
+	// AntiEntropySweepBytesPerSec caps how fast the legacy per-slot
+	// sweep reads replica data (default 4 MiB/s; negative disables the
+	// cap). The Merkle exchange is O(divergence) and is not metered.
+	AntiEntropySweepBytesPerSec float64
+	// DisableMerkleExchange forces the legacy per-slot sweep even when
+	// every replica supports the range ops.
+	DisableMerkleExchange bool
 
 	// Seed decorrelates version tiebreak tags and node retry jitter
 	// between cluster clients. The default is a fresh random value per
@@ -93,6 +114,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.ReadQuorum <= 0 {
 		cfg.ReadQuorum = cfg.ReplicationFactor/2 + 1
 	}
+	if cfg.TransferSegmentSlots <= 0 {
+		cfg.TransferSegmentSlots = 64
+	}
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = time.Second
 	}
@@ -108,6 +132,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.HintReplayInterval <= 0 {
 		cfg.HintReplayInterval = 200 * time.Millisecond
 	}
+	if cfg.AntiEntropySweepBytesPerSec == 0 {
+		cfg.AntiEntropySweepBytesPerSec = 4 << 20
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = randomSeed()
 	}
@@ -120,13 +147,37 @@ func (cfg Config) withDefaults() Config {
 // Cluster is a client-embedded replication layer over pcmserve nodes.
 // It is safe for concurrent use.
 type Cluster struct {
-	nodes  []*node
-	seeds  []uint64
 	rf     int
 	w, r   int
 	blocks int64
 
-	opTimeout time.Duration
+	// partSlots is the placement granularity (see Config.PartitionSlots);
+	// segSlots the bulk-transfer segment size.
+	partSlots int64
+	segSlots  int64
+
+	opTimeout     time.Duration
+	failThreshold int
+	probeInterval time.Duration
+	hintCap       int
+	dial          func(addr string) (NodeClient, error)
+
+	// epoch is the membership snapshot every op works against; memMu
+	// serializes membership changes (one Join or Drain at a time) and
+	// guards retired. Retired nodes stay out of every placement but
+	// their clients remain open until Close, so background stragglers
+	// holding an old epoch never touch a closed connection.
+	epoch   atomic.Pointer[epoch]
+	memMu   sync.Mutex
+	retired []*node
+	// prog is the in-flight membership transfer's checkpoint (nil when
+	// stable), read by Membership for progress reporting.
+	prog atomic.Pointer[transferProgress]
+
+	// aeBudget meters the legacy anti-entropy sweep's replica reads
+	// (nil = unmetered); disableMerkle forces that sweep everywhere.
+	aeBudget      *pcmlive.Budget
+	disableMerkle bool
 
 	// verCounter, shifted over verTag, produces the version stamps. It
 	// is a hybrid logical clock — max(wall-clock µs, last+1), seeded
@@ -141,8 +192,9 @@ type Cluster struct {
 
 	// stripes serialize every mutation of one block issued by this
 	// client — quorum writes (held until all replicas resolve, not
-	// just W), read-repairs, and hint replays — so a repair's
-	// re-check-then-write can never clobber a newer in-flight write.
+	// just W), read-repairs, hint replays, and membership transfer
+	// pushes — so a repair's re-check-then-write can never clobber a
+	// newer in-flight write.
 	stripes [writeStripes]sync.Mutex
 
 	met *metrics
@@ -188,6 +240,9 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("pcmcluster: W=%d + R=%d must exceed replication factor %d or reads can miss acknowledged writes",
 			cfg.WriteQuorum, cfg.ReadQuorum, rf)
 	}
+	if cfg.PartitionSlots < 0 {
+		return nil, fmt.Errorf("pcmcluster: negative partition slots %d", cfg.PartitionSlots)
+	}
 
 	dial := cfg.DialNode
 	if dial == nil {
@@ -206,37 +261,55 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		rf:        rf,
-		w:         cfg.WriteQuorum,
-		r:         cfg.ReadQuorum,
-		blocks:    cfg.Blocks,
-		opTimeout: cfg.OpTimeout,
-		verTag:    uint8(mix64(cfg.Seed)),
-		stop:      make(chan struct{}),
+		rf:            rf,
+		w:             cfg.WriteQuorum,
+		r:             cfg.ReadQuorum,
+		blocks:        cfg.Blocks,
+		segSlots:      cfg.TransferSegmentSlots,
+		opTimeout:     cfg.OpTimeout,
+		failThreshold: cfg.FailThreshold,
+		probeInterval: cfg.ProbeInterval,
+		hintCap:       cfg.HintCapacity,
+		dial:          dial,
+		verTag:        uint8(mix64(cfg.Seed)),
+		stop:          make(chan struct{}),
 	}
+	if cfg.AntiEntropySweepBytesPerSec > 0 {
+		c.aeBudget = pcmlive.NewBudget(cfg.AntiEntropySweepBytesPerSec, cfg.AntiEntropySweepBytesPerSec)
+	}
+	c.disableMerkle = cfg.DisableMerkleExchange
 	c.verCounter.Store(uint64(time.Now().UnixMicro()))
 	c.ctx, c.cancel = context.WithCancel(context.Background())
+	var nodes []*node
 	for _, addr := range cfg.Nodes {
 		nc, err := dial(addr)
 		if err != nil {
-			for _, n := range c.nodes {
+			for _, n := range nodes {
 				n.client.Close()
 			}
 			return nil, fmt.Errorf("pcmcluster: dial node %s: %w", addr, err)
 		}
-		n := newNode(addr, nc, cfg.FailThreshold, cfg.ProbeInterval, cfg.HintCapacity)
-		c.nodes = append(c.nodes, n)
-		c.seeds = append(c.seeds, n.seed)
+		nodes = append(nodes, newNode(addr, nc, cfg.FailThreshold, cfg.ProbeInterval, cfg.HintCapacity))
 	}
-	c.met = newMetrics(cfg.Registry, c)
 
 	if c.blocks == 0 {
-		if err := c.probeCapacity(); err != nil {
-			for _, n := range c.nodes {
+		if err := c.probeCapacity(nodes); err != nil {
+			for _, n := range nodes {
 				n.client.Close()
 			}
 			return nil, err
 		}
+	}
+	c.partSlots = cfg.PartitionSlots
+	if c.partSlots == 0 {
+		c.partSlots = defaultPartitionSlots(c.blocks)
+	}
+
+	pl := newPlacement(c.partSlots, nodes)
+	c.epoch.Store(&epoch{gen: 1, nodes: nodes, cur: pl, mode: modeStable})
+	c.met = newMetrics(cfg.Registry, c)
+	for _, n := range nodes {
+		c.met.registerNode(n)
 	}
 
 	c.loops.Add(1)
@@ -255,14 +328,14 @@ func New(cfg Config) (*Cluster, error) {
 // permanently — its blocks stuck at RF-1 durability with no alarm. To
 // start against a fleet with a node known down, set Config.Blocks
 // explicitly.
-func (c *Cluster) probeCapacity() error {
+func (c *Cluster) probeCapacity(nodes []*node) error {
 	type probe struct {
 		idx  int
 		size int64
 		err  error
 	}
-	results := make(chan probe, len(c.nodes))
-	for i, n := range c.nodes {
+	results := make(chan probe, len(nodes))
+	for i, n := range nodes {
 		go func(i int, n *node) {
 			st, err := n.client.Stats()
 			results <- probe{idx: i, size: st.SizeBytes, err: err}
@@ -270,10 +343,10 @@ func (c *Cluster) probeCapacity() error {
 	}
 	minSize := int64(-1)
 	var unreachable []string
-	for range c.nodes {
+	for range nodes {
 		p := <-results
 		if p.err != nil {
-			unreachable = append(unreachable, fmt.Sprintf("%s (%v)", c.nodes[p.idx].addr, p.err))
+			unreachable = append(unreachable, fmt.Sprintf("%s (%v)", nodes[p.idx].addr, p.err))
 			continue
 		}
 		if minSize < 0 || p.size < minSize {
@@ -295,8 +368,28 @@ func (c *Cluster) probeCapacity() error {
 // Blocks returns the replicated block capacity.
 func (c *Cluster) Blocks() int64 { return c.blocks }
 
-// Close stops the background loops, waits for in-flight work, and
-// closes every node connection.
+// numParts returns how many placement partitions cover the block space.
+func (c *Cluster) numParts() int64 {
+	return (c.blocks + c.partSlots - 1) / c.partSlots
+}
+
+// partOf maps a block to its placement partition.
+func (c *Cluster) partOf(b int64) int64 { return b / c.partSlots }
+
+// partSpan returns partition p's block range (the last partition may
+// be short).
+func (c *Cluster) partSpan(p int64) (lo, n int64) {
+	lo = p * c.partSlots
+	n = c.partSlots
+	if lo+n > c.blocks {
+		n = c.blocks - lo
+	}
+	return lo, n
+}
+
+// Close stops the background loops, waits for in-flight work (any
+// running Join or Drain aborts), and closes every node connection —
+// retired nodes included.
 func (c *Cluster) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
 		return ErrClosed
@@ -310,11 +403,22 @@ func (c *Cluster) Close() error {
 	//lint:ignore SA2001 the Lock/Unlock pair is a barrier for in-flight ops, not a critical section
 	c.opGate.Unlock()
 	c.bg.Wait()
+	// An in-flight Join/Drain holds memMu until its transfer notices
+	// c.stop and unwinds; taking the lock here means no membership
+	// change is mid-flight while connections close.
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
 	var firstErr error
-	for _, n := range c.nodes {
+	closeNode := func(n *node) {
 		if err := n.client.Close(); err != nil && firstErr == nil && !errors.Is(err, pcmserve.ErrClosed) {
 			firstErr = err
 		}
+	}
+	for _, n := range c.epoch.Load().nodes {
+		closeNode(n)
+	}
+	for _, n := range c.retired {
+		closeNode(n)
 	}
 	return firstErr
 }
@@ -361,18 +465,17 @@ func (c *Cluster) checkBlock(b int64) error {
 // permanent and corrupt verdicts — prove the node alive; only
 // transient failures (connection loss, timeouts, fast-fail while
 // down) count toward marking it down.
-func (c *Cluster) noteResult(idx int, write bool, err error) {
-	n := c.nodes[idx]
+func (c *Cluster) noteResult(n *node, write bool, err error) {
 	if write {
-		c.met.nodeWrites[idx].Inc()
+		n.mWrites.Inc()
 	} else {
-		c.met.nodeReads[idx].Inc()
+		n.mReads.Inc()
 	}
 	if err == nil {
 		n.onSuccess()
 		return
 	}
-	c.met.nodeErrs[idx].Inc()
+	n.mErrs.Inc()
 	if errors.Is(err, errNodeDown) {
 		return // fast-fail, not new evidence
 	}
@@ -387,7 +490,7 @@ func (c *Cluster) noteResult(idx int, write bool, err error) {
 
 // replicaRead is one replica's reply to a slot read.
 type replicaRead struct {
-	idx    int
+	n      *node
 	slot   []byte
 	data   []byte
 	meta   blockMeta
@@ -403,50 +506,50 @@ func (r replicaRead) valid() bool {
 }
 
 // readReplica reads block b's slot from one node.
-func (c *Cluster) readReplica(ctx context.Context, idx int, b int64) replicaRead {
-	n := c.nodes[idx]
+func (c *Cluster) readReplica(ctx context.Context, n *node, b int64) replicaRead {
 	if !n.admit() {
-		c.noteResult(idx, false, errNodeDown)
-		return replicaRead{idx: idx, err: errNodeDown}
+		c.noteResult(n, false, errNodeDown)
+		return replicaRead{n: n, err: errNodeDown}
 	}
 	buf := make([]byte, SlotBytes)
 	_, err := n.client.ReadAtCtx(ctx, buf, b*SlotBytes)
-	c.noteResult(idx, false, err)
+	c.noteResult(n, false, err)
 	if err != nil {
-		return replicaRead{idx: idx, err: err}
+		return replicaRead{n: n, err: err}
 	}
 	data, meta, status := decodeSlot(buf)
 	if status == slotOK {
 		c.observeVersion(meta.Version)
 	}
-	return replicaRead{idx: idx, slot: buf, data: data, meta: meta, status: status}
+	return replicaRead{n: n, slot: buf, data: data, meta: meta, status: status}
 }
 
 // writeReplica writes a stamped slot to one node, buffering a hint
 // when the node is down or the write fails transiently.
-func (c *Cluster) writeReplica(ctx context.Context, idx int, b int64, slot []byte, version uint64) error {
-	n := c.nodes[idx]
+func (c *Cluster) writeReplica(ctx context.Context, n *node, b int64, slot []byte, version uint64) error {
 	if !n.admit() {
-		c.noteResult(idx, true, errNodeDown)
-		c.queueHint(idx, b, slot, version)
+		c.noteResult(n, true, errNodeDown)
+		c.queueHint(n, b, slot, version)
 		return errNodeDown
 	}
 	_, err := n.client.WriteAtCtx(ctx, slot, b*SlotBytes)
-	c.noteResult(idx, true, err)
+	c.noteResult(n, true, err)
 	if err != nil && pcmserve.Classify(err) == pcmserve.ClassTransient {
-		c.queueHint(idx, b, slot, version)
+		c.queueHint(n, b, slot, version)
 	}
 	return err
 }
 
-func (c *Cluster) queueHint(idx int, b int64, slot []byte, version uint64) {
-	switch c.nodes[idx].addHint(b, slot, version) {
+func (c *Cluster) queueHint(n *node, b int64, slot []byte, version uint64) {
+	switch n.addHint(b, slot, version) {
 	case hintStored:
 		c.met.hintsQueued.Inc()
 	case hintSuperseded:
 		c.met.hintsDroppedStale.Inc()
 	case hintOverflow:
 		c.met.hintsDroppedFull.Inc()
+	case hintObsolete:
+		c.met.hintsObsolete.Inc()
 	}
 }
 
@@ -459,14 +562,18 @@ func (c *Cluster) requeueHint(n *node, b int64, h hint) {
 		c.met.hintsDroppedStale.Inc()
 	case hintOverflow:
 		c.met.hintsDroppedFull.Inc()
+	case hintObsolete:
+		c.met.hintsObsolete.Inc()
 	}
 }
 
 // ReadBlock reads block b with read-quorum semantics: it returns the
 // highest-version structurally valid copy among R valid replica
 // replies (64 bytes; all zeros if the block was never written), or a
-// typed error — never silently stale or corrupt data. Divergent
-// replicas found along the way are repaired in the background.
+// typed error — never silently stale or corrupt data. Reads quorum
+// against the authoritative placement only: a node that is still
+// joining never serves them. Divergent replicas found along the way
+// are repaired in the background.
 func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClosed
@@ -482,14 +589,15 @@ func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 	c.met.quorumReads.Inc()
 	t0 := time.Now()
 
-	reps := replicasFor(c.seeds, b, c.rf)
+	ep := c.epoch.Load()
+	reps := ep.cur.replicas(c.partOf(b), c.rf)
 	results := make(chan replicaRead, len(reps))
-	for _, idx := range reps {
+	for _, n := range reps {
 		c.bg.Add(1)
-		go func(idx int) {
+		go func(n *node) {
 			defer c.bg.Done()
-			results <- c.readReplica(ctx, idx, b)
-		}(idx)
+			results <- c.readReplica(ctx, n, b)
+		}(n)
 	}
 
 	var all []replicaRead
@@ -573,10 +681,10 @@ func (c *Cluster) drainReads(b int64, remaining int, results chan replicaRead, a
 		switch {
 		case res.status == slotCorrupt:
 			c.met.divergentCorrupt.Inc()
-			c.repairReplica(res.idx, b, winnerSlot, winner, c.met.repairsRead)
+			c.repairReplica(res.n, b, winnerSlot, winner, c.met.repairsRead)
 		case winner.newer(res.meta):
 			c.met.divergentStale.Inc()
-			c.repairReplica(res.idx, b, winnerSlot, winner, c.met.repairsRead)
+			c.repairReplica(res.n, b, winnerSlot, winner, c.met.repairsRead)
 		}
 	}
 }
@@ -588,8 +696,7 @@ func (c *Cluster) drainReads(b int64, remaining int, results chan replicaRead, a
 // replica past a newer write. The re-check decodes the whole slot, not
 // just the trailer — corrupted data under an intact trailer must still
 // be rewritten.
-func (c *Cluster) repairReplica(idx int, b int64, winnerSlot []byte, winner blockMeta, counter *obs.Counter) {
-	n := c.nodes[idx]
+func (c *Cluster) repairReplica(n *node, b int64, winnerSlot []byte, winner blockMeta, counter *obs.Counter) {
 	if n.currentState() != NodeUp {
 		return // unreachable replicas converge via hints or later sweeps
 	}
@@ -607,7 +714,7 @@ func (c *Cluster) repairReplica(idx int, b int64, winnerSlot []byte, winner bloc
 		}
 	}
 	_, err := n.client.WriteAtCtx(c.ctx, winnerSlot, b*SlotBytes)
-	c.noteResult(idx, true, err)
+	c.noteResult(n, true, err)
 	if err != nil {
 		c.met.repairsFailed.Inc()
 		return
@@ -618,8 +725,11 @@ func (c *Cluster) repairReplica(idx int, b int64, winnerSlot []byte, winner bloc
 // WriteBlock writes 64 bytes to block b with write-quorum semantics:
 // it stamps a fresh version, fans out to every replica, and returns
 // once W replicas acknowledge (stragglers finish in the background;
-// failed or unreachable replicas get hinted writes). On ErrWriteQuorum
-// the write may still have partially applied.
+// failed or unreachable replicas get hinted writes). During a
+// membership transition the write must reach W acknowledgements under
+// BOTH the current and the next placement — the dual-quorum rule that
+// makes the epoch flip safe (see membership.go). On ErrWriteQuorum the
+// write may still have partially applied.
 func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 	if len(data) != DataBytes {
 		return fmt.Errorf("pcmcluster: write needs exactly %d bytes, got %d", DataBytes, len(data))
@@ -641,39 +751,60 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 	version := c.nextVersion()
 	slot := make([]byte, SlotBytes)
 	encodeSlot(slot, data, version)
-	reps := replicasFor(c.seeds, b, c.rf)
+
+	ep := c.epoch.Load()
+	part := c.partOf(b)
+	curReps := ep.cur.replicas(part, c.rf)
+	targets := curReps
+	var nextReps []*node
+	if ep.next != nil {
+		nextReps = ep.next.replicas(part, c.rf)
+		targets = unionNodes(curReps, nextReps)
+	}
 
 	// The stripe stays locked until every replica write resolves (not
 	// just the first W), so no repair or hint replay can interleave
 	// with this write's stragglers.
 	mu := c.stripe(b)
 	mu.Lock()
-	results := make(chan error, len(reps))
-	for _, idx := range reps {
+	type writeRes struct {
+		n   *node
+		err error
+	}
+	results := make(chan writeRes, len(targets))
+	for _, n := range targets {
 		c.bg.Add(1)
-		go func(idx int) {
+		go func(n *node) {
 			defer c.bg.Done()
-			results <- c.writeReplica(ctx, idx, b, slot, version)
-		}(idx)
+			results <- writeRes{n: n, err: c.writeReplica(ctx, n, b, slot, version)}
+		}(n)
 	}
 
-	acks, resolved := 0, 0
+	acksCur, acksNext, resolved := 0, 0, 0
+	quorum := func() bool {
+		return acksCur >= c.w && (nextReps == nil || acksNext >= c.w)
+	}
 	var lastErr error
 	ctxErr := error(nil)
-	for resolved < len(reps) && acks < c.w && ctxErr == nil {
+	for resolved < len(targets) && !quorum() && ctxErr == nil {
 		select {
-		case err := <-results:
+		case res := <-results:
 			resolved++
-			if err == nil {
-				acks++
+			if res.err == nil {
+				if containsNode(curReps, res.n) {
+					acksCur++
+				}
+				if containsNode(nextReps, res.n) {
+					acksNext++
+				}
 			} else {
-				lastErr = err
+				lastErr = res.err
 			}
 		case <-ctx.Done():
 			ctxErr = ctx.Err()
 		}
 	}
-	if resolved == len(reps) {
+	if resolved == len(targets) {
 		mu.Unlock()
 	} else {
 		c.bg.Add(1)
@@ -683,10 +814,10 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 				<-results
 			}
 			mu.Unlock()
-		}(len(reps) - resolved)
+		}(len(targets) - resolved)
 	}
 
-	if acks >= c.w {
+	if quorum() {
 		c.met.latWrite.Observe(time.Since(t0).Seconds())
 		if lastErr != nil {
 			c.met.degradedWrites.Inc()
@@ -694,12 +825,16 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 		return nil
 	}
 	c.met.quorumFailWrite.Inc()
+	acks := acksCur
+	if nextReps != nil && acksNext < acks {
+		acks = acksNext
+	}
 	if ctxErr != nil {
 		return fmt.Errorf("pcmcluster: write block %d: %d/%d acks: %w: %w",
 			b, acks, c.w, ctxErr, ErrWriteQuorum)
 	}
 	return fmt.Errorf("pcmcluster: write block %d: %d/%d acks from %d replicas (last: %v): %w",
-		b, acks, c.w, len(reps), lastErr, ErrWriteQuorum)
+		b, acks, c.w, len(targets), lastErr, ErrWriteQuorum)
 }
 
 // drainLoop replays hinted writes to nodes that have come back.
@@ -713,8 +848,8 @@ func (c *Cluster) drainLoop(interval time.Duration) {
 			return
 		case <-t.C:
 		}
-		for idx, n := range c.nodes {
-			if n.hintCount() == 0 {
+		for _, n := range c.epoch.Load().nodes {
+			if n.hintCount() == 0 || n.currentRole() == RoleRemoved {
 				continue
 			}
 			if !n.admit() { // down and no probe due
@@ -727,7 +862,7 @@ func (c *Cluster) drainLoop(interval time.Duration) {
 					c.requeueHint(n, b, h)
 					continue
 				}
-				if !c.replayHint(idx, b, h) {
+				if !c.replayHint(n, b, h) {
 					requeue = true
 					c.requeueHint(n, b, h)
 				}
@@ -739,8 +874,7 @@ func (c *Cluster) drainLoop(interval time.Duration) {
 // replayHint applies one buffered write if the node's stored slot is
 // still older. It returns false when the node failed again (the
 // caller re-queues).
-func (c *Cluster) replayHint(idx int, b int64, h hint) bool {
-	n := c.nodes[idx]
+func (c *Cluster) replayHint(n *node, b int64, h hint) bool {
 	_, hMeta, _ := decodeSlot(h.slot) // always slotOK: hints hold encodeSlot output
 	mu := c.stripe(b)
 	mu.Lock()
@@ -756,7 +890,7 @@ func (c *Cluster) replayHint(idx int, b int64, h hint) bool {
 		}
 	}
 	_, err := n.client.WriteAtCtx(c.ctx, h.slot, b*SlotBytes)
-	c.noteResult(idx, true, err)
+	c.noteResult(n, true, err)
 	if err != nil {
 		return pcmserve.Classify(err) != pcmserve.ClassTransient
 	}

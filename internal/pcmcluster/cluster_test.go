@@ -19,10 +19,11 @@ import (
 // and restart on a stable address, with fault injection armed under
 // each shard.
 type testNode struct {
-	t    *testing.T
-	g    *pcmserve.Shards
-	fis  []*faultinject.Device
-	addr string
+	t      *testing.T
+	g      *pcmserve.Shards
+	fis    []*faultinject.Device
+	addr   string
+	srvCfg pcmserve.ServerConfig // reused across kill/restart
 
 	mu       sync.Mutex
 	srv      *pcmserve.Server
@@ -33,8 +34,14 @@ type testNode struct {
 // startTestNode builds a 2-shard node (blocksPerShard × 64 B each) and
 // serves it on a fresh loopback port.
 func startTestNode(t *testing.T, blocksPerShard int, seed uint64) *testNode {
+	return startTestNodeCfg(t, blocksPerShard, seed, pcmserve.ServerConfig{})
+}
+
+// startTestNodeCfg is startTestNode with an explicit server config —
+// membership tests use it to emulate old peers (DisableRangeOps).
+func startTestNodeCfg(t *testing.T, blocksPerShard int, seed uint64, srvCfg pcmserve.ServerConfig) *testNode {
 	t.Helper()
-	n := &testNode{t: t}
+	n := &testNode{t: t, srvCfg: srvCfg}
 	cfg := pcmserve.ShardsConfig{
 		Shards: 2,
 		Device: device.Config{
@@ -66,7 +73,7 @@ func startTestNode(t *testing.T, blocksPerShard int, seed uint64) *testNode {
 }
 
 func (n *testNode) serve(ln net.Listener) {
-	srv := pcmserve.NewServer(n.g, pcmserve.ServerConfig{})
+	srv := pcmserve.NewServer(n.g, n.srvCfg)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	n.mu.Lock()

@@ -48,6 +48,27 @@ func rendezvousScore(seed uint64, b int64) uint64 {
 	return mix64(seed ^ mix64(uint64(b)+0x9e3779b97f4a7c15))
 }
 
+// maxPartitions bounds how many placement partitions a cluster tracks:
+// membership transfers checkpoint per partition, and anti-entropy
+// digests one partition per exchange, so the count must stay walkable.
+const maxPartitions = 2048
+
+// defaultPartitionSlots picks the placement granularity: placement is
+// computed per PARTITION of consecutive slots, not per slot, so a
+// partition is the unit of membership transfer and Merkle exchange
+// (hashing a range of slots across replicas is only meaningful when
+// they own the same contiguous range). Small clusters get one slot per
+// partition — identical placement to per-block rendezvous hashing —
+// and the size doubles only past maxPartitions so huge block counts
+// stay tractable.
+func defaultPartitionSlots(blocks int64) int64 {
+	p := int64(1)
+	for (blocks+p-1)/p > maxPartitions {
+		p *= 2
+	}
+	return p
+}
+
 // replicasFor returns the indices of the rf highest-scoring nodes for
 // block b, in descending score order.
 func replicasFor(seeds []uint64, b int64, rf int) []int {

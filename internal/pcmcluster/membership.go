@@ -1,0 +1,397 @@
+package pcmcluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/pcmserve"
+)
+
+// Membership-change design.
+//
+// The cluster's view of its nodes is an immutable epoch snapshot held
+// in an atomic pointer. Every read and write loads the epoch once and
+// works against that consistent view; publishing a new epoch is one
+// atomic store. An epoch carries two placements:
+//
+//   - cur:  the authoritative placement. Reads quorum against cur ONLY,
+//     so a joining node never serves a read before it is caught up.
+//   - next: non-nil during a transition (join or drain) — the placement
+//     that becomes cur when the transition completes.
+//
+// While next is non-nil every write must reach W acknowledgements
+// under BOTH placements (fanning out to their union). That dual-quorum
+// rule is what makes the single atomic flip safe: whichever side of
+// the flip a later read lands on, its R-set intersects the write's
+// W-set under that same placement, so acknowledged writes are never
+// exposed stale. Without it, a write acked by {old owners} ∪ {joiner}
+// could miss the read quorum drawn purely from the new placement.
+//
+// JOIN: publish {cur: old, next: old+joiner} → bulk-transfer every
+// partition the joiner now owns (vectored source reads, stripe-locked
+// recheck-then-write pushes, per-segment checkpoint so an interrupted
+// join resumes) → flip cur=next. DRAIN: publish {cur: old, next:
+// old−drainee} → re-replicate the drainee's partitions to their new
+// owners → flip cur=next (the fence: no new op routes to the drainee)
+// → replay the drainee's pending hints onto the new owners → report
+// safe-to-stop. Both directions abort cleanly: reverting to the old
+// epoch is always safe because dual-quorum writes are durable under
+// either placement.
+
+// transitionMode labels what an epoch is doing.
+type transitionMode int32
+
+const (
+	modeStable transitionMode = iota
+	modeJoining
+	modeDraining
+)
+
+func (m transitionMode) String() string {
+	switch m {
+	case modeJoining:
+		return "joining"
+	case modeDraining:
+		return "draining"
+	}
+	return "stable"
+}
+
+// placement maps partitions to replica nodes by rendezvous hashing
+// over a fixed membership snapshot. Immutable once built.
+type placement struct {
+	partSlots int64
+	nodes     []*node
+	seeds     []uint64
+}
+
+func newPlacement(partSlots int64, nodes []*node) *placement {
+	p := &placement{partSlots: partSlots, nodes: nodes}
+	for _, n := range nodes {
+		p.seeds = append(p.seeds, n.seed)
+	}
+	return p
+}
+
+// replicas returns the rf highest-scoring nodes for a partition, in
+// descending score order.
+func (p *placement) replicas(part int64, rf int) []*node {
+	idx := replicasFor(p.seeds, part, rf)
+	out := make([]*node, len(idx))
+	for i, j := range idx {
+		out[i] = p.nodes[j]
+	}
+	return out
+}
+
+// epoch is one immutable membership snapshot; see the package comment
+// above for the transition protocol.
+type epoch struct {
+	gen    uint64
+	nodes  []*node // every reachable member this epoch (cur ∪ next owners)
+	cur    *placement
+	next   *placement // non-nil during a transition
+	mode   transitionMode
+	target *node // the joiner or drainee mid-transition
+}
+
+func containsNode(nodes []*node, n *node) bool {
+	for _, m := range nodes {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// unionNodes merges two replica sets preserving a's order.
+func unionNodes(a, b []*node) []*node {
+	out := append(make([]*node, 0, len(a)+len(b)), a...)
+	for _, n := range b {
+		if !containsNode(out, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// MembershipStatus is a point-in-time view of the membership state
+// machine, included in ClusterStats.
+type MembershipStatus struct {
+	// Mode is "stable", "joining", or "draining"; Target names the node
+	// mid-transition.
+	Mode   string `json:"mode"`
+	Target string `json:"target,omitempty"`
+	// PartsDone / PartsTotal is transfer checkpoint progress (partitions
+	// fully pushed over partitions affected by the transition).
+	PartsDone  int64 `json:"parts_done,omitempty"`
+	PartsTotal int64 `json:"parts_total,omitempty"`
+}
+
+// Membership reports the current epoch's mode and transfer progress.
+func (c *Cluster) Membership() MembershipStatus {
+	ep := c.epoch.Load()
+	st := MembershipStatus{Mode: ep.mode.String()}
+	if ep.target != nil {
+		st.Target = ep.target.addr
+	}
+	if prog := c.prog.Load(); prog != nil && ep.mode != modeStable {
+		done, total := prog.progress()
+		st.PartsDone, st.PartsTotal = done, total
+	}
+	return st
+}
+
+// Join adds a node to the cluster: it dials the address, verifies
+// capacity, publishes the transitional epoch (dual-quorum writes begin
+// immediately), bulk-transfers every partition the joiner now owns —
+// resuming from its checkpoint across transient interruptions, the
+// joiner's own crashes included — and only then flips the epoch so the
+// joiner enters the read quorum. One membership change runs at a time;
+// Join blocks while another Join or Drain is in flight. On error the
+// membership reverts to the pre-join epoch.
+func (c *Cluster) Join(ctx context.Context, addr string) error {
+	if addr == "" {
+		return errors.New("pcmcluster: join needs a node address")
+	}
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	old := c.epoch.Load()
+	for _, n := range old.nodes {
+		if n.addr == addr {
+			return fmt.Errorf("pcmcluster: node %s is already a member", addr)
+		}
+	}
+
+	nc, err := c.dial(addr)
+	if err != nil {
+		return fmt.Errorf("pcmcluster: join %s: dial: %w", addr, err)
+	}
+	st, err := nc.Stats()
+	if err != nil {
+		nc.Close()
+		return fmt.Errorf("pcmcluster: join %s: capacity probe: %w", addr, err)
+	}
+	if st.SizeBytes/SlotBytes < c.blocks {
+		nc.Close()
+		return fmt.Errorf("pcmcluster: join %s: %d bytes holds %d slots, cluster needs %d",
+			addr, st.SizeBytes, st.SizeBytes/SlotBytes, c.blocks)
+	}
+
+	joiner := newNode(addr, nc, c.failThreshold, c.probeInterval, c.hintCap)
+	joiner.setRole(RoleJoining)
+	c.met.registerNode(joiner)
+	c.met.joinsStarted.Inc()
+
+	next := newPlacement(c.partSlots, append(append([]*node{}, old.nodes...), joiner))
+	trans := &epoch{
+		gen:    old.gen + 1,
+		nodes:  next.nodes,
+		cur:    old.cur,
+		next:   next,
+		mode:   modeJoining,
+		target: joiner,
+	}
+	c.epoch.Store(trans)
+
+	// Every partition whose next-owners include the joiner needs its
+	// slots pushed there.
+	var parts []transferPart
+	for p := int64(0); p < c.numParts(); p++ {
+		if containsNode(next.replicas(p, c.rf), joiner) {
+			parts = append(parts, transferPart{part: p, target: joiner})
+		}
+	}
+
+	if err := c.runTransferResuming(ctx, trans, parts); err != nil {
+		// Revert: drop the joiner. In-flight dual-quorum writes are
+		// durable under the old placement alone, so the rollback loses
+		// nothing acknowledged.
+		c.epoch.Store(&epoch{gen: trans.gen + 1, nodes: old.nodes, cur: old.cur, mode: modeStable})
+		joiner.setRole(RoleRemoved)
+		c.retired = append(c.retired, joiner)
+		// Hints buffered for the joiner are obsolete: every acknowledged
+		// dual-quorum write already holds W among the old owners.
+		for range joiner.takeHints(1 << 30) {
+			c.met.hintsObsolete.Inc()
+		}
+		c.met.joinsAborted.Inc()
+		return fmt.Errorf("pcmcluster: join %s aborted: %w", addr, err)
+	}
+
+	joiner.setRole(RoleActive)
+	c.epoch.Store(&epoch{gen: trans.gen + 1, nodes: next.nodes, cur: next, mode: modeStable})
+	c.met.joinsCompleted.Inc()
+	return nil
+}
+
+// Drain removes a node in an orderly handoff: re-replicate every
+// partition it owns to the new owners, fence it out of the placement
+// (the atomic epoch flip — no new op routes to it), replay its pending
+// hints onto the new owners, and return. A nil return means the node
+// is safe to stop: every slot it owned has RF copies elsewhere and no
+// buffered write remains addressed to it. On error the membership
+// reverts and the node remains a full member.
+func (c *Cluster) Drain(ctx context.Context, addr string) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	c.memMu.Lock()
+	defer c.memMu.Unlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	old := c.epoch.Load()
+	var drainee *node
+	for _, n := range old.nodes {
+		if n.addr == addr {
+			drainee = n
+			break
+		}
+	}
+	if drainee == nil {
+		return fmt.Errorf("pcmcluster: drain %s: not a member", addr)
+	}
+	if len(old.nodes)-1 < c.rf {
+		return fmt.Errorf("pcmcluster: drain %s would leave %d nodes, below replication factor %d",
+			addr, len(old.nodes)-1, c.rf)
+	}
+
+	remaining := make([]*node, 0, len(old.nodes)-1)
+	for _, n := range old.nodes {
+		if n != drainee {
+			remaining = append(remaining, n)
+		}
+	}
+	next := newPlacement(c.partSlots, remaining)
+	trans := &epoch{
+		gen:    old.gen + 1,
+		nodes:  old.nodes, // drainee still a member until the fence
+		cur:    old.cur,
+		next:   next,
+		mode:   modeDraining,
+		target: drainee,
+	}
+	drainee.setRole(RoleDraining)
+	c.met.drainsStarted.Inc()
+	c.epoch.Store(trans)
+
+	// Each partition the drainee owns gains exactly one new owner under
+	// the shrunk placement; push the partition there. The drainee stays
+	// reachable and serves as a transfer source.
+	var parts []transferPart
+	for p := int64(0); p < c.numParts(); p++ {
+		if !containsNode(old.cur.replicas(p, c.rf), drainee) {
+			continue
+		}
+		for _, n := range next.replicas(p, c.rf) {
+			if !containsNode(old.cur.replicas(p, c.rf), n) {
+				parts = append(parts, transferPart{part: p, target: n})
+			}
+		}
+	}
+
+	if err := c.runTransferResuming(ctx, trans, parts); err != nil {
+		drainee.setRole(RoleActive)
+		c.epoch.Store(&epoch{gen: trans.gen + 1, nodes: old.nodes, cur: old.cur, mode: modeStable})
+		c.met.drainsAborted.Inc()
+		return fmt.Errorf("pcmcluster: drain %s aborted: %w", addr, err)
+	}
+
+	// The fence: after this store no read or write routes to the
+	// drainee. Writes that loaded the transitional epoch before the
+	// store still fan out to it, but each already needs (and gets) a
+	// full W among the new owners, so their durability never rests on
+	// the drainee.
+	c.epoch.Store(&epoch{gen: trans.gen + 1, nodes: remaining, cur: next, mode: modeStable})
+	drainee.setRole(RoleRemoved)
+	c.retired = append(c.retired, drainee)
+
+	// Replay the drainee's buffered hints onto the blocks' new owners.
+	// Almost all are stale by now — the transfer already pushed newer
+	// copies — but a hint that raced the last segment must not be lost.
+	for b, h := range drainee.takeHints(1 << 30) {
+		c.replayDrainedHint(next, b, h)
+	}
+
+	c.met.drainsCompleted.Inc()
+	return nil
+}
+
+// replayDrainedHint re-targets one orphaned hint at the block's owners
+// under the post-drain placement, with the usual stripe-locked
+// recheck-then-write. Owners that fail transiently get the hint in
+// their own buffer, so the normal replay machinery finishes the job.
+func (c *Cluster) replayDrainedHint(pl *placement, b int64, h hint) {
+	_, hMeta, _ := decodeSlot(h.slot)
+	for _, n := range pl.replicas(c.partOf(b), c.rf) {
+		mu := c.stripe(b)
+		mu.Lock()
+		cur := make([]byte, SlotBytes)
+		stale := false
+		if _, err := n.client.ReadAtCtx(c.ctx, cur, b*SlotBytes); err == nil {
+			if _, m, status := decodeSlot(cur); status == slotOK {
+				c.observeVersion(m.Version)
+				stale = !hMeta.newer(m)
+			}
+		}
+		if stale {
+			mu.Unlock()
+			c.met.drainHintsStale.Inc()
+			continue
+		}
+		_, err := n.client.WriteAtCtx(c.ctx, h.slot, b*SlotBytes)
+		mu.Unlock()
+		c.noteResult(n, true, err)
+		if err != nil {
+			if pcmserve.Classify(err) == pcmserve.ClassTransient {
+				c.queueHint(n, b, h.slot, h.version)
+			}
+			continue
+		}
+		c.met.drainHintsReplayed.Inc()
+	}
+}
+
+// runTransferResuming drives the bulk transfer for a transition,
+// retrying transient failures with backoff from the checkpoint instead
+// of restarting — a killed-and-restarted target resumes exactly where
+// the interruption left it. It fails only when the caller's context
+// ends, the cluster closes, or a permanent error surfaces.
+func (c *Cluster) runTransferResuming(ctx context.Context, ep *epoch, parts []transferPart) error {
+	prog := newTransferProgress(parts)
+	c.prog.Store(prog)
+	defer c.prog.Store((*transferProgress)(nil))
+	backoff := 50 * time.Millisecond
+	for {
+		err := c.runTransfer(ctx, ep, prog)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || c.closed.Load() {
+			return err
+		}
+		if errors.Is(err, ErrClosed) || pcmserve.Classify(err) != pcmserve.ClassTransient {
+			return err
+		}
+		c.met.transferResumes.Inc()
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-c.stop:
+			return ErrClosed
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}

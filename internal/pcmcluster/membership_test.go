@@ -1,0 +1,525 @@
+package pcmcluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fillCluster writes a distinct pattern to every block and returns the
+// mirror of what was acknowledged.
+func fillCluster(t *testing.T, c *Cluster) map[int64][]byte {
+	t.Helper()
+	ctx := context.Background()
+	mirror := make(map[int64][]byte, c.Blocks())
+	for b := int64(0); b < c.Blocks(); b++ {
+		data := bytes.Repeat([]byte{byte(b*3 + 1)}, DataBytes)
+		if err := c.WriteBlock(ctx, b, data); err != nil {
+			t.Fatalf("fill block %d: %v", b, err)
+		}
+		mirror[b] = data
+	}
+	return mirror
+}
+
+// verifyMirror reads every mirrored block through the cluster and
+// checks exact bytes.
+func verifyMirror(t *testing.T, c *Cluster, mirror map[int64][]byte) {
+	t.Helper()
+	ctx := context.Background()
+	for b, want := range mirror {
+		got, err := c.ReadBlock(ctx, b)
+		if err != nil {
+			t.Fatalf("read block %d: %v", b, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d diverged from acknowledged write", b)
+		}
+	}
+}
+
+// TestClusterJoinBulkStream joins a fourth node to a populated 3-node
+// cluster and checks the full contract: the join transfers every
+// partition the joiner owns, the joiner enters the read set only once
+// caught up, and the data it serves is exact.
+func TestClusterJoinBulkStream(t *testing.T) {
+	c, _ := testCluster(t, 3, func(cfg *Config) {
+		cfg.ReplicationFactor = 3
+		cfg.WriteQuorum = 2
+		cfg.ReadQuorum = 2
+	})
+	mirror := fillCluster(t, c)
+
+	joiner := startTestNode(t, 64, 4007)
+	if err := c.Join(context.Background(), joiner.addr); err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+
+	st := c.Stats()
+	if st.JoinsCompleted != 1 || st.Membership.Mode != "stable" {
+		t.Fatalf("after join: completed=%d mode=%s", st.JoinsCompleted, st.Membership.Mode)
+	}
+	if len(st.Nodes) != 4 {
+		t.Fatalf("membership has %d nodes, want 4", len(st.Nodes))
+	}
+	if st.TransferSlotsPushed == 0 {
+		t.Fatal("join pushed no slots to the joiner")
+	}
+
+	// Every slot the joiner now owns must be present and exact on its
+	// store — that is what admits it to the read quorum.
+	ep := c.epoch.Load()
+	var joinerNode *node
+	for _, n := range ep.nodes {
+		if n.addr == joiner.addr {
+			joinerNode = n
+		}
+	}
+	if joinerNode == nil || joinerNode.currentRole() != RoleActive {
+		t.Fatalf("joiner not an active member after join")
+	}
+	owned := 0
+	for p := int64(0); p < c.numParts(); p++ {
+		if !containsNode(ep.cur.replicas(p, c.rf), joinerNode) {
+			continue
+		}
+		lo, n := c.partSpan(p)
+		for b := lo; b < lo+n; b++ {
+			owned++
+			got, _, status := readNodeSlot(t, joiner.addr, b)
+			if status != slotOK || !bytes.Equal(got, mirror[b]) {
+				t.Fatalf("joiner's copy of block %d wrong (status %v)", b, status)
+			}
+		}
+	}
+	if owned == 0 {
+		t.Fatal("rendezvous placement gave the joiner no partitions")
+	}
+	verifyMirror(t, c, mirror)
+
+	// Duplicate join is rejected.
+	if err := c.Join(context.Background(), joiner.addr); err == nil ||
+		!strings.Contains(err.Error(), "already a member") {
+		t.Fatalf("duplicate join = %v, want already-a-member error", err)
+	}
+}
+
+// TestClusterJoinResumesAfterTargetKill kills the joining node in the
+// middle of its bulk stream and restarts it: the join must resume from
+// its checkpoint and complete, not restart or fail.
+func TestClusterJoinResumesAfterTargetKill(t *testing.T) {
+	c, _ := testCluster(t, 3, func(cfg *Config) {
+		cfg.ReplicationFactor = 3
+		cfg.WriteQuorum = 2
+		cfg.ReadQuorum = 2
+		cfg.TransferSegmentSlots = 4 // many segments → the kill lands mid-stream
+	})
+	mirror := fillCluster(t, c)
+
+	joiner := startTestNode(t, 64, 4013)
+
+	// Kill the joiner after the first segments land, restart it shortly
+	// after; the transfer retries from its checkpoint meanwhile.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		deadline := time.Now().Add(10 * time.Second)
+		for c.Stats().TransferSegments < 2 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		joiner.kill()
+		time.Sleep(150 * time.Millisecond)
+		joiner.restart()
+	}()
+
+	if err := c.Join(context.Background(), joiner.addr); err != nil {
+		t.Fatalf("Join across a mid-stream kill: %v", err)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.TransferResumes == 0 {
+		t.Fatalf("join survived the kill without a checkpoint resume (segments=%d)", st.TransferSegments)
+	}
+	if st.JoinsCompleted != 1 {
+		t.Fatalf("joins completed = %d, want 1", st.JoinsCompleted)
+	}
+	verifyMirror(t, c, mirror)
+}
+
+// TestClusterDrainSafeStop drains a node from a 4-node cluster, then
+// actually stops it, and checks nothing was lost: the remaining
+// replicas hold every acknowledged write at full replication.
+func TestClusterDrainSafeStop(t *testing.T) {
+	nodes := make([]*testNode, 4)
+	addrs := make([]string, 4)
+	for i := range nodes {
+		nodes[i] = startTestNode(t, 64, uint64(1000*i+7))
+		addrs[i] = nodes[i].addr
+	}
+	c, err := New(Config{
+		Nodes:              addrs,
+		ReplicationFactor:  3,
+		WriteQuorum:        2,
+		ReadQuorum:         2,
+		OpTimeout:          2 * time.Second,
+		FailThreshold:      1,
+		ProbeInterval:      20 * time.Millisecond,
+		HintReplayInterval: 10 * time.Millisecond,
+		Seed:               99,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	mirror := fillCluster(t, c)
+
+	if err := c.Drain(context.Background(), nodes[0].addr); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	st := c.Stats()
+	if st.DrainsCompleted != 1 || len(st.Nodes) != 3 {
+		t.Fatalf("after drain: completed=%d nodes=%d", st.DrainsCompleted, len(st.Nodes))
+	}
+
+	// Safe-to-stop is the whole point: kill the drained node and the
+	// cluster must still serve every acknowledged write exactly.
+	nodes[0].kill()
+	verifyMirror(t, c, mirror)
+
+	// The drained node is out of every placement.
+	ep := c.epoch.Load()
+	for p := int64(0); p < c.numParts(); p++ {
+		for _, n := range ep.cur.replicas(p, c.rf) {
+			if n.addr == nodes[0].addr {
+				t.Fatalf("drained node still owns partition %d", p)
+			}
+		}
+	}
+
+	// Draining below the replication factor is refused.
+	if err := c.Drain(context.Background(), nodes[1].addr); err == nil ||
+		!strings.Contains(err.Error(), "below replication factor") {
+		t.Fatalf("drain below RF = %v, want refusal", err)
+	}
+	if err := c.Drain(context.Background(), nodes[0].addr); err == nil ||
+		!strings.Contains(err.Error(), "not a member") {
+		t.Fatalf("re-drain of removed node = %v, want not-a-member", err)
+	}
+}
+
+// TestPlacementMoveBound is the placement property test: adding one
+// node to an N-node ring moves no more than ~1/(N+1) of the per-slot
+// placements (rendezvous hashing's minimal-disruption bound, with
+// sampling slack), untouched partitions keep byte-identical replica
+// sets, and removing the node restores the original placement exactly.
+func TestPlacementMoveBound(t *testing.T) {
+	const parts = int64(4096)
+	const rf = 3
+	for _, nN := range []int{4, 7, 10} {
+		nodes := make([]*node, nN+1)
+		for i := range nodes {
+			nodes[i] = newNode(fmt.Sprintf("node-%d:900%d", i, i), nil, 1, time.Second, 16)
+		}
+		before := newPlacement(1, nodes[:nN])
+		after := newPlacement(1, nodes)
+		added := nodes[nN]
+
+		moved := 0 // replica assignments that changed, out of parts×rf
+		for p := int64(0); p < parts; p++ {
+			a := before.replicas(p, rf)
+			b := after.replicas(p, rf)
+			for _, n := range b {
+				if !containsNode(a, n) {
+					moved++
+				}
+			}
+			// Rendezvous guarantee: a partition's set only changes by the
+			// new node displacing exactly one previous owner.
+			if !containsNode(b, added) {
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("N=%d: partition %d changed owners without involving the new node", nN, p)
+					}
+				}
+			}
+		}
+		// Each of the rf assignments moves with probability 1/(N+1);
+		// allow 1.5× sampling slack over the expectation.
+		bound := int(1.5 * float64(parts) * float64(rf) / float64(nN+1))
+		if moved > bound {
+			t.Fatalf("N=%d: adding a node moved %d/%d assignments, bound %d", nN, moved, parts*rf, bound)
+		}
+		if moved == 0 {
+			t.Fatalf("N=%d: new node was never placed", nN)
+		}
+
+		// Removing the node restores the original placement exactly.
+		restored := newPlacement(1, nodes[:nN])
+		for p := int64(0); p < parts; p++ {
+			a := before.replicas(p, rf)
+			b := restored.replicas(p, rf)
+			for i := range a {
+				if a[i].addr != b[i].addr {
+					t.Fatalf("N=%d: partition %d not restored after removal", nN, p)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterWritesDuringJoinDualQuorum keeps writing while a join is
+// in flight and checks that every write acknowledged during the
+// transition is readable afterwards — the dual-quorum rule across the
+// epoch flip.
+func TestClusterWritesDuringJoinDualQuorum(t *testing.T) {
+	c, _ := testCluster(t, 3, func(cfg *Config) {
+		cfg.ReplicationFactor = 3
+		cfg.WriteQuorum = 2
+		cfg.ReadQuorum = 2
+		cfg.TransferSegmentSlots = 2 // slow the join down
+	})
+	mirror := fillCluster(t, c)
+	joiner := startTestNode(t, 64, 4019)
+
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var writeErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := int64(rng.Intn(int(c.Blocks())))
+			data := bytes.Repeat([]byte{byte(i)}, DataBytes)
+			if err := c.WriteBlock(ctx, b, data); err != nil {
+				mu.Lock()
+				writeErr = err
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			mirror[b] = data
+			mu.Unlock()
+		}
+	}()
+
+	if err := c.Join(context.Background(), joiner.addr); err != nil {
+		t.Fatalf("Join under write load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if writeErr != nil {
+		t.Fatalf("write during join: %v", writeErr)
+	}
+	verifyMirror(t, c, mirror)
+}
+
+// TestMembershipChaosSoak is the membership acceptance soak: constant
+// read/write load with per-worker mirrors while a fourth node joins
+// (and is killed and restarted mid-join) and a founding node is
+// drained and stopped. The invariant is the usual one — every read
+// returns the exact last-acknowledged bytes or a typed error — and
+// both membership changes must complete and converge.
+func TestMembershipChaosSoak(t *testing.T) {
+	nodes := make([]*testNode, 4)
+	addrs := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startTestNode(t, 64, uint64(2000*i+11))
+		if i < 3 {
+			addrs[i] = nodes[i].addr
+		}
+	}
+	c, err := New(Config{
+		Nodes:                addrs,
+		ReplicationFactor:    3,
+		WriteQuorum:          2,
+		ReadQuorum:           2,
+		OpTimeout:            2 * time.Second,
+		FailThreshold:        2,
+		ProbeInterval:        50 * time.Millisecond,
+		HintReplayInterval:   20 * time.Millisecond,
+		AntiEntropyInterval:  time.Millisecond,
+		TransferSegmentSlots: 4,
+		Seed:                 777,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const workers = 4
+	const blockSpan = 40
+	stop := make(chan struct{})
+	failures := make(chan error, workers)
+	mirrors := make(chan map[int64][]byte, workers)
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(int64(w)*131 + 3))
+			lastAcked := make(map[int64][]byte)
+			defer func() { mirrors <- lastAcked }()
+			data := make([]byte, DataBytes)
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := int64(rng.Intn(blockSpan/workers)*workers + w)
+				if rng.Intn(10) < 6 {
+					for i := range data {
+						data[i] = byte(w*37 + iter*11 + i)
+					}
+					if err := c.WriteBlock(ctx, b, data); err != nil {
+						if !errors.Is(err, ErrWriteQuorum) {
+							failures <- fmt.Errorf("worker %d: write %d: untyped error %w", w, b, err)
+							return
+						}
+						lastAcked[b] = nil
+						continue
+					}
+					lastAcked[b] = append([]byte(nil), data...)
+					continue
+				}
+				got, err := c.ReadBlock(ctx, b)
+				if err != nil {
+					if !errors.Is(err, ErrReadQuorum) {
+						failures <- fmt.Errorf("worker %d: read %d: untyped error %w", w, b, err)
+						return
+					}
+					continue
+				}
+				want, wrote := lastAcked[b]
+				switch {
+				case !wrote:
+					if !bytes.Equal(got, make([]byte, DataBytes)) {
+						failures <- fmt.Errorf("worker %d: unwritten block %d nonzero", w, b)
+						return
+					}
+				case want == nil:
+					// Undefined after an unacknowledged write.
+				default:
+					if !bytes.Equal(got, want) {
+						failures <- fmt.Errorf("worker %d: block %d lost an acknowledged write", w, b)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Membership chaos, sequential and deterministic: join the fourth
+	// node with a kill-and-restart mid-stream, then drain node 0 while a
+	// transfer source (node 1) bounces.
+	joinCtx, cancelJoin := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancelJoin()
+	var killWG sync.WaitGroup
+	killWG.Add(1)
+	go func() {
+		defer killWG.Done()
+		deadline := time.Now().Add(20 * time.Second)
+		for c.Stats().TransferSegments < 2 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		nodes[3].kill()
+		time.Sleep(100 * time.Millisecond)
+		nodes[3].restart()
+	}()
+	if err := c.Join(joinCtx, nodes[3].addr); err != nil {
+		t.Fatalf("chaos join: %v", err)
+	}
+	killWG.Wait()
+
+	segsBefore := c.Stats().TransferSegments
+	killWG.Add(1)
+	go func() {
+		defer killWG.Done()
+		deadline := time.Now().Add(20 * time.Second)
+		for c.Stats().TransferSegments < segsBefore+2 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		nodes[1].kill()
+		time.Sleep(100 * time.Millisecond)
+		nodes[1].restart()
+	}()
+	if err := c.Drain(joinCtx, nodes[0].addr); err != nil {
+		t.Fatalf("chaos drain: %v", err)
+	}
+	killWG.Wait()
+	nodes[0].kill() // drain said safe-to-stop; hold it to that
+
+	close(stop)
+	wg.Wait()
+	close(failures)
+	close(mirrors)
+	for err := range failures {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Convergence: every acknowledged write readable, exactly.
+	want := make(map[int64][]byte)
+	for m := range mirrors {
+		for b, v := range m {
+			want[b] = v
+		}
+	}
+	ctx := context.Background()
+	deadline := time.Now().Add(20 * time.Second)
+	for b := int64(0); b < blockSpan; b++ {
+		for {
+			got, err := c.ReadBlock(ctx, b)
+			if err == nil {
+				if w, ok := want[b]; ok && w != nil && !bytes.Equal(got, w) {
+					t.Fatalf("block %d converged to wrong data", b)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("block %d never became readable: %v", b, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	st := c.Stats()
+	t.Logf("membership soak stats: %+v", st)
+	if st.JoinsCompleted != 1 || st.DrainsCompleted != 1 {
+		t.Errorf("joins=%d drains=%d, want 1 each", st.JoinsCompleted, st.DrainsCompleted)
+	}
+	if st.TransferResumes == 0 {
+		t.Error("mid-stream kills never exercised the transfer checkpoint resume")
+	}
+	if len(st.Nodes) != 3 {
+		t.Errorf("final membership %d nodes, want 3", len(st.Nodes))
+	}
+	for _, ns := range st.Nodes {
+		if ns.Addr == nodes[0].addr {
+			t.Errorf("drained node still in the membership")
+		}
+		if ns.Addr == nodes[3].addr && ns.Reads == 0 {
+			t.Errorf("joined node is not serving reads")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package pcmcluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/pcmserve"
+)
+
+// TestMerkleSweepReadsOnlyDivergence is the O(divergence) acceptance
+// test: with one stale slot forged on one replica, a full anti-entropy
+// pass over every partition must fetch far fewer full slots than the
+// keyspace holds — the Merkle exchange localizes the divergence by
+// digest comparison instead of reading everything.
+func TestMerkleSweepReadsOnlyDivergence(t *testing.T) {
+	c, nodes := testCluster(t, 3, func(cfg *Config) {
+		cfg.PartitionSlots = 34 // 102 blocks -> exactly 3 partitions
+	})
+	mirror := fillCluster(t, c)
+
+	// Forge a stale copy of block 10 on one replica: older version,
+	// different bytes, structurally valid trailer.
+	const b = int64(10)
+	_, meta, status := readNodeSlot(t, nodes[0].addr, b)
+	if status != slotOK {
+		t.Fatalf("block %d on %s: status %v, want slotOK", b, nodes[0].addr, status)
+	}
+	stale := make([]byte, SlotBytes)
+	encodeSlot(stale, bytes.Repeat([]byte{0xEE}, DataBytes), meta.Version-1)
+	writeNodeSlot(t, nodes[0].addr, b, stale)
+
+	before := c.Stats()
+	for p := int64(0); p < c.numParts(); p++ {
+		c.sweepPartition(p)
+	}
+	after := c.Stats()
+
+	if got := after.MerklePartsClean - before.MerklePartsClean; got != 2 {
+		t.Errorf("clean partitions: got %d, want 2", got)
+	}
+	if got := after.MerklePartsDivergent - before.MerklePartsDivergent; got != 1 {
+		t.Errorf("divergent partitions: got %d, want 1", got)
+	}
+	if got := after.MerkleFallbackSweeps - before.MerkleFallbackSweeps; got != 0 {
+		t.Errorf("legacy fallback sweeps: got %d, want 0", got)
+	}
+	if got := after.AntiEntropyRepairs - before.AntiEntropyRepairs; got < 1 {
+		t.Errorf("anti-entropy repairs: got %d, want >= 1", got)
+	}
+	// The o(total blocks) bound: full-slot fetches are confined to the
+	// one divergent leaf (x RF replicas), nowhere near the 102-block
+	// keyspace a legacy pass would read.
+	fetched := after.MerkleSlotsFetched - before.MerkleSlotsFetched
+	if fetched == 0 || fetched > 3*merkleLeafSlots {
+		t.Errorf("slots fetched: got %d, want in [1, %d]", fetched, 3*merkleLeafSlots)
+	}
+	if fetched >= uint64(c.Blocks()) {
+		t.Errorf("slots fetched %d not o(total blocks %d)", fetched, c.Blocks())
+	}
+
+	data, repairedMeta, st := readNodeSlot(t, nodes[0].addr, b)
+	if st != slotOK || !bytes.Equal(data, mirror[b]) {
+		t.Fatalf("forged replica not repaired: status %v", st)
+	}
+	if !(repairedMeta.Version > meta.Version-1) {
+		t.Fatalf("repaired version %d not newer than forged %d", repairedMeta.Version, meta.Version-1)
+	}
+}
+
+// TestMerkleDetectsDataRotUnderIntactTrailer forges the nastier
+// divergence: data bytes flipped while the trailer (version + CRC
+// field) stays byte-identical across replicas. Trailer comparison
+// alone cannot see it; the full-slot digests must.
+func TestMerkleDetectsDataRotUnderIntactTrailer(t *testing.T) {
+	c, nodes := testCluster(t, 3, func(cfg *Config) {
+		cfg.PartitionSlots = 34
+	})
+	mirror := fillCluster(t, c)
+
+	// Read the good slot raw off one node and corrupt only data bytes.
+	const b = int64(20)
+	cl, err := pcmserve.Dial(nodes[0].addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	slot := make([]byte, SlotBytes)
+	if _, err := cl.ReadAt(slot, b*SlotBytes); err != nil {
+		cl.Close()
+		t.Fatalf("raw read: %v", err)
+	}
+	cl.Close()
+	slot[0] ^= 0xFF // data rot; trailer untouched
+	writeNodeSlot(t, nodes[0].addr, b, slot)
+
+	before := c.Stats()
+	for p := int64(0); p < c.numParts(); p++ {
+		c.sweepPartition(p)
+	}
+	after := c.Stats()
+
+	if got := after.MerklePartsDivergent - before.MerklePartsDivergent; got != 1 {
+		t.Errorf("divergent partitions: got %d, want 1", got)
+	}
+	data, _, st := readNodeSlot(t, nodes[0].addr, b)
+	if st != slotOK || !bytes.Equal(data, mirror[b]) {
+		t.Fatalf("rotted replica not repaired: status %v", st)
+	}
+}
+
+// TestLegacySweepFallbackThrottled covers the compatibility + metering
+// satellite: one node emulates an old build (range ops disabled), so
+// anti-entropy must latch ErrUnsupported, drop to the legacy per-slot
+// sweep, meter it with the token-bucket budget (throttle counter
+// moves), and still converge a forged stale replica.
+func TestLegacySweepFallbackThrottled(t *testing.T) {
+	old := startTestNodeCfg(t, 64, 9001, pcmserve.ServerConfig{DisableRangeOps: true})
+	n1 := startTestNode(t, 64, 9002)
+	n2 := startTestNode(t, 64, 9003)
+	cfg := Config{
+		Nodes:              []string{old.addr, n1.addr, n2.addr},
+		OpTimeout:          2 * time.Second,
+		FailThreshold:      1,
+		ProbeInterval:      20 * time.Millisecond,
+		HintReplayInterval: 10 * time.Millisecond,
+		Seed:               99,
+		// Sweep demand (3 replicas x 80 B per block at a 1 ms cadence)
+		// far exceeds this rate, so the bucket must throttle.
+		AntiEntropyInterval:         time.Millisecond,
+		AntiEntropySweepBytesPerSec: 16 << 10,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	mirror := fillCluster(t, c)
+
+	// Forge a stale replica on a range-capable node; only the legacy
+	// sweep can find it once the old peer poisons the Merkle path.
+	const b = int64(5)
+	_, meta, status := readNodeSlot(t, n1.addr, b)
+	if status != slotOK {
+		t.Fatalf("block %d: status %v, want slotOK", b, status)
+	}
+	stale := make([]byte, SlotBytes)
+	encodeSlot(stale, bytes.Repeat([]byte{0xAA}, DataBytes), meta.Version-1)
+	writeNodeSlot(t, n1.addr, b, stale)
+
+	waitFor(t, 30*time.Second, "legacy sweep to throttle and repair", func() bool {
+		st := c.Stats()
+		if st.MerkleFallbackSweeps == 0 || st.AntiEntropyThrottled == 0 {
+			return false
+		}
+		data, _, sl := readNodeSlot(t, n1.addr, b)
+		return sl == slotOK && bytes.Equal(data, mirror[b])
+	})
+
+	st := c.Stats()
+	if st.MerkleFallbackSweeps == 0 || st.AntiEntropyThrottled == 0 {
+		t.Fatalf("fallback=%d throttled=%d, want both > 0",
+			st.MerkleFallbackSweeps, st.AntiEntropyThrottled)
+	}
+	// The old peer's incapability must be latched, not retried forever.
+	found := false
+	for _, n := range c.epoch.Load().nodes {
+		if n.addr == old.addr {
+			found = n.noMerkle.Load()
+		}
+	}
+	if !found {
+		t.Errorf("old peer %s did not latch noMerkle", old.addr)
+	}
+}

@@ -19,6 +19,7 @@ var latBoundsSeconds = func() []float64 {
 // metrics holds the cluster's registered instruments.
 type metrics struct {
 	reg *obs.Registry
+	c   *Cluster
 
 	quorumReads, quorumWrites           *obs.Counter
 	quorumFailRead, quorumFailWrite     *obs.Counter
@@ -29,23 +30,38 @@ type metrics struct {
 	divergentStale, divergentCorrupt    *obs.Counter
 	hintsQueued, hintsReplayed          *obs.Counter
 	hintsDroppedStale, hintsDroppedFull *obs.Counter
+	hintsObsolete                       *obs.Counter
 	nodeTransitions                     *obs.Counter
 	aeClean, aeRepaired, aeUnavailable  *obs.Counter
-	aePasses                            *obs.Counter
+	aePasses, aeThrottled               *obs.Counter
 
-	nodeReads, nodeWrites []*obs.Counter // per node index
-	nodeErrs              []*obs.Counter
+	// Membership lifecycle.
+	joinsStarted, joinsCompleted, joinsAborted    *obs.Counter
+	drainsStarted, drainsCompleted, drainsAborted *obs.Counter
+	transferSegments, transferResumes             *obs.Counter
+	transferSlotsPushed, transferSlotsSkipped     *obs.Counter
+	drainHintsReplayed, drainHintsStale           *obs.Counter
+
+	// Merkle anti-entropy exchange.
+	mkDigestRPCs, mkSlotsFetched   *obs.Counter
+	mkPartsClean, mkPartsDivergent *obs.Counter
+	mkPartsUnavailable, mkFallback *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry, c *Cluster) *metrics {
-	m := &metrics{reg: reg}
+	m := &metrics{reg: reg, c: c}
 
 	reg.GaugeFunc("pcmcluster_nodes", "Nodes in the cluster membership.",
-		func() float64 { return float64(len(c.nodes)) })
+		func() float64 { return float64(len(c.epoch.Load().nodes)) })
 	reg.GaugeFunc("pcmcluster_blocks", "Replicated block capacity.",
 		func() float64 { return float64(c.blocks) })
 	reg.GaugeFunc("pcmcluster_replication_factor", "Replicas per block.",
 		func() float64 { return float64(c.rf) })
+	reg.GaugeFunc("pcmcluster_partition_slots", "Slots per placement partition.",
+		func() float64 { return float64(c.partSlots) })
+	reg.GaugeFunc("pcmcluster_membership_transition",
+		"Membership state machine: 0 stable, 1 joining, 2 draining.",
+		func() float64 { return float64(c.epoch.Load().mode) })
 
 	const qName = "pcmcluster_quorum_requests_total"
 	const qHelp = "Quorum operations issued, by op."
@@ -83,46 +99,108 @@ func newMetrics(reg *obs.Registry, c *Cluster) *metrics {
 	m.hintsReplayed = reg.Counter(hName, hHelp, obs.L("outcome", "replayed")...)
 	m.hintsDroppedStale = reg.Counter(hName, hHelp, obs.L("outcome", "dropped_stale")...)
 	m.hintsDroppedFull = reg.Counter(hName, hHelp, obs.L("outcome", "dropped_overflow")...)
+	m.hintsObsolete = reg.Counter(hName, hHelp, obs.L("outcome", "dropped_obsolete")...)
 
 	m.nodeTransitions = reg.Counter("pcmcluster_node_down_transitions_total",
 		"Times the breaker marked a node down.")
 
 	const aeName = "pcmcluster_antientropy_blocks_total"
-	const aeHelp = "Anti-entropy sweep outcomes per block visited."
+	const aeHelp = "Legacy anti-entropy sweep outcomes per block visited."
 	m.aeClean = reg.Counter(aeName, aeHelp, obs.L("outcome", "clean")...)
 	m.aeRepaired = reg.Counter(aeName, aeHelp, obs.L("outcome", "repaired")...)
 	m.aeUnavailable = reg.Counter(aeName, aeHelp, obs.L("outcome", "unavailable")...)
 	m.aePasses = reg.Counter("pcmcluster_antientropy_passes_total",
 		"Completed anti-entropy walks of the whole block space.")
+	m.aeThrottled = reg.Counter("pcmcluster_antientropy_throttled_total",
+		"Legacy sweep reads that waited on the read-rate budget.")
 
+	const mbName = "pcmcluster_membership_changes_total"
+	const mbHelp = "Membership lifecycle events, by kind and outcome."
+	m.joinsStarted = reg.Counter(mbName, mbHelp, obs.L("kind", "join", "outcome", "started")...)
+	m.joinsCompleted = reg.Counter(mbName, mbHelp, obs.L("kind", "join", "outcome", "completed")...)
+	m.joinsAborted = reg.Counter(mbName, mbHelp, obs.L("kind", "join", "outcome", "aborted")...)
+	m.drainsStarted = reg.Counter(mbName, mbHelp, obs.L("kind", "drain", "outcome", "started")...)
+	m.drainsCompleted = reg.Counter(mbName, mbHelp, obs.L("kind", "drain", "outcome", "completed")...)
+	m.drainsAborted = reg.Counter(mbName, mbHelp, obs.L("kind", "drain", "outcome", "aborted")...)
+
+	m.transferSegments = reg.Counter("pcmcluster_transfer_segments_total",
+		"Bulk-transfer segments pushed during membership changes.")
+	m.transferResumes = reg.Counter("pcmcluster_transfer_resumes_total",
+		"Bulk transfers resumed from their checkpoint after a transient interruption.")
+	const tsName = "pcmcluster_transfer_slots_total"
+	const tsHelp = "Per-slot bulk-transfer outcomes: pushed to the target or skipped because the target already held an equal-or-newer copy."
+	m.transferSlotsPushed = reg.Counter(tsName, tsHelp, obs.L("outcome", "pushed")...)
+	m.transferSlotsSkipped = reg.Counter(tsName, tsHelp, obs.L("outcome", "skipped")...)
+
+	const dhName = "pcmcluster_drain_hints_total"
+	const dhHelp = "Hints found on a drained node at fence time, by disposition."
+	m.drainHintsReplayed = reg.Counter(dhName, dhHelp, obs.L("outcome", "replayed")...)
+	m.drainHintsStale = reg.Counter(dhName, dhHelp, obs.L("outcome", "stale")...)
+
+	m.mkDigestRPCs = reg.Counter("pcmcluster_merkle_digest_rpcs_total",
+		"HASH_RANGE and trailer-stride RPCs issued by the Merkle exchange.")
+	m.mkSlotsFetched = reg.Counter("pcmcluster_merkle_slots_fetched_total",
+		"Full replica slots fetched by the Merkle exchange for reconciliation — O(divergence), not O(blocks).")
+	const mpName = "pcmcluster_merkle_partitions_total"
+	const mpHelp = "Merkle anti-entropy partition exchanges, by outcome."
+	m.mkPartsClean = reg.Counter(mpName, mpHelp, obs.L("outcome", "clean")...)
+	m.mkPartsDivergent = reg.Counter(mpName, mpHelp, obs.L("outcome", "divergent")...)
+	m.mkPartsUnavailable = reg.Counter(mpName, mpHelp, obs.L("outcome", "unavailable")...)
+	m.mkFallback = reg.Counter(mpName, mpHelp, obs.L("outcome", "fallback_sweep")...)
+
+	return m
+}
+
+// registerNode installs one node's per-address instruments. Counter
+// registration is idempotent, so an address that drains out and later
+// rejoins keeps accumulating on the same series; the gauges resolve
+// the node by address at collection time for the same reason — the
+// first-registered callback must keep describing whoever currently
+// holds the address.
+func (m *metrics) registerNode(n *node) {
+	addr := n.addr
+	labels := obs.L("node", addr)
+	m.reg.GaugeFunc("pcmcluster_node_up",
+		"Breaker verdict per node: 1 up, 0 down or removed.",
+		func() float64 {
+			if cur := m.c.nodeByAddr(addr); cur != nil && cur.currentState() == NodeUp {
+				return 1
+			}
+			return 0
+		}, labels...)
+	m.reg.GaugeFunc("pcmcluster_node_hints_pending",
+		"Hinted writes buffered for this node.",
+		func() float64 {
+			if cur := m.c.nodeByAddr(addr); cur != nil {
+				return float64(cur.hintCount())
+			}
+			return 0
+		}, labels...)
 	const nopName = "pcmcluster_node_ops_total"
 	const nopHelp = "Replica operations sent per node, by op."
 	const nerrName = "pcmcluster_node_errors_total"
 	const nerrHelp = "Replica operations that failed per node (any error class)."
-	for _, n := range c.nodes {
-		labels := obs.L("node", n.addr)
-		reg.GaugeFunc("pcmcluster_node_up",
-			"Breaker verdict per node: 1 up, 0 down.",
-			func() float64 {
-				if n.currentState() == NodeUp {
-					return 1
-				}
-				return 0
-			}, labels...)
-		reg.GaugeFunc("pcmcluster_node_hints_pending",
-			"Hinted writes buffered for this node.",
-			func() float64 { return float64(n.hintCount()) }, labels...)
-		m.nodeReads = append(m.nodeReads, reg.Counter(nopName, nopHelp, obs.L("node", n.addr, "op", "read")...))
-		m.nodeWrites = append(m.nodeWrites, reg.Counter(nopName, nopHelp, obs.L("node", n.addr, "op", "write")...))
-		m.nodeErrs = append(m.nodeErrs, reg.Counter(nerrName, nerrHelp, labels...))
+	n.mReads = m.reg.Counter(nopName, nopHelp, obs.L("node", addr, "op", "read")...)
+	n.mWrites = m.reg.Counter(nopName, nopHelp, obs.L("node", addr, "op", "write")...)
+	n.mErrs = m.reg.Counter(nerrName, nerrHelp, labels...)
+}
+
+// nodeByAddr finds the current member with the given address, nil if
+// none (drained out, or an aborted joiner).
+func (c *Cluster) nodeByAddr(addr string) *node {
+	for _, n := range c.epoch.Load().nodes {
+		if n.addr == addr {
+			return n
+		}
 	}
-	return m
+	return nil
 }
 
 // NodeStats is one node's slice of a ClusterStats snapshot.
 type NodeStats struct {
 	Addr         string `json:"addr"`
 	State        string `json:"state"`
+	Role         string `json:"role"`
 	Reads        uint64 `json:"reads"`
 	Writes       uint64 `json:"writes"`
 	Errors       uint64 `json:"errors"`
@@ -137,6 +215,9 @@ type ClusterStats struct {
 	ReplicationFactor int   `json:"replication_factor"`
 	WriteQuorum       int   `json:"write_quorum"`
 	ReadQuorum        int   `json:"read_quorum"`
+	PartitionSlots    int64 `json:"partition_slots"`
+
+	Membership MembershipStatus `json:"membership"`
 
 	QuorumReads        uint64 `json:"quorum_reads"`
 	QuorumWrites       uint64 `json:"quorum_writes"`
@@ -152,15 +233,38 @@ type ClusterStats struct {
 	DivergentStale     uint64 `json:"divergent_stale"`
 	DivergentCorrupt   uint64 `json:"divergent_corrupt"`
 
-	HintsQueued         uint64 `json:"hints_queued"`
-	HintsReplayed       uint64 `json:"hints_replayed"`
-	HintsDroppedStale   uint64 `json:"hints_dropped_stale"`
-	HintsDroppedFull    uint64 `json:"hints_dropped_overflow"`
-	NodeDownTransitions uint64 `json:"node_down_transitions"`
+	HintsQueued          uint64 `json:"hints_queued"`
+	HintsReplayed        uint64 `json:"hints_replayed"`
+	HintsDroppedStale    uint64 `json:"hints_dropped_stale"`
+	HintsDroppedFull     uint64 `json:"hints_dropped_overflow"`
+	HintsDroppedObsolete uint64 `json:"hints_dropped_obsolete"`
+	NodeDownTransitions  uint64 `json:"node_down_transitions"`
 
 	AntiEntropyClean       uint64 `json:"antientropy_clean"`
 	AntiEntropyUnavailable uint64 `json:"antientropy_unavailable"`
 	AntiEntropyPasses      uint64 `json:"antientropy_passes"`
+	AntiEntropyThrottled   uint64 `json:"antientropy_throttled"`
+
+	JoinsStarted    uint64 `json:"joins_started"`
+	JoinsCompleted  uint64 `json:"joins_completed"`
+	JoinsAborted    uint64 `json:"joins_aborted"`
+	DrainsStarted   uint64 `json:"drains_started"`
+	DrainsCompleted uint64 `json:"drains_completed"`
+	DrainsAborted   uint64 `json:"drains_aborted"`
+
+	TransferSegments     uint64 `json:"transfer_segments"`
+	TransferResumes      uint64 `json:"transfer_resumes"`
+	TransferSlotsPushed  uint64 `json:"transfer_slots_pushed"`
+	TransferSlotsSkipped uint64 `json:"transfer_slots_skipped"`
+	DrainHintsReplayed   uint64 `json:"drain_hints_replayed"`
+	DrainHintsStale      uint64 `json:"drain_hints_stale"`
+
+	MerkleDigestRPCs       uint64 `json:"merkle_digest_rpcs"`
+	MerkleSlotsFetched     uint64 `json:"merkle_slots_fetched"`
+	MerklePartsClean       uint64 `json:"merkle_parts_clean"`
+	MerklePartsDivergent   uint64 `json:"merkle_parts_divergent"`
+	MerklePartsUnavailable uint64 `json:"merkle_parts_unavailable"`
+	MerkleFallbackSweeps   uint64 `json:"merkle_fallback_sweeps"`
 
 	Nodes []NodeStats `json:"nodes"`
 }
@@ -173,6 +277,9 @@ func (c *Cluster) Stats() ClusterStats {
 		ReplicationFactor: c.rf,
 		WriteQuorum:       c.w,
 		ReadQuorum:        c.r,
+		PartitionSlots:    c.partSlots,
+
+		Membership: c.Membership(),
 
 		QuorumReads:        m.quorumReads.Value(),
 		QuorumWrites:       m.quorumWrites.Value(),
@@ -188,23 +295,47 @@ func (c *Cluster) Stats() ClusterStats {
 		DivergentStale:     m.divergentStale.Value(),
 		DivergentCorrupt:   m.divergentCorrupt.Value(),
 
-		HintsQueued:         m.hintsQueued.Value(),
-		HintsReplayed:       m.hintsReplayed.Value(),
-		HintsDroppedStale:   m.hintsDroppedStale.Value(),
-		HintsDroppedFull:    m.hintsDroppedFull.Value(),
-		NodeDownTransitions: m.nodeTransitions.Value(),
+		HintsQueued:          m.hintsQueued.Value(),
+		HintsReplayed:        m.hintsReplayed.Value(),
+		HintsDroppedStale:    m.hintsDroppedStale.Value(),
+		HintsDroppedFull:     m.hintsDroppedFull.Value(),
+		HintsDroppedObsolete: m.hintsObsolete.Value(),
+		NodeDownTransitions:  m.nodeTransitions.Value(),
 
 		AntiEntropyClean:       m.aeClean.Value(),
 		AntiEntropyUnavailable: m.aeUnavailable.Value(),
 		AntiEntropyPasses:      m.aePasses.Value(),
+		AntiEntropyThrottled:   m.aeThrottled.Value(),
+
+		JoinsStarted:    m.joinsStarted.Value(),
+		JoinsCompleted:  m.joinsCompleted.Value(),
+		JoinsAborted:    m.joinsAborted.Value(),
+		DrainsStarted:   m.drainsStarted.Value(),
+		DrainsCompleted: m.drainsCompleted.Value(),
+		DrainsAborted:   m.drainsAborted.Value(),
+
+		TransferSegments:     m.transferSegments.Value(),
+		TransferResumes:      m.transferResumes.Value(),
+		TransferSlotsPushed:  m.transferSlotsPushed.Value(),
+		TransferSlotsSkipped: m.transferSlotsSkipped.Value(),
+		DrainHintsReplayed:   m.drainHintsReplayed.Value(),
+		DrainHintsStale:      m.drainHintsStale.Value(),
+
+		MerkleDigestRPCs:       m.mkDigestRPCs.Value(),
+		MerkleSlotsFetched:     m.mkSlotsFetched.Value(),
+		MerklePartsClean:       m.mkPartsClean.Value(),
+		MerklePartsDivergent:   m.mkPartsDivergent.Value(),
+		MerklePartsUnavailable: m.mkPartsUnavailable.Value(),
+		MerkleFallbackSweeps:   m.mkFallback.Value(),
 	}
-	for i, n := range c.nodes {
+	for _, n := range c.epoch.Load().nodes {
 		st.Nodes = append(st.Nodes, NodeStats{
 			Addr:         n.addr,
 			State:        n.currentState().String(),
-			Reads:        m.nodeReads[i].Value(),
-			Writes:       m.nodeWrites[i].Value(),
-			Errors:       m.nodeErrs[i].Value(),
+			Role:         n.currentRole().String(),
+			Reads:        n.mReads.Value(),
+			Writes:       n.mWrites.Value(),
+			Errors:       n.mErrs.Value(),
 			HintsPending: n.hintCount(),
 		})
 	}
@@ -216,18 +347,20 @@ func (c *Cluster) Stats() ClusterStats {
 func (c *Cluster) Registry() *obs.Registry { return c.met.reg }
 
 // Health reports breaker state per node for /healthz: healthy while
-// enough nodes are up to meet both quorums.
+// enough read-serving nodes (the authoritative placement's members)
+// are up to meet both quorums.
 func (c *Cluster) Health() obs.HealthReport {
+	ep := c.epoch.Load()
 	up := 0
 	rep := obs.HealthReport{}
-	for _, n := range c.nodes {
+	for _, n := range ep.nodes {
 		st := n.currentState()
-		if st == NodeUp {
+		if st == NodeUp && containsNode(ep.cur.nodes, n) {
 			up++
 		}
 		rep.Components = append(rep.Components, obs.ComponentHealth{
 			Name:   "node/" + n.addr,
-			State:  st.String(),
+			State:  st.String() + "/" + n.currentRole().String(),
 			Detail: strconv.Itoa(n.hintCount()) + " hints pending",
 		})
 	}

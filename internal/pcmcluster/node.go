@@ -3,8 +3,10 @@ package pcmcluster
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pcmserve"
 )
 
@@ -14,6 +16,12 @@ import (
 type NodeClient interface {
 	ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error)
 	WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error)
+	// HashRangeCtx and ReadStrideCtx are the vectored anti-entropy ops.
+	// Peers without them return errors satisfying
+	// errors.Is(err, pcmserve.ErrUnsupported); the cluster then falls
+	// back to the per-slot sweep for ranges owned by that node.
+	HashRangeCtx(ctx context.Context, off int64, recordBytes, count, fanout int) ([]pcmserve.RangeDigest, error)
+	ReadStrideCtx(ctx context.Context, off int64, stride, recordBytes, count int) ([][]byte, error)
 	Stats() (pcmserve.Stats, error)
 	Close() error
 }
@@ -34,6 +42,36 @@ func (s NodeState) String() string {
 		return "down"
 	}
 	return "up"
+}
+
+// NodeRole is a node's position in the membership lifecycle.
+type NodeRole int32
+
+const (
+	// RoleActive: a full member; serves reads and takes writes.
+	RoleActive NodeRole = iota
+	// RoleJoining: receiving its bulk join stream; takes dual-quorum
+	// writes but is not yet in the read set.
+	RoleJoining
+	// RoleDraining: being drained; still serves reads and takes writes
+	// until the fence flips the epoch past it.
+	RoleDraining
+	// RoleRemoved: drained out (or an aborted joiner). No longer in any
+	// placement; hints offered to it are obsolete by construction —
+	// every acknowledged write holds a quorum among the live owners.
+	RoleRemoved
+)
+
+func (r NodeRole) String() string {
+	switch r {
+	case RoleJoining:
+		return "joining"
+	case RoleDraining:
+		return "draining"
+	case RoleRemoved:
+		return "removed"
+	}
+	return "active"
 }
 
 // hint is one buffered write awaiting a down node's return. Only the
@@ -57,6 +95,16 @@ type node struct {
 	probeInterval time.Duration
 	hintCap       int
 
+	// role tracks the membership lifecycle; noMerkle latches when the
+	// node answers a range op with ErrUnsupported, steering anti-entropy
+	// to the legacy per-slot sweep for its ranges.
+	role     atomic.Int32
+	noMerkle atomic.Bool
+
+	// Per-node instruments, registered by metrics.registerNode when the
+	// node enters the membership (construction or Join).
+	mReads, mWrites, mErrs *obs.Counter
+
 	mu        sync.Mutex
 	state     NodeState
 	fails     int // consecutive transient failures while up
@@ -76,6 +124,9 @@ func newNode(addr string, client NodeClient, failThreshold int, probeInterval ti
 		hints:         make(map[int64]hint),
 	}
 }
+
+func (n *node) currentRole() NodeRole { return NodeRole(n.role.Load()) }
+func (n *node) setRole(role NodeRole) { n.role.Store(int32(role)) }
 
 // admit reports whether an op may be sent: always while up, and once
 // per probe interval while down (the half-open probe whose outcome
@@ -143,11 +194,19 @@ const (
 	// hintOverflow: the buffer is at capacity; the write is dropped and
 	// only anti-entropy can recover the replica.
 	hintOverflow
+	// hintObsolete: the node has been drained out of the membership. The
+	// write is not lost — a drain fences before removal, so any write
+	// still in flight toward the old epoch already holds a full quorum
+	// among the new owners (dual-quorum transition writes).
+	hintObsolete
 )
 
 // addHint buffers a write for replay, keeping only the newest version
 // per block.
 func (n *node) addHint(b int64, slot []byte, version uint64) hintAddResult {
+	if n.currentRole() == RoleRemoved {
+		return hintObsolete
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if old, ok := n.hints[b]; ok {

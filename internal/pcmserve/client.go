@@ -283,6 +283,95 @@ func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, erro
 	return n, nil
 }
 
+// RangeDigest is one chunk's verdict from a HASH_RANGE exchange.
+type RangeDigest struct {
+	// Records is how many records the chunk covers.
+	Records int
+	// Unreadable marks a chunk the server could not read; its Digest is
+	// meaningless and callers must treat the chunk as divergent.
+	Unreadable bool
+	// Digest is the FNV-1a 64 hash of the chunk's raw bytes.
+	Digest uint64
+}
+
+// HashRangeCtx asks the server to digest count records of recordBytes
+// each starting at off, split into at most fanout contiguous chunks.
+// The server never ships the range over the wire — only one digest per
+// chunk — so comparing replicas costs O(fanout), not O(bytes). Peers
+// without the op return an error satisfying
+// errors.Is(err, ErrUnsupported).
+func (c *Client) HashRangeCtx(ctx context.Context, off int64, recordBytes, count, fanout int) ([]RangeDigest, error) {
+	if recordBytes <= 0 || count <= 0 || fanout <= 0 {
+		return nil, fmt.Errorf("pcmserve: HashRange rec=%d count=%d fanout=%d: all must be positive",
+			recordBytes, count, fanout)
+	}
+	if int64(recordBytes)*int64(count) > maxRangeBytes {
+		return nil, fmt.Errorf("pcmserve: HashRange covers %d bytes, limit %d",
+			int64(recordBytes)*int64(count), maxRangeBytes)
+	}
+	id := c.nextID.Add(1)
+	req := encodeHashRangeReq(id, obs.TraceFromContext(ctx), off,
+		uint32(recordBytes), uint32(count), uint32(fanout))
+	resp, err := c.roundTrip(ctx, id, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.payload) == 0 || len(resp.payload)%13 != 0 {
+		return nil, fmt.Errorf("pcmserve: malformed HASH_RANGE response (%d bytes)", len(resp.payload))
+	}
+	out := make([]RangeDigest, 0, len(resp.payload)/13)
+	covered := 0
+	for p := resp.payload; len(p) > 0; p = p[13:] {
+		d := RangeDigest{
+			Records:    int(binary.BigEndian.Uint32(p)),
+			Unreadable: p[4] != 0,
+			Digest:     binary.BigEndian.Uint64(p[5:]),
+		}
+		covered += d.Records
+		out = append(out, d)
+	}
+	if covered != count {
+		return nil, fmt.Errorf("pcmserve: HASH_RANGE response covers %d records, want %d", covered, count)
+	}
+	return out, nil
+}
+
+// ReadStrideCtx reads the first recordBytes of count records spaced
+// stride bytes apart starting at off — one round trip where per-record
+// reads would cost count. It returns one slice per record, nil for
+// records the server could not read. Peers without the op return an
+// error satisfying errors.Is(err, ErrUnsupported).
+func (c *Client) ReadStrideCtx(ctx context.Context, off int64, stride, recordBytes, count int) ([][]byte, error) {
+	if recordBytes <= 0 || count <= 0 || stride < recordBytes {
+		return nil, fmt.Errorf("pcmserve: ReadStride rec=%d count=%d stride=%d: need rec>0, count>0, stride≥rec",
+			recordBytes, count, stride)
+	}
+	if int64(count)+int64(count)*int64(recordBytes) > maxChunk {
+		return nil, fmt.Errorf("pcmserve: ReadStride reply %d bytes exceeds frame budget",
+			int64(count)+int64(count)*int64(recordBytes))
+	}
+	id := c.nextID.Add(1)
+	req := encodeReadStrideReq(id, obs.TraceFromContext(ctx), off,
+		uint32(stride), uint32(recordBytes), uint32(count))
+	resp, err := c.roundTrip(ctx, id, req)
+	if err != nil {
+		return nil, err
+	}
+	want := count + count*recordBytes
+	if len(resp.payload) != want {
+		return nil, fmt.Errorf("pcmserve: malformed READ_STRIDE response (%d bytes, want %d)", len(resp.payload), want)
+	}
+	flags, records := resp.payload[:count], resp.payload[count:]
+	out := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		if flags[i] != 0 {
+			continue
+		}
+		out[i] = records[i*recordBytes : (i+1)*recordBytes]
+	}
+	return out, nil
+}
+
 // Advance moves the remote device's simulated time forward by dt
 // seconds (driving refresh where the architecture needs it).
 func (c *Client) Advance(dt float64) error {

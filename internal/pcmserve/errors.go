@@ -23,6 +23,10 @@ const (
 	CodeShardUnavailable uint8 = 2
 	// CodeClosed maps to ErrClosed: the serving stack is shutting down.
 	CodeClosed uint8 = 3
+	// CodeUnsupported maps to ErrUnsupported: the server does not
+	// implement the requested op (an older build, or range ops disabled).
+	// Permanent — callers fall back to a compatible code path.
+	CodeUnsupported uint8 = 4
 )
 
 // ErrShardUnavailable reports a request that hit a shard whose owner
@@ -35,6 +39,13 @@ var ErrShardUnavailable = errors.New("pcmserve: shard unavailable")
 // connection is torn down; the fault is transient (reconnect and
 // retry), never a data-integrity verdict on the stored bytes.
 var ErrFrameCRC = errors.New("pcmserve: frame checksum mismatch")
+
+// ErrUnsupported reports an op the server does not implement — an
+// older peer, or one running with ServerConfig.DisableRangeOps. It is
+// a capability verdict, not a fault: the node is alive and the caller
+// should use a compatible code path (e.g. the per-slot anti-entropy
+// sweep instead of Merkle exchange) rather than retry.
+var ErrUnsupported = errors.New("pcmserve: operation not supported by peer")
 
 // ErrConnFailed marks a connection-level failure: the transport died
 // before a response arrived, so the request outcome is unknown. The
@@ -64,6 +75,8 @@ func (e *RemoteError) Unwrap() error {
 		return ErrShardUnavailable
 	case CodeClosed:
 		return ErrClosed
+	case CodeUnsupported:
+		return ErrUnsupported
 	}
 	return nil
 }
@@ -77,6 +90,8 @@ func errCode(err error) uint8 {
 		return CodeShardUnavailable
 	case errors.Is(err, ErrClosed):
 		return CodeClosed
+	case errors.Is(err, ErrUnsupported):
+		return CodeUnsupported
 	}
 	return CodeGeneric
 }
@@ -140,6 +155,8 @@ func Classify(err error) ErrorClass {
 		return ClassTransient
 	case errors.Is(err, ErrFrameCRC):
 		return ClassTransient
+	case errors.Is(err, ErrUnsupported):
+		return ClassPermanent
 	case errors.Is(err, io.EOF):
 		return ClassPermanent
 	}

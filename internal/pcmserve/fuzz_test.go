@@ -40,6 +40,12 @@ func fuzzSeeds() [][]byte {
 		binary.BigEndian.PutUint32(hdr[:], n)
 		seeds = append(seeds, append(hdr[:], 0xEE, 0xEE))
 	}
+	// Vectored anti-entropy ops (appended so the mutant indices above
+	// stay stable).
+	seeds = append(seeds,
+		encodeHashRangeReq(11, 0, 160, 80, 1024, 8),
+		encodeReadStrideReq(12, 0xFEED, 64, 80, 16, 34),
+	)
 	return seeds
 }
 
@@ -84,6 +90,10 @@ func FuzzDecodeFrame(f *testing.F) {
 			re = encodeAdvanceReq(req.id, req.trace, req.dt)
 		case OpStats:
 			re = encodeStatsReq(req.id, req.trace)
+		case OpHashRange:
+			re = encodeHashRangeReq(req.id, req.trace, req.off, req.recordBytes, req.count, req.fanout)
+		case OpReadStride:
+			re = encodeReadStrideReq(req.id, req.trace, req.off, req.stride, req.recordBytes, req.count)
 		default:
 			t.Fatalf("parseRequest accepted unknown op %d", req.op)
 		}

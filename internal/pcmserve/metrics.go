@@ -64,7 +64,11 @@ type Stats struct {
 	Writes   uint64 `json:"writes"`
 	Advances uint64 `json:"advances"`
 	StatsOps uint64 `json:"stats_ops"`
-	Errors   uint64 `json:"errors"`
+	// HashRanges and ReadStrides count the vectored anti-entropy ops
+	// (Merkle digest exchanges and strided trailer fetches).
+	HashRanges  uint64 `json:"hash_ranges"`
+	ReadStrides uint64 `json:"read_strides"`
+	Errors      uint64 `json:"errors"`
 
 	// Bytes moved by SUCCESSFUL requests only — a failed read or write
 	// does not accrue throughput.
@@ -120,6 +124,7 @@ type IntegrityStats struct {
 // feed the STATS snapshot, expvar, and /metrics.
 type serverMetrics struct {
 	reads, writes, advances, statsOps *obs.Counter
+	hashRanges, readStrides           *obs.Counter
 	errors                            *obs.Counter
 	errByClass                        map[ErrorClass]*obs.Counter
 	bytesRead, bytesWritten           *obs.Counter
@@ -135,6 +140,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		writes:   reg.Counter(opsName, opsHelp, obs.L("op", "write")...),
 		advances: reg.Counter(opsName, opsHelp, obs.L("op", "advance")...),
 		statsOps: reg.Counter(opsName, opsHelp, obs.L("op", "stats")...),
+		hashRanges: reg.Counter(opsName, opsHelp,
+			obs.L("op", "hash_range")...),
+		readStrides: reg.Counter(opsName, opsHelp,
+			obs.L("op", "read_stride")...),
 		errors: reg.Counter("pcmserve_request_errors_total",
 			"Failed client requests (any error class)."),
 		errByClass: make(map[ErrorClass]*obs.Counter),
@@ -173,6 +182,15 @@ func (m *serverMetrics) countOp(op uint8, n int, err error) {
 		m.advances.Inc()
 	case OpStats:
 		m.statsOps.Inc()
+	case OpHashRange:
+		// n is bytes digested server-side; nothing crossed the wire, so
+		// no throughput accrual.
+		m.hashRanges.Inc()
+	case OpReadStride:
+		m.readStrides.Inc()
+		if err == nil {
+			m.bytesRead.Add(uint64(n))
+		}
 	}
 	if err != nil {
 		m.errors.Inc()

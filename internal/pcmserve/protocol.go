@@ -35,15 +35,27 @@ import (
 //
 // Request bodies:
 //
-//	OpRead     uint64 offset, uint32 length
-//	OpWrite    uint64 offset, then the data to write (to frame end)
-//	OpAdvance  uint64 IEEE-754 bits of the float64 seconds to advance
-//	OpStats    empty
+//	OpRead        uint64 offset, uint32 length
+//	OpWrite       uint64 offset, then the data to write (to frame end)
+//	OpAdvance     uint64 IEEE-754 bits of the float64 seconds to advance
+//	OpStats       empty
+//	OpHashRange   uint64 offset, uint32 recordBytes, uint32 recordCount,
+//	              uint32 fanout — digest recordCount records of
+//	              recordBytes each, split into up to fanout contiguous
+//	              chunks (Merkle anti-entropy descent)
+//	OpReadStride  uint64 offset, uint32 stride, uint32 recordBytes,
+//	              uint32 recordCount — read the first recordBytes of
+//	              every stride-spaced record (vectored trailer fetch)
 //
 // Response bodies:
 //
 //	StatusOK   OpRead → the bytes read; OpWrite → uint32 bytes written;
-//	           OpAdvance → empty; OpStats → JSON-encoded Stats
+//	           OpAdvance → empty; OpStats → JSON-encoded Stats;
+//	           OpHashRange → per chunk: uint32 recordCount, uint8 flag
+//	           (0 ok, 1 unreadable), uint64 FNV-1a digest of the chunk's
+//	           raw bytes; OpReadStride → recordCount flag bytes (0 ok,
+//	           1 unreadable), then the recordCount×recordBytes
+//	           concatenated records (unreadable ones zero-filled)
 //	StatusEOF  OpRead only: the bytes read before end-of-device
 //	           (the client surfaces io.EOF)
 //	StatusErr  uint8 sentinel code (see errors.go), then the UTF-8
@@ -61,6 +73,12 @@ const (
 	OpWrite   uint8 = 2
 	OpAdvance uint8 = 3
 	OpStats   uint8 = 4
+	// OpHashRange and OpReadStride are the vectored anti-entropy ops
+	// (added for cluster membership changes). Servers predating them —
+	// or running with ServerConfig.DisableRangeOps — answer with a
+	// CodeUnsupported error; clients fall back to per-slot sweeps.
+	OpHashRange  uint8 = 5
+	OpReadStride uint8 = 6
 )
 
 // Response statuses.
@@ -160,6 +178,14 @@ func encodeStatsReq(id, trace uint64) []byte {
 	return frame(id, OpStats, u64(trace))
 }
 
+func encodeHashRangeReq(id, trace uint64, off int64, recordBytes, count, fanout uint32) []byte {
+	return frame(id, OpHashRange, u64(trace), u64(uint64(off)), u32(recordBytes), u32(count), u32(fanout))
+}
+
+func encodeReadStrideReq(id, trace uint64, off int64, stride, recordBytes, count uint32) []byte {
+	return frame(id, OpReadStride, u64(trace), u64(uint64(off)), u32(stride), u32(recordBytes), u32(count))
+}
+
 // request is a decoded client request.
 type request struct {
 	id    uint64
@@ -169,6 +195,12 @@ type request struct {
 	n     uint32  // OpRead: bytes wanted
 	data  []byte  // OpWrite: payload (aliases the frame buffer)
 	dt    float64 // OpAdvance
+
+	// Vectored anti-entropy ops.
+	recordBytes uint32 // OpHashRange, OpReadStride: bytes per record
+	count       uint32 // OpHashRange, OpReadStride: records covered
+	fanout      uint32 // OpHashRange: max chunks in the reply
+	stride      uint32 // OpReadStride: spacing between record starts
 }
 
 // parseRequest decodes a frame body produced by the encode*Req helpers.
@@ -206,6 +238,22 @@ func parseRequest(buf []byte) (request, error) {
 		if len(body) != 0 {
 			return req, fmt.Errorf("pcmserve: STATS body %d bytes, want 0", len(body))
 		}
+	case OpHashRange:
+		if len(body) != 20 {
+			return req, fmt.Errorf("pcmserve: HASH_RANGE body %d bytes, want 20", len(body))
+		}
+		req.off = int64(binary.BigEndian.Uint64(body))
+		req.recordBytes = binary.BigEndian.Uint32(body[8:])
+		req.count = binary.BigEndian.Uint32(body[12:])
+		req.fanout = binary.BigEndian.Uint32(body[16:])
+	case OpReadStride:
+		if len(body) != 20 {
+			return req, fmt.Errorf("pcmserve: READ_STRIDE body %d bytes, want 20", len(body))
+		}
+		req.off = int64(binary.BigEndian.Uint64(body))
+		req.stride = binary.BigEndian.Uint32(body[8:])
+		req.recordBytes = binary.BigEndian.Uint32(body[12:])
+		req.count = binary.BigEndian.Uint32(body[16:])
 	default:
 		return req, fmt.Errorf("pcmserve: unknown op %d", req.op)
 	}

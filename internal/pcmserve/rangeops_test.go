@@ -1,0 +1,155 @@
+package pcmserve
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"testing"
+)
+
+// TestHashRangeDigests pins the HASH_RANGE contract: chunk digests
+// equal FNV-1a 64 over the raw stored bytes, chunk record counts sum
+// to the request, and fanout larger than the record count clamps.
+func TestHashRangeDigests(t *testing.T) {
+	g := testShards(t, 2, 16, 8) // 2 shards × 16 blocks × 64 B = 2 KiB
+	addr := startServer(t, g, ServerConfig{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	const recordBytes = 80
+	const count = 20
+	data := make([]byte, recordBytes*count)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+	if _, err := c.WriteAt(data, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+
+	for _, fanout := range []int{1, 3, count, count * 4} {
+		digests, err := c.HashRangeCtx(context.Background(), 0, recordBytes, count, fanout)
+		if err != nil {
+			t.Fatalf("HashRange fanout=%d: %v", fanout, err)
+		}
+		wantChunks := fanout
+		if wantChunks > count {
+			wantChunks = count
+		}
+		if len(digests) != wantChunks {
+			t.Fatalf("fanout=%d: got %d chunks, want %d", fanout, len(digests), wantChunks)
+		}
+		off := 0
+		for i, d := range digests {
+			if d.Unreadable {
+				t.Fatalf("fanout=%d chunk %d flagged unreadable", fanout, i)
+			}
+			h := fnv.New64a()
+			h.Write(data[off : off+d.Records*recordBytes])
+			if d.Digest != h.Sum64() {
+				t.Fatalf("fanout=%d chunk %d digest mismatch", fanout, i)
+			}
+			off += d.Records * recordBytes
+		}
+		if off != len(data) {
+			t.Fatalf("fanout=%d: chunks cover %d bytes, want %d", fanout, off, len(data))
+		}
+	}
+
+	// A single flipped stored byte must change exactly the covering
+	// chunk's digest.
+	before, err := c.HashRangeCtx(context.Background(), 0, recordBytes, count, 4)
+	if err != nil {
+		t.Fatalf("HashRange: %v", err)
+	}
+	data[recordBytes*7] ^= 0xFF // record 7 → chunk 1 of 4 (5 records each)
+	if _, err := c.WriteAt(data[recordBytes*7:recordBytes*8], recordBytes*7); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	after, err := c.HashRangeCtx(context.Background(), 0, recordBytes, count, 4)
+	if err != nil {
+		t.Fatalf("HashRange: %v", err)
+	}
+	for i := range before {
+		changed := before[i].Digest != after[i].Digest
+		if want := i == 1; changed != want {
+			t.Errorf("chunk %d digest changed=%v, want %v", i, changed, want)
+		}
+	}
+}
+
+// TestReadStrideFetchesTrailers pins the READ_STRIDE contract: one
+// round trip returns the first recordBytes of every stride-spaced
+// record, exactly matching the stored bytes.
+func TestReadStrideFetchesTrailers(t *testing.T) {
+	g := testShards(t, 2, 16, 8)
+	addr := startServer(t, g, ServerConfig{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	const stride = 80
+	const recordBytes = 16
+	const count = 12
+	data := make([]byte, stride*count)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	if _, err := c.WriteAt(data, 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	records, err := c.ReadStrideCtx(context.Background(), 0, stride, recordBytes, count)
+	if err != nil {
+		t.Fatalf("ReadStride: %v", err)
+	}
+	if len(records) != count {
+		t.Fatalf("got %d records, want %d", len(records), count)
+	}
+	for i, rec := range records {
+		if rec == nil {
+			t.Fatalf("record %d flagged unreadable", i)
+		}
+		want := data[i*stride : i*stride+recordBytes]
+		for j := range rec {
+			if rec[j] != want[j] {
+				t.Fatalf("record %d byte %d = %#x, want %#x", i, j, rec[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRangeOpsUnsupported pins the capability fallback: a server with
+// DisableRangeOps answers both ops with a typed ErrUnsupported that
+// classifies permanent (the breaker must not count it, and callers
+// must fall back instead of retrying).
+func TestRangeOpsUnsupported(t *testing.T) {
+	g := testShards(t, 2, 16, 8)
+	addr := startServer(t, g, ServerConfig{DisableRangeOps: true})
+	rc, err := DialRetry(addr, RetryConfig{MaxReadAttempts: 2, OpTimeout: 5e9})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer rc.Close()
+
+	if _, err := rc.HashRangeCtx(context.Background(), 0, 80, 4, 2); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("HashRange error = %v, want ErrUnsupported", err)
+	} else if Classify(err) != ClassPermanent {
+		t.Fatalf("HashRange unsupported classifies %v, want permanent", Classify(err))
+	}
+	if _, err := rc.ReadStrideCtx(context.Background(), 0, 80, 16, 4); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("ReadStride error = %v, want ErrUnsupported", err)
+	}
+	if st := rc.RetryStats(); st.Retries != 0 {
+		t.Fatalf("unsupported verdict was retried %d times, want 0", st.Retries)
+	}
+
+	// The data-path ops must be unaffected by the capability flag.
+	buf := make([]byte, 64)
+	if _, err := rc.ReadAt(buf, 0); err != nil {
+		t.Fatalf("ReadAt with DisableRangeOps: %v", err)
+	}
+}

@@ -312,6 +312,30 @@ func (r *RetryClient) WriteAtCtx(ctx context.Context, p []byte, off int64) (int,
 	return n, err
 }
 
+// HashRangeCtx retries like a read: digesting stored bytes is
+// idempotent. An ErrUnsupported verdict is permanent and returns
+// immediately — the peer will never grow the op by retrying.
+func (r *RetryClient) HashRangeCtx(ctx context.Context, off int64, recordBytes, count, fanout int) ([]RangeDigest, error) {
+	var out []RangeDigest
+	err := r.do(ctx, r.cfg.MaxReadAttempts, func(ctx context.Context, c *Client) error {
+		var err error
+		out, err = c.HashRangeCtx(ctx, off, recordBytes, count, fanout)
+		return err
+	})
+	return out, err
+}
+
+// ReadStrideCtx retries like a read.
+func (r *RetryClient) ReadStrideCtx(ctx context.Context, off int64, stride, recordBytes, count int) ([][]byte, error) {
+	var out [][]byte
+	err := r.do(ctx, r.cfg.MaxReadAttempts, func(ctx context.Context, c *Client) error {
+		var err error
+		out, err = c.ReadStrideCtx(ctx, off, stride, recordBytes, count)
+		return err
+	})
+	return out, err
+}
+
 // Advance retries like a write (resubmission may double-apply the time
 // step if the original was executed but its response lost).
 func (r *RetryClient) Advance(dt float64) error {

@@ -3,10 +3,12 @@ package pcmserve
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -41,6 +43,11 @@ type ServerConfig struct {
 	// expvar under this name (e.g. "pcmserve"). Names are global to
 	// the process; publishing the same name twice is a no-op.
 	ExpvarName string
+	// DisableRangeOps answers the vectored anti-entropy ops
+	// (OpHashRange, OpReadStride) with CodeUnsupported, emulating a
+	// peer predating them. Cluster clients use the verdict to fall back
+	// to the per-slot sweep; this flag exists to exercise that path.
+	DisableRangeOps bool
 }
 
 func (c *ServerConfig) withDefaults() ServerConfig {
@@ -120,6 +127,8 @@ func (s *Server) Stats() Stats {
 		Writes:       s.metrics.writes.Value(),
 		Advances:     s.metrics.advances.Value(),
 		StatsOps:     s.metrics.statsOps.Value(),
+		HashRanges:   s.metrics.hashRanges.Value(),
+		ReadStrides:  s.metrics.readStrides.Value(),
 		Errors:       s.metrics.errors.Value(),
 		BytesRead:    s.metrics.bytesRead.Value(),
 		BytesWritten: s.metrics.bytesWritten.Value(),
@@ -229,17 +238,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.connWG.Wait()
 		close(done)
 	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		s.mu.Lock()
-		for c := range s.conns {
-			c.Close()
+	// Keep nudging: a reader that re-armed its idle deadline just
+	// before the first nudge landed would otherwise sleep out its full
+	// idle timeout before noticing the shutdown.
+	nudge := time.NewTicker(20 * time.Millisecond)
+	defer nudge.Stop()
+	for {
+		select {
+		case <-done:
+			return nil
+		case <-nudge.C:
+			s.mu.Lock()
+			for c := range s.conns {
+				c.SetReadDeadline(time.Now())
+			}
+			s.mu.Unlock()
+		case <-ctx.Done():
+			s.mu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+			<-done
+			return ctx.Err()
 		}
-		s.mu.Unlock()
-		<-done
-		return ctx.Err()
 	}
 }
 
@@ -288,6 +310,16 @@ func (s *Server) handleConn(conn net.Conn) {
 	inflight := make(chan struct{}, s.cfg.MaxInflight)
 	br := bufio.NewReader(conn)
 	for {
+		// Re-check shutdown every frame: a busy connection can keep
+		// finding whole frames in the bufio buffer without ever touching
+		// the socket, so the deadline nudge alone would never reach it
+		// and Shutdown would hang until the client went idle.
+		s.mu.Lock()
+		down := s.shutdown
+		s.mu.Unlock()
+		if down {
+			break
+		}
 		if s.cfg.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
@@ -363,8 +395,130 @@ func (s *Server) execute(req request) []byte {
 			return errFrame(req.id, err)
 		}
 		return frame(req.id, StatusOK, payload)
+	case OpHashRange:
+		if s.cfg.DisableRangeOps {
+			err := fmt.Errorf("pcmserve: HASH_RANGE disabled: %w", ErrUnsupported)
+			s.metrics.countOp(OpHashRange, 0, err)
+			return errFrame(req.id, err)
+		}
+		return s.hashRange(req)
+	case OpReadStride:
+		if s.cfg.DisableRangeOps {
+			err := fmt.Errorf("pcmserve: READ_STRIDE disabled: %w", ErrUnsupported)
+			s.metrics.countOp(OpReadStride, 0, err)
+			return errFrame(req.id, err)
+		}
+		return s.readStride(req)
 	}
 	err := fmt.Errorf("pcmserve: unknown op %d", req.op)
 	s.metrics.errors.Inc()
 	return errFrame(req.id, err)
+}
+
+// maxRangeBytes bounds the bytes one HASH_RANGE request may digest
+// (server-local work, never shipped over the wire), keeping a single
+// handler's latency bounded. Callers split larger ranges.
+const maxRangeBytes = 16 << 20
+
+// hashRange digests req.count records of req.recordBytes each starting
+// at req.off, split into at most req.fanout contiguous chunks, and
+// returns one FNV-1a 64 digest per chunk. A chunk whose bytes cannot
+// be read is flagged unreadable (digest 0) instead of failing the
+// request: the anti-entropy caller treats it as divergent and descends.
+func (s *Server) hashRange(req request) []byte {
+	if req.recordBytes == 0 || req.count == 0 || req.fanout == 0 {
+		err := fmt.Errorf("pcmserve: HASH_RANGE rec=%d count=%d fanout=%d: all must be positive",
+			req.recordBytes, req.count, req.fanout)
+		s.metrics.countOp(OpHashRange, 0, err)
+		return errFrame(req.id, err)
+	}
+	total := uint64(req.recordBytes) * uint64(req.count)
+	if total > maxRangeBytes {
+		err := fmt.Errorf("pcmserve: HASH_RANGE covers %d bytes, limit %d", total, maxRangeBytes)
+		s.metrics.countOp(OpHashRange, 0, err)
+		return errFrame(req.id, err)
+	}
+	fanout := req.fanout
+	if fanout > req.count {
+		fanout = req.count
+	}
+	if fanout > 1024 {
+		fanout = 1024
+	}
+	// Chunk i covers base (+1 for the first rem chunks) records.
+	base, rem := req.count/fanout, req.count%fanout
+	body := make([]byte, 0, 13*fanout)
+	buf := make([]byte, 64<<10)
+	off := req.off
+	hashed := 0
+	for i := uint32(0); i < fanout; i++ {
+		records := base
+		if i < rem {
+			records++
+		}
+		chunkBytes := int64(records) * int64(req.recordBytes)
+		h := fnv.New64a()
+		flag := uint8(0)
+		for done := int64(0); done < chunkBytes; {
+			n := chunkBytes - done
+			if n > int64(len(buf)) {
+				n = int64(len(buf))
+			}
+			rn, err := s.shards.readAtTraced(req.trace, buf[:n], off+done)
+			if err != nil || int64(rn) != n {
+				flag = 1
+				break
+			}
+			h.Write(buf[:n])
+			hashed += int(n)
+			done += n
+		}
+		var digest uint64
+		if flag == 0 {
+			digest = h.Sum64()
+		}
+		var chunk [13]byte
+		binary.BigEndian.PutUint32(chunk[:], records)
+		chunk[4] = flag
+		binary.BigEndian.PutUint64(chunk[5:], digest)
+		body = append(body, chunk[:]...)
+		off += chunkBytes
+	}
+	s.metrics.countOp(OpHashRange, hashed, nil)
+	return frame(req.id, StatusOK, body)
+}
+
+// readStride reads the first req.recordBytes of req.count records
+// spaced req.stride bytes apart, returning per-record readable flags
+// followed by the concatenated record bytes (unreadable records are
+// zero-filled so offsets stay aligned).
+func (s *Server) readStride(req request) []byte {
+	if req.recordBytes == 0 || req.count == 0 || req.stride < req.recordBytes {
+		err := fmt.Errorf("pcmserve: READ_STRIDE rec=%d count=%d stride=%d: need rec>0, count>0, stride≥rec",
+			req.recordBytes, req.count, req.stride)
+		s.metrics.countOp(OpReadStride, 0, err)
+		return errFrame(req.id, err)
+	}
+	payload := uint64(req.count) + uint64(req.count)*uint64(req.recordBytes)
+	if payload > uint64(s.cfg.MaxFrame)-headerBytes {
+		err := fmt.Errorf("pcmserve: READ_STRIDE reply %d bytes exceeds frame limit", payload)
+		s.metrics.countOp(OpReadStride, 0, err)
+		return errFrame(req.id, err)
+	}
+	flags := make([]byte, req.count)
+	records := make([]byte, uint64(req.count)*uint64(req.recordBytes))
+	moved := 0
+	for i := uint32(0); i < req.count; i++ {
+		dst := records[uint64(i)*uint64(req.recordBytes):][:req.recordBytes]
+		off := req.off + int64(i)*int64(req.stride)
+		n, err := s.shards.readAtTraced(req.trace, dst, off)
+		if err != nil || n != len(dst) {
+			flags[i] = 1
+			clear(dst)
+			continue
+		}
+		moved += n
+	}
+	s.metrics.countOp(OpReadStride, moved, nil)
+	return frame(req.id, StatusOK, flags, records)
 }
