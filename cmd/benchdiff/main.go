@@ -11,6 +11,19 @@
 // deltas. The run fails (exit 1) when the gated metric (default
 // p99-us, the served-op tail latency) regresses by more than
 // -threshold percent on any benchmark.
+//
+// -compare '<candidate>=<baseline>' switches to within-run mode: both
+// names are taken from -current (no baseline file needed) and the
+// candidate is gated against the baseline on -metric. This is how CI
+// holds the traced quorum path to within a few percent of the
+// untraced baseline from one `-bench ClusterQuorum -count 3` run:
+//
+//	go run ./cmd/benchdiff -current bench.txt -metric ns/op -threshold 5 \
+//	  -compare BenchmarkClusterQuorum/traced=BenchmarkClusterQuorum/untraced
+//
+// Repeated results for one benchmark (-count > 1) collapse to the
+// per-unit minimum — the standard noise floor for latency-style
+// metrics, where every disturbance only ever adds time.
 package main
 
 import (
@@ -62,7 +75,17 @@ func parseFile(path string) (map[string]benchResult, error) {
 	out := make(map[string]benchResult)
 	for _, line := range strings.Split(text.String(), "\n") {
 		if name, res, ok := parseBenchLine(line); ok {
-			out[name] = res
+			prev, seen := out[name]
+			if !seen {
+				out[name] = res
+				continue
+			}
+			// -count > 1: keep the per-unit minimum as the noise floor.
+			for u, v := range res {
+				if old, ok := prev[u]; !ok || v < old {
+					prev[u] = v
+				}
+			}
 		}
 	}
 	return out, nil
@@ -104,14 +127,10 @@ func main() {
 	current := flag.String("current", "", "current benchmark output to compare (required)")
 	metric := flag.String("metric", "p99-us", "metric unit gated by -threshold")
 	threshold := flag.Float64("threshold", 25, "fail when the gated metric regresses by more than this percent")
+	compare := flag.String("compare", "", "within-run gate: '<candidate>=<baseline>' benchmark names, both from -current")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
-		os.Exit(2)
-	}
-	base, err := parseFile(*baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff: baseline:", err)
 		os.Exit(2)
 	}
 	cur, err := parseFile(*current)
@@ -121,6 +140,14 @@ func main() {
 	}
 	if len(cur) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in", *current)
+		os.Exit(2)
+	}
+	if *compare != "" {
+		os.Exit(compareWithinRun(cur, *compare, *metric, *threshold))
+	}
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: baseline:", err)
 		os.Exit(2)
 	}
 
@@ -162,4 +189,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed beyond %.0f%% on at least one benchmark\n", *metric, *threshold)
 		os.Exit(1)
 	}
+}
+
+// compareWithinRun gates one benchmark against another from the same
+// run ("candidate=baseline") and returns the process exit code.
+func compareWithinRun(cur map[string]benchResult, pair, metric string, threshold float64) int {
+	candName, baseName, ok := strings.Cut(pair, "=")
+	if !ok || candName == "" || baseName == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -compare wants '<candidate>=<baseline>'")
+		return 2
+	}
+	cand, okC := cur[candName]
+	base, okB := cur[baseName]
+	if !okC || !okB {
+		have := make([]string, 0, len(cur))
+		for name := range cur {
+			have = append(have, name)
+		}
+		sort.Strings(have)
+		fmt.Fprintf(os.Stderr, "benchdiff: -compare names not both present; run has: %s\n",
+			strings.Join(have, ", "))
+		return 2
+	}
+	from, okF := base[metric]
+	to, okT := cand[metric]
+	if !okF || !okT {
+		fmt.Fprintf(os.Stderr, "benchdiff: metric %q missing from one side\n", metric)
+		return 2
+	}
+	delta := 0.0
+	if from != 0 {
+		delta = 100 * (to - from) / from
+	}
+	fmt.Printf("%s vs %s: %s %.4g→%.4g (%+.1f%%, gate %.0f%%)\n",
+		candName, baseName, metric, from, to, delta, threshold)
+	if delta > threshold {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s exceeds %s by more than %.0f%% on %s\n",
+			candName, baseName, threshold, metric)
+		return 1
+	}
+	return 0
 }

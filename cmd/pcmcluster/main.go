@@ -75,7 +75,12 @@ func main() {
 		probe       = flag.Duration("probe", 100*time.Millisecond, "down-node half-open probe interval")
 		opTimeout   = flag.Duration("optimeout", 2*time.Second, "per-replica operation timeout")
 		seed        = flag.Uint64("seed", 0, "seed for version tags, retry jitter, and spawned devices (0 = random per process)")
-		obsAddr     = flag.String("obs", "", "admin HTTP listen address for /metrics and /healthz (empty disables)")
+		obsAddr     = flag.String("obs", "", "admin HTTP listen address for /metrics, /healthz, /tracez, /clusterz (empty disables)")
+		nodeObs     = flag.String("node-obs", "", "comma-separated addr=url pairs mapping -nodes addresses to their admin-plane base URLs, for /clusterz trace stitching (spawn mode wires this automatically)")
+		traceSample = flag.Int("trace-sample", 1, "keep one in N fast cluster traces (1 keeps all; slow traces always kept)")
+		slowQuorum  = flag.Duration("slow-quorum", 50*time.Millisecond, "time-to-quorum past which an op enters the slow-quorum log (negative disables)")
+		noTrace     = flag.Bool("notrace", false, "disable the trace plane entirely (the untraced baseline for overhead measurement)")
+		sloTarget   = flag.Duration("slo-latency", 100*time.Millisecond, "latency SLO: quorum ops at or under this count good")
 
 		drainArg = flag.String("drain", "", "admin action: drain this node from the -nodes cluster, report safe-to-stop, and exit (no loadgen)")
 		joinAt   = flag.Duration("join-at", 0, "spawn mode: spawn and join one extra node this long into the run (0 disables)")
@@ -132,6 +137,25 @@ func main() {
 		fail("-join-at %v must fall inside -duration %v", *joinAt, *duration)
 	case *drainAt >= *duration && *drainAt > 0:
 		fail("-drain-at %v must fall inside -duration %v", *drainAt, *duration)
+	case *traceSample < 1:
+		fail("-trace-sample must be at least 1, got %d", *traceSample)
+	case *sloTarget <= 0:
+		fail("-slo-latency must be positive, got %v", *sloTarget)
+	case *nodeObs != "" && *spawn > 0:
+		fail("-node-obs maps external -nodes addresses; spawn mode wires node admin planes automatically")
+	}
+
+	// Node admin-plane URLs feed /clusterz trace stitching: spawn mode
+	// fills these as nodes come up; external fleets declare them.
+	nodeAdminURLs := make(map[string]string)
+	if *nodeObs != "" {
+		for _, pair := range strings.Split(*nodeObs, ",") {
+			addr, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || addr == "" || url == "" {
+				fail("-node-obs entry %q is not addr=url", pair)
+			}
+			nodeAdminURLs[addr] = url
+		}
 	}
 
 	devSeed := *seed
@@ -165,6 +189,10 @@ func main() {
 		HintReplayInterval:  *hintReplay,
 		AntiEntropyInterval: *antiEntropy,
 		Seed:                *seed,
+		TraceSampleEvery:    *traceSample,
+		SlowQuorumThreshold: *slowQuorum,
+		DisableTracing:      *noTrace,
+		SLOLatencyTarget:    *sloTarget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pcmcluster:", err)
@@ -183,13 +211,28 @@ func main() {
 			fmt.Fprintln(os.Stderr, "obs listen:", err)
 			os.Exit(1)
 		}
+		// Stitch sources: spawn mode tracks its own fleet (join/drain
+		// keep it current); external fleets use the -node-obs mapping.
+		sources := fleet.sources
+		if *spawn == 0 {
+			sources = func() []obs.StitchSource {
+				out := make([]obs.StitchSource, 0, len(nodeAdminURLs))
+				for addr, url := range nodeAdminURLs {
+					out = append(out, obs.StitchSource{Node: addr, URL: url})
+				}
+				return out
+			}
+		}
 		obsSrv := &http.Server{Handler: obs.AdminHandler(obs.AdminConfig{
-			Registry: c.Registry(),
-			Health:   c.Health,
+			Registry:    c.Registry(),
+			Health:      c.Health,
+			Traces:      c.Traces(),
+			ClusterInfo: func() any { return c.Clusterz() },
+			Stitcher:    &obs.Stitcher{Local: c.Traces(), Sources: sources},
 		})}
 		go obsSrv.Serve(ln)
 		defer obsSrv.Close()
-		fmt.Printf("pcmcluster: admin plane (metrics, healthz) on %s\n", ln.Addr())
+		fmt.Printf("pcmcluster: admin plane (metrics, healthz, tracez, clusterz) on %s\n", ln.Addr())
 	}
 
 	blocks := c.Blocks()
@@ -297,14 +340,22 @@ func runDrainAction(c *pcmcluster.Cluster, target string) {
 }
 
 // fleet tracks the in-process pcmserve nodes this run spawned so
-// membership actions and shutdown can stop them gracefully.
+// membership actions and shutdown can stop them gracefully. Every
+// spawned node also gets its own loopback admin plane (per-node
+// /tracez for trace stitching, sampled at keep-everything).
 type fleet struct {
-	mu   sync.Mutex
-	srvs map[string]*pcmserve.Server
+	mu     sync.Mutex
+	srvs   map[string]*pcmserve.Server
+	admins map[string]*http.Server
+	urls   map[string]string // node addr → admin base URL
 }
 
 func newFleet() *fleet {
-	return &fleet{srvs: make(map[string]*pcmserve.Server)}
+	return &fleet{
+		srvs:   make(map[string]*pcmserve.Server),
+		admins: make(map[string]*http.Server),
+		urls:   make(map[string]string),
+	}
 }
 
 // spawn brings up one in-process pcmserve node on a loopback port and
@@ -317,6 +368,7 @@ func (f *fleet) spawn(fail func(string, ...any), mb float64, shards int, seed ui
 	g, err := pcmserve.NewShards(pcmserve.ShardsConfig{
 		Shards: shards,
 		Device: device.Config{Blocks: blocksPerShard, Seed: seed, DisableWearout: true},
+		Obs:    &pcmserve.Observability{TraceSampleEvery: 1},
 	})
 	if err != nil {
 		fail("spawn node: %v", err)
@@ -328,20 +380,47 @@ func (f *fleet) spawn(fail func(string, ...any), mb float64, shards int, seed ui
 	}
 	go srv.Serve(ln)
 	addr := ln.Addr().String()
+
+	adminLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail("spawn node admin listen: %v", err)
+	}
+	adminSrv := &http.Server{Handler: srv.AdminHandler()}
+	go adminSrv.Serve(adminLn)
+
 	f.mu.Lock()
 	f.srvs[addr] = srv
+	f.admins[addr] = adminSrv
+	f.urls[addr] = "http://" + adminLn.Addr().String()
 	f.mu.Unlock()
 	return addr
 }
 
-// stop gracefully shuts down one spawned node.
+// sources snapshots the live node admin planes for trace stitching.
+func (f *fleet) sources() []obs.StitchSource {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]obs.StitchSource, 0, len(f.urls))
+	for addr, url := range f.urls {
+		out = append(out, obs.StitchSource{Node: addr, URL: url})
+	}
+	return out
+}
+
+// stop gracefully shuts down one spawned node and its admin plane.
 func (f *fleet) stop(addr string) error {
 	f.mu.Lock()
 	srv := f.srvs[addr]
+	admin := f.admins[addr]
 	delete(f.srvs, addr)
+	delete(f.admins, addr)
+	delete(f.urls, addr)
 	f.mu.Unlock()
 	if srv == nil {
 		return fmt.Errorf("no spawned node at %s", addr)
+	}
+	if admin != nil {
+		admin.Close()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -352,8 +431,14 @@ func (f *fleet) stop(addr string) error {
 func (f *fleet) stopAll() {
 	f.mu.Lock()
 	srvs := f.srvs
+	admins := f.admins
 	f.srvs = make(map[string]*pcmserve.Server)
+	f.admins = make(map[string]*http.Server)
+	f.urls = make(map[string]string)
 	f.mu.Unlock()
+	for _, admin := range admins {
+		admin.Close()
+	}
 	var wg sync.WaitGroup
 	for addr, srv := range srvs {
 		wg.Add(1)
@@ -496,6 +581,26 @@ func report(c *pcmcluster.Cluster, dataErrors uint64) {
 	for _, n := range st.Nodes {
 		fmt.Printf("  node %s [%s]: reads=%d writes=%d errors=%d hints_pending=%d\n",
 			n.Addr, n.State, n.Reads, n.Writes, n.Errors, n.HintsPending)
+	}
+	for _, s := range st.SLOs {
+		status := "met"
+		if !s.Met {
+			status = "MISSED"
+		}
+		fmt.Printf("slo %s: objective=%.4f good=%d bad=%d burn=%.2f [%s]\n",
+			s.Name, s.Objective, s.WindowGood, s.WindowBad, s.BurnRate, status)
+	}
+	if st.SlowQuorums > 0 {
+		fmt.Printf("slow quorums: %d total, most recent:\n", st.SlowQuorums)
+		entries := c.SlowQuorums()
+		if len(entries) > 5 {
+			entries = entries[len(entries)-5:]
+		}
+		for _, e := range entries {
+			fmt.Printf("  %s %s block=%d quorum=%s straggler=%s class=%s trace=%s\n",
+				e.Time.Format("15:04:05.000"), e.Op, e.Block,
+				e.QuorumLatency.Round(time.Millisecond), e.Straggler, e.ErrClass, e.TraceID)
+		}
 	}
 	if dataErrors > 0 {
 		fmt.Fprintf(os.Stderr, "pcmcluster: FAILED: %d reads returned wrong data\n", dataErrors)

@@ -136,6 +136,7 @@ type Device struct {
 	armedPanics      int            // one-shot: next N ops panic
 	armedReadErrs    int            // one-shot: next N reads fail uncorrectable
 	armedWriteErrs   int            // one-shot: next N writes fail
+	forcedLatency    time.Duration  // persistent: every op sleeps this long
 	corrupt, drifted map[int64]bool // block index → armed state
 	armedFlips       map[int64]int  // block index → bits to flip on next read
 
@@ -268,6 +269,17 @@ func (d *Device) ArmWriteError(n int) {
 	d.mu.Unlock()
 }
 
+// SetLatency makes every subsequent operation sleep dur before
+// proceeding, until cleared with SetLatency(0). Unlike the Latency
+// schedule (fixed in the Plan at construction), this models a node
+// that turns into a straggler mid-run — a degraded disk, a GC storm —
+// and can be armed and disarmed from a running test.
+func (d *Device) SetLatency(dur time.Duration) {
+	d.mu.Lock()
+	d.forcedLatency = dur
+	d.mu.Unlock()
+}
+
 // blocksTouched reports the inclusive block index range of [off, off+n).
 func blocksTouched(off int64, n int) (lo, hi int64) {
 	if n <= 0 {
@@ -283,6 +295,10 @@ func (d *Device) preOp() time.Duration {
 	if d.latency.hit() {
 		d.stats.LatencySpikes++
 		sleep = d.plan.LatencyDuration
+	}
+	if d.forcedLatency > sleep {
+		d.stats.LatencySpikes++
+		sleep = d.forcedLatency
 	}
 	if d.armedPanics > 0 {
 		d.armedPanics--

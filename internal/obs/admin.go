@@ -2,8 +2,10 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
@@ -34,6 +36,12 @@ type AdminConfig struct {
 	// Dumps sources live flight-recorder snapshots for /tracez and
 	// /debug/flightrecorder.
 	Dumps func() []Dump
+	// ClusterInfo sources the /clusterz summary body (stats, SLO
+	// status, slow-quorum log — whatever the owner wants shown).
+	ClusterInfo func() any
+	// Stitcher resolves /clusterz?trace=<hex> into a merged cross-node
+	// timeline. Either ClusterInfo or Stitcher enables /clusterz.
+	Stitcher *Stitcher
 }
 
 // AdminHandler serves the admin plane:
@@ -59,7 +67,26 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 		}
 		writeJSON(w, report)
 	})
-	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 16, 64)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				writeJSON(w, map[string]string{"error": "bad trace id: " + idStr})
+				return
+			}
+			var payload struct {
+				Now    time.Time `json:"now"`
+				ID     string    `json:"id"`
+				Traces []Trace   `json:"traces"`
+			}
+			payload.Now = time.Now()
+			payload.ID = fmt.Sprintf("%016x", id)
+			payload.Traces = cfg.Traces.Find(id)
+			writeJSON(w, payload)
+			return
+		}
 		var payload struct {
 			Now       time.Time `json:"now"`
 			SlowTotal uint64    `json:"slow_total"`
@@ -72,9 +99,41 @@ func AdminHandler(cfg AdminConfig) http.Handler {
 			payload.Slow = cfg.Traces.Slow()
 			payload.Recent = cfg.Traces.Recent()
 		}
-		w.Header().Set("Content-Type", "application/json")
 		writeJSON(w, payload)
 	})
+	if cfg.ClusterInfo != nil || cfg.Stitcher != nil {
+		mux.HandleFunc("/clusterz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if idStr := r.URL.Query().Get("trace"); idStr != "" {
+				if cfg.Stitcher == nil {
+					w.WriteHeader(http.StatusNotFound)
+					writeJSON(w, map[string]string{"error": "no stitcher configured"})
+					return
+				}
+				id, err := strconv.ParseUint(idStr, 16, 64)
+				if err != nil {
+					w.WriteHeader(http.StatusBadRequest)
+					writeJSON(w, map[string]string{"error": "bad trace id: " + idStr})
+					return
+				}
+				writeJSON(w, cfg.Stitcher.Stitch(r.Context(), id))
+				return
+			}
+			var payload struct {
+				Now     time.Time      `json:"now"`
+				Info    any            `json:"info,omitempty"`
+				Sources []StitchSource `json:"sources,omitempty"`
+			}
+			payload.Now = time.Now()
+			if cfg.ClusterInfo != nil {
+				payload.Info = cfg.ClusterInfo()
+			}
+			if cfg.Stitcher != nil && cfg.Stitcher.Sources != nil {
+				payload.Sources = cfg.Stitcher.Sources()
+			}
+			writeJSON(w, payload)
+		})
+	}
 	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
 		var dumps []Dump
 		if cfg.Dumps != nil {

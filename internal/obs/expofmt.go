@@ -22,6 +22,17 @@ type Sample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar is the OpenMetrics exemplar attached to the sample, if
+	// any (`# {labels} value [ts]` after the sample value).
+	Exemplar *ParsedExemplar
+}
+
+// ParsedExemplar is one OpenMetrics exemplar parsed off a sample line.
+type ParsedExemplar struct {
+	Labels map[string]string
+	Value  float64
+	HasTs  bool
+	Ts     float64
 }
 
 // ParsedFamily groups the samples of one metric family.
@@ -145,7 +156,8 @@ func familyFor(fams map[string]*ParsedFamily, name string) *ParsedFamily {
 	return nil
 }
 
-// parseSample parses `name{k="v",...} value [timestamp]`.
+// parseSample parses `name{k="v",...} value [timestamp]`, optionally
+// followed by an OpenMetrics exemplar (`# {k="v",...} value [ts]`).
 func parseSample(line string) (Sample, error) {
 	s := Sample{Labels: map[string]string{}}
 	rest := line
@@ -166,6 +178,16 @@ func parseSample(line string) (Sample, error) {
 	} else {
 		rest = rest[i:]
 	}
+	// The sample's own labels are already consumed, so the first '#'
+	// left on the line can only introduce an exemplar.
+	if j := strings.IndexByte(rest, '#'); j >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(rest[j+1:]))
+		if err != nil {
+			return s, fmt.Errorf("exemplar in %q: %w", line, err)
+		}
+		s.Exemplar = ex
+		rest = rest[:j]
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
 		return s, fmt.Errorf("malformed sample value in %q", line)
@@ -180,7 +202,44 @@ func parseSample(line string) (Sample, error) {
 			return s, fmt.Errorf("bad timestamp %q", fields[1])
 		}
 	}
+	if s.Exemplar != nil && !strings.HasSuffix(s.Name, "_bucket") && !strings.HasSuffix(s.Name, "_total") {
+		return s, fmt.Errorf("exemplar on %q (only _bucket and _total series may carry one)", s.Name)
+	}
 	return s, nil
+}
+
+// parseExemplar parses the OpenMetrics exemplar clause after the '#':
+// `{k="v",...} value [ts]`. The timestamp is seconds as a float.
+func parseExemplar(text string) (*ParsedExemplar, error) {
+	if len(text) == 0 || text[0] != '{' {
+		return nil, fmt.Errorf("missing label set")
+	}
+	ex := &ParsedExemplar{Labels: map[string]string{}}
+	end, err := parseLabels(text, ex.Labels)
+	if err != nil {
+		return nil, err
+	}
+	runes := 0
+	for k, v := range ex.Labels {
+		runes += len([]rune(k)) + len([]rune(v))
+	}
+	if runes > 128 {
+		return nil, fmt.Errorf("label set exceeds 128 runes (%d)", runes)
+	}
+	fields := strings.Fields(text[end:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("malformed exemplar value")
+	}
+	if ex.Value, err = parseFloat(fields[0]); err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %w", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if ex.Ts, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+		ex.HasTs = true
+	}
+	return ex, nil
 }
 
 func parseFloat(tok string) (float64, error) {

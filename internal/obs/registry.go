@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Metric and label names follow the Prometheus data model.
@@ -92,22 +93,40 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// Exemplar ties one observation to the trace that produced it, per
+// OpenMetrics: each bucket keeps its most recent traced observation,
+// so a histogram tail bucket resolves to a concrete request that can
+// be looked up in /tracez (or stitched across nodes via /clusterz).
+type Exemplar struct {
+	TraceID uint64
+	Value   float64
+	Time    time.Time
+}
+
 // Histogram is a cumulative-bucket histogram with fixed upper bounds.
 // Observations and snapshots are lock-free; concurrent snapshots may be
 // momentarily skewed across buckets (each cell is individually atomic),
 // which Prometheus scrapes tolerate by design.
 type Histogram struct {
-	bounds []float64       // ascending upper bounds; +Inf bucket implied
-	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
-	count  atomic.Uint64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
+	bounds    []float64       // ascending upper bounds; +Inf bucket implied
+	counts    []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	exemplars []atomic.Pointer[Exemplar]
+	count     atomic.Uint64
+	sum       atomic.Uint64 // float64 bits, CAS-updated
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveTrace(v, 0) }
+
+// ObserveTrace records one value and, when traceID is nonzero, stores
+// it as the landing bucket's exemplar (last writer wins).
+func (h *Histogram) ObserveTrace(v float64, traceID uint64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	if traceID != 0 {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
 	for {
 		old := h.sum.Load()
 		cur := math.Float64frombits(old)
@@ -115,6 +134,16 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Exemplars returns the per-bucket exemplars (nil entries where no
+// traced observation has landed); the last element is the +Inf bucket.
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Bounds returns the configured upper bounds (without the implicit
@@ -293,8 +322,9 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	f := r.getFamily(name, help, typeHistogram, labels, bounds)
 	return f.child(labels, func() any {
 		return &Histogram{
-			bounds: f.bounds,
-			counts: make([]atomic.Uint64, len(f.bounds)+1),
+			bounds:    f.bounds,
+			counts:    make([]atomic.Uint64, len(f.bounds)+1),
+			exemplars: make([]atomic.Pointer[Exemplar], len(f.bounds)+1),
 		}
 	}).(*Histogram)
 }
@@ -380,20 +410,33 @@ func (r *Registry) WritePrometheus(w *strings.Builder) {
 				fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatFloat(c.Value()))
 			case *Histogram:
 				counts := c.Counts()
+				exemplars := c.Exemplars()
 				var cum uint64
 				for i, bound := range c.bounds {
 					cum += counts[i]
 					bl := labelString(f.labelKeys, labels, "le", formatFloat(bound))
-					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum)
+					fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, bl, cum, exemplarSuffix(exemplars[i]))
 				}
 				cum += counts[len(counts)-1]
 				bl := labelString(f.labelKeys, labels, "le", "+Inf")
-				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum)
+				fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, bl, cum, exemplarSuffix(exemplars[len(exemplars)-1]))
 				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, formatFloat(c.Sum()))
 				fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, cum)
 			}
 		}
 	}
+}
+
+// exemplarSuffix renders an OpenMetrics exemplar clause for a bucket
+// line (" # {trace_id=\"<hex>\"} <value> <unix-seconds>"), or "" when
+// the bucket has no traced observation.
+func exemplarSuffix(ex *Exemplar) string {
+	if ex == nil {
+		return ""
+	}
+	ts := float64(ex.Time.UnixNano()) / 1e9
+	return fmt.Sprintf(" # {trace_id=\"%016x\"} %s %s",
+		ex.TraceID, formatFloat(ex.Value), strconv.FormatFloat(ts, 'f', 3, 64))
 }
 
 // Exposition renders the registry as one exposition-format string.

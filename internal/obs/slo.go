@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file implements rolling-window SLO tracking with burn-rate
+// derivation, the alerting vocabulary of Google's SRE workbook: an
+// objective ("99.9% of reads succeed / finish under 100ms"), a rolling
+// window of good/bad events, and a burn rate — how many times faster
+// than budget the service is consuming its error allowance. Burn rate
+// 1.0 exactly exhausts the budget over the window; 14.4 is the classic
+// page-now threshold (exhausts a 30-day budget in 2 days).
+
+// SLOConfig describes one objective.
+type SLOConfig struct {
+	// Name prefixes the registered metric families (e.g.
+	// "pcmcluster_read_availability" →
+	// pcmcluster_read_availability_slo_events_total{outcome=...}).
+	Name string
+	// Help describes what counts as a good event.
+	Help string
+	// Objective is the target good fraction, in (0, 1): 0.999 means at
+	// most one event in a thousand may be bad.
+	Objective float64
+	// Window is the rolling window burn rate is computed over
+	// (default 5m).
+	Window time.Duration
+	// Slices subdivides the window ring (default 30); finer slices make
+	// the window edge sharper at slightly more bookkeeping.
+	Slices int
+}
+
+type sloSlice struct{ good, bad uint64 }
+
+// SLO tracks one objective. All methods are safe for concurrent use.
+type SLO struct {
+	cfg      SLOConfig
+	sliceDur time.Duration
+
+	goodTotal, badTotal *Counter // cumulative, for /metrics rate() math
+
+	mu       sync.Mutex
+	slices   []sloSlice // ring; cur is the live slice
+	cur      int
+	curStart time.Time
+}
+
+// SLOStatus is a point-in-time snapshot of one objective.
+type SLOStatus struct {
+	Name       string        `json:"name"`
+	Objective  float64       `json:"objective"`
+	Window     time.Duration `json:"window_ns"`
+	WindowGood uint64        `json:"window_good"`
+	WindowBad  uint64        `json:"window_bad"`
+	TotalGood  uint64        `json:"total_good"`
+	TotalBad   uint64        `json:"total_bad"`
+	// BadRatio is the bad fraction over the rolling window.
+	BadRatio float64 `json:"bad_ratio"`
+	// BurnRate is BadRatio / (1 - Objective): the multiple of the error
+	// budget being consumed. 0 with no events; 1.0 burns exactly to
+	// budget; >1 is over budget.
+	BurnRate float64 `json:"burn_rate"`
+	// Met reports whether the window is within budget (BurnRate ≤ 1).
+	Met bool `json:"met"`
+}
+
+// NewSLO builds an SLO tracker and registers its instruments on reg:
+// <name>_slo_events_total{outcome="good"|"bad"} cumulative counters,
+// and <name>_slo_objective / <name>_slo_burn_rate gauges.
+func NewSLO(reg *Registry, cfg SLOConfig) *SLO {
+	if cfg.Objective <= 0 || cfg.Objective >= 1 {
+		panic(fmt.Sprintf("obs: SLO %q objective %v not in (0,1)", cfg.Name, cfg.Objective))
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5 * time.Minute
+	}
+	if cfg.Slices <= 0 {
+		cfg.Slices = 30
+	}
+	s := &SLO{
+		cfg:      cfg,
+		sliceDur: cfg.Window / time.Duration(cfg.Slices),
+		slices:   make([]sloSlice, cfg.Slices),
+		curStart: time.Now(),
+	}
+	if reg != nil {
+		events := cfg.Name + "_slo_events_total"
+		help := cfg.Help
+		if help == "" {
+			help = "SLO events by outcome."
+		}
+		s.goodTotal = reg.Counter(events, help, L("outcome", "good")...)
+		s.badTotal = reg.Counter(events, help, L("outcome", "bad")...)
+		reg.GaugeFunc(cfg.Name+"_slo_objective", "Target good fraction for this objective.",
+			func() float64 { return cfg.Objective })
+		reg.GaugeFunc(cfg.Name+"_slo_burn_rate",
+			"Error-budget burn rate over the rolling window (1.0 = exactly on budget).",
+			func() float64 { return s.Status().BurnRate })
+	}
+	return s
+}
+
+// advanceLocked rotates the ring forward to cover now, zeroing slices
+// that have fallen out of the window.
+func (s *SLO) advanceLocked(now time.Time) {
+	steps := int(now.Sub(s.curStart) / s.sliceDur)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(s.slices) {
+		for i := range s.slices {
+			s.slices[i] = sloSlice{}
+		}
+		s.cur = 0
+		s.curStart = now
+		return
+	}
+	for i := 0; i < steps; i++ {
+		s.cur = (s.cur + 1) % len(s.slices)
+		s.slices[s.cur] = sloSlice{}
+	}
+	s.curStart = s.curStart.Add(time.Duration(steps) * s.sliceDur)
+}
+
+// Record adds one event outcome.
+func (s *SLO) Record(good bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.advanceLocked(time.Now())
+	if good {
+		s.slices[s.cur].good++
+	} else {
+		s.slices[s.cur].bad++
+	}
+	s.mu.Unlock()
+	switch {
+	case good && s.goodTotal != nil:
+		s.goodTotal.Inc()
+	case !good && s.badTotal != nil:
+		s.badTotal.Inc()
+	}
+}
+
+// Status snapshots the objective.
+func (s *SLO) Status() SLOStatus {
+	st := SLOStatus{Name: s.cfg.Name, Objective: s.cfg.Objective, Window: s.cfg.Window, Met: true}
+	s.mu.Lock()
+	s.advanceLocked(time.Now())
+	for _, sl := range s.slices {
+		st.WindowGood += sl.good
+		st.WindowBad += sl.bad
+	}
+	s.mu.Unlock()
+	if s.goodTotal != nil {
+		st.TotalGood = s.goodTotal.Value()
+	}
+	if s.badTotal != nil {
+		st.TotalBad = s.badTotal.Value()
+	}
+	if n := st.WindowGood + st.WindowBad; n > 0 {
+		st.BadRatio = float64(st.WindowBad) / float64(n)
+		st.BurnRate = st.BadRatio / (1 - s.cfg.Objective)
+		st.Met = st.BurnRate <= 1
+	}
+	return st
+}
+
+// Health renders the objective as one /healthz component: "ok" within
+// budget, "burning" over it. Burn state is informational — it does not
+// flip the overall health verdict (a burst of slow quorums should page
+// a human, not fail readiness probes).
+func (s *SLO) Health() ComponentHealth {
+	st := s.Status()
+	state := "ok"
+	if !st.Met {
+		state = "burning"
+	}
+	return ComponentHealth{
+		Name:  "slo/" + s.cfg.Name,
+		State: state,
+		Detail: fmt.Sprintf("objective=%g window=%s good=%d bad=%d burn=%.2f",
+			st.Objective, st.Window, st.WindowGood, st.WindowBad, st.BurnRate),
+	}
+}

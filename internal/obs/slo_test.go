@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOBurnRate(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLO(reg, SLOConfig{
+		Name:      "svc_availability",
+		Objective: 0.9, // 10% error budget
+		Window:    time.Minute,
+	})
+
+	st := s.Status()
+	if st.BurnRate != 0 || !st.Met {
+		t.Fatalf("empty SLO: %+v, want burn 0, met", st)
+	}
+
+	// 95 good, 5 bad: half the 10% budget.
+	for i := 0; i < 95; i++ {
+		s.Record(true)
+	}
+	for i := 0; i < 5; i++ {
+		s.Record(false)
+	}
+	st = s.Status()
+	if st.WindowGood != 95 || st.WindowBad != 5 {
+		t.Fatalf("window counts %d/%d, want 95/5", st.WindowGood, st.WindowBad)
+	}
+	if got, want := st.BurnRate, 0.5; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("burn rate %v, want %v", got, want)
+	}
+	if !st.Met {
+		t.Error("burn 0.5 should meet the objective")
+	}
+	if h := s.Health(); h.State != "ok" {
+		t.Errorf("health %q, want ok", h.State)
+	}
+
+	// 20 more bad: 25/120 bad, burn > 2.
+	for i := 0; i < 20; i++ {
+		s.Record(false)
+	}
+	st = s.Status()
+	if st.Met {
+		t.Errorf("burn %v should miss the objective", st.BurnRate)
+	}
+	if st.BurnRate <= 1 {
+		t.Errorf("burn rate %v, want > 1", st.BurnRate)
+	}
+	if h := s.Health(); h.State != "burning" {
+		t.Errorf("health %q after missing the objective, want burning", h.State)
+	}
+
+	// The registry carries the counters and the burn-rate gauge.
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`svc_availability_slo_events_total{outcome="good"} 95`,
+		`svc_availability_slo_events_total{outcome="bad"} 25`,
+		"svc_availability_slo_objective 0.9",
+		"svc_availability_slo_burn_rate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ParseExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("SLO exposition does not round-trip: %v", err)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	s := NewSLO(NewRegistry(), SLOConfig{
+		Name:      "w",
+		Objective: 0.99,
+		Window:    40 * time.Millisecond,
+		Slices:    4,
+	})
+	for i := 0; i < 10; i++ {
+		s.Record(false)
+	}
+	if st := s.Status(); st.WindowBad != 10 {
+		t.Fatalf("window bad %d, want 10", st.WindowBad)
+	}
+	time.Sleep(60 * time.Millisecond)
+	st := s.Status()
+	if st.WindowBad != 0 {
+		t.Errorf("bad events survived the window: %+v", st)
+	}
+	if st.TotalBad != 10 {
+		t.Errorf("cumulative bad %d, want 10", st.TotalBad)
+	}
+	if st.BurnRate != 0 {
+		t.Errorf("burn %v after window expiry, want 0", st.BurnRate)
+	}
+}
+
+func TestSLOObjectiveValidation(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("objective %v should panic", bad)
+				}
+			}()
+			NewSLO(nil, SLOConfig{Name: "x", Objective: bad})
+		}()
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file stitches one operation's spans back together across a
+// cluster. The client side of a replicated op records a trace with
+// per-replica events; each node it touched records its own server-side
+// trace (queue wait, device service, scrub interference) under the
+// same ID, reachable at that node's /tracez?id=<hex>. The Stitcher
+// fetches all of them and merges one timeline, so "the quorum read was
+// slow" decomposes into "node C sat 18ms in its shard queue behind a
+// refresh burst".
+
+// StitchSource is one peer admin plane the stitcher queries.
+type StitchSource struct {
+	// Node is the serving address the cluster knows the peer by.
+	Node string `json:"node"`
+	// URL is the peer's admin base URL (e.g. "http://127.0.0.1:9091").
+	URL string `json:"url"`
+}
+
+// NodeSpans is what one source returned for a trace ID.
+type NodeSpans struct {
+	Node   string  `json:"node"`
+	URL    string  `json:"url"`
+	Err    string  `json:"err,omitempty"`
+	Traces []Trace `json:"traces,omitempty"`
+}
+
+// StitchedTrace is one operation's merged cross-node view.
+type StitchedTrace struct {
+	ID string `json:"id"`
+	// Client holds the cluster-side traces for the ID (quorum fan-out
+	// events), from the stitcher's local log.
+	Client []Trace `json:"client,omitempty"`
+	// Nodes holds each peer's server-side traces for the ID.
+	Nodes []NodeSpans `json:"nodes"`
+	// Timeline is the merged human-readable view, one span per line,
+	// ordered by start time.
+	Timeline []string `json:"timeline,omitempty"`
+}
+
+// Stitcher resolves a trace ID across a cluster's admin planes.
+type Stitcher struct {
+	// Local is the cluster-client trace log (may be nil).
+	Local *TraceLog
+	// Sources lists the live node admin planes to query.
+	Sources func() []StitchSource
+	// Client is the HTTP client for span fetches; nil gets a 2s-timeout
+	// default.
+	Client *http.Client
+}
+
+func (s *Stitcher) httpClient() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+// Stitch fetches every source's spans for id (concurrently) and merges
+// them with the local client-side trace into one StitchedTrace.
+func (s *Stitcher) Stitch(ctx context.Context, id uint64) StitchedTrace {
+	st := StitchedTrace{ID: fmt.Sprintf("%016x", id)}
+	st.Client = s.Local.Find(id)
+
+	var sources []StitchSource
+	if s.Sources != nil {
+		sources = s.Sources()
+	}
+	st.Nodes = make([]NodeSpans, len(sources))
+	var wg sync.WaitGroup
+	for i, src := range sources {
+		wg.Add(1)
+		go func(i int, src StitchSource) {
+			defer wg.Done()
+			st.Nodes[i] = s.fetch(ctx, src, id)
+		}(i, src)
+	}
+	wg.Wait()
+	st.Timeline = st.renderTimeline()
+	return st
+}
+
+// tracezByID mirrors the /tracez?id= response shape.
+type tracezByID struct {
+	Traces []Trace `json:"traces"`
+}
+
+func (s *Stitcher) fetch(ctx context.Context, src StitchSource, id uint64) NodeSpans {
+	ns := NodeSpans{Node: src.Node, URL: src.URL}
+	url := fmt.Sprintf("%s/tracez?id=%016x", strings.TrimSuffix(src.URL, "/"), id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		ns.Err = err.Error()
+		return ns
+	}
+	resp, err := s.httpClient().Do(req)
+	if err != nil {
+		ns.Err = err.Error()
+		return ns
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ns.Err = fmt.Sprintf("status %d", resp.StatusCode)
+		return ns
+	}
+	var payload tracezByID
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&payload); err != nil {
+		ns.Err = err.Error()
+		return ns
+	}
+	ns.Traces = payload.Traces
+	return ns
+}
+
+// timelineEntry is one row of the merged view before formatting.
+type timelineEntry struct {
+	at   time.Time
+	text string
+}
+
+// renderTimeline flattens client events and node spans into one list
+// ordered by absolute start time, offset from the earliest span.
+func (st StitchedTrace) renderTimeline() []string {
+	var entries []timelineEntry
+	for _, t := range st.Client {
+		who := "client"
+		if t.Cause != "" {
+			who = "client/" + t.Cause
+		}
+		entries = append(entries, timelineEntry{t.Start,
+			fmt.Sprintf("%-28s %s block_off=%d total=%v", who, t.Op, t.Offset, round(t.Total))})
+		for _, e := range t.Events {
+			node := e.Node
+			if node == "" {
+				node = "-"
+			}
+			text := fmt.Sprintf("%-28s %s dur=%v", "client."+e.Name, node, round(e.Dur))
+			if e.Err != "" {
+				text += " err=" + e.Err
+			}
+			entries = append(entries, timelineEntry{t.Start.Add(e.Start), text})
+		}
+	}
+	for _, n := range st.Nodes {
+		for _, t := range n.Traces {
+			for _, sp := range t.Spans {
+				text := fmt.Sprintf("%-28s %s shard=%d wait=%v service=%v",
+					"node "+n.Node, t.Op, sp.Shard, round(sp.Wait), round(sp.Service))
+				if sp.ScrubOps > 0 {
+					text += fmt.Sprintf(" scrubs=%d", sp.ScrubOps)
+				}
+				if sp.Err != "" {
+					text += " err=" + sp.Err
+				}
+				entries = append(entries, timelineEntry{t.Start, text})
+			}
+			if len(t.Spans) == 0 {
+				entries = append(entries, timelineEntry{t.Start,
+					fmt.Sprintf("%-28s %s total=%v", "node "+n.Node, t.Op, round(t.Total))})
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].at.Before(entries[j].at) })
+	t0 := entries[0].at
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = fmt.Sprintf("%+9.3fms %s", float64(e.at.Sub(t0))/1e6, e.text)
+	}
+	return out
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tracezServer serves a TraceLog the way a node admin plane would, so
+// the stitcher's /tracez?id= fetch path is exercised end to end.
+func tracezServer(t *testing.T, log *TraceLog) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(AdminHandler(AdminConfig{
+		Registry: NewRegistry(),
+		Traces:   log,
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestStitcherMergesClientAndNodes(t *testing.T) {
+	const id = uint64(0xabcdef0123456789)
+	t0 := time.Now()
+
+	local := NewTraceLog(TraceLogConfig{SampleEvery: 1})
+	local.Observe(Trace{
+		ID: id, Op: "quorum_read", Offset: 7, Start: t0, Total: 4 * time.Millisecond,
+		Events: []TraceEvent{
+			{Name: "replica_read", Node: "n1:1", Start: 0, Dur: time.Millisecond},
+			{Name: "quorum_met", Start: 2 * time.Millisecond},
+		},
+	})
+
+	nodeLog := NewTraceLog(TraceLogConfig{SampleEvery: 1})
+	nodeLog.Observe(Trace{
+		ID: id, Op: "read", Offset: 448, Start: t0.Add(time.Millisecond),
+		Total: time.Millisecond,
+		Spans: []Span{{Shard: 1, Wait: 100 * time.Microsecond, Service: 800 * time.Microsecond}},
+	})
+	// A different trace on the same node must not leak into the stitch.
+	nodeLog.Observe(Trace{ID: id + 1, Op: "read", Start: t0})
+
+	otherLog := NewTraceLog(TraceLogConfig{SampleEvery: 1})
+
+	s := &Stitcher{
+		Local: local,
+		Sources: func() []StitchSource {
+			return []StitchSource{
+				{Node: "n1:1", URL: tracezServer(t, nodeLog).URL},
+				{Node: "n2:2", URL: tracezServer(t, otherLog).URL},
+			}
+		},
+	}
+	st := s.Stitch(context.Background(), id)
+
+	if st.ID != "abcdef0123456789" {
+		t.Errorf("stitched ID %q", st.ID)
+	}
+	if len(st.Client) != 1 {
+		t.Fatalf("client traces %d, want 1", len(st.Client))
+	}
+	if len(st.Nodes) != 2 {
+		t.Fatalf("node results %d, want 2", len(st.Nodes))
+	}
+	if len(st.Nodes[0].Traces) != 1 || st.Nodes[0].Err != "" {
+		t.Fatalf("n1 spans: %+v", st.Nodes[0])
+	}
+	if len(st.Nodes[1].Traces) != 0 || st.Nodes[1].Err != "" {
+		t.Fatalf("n2 should have no spans and no error: %+v", st.Nodes[1])
+	}
+
+	tl := strings.Join(st.Timeline, "\n")
+	for _, want := range []string{"client", "client.replica_read", "client.quorum_met", "node n1:1", "shard=1"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+	// Ordered by absolute time: the client root precedes the node span.
+	if len(st.Timeline) > 0 && !strings.Contains(st.Timeline[0], "client") {
+		t.Errorf("timeline should start with the client root:\n%s", tl)
+	}
+}
+
+func TestStitcherUnreachableSource(t *testing.T) {
+	s := &Stitcher{
+		Local:  NewTraceLog(TraceLogConfig{}),
+		Client: &http.Client{Timeout: 500 * time.Millisecond},
+		Sources: func() []StitchSource {
+			return []StitchSource{{Node: "gone", URL: "http://127.0.0.1:1"}}
+		},
+	}
+	st := s.Stitch(context.Background(), 42)
+	if len(st.Nodes) != 1 || st.Nodes[0].Err == "" {
+		t.Fatalf("unreachable source should report an error: %+v", st.Nodes)
+	}
+}
+
+// TestExemplarRoundTrip pins the OpenMetrics exemplar syntax through
+// the full loop: traced observation → exposition → parser.
+func TestExemplarRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("req_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // untraced: no exemplar on this bucket
+	h.ObserveTrace(0.05, 0xdeadbeef)
+	h.ObserveTrace(0.5, 0xcafe)
+	h.ObserveTrace(0.6, 0xf00d) // same bucket: last writer wins
+
+	ex := h.Exemplars()
+	if ex[0] != nil {
+		t.Error("untraced bucket grew an exemplar")
+	}
+	if ex[1] == nil || ex[1].TraceID != 0xdeadbeef {
+		t.Errorf("bucket 1 exemplar: %+v", ex[1])
+	}
+	if ex[2] == nil || ex[2].TraceID != 0xf00d || ex[2].Value != 0.6 {
+		t.Errorf("bucket 2 exemplar should be the last observation: %+v", ex[2])
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="00000000deadbeef"} 0.05`) {
+		t.Errorf("exposition missing deadbeef exemplar:\n%s", out)
+	}
+
+	fams, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	var got []string
+	for _, s := range fams["req_seconds"].Samples {
+		if s.Exemplar == nil {
+			continue
+		}
+		if !s.Exemplar.HasTs {
+			t.Errorf("exemplar on %v lacks a timestamp", s.Labels)
+		}
+		got = append(got, s.Exemplar.Labels["trace_id"])
+	}
+	want := []string{"00000000deadbeef", "000000000000f00d"}
+	if len(got) != len(want) {
+		t.Fatalf("parsed exemplars %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("exemplar %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTraceLogFind(t *testing.T) {
+	l := NewTraceLog(TraceLogConfig{SampleEvery: 1, SlowThreshold: 10 * time.Millisecond})
+	l.Observe(Trace{ID: 1, Op: "fast", Total: time.Millisecond})
+	l.Observe(Trace{ID: 2, Op: "slow", Total: 50 * time.Millisecond})
+	l.Observe(Trace{ID: 1, Op: "fast2", Total: time.Millisecond})
+
+	if got := len(l.Find(1)); got != 2 {
+		t.Errorf("Find(1) returned %d traces, want 2", got)
+	}
+	if got := l.Find(2); len(got) != 1 || got[0].Op != "slow" {
+		t.Errorf("Find(2): %+v", got)
+	}
+	if got := l.Find(99); len(got) != 0 {
+		t.Errorf("Find(99): %+v", got)
+	}
+}

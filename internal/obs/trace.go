@@ -82,6 +82,18 @@ type Span struct {
 	Err string `json:"err,omitempty"`
 }
 
+// TraceEvent is one named span inside a trace above the shard layer:
+// a per-replica RPC, a lock acquisition, a quorum marker. Start is the
+// offset from the owning Trace's Start.
+type TraceEvent struct {
+	Name string `json:"name"`
+	// Node names the peer the event talked to ("" for local work).
+	Node  string        `json:"node,omitempty"`
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+	Err   string        `json:"err,omitempty"`
+}
+
 // Trace is one request's span record set.
 type Trace struct {
 	ID     uint64    `json:"id"`
@@ -89,16 +101,28 @@ type Trace struct {
 	Offset int64     `json:"offset"`
 	Bytes  int       `json:"bytes"`
 	Start  time.Time `json:"start"`
-	// Total is the end-to-end server-side duration (split + queue +
-	// device + reassembly).
+	// Cause tags background root traces with the work class that
+	// spawned them ("read_repair", "hint_replay", "antientropy",
+	// "join", "drain"); foreground request traces leave it empty, so
+	// /tracez separates user traffic from repair traffic.
+	Cause string `json:"cause,omitempty"`
+	// Total is the end-to-end duration observed by the layer that
+	// recorded this trace.
 	Total time.Duration `json:"total_ns"`
-	Spans []Span        `json:"spans"`
+	// Spans are shard-local slices (single-node traces).
+	Spans []Span `json:"spans,omitempty"`
+	// Events are named spans above the shard layer (cluster-side
+	// traces: per-replica RPCs, stripe locks, quorum markers).
+	Events []TraceEvent `json:"events,omitempty"`
 }
 
 // String renders a trace compactly for logs and /tracez.
 func (t Trace) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "trace %016x %s off=%d len=%d total=%v", t.ID, t.Op, t.Offset, t.Bytes, t.Total)
+	if t.Cause != "" {
+		fmt.Fprintf(&b, " cause=%s", t.Cause)
+	}
 	for _, s := range t.Spans {
 		fmt.Fprintf(&b, " [shard %d wait=%v service=%v", s.Shard, s.Wait, s.Service)
 		if s.ScrubOps > 0 {
@@ -106,6 +130,17 @@ func (t Trace) String() string {
 		}
 		if s.Err != "" {
 			fmt.Fprintf(&b, " err=%s", s.Err)
+		}
+		b.WriteByte(']')
+	}
+	for _, e := range t.Events {
+		fmt.Fprintf(&b, " [%s", e.Name)
+		if e.Node != "" {
+			fmt.Fprintf(&b, " %s", e.Node)
+		}
+		fmt.Fprintf(&b, " +%v dur=%v", e.Start, e.Dur)
+		if e.Err != "" {
+			fmt.Fprintf(&b, " err=%s", e.Err)
 		}
 		b.WriteByte(']')
 	}
@@ -226,3 +261,27 @@ func (l *TraceLog) Slow() []Trace {
 // SlowTotal counts every trace that crossed the slow threshold
 // (including ones since evicted from the ring).
 func (l *TraceLog) SlowTotal() uint64 { return l.slowTotal.Load() }
+
+// Find returns every retained trace carrying the given ID — slow ring
+// first, then sampled ring, each oldest-first. A replicated operation
+// leaves one trace per replica touched, all sharing the originating
+// ID, so multiple hits are the normal case.
+func (l *TraceLog) Find(id uint64) []Trace {
+	if l == nil || id == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Trace
+	for _, t := range ring(l.slow, l.slowNext) {
+		if t.ID == id {
+			out = append(out, t)
+		}
+	}
+	for _, t := range ring(l.recent, l.recentNext) {
+		if t.ID == id {
+			out = append(out, t)
+		}
+	}
+	return out
+}

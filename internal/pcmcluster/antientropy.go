@@ -1,6 +1,9 @@
 package pcmcluster
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // antiEntropyLoop is the cross-node scrubber: it walks the partition
 // space one partition per tick and reconciles replicas that diverge
@@ -38,13 +41,19 @@ func (c *Cluster) antiEntropyLoop(interval time.Duration) {
 }
 
 // sweepPartition reconciles one partition, preferring the Merkle
-// exchange and falling back to the metered per-slot sweep.
+// exchange and falling back to the metered per-slot sweep. The whole
+// partition sweep runs under one cause-tagged root trace, so its RPCs
+// show up server-side under an "antientropy" identity instead of
+// blending into foreground traffic.
 func (c *Cluster) sweepPartition(part int64) {
 	ep := c.epoch.Load()
 	reps := ep.cur.replicas(part, c.rf)
 	if len(reps) == 0 {
 		return
 	}
+	lo, n := c.partSpan(part)
+	ctx, ot := c.bgTrace("antientropy_sweep", "antientropy", lo)
+	defer ot.finish()
 	if !c.disableMerkle {
 		merkleOK := true
 		for _, n := range reps {
@@ -53,17 +62,17 @@ func (c *Cluster) sweepPartition(part int64) {
 				break
 			}
 		}
-		if merkleOK && c.merkleSweepPartition(part, reps) != merkleUnsupported {
+		if merkleOK && c.merkleSweepPartition(ctx, ot, part, reps) != merkleUnsupported {
 			return
 		}
 	}
 	c.met.mkFallback.Inc()
-	lo, n := c.partSpan(part)
+	ot.mark("fallback_sweep")
 	for b := lo; b < lo+n; b++ {
 		if !c.aeTake(int64(len(reps)) * SlotBytes) {
 			return // closing
 		}
-		c.sweepBlockReplicas(b, reps)
+		c.sweepBlockReplicas(ctx, ot, b, reps)
 	}
 }
 
@@ -91,19 +100,25 @@ func (c *Cluster) aeTake(n int64) bool {
 }
 
 // sweepBlockReplicas reconciles one block across the given replicas.
-func (c *Cluster) sweepBlockReplicas(b int64, reps []*node) {
+// Replica reads run under the sweep's trace context with a per-block
+// deadline, so a wedged replica cannot stall the sweeper.
+func (c *Cluster) sweepBlockReplicas(ctx context.Context, ot *opTrace, b int64, reps []*node) {
+	readT := time.Now()
+	rctx, cancel := context.WithTimeout(ctx, c.opTimeout)
 	all := make([]replicaRead, 0, len(reps))
 	results := make(chan replicaRead, len(reps))
 	for _, n := range reps {
 		c.bg.Add(1)
 		go func(n *node) {
 			defer c.bg.Done()
-			results <- c.readReplica(c.ctx, n, b)
+			results <- c.readReplica(rctx, n, b)
 		}(n)
 	}
 	for range reps {
 		all = append(all, <-results)
 	}
+	cancel()
+	ot.span("sweep_block_read", "", readT, nil)
 
 	var winner replicaRead
 	found := false
@@ -133,7 +148,7 @@ func (c *Cluster) sweepBlockReplicas(b int64, reps []*node) {
 			continue
 		}
 		repaired = true
-		c.repairReplica(res.n, b, winner.slot, winner.meta, c.met.repairsAntiEntropy)
+		c.repairReplica(ctx, ot, res.n, b, winner.slot, winner.meta, c.met.repairsAntiEntropy)
 	}
 	if repaired {
 		c.met.aeRepaired.Inc()

@@ -1,0 +1,39 @@
+package pcmcluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// benchmarkQuorum measures the quorum hot path (one write + one read
+// per iteration) against a 3-node loopback cluster. The traced and
+// untraced variants differ only in Config.DisableTracing, so benchdiff
+// -compare gates the instrumentation overhead on the pair.
+func benchmarkQuorum(b *testing.B, disableTracing bool) {
+	c, _ := testCluster(b, 3, func(cfg *Config) {
+		cfg.DisableTracing = disableTracing
+		cfg.AntiEntropyInterval = -1 // steady-state foreground traffic only
+		cfg.SlowQuorumThreshold = 50 * time.Millisecond
+	})
+	ctx := context.Background()
+	data := bytes.Repeat([]byte{0xB5}, DataBytes)
+	blocks := c.Blocks()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk := int64(i) % blocks
+		if err := c.WriteBlock(ctx, blk, data); err != nil {
+			b.Fatalf("write: %v", err)
+		}
+		if _, err := c.ReadBlock(ctx, blk); err != nil {
+			b.Fatalf("read: %v", err)
+		}
+	}
+}
+
+func BenchmarkClusterQuorum(b *testing.B) {
+	b.Run("traced", func(b *testing.B) { benchmarkQuorum(b, false) })
+	b.Run("untraced", func(b *testing.B) { benchmarkQuorum(b, true) })
+}

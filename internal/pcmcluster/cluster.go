@@ -102,6 +102,33 @@ type Config struct {
 	// Registry receives the pcmcluster_* instruments (default: a
 	// private registry, reachable via Cluster.Registry).
 	Registry *obs.Registry
+
+	// TraceSampleEvery keeps one in N fast foreground traces in the
+	// cluster trace log (default 64; 1 keeps all — tests and admin
+	// tooling want 1). Slow traces are always kept.
+	TraceSampleEvery int
+	// SlowQuorumThreshold is the time-to-quorum past which a foreground
+	// op lands in the slow-quorum log with straggler attribution
+	// (default 50ms; negative disables the log). It also serves as the
+	// trace log's slow threshold.
+	SlowQuorumThreshold time.Duration
+	// DisableTracing turns the whole trace plane off — no trace IDs on
+	// the wire, no span collection, no per-node reply histograms, no
+	// slow-quorum log. Metrics and SLOs still record. This is the
+	// baseline for measuring tracing overhead.
+	DisableTracing bool
+
+	// SLOObjective is the availability target: the fraction of quorum
+	// ops that must succeed (default 0.999; negative disables both
+	// SLOs).
+	SLOObjective float64
+	// SLOLatencyTarget is the latency objective's good/bad cut: a
+	// successful op counts good when its time-to-quorum is at or under
+	// this (default 100ms).
+	SLOLatencyTarget time.Duration
+	// SLOWindow is the rolling window burn rate is computed over
+	// (default 5m).
+	SLOWindow time.Duration
 }
 
 func (cfg Config) withDefaults() Config {
@@ -140,6 +167,21 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
+	}
+	if cfg.TraceSampleEvery <= 0 {
+		cfg.TraceSampleEvery = 64
+	}
+	if cfg.SlowQuorumThreshold == 0 {
+		cfg.SlowQuorumThreshold = 50 * time.Millisecond
+	}
+	if cfg.SLOObjective == 0 {
+		cfg.SLOObjective = 0.999
+	}
+	if cfg.SLOLatencyTarget <= 0 {
+		cfg.SLOLatencyTarget = 100 * time.Millisecond
+	}
+	if cfg.SLOWindow <= 0 {
+		cfg.SLOWindow = 5 * time.Minute
 	}
 	return cfg
 }
@@ -198,6 +240,18 @@ type Cluster struct {
 	stripes [writeStripes]sync.Mutex
 
 	met *metrics
+
+	// Trace plane (see trace.go). traceOff disables it wholesale;
+	// slowQuorumThreshold gates the slow-quorum log.
+	traces              *obs.TraceLog
+	slowQ               *slowQuorumLog
+	slowQuorumThreshold time.Duration
+	traceOff            bool
+
+	// SLO layer: availability (quorum ops succeed) and latency
+	// (time-to-quorum under target). Nil when disabled.
+	sloAvail, sloLat *obs.SLO
+	sloLatTarget     time.Duration
 
 	closed atomic.Bool
 	// opGate lets Close wait for in-flight public ops (read lock) to
@@ -307,6 +361,29 @@ func New(cfg Config) (*Cluster, error) {
 
 	pl := newPlacement(c.partSlots, nodes)
 	c.epoch.Store(&epoch{gen: 1, nodes: nodes, cur: pl, mode: modeStable})
+	c.traceOff = cfg.DisableTracing
+	c.slowQuorumThreshold = cfg.SlowQuorumThreshold
+	c.traces = obs.NewTraceLog(obs.TraceLogConfig{
+		SampleEvery:   cfg.TraceSampleEvery,
+		SlowThreshold: cfg.SlowQuorumThreshold,
+	})
+	c.slowQ = newSlowQuorumLog(64)
+	if cfg.SLOObjective > 0 {
+		c.sloLatTarget = cfg.SLOLatencyTarget
+		c.sloAvail = obs.NewSLO(cfg.Registry, obs.SLOConfig{
+			Name:      "pcmcluster_availability",
+			Help:      "Quorum operations by outcome (good = quorum met).",
+			Objective: cfg.SLOObjective,
+			Window:    cfg.SLOWindow,
+		})
+		c.sloLat = obs.NewSLO(cfg.Registry, obs.SLOConfig{
+			Name: "pcmcluster_latency",
+			Help: fmt.Sprintf("Successful quorum operations by latency verdict (good = quorum within %v).",
+				cfg.SLOLatencyTarget),
+			Objective: cfg.SLOObjective,
+			Window:    cfg.SLOWindow,
+		})
+	}
 	c.met = newMetrics(cfg.Registry, c)
 	for _, n := range nodes {
 		c.met.registerNode(n)
@@ -496,6 +573,9 @@ type replicaRead struct {
 	meta   blockMeta
 	status slotStatus
 	err    error
+	// rtt is the reply round-trip as seen by the quorum fan-out (zero
+	// when the reply was not timed, e.g. anti-entropy sweeps).
+	rtt time.Duration
 }
 
 // valid reports whether this reply counts toward the read quorum: a
@@ -589,6 +669,13 @@ func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 	c.met.quorumReads.Inc()
 	t0 := time.Now()
 
+	var traceID uint64
+	var ot *opTrace
+	if !c.traceOff {
+		ctx, traceID = obs.EnsureTrace(ctx)
+		ot = c.startTrace("quorum_read", b, traceID, "")
+	}
+
 	ep := c.epoch.Load()
 	reps := ep.cur.replicas(c.partOf(b), c.rf)
 	results := make(chan replicaRead, len(reps))
@@ -596,7 +683,10 @@ func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 		c.bg.Add(1)
 		go func(n *node) {
 			defer c.bg.Done()
-			results <- c.readReplica(ctx, n, b)
+			sent := time.Now()
+			res := c.readReplica(ctx, n, b)
+			res.rtt = time.Since(sent)
+			results <- res
 		}(n)
 	}
 
@@ -607,27 +697,37 @@ func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 		select {
 		case res := <-results:
 			all = append(all, res)
+			ot.reply("replica_read", res.n, res.rtt, res.err, false)
 			if res.valid() {
 				valids++
 			} else {
 				degraded = true
 			}
 		case <-ctx.Done():
-			c.drainReads(b, len(reps)-len(all), results, all, blockMeta{}, nil, false)
+			ot.fail(ctx.Err())
+			c.sloAvail.Record(false)
+			c.sloLat.Record(false)
+			c.drainReads(b, len(reps)-len(all), results, all, blockMeta{}, nil, false, ot)
 			c.met.quorumFailRead.Inc()
 			return nil, fmt.Errorf("pcmcluster: read block %d: %d/%d valid replies: %w: %w",
 				b, valids, c.r, ctx.Err(), ErrReadQuorum)
 		}
 	}
 	if valids < c.r {
-		c.drainReads(b, len(reps)-len(all), results, all, blockMeta{}, nil, false)
-		c.met.quorumFailRead.Inc()
-		return nil, fmt.Errorf("pcmcluster: read block %d: %d/%d valid replies from %d replicas (last: %v): %w",
+		err := fmt.Errorf("pcmcluster: read block %d: %d/%d valid replies from %d replicas (last: %v): %w",
 			b, valids, c.r, len(reps), firstProblem(all), ErrReadQuorum)
+		ot.fail(firstProblem(all))
+		c.sloAvail.Record(false)
+		c.sloLat.Record(false)
+		c.drainReads(b, len(reps)-len(all), results, all, blockMeta{}, nil, false, ot)
+		c.met.quorumFailRead.Inc()
+		return nil, err
 	}
+	ot.quorum()
 
 	// Last-writer-wins: the highest version among the valid replies
 	// (exact ties broken by data CRC — see blockMeta.newer).
+	electT := time.Now()
 	var winner replicaRead
 	found := false
 	for _, res := range all {
@@ -635,7 +735,11 @@ func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 			winner, found = res, true
 		}
 	}
-	c.met.latRead.Observe(time.Since(t0).Seconds())
+	ot.span("winner_election", "", electT, nil)
+	quorumLat := time.Since(t0)
+	c.met.latRead.ObserveTrace(quorumLat.Seconds(), traceID)
+	c.sloAvail.Record(true)
+	c.sloLat.Record(quorumLat <= c.sloLatTarget)
 	if degraded {
 		c.met.degradedReads.Inc()
 	}
@@ -645,7 +749,7 @@ func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 	c.bg.Add(1)
 	go func() {
 		defer c.bg.Done()
-		c.drainReads(b, len(reps)-len(all), results, all, winner.meta, winner.slot, true)
+		c.drainReads(b, len(reps)-len(all), results, all, winner.meta, winner.slot, true, ot)
 	}()
 	out := make([]byte, DataBytes)
 	copy(out, winner.data)
@@ -665,12 +769,19 @@ func firstProblem(all []replicaRead) error {
 	return nil
 }
 
-// drainReads consumes remaining replica replies and, when repair is
-// set, reconciles every divergent replica against the winner.
-func (c *Cluster) drainReads(b int64, remaining int, results chan replicaRead, all []replicaRead, winner blockMeta, winnerSlot []byte, repair bool) {
+// drainReads consumes remaining replica replies (recording them on ot
+// as stragglers and closing the trace) and, when repair is set,
+// reconciles every divergent replica against the winner. Each repair
+// runs under its own cause-tagged root trace, not the read's — the
+// read's trace closed at the straggler tail, and repair traffic should
+// be separable in /tracez.
+func (c *Cluster) drainReads(b int64, remaining int, results chan replicaRead, all []replicaRead, winner blockMeta, winnerSlot []byte, repair bool, ot *opTrace) {
 	for ; remaining > 0; remaining-- {
-		all = append(all, <-results)
+		res := <-results
+		ot.reply("replica_read", res.n, res.rtt, res.err, true)
+		all = append(all, res)
 	}
+	ot.finish()
 	if !repair {
 		return
 	}
@@ -678,14 +789,18 @@ func (c *Cluster) drainReads(b int64, remaining int, results chan replicaRead, a
 		if res.err != nil {
 			continue
 		}
-		switch {
-		case res.status == slotCorrupt:
-			c.met.divergentCorrupt.Inc()
-			c.repairReplica(res.n, b, winnerSlot, winner, c.met.repairsRead)
-		case winner.newer(res.meta):
-			c.met.divergentStale.Inc()
-			c.repairReplica(res.n, b, winnerSlot, winner, c.met.repairsRead)
+		divergent := res.status == slotCorrupt || winner.newer(res.meta)
+		if !divergent {
+			continue
 		}
+		if res.status == slotCorrupt {
+			c.met.divergentCorrupt.Inc()
+		} else {
+			c.met.divergentStale.Inc()
+		}
+		rctx, rot := c.bgTrace("read_repair", "read_repair", b)
+		c.repairReplica(rctx, rot, res.n, b, winnerSlot, winner, c.met.repairsRead)
+		rot.finish()
 	}
 }
 
@@ -696,24 +811,34 @@ func (c *Cluster) drainReads(b int64, remaining int, results chan replicaRead, a
 // replica past a newer write. The re-check decodes the whole slot, not
 // just the trailer — corrupted data under an intact trailer must still
 // be rewritten.
-func (c *Cluster) repairReplica(n *node, b int64, winnerSlot []byte, winner blockMeta, counter *obs.Counter) {
+func (c *Cluster) repairReplica(ctx context.Context, ot *opTrace, n *node, b int64, winnerSlot []byte, winner blockMeta, counter *obs.Counter) {
 	if n.currentState() != NodeUp {
 		return // unreachable replicas converge via hints or later sweeps
 	}
+	ctx, cancel := context.WithTimeout(ctx, c.opTimeout)
+	defer cancel()
+	lockT := time.Now()
 	mu := c.stripe(b)
 	mu.Lock()
 	defer mu.Unlock()
+	ot.span("stripe_lock", "", lockT, nil)
+	recheckT := time.Now()
 	cur := make([]byte, SlotBytes)
-	if _, err := n.client.ReadAtCtx(c.ctx, cur, b*SlotBytes); err == nil {
+	if _, err := n.client.ReadAtCtx(ctx, cur, b*SlotBytes); err == nil {
 		if _, m, status := decodeSlot(cur); status == slotOK {
 			c.observeVersion(m.Version)
 			if !winner.newer(m) {
+				ot.span("repair_recheck", n.addr, recheckT, nil)
+				ot.mark("repair_skipped")
 				c.met.repairsSkipped.Inc()
 				return
 			}
 		}
 	}
-	_, err := n.client.WriteAtCtx(c.ctx, winnerSlot, b*SlotBytes)
+	ot.span("repair_recheck", n.addr, recheckT, nil)
+	writeT := time.Now()
+	_, err := n.client.WriteAtCtx(ctx, winnerSlot, b*SlotBytes)
+	ot.span("repair_write", n.addr, writeT, err)
 	c.noteResult(n, true, err)
 	if err != nil {
 		c.met.repairsFailed.Inc()
@@ -748,6 +873,13 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 	c.met.quorumWrites.Inc()
 	t0 := time.Now()
 
+	var traceID uint64
+	var ot *opTrace
+	if !c.traceOff {
+		ctx, traceID = obs.EnsureTrace(ctx)
+		ot = c.startTrace("quorum_write", b, traceID, "")
+	}
+
 	version := c.nextVersion()
 	slot := make([]byte, SlotBytes)
 	encodeSlot(slot, data, version)
@@ -765,18 +897,23 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 	// The stripe stays locked until every replica write resolves (not
 	// just the first W), so no repair or hint replay can interleave
 	// with this write's stragglers.
+	lockT := time.Now()
 	mu := c.stripe(b)
 	mu.Lock()
+	ot.span("stripe_lock", "", lockT, nil)
 	type writeRes struct {
 		n   *node
 		err error
+		rtt time.Duration
 	}
 	results := make(chan writeRes, len(targets))
 	for _, n := range targets {
 		c.bg.Add(1)
 		go func(n *node) {
 			defer c.bg.Done()
-			results <- writeRes{n: n, err: c.writeReplica(ctx, n, b, slot, version)}
+			sent := time.Now()
+			err := c.writeReplica(ctx, n, b, slot, version)
+			results <- writeRes{n: n, err: err, rtt: time.Since(sent)}
 		}(n)
 	}
 
@@ -790,6 +927,7 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 		select {
 		case res := <-results:
 			resolved++
+			ot.reply("replica_write", res.n, res.rtt, res.err, false)
 			if res.err == nil {
 				if containsNode(curReps, res.n) {
 					acksCur++
@@ -798,32 +936,51 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 					acksNext++
 				}
 			} else {
+				if errors.Is(res.err, errNodeDown) || pcmserve.Classify(res.err) == pcmserve.ClassTransient {
+					ot.mark("hint_enqueue")
+				}
 				lastErr = res.err
 			}
 		case <-ctx.Done():
 			ctxErr = ctx.Err()
 		}
 	}
+	met := quorum()
+	if met {
+		ot.quorum()
+	} else if ctxErr != nil {
+		ot.fail(ctxErr)
+	} else {
+		ot.fail(lastErr)
+	}
 	if resolved == len(targets) {
+		ot.finish()
 		mu.Unlock()
 	} else {
 		c.bg.Add(1)
 		go func(remaining int) {
 			defer c.bg.Done()
 			for ; remaining > 0; remaining-- {
-				<-results
+				res := <-results
+				ot.reply("replica_write", res.n, res.rtt, res.err, true)
 			}
+			ot.finish()
 			mu.Unlock()
 		}(len(targets) - resolved)
 	}
 
-	if quorum() {
-		c.met.latWrite.Observe(time.Since(t0).Seconds())
+	if met {
+		quorumLat := time.Since(t0)
+		c.met.latWrite.ObserveTrace(quorumLat.Seconds(), traceID)
+		c.sloAvail.Record(true)
+		c.sloLat.Record(quorumLat <= c.sloLatTarget)
 		if lastErr != nil {
 			c.met.degradedWrites.Inc()
 		}
 		return nil
 	}
+	c.sloAvail.Record(false)
+	c.sloLat.Record(false)
 	c.met.quorumFailWrite.Inc()
 	acks := acksCur
 	if nextReps != nil && acksNext < acks {
@@ -873,23 +1030,37 @@ func (c *Cluster) drainLoop(interval time.Duration) {
 
 // replayHint applies one buffered write if the node's stored slot is
 // still older. It returns false when the node failed again (the
-// caller re-queues).
+// caller re-queues). Each attempt runs under its own cause-tagged
+// root trace and a per-attempt deadline, so a wedged node cannot
+// stall the drain loop forever.
 func (c *Cluster) replayHint(n *node, b int64, h hint) bool {
+	ctx, ot := c.bgTrace("hint_replay", "hint_replay", b)
+	defer ot.finish()
+	ctx, cancel := context.WithTimeout(ctx, c.opTimeout)
+	defer cancel()
 	_, hMeta, _ := decodeSlot(h.slot) // always slotOK: hints hold encodeSlot output
+	lockT := time.Now()
 	mu := c.stripe(b)
 	mu.Lock()
 	defer mu.Unlock()
+	ot.span("stripe_lock", "", lockT, nil)
+	recheckT := time.Now()
 	cur := make([]byte, SlotBytes)
-	if _, err := n.client.ReadAtCtx(c.ctx, cur, b*SlotBytes); err == nil {
+	if _, err := n.client.ReadAtCtx(ctx, cur, b*SlotBytes); err == nil {
 		if _, m, status := decodeSlot(cur); status == slotOK {
 			c.observeVersion(m.Version)
 			if !hMeta.newer(m) {
+				ot.span("hint_recheck", n.addr, recheckT, nil)
+				ot.mark("hint_stale")
 				c.met.hintsDroppedStale.Inc()
 				return true
 			}
 		}
 	}
-	_, err := n.client.WriteAtCtx(c.ctx, h.slot, b*SlotBytes)
+	ot.span("hint_recheck", n.addr, recheckT, nil)
+	writeT := time.Now()
+	_, err := n.client.WriteAtCtx(ctx, h.slot, b*SlotBytes)
+	ot.span("hint_write", n.addr, writeT, err)
 	c.noteResult(n, true, err)
 	if err != nil {
 		return pcmserve.Classify(err) != pcmserve.ClassTransient

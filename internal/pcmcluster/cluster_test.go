@@ -19,7 +19,7 @@ import (
 // and restart on a stable address, with fault injection armed under
 // each shard.
 type testNode struct {
-	t      *testing.T
+	t      testing.TB
 	g      *pcmserve.Shards
 	fis    []*faultinject.Device
 	addr   string
@@ -33,13 +33,13 @@ type testNode struct {
 
 // startTestNode builds a 2-shard node (blocksPerShard × 64 B each) and
 // serves it on a fresh loopback port.
-func startTestNode(t *testing.T, blocksPerShard int, seed uint64) *testNode {
+func startTestNode(t testing.TB, blocksPerShard int, seed uint64) *testNode {
 	return startTestNodeCfg(t, blocksPerShard, seed, pcmserve.ServerConfig{})
 }
 
 // startTestNodeCfg is startTestNode with an explicit server config —
 // membership tests use it to emulate old peers (DisableRangeOps).
-func startTestNodeCfg(t *testing.T, blocksPerShard int, seed uint64, srvCfg pcmserve.ServerConfig) *testNode {
+func startTestNodeCfg(t testing.TB, blocksPerShard int, seed uint64, srvCfg pcmserve.ServerConfig) *testNode {
 	t.Helper()
 	n := &testNode{t: t, srvCfg: srvCfg}
 	cfg := pcmserve.ShardsConfig{
@@ -54,6 +54,8 @@ func startTestNodeCfg(t *testing.T, blocksPerShard int, seed uint64, srvCfg pcms
 			n.fis = append(n.fis, fi)
 			return fi
 		},
+		// Keep every server-side trace so tests can stitch any op's ID.
+		Obs: &pcmserve.Observability{TraceSampleEvery: 1},
 	}
 	g, err := pcmserve.NewShards(cfg)
 	if err != nil {
@@ -122,7 +124,7 @@ func (n *testNode) restart() {
 
 // testCluster spins up count nodes and a cluster over them, tuned for
 // fast failover in tests.
-func testCluster(t *testing.T, count int, tune func(*Config)) (*Cluster, []*testNode) {
+func testCluster(t testing.TB, count int, tune func(*Config)) (*Cluster, []*testNode) {
 	t.Helper()
 	nodes := make([]*testNode, count)
 	addrs := make([]string, count)
@@ -150,7 +152,7 @@ func testCluster(t *testing.T, count int, tune func(*Config)) (*Cluster, []*test
 }
 
 // waitFor polls cond until it holds or the deadline passes.
-func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+func waitFor(t testing.TB, d time.Duration, what string, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(d)
 	for time.Now().Before(deadline) {

@@ -331,25 +331,34 @@ func (c *Cluster) Drain(ctx context.Context, addr string) error {
 // recheck-then-write. Owners that fail transiently get the hint in
 // their own buffer, so the normal replay machinery finishes the job.
 func (c *Cluster) replayDrainedHint(pl *placement, b int64, h hint) {
+	ctx, ot := c.bgTrace("drain_hint_replay", "drain", b)
+	defer ot.finish()
 	_, hMeta, _ := decodeSlot(h.slot)
 	for _, n := range pl.replicas(c.partOf(b), c.rf) {
+		nctx, cancel := context.WithTimeout(ctx, c.opTimeout)
 		mu := c.stripe(b)
 		mu.Lock()
+		recheckT := time.Now()
 		cur := make([]byte, SlotBytes)
 		stale := false
-		if _, err := n.client.ReadAtCtx(c.ctx, cur, b*SlotBytes); err == nil {
+		if _, err := n.client.ReadAtCtx(nctx, cur, b*SlotBytes); err == nil {
 			if _, m, status := decodeSlot(cur); status == slotOK {
 				c.observeVersion(m.Version)
 				stale = !hMeta.newer(m)
 			}
 		}
+		ot.span("hint_recheck", n.addr, recheckT, nil)
 		if stale {
 			mu.Unlock()
+			cancel()
 			c.met.drainHintsStale.Inc()
 			continue
 		}
-		_, err := n.client.WriteAtCtx(c.ctx, h.slot, b*SlotBytes)
+		writeT := time.Now()
+		_, err := n.client.WriteAtCtx(nctx, h.slot, b*SlotBytes)
+		ot.span("hint_write", n.addr, writeT, err)
 		mu.Unlock()
+		cancel()
 		c.noteResult(n, true, err)
 		if err != nil {
 			if pcmserve.Classify(err) == pcmserve.ClassTransient {

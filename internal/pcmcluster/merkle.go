@@ -2,8 +2,10 @@ package pcmcluster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/pcmserve"
 )
@@ -49,9 +51,11 @@ const (
 )
 
 // merkleSweepPartition reconciles one partition by digest exchange.
-func (c *Cluster) merkleSweepPartition(part int64, reps []*node) merkleOutcome {
+func (c *Cluster) merkleSweepPartition(ctx context.Context, ot *opTrace, part int64, reps []*node) merkleOutcome {
 	lo, n := c.partSpan(part)
-	divergent, err := c.merkleDescend(reps, lo, n)
+	exchT := time.Now()
+	divergent, err := c.merkleDescend(ctx, reps, lo, n)
+	ot.span("merkle_exchange", "", exchT, err)
 	switch {
 	case err == nil:
 	case errors.Is(err, pcmserve.ErrUnsupported):
@@ -69,7 +73,7 @@ func (c *Cluster) merkleSweepPartition(part int64, reps []*node) merkleOutcome {
 	// O(divergence) acceptance bound is asserted against.
 	for _, b := range divergent {
 		c.met.mkSlotsFetched.Add(uint64(len(reps)))
-		c.sweepBlockReplicas(b, reps)
+		c.sweepBlockReplicas(ctx, ot, b, reps)
 	}
 	c.met.mkPartsDivergent.Inc()
 	return merkleRepaired
@@ -80,7 +84,7 @@ func (c *Cluster) merkleSweepPartition(part int64, reps []*node) merkleOutcome {
 // means the exchange could not finish (a replica down mid-descent, or
 // one that does not speak the ops — distinguishable via
 // pcmserve.ErrUnsupported).
-func (c *Cluster) merkleDescend(reps []*node, lo, n int64) ([]int64, error) {
+func (c *Cluster) merkleDescend(ctx context.Context, reps []*node, lo, n int64) ([]int64, error) {
 	type span struct{ lo, n int64 }
 	// compareLeaf's all-trailers-equal-means-data-rot rule is only sound
 	// for spans whose digests were seen to disagree, so a root span
@@ -89,7 +93,7 @@ func (c *Cluster) merkleDescend(reps []*node, lo, n int64) ([]int64, error) {
 		clean := true
 		var first []pcmserve.RangeDigest
 		for i, rep := range reps {
-			d, err := c.hashRangeOn(rep, lo, n)
+			d, err := c.hashRangeOn(ctx, rep, lo, n)
 			if err != nil {
 				return nil, err
 			}
@@ -107,7 +111,7 @@ func (c *Cluster) merkleDescend(reps []*node, lo, n int64) ([]int64, error) {
 		if clean {
 			return nil, nil
 		}
-		return c.compareLeaf(reps, lo, n)
+		return c.compareLeaf(ctx, reps, lo, n)
 	}
 	queue := []span{{lo, n}}
 	var divergent []int64
@@ -115,7 +119,7 @@ func (c *Cluster) merkleDescend(reps []*node, lo, n int64) ([]int64, error) {
 		s := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		if s.n <= merkleLeafSlots {
-			slots, err := c.compareLeaf(reps, s.lo, s.n)
+			slots, err := c.compareLeaf(ctx, reps, s.lo, s.n)
 			if err != nil {
 				return nil, err
 			}
@@ -125,7 +129,7 @@ func (c *Cluster) merkleDescend(reps []*node, lo, n int64) ([]int64, error) {
 		// One digest vector per replica over the span.
 		digests := make([][]pcmserve.RangeDigest, len(reps))
 		for i, rep := range reps {
-			d, err := c.hashRangeOn(rep, s.lo, s.n)
+			d, err := c.hashRangeOn(ctx, rep, s.lo, s.n)
 			if err != nil {
 				return nil, err
 			}
@@ -154,8 +158,9 @@ func (c *Cluster) merkleDescend(reps []*node, lo, n int64) ([]int64, error) {
 	return divergent, nil
 }
 
-// hashRangeOn requests one replica's digest vector for a slot span.
-func (c *Cluster) hashRangeOn(rep *node, lo, n int64) ([]pcmserve.RangeDigest, error) {
+// hashRangeOn requests one replica's digest vector for a slot span,
+// bounded by a per-RPC deadline.
+func (c *Cluster) hashRangeOn(ctx context.Context, rep *node, lo, n int64) ([]pcmserve.RangeDigest, error) {
 	if rep.noMerkle.Load() {
 		return nil, pcmserve.ErrUnsupported
 	}
@@ -163,8 +168,10 @@ func (c *Cluster) hashRangeOn(rep *node, lo, n int64) ([]pcmserve.RangeDigest, e
 		c.noteResult(rep, false, errNodeDown)
 		return nil, errNodeDown
 	}
+	ctx, cancel := context.WithTimeout(ctx, c.opTimeout)
+	defer cancel()
 	c.met.mkDigestRPCs.Inc()
-	d, err := rep.client.HashRangeCtx(c.ctx, lo*SlotBytes, SlotBytes, int(n), merkleFanout)
+	d, err := rep.client.HashRangeCtx(ctx, lo*SlotBytes, SlotBytes, int(n), merkleFanout)
 	c.noteResult(rep, false, err)
 	if err != nil {
 		if errors.Is(err, pcmserve.ErrUnsupported) {
@@ -182,7 +189,7 @@ func (c *Cluster) hashRangeOn(rep *node, lo, n int64) ([]pcmserve.RangeDigest, e
 // data bytes under an intact trailer (stored-bit rot), so the whole
 // leaf is reconciled — the full-slot re-read decodes data CRCs and
 // repairs the rotted copy.
-func (c *Cluster) compareLeaf(reps []*node, lo, n int64) ([]int64, error) {
+func (c *Cluster) compareLeaf(ctx context.Context, reps []*node, lo, n int64) ([]int64, error) {
 	trailers := make([][][]byte, len(reps))
 	for i, rep := range reps {
 		if rep.noMerkle.Load() {
@@ -193,7 +200,9 @@ func (c *Cluster) compareLeaf(reps []*node, lo, n int64) ([]int64, error) {
 			return nil, errNodeDown
 		}
 		c.met.mkDigestRPCs.Inc()
-		recs, err := rep.client.ReadStrideCtx(c.ctx, lo*SlotBytes+DataBytes, SlotBytes, metaBytes, int(n))
+		rctx, cancel := context.WithTimeout(ctx, c.opTimeout)
+		recs, err := rep.client.ReadStrideCtx(rctx, lo*SlotBytes+DataBytes, SlotBytes, metaBytes, int(n))
+		cancel()
 		c.noteResult(rep, false, err)
 		if err != nil {
 			if errors.Is(err, pcmserve.ErrUnsupported) {

@@ -183,6 +183,24 @@ func (m *metrics) registerNode(n *node) {
 	n.mReads = m.reg.Counter(nopName, nopHelp, obs.L("node", addr, "op", "read")...)
 	n.mWrites = m.reg.Counter(nopName, nopHelp, obs.L("node", addr, "op", "write")...)
 	n.mErrs = m.reg.Counter(nerrName, nerrHelp, labels...)
+	if !m.c.traceOff {
+		const rpName = "pcmcluster_node_reply_seconds"
+		const rpHelp = "Replica reply round-trips per node, split by whether the reply counted toward its quorum or trailed it (the straggler tail). Buckets carry trace-ID exemplars."
+		n.latReply = m.reg.Histogram(rpName, rpHelp, latBoundsSeconds,
+			obs.L("node", addr, "position", "quorum")...)
+		n.latReplyStraggler = m.reg.Histogram(rpName, rpHelp, latBoundsSeconds,
+			obs.L("node", addr, "position", "straggler")...)
+	}
+}
+
+// noteSlowQuorum counts one slow-quorum log entry on a per-straggler,
+// per-class counter. Series are created lazily — the straggler set is
+// only known at runtime — and Counter registration is idempotent, so
+// repeat offenders accumulate on one series.
+func (m *metrics) noteSlowQuorum(straggler, class string) {
+	m.reg.Counter("pcmcluster_slow_quorums_total",
+		"Quorum operations that failed or crossed the slow-quorum threshold, by attributed straggler node and error class.",
+		obs.L("straggler", straggler, "class", class)...).Inc()
 }
 
 // nodeByAddr finds the current member with the given address, nil if
@@ -266,6 +284,12 @@ type ClusterStats struct {
 	MerklePartsUnavailable uint64 `json:"merkle_parts_unavailable"`
 	MerkleFallbackSweeps   uint64 `json:"merkle_fallback_sweeps"`
 
+	// SlowQuorums counts ops that entered the slow-quorum log; SLOs
+	// snapshots the availability and latency objectives (empty when
+	// disabled).
+	SlowQuorums uint64          `json:"slow_quorums"`
+	SLOs        []obs.SLOStatus `json:"slos,omitempty"`
+
 	Nodes []NodeStats `json:"nodes"`
 }
 
@@ -327,6 +351,11 @@ func (c *Cluster) Stats() ClusterStats {
 		MerklePartsDivergent:   m.mkPartsDivergent.Value(),
 		MerklePartsUnavailable: m.mkPartsUnavailable.Value(),
 		MerkleFallbackSweeps:   m.mkFallback.Value(),
+
+		SlowQuorums: c.SlowQuorumTotal(),
+	}
+	if c.sloAvail != nil {
+		st.SLOs = append(st.SLOs, c.sloAvail.Status(), c.sloLat.Status())
 	}
 	for _, n := range c.epoch.Load().nodes {
 		st.Nodes = append(st.Nodes, NodeStats{
@@ -365,5 +394,22 @@ func (c *Cluster) Health() obs.HealthReport {
 		})
 	}
 	rep.Healthy = up >= c.w && up >= c.r
+	// SLO burn state is informational: a burning objective should page,
+	// not fail readiness (see obs.SLO.Health).
+	if c.sloAvail != nil {
+		rep.Components = append(rep.Components, c.sloAvail.Health(), c.sloLat.Health())
+	}
 	return rep
+}
+
+// ClusterzInfo is the /clusterz summary body: the stats snapshot plus
+// the slow-quorum log with straggler attribution.
+type ClusterzInfo struct {
+	Stats       ClusterStats      `json:"stats"`
+	SlowQuorums []SlowQuorumEntry `json:"slow_quorums,omitempty"`
+}
+
+// Clusterz assembles the /clusterz summary.
+func (c *Cluster) Clusterz() ClusterzInfo {
+	return ClusterzInfo{Stats: c.Stats(), SlowQuorums: c.SlowQuorums()}
 }

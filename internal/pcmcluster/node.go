@@ -102,8 +102,12 @@ type node struct {
 	noMerkle atomic.Bool
 
 	// Per-node instruments, registered by metrics.registerNode when the
-	// node enters the membership (construction or Join).
-	mReads, mWrites, mErrs *obs.Counter
+	// node enters the membership (construction or Join). The reply
+	// histograms split replica round-trips by quorum position — replies
+	// that counted toward their op's quorum vs. the straggler tail —
+	// and carry trace-ID exemplars; they stay nil when tracing is off.
+	mReads, mWrites, mErrs      *obs.Counter
+	latReply, latReplyStraggler *obs.Histogram
 
 	mu        sync.Mutex
 	state     NodeState

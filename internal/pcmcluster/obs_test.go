@@ -1,0 +1,354 @@
+package pcmcluster
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// adminServers mounts each test node's admin plane on an httptest
+// server and returns stitch sources pointing at them.
+func adminServers(t *testing.T, nodes []*testNode) []obs.StitchSource {
+	t.Helper()
+	out := make([]obs.StitchSource, len(nodes))
+	for i, n := range nodes {
+		srv := httptest.NewServer(n.srv.AdminHandler())
+		t.Cleanup(srv.Close)
+		out[i] = obs.StitchSource{Node: n.addr, URL: srv.URL}
+	}
+	return out
+}
+
+// TestTracePropagationE2E drives one traced write and one traced read
+// through a 3-node cluster and checks the trace ID made it everywhere:
+// the cluster-side trace log, every replica's server-side trace log,
+// and a stitched /clusterz-style timeline covering both halves.
+func TestTracePropagationE2E(t *testing.T) {
+	c, nodes := testCluster(t, 3, func(cfg *Config) {
+		cfg.TraceSampleEvery = 1
+	})
+	sources := adminServers(t, nodes)
+
+	wID := obs.NextTraceID()
+	wctx := obs.ContextWithTrace(context.Background(), wID)
+	data := bytes.Repeat([]byte{0xA7}, DataBytes)
+	if err := c.WriteBlock(wctx, 5, data); err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+
+	rID := obs.NextTraceID()
+	rctx := obs.ContextWithTrace(context.Background(), rID)
+	if _, err := c.ReadBlock(rctx, 5); err != nil {
+		t.Fatalf("ReadBlock: %v", err)
+	}
+
+	// The trace record lands after the last replica drains, so poll.
+	for _, id := range []uint64{wID, rID} {
+		id := id
+		waitFor(t, 5*time.Second, "cluster trace "+strconv.FormatUint(id, 16), func() bool {
+			return len(c.Traces().Find(id)) > 0
+		})
+	}
+
+	wTraces := c.Traces().Find(wID)
+	if !hasEvent(wTraces, "replica_write") || !hasEvent(wTraces, "quorum_met") {
+		t.Fatalf("write trace missing replica_write/quorum_met events: %+v", wTraces)
+	}
+	rTraces := c.Traces().Find(rID)
+	if !hasEvent(rTraces, "replica_read") || !hasEvent(rTraces, "quorum_met") {
+		t.Fatalf("read trace missing replica_read/quorum_met events: %+v", rTraces)
+	}
+
+	// Every replica served the write (RF=3) and recorded it under the
+	// originating ID.
+	for _, n := range nodes {
+		n := n
+		waitFor(t, 5*time.Second, "node trace on "+n.addr, func() bool {
+			return len(n.g.Traces().Find(wID)) > 0
+		})
+	}
+
+	// Stitch the read: client quorum events plus each replica that
+	// served it, merged into one timeline.
+	st := (&obs.Stitcher{
+		Local:   c.Traces(),
+		Sources: func() []obs.StitchSource { return sources },
+	}).Stitch(context.Background(), rID)
+	if len(st.Client) == 0 {
+		t.Fatal("stitched trace has no client half")
+	}
+	nodesWithSpans := 0
+	for _, ns := range st.Nodes {
+		if ns.Err != "" {
+			t.Fatalf("stitch source %s: %s", ns.Node, ns.Err)
+		}
+		if len(ns.Traces) > 0 {
+			nodesWithSpans++
+		}
+	}
+	// R=2 with async drain: at least the two quorum replicas must have
+	// server-side spans by now (usually all three).
+	if nodesWithSpans < 2 {
+		t.Fatalf("stitched read trace covers %d nodes, want >= 2", nodesWithSpans)
+	}
+	tl := strings.Join(st.Timeline, "\n")
+	if !strings.Contains(tl, "client.replica_read") {
+		t.Errorf("timeline missing client.replica_read:\n%s", tl)
+	}
+	if !strings.Contains(tl, "client.quorum_met") {
+		t.Errorf("timeline missing client.quorum_met:\n%s", tl)
+	}
+	if !strings.Contains(tl, "node ") {
+		t.Errorf("timeline missing node spans:\n%s", tl)
+	}
+}
+
+func hasEvent(traces []obs.Trace, name string) bool {
+	for _, tr := range traces {
+		for _, e := range tr.Events {
+			if e.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestBackgroundTraceCauses checks that repair traffic runs under
+// cause-tagged root traces instead of blending into foreground ops:
+// a hinted-handoff replay must surface as a "hint_replay" trace.
+func TestBackgroundTraceCauses(t *testing.T) {
+	c, nodes := testCluster(t, 3, func(cfg *Config) {
+		cfg.TraceSampleEvery = 1
+		cfg.AntiEntropyInterval = -1 // isolate the hint path
+	})
+
+	nodes[2].kill()
+	data := bytes.Repeat([]byte{0x3C}, DataBytes)
+	// First write may fail while the dead node still counts toward the
+	// quorum; keep writing until hints queue.
+	waitFor(t, 5*time.Second, "hint queued", func() bool {
+		_ = c.WriteBlock(context.Background(), 9, data)
+		return c.Stats().HintsQueued > 0
+	})
+	nodes[2].restart()
+	waitFor(t, 10*time.Second, "hint replayed", func() bool {
+		return c.Stats().HintsReplayed > 0
+	})
+
+	waitFor(t, 5*time.Second, "hint_replay trace", func() bool {
+		for _, tr := range c.Traces().Recent() {
+			if tr.Cause == "hint_replay" {
+				return true
+			}
+		}
+		for _, tr := range c.Traces().Slow() {
+			if tr.Cause == "hint_replay" {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestStragglerAttribution is the acceptance scenario: one replica
+// stalled by an injected device latency spike must be identifiable
+// from the observability outputs alone — the slow-quorum log names it,
+// the straggler-position reply histogram separates it, its exemplar
+// trace ID stitches to a timeline showing the stall, and the latency
+// SLO's burn rate advances.
+func TestStragglerAttribution(t *testing.T) {
+	const (
+		spike     = 120 * time.Millisecond
+		slowAt    = 30 * time.Millisecond
+		latTarget = 50 * time.Millisecond
+	)
+	c, nodes := testCluster(t, 3, func(cfg *Config) {
+		cfg.WriteQuorum = 3 // writes need every replica: the stall sets their pace
+		cfg.ReadQuorum = 2  // reads quorum fast: the stall is pure straggler tail
+		cfg.TraceSampleEvery = 1
+		cfg.SlowQuorumThreshold = slowAt
+		cfg.SLOObjective = 0.9
+		cfg.SLOLatencyTarget = latTarget
+		cfg.AntiEntropyInterval = -1
+	})
+	sources := adminServers(t, nodes)
+	stalled := nodes[1]
+
+	// Warm up un-stalled: nothing should be slow.
+	data := bytes.Repeat([]byte{0x55}, DataBytes)
+	for b := int64(0); b < 4; b++ {
+		if err := c.WriteBlock(context.Background(), b, data); err != nil {
+			t.Fatalf("warmup write %d: %v", b, err)
+		}
+		if _, err := c.ReadBlock(context.Background(), b); err != nil {
+			t.Fatalf("warmup read %d: %v", b, err)
+		}
+	}
+	if n := c.SlowQuorumTotal(); n != 0 {
+		t.Fatalf("slow quorums before the stall: %d", n)
+	}
+
+	// Stall one replica mid-run.
+	for _, fi := range stalled.fis {
+		fi.SetLatency(spike)
+	}
+	for b := int64(0); b < 6; b++ {
+		if err := c.WriteBlock(context.Background(), b, data); err != nil {
+			t.Fatalf("stalled write %d: %v", b, err)
+		}
+		if _, err := c.ReadBlock(context.Background(), b); err != nil {
+			t.Fatalf("stalled read %d: %v", b, err)
+		}
+	}
+	// Read traces finish after the straggler drains.
+	waitFor(t, 10*time.Second, "slow-quorum entries", func() bool {
+		return c.SlowQuorumTotal() >= 6
+	})
+
+	// 1. The slow-quorum log names the stalled node, with slow writes
+	// (quorum-pacing) and straggler-tail reads both attributed.
+	classes := map[string]bool{}
+	for _, e := range c.SlowQuorums() {
+		if e.Straggler != stalled.addr {
+			t.Errorf("slow quorum %s block %d attributes %s, want %s",
+				e.Op, e.Block, e.Straggler, stalled.addr)
+		}
+		classes[e.ErrClass] = true
+		if e.QuorumLatency == 0 && e.ErrClass != "straggler_tail" {
+			t.Errorf("entry %+v: no quorum latency but class %q", e, e.ErrClass)
+		}
+	}
+	if !classes["slow"] {
+		t.Errorf("no quorum-pacing (\"slow\") entries; classes: %v", classes)
+	}
+	if !classes["straggler_tail"] {
+		t.Errorf("no straggler_tail entries; classes: %v", classes)
+	}
+
+	// 2. The straggler-position reply histogram separates the stalled
+	// node, and its tail bucket carries a trace-ID exemplar.
+	var sb strings.Builder
+	c.Registry().WritePrometheus(&sb)
+	fams, err := obs.ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	fam := fams["pcmcluster_node_reply_seconds"]
+	if fam == nil {
+		t.Fatal("no pcmcluster_node_reply_seconds family")
+	}
+	var exemplarID uint64
+	stragglerCount := 0.0
+	for _, s := range fam.Samples {
+		if s.Labels["node"] != stalled.addr || s.Labels["position"] != "straggler" {
+			continue
+		}
+		if strings.HasSuffix(s.Name, "_count") {
+			stragglerCount = s.Value
+		}
+		if s.Exemplar != nil && s.Exemplar.Value >= spike.Seconds() {
+			id, perr := strconv.ParseUint(s.Exemplar.Labels["trace_id"], 16, 64)
+			if perr != nil {
+				t.Fatalf("bad exemplar trace_id %q: %v", s.Exemplar.Labels["trace_id"], perr)
+			}
+			exemplarID = id
+		}
+	}
+	if stragglerCount == 0 {
+		t.Fatalf("stalled node has no straggler-position replies:\n%s", sb.String())
+	}
+	if exemplarID == 0 {
+		t.Fatal("no >= spike exemplar on the stalled node's straggler histogram")
+	}
+
+	// 3. The exemplar resolves to a stitched timeline showing the stall
+	// on the stalled node.
+	st := (&obs.Stitcher{
+		Local:   c.Traces(),
+		Sources: func() []obs.StitchSource { return sources },
+	}).Stitch(context.Background(), exemplarID)
+	if len(st.Client) == 0 {
+		t.Fatalf("exemplar trace %016x not in the cluster trace log", exemplarID)
+	}
+	found := false
+	for _, ns := range st.Nodes {
+		if ns.Node != stalled.addr {
+			continue
+		}
+		for _, tr := range ns.Traces {
+			for _, sp := range tr.Spans {
+				if sp.Service >= spike {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("stitched trace %016x has no >= %v service span on %s:\n%s",
+			exemplarID, spike, stalled.addr, strings.Join(st.Timeline, "\n"))
+	}
+
+	// 4. The latency SLO burns: stalled writes blow the target.
+	var latSLO *obs.SLOStatus
+	for _, s := range c.Stats().SLOs {
+		if s.Name == "pcmcluster_latency" {
+			s := s
+			latSLO = &s
+		}
+	}
+	if latSLO == nil {
+		t.Fatal("no pcmcluster_latency SLO in Stats")
+	}
+	if latSLO.WindowBad == 0 || latSLO.BurnRate <= 0 {
+		t.Errorf("latency SLO did not burn: %+v", latSLO)
+	}
+	burnFam := fams["pcmcluster_latency_slo_burn_rate"]
+	if burnFam == nil || len(burnFam.Samples) == 0 || burnFam.Samples[0].Value <= 0 {
+		t.Errorf("pcmcluster_latency_slo_burn_rate gauge missing or zero in /metrics")
+	}
+	eventsFam := fams["pcmcluster_latency_slo_events_total"]
+	if eventsFam == nil {
+		t.Error("no pcmcluster_latency_slo_events_total family in /metrics")
+	}
+}
+
+// TestTracingDisabled pins the untraced baseline: no trace plane, no
+// per-node reply series, no trace IDs on the wire — but SLOs still
+// record, so the overhead bench isolates tracing cost alone.
+func TestTracingDisabled(t *testing.T) {
+	c, _ := testCluster(t, 3, func(cfg *Config) {
+		cfg.DisableTracing = true
+		cfg.SlowQuorumThreshold = time.Nanosecond // would fire on every op if tracing were on
+	})
+	data := bytes.Repeat([]byte{0x11}, DataBytes)
+	for b := int64(0); b < 3; b++ {
+		if err := c.WriteBlock(context.Background(), b, data); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if _, err := c.ReadBlock(context.Background(), b); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	if got := len(c.Traces().Recent()) + len(c.Traces().Slow()); got != 0 {
+		t.Errorf("disabled tracing still recorded %d traces", got)
+	}
+	if n := c.SlowQuorumTotal(); n != 0 {
+		t.Errorf("disabled tracing still logged %d slow quorums", n)
+	}
+	var sb strings.Builder
+	c.Registry().WritePrometheus(&sb)
+	if strings.Contains(sb.String(), "pcmcluster_node_reply_seconds") {
+		t.Error("untraced baseline still registers per-node reply histograms")
+	}
+	// SLOs stay on either way.
+	if len(c.Stats().SLOs) == 0 {
+		t.Error("SLOs should record with tracing disabled")
+	}
+}

@@ -1,0 +1,337 @@
+package pcmcluster
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pcmserve"
+)
+
+// Cluster-side tracing.
+//
+// Every foreground ReadBlock/WriteBlock runs under a trace ID
+// (obs.EnsureTrace) that rides the reserved frame field of every
+// replica RPC, so each node's own /tracez holds server-side spans for
+// the same ID — /clusterz?trace=<hex> stitches them back into one
+// timeline. The cluster side records its half here: per-replica RPC
+// events, stripe-lock waits, the quorum-met marker, hint enqueues.
+// Background work (read-repair, hint replay, anti-entropy, membership
+// transfers) gets its own cause-tagged root traces, so repair storms
+// are attributable in /tracez instead of blending into user traffic.
+//
+// The same per-reply bookkeeping feeds straggler attribution: each
+// node's reply time lands in a "quorum" or "straggler" histogram
+// (position relative to the op's quorum point) with the trace ID as an
+// OpenMetrics exemplar, and ops that miss the slow-quorum threshold or
+// fail leave a slow-quorum log entry naming the slowest (or failed)
+// replica and its error class.
+
+// maxTraceEvents caps one trace's event list; overflow is counted and
+// marked with a trailing events_truncated entry.
+const maxTraceEvents = 48
+
+// opTrace accumulates one operation's cluster-side spans and replica
+// reply records. A nil *opTrace no-ops every method, so call sites
+// stay unconditional while Config.DisableTracing (the untraced bench
+// baseline) skips collection entirely.
+type opTrace struct {
+	c     *Cluster
+	id    uint64
+	op    string
+	block int64
+	cause string
+	start time.Time
+
+	mu        sync.Mutex
+	events    []obs.TraceEvent
+	truncated int
+	quorumAt  time.Duration // 0 until the quorum point
+	failClass string        // "" unless the op failed
+	replies   []SlowQuorumReply
+}
+
+// startTrace opens a trace record; nil when tracing is disabled.
+func (c *Cluster) startTrace(op string, block int64, id uint64, cause string) *opTrace {
+	if c.traceOff {
+		return nil
+	}
+	return &opTrace{c: c, id: id, op: op, block: block, cause: cause, start: time.Now()}
+}
+
+// bgTrace opens a cause-tagged root trace for one background attempt
+// and returns a context carrying its ID (over c.ctx, so the attempt
+// still dies with the cluster). Callers add their own per-attempt
+// deadline.
+func (c *Cluster) bgTrace(op, cause string, block int64) (context.Context, *opTrace) {
+	if c.traceOff {
+		return c.ctx, nil
+	}
+	id := obs.NextTraceID()
+	return obs.ContextWithTrace(c.ctx, id), c.startTrace(op, block, id, cause)
+}
+
+func (t *opTrace) add(e obs.TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= maxTraceEvents {
+		t.truncated++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// span records a named event that began at begin and just ended.
+func (t *opTrace) span(name, node string, begin time.Time, err error) {
+	if t == nil {
+		return
+	}
+	t.add(obs.TraceEvent{
+		Name: name, Node: node,
+		Start: begin.Sub(t.start), Dur: time.Since(begin),
+		Err: errClass(err),
+	})
+}
+
+// mark records a zero-duration event at now.
+func (t *opTrace) mark(name string) {
+	if t == nil {
+		return
+	}
+	t.add(obs.TraceEvent{Name: name, Start: time.Since(t.start)})
+}
+
+// reply records one replica's answer to a quorum op: a trace event,
+// a slow-quorum reply record, and the node's positional reply
+// histogram with this trace's ID as the exemplar.
+func (t *opTrace) reply(name string, n *node, rtt time.Duration, err error, straggler bool) {
+	if t == nil {
+		return
+	}
+	class := errClass(err)
+	t.add(obs.TraceEvent{Name: name, Node: n.addr, Start: time.Since(t.start) - rtt, Dur: rtt, Err: class})
+	h := n.latReply
+	if straggler {
+		h = n.latReplyStraggler
+	}
+	if h != nil {
+		h.ObserveTrace(rtt.Seconds(), t.id)
+	}
+	t.mu.Lock()
+	t.replies = append(t.replies, SlowQuorumReply{Node: n.addr, RTT: rtt, Err: class, Straggler: straggler})
+	t.mu.Unlock()
+}
+
+// quorum marks the op's quorum point.
+func (t *opTrace) quorum() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.quorumAt = time.Since(t.start)
+	t.mu.Unlock()
+	t.add(obs.TraceEvent{Name: "quorum_met", Start: time.Since(t.start)})
+}
+
+// fail marks the op as failed with err's class.
+func (t *opTrace) fail(err error) {
+	if t == nil {
+		return
+	}
+	class := errClass(err)
+	if class == "" {
+		class = "error"
+	}
+	t.mu.Lock()
+	t.failClass = class
+	t.mu.Unlock()
+	t.add(obs.TraceEvent{Name: "quorum_failed", Start: time.Since(t.start), Err: class})
+}
+
+// finish closes the record: observes the trace into the cluster trace
+// log and, for foreground ops that failed or crossed the slow-quorum
+// threshold, appends a slow-quorum log entry attributing the straggler.
+func (t *opTrace) finish() {
+	if t == nil {
+		return
+	}
+	total := time.Since(t.start)
+	t.mu.Lock()
+	if t.truncated > 0 {
+		t.events = append(t.events, obs.TraceEvent{
+			Name: "events_truncated", Start: total, Err: strconv.Itoa(t.truncated) + " dropped",
+		})
+	}
+	tr := obs.Trace{
+		ID: t.id, Op: t.op, Offset: t.block, Bytes: DataBytes,
+		Start: t.start, Cause: t.cause, Total: total, Events: t.events,
+	}
+	quorumAt, failClass := t.quorumAt, t.failClass
+	replies := t.replies
+	t.mu.Unlock()
+
+	c := t.c
+	c.traces.Observe(tr)
+	if t.cause != "" {
+		return // background root traces have no quorum to attribute
+	}
+	// Two ways in: the quorum itself was slow (user-visible latency), or
+	// the quorum was fine but a straggling replica pushed the op's total
+	// past the threshold (tail risk: one more failure and the straggler
+	// sets the quorum pace).
+	slowQuorum := c.slowQuorumThreshold > 0 && quorumAt >= c.slowQuorumThreshold
+	slowTail := c.slowQuorumThreshold > 0 && total >= c.slowQuorumThreshold
+	if failClass == "" && !slowQuorum && !slowTail {
+		return
+	}
+	entry := SlowQuorumEntry{
+		Time:          t.start,
+		TraceID:       strconv.FormatUint(t.id, 16),
+		Op:            t.op,
+		Block:         t.block,
+		QuorumLatency: quorumAt,
+		Total:         total,
+		ErrClass:      failClass,
+		Replies:       replies,
+	}
+	// Attribution: the failed replica if any, else the slowest reply.
+	var worst *SlowQuorumReply
+	for i := range replies {
+		r := &replies[i]
+		switch {
+		case worst == nil:
+			worst = r
+		case (r.Err != "") != (worst.Err != ""):
+			if r.Err != "" {
+				worst = r
+			}
+		case r.RTT > worst.RTT:
+			worst = r
+		}
+	}
+	if worst != nil {
+		entry.Straggler = worst.Node
+		if entry.ErrClass == "" {
+			entry.ErrClass = worst.Err
+		}
+	}
+	if entry.ErrClass == "" {
+		if slowQuorum {
+			entry.ErrClass = "slow"
+		} else {
+			entry.ErrClass = "straggler_tail"
+		}
+	}
+	if entry.Straggler == "" {
+		entry.Straggler = "none"
+	}
+	c.slowQ.push(entry)
+	c.met.noteSlowQuorum(entry.Straggler, entry.ErrClass)
+}
+
+// errClass names an error for trace events and the slow-quorum log.
+func errClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	switch {
+	case errors.Is(err, errNodeDown):
+		return "node_down"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	switch pcmserve.Classify(err) {
+	case pcmserve.ClassCorrupt:
+		return "corrupt"
+	case pcmserve.ClassPermanent:
+		return "permanent"
+	}
+	return "transient"
+}
+
+// SlowQuorumReply is one replica's timing inside a SlowQuorumEntry.
+type SlowQuorumReply struct {
+	Node string        `json:"node"`
+	RTT  time.Duration `json:"rtt_ns"`
+	Err  string        `json:"err,omitempty"`
+	// Straggler marks replies that arrived after the quorum point.
+	Straggler bool `json:"straggler,omitempty"`
+}
+
+// SlowQuorumEntry is one slow or failed quorum op with straggler
+// attribution: which replica was slowest (or failed), with every
+// reply's timing, and the trace ID to stitch the full cross-node
+// timeline from /clusterz.
+type SlowQuorumEntry struct {
+	Time    time.Time `json:"time"`
+	TraceID string    `json:"trace_id"`
+	Op      string    `json:"op"`
+	Block   int64     `json:"block"`
+	// QuorumLatency is issue-to-quorum (0 when the quorum never met);
+	// Total includes the straggler tail.
+	QuorumLatency time.Duration     `json:"quorum_latency_ns"`
+	Total         time.Duration     `json:"total_ns"`
+	Straggler     string            `json:"straggler"`
+	ErrClass      string            `json:"err_class"`
+	Replies       []SlowQuorumReply `json:"replies"`
+}
+
+// slowQuorumLog is a bounded ring of SlowQuorumEntry.
+type slowQuorumLog struct {
+	mu    sync.Mutex
+	buf   []SlowQuorumEntry
+	next  int
+	total atomic.Uint64
+}
+
+func newSlowQuorumLog(capacity int) *slowQuorumLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &slowQuorumLog{buf: make([]SlowQuorumEntry, 0, capacity)}
+}
+
+func (l *slowQuorumLog) push(e SlowQuorumEntry) {
+	l.total.Add(1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % cap(l.buf)
+}
+
+func (l *slowQuorumLog) entries() []SlowQuorumEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuorumEntry, 0, len(l.buf))
+	if len(l.buf) == cap(l.buf) {
+		out = append(out, l.buf[l.next:]...)
+		out = append(out, l.buf[:l.next]...)
+	} else {
+		out = append(out, l.buf...)
+	}
+	return out
+}
+
+// SlowQuorums returns the retained slow-quorum log, oldest first.
+func (c *Cluster) SlowQuorums() []SlowQuorumEntry { return c.slowQ.entries() }
+
+// SlowQuorumTotal counts every op that entered the slow-quorum log,
+// including entries since evicted.
+func (c *Cluster) SlowQuorumTotal() uint64 { return c.slowQ.total.Load() }
+
+// Traces returns the cluster-side trace log, for mounting on an
+// obs.AdminHandler (and as the Stitcher's local half).
+func (c *Cluster) Traces() *obs.TraceLog { return c.traces }

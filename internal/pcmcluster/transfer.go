@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pcmserve"
 )
 
@@ -71,12 +73,27 @@ func (c *Cluster) runTransfer(ctx context.Context, ep *epoch, prog *transferProg
 		if cursor < lo {
 			cursor = lo
 		}
+		cause := "join"
+		if ep.mode == modeDraining {
+			cause = "drain"
+		}
 		for cursor < lo+n {
 			seg := c.segSlots
 			if rest := lo + n - cursor; rest < seg {
 				seg = rest
 			}
-			if err := c.transferSegment(ctx, ep, tp, cursor, seg); err != nil {
+			// Each segment runs as its own cause-tagged root trace; the
+			// caller's ctx (with its deadline) is kept, only the trace ID
+			// is layered on.
+			sctx, ot := ctx, (*opTrace)(nil)
+			if !c.traceOff {
+				id := obs.NextTraceID()
+				sctx = obs.ContextWithTrace(ctx, id)
+				ot = c.startTrace("transfer_segment", cursor, id, cause)
+			}
+			err := c.transferSegment(sctx, ot, ep, tp, cursor, seg)
+			ot.finish()
+			if err != nil {
 				return err
 			}
 			cursor += seg
@@ -105,7 +122,7 @@ func (c *Cluster) runTransfer(ctx context.Context, ep *epoch, prog *transferProg
 // recheck-then-write pushes so a push can never clobber a newer
 // foreground write landing on the target through the dual-quorum
 // write path.
-func (c *Cluster) transferSegment(ctx context.Context, ep *epoch, tp transferPart, lo, n int64) error {
+func (c *Cluster) transferSegment(ctx context.Context, ot *opTrace, ep *epoch, tp transferPart, lo, n int64) error {
 	srcs := make([]*node, 0, c.rf)
 	for _, s := range ep.cur.replicas(tp.part, c.rf) {
 		if s != tp.target {
@@ -127,15 +144,18 @@ func (c *Cluster) transferSegment(ctx context.Context, ep *epoch, tp transferPar
 		wg.Add(1)
 		go func(i int, s *node) {
 			defer wg.Done()
+			readT := time.Now()
 			if !s.admit() {
 				c.noteResult(s, false, errNodeDown)
 				reads[i].err = errNodeDown
+				ot.span("source_read", s.addr, readT, errNodeDown)
 				return
 			}
 			buf := make([]byte, n*SlotBytes)
 			_, err := s.client.ReadAtCtx(ctx, buf, lo*SlotBytes)
 			c.noteResult(s, false, err)
 			reads[i] = srcRead{buf: buf, err: err}
+			ot.span("source_read", s.addr, readT, err)
 		}(i, s)
 	}
 	wg.Wait()
@@ -192,11 +212,14 @@ func (c *Cluster) transferSegment(ctx context.Context, ep *epoch, tp transferPar
 
 	// One vectored trailer read rechecks the whole segment on the
 	// target; peers without READ_STRIDE fall back to a full range read.
+	recheckT := time.Now()
 	tMetas, tOK, err := c.targetMetas(ctx, tp.target, lo, n)
+	ot.span("target_recheck", tp.target.addr, recheckT, err)
 	if err != nil {
 		return err
 	}
 
+	pushT := time.Now()
 	for i := int64(0); i < n; i++ {
 		if winners[i] == nil {
 			continue // nothing written anywhere: leave the target alone
@@ -216,6 +239,7 @@ func (c *Cluster) transferSegment(ctx context.Context, ep *epoch, tp transferPar
 		}
 		c.met.transferSlotsPushed.Inc()
 	}
+	ot.span("push_slots", tp.target.addr, pushT, nil)
 	return nil
 }
 

@@ -294,11 +294,11 @@ func (s *shard) handle(req shardReq) {
 	case OpRead:
 		n, err = s.dev.ReadAt(req.buf, req.off)
 		s.reads.Inc()
-		s.readLat.Observe(time.Since(start).Seconds())
+		s.readLat.ObserveTrace(time.Since(start).Seconds(), req.trace)
 	case OpWrite:
 		n, err = s.dev.WriteAt(req.buf, req.off)
 		s.writes.Inc()
-		s.writeLat.Observe(time.Since(start).Seconds())
+		s.writeLat.ObserveTrace(time.Since(start).Seconds(), req.trace)
 	case OpAdvance:
 		err = s.dev.Advance(req.dt)
 		s.advances.Inc()
