@@ -463,7 +463,7 @@ func (f *fleet) stopAll() {
 // can hold real data from earlier runs). SIGINT/SIGTERM stops the run
 // early.
 func runLoadgen(c *pcmcluster.Cluster, blocks int64, clients int, duration time.Duration, readPct int, fresh bool) uint64 {
-	var ops, quorumErrs, dataErrs atomic.Uint64
+	var ops, quorumErrs, shedErrs, dataErrs atomic.Uint64
 
 	stop := make(chan struct{})
 	var stopOnce sync.Once
@@ -503,7 +503,11 @@ func runLoadgen(c *pcmcluster.Cluster, blocks int64, clients int, duration time.
 						data[i] = byte(w*31 + iter*7 + i)
 					}
 					if err := c.WriteBlock(ctx, b, data); err != nil {
-						quorumErrs.Add(1)
+						if isShed(err) {
+							shedErrs.Add(1)
+						} else {
+							quorumErrs.Add(1)
+						}
 						lastAcked[b] = nil // undefined until re-acknowledged
 						continue
 					}
@@ -513,7 +517,11 @@ func runLoadgen(c *pcmcluster.Cluster, blocks int64, clients int, duration time.
 				}
 				got, err := c.ReadBlock(ctx, b)
 				if err != nil {
-					quorumErrs.Add(1)
+					if isShed(err) {
+						shedErrs.Add(1)
+					} else {
+						quorumErrs.Add(1)
+					}
 					if errors.Is(err, pcmcluster.ErrClosed) {
 						return
 					}
@@ -540,10 +548,22 @@ func runLoadgen(c *pcmcluster.Cluster, blocks int64, clients int, duration time.
 	elapsed := time.Since(start)
 
 	done := ops.Load()
-	fmt.Printf("loadgen: %d clients, %v: %d ops (%.0f ops/s), %d quorum errors, data errors: %d\n",
+	fmt.Printf("loadgen: %d clients, %v: %d ops (%.0f ops/s), %d quorum errors, %d shed, data errors: %d\n",
 		clients, elapsed.Round(time.Millisecond), done,
-		float64(done)/elapsed.Seconds(), quorumErrs.Load(), dataErrs.Load())
+		float64(done)/elapsed.Seconds(), quorumErrs.Load(), shedErrs.Load(), dataErrs.Load())
 	return dataErrs.Load()
+}
+
+// isShed classifies a failed quorum op as typed overload control —
+// the server shedding load, a request outliving its deadline, or the
+// client retiring its retry budget — rather than a node fault. Shed
+// ops are expected output of graceful degradation (report them as
+// their own class, never a test failure); the quorum error wraps the
+// last replica error with %w, so errors.Is sees through it.
+func isShed(err error) bool {
+	return errors.Is(err, pcmserve.ErrOverloaded) ||
+		errors.Is(err, pcmserve.ErrDeadlineExceeded) ||
+		errors.Is(err, pcmserve.ErrRetryBudgetExhausted)
 }
 
 // report prints the cluster's own accounting — quorum traffic,
@@ -569,6 +589,11 @@ func report(c *pcmcluster.Cluster, dataErrors uint64) {
 			st.MerkleDigestRPCs, st.MerkleSlotsFetched,
 			st.MerklePartsClean, st.MerklePartsDivergent, st.MerklePartsUnavailable,
 			st.MerkleFallbackSweeps)
+	}
+	if st.OverloadEvents > 0 || st.RetryBudgetExhausted > 0 || st.BrownoutLevel > 0 {
+		fmt.Printf("overload: shed_verdicts=%d retry_budget_exhausted=%d ae_paused=%d repairs_deferred=%d brownout_level=%d\n",
+			st.OverloadEvents, st.RetryBudgetExhausted, st.AntiEntropyPaused,
+			st.RepairsDeferred, st.BrownoutLevel)
 	}
 	if st.JoinsStarted > 0 || st.DrainsStarted > 0 {
 		fmt.Printf("membership: joins=%d/%d drains=%d/%d aborted(j/d)=%d/%d segments=%d resumes=%d slots(pushed/skipped)=%d/%d drain_hints(replayed/stale)=%d/%d\n",

@@ -30,6 +30,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -364,7 +365,7 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 	}
 
 	var ops, bytesMoved atomic.Uint64
-	var errCount atomic.Uint64
+	var errCount, shedCount atomic.Uint64
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
@@ -417,7 +418,15 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 					_, err = c.WriteAt(buf, off)
 				}
 				if err != nil {
-					errCount.Add(1)
+					// Typed shed verdicts are the overload-control path
+					// working, not a fault: count them separately.
+					if errors.Is(err, pcmserve.ErrOverloaded) ||
+						errors.Is(err, pcmserve.ErrDeadlineExceeded) ||
+						errors.Is(err, pcmserve.ErrRetryBudgetExhausted) {
+						shedCount.Add(1)
+					} else {
+						errCount.Add(1)
+					}
 					continue
 				}
 				ops.Add(1)
@@ -429,10 +438,10 @@ func runLoadgen(target string, newShards func() *pcmserve.Shards, inflight, clie
 	elapsed := time.Since(start)
 
 	done, moved := ops.Load(), bytesMoved.Load()
-	fmt.Printf("loadgen: %d clients, %v: %d ops (%.0f ops/s), %.2f MiB/s, %d errors\n",
+	fmt.Printf("loadgen: %d clients, %v: %d ops (%.0f ops/s), %.2f MiB/s, %d errors, %d shed\n",
 		clients, elapsed.Round(time.Millisecond), done,
 		float64(done)/elapsed.Seconds(),
-		float64(moved)/(1<<20)/elapsed.Seconds(), errCount.Load())
+		float64(moved)/(1<<20)/elapsed.Seconds(), errCount.Load(), shedCount.Load())
 
 	for _, tgt := range targets {
 		if len(targets) > 1 {
@@ -461,6 +470,10 @@ func printFinalStats(target string) {
 	}
 	fmt.Printf("server: reads=%d writes=%d errors=%d conns=%d\n",
 		st.Reads, st.Writes, st.Errors, st.TotalConns)
+	if ov := st.Overload; ov.ShedBackground+ov.ShedForeground+ov.ExpiredDequeued > 0 {
+		fmt.Printf("overload: shed_background=%d shed_foreground=%d expired_dequeued=%d queue_pressure=%.2f\n",
+			ov.ShedBackground, ov.ShedForeground, ov.ExpiredDequeued, ov.QueuePressure)
+	}
 	if sc := st.Scrub; sc.Scrubbed > 0 {
 		fmt.Printf("scrub: passes=%d scrubbed=%d repaired=%d uncorrectable=%d spared=%d retired=%d\n",
 			sc.Passes, sc.Scrubbed, sc.Repaired, sc.Uncorrectable, sc.Spared, sc.Retired)

@@ -31,6 +31,13 @@ func (c *Cluster) antiEntropyLoop(interval time.Duration) {
 		if cursor >= c.numParts() {
 			cursor = 0
 		}
+		if c.brownoutLevel() >= brownoutPauseAE {
+			// Brownout: the sweep is the heaviest background load, so it
+			// yields first. The cursor holds position; the tick retries
+			// once the overload window clears.
+			c.met.aePaused.Inc()
+			continue
+		}
 		c.sweepPartition(cursor)
 		cursor++
 		if cursor >= c.numParts() {

@@ -241,6 +241,10 @@ type Cluster struct {
 
 	met *metrics
 
+	// brownout meters typed overload verdicts into the degradation
+	// ladder (see overload.go).
+	brownout brownoutMeter
+
 	// Trace plane (see trace.go). traceOff disables it wholesale;
 	// slowQuorumThreshold gates the slow-quorum log.
 	traces              *obs.TraceLog
@@ -302,6 +306,11 @@ func New(cfg Config) (*Cluster, error) {
 	if dial == nil {
 		opTimeout := cfg.OpTimeout
 		seed := cfg.Seed
+		// One retry budget spans every node connection this cluster
+		// client opens: retries refill at ~10% of successes, so a
+		// cluster-wide brownout cannot be amplified into a retry storm.
+		// The burst is generous — isolated failures retry freely.
+		budget := pcmserve.NewRetryBudget(0.1, 256)
 		dial = func(addr string) (NodeClient, error) {
 			return pcmserve.DialRetry(addr, pcmserve.RetryConfig{
 				MaxReadAttempts:  2,
@@ -310,6 +319,7 @@ func New(cfg Config) (*Cluster, error) {
 				MaxBackoff:       50 * time.Millisecond,
 				OpTimeout:        opTimeout,
 				Seed:             seed ^ nodeSeed(addr),
+				Budget:           budget,
 			})
 		}
 	}
@@ -556,6 +566,16 @@ func (c *Cluster) noteResult(n *node, write bool, err error) {
 	if errors.Is(err, errNodeDown) {
 		return // fast-fail, not new evidence
 	}
+	if errors.Is(err, pcmserve.ErrRetryBudgetExhausted) {
+		c.met.retryBudgetExhausted.Inc()
+	}
+	if errors.Is(err, pcmserve.ErrOverloaded) || errors.Is(err, pcmserve.ErrDeadlineExceeded) {
+		// A typed shed verdict is proof of life, never breaker
+		// evidence: it opens the node's overload backoff window and
+		// feeds the brownout meter instead.
+		c.overloadEvent(n, pcmserve.RetryAfter(err))
+		return
+	}
 	if pcmserve.Classify(err) == pcmserve.ClassTransient {
 		if n.onFailure() {
 			c.met.nodeTransitions.Inc()
@@ -714,7 +734,7 @@ func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 		}
 	}
 	if valids < c.r {
-		err := fmt.Errorf("pcmcluster: read block %d: %d/%d valid replies from %d replicas (last: %v): %w",
+		err := fmt.Errorf("pcmcluster: read block %d: %d/%d valid replies from %d replicas (last: %w): %w",
 			b, valids, c.r, len(reps), firstProblem(all), ErrReadQuorum)
 		ot.fail(firstProblem(all))
 		c.sloAvail.Record(false)
@@ -798,6 +818,14 @@ func (c *Cluster) drainReads(b int64, remaining int, results chan replicaRead, a
 		} else {
 			c.met.divergentStale.Inc()
 		}
+		if c.brownoutLevel() >= brownoutDeferRepairs {
+			// Deep brownout: park the repair in the hint buffer instead
+			// of adding write load. The drain loop replays it once the
+			// node's overload window closes.
+			c.queueHint(res.n, b, winnerSlot, winner.Version)
+			c.met.repairsDeferred.Inc()
+			continue
+		}
 		rctx, rot := c.bgTrace("read_repair", "read_repair", b)
 		c.repairReplica(rctx, rot, res.n, b, winnerSlot, winner, c.met.repairsRead)
 		rot.finish()
@@ -815,6 +843,13 @@ func (c *Cluster) repairReplica(ctx context.Context, ot *opTrace, n *node, b int
 	if n.currentState() != NodeUp {
 		return // unreachable replicas converge via hints or later sweeps
 	}
+	if n.isOverloaded() {
+		// Repair is background write load; hint it for replay after the
+		// node's overload window instead of piling on now.
+		c.queueHint(n, b, winnerSlot, winner.Version)
+		c.met.repairsDeferred.Inc()
+		return
+	}
 	ctx, cancel := context.WithTimeout(ctx, c.opTimeout)
 	defer cancel()
 	lockT := time.Now()
@@ -824,7 +859,9 @@ func (c *Cluster) repairReplica(ctx context.Context, ot *opTrace, n *node, b int
 	ot.span("stripe_lock", "", lockT, nil)
 	recheckT := time.Now()
 	cur := make([]byte, SlotBytes)
-	if _, err := n.client.ReadAtCtx(ctx, cur, b*SlotBytes); err == nil {
+	_, rerr := n.client.ReadAtCtx(ctx, cur, b*SlotBytes)
+	switch {
+	case rerr == nil:
 		if _, m, status := decodeSlot(cur); status == slotOK {
 			c.observeVersion(m.Version)
 			if !winner.newer(m) {
@@ -834,7 +871,19 @@ func (c *Cluster) repairReplica(ctx context.Context, ot *opTrace, n *node, b int
 				return
 			}
 		}
+	case pcmserve.Classify(rerr) == pcmserve.ClassTransient:
+		// Can't prove the winner is still newest (the recheck itself
+		// was shed or timed out); a blind write could regress a replica
+		// that took later writes. Defer to a hint — its replay rechecks
+		// once the node answers reads again and drops stale data.
+		ot.span("repair_recheck", n.addr, recheckT, rerr)
+		c.noteResult(n, false, rerr)
+		c.queueHint(n, b, winnerSlot, winner.Version)
+		c.met.repairsDeferred.Inc()
+		return
 	}
+	// Corrupt or otherwise permanently unreadable slot: the repair
+	// write replaces it; fall through.
 	ot.span("repair_recheck", n.addr, recheckT, nil)
 	writeT := time.Now()
 	_, err := n.client.WriteAtCtx(ctx, winnerSlot, b*SlotBytes)
@@ -990,7 +1039,7 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 		return fmt.Errorf("pcmcluster: write block %d: %d/%d acks: %w: %w",
 			b, acks, c.w, ctxErr, ErrWriteQuorum)
 	}
-	return fmt.Errorf("pcmcluster: write block %d: %d/%d acks from %d replicas (last: %v): %w",
+	return fmt.Errorf("pcmcluster: write block %d: %d/%d acks from %d replicas (last: %w): %w",
 		b, acks, c.w, len(targets), lastErr, ErrWriteQuorum)
 }
 
@@ -1011,6 +1060,9 @@ func (c *Cluster) drainLoop(interval time.Duration) {
 			}
 			if !n.admit() { // down and no probe due
 				continue
+			}
+			if n.isOverloaded() {
+				continue // replay is background; let the node breathe
 			}
 			hints := n.takeHints(256)
 			requeue := false
@@ -1046,7 +1098,9 @@ func (c *Cluster) replayHint(n *node, b int64, h hint) bool {
 	ot.span("stripe_lock", "", lockT, nil)
 	recheckT := time.Now()
 	cur := make([]byte, SlotBytes)
-	if _, err := n.client.ReadAtCtx(ctx, cur, b*SlotBytes); err == nil {
+	_, rerr := n.client.ReadAtCtx(ctx, cur, b*SlotBytes)
+	switch {
+	case rerr == nil:
 		if _, m, status := decodeSlot(cur); status == slotOK {
 			c.observeVersion(m.Version)
 			if !hMeta.newer(m) {
@@ -1056,7 +1110,17 @@ func (c *Cluster) replayHint(n *node, b int64, h hint) bool {
 				return true
 			}
 		}
+	case pcmserve.Classify(rerr) == pcmserve.ClassTransient:
+		// The recheck failed transiently (shed, deadline, conn), so the
+		// hint cannot be proven fresh — and a blind write could regress
+		// a replica that accepted later writes while this hint sat in
+		// the buffer. Requeue and retry once the node answers reads.
+		ot.span("hint_recheck", n.addr, recheckT, rerr)
+		c.noteResult(n, false, rerr)
+		return false
 	}
+	// Corrupt or otherwise permanently unreadable slot: the hinted
+	// write IS the repair; fall through.
 	ot.span("hint_recheck", n.addr, recheckT, nil)
 	writeT := time.Now()
 	_, err := n.client.WriteAtCtx(ctx, h.slot, b*SlotBytes)

@@ -40,6 +40,13 @@ func startTestNode(t testing.TB, blocksPerShard int, seed uint64) *testNode {
 // startTestNodeCfg is startTestNode with an explicit server config —
 // membership tests use it to emulate old peers (DisableRangeOps).
 func startTestNodeCfg(t testing.TB, blocksPerShard int, seed uint64, srvCfg pcmserve.ServerConfig) *testNode {
+	return startTestNodeTune(t, blocksPerShard, seed, srvCfg, nil)
+}
+
+// startTestNodeTune additionally lets the caller adjust the shards
+// config before the node is built — overload tests shrink the queue
+// depth so admission control engages under modest traffic.
+func startTestNodeTune(t testing.TB, blocksPerShard int, seed uint64, srvCfg pcmserve.ServerConfig, tune func(*pcmserve.ShardsConfig)) *testNode {
 	t.Helper()
 	n := &testNode{t: t, srvCfg: srvCfg}
 	cfg := pcmserve.ShardsConfig{
@@ -56,6 +63,9 @@ func startTestNodeCfg(t testing.TB, blocksPerShard int, seed uint64, srvCfg pcms
 		},
 		// Keep every server-side trace so tests can stitch any op's ID.
 		Obs: &pcmserve.Observability{TraceSampleEvery: 1},
+	}
+	if tune != nil {
+		tune(&cfg)
 	}
 	g, err := pcmserve.NewShards(cfg)
 	if err != nil {

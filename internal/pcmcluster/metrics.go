@@ -35,6 +35,12 @@ type metrics struct {
 	aeClean, aeRepaired, aeUnavailable  *obs.Counter
 	aePasses, aeThrottled               *obs.Counter
 
+	// Overload response (see overload.go).
+	overloadEvents       *obs.Counter
+	retryBudgetExhausted *obs.Counter
+	aePaused             *obs.Counter
+	repairsDeferred      *obs.Counter
+
 	// Membership lifecycle.
 	joinsStarted, joinsCompleted, joinsAborted    *obs.Counter
 	drainsStarted, drainsCompleted, drainsAborted *obs.Counter
@@ -113,6 +119,18 @@ func newMetrics(reg *obs.Registry, c *Cluster) *metrics {
 		"Completed anti-entropy walks of the whole block space.")
 	m.aeThrottled = reg.Counter("pcmcluster_antientropy_throttled_total",
 		"Legacy sweep reads that waited on the read-rate budget.")
+
+	m.overloadEvents = reg.Counter("pcmcluster_overload_events_total",
+		"Typed shed verdicts (overloaded / deadline exceeded) received from nodes; proof of life, never breaker evidence.")
+	m.retryBudgetExhausted = reg.Counter("pcmcluster_retry_budget_exhausted_total",
+		"Replica operations abandoned because the shared retry budget was dry.")
+	m.aePaused = reg.Counter("pcmcluster_antientropy_paused_total",
+		"Anti-entropy sweep ticks skipped by the brownout ladder (level >= 1).")
+	m.repairsDeferred = reg.Counter("pcmcluster_repairs_deferred_total",
+		"Repair writes parked in the hint buffer instead of executed, because the target node or the cluster was browning out.")
+	reg.GaugeFunc("pcmcluster_brownout_level",
+		"Degradation ladder step: 0 normal, 1 anti-entropy paused, 2 repairs also deferred to hints.",
+		func() float64 { return float64(c.brownoutLevel()) })
 
 	const mbName = "pcmcluster_membership_changes_total"
 	const mbHelp = "Membership lifecycle events, by kind and outcome."
@@ -263,6 +281,15 @@ type ClusterStats struct {
 	AntiEntropyPasses      uint64 `json:"antientropy_passes"`
 	AntiEntropyThrottled   uint64 `json:"antientropy_throttled"`
 
+	// Overload response: typed shed verdicts received, ops dropped on a
+	// dry retry budget, brownout actions taken, and the current ladder
+	// step.
+	OverloadEvents       uint64 `json:"overload_events"`
+	RetryBudgetExhausted uint64 `json:"retry_budget_exhausted"`
+	AntiEntropyPaused    uint64 `json:"antientropy_paused"`
+	RepairsDeferred      uint64 `json:"repairs_deferred"`
+	BrownoutLevel        int    `json:"brownout_level"`
+
 	JoinsStarted    uint64 `json:"joins_started"`
 	JoinsCompleted  uint64 `json:"joins_completed"`
 	JoinsAborted    uint64 `json:"joins_aborted"`
@@ -331,6 +358,12 @@ func (c *Cluster) Stats() ClusterStats {
 		AntiEntropyPasses:      m.aePasses.Value(),
 		AntiEntropyThrottled:   m.aeThrottled.Value(),
 
+		OverloadEvents:       m.overloadEvents.Value(),
+		RetryBudgetExhausted: m.retryBudgetExhausted.Value(),
+		AntiEntropyPaused:    m.aePaused.Value(),
+		RepairsDeferred:      m.repairsDeferred.Value(),
+		BrownoutLevel:        c.brownoutLevel(),
+
 		JoinsStarted:    m.joinsStarted.Value(),
 		JoinsCompleted:  m.joinsCompleted.Value(),
 		JoinsAborted:    m.joinsAborted.Value(),
@@ -394,6 +427,13 @@ func (c *Cluster) Health() obs.HealthReport {
 		})
 	}
 	rep.Healthy = up >= c.w && up >= c.r
+	// Brownout is informational like the SLO burn state: a degraded-mode
+	// cluster still serves quorums, it just sheds background work.
+	rep.Components = append(rep.Components, obs.ComponentHealth{
+		Name:   "overload",
+		State:  brownoutName(c.brownoutLevel()),
+		Detail: strconv.FormatUint(c.met.overloadEvents.Value(), 10) + " shed verdicts total",
+	})
 	// SLO burn state is informational: a burning objective should page,
 	// not fail readiness (see obs.SLO.Health).
 	if c.sloAvail != nil {

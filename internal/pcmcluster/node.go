@@ -115,6 +115,12 @@ type node struct {
 	downSince time.Time
 	probing   bool
 	hints     map[int64]hint
+	// overloadedUntil is the end of the node's typed-overload backoff
+	// window (opened by noteOverload). Background traffic — hint
+	// replay, anti-entropy, repairs — skips the node inside the window;
+	// foreground quorum ops still try, because a shed reply is cheap
+	// and the server's admission is the real arbiter.
+	overloadedUntil time.Time
 }
 
 func newNode(addr string, client NodeClient, failThreshold int, probeInterval time.Duration, hintCap int) *node {
@@ -183,6 +189,33 @@ func (n *node) currentState() NodeState {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.state
+}
+
+// noteOverload opens (or extends) the node's overload backoff window
+// after a typed shed verdict. A shed reply is proof of life, so the
+// breaker resets exactly as onSuccess — marking an overloaded node
+// down would convert brownout into blackout.
+func (n *node) noteOverload(retryAfter time.Duration) {
+	if retryAfter <= 0 {
+		retryAfter = 50 * time.Millisecond
+	}
+	until := time.Now().Add(retryAfter)
+	n.mu.Lock()
+	if until.After(n.overloadedUntil) {
+		n.overloadedUntil = until
+	}
+	n.fails = 0
+	n.probing = false
+	n.state = NodeUp
+	n.mu.Unlock()
+}
+
+// isOverloaded reports whether the node is inside its overload backoff
+// window.
+func (n *node) isOverloaded() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return time.Now().Before(n.overloadedUntil)
 }
 
 // hintAddResult says what addHint did with a hint, so callers can

@@ -1,0 +1,126 @@
+package pcmcluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Cluster-side overload response.
+//
+// Typed shed verdicts from nodes (pcmserve.ErrOverloaded /
+// ErrDeadlineExceeded) never feed the breaker — a node that sheds is
+// alive and protecting itself. Instead each verdict opens a short
+// per-node backoff window that only background traffic honours, and
+// feeds the cluster-wide brownout meter below. The meter drives a
+// two-step degradation ladder:
+//
+//	level 1 — pause anti-entropy sweeps (the heaviest background load)
+//	level 2 — additionally defer read-repair writes to the hint buffer
+//
+// Foreground quorum traffic is never throttled by the ladder; the
+// point is to hand every spare cycle to it while the storm lasts.
+
+// Brownout levels.
+const (
+	brownoutNone         = 0
+	brownoutPauseAE      = 1
+	brownoutDeferRepairs = 2
+)
+
+const (
+	// brownoutBucket × brownoutBuckets is the sliding window the meter
+	// counts overload events over (2 s).
+	brownoutBucket  = 250 * time.Millisecond
+	brownoutBuckets = 8
+	// Events per window that engage each ladder step.
+	brownoutL1Events = 8
+	brownoutL2Events = 32
+)
+
+// brownoutMeter is a sliding-window counter of typed overload events.
+type brownoutMeter struct {
+	mu       sync.Mutex
+	buckets  [brownoutBuckets]uint32
+	cur      int
+	curStart time.Time
+}
+
+// rotate retires buckets that have aged out of the window. Callers
+// hold m.mu.
+func (m *brownoutMeter) rotate(now time.Time) {
+	if m.curStart.IsZero() {
+		m.curStart = now
+		return
+	}
+	steps := int(now.Sub(m.curStart) / brownoutBucket)
+	if steps <= 0 {
+		return
+	}
+	if steps >= brownoutBuckets {
+		m.buckets = [brownoutBuckets]uint32{}
+		m.cur = 0
+		m.curStart = now
+		return
+	}
+	for i := 0; i < steps; i++ {
+		m.cur = (m.cur + 1) % brownoutBuckets
+		m.buckets[m.cur] = 0
+	}
+	m.curStart = m.curStart.Add(time.Duration(steps) * brownoutBucket)
+}
+
+// note records one overload event at now.
+func (m *brownoutMeter) note(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rotate(now)
+	m.buckets[m.cur]++
+}
+
+// events returns the window's event count.
+func (m *brownoutMeter) events(now time.Time) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rotate(now)
+	var total uint64
+	for _, b := range m.buckets {
+		total += uint64(b)
+	}
+	return total
+}
+
+// level maps the window count onto the degradation ladder.
+func (m *brownoutMeter) level(now time.Time) int {
+	switch n := m.events(now); {
+	case n >= brownoutL2Events:
+		return brownoutDeferRepairs
+	case n >= brownoutL1Events:
+		return brownoutPauseAE
+	default:
+		return brownoutNone
+	}
+}
+
+// brownoutLevel is the cluster's current ladder step.
+func (c *Cluster) brownoutLevel() int { return c.brownout.level(time.Now()) }
+
+// overloadEvent records one typed shed verdict from node n: the node's
+// backoff window opens (sized by the server's retry-after hint) and
+// the brownout meter ticks.
+func (c *Cluster) overloadEvent(n *node, retryAfter time.Duration) {
+	n.noteOverload(retryAfter)
+	c.met.overloadEvents.Inc()
+	c.brownout.note(time.Now())
+}
+
+// brownoutName names a ladder step for health reporting.
+func brownoutName(level int) string {
+	switch level {
+	case brownoutPauseAE:
+		return "brownout:antientropy-paused"
+	case brownoutDeferRepairs:
+		return "brownout:repairs-deferred"
+	default:
+		return "normal"
+	}
+}

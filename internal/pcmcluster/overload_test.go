@@ -1,0 +1,303 @@
+package pcmcluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pcmserve"
+)
+
+// TestBrownoutMeter drives the sliding-window meter with synthetic
+// clocks: the ladder engages at the documented thresholds and events
+// age out of the window.
+func TestBrownoutMeter(t *testing.T) {
+	var m brownoutMeter
+	t0 := time.Unix(1000, 0)
+
+	if got := m.level(t0); got != brownoutNone {
+		t.Fatalf("empty meter level = %d, want none", got)
+	}
+	for i := 0; i < brownoutL1Events-1; i++ {
+		m.note(t0)
+	}
+	if got := m.level(t0); got != brownoutNone {
+		t.Fatalf("level below L1 threshold = %d, want none", got)
+	}
+	m.note(t0)
+	if got := m.level(t0); got != brownoutPauseAE {
+		t.Fatalf("level at %d events = %d, want pause-AE", brownoutL1Events, got)
+	}
+	for i := brownoutL1Events; i < brownoutL2Events; i++ {
+		m.note(t0)
+	}
+	if got := m.level(t0); got != brownoutDeferRepairs {
+		t.Fatalf("level at %d events = %d, want defer-repairs", brownoutL2Events, got)
+	}
+
+	// Partway through the window the events still count...
+	half := t0.Add(brownoutBucket * brownoutBuckets / 2)
+	if got := m.level(half); got != brownoutDeferRepairs {
+		t.Fatalf("level mid-window = %d, want defer-repairs", got)
+	}
+	// ...and past it they age out entirely.
+	past := t0.Add(brownoutBucket*brownoutBuckets + brownoutBucket)
+	if got := m.level(past); got != brownoutNone {
+		t.Fatalf("level past window = %d, want none", got)
+	}
+	if got := m.events(past); got != 0 {
+		t.Fatalf("events past window = %d, want 0", got)
+	}
+
+	// Events spread across buckets retire one bucket at a time, not all
+	// at once.
+	for i := 0; i < brownoutBuckets; i++ {
+		m.note(past.Add(time.Duration(i) * brownoutBucket))
+	}
+	lastNote := past.Add(time.Duration(brownoutBuckets-1) * brownoutBucket)
+	if got := m.events(lastNote); got != brownoutBuckets {
+		t.Fatalf("events with one per bucket = %d, want %d", got, brownoutBuckets)
+	}
+	if got := m.events(lastNote.Add(2 * brownoutBucket)); got >= brownoutBuckets {
+		t.Fatalf("events after partial aging = %d, want < %d", got, brownoutBuckets)
+	}
+}
+
+// TestOverloadChaosSoak is the metastable-failure soak: a straggling
+// node under injected device latency sheds load instead of stalling
+// the cluster. The invariants under storm: goodput never reaches
+// zero (healthy replicas keep satisfying quorums), every rejection is
+// typed, background work is shed at the straggler before foreground
+// feels it, the shed verdicts never trip the straggler's breaker into
+// a blackout, and once the storm lifts the cluster recovers within a
+// bounded window with all acknowledged data intact.
+func TestOverloadChaosSoak(t *testing.T) {
+	soak := 2500 * time.Millisecond
+	if testing.Short() {
+		soak = 1200 * time.Millisecond
+	}
+
+	// Small queues so admission control engages under modest traffic:
+	// depth 4 puts the background high-water mark at 2.
+	nodes := make([]*testNode, 3)
+	addrs := make([]string, 3)
+	for i := range nodes {
+		nodes[i] = startTestNodeTune(t, 64, uint64(2000*i+11), pcmserve.ServerConfig{},
+			func(cfg *pcmserve.ShardsConfig) { cfg.QueueDepth = 4 })
+		addrs[i] = nodes[i].addr
+	}
+	c, err := New(Config{
+		Nodes: addrs,
+		DialNode: func(addr string) (NodeClient, error) {
+			return pcmserve.DialRetry(addr, pcmserve.RetryConfig{
+				MaxReadAttempts:  3,
+				MaxWriteAttempts: 2,
+				BaseBackoff:      time.Millisecond,
+				MaxBackoff:       10 * time.Millisecond,
+				OpTimeout:        time.Second,
+				Seed:             nodeSeed(addr),
+				Budget:           pcmserve.NewRetryBudget(0.1, 32),
+			})
+		},
+		ReplicationFactor:   3,
+		WriteQuorum:         2,
+		ReadQuorum:          2,
+		FailThreshold:       8,
+		ProbeInterval:       50 * time.Millisecond,
+		HintReplayInterval:  10 * time.Millisecond,
+		AntiEntropyInterval: time.Millisecond,
+		Seed:                777,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const workers = 8
+	const blockSpan = 40
+
+	// allowedErr: under overload every failure must still be typed —
+	// a quorum verdict, a shed verdict, a spent retry budget, or the
+	// caller's own deadline. Anything else is a bug.
+	allowedErr := func(err error) bool {
+		return errors.Is(err, ErrWriteQuorum) ||
+			errors.Is(err, ErrReadQuorum) ||
+			errors.Is(err, ErrClosed) ||
+			errors.Is(err, pcmserve.ErrOverloaded) ||
+			errors.Is(err, pcmserve.ErrDeadlineExceeded) ||
+			errors.Is(err, pcmserve.ErrRetryBudgetExhausted) ||
+			errors.Is(err, context.DeadlineExceeded)
+	}
+
+	stop := make(chan struct{})
+	failures := make(chan error, workers+1)
+	mirrors := make(chan map[int64][]byte, workers)
+	var storming atomic.Bool
+	var stormOps atomic.Uint64
+	var wg sync.WaitGroup
+
+	// Storm controller: a quarter in, node 1's devices turn into
+	// stragglers; at three quarters the latency lifts.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stormAt := time.After(soak / 4)
+		clearAt := time.After(3 * soak / 4)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-stormAt:
+				for _, fi := range nodes[1].fis {
+					fi.SetLatency(8 * time.Millisecond)
+				}
+				storming.Store(true)
+			case <-clearAt:
+				storming.Store(false)
+				for _, fi := range nodes[1].fis {
+					fi.SetLatency(0)
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*211 + 3))
+			lastAcked := make(map[int64][]byte)
+			defer func() { mirrors <- lastAcked }()
+			data := make([]byte, DataBytes)
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := int64(rng.Intn(blockSpan/workers)*workers + w)
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+				if rng.Intn(10) < 5 { // write
+					for i := range data {
+						data[i] = byte(w*29 + iter*13 + i)
+					}
+					err := c.WriteBlock(ctx, b, data)
+					cancel()
+					if err != nil {
+						if !allowedErr(err) {
+							failures <- fmt.Errorf("worker %d: write block %d: untyped error under overload: %w", w, b, err)
+							return
+						}
+						lastAcked[b] = nil // undefined until re-acknowledged
+						continue
+					}
+					lastAcked[b] = append([]byte(nil), data...)
+					if storming.Load() {
+						stormOps.Add(1)
+					}
+					continue
+				}
+				got, err := c.ReadBlock(ctx, b)
+				cancel()
+				if err != nil {
+					if !allowedErr(err) {
+						failures <- fmt.Errorf("worker %d: read block %d: untyped error under overload: %w", w, b, err)
+						return
+					}
+					continue
+				}
+				if storming.Load() {
+					stormOps.Add(1)
+				}
+				want, wrote := lastAcked[b]
+				switch {
+				case !wrote:
+					if !bytes.Equal(got, make([]byte, DataBytes)) {
+						failures <- fmt.Errorf("worker %d: unwritten block %d returned nonzero data", w, b)
+						return
+					}
+				case want == nil:
+					// Unverifiable after an unacknowledged write.
+				default:
+					if !bytes.Equal(got, want) {
+						failures <- fmt.Errorf("worker %d: block %d diverged from last-acknowledged write", w, b)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(soak)
+	close(stop)
+	wg.Wait()
+	close(failures)
+	close(mirrors)
+	for err := range failures {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Goodput floor: foreground quorums kept landing while the
+	// straggler was shedding.
+	if stormOps.Load() == 0 {
+		t.Error("no operations succeeded during the storm (goodput collapsed to zero)")
+	}
+
+	// The straggler shed background work server-side: its high-water
+	// mark protects foreground capacity first.
+	ov := nodes[1].g.OverloadStats()
+	if ov.ShedBackground == 0 {
+		t.Error("straggler never shed background work despite saturated queues")
+	}
+
+	st := c.Stats()
+	t.Logf("soak stats: %+v straggler overload: %+v", st, ov)
+	if st.OverloadEvents == 0 {
+		t.Error("cluster recorded no typed overload verdicts despite the storm")
+	}
+
+	// Bounded recovery: with the storm lifted, every block becomes
+	// readable and every acknowledged value reads back exactly.
+	want := make(map[int64][]byte)
+	for m := range mirrors {
+		for b, v := range m {
+			want[b] = v
+		}
+	}
+	ctx := context.Background()
+	deadline := time.Now().Add(15 * time.Second)
+	for b := int64(0); b < blockSpan; b++ {
+		for {
+			got, err := c.ReadBlock(ctx, b)
+			if err == nil {
+				if w, ok := want[b]; ok && w != nil && !bytes.Equal(got, w) {
+					t.Fatalf("block %d converged to wrong data", b)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("block %d never became readable after the storm: %v", b, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// The brownout clears once the shed verdicts age out of the meter's
+	// window — degraded mode is bounded, not sticky.
+	calm := time.Now().Add(10 * time.Second)
+	for c.brownoutLevel() != brownoutNone {
+		if time.Now().After(calm) {
+			t.Fatalf("brownout level still %d long after the storm cleared", c.brownoutLevel())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

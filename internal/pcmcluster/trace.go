@@ -65,14 +65,16 @@ func (c *Cluster) startTrace(op string, block int64, id uint64, cause string) *o
 
 // bgTrace opens a cause-tagged root trace for one background attempt
 // and returns a context carrying its ID (over c.ctx, so the attempt
-// still dies with the cluster). Callers add their own per-attempt
-// deadline.
+// still dies with the cluster). The context is tagged background class,
+// so the RPCs it issues are first to shed under server queue pressure.
+// Callers add their own per-attempt deadline.
 func (c *Cluster) bgTrace(op, cause string, block int64) (context.Context, *opTrace) {
+	ctx := pcmserve.WithBackground(c.ctx)
 	if c.traceOff {
-		return c.ctx, nil
+		return ctx, nil
 	}
 	id := obs.NextTraceID()
-	return obs.ContextWithTrace(c.ctx, id), c.startTrace(op, block, id, cause)
+	return obs.ContextWithTrace(ctx, id), c.startTrace(op, block, id, cause)
 }
 
 func (t *opTrace) add(e obs.TraceEvent) {
@@ -244,6 +246,10 @@ func errClass(err error) string {
 	switch {
 	case errors.Is(err, errNodeDown):
 		return "node_down"
+	case errors.Is(err, pcmserve.ErrOverloaded), errors.Is(err, pcmserve.ErrDeadlineExceeded):
+		return "overloaded"
+	case errors.Is(err, pcmserve.ErrRetryBudgetExhausted):
+		return "retry_budget"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout"
 	case errors.Is(err, context.Canceled):

@@ -32,8 +32,12 @@ type SchedulerConfig struct {
 	// Exec performs one block refresh on a shard, typically by routing
 	// through the shard's queue so refresh serializes with foreground
 	// traffic (required). The scheduler has already paid for the
-	// refresh bytes when Exec is called.
-	Exec func(shard, block int) (Outcome, error)
+	// refresh bytes when Exec is called. forced marks overdue refreshes
+	// that preempted the budget: an Exec routing through load-shedding
+	// admission must enqueue these unconditionally (an error drops the
+	// slot, the block keeps aging, and the next visit arrives forced —
+	// shedding can defer refresh but never starve it).
+	Exec func(shard, block int, forced bool) (Outcome, error)
 	// GraceFactor sets the deadline-miss threshold: a refresh executed
 	// at block age > Interval×(1+GraceFactor) counts as a missed
 	// deadline (default 0.25). The grace absorbs pass-phase jitter so
@@ -218,7 +222,7 @@ func (sc *Scheduler) refreshOne(shard int, d *Device, block int) bool {
 			sc.cfg.OnDeadlineMiss(shard)
 		}
 	}
-	out, err := sc.cfg.Exec(shard, block)
+	out, err := sc.cfg.Exec(shard, block, overdue)
 	if err != nil {
 		// Shard dead or shutting down; drop the slot and move on.
 		sc.execErrors.Add(1)

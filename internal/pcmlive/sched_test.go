@@ -12,7 +12,7 @@ import (
 // Budget to the scheduler only, so the fill doesn't stall); tests
 // that also touch owner-confined state from the test goroutine do so
 // only while the scheduler is stopped.
-func schedDev(t *testing.T, blocks int, seed uint64, timeScale float64) (*Device, func(int, int) (Outcome, error)) {
+func schedDev(t *testing.T, blocks int, seed uint64, timeScale float64) (*Device, func(int, int, bool) (Outcome, error)) {
 	t.Helper()
 	d, err := NewDevice(DeviceConfig{
 		Blocks: blocks, Model: fourModel(t), Seed: seed,
@@ -26,7 +26,7 @@ func schedDev(t *testing.T, blocks int, seed uint64, timeScale float64) (*Device
 			t.Fatal(err)
 		}
 	}
-	return d, func(_, block int) (Outcome, error) { return d.RefreshBlock(block) }
+	return d, func(_, block int, _ bool) (Outcome, error) { return d.RefreshBlock(block) }
 }
 
 func TestSchedulerKeepsDeviceAliveAtPaperInterval(t *testing.T) {
@@ -113,7 +113,7 @@ func TestSchedulerExecErrorsDropSlots(t *testing.T) {
 	var calls atomic.Int64
 	sc, err := NewScheduler([]*Device{d}, SchedulerConfig{
 		Interval: 1020,
-		Exec: func(_, _ int) (Outcome, error) {
+		Exec: func(_, _ int, _ bool) (Outcome, error) {
 			calls.Add(1)
 			return RefreshUnwritten, errShardGone
 		},

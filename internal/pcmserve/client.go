@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,7 +19,26 @@ import (
 
 // maxChunk is the largest read or write payload the client puts in one
 // frame; larger ReadAt/WriteAt calls are split into sequential chunks.
+// Extended-header writes shave extHeaderBytes (rounded up to 64 for
+// slack) off the chunk so the frame stays inside DefaultMaxFrame,
+// which predates the header and must not move (old peers enforce it).
 const maxChunk = 1 << 20
+
+// classKey tags a context as carrying background work.
+type classKey struct{}
+
+// WithBackground marks ctx's requests as background class: servers shed
+// them first under queue pressure (refresh, scrub, read-repair,
+// anti-entropy, membership transfers ride this).
+func WithBackground(ctx context.Context) context.Context {
+	return context.WithValue(ctx, classKey{}, true)
+}
+
+// IsBackground reports whether ctx was tagged by WithBackground.
+func IsBackground(ctx context.Context) bool {
+	b, _ := ctx.Value(classKey{}).(bool)
+	return b
+}
 
 // Client is a pipelined pcmserve client over ONE connection. It is safe
 // for concurrent use: any number of goroutines may issue requests, each
@@ -42,6 +62,12 @@ type Client struct {
 	nextID     atomic.Uint64
 	opTimeout  atomic.Int64 // nanoseconds; 0 = none
 	readerDone chan struct{}
+
+	// legacy latches when a peer rejects the extended header (deadline +
+	// class): from then on this client sends legacy frames. RetryClient
+	// shares one latch across redials so the downgrade is probed once
+	// per peer, not once per connection.
+	legacy *atomic.Bool
 }
 
 var _ io.ReaderAt = (*Client)(nil)
@@ -64,9 +90,54 @@ func NewClient(conn net.Conn) *Client {
 		bw:         bufio.NewWriter(conn),
 		pending:    make(map[uint64]chan response),
 		readerDone: make(chan struct{}),
+		legacy:     new(atomic.Bool),
 	}
 	go c.readLoop()
 	return c
+}
+
+// reqExt builds the extended header for one request, or nil when the
+// peer latched legacy. The deadline field carries the budget REMAINING
+// at send time in µs (the server restarts the clock at receipt, so
+// one-way latency eats into the budget exactly once).
+func (c *Client) reqExt(ctx context.Context) *wireExt {
+	if c.legacy.Load() {
+		return nil
+	}
+	e := &wireExt{}
+	if IsBackground(ctx) {
+		e.class = classBackground
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			e.deadlineUs = uint64(rem / time.Microsecond)
+			if e.deadlineUs == 0 {
+				e.deadlineUs = 1
+			}
+		} else {
+			e.deadlineUs = 1 // already expired; server fast-fails typed
+		}
+	}
+	return e
+}
+
+// roundTripExt is roundTrip plus the legacy-downgrade probe: a peer
+// predating the extended header answers a flagged op with a generic
+// "unknown op" error and closes the connection. The latch flips, the
+// typed failure invalidates the connection upstream, and the retry
+// lands with legacy framing.
+func (c *Client) roundTripExt(ctx context.Context, id uint64, reqFrame []byte, ext *wireExt) (response, error) {
+	resp, err := c.roundTrip(ctx, id, reqFrame)
+	if err != nil && ext != nil {
+		var re *RemoteError
+		if errors.As(err, &re) && re.Code == CodeGeneric && strings.Contains(re.Msg, "unknown op") {
+			c.legacy.Store(true)
+			// RemoteError rides as text only: the caller must see a dead
+			// conn (redial), not an in-band verdict (conn reuse).
+			return response{}, fmt.Errorf("%w: peer rejected extended header, latched legacy framing: %v", ErrConnFailed, re)
+		}
+	}
+	return resp, err
 }
 
 // SetOpTimeout bounds every subsequent deadline-less operation (the
@@ -224,7 +295,8 @@ func (c *Client) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error
 			chunk = maxChunk
 		}
 		id := c.nextID.Add(1)
-		resp, err := c.roundTrip(ctx, id, encodeReadReq(id, trace, off+int64(n), uint32(chunk)))
+		ext := c.reqExt(ctx)
+		resp, err := c.roundTripExt(ctx, id, encodeReadReq(id, trace, ext, off+int64(n), uint32(chunk)), ext)
 		if err != nil {
 			return n, err
 		}
@@ -262,12 +334,17 @@ func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, erro
 	trace := obs.TraceFromContext(ctx)
 	n := 0
 	for n < len(p) {
+		ext := c.reqExt(ctx)
+		limit := maxChunk
+		if ext != nil {
+			limit = maxChunk - 64 // leave room for the extended header
+		}
 		chunk := len(p) - n
-		if chunk > maxChunk {
-			chunk = maxChunk
+		if chunk > limit {
+			chunk = limit
 		}
 		id := c.nextID.Add(1)
-		resp, err := c.roundTrip(ctx, id, encodeWriteReq(id, trace, off+int64(n), p[n:n+chunk]))
+		resp, err := c.roundTripExt(ctx, id, encodeWriteReq(id, trace, ext, off+int64(n), p[n:n+chunk]), ext)
 		if err != nil {
 			return n, err
 		}
@@ -310,9 +387,10 @@ func (c *Client) HashRangeCtx(ctx context.Context, off int64, recordBytes, count
 			int64(recordBytes)*int64(count), maxRangeBytes)
 	}
 	id := c.nextID.Add(1)
-	req := encodeHashRangeReq(id, obs.TraceFromContext(ctx), off,
+	ext := c.reqExt(ctx)
+	req := encodeHashRangeReq(id, obs.TraceFromContext(ctx), ext, off,
 		uint32(recordBytes), uint32(count), uint32(fanout))
-	resp, err := c.roundTrip(ctx, id, req)
+	resp, err := c.roundTripExt(ctx, id, req, ext)
 	if err != nil {
 		return nil, err
 	}
@@ -351,9 +429,10 @@ func (c *Client) ReadStrideCtx(ctx context.Context, off int64, stride, recordByt
 			int64(count)+int64(count)*int64(recordBytes))
 	}
 	id := c.nextID.Add(1)
-	req := encodeReadStrideReq(id, obs.TraceFromContext(ctx), off,
+	ext := c.reqExt(ctx)
+	req := encodeReadStrideReq(id, obs.TraceFromContext(ctx), ext, off,
 		uint32(stride), uint32(recordBytes), uint32(count))
-	resp, err := c.roundTrip(ctx, id, req)
+	resp, err := c.roundTripExt(ctx, id, req, ext)
 	if err != nil {
 		return nil, err
 	}
@@ -383,7 +462,8 @@ func (c *Client) Advance(dt float64) error {
 // AdvanceCtx is Advance under a caller context.
 func (c *Client) AdvanceCtx(ctx context.Context, dt float64) error {
 	id := c.nextID.Add(1)
-	_, err := c.roundTrip(ctx, id, encodeAdvanceReq(id, obs.TraceFromContext(ctx), dt))
+	ext := c.reqExt(ctx)
+	_, err := c.roundTripExt(ctx, id, encodeAdvanceReq(id, obs.TraceFromContext(ctx), ext, dt), ext)
 	return err
 }
 
@@ -397,7 +477,8 @@ func (c *Client) Stats() (Stats, error) {
 // StatsCtx is Stats under a caller context.
 func (c *Client) StatsCtx(ctx context.Context) (Stats, error) {
 	id := c.nextID.Add(1)
-	resp, err := c.roundTrip(ctx, id, encodeStatsReq(id, obs.TraceFromContext(ctx)))
+	ext := c.reqExt(ctx)
+	resp, err := c.roundTripExt(ctx, id, encodeStatsReq(id, obs.TraceFromContext(ctx), ext), ext)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -1,8 +1,10 @@
 package pcmserve
 
 import (
+	"encoding/binary"
 	"errors"
 	"io"
+	"time"
 
 	"repro/internal/core"
 )
@@ -27,6 +29,16 @@ const (
 	// implement the requested op (an older build, or range ops disabled).
 	// Permanent — callers fall back to a compatible code path.
 	CodeUnsupported uint8 = 4
+	// CodeOverloaded maps to ErrOverloaded: the request was shed by
+	// admission control instead of queued. Transient; the payload
+	// carries a uint32 retry-after hint in microseconds after the code
+	// byte.
+	CodeOverloaded uint8 = 5
+	// CodeDeadlineExceeded maps to ErrDeadlineExceeded: the request's
+	// wire deadline expired before the shard executed it (dropped at
+	// dequeue, never run). Transient — but only worth retrying with a
+	// fresh deadline.
+	CodeDeadlineExceeded uint8 = 6
 )
 
 // ErrShardUnavailable reports a request that hit a shard whose owner
@@ -47,6 +59,23 @@ var ErrFrameCRC = errors.New("pcmserve: frame checksum mismatch")
 // sweep instead of Merkle exchange) rather than retry.
 var ErrUnsupported = errors.New("pcmserve: operation not supported by peer")
 
+// ErrOverloaded reports a request shed by admission control: the shard
+// queue was saturated and the server chose to fail fast rather than
+// block the connection. Transient — the server is alive and telling
+// the caller to back off; use RetryAfter to read its hint.
+var ErrOverloaded = errors.New("pcmserve: overloaded, request shed")
+
+// ErrDeadlineExceeded reports a request whose wire deadline expired
+// before a shard executed it: the server dropped it at dequeue (work
+// nobody is waiting for is never run). Transient, but retrying with
+// the same stale deadline would only be dropped again.
+var ErrDeadlineExceeded = errors.New("pcmserve: request deadline exceeded")
+
+// ErrRetryBudgetExhausted is a client-side verdict: the retry budget's
+// token bucket is empty, so the retry layer stopped retrying to avoid
+// amplifying an overload. It wraps the last underlying failure.
+var ErrRetryBudgetExhausted = errors.New("pcmserve: retry budget exhausted")
+
 // ErrConnFailed marks a connection-level failure: the transport died
 // before a response arrived, so the request outcome is unknown. The
 // underlying cause is recorded as text only — deliberately NOT wrapped —
@@ -62,6 +91,9 @@ var ErrConnFailed = errors.New("pcmserve: connection failed")
 type RemoteError struct {
 	Code uint8
 	Msg  string
+	// RetryAfterUs is the server's back-off hint in microseconds,
+	// carried only with CodeOverloaded (0 otherwise).
+	RetryAfterUs uint32
 }
 
 func (e *RemoteError) Error() string { return e.Msg }
@@ -77,8 +109,41 @@ func (e *RemoteError) Unwrap() error {
 		return ErrClosed
 	case CodeUnsupported:
 		return ErrUnsupported
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeDeadlineExceeded:
+		return ErrDeadlineExceeded
 	}
 	return nil
+}
+
+// OverloadError is the server-side form of an admission rejection,
+// carrying the shard's estimate of when capacity will free up. The
+// wire layer flattens it into a CodeOverloaded frame; clients see a
+// RemoteError that unwraps to ErrOverloaded with RetryAfterUs set.
+type OverloadError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return "pcmserve: overloaded, request shed (retry after " + e.RetryAfter.String() + ")"
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// RetryAfter extracts the back-off hint from an overload error — the
+// server-side OverloadError or its client-side RemoteError image —
+// and 0 when err carries none.
+func RetryAfter(err error) time.Duration {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	var re *RemoteError
+	if errors.As(err, &re) && re.Code == CodeOverloaded {
+		return time.Duration(re.RetryAfterUs) * time.Microsecond
+	}
+	return 0
 }
 
 // errCode picks the wire code for a server-side error.
@@ -92,14 +157,29 @@ func errCode(err error) uint8 {
 		return CodeClosed
 	case errors.Is(err, ErrUnsupported):
 		return CodeUnsupported
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrDeadlineExceeded):
+		return CodeDeadlineExceeded
 	}
 	return CodeGeneric
 }
 
 // errFrame encodes a StatusErr response: one code byte, then the
-// message.
+// message. CodeOverloaded inserts a uint32 retry-after hint (µs)
+// between the code and the message.
 func errFrame(id uint64, err error) []byte {
-	return frame(id, StatusErr, []byte{errCode(err)}, []byte(err.Error()))
+	code := errCode(err)
+	if code == CodeOverloaded {
+		us := uint64(RetryAfter(err) / time.Microsecond)
+		if us > uint64(^uint32(0)) {
+			us = uint64(^uint32(0))
+		}
+		var hint [4]byte
+		binary.BigEndian.PutUint32(hint[:], uint32(us))
+		return frame(id, StatusErr, []byte{code}, hint[:], []byte(err.Error()))
+	}
+	return frame(id, StatusErr, []byte{code}, []byte(err.Error()))
 }
 
 // decodeWireError rebuilds the typed error from a StatusErr payload.
@@ -107,7 +187,14 @@ func decodeWireError(payload []byte) error {
 	if len(payload) == 0 {
 		return &RemoteError{Code: CodeGeneric, Msg: "pcmserve: empty error payload"}
 	}
-	return &RemoteError{Code: payload[0], Msg: string(payload[1:])}
+	re := &RemoteError{Code: payload[0]}
+	rest := payload[1:]
+	if re.Code == CodeOverloaded && len(rest) >= 4 {
+		re.RetryAfterUs = binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+	}
+	re.Msg = string(rest)
+	return re
 }
 
 // ErrorClass groups failures by what a caller should do about them.
@@ -157,6 +244,13 @@ func Classify(err error) ErrorClass {
 		return ClassTransient
 	case errors.Is(err, ErrUnsupported):
 		return ClassPermanent
+	case errors.Is(err, ErrOverloaded):
+		// Shed, not executed: safe and worthwhile to retry after backing
+		// off — but checked before the RemoteError fallback below, which
+		// would call any in-band rejection permanent.
+		return ClassTransient
+	case errors.Is(err, ErrDeadlineExceeded):
+		return ClassTransient
 	case errors.Is(err, io.EOF):
 		return ClassPermanent
 	}

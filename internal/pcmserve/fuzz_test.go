@@ -17,15 +17,15 @@ import (
 // and backs the checked-in corpus under testdata/fuzz/FuzzDecodeFrame.
 func fuzzSeeds() [][]byte {
 	seeds := [][]byte{
-		encodeReadReq(1, 0xABCD, 128, 64),
-		encodeWriteReq(2, 0, 64, bytes.Repeat([]byte{0x5A}, 64)),
-		encodeAdvanceReq(3, 7, 0.5),
-		encodeStatsReq(4, 0),
+		encodeReadReq(1, 0xABCD, nil, 128, 64),
+		encodeWriteReq(2, 0, nil, 64, bytes.Repeat([]byte{0x5A}, 64)),
+		encodeAdvanceReq(3, 7, nil, 0.5),
+		encodeStatsReq(4, 0, nil),
 		frame(5, StatusOK, bytes.Repeat([]byte{0x11}, 32)),
 		errFrame(6, errors.New("some failure")),
 	}
 	// Truncated mid-header and mid-body.
-	full := encodeReadReq(7, 0, 0, 16)
+	full := encodeReadReq(7, 0, nil, 0, 16)
 	seeds = append(seeds, full[:3], full[:9], full[:len(full)-2])
 	// Corrupted CRC word and corrupted body.
 	badCRC := append([]byte(nil), full...)
@@ -43,9 +43,17 @@ func fuzzSeeds() [][]byte {
 	// Vectored anti-entropy ops (appended so the mutant indices above
 	// stay stable).
 	seeds = append(seeds,
-		encodeHashRangeReq(11, 0, 160, 80, 1024, 8),
-		encodeReadStrideReq(12, 0xFEED, 64, 80, 16, 34),
+		encodeHashRangeReq(11, 0, nil, 160, 80, 1024, 8),
+		encodeReadStrideReq(12, 0xFEED, nil, 64, 80, 16, 34),
 	)
+	// Extended-header requests: deadline budget + admission class after
+	// the trace word, flagged in the op byte. One truncated mid-ext.
+	seeds = append(seeds,
+		encodeReadReq(13, 5, &wireExt{deadlineUs: 1500, class: classBackground}, 128, 64),
+		encodeWriteReq(14, 0, &wireExt{}, 64, bytes.Repeat([]byte{0x7C}, 64)),
+	)
+	extFull := encodeReadReq(15, 0, &wireExt{deadlineUs: 9}, 0, 16)
+	seeds = append(seeds, extFull[:len(extFull)-extHeaderBytes-9])
 	return seeds
 }
 
@@ -80,20 +88,24 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		// A frame that parses as a request must re-encode to the exact
 		// bytes read off the wire (the codec is canonical).
+		var ext *wireExt
+		if req.ext {
+			ext = &wireExt{deadlineUs: req.deadlineUs, class: req.class}
+		}
 		var re []byte
 		switch req.op {
 		case OpRead:
-			re = encodeReadReq(req.id, req.trace, req.off, req.n)
+			re = encodeReadReq(req.id, req.trace, ext, req.off, req.n)
 		case OpWrite:
-			re = encodeWriteReq(req.id, req.trace, req.off, req.data)
+			re = encodeWriteReq(req.id, req.trace, ext, req.off, req.data)
 		case OpAdvance:
-			re = encodeAdvanceReq(req.id, req.trace, req.dt)
+			re = encodeAdvanceReq(req.id, req.trace, ext, req.dt)
 		case OpStats:
-			re = encodeStatsReq(req.id, req.trace)
+			re = encodeStatsReq(req.id, req.trace, ext)
 		case OpHashRange:
-			re = encodeHashRangeReq(req.id, req.trace, req.off, req.recordBytes, req.count, req.fanout)
+			re = encodeHashRangeReq(req.id, req.trace, ext, req.off, req.recordBytes, req.count, req.fanout)
 		case OpReadStride:
-			re = encodeReadStrideReq(req.id, req.trace, req.off, req.stride, req.recordBytes, req.count)
+			re = encodeReadStrideReq(req.id, req.trace, ext, req.off, req.stride, req.recordBytes, req.count)
 		default:
 			t.Fatalf("parseRequest accepted unknown op %d", req.op)
 		}

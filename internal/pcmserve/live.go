@@ -191,7 +191,14 @@ func (ls *liveState) startScheduler(g *Shards) error {
 // observe. block indexes the shard's RAW device blocks (integrity
 // sideband blocks included: every physical block needs refresh), which
 // is why it bypasses the integrity mapping.
-func (g *Shards) execRefresh(shard, block int) (pcmlive.Outcome, error) {
+//
+// On-schedule refresh is background work: admission sheds it under
+// queue pressure, the scheduler drops the slot, and the block keeps
+// aging — until the scheduler's priority aging marks it overdue and
+// calls back with forced=true, which enqueues unconditionally (the
+// ForceTake escape hatch: overdue refresh is never shed into data
+// loss).
+func (g *Shards) execRefresh(shard, block int, forced bool) (pcmlive.Outcome, error) {
 	s := g.shards[shard]
 	g.mu.RLock()
 	if g.closed {
@@ -203,8 +210,16 @@ func (g *Shards) execRefresh(shard, block int) (pcmlive.Outcome, error) {
 		return pcmlive.RefreshUnwritten, fmt.Errorf("pcmserve: shard %d is dead: %w", shard, ErrShardUnavailable)
 	}
 	done := make(chan shardResult, 1)
-	s.ch <- shardReq{op: opRefresh, off: int64(block) * core.BlockBytes, enq: time.Now(), done: done}
+	req := shardReq{op: opRefresh, off: int64(block) * core.BlockBytes, enq: time.Now(), done: done}
+	meta := opMeta{class: classBackground}
+	if forced {
+		meta = opMeta{} // legacy blocking: overdue refresh must land
+	}
+	err := s.admit(req, meta)
 	g.mu.RUnlock()
+	if err != nil {
+		return pcmlive.RefreshUnwritten, err
+	}
 	r := <-done
 	return r.live, r.err
 }

@@ -95,7 +95,28 @@ type Stats struct {
 	// when live mode is disabled).
 	Live LiveStats `json:"live"`
 
+	// Overload reports classed-admission load shedding.
+	Overload OverloadStats `json:"overload"`
+
 	Shards []ShardStats `json:"shards"`
+}
+
+// OverloadStats snapshots the classed-admission layer: work shed
+// before execution (by class), work dropped expired at dequeue, and
+// the peak instantaneous queue occupancy across shards.
+type OverloadStats struct {
+	// ShedBackground counts background requests (scrub, refresh,
+	// anti-entropy, repair) refused at the high-water mark;
+	// ShedForeground counts client requests fast-failed with
+	// ErrOverloaded after the bounded admission wait.
+	ShedBackground uint64 `json:"shed_background"`
+	ShedForeground uint64 `json:"shed_foreground"`
+	// ExpiredDequeued counts requests whose deadline had passed when
+	// the shard owner dequeued them — dropped without execution.
+	ExpiredDequeued uint64 `json:"expired_dequeued"`
+	// QueuePressure is the peak len/cap ratio across shard queues at
+	// snapshot time (1.0 = some queue completely full).
+	QueuePressure float64 `json:"queue_pressure"`
 }
 
 // IntegrityStats aggregates the stored-block integrity layer's

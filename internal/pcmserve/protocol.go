@@ -81,6 +81,48 @@ const (
 	OpReadStride uint8 = 6
 )
 
+// opFlagExt marks a request frame that carries the extended header —
+// 9 extra bytes after the trace id: a uint64 deadline budget in
+// microseconds (0 = none) and a uint8 admission class. The flag is
+// OR'd into the op byte, so an old server sees an unknown op, answers
+// with a typed error, and the new client latches into legacy framing
+// (version gating without touching the frame layout old peers parse).
+const opFlagExt uint8 = 0x80
+
+// extHeaderBytes is the size of the extended request header.
+const extHeaderBytes = 8 + 1
+
+// Admission classes carried in the extended header. Background work
+// (refresh, scrub, read-repair, anti-entropy, membership transfers)
+// is shed first under queue pressure; foreground keeps its priority.
+const (
+	classForeground uint8 = 0
+	classBackground uint8 = 1
+)
+
+// wireExt is one request's extended header; nil means legacy framing.
+type wireExt struct {
+	deadlineUs uint64
+	class      uint8
+}
+
+func (e *wireExt) flag() uint8 {
+	if e == nil {
+		return 0
+	}
+	return opFlagExt
+}
+
+func (e *wireExt) bytes() []byte {
+	if e == nil {
+		return nil
+	}
+	var b [extHeaderBytes]byte
+	binary.BigEndian.PutUint64(b[:], e.deadlineUs)
+	b[8] = e.class
+	return b[:]
+}
+
 // Response statuses.
 const (
 	StatusOK  uint8 = 0
@@ -162,28 +204,28 @@ func u32(v uint32) []byte {
 	return b[:]
 }
 
-func encodeReadReq(id, trace uint64, off int64, n uint32) []byte {
-	return frame(id, OpRead, u64(trace), u64(uint64(off)), u32(n))
+func encodeReadReq(id, trace uint64, ext *wireExt, off int64, n uint32) []byte {
+	return frame(id, OpRead|ext.flag(), u64(trace), ext.bytes(), u64(uint64(off)), u32(n))
 }
 
-func encodeWriteReq(id, trace uint64, off int64, data []byte) []byte {
-	return frame(id, OpWrite, u64(trace), u64(uint64(off)), data)
+func encodeWriteReq(id, trace uint64, ext *wireExt, off int64, data []byte) []byte {
+	return frame(id, OpWrite|ext.flag(), u64(trace), ext.bytes(), u64(uint64(off)), data)
 }
 
-func encodeAdvanceReq(id, trace uint64, dt float64) []byte {
-	return frame(id, OpAdvance, u64(trace), u64(math.Float64bits(dt)))
+func encodeAdvanceReq(id, trace uint64, ext *wireExt, dt float64) []byte {
+	return frame(id, OpAdvance|ext.flag(), u64(trace), ext.bytes(), u64(math.Float64bits(dt)))
 }
 
-func encodeStatsReq(id, trace uint64) []byte {
-	return frame(id, OpStats, u64(trace))
+func encodeStatsReq(id, trace uint64, ext *wireExt) []byte {
+	return frame(id, OpStats|ext.flag(), u64(trace), ext.bytes())
 }
 
-func encodeHashRangeReq(id, trace uint64, off int64, recordBytes, count, fanout uint32) []byte {
-	return frame(id, OpHashRange, u64(trace), u64(uint64(off)), u32(recordBytes), u32(count), u32(fanout))
+func encodeHashRangeReq(id, trace uint64, ext *wireExt, off int64, recordBytes, count, fanout uint32) []byte {
+	return frame(id, OpHashRange|ext.flag(), u64(trace), ext.bytes(), u64(uint64(off)), u32(recordBytes), u32(count), u32(fanout))
 }
 
-func encodeReadStrideReq(id, trace uint64, off int64, stride, recordBytes, count uint32) []byte {
-	return frame(id, OpReadStride, u64(trace), u64(uint64(off)), u32(stride), u32(recordBytes), u32(count))
+func encodeReadStrideReq(id, trace uint64, ext *wireExt, off int64, stride, recordBytes, count uint32) []byte {
+	return frame(id, OpReadStride|ext.flag(), u64(trace), ext.bytes(), u64(uint64(off)), u32(stride), u32(recordBytes), u32(count))
 }
 
 // request is a decoded client request.
@@ -195,6 +237,11 @@ type request struct {
 	n     uint32  // OpRead: bytes wanted
 	data  []byte  // OpWrite: payload (aliases the frame buffer)
 	dt    float64 // OpAdvance
+
+	// Extended header (opFlagExt requests only).
+	ext        bool
+	deadlineUs uint64 // remaining budget in µs at send time; 0 = none
+	class      uint8  // classForeground or classBackground
 
 	// Vectored anti-entropy ops.
 	recordBytes uint32 // OpHashRange, OpReadStride: bytes per record
@@ -216,6 +263,17 @@ func parseRequest(buf []byte) (request, error) {
 	}
 	req.trace = binary.BigEndian.Uint64(buf[headerBytes:])
 	body := buf[reqHeaderBytes:]
+	if req.op&opFlagExt != 0 {
+		if len(body) < extHeaderBytes {
+			return req, fmt.Errorf("pcmserve: extended request frame %d bytes, below ext header size %d",
+				len(buf), reqHeaderBytes+extHeaderBytes)
+		}
+		req.ext = true
+		req.deadlineUs = binary.BigEndian.Uint64(body)
+		req.class = body[8]
+		req.op &^= opFlagExt
+		body = body[extHeaderBytes:]
+	}
 	switch req.op {
 	case OpRead:
 		if len(body) != 12 {

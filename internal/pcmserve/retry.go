@@ -43,6 +43,59 @@ type RetryConfig struct {
 	// on every underlying Client via SetOpTimeout (default 10s,
 	// negative disables).
 	OpTimeout time.Duration
+
+	// Budget, when non-nil, caps retry work relative to successful work:
+	// each retry (every attempt beyond an op's first) spends one token,
+	// each success refills a fraction of one. When the bucket is empty
+	// the op fails with ErrRetryBudgetExhausted instead of amplifying
+	// load against an overloaded server. A budget may be shared across
+	// clients (it is concurrency-safe); nil retries without a budget.
+	Budget *RetryBudget
+}
+
+// RetryBudget is a token bucket that bounds retries to a fraction of
+// successful operations — the standard defense against retry storms:
+// when a server browns out, clients quickly exhaust the bucket and
+// fail fast instead of multiplying the overload.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	ratio  float64
+}
+
+// NewRetryBudget builds a budget allowing roughly ratio retries per
+// success in steady state (e.g. 0.1 = 10%), with a burst-sized bucket
+// that starts full so isolated failures retry freely.
+func NewRetryBudget(ratio float64, burst int) *RetryBudget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst <= 0 {
+		burst = 16
+	}
+	return &RetryBudget{tokens: float64(burst), burst: float64(burst), ratio: ratio}
+}
+
+// Allow spends one retry token, reporting false when the bucket is dry.
+func (b *RetryBudget) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// OnSuccess refills ratio tokens, saturating at the burst size.
+func (b *RetryBudget) OnSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
 }
 
 func (cfg RetryConfig) withDefaults() RetryConfig {
@@ -76,6 +129,9 @@ type RetryStats struct {
 	Redials uint64
 	// Retries counts op attempts beyond each op's first.
 	Retries uint64
+	// BudgetExhausted counts ops abandoned because the retry budget was
+	// dry (zero when no budget is configured).
+	BudgetExhausted uint64
 }
 
 // RetryClient wraps Client with error classification, automatic
@@ -99,6 +155,12 @@ type RetryClient struct {
 	closed atomic.Bool
 
 	redials, retries atomic.Uint64
+	budgetExhausted  atomic.Uint64
+
+	// legacy is the extended-header downgrade latch shared by every
+	// connection this client dials: one peer rejection downgrades all
+	// future frames, surviving redials.
+	legacy atomic.Bool
 }
 
 var _ io.ReaderAt = (*RetryClient)(nil)
@@ -127,7 +189,11 @@ func DialRetry(addr string, cfg RetryConfig) (*RetryClient, error) {
 
 // RetryStats snapshots the recovery counters.
 func (r *RetryClient) RetryStats() RetryStats {
-	return RetryStats{Redials: r.redials.Load(), Retries: r.retries.Load()}
+	return RetryStats{
+		Redials:         r.redials.Load(),
+		Retries:         r.retries.Load(),
+		BudgetExhausted: r.budgetExhausted.Load(),
+	}
 }
 
 // Close closes the current connection. It is idempotent: later calls
@@ -161,6 +227,7 @@ func (r *RetryClient) conn() (*Client, uint64, error) {
 		return nil, 0, fmt.Errorf("pcmserve: redial: %w", err)
 	}
 	c := NewClient(conn)
+	c.legacy = &r.legacy // downgrade latch survives redials
 	if r.cfg.OpTimeout > 0 {
 		c.SetOpTimeout(r.cfg.OpTimeout)
 	}
@@ -184,8 +251,10 @@ func (r *RetryClient) invalidate(c *Client, gen uint64) {
 
 // backoff sleeps before attempt a (no sleep for the first attempt),
 // doubling from BaseBackoff up to MaxBackoff with ±50% jitter, honoring
-// ctx.
-func (r *RetryClient) backoff(ctx context.Context, attempt int) error {
+// ctx. A server retry-after hint (from a typed overload rejection)
+// floors the delay: the server knows its queue depth better than the
+// client's exponential schedule does.
+func (r *RetryClient) backoff(ctx context.Context, attempt int, hint time.Duration) error {
 	if attempt == 0 {
 		return nil
 	}
@@ -198,6 +267,9 @@ func (r *RetryClient) backoff(ctx context.Context, attempt int) error {
 	jitter := 0.5 + r.rng.Float64() // ×[0.5, 1.5)
 	r.mu.Unlock()
 	d = time.Duration(float64(d) * jitter)
+	if hint > d {
+		d = hint
+	}
 	select {
 	case <-time.After(d):
 		return nil
@@ -219,8 +291,9 @@ func (r *RetryClient) do(ctx context.Context, attempts int, op func(ctx context.
 	// ID rather than unrelated requests.
 	ctx, _ = obs.EnsureTrace(ctx)
 	var lastErr error
+	var hint time.Duration
 	for a := 0; a < attempts; a++ {
-		if err := r.backoff(ctx, a); err != nil {
+		if err := r.backoff(ctx, a, hint); err != nil {
 			return errors.Join(err, lastErr)
 		}
 		c, gen, err := r.conn()
@@ -241,6 +314,9 @@ func (r *RetryClient) do(ctx context.Context, attempts int, op func(ctx context.
 		err = op(actx, c)
 		cancel()
 		if err == nil || errors.Is(err, io.EOF) {
+			if r.cfg.Budget != nil {
+				r.cfg.Budget.OnSuccess()
+			}
 			return err
 		}
 		switch Classify(err) {
@@ -248,6 +324,7 @@ func (r *RetryClient) do(ctx context.Context, attempts int, op func(ctx context.
 			return err
 		}
 		lastErr = err
+		hint = RetryAfter(err)
 		var re *RemoteError
 		if !errors.As(err, &re) {
 			// Connection-level failure (including a per-attempt
@@ -260,6 +337,12 @@ func (r *RetryClient) do(ctx context.Context, attempts int, op func(ctx context.
 		}
 		if r.isClosed() {
 			return fmt.Errorf("%w (last error: %w)", ErrClosed, lastErr)
+		}
+		if a+1 < attempts && r.cfg.Budget != nil && !r.cfg.Budget.Allow() {
+			// Dry budget: stop amplifying load against a struggling
+			// server; the typed verdict lets callers shed or defer.
+			r.budgetExhausted.Add(1)
+			return fmt.Errorf("%w (last error: %w)", ErrRetryBudgetExhausted, lastErr)
 		}
 	}
 	// A close that raced with the final attempt must surface as

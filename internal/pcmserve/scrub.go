@@ -167,8 +167,11 @@ func (sc *scrubber) run() {
 
 // scrubOne scrubs the logical block with the given global index. The
 // enqueue follows the dispatch locking discipline: the closed check and
-// the channel send happen under the read lock, so Close cannot close
-// the queue out from under the send.
+// the admission happen under the read lock, so Close cannot close the
+// queue out from under the send. Scrub is background work: admission
+// sheds it at the high-water mark (counted as a skipped slot; the
+// cursor revisits the block next pass) so a saturated queue spends its
+// capacity on foreground requests.
 func (sc *scrubber) scrubOne(block int64) {
 	off := block * core.BlockBytes
 	s := sc.g.shards[off/sc.g.shardSize]
@@ -184,8 +187,13 @@ func (sc *scrubber) scrubOne(block int64) {
 		return
 	}
 	done := make(chan shardResult, 1)
-	s.ch <- shardReq{op: opScrub, off: off % sc.g.shardSize, enq: time.Now(), done: done}
+	err := s.admit(shardReq{op: opScrub, off: off % sc.g.shardSize, enq: time.Now(), done: done},
+		opMeta{class: classBackground})
 	sc.g.mu.RUnlock()
+	if err != nil {
+		sc.skipped.Inc()
+		return
+	}
 
 	r := <-done
 	sc.scrubbed.Inc()

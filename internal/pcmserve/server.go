@@ -48,6 +48,12 @@ type ServerConfig struct {
 	// peer predating them. Cluster clients use the verdict to fall back
 	// to the per-slot sweep; this flag exists to exercise that path.
 	DisableRangeOps bool
+	// DisableExtHeader rejects requests carrying the extended header
+	// (deadline + admission class) exactly the way a server predating it
+	// does: a generic "unknown op" error followed by connection close.
+	// Clients use the verdict to latch into legacy framing; this flag
+	// exists to exercise that fallback.
+	DisableExtHeader bool
 }
 
 func (c *ServerConfig) withDefaults() ServerConfig {
@@ -135,6 +141,7 @@ func (s *Server) Stats() Stats {
 		ActiveConns:  active,
 		TotalConns:   int64(s.metrics.totalConns.Value()),
 		SlowOps:      s.shards.obs.traces.SlowTotal(),
+		Overload:     s.shards.OverloadStats(),
 		Scrub:        s.shards.ScrubStats(),
 		Integrity:    s.shards.IntegrityStats(),
 		Live:         s.shards.LiveStats(),
@@ -338,10 +345,28 @@ func (s *Server) handleConn(conn net.Conn) {
 			out <- errFrame(req.id, err)
 			break
 		}
+		if req.ext && s.cfg.DisableExtHeader {
+			// Byte-for-byte what an old server says to a flagged op:
+			// generic error, then connection close.
+			out <- errFrame(req.id, fmt.Errorf("pcmserve: unknown op %d", req.op|opFlagExt))
+			break
+		}
+		// The deadline clock starts at receipt: the µs budget in the
+		// frame is what the client had left when it sent the request.
+		meta := opMeta{trace: req.trace}
+		if req.ext {
+			meta.sheddable = true
+			if req.class == classBackground {
+				meta.class = classBackground
+			}
+			if req.deadlineUs > 0 {
+				meta.deadline = time.Now().Add(time.Duration(req.deadlineUs) * time.Microsecond)
+			}
+		}
 		inflight <- struct{}{} // backpressure: cap concurrent handlers
 		go func() {
 			defer func() { <-inflight }()
-			out <- s.execute(req)
+			out <- s.execute(req, meta)
 		}()
 	}
 	// Drain in-flight handlers before closing the response stream.
@@ -354,7 +379,14 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // execute runs one request against the sharded device and encodes the
 // response frame.
-func (s *Server) execute(req request) []byte {
+func (s *Server) execute(req request, meta opMeta) []byte {
+	if !meta.deadline.IsZero() && time.Now().After(meta.deadline) {
+		// The budget was spent waiting on the inflight semaphore; answer
+		// typed without touching a shard queue.
+		s.shards.adm.expired.Inc()
+		s.metrics.errors.Inc()
+		return errFrame(req.id, ErrDeadlineExceeded)
+	}
 	switch req.op {
 	case OpRead:
 		if req.n > s.cfg.MaxFrame-headerBytes {
@@ -363,7 +395,7 @@ func (s *Server) execute(req request) []byte {
 			return errFrame(req.id, err)
 		}
 		buf := make([]byte, req.n)
-		n, err := s.shards.readAtTraced(req.trace, buf, req.off)
+		n, err := s.shards.readAtMeta(meta, buf, req.off)
 		if err == io.EOF {
 			s.metrics.countOp(OpRead, n, nil)
 			return frame(req.id, StatusEOF, buf[:n])
@@ -374,7 +406,7 @@ func (s *Server) execute(req request) []byte {
 		}
 		return frame(req.id, StatusOK, buf[:n])
 	case OpWrite:
-		n, err := s.shards.writeAtTraced(req.trace, req.data, req.off)
+		n, err := s.shards.writeAtMeta(meta, req.data, req.off)
 		s.metrics.countOp(OpWrite, n, err)
 		if err != nil {
 			return errFrame(req.id, err)
@@ -401,14 +433,14 @@ func (s *Server) execute(req request) []byte {
 			s.metrics.countOp(OpHashRange, 0, err)
 			return errFrame(req.id, err)
 		}
-		return s.hashRange(req)
+		return s.hashRange(req, meta)
 	case OpReadStride:
 		if s.cfg.DisableRangeOps {
 			err := fmt.Errorf("pcmserve: READ_STRIDE disabled: %w", ErrUnsupported)
 			s.metrics.countOp(OpReadStride, 0, err)
 			return errFrame(req.id, err)
 		}
-		return s.readStride(req)
+		return s.readStride(req, meta)
 	}
 	err := fmt.Errorf("pcmserve: unknown op %d", req.op)
 	s.metrics.errors.Inc()
@@ -425,7 +457,7 @@ const maxRangeBytes = 16 << 20
 // returns one FNV-1a 64 digest per chunk. A chunk whose bytes cannot
 // be read is flagged unreadable (digest 0) instead of failing the
 // request: the anti-entropy caller treats it as divergent and descends.
-func (s *Server) hashRange(req request) []byte {
+func (s *Server) hashRange(req request, meta opMeta) []byte {
 	if req.recordBytes == 0 || req.count == 0 || req.fanout == 0 {
 		err := fmt.Errorf("pcmserve: HASH_RANGE rec=%d count=%d fanout=%d: all must be positive",
 			req.recordBytes, req.count, req.fanout)
@@ -464,7 +496,7 @@ func (s *Server) hashRange(req request) []byte {
 			if n > int64(len(buf)) {
 				n = int64(len(buf))
 			}
-			rn, err := s.shards.readAtTraced(req.trace, buf[:n], off+done)
+			rn, err := s.shards.readAtMeta(meta, buf[:n], off+done)
 			if err != nil || int64(rn) != n {
 				flag = 1
 				break
@@ -492,7 +524,7 @@ func (s *Server) hashRange(req request) []byte {
 // spaced req.stride bytes apart, returning per-record readable flags
 // followed by the concatenated record bytes (unreadable records are
 // zero-filled so offsets stay aligned).
-func (s *Server) readStride(req request) []byte {
+func (s *Server) readStride(req request, meta opMeta) []byte {
 	if req.recordBytes == 0 || req.count == 0 || req.stride < req.recordBytes {
 		err := fmt.Errorf("pcmserve: READ_STRIDE rec=%d count=%d stride=%d: need rec>0, count>0, stride≥rec",
 			req.recordBytes, req.count, req.stride)
@@ -511,7 +543,7 @@ func (s *Server) readStride(req request) []byte {
 	for i := uint32(0); i < req.count; i++ {
 		dst := records[uint64(i)*uint64(req.recordBytes):][:req.recordBytes]
 		off := req.off + int64(i)*int64(req.stride)
-		n, err := s.shards.readAtTraced(req.trace, dst, off)
+		n, err := s.shards.readAtMeta(meta, dst, off)
 		if err != nil || n != len(dst) {
 			flags[i] = 1
 			clear(dst)

@@ -265,33 +265,43 @@ func TestGracefulShutdown(t *testing.T) {
 // TestProtocolRoundTrip fuzzes the codec helpers directly.
 func TestProtocolRoundTrip(t *testing.T) {
 	const trace = 0xDEADBEEFCAFE
-	reqs := [][]byte{
-		encodeReadReq(7, trace, 1024, 512),
-		encodeWriteReq(8, trace, 64, []byte("hello pcm")),
-		encodeAdvanceReq(9, trace, 3.5),
-		encodeStatsReq(10, trace),
-	}
-	for i, fr := range reqs {
-		body, err := readFrame(bytes.NewReader(fr), DefaultMaxFrame)
-		if err != nil {
-			t.Fatalf("req %d: readFrame: %v", i, err)
+	exts := []*wireExt{nil, {deadlineUs: 2500, class: classBackground}}
+	for _, ext := range exts {
+		reqs := [][]byte{
+			encodeReadReq(7, trace, ext, 1024, 512),
+			encodeWriteReq(8, trace, ext, 64, []byte("hello pcm")),
+			encodeAdvanceReq(9, trace, ext, 3.5),
+			encodeStatsReq(10, trace, ext),
 		}
-		req, err := parseRequest(body)
-		if err != nil {
-			t.Fatalf("req %d: parseRequest: %v", i, err)
-		}
-		if req.id != uint64(7+i) {
-			t.Errorf("req %d: id = %d, want %d", i, req.id, 7+i)
-		}
-		if req.trace != trace {
-			t.Errorf("req %d: trace = %#x, want %#x", i, req.trace, uint64(trace))
+		for i, fr := range reqs {
+			body, err := readFrame(bytes.NewReader(fr), DefaultMaxFrame)
+			if err != nil {
+				t.Fatalf("req %d: readFrame: %v", i, err)
+			}
+			req, err := parseRequest(body)
+			if err != nil {
+				t.Fatalf("req %d: parseRequest: %v", i, err)
+			}
+			if req.id != uint64(7+i) {
+				t.Errorf("req %d: id = %d, want %d", i, req.id, 7+i)
+			}
+			if req.trace != trace {
+				t.Errorf("req %d: trace = %#x, want %#x", i, req.trace, uint64(trace))
+			}
+			if req.ext != (ext != nil) {
+				t.Errorf("req %d: ext = %v, want %v", i, req.ext, ext != nil)
+			}
+			if ext != nil && (req.deadlineUs != ext.deadlineUs || req.class != ext.class) {
+				t.Errorf("req %d: ext header = (%d, %d), want (%d, %d)",
+					i, req.deadlineUs, req.class, ext.deadlineUs, ext.class)
+			}
 		}
 	}
 	if _, err := parseRequest([]byte{1, 2, 3}); err == nil {
 		t.Error("short request parsed")
 	}
 	// Oversized frame rejected before allocation.
-	big := encodeWriteReq(1, 0, 0, make([]byte, 1024))
+	big := encodeWriteReq(1, 0, nil, 0, make([]byte, 1024))
 	if _, err := readFrame(bytes.NewReader(big), 64); err == nil {
 		t.Error("oversized frame accepted")
 	}

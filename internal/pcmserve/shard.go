@@ -1,6 +1,7 @@
 package pcmserve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -32,9 +33,20 @@ type ShardsConfig struct {
 	// address space is partitioned across (default 4).
 	Shards int
 	// QueueDepth bounds each shard's request queue; a full queue blocks
-	// the enqueuer, which is the service's backpressure mechanism
-	// (default 64).
+	// legacy enqueuers, while classed admission sheds background work at
+	// the high-water mark and fast-fails sheddable foreground requests
+	// after AdmitWait (default 64).
 	QueueDepth int
+	// AdmitWait bounds how long a sheddable foreground request may wait
+	// for queue space before admission fails it with ErrOverloaded
+	// (default 2ms). Legacy requests (no extended header) keep blocking
+	// indefinitely — old clients rely on that backpressure.
+	AdmitWait time.Duration
+	// BackgroundHighWater is the queue occupancy fraction at or above
+	// which background work (scrub, refresh, and wire requests tagged
+	// background) is shed instead of queued, in (0, 1] (default 0.5).
+	// Background yields well before foreground feels pressure.
+	BackgroundHighWater float64
 	// Device configures each shard's device. Blocks is the PER-SHARD
 	// block count; the sharded device's total capacity is
 	// Shards × Blocks × 64 bytes. Seed is decorrelated per shard.
@@ -127,6 +139,10 @@ type shardReq struct {
 	pos   int     // offset of buf within the caller's buffer
 	trace uint64  // request trace ID (0 = untraced)
 	enq   time.Time
+	// deadline is the request's absolute expiry; the owner drops the
+	// request at dequeue (counted, never executed) once it has passed.
+	// Zero means none.
+	deadline time.Time
 	// scrubSeq0 is the shard's scrub sequence at enqueue time; the
 	// difference at completion is the scrub interference the request
 	// observed.
@@ -170,6 +186,29 @@ const (
 	scrubVerifyUncorrectable
 )
 
+// opMeta carries a request's admission attributes into dispatch: who
+// is waiting (trace), until when (deadline), at what priority (class),
+// and whether admission may fast-fail it instead of blocking.
+type opMeta struct {
+	trace    uint64
+	deadline time.Time // zero = none
+	class    uint8     // classForeground or classBackground
+	// sheddable marks foreground requests whose caller understands
+	// ErrOverloaded (extended-header wire requests); legacy callers get
+	// blocking backpressure instead.
+	sheddable bool
+	// ctx, when non-nil, lets a blocked enqueue abandon the wait on
+	// cancellation instead of blocking forever on a full queue.
+	ctx context.Context
+}
+
+// admitInstruments are the Shards-wide overload counters, shared by
+// every shard.
+type admitInstruments struct {
+	shedBg, shedFg *obs.Counter
+	expired        *obs.Counter
+}
+
 // shard owns one ShardDevice. Exactly one goroutine (runOnce inside
 // supervise) touches the device at a time, honouring the
 // internal/device concurrency contract; the supervisor restarts that
@@ -179,6 +218,15 @@ type shard struct {
 	dev       ShardDevice
 	ch        chan shardReq
 	healAfter uint64
+
+	// Classed admission: shared shed/expired counters, the background
+	// high-water mark (queue length at which background work sheds),
+	// the bounded wait for sheddable foreground enqueues, and an EWMA
+	// of recent service time feeding the retry-after hint.
+	adm           *admitInstruments
+	bgHighWater   int
+	admitWait     time.Duration
+	serviceEwmaNs atomic.Int64
 
 	// integ is the shard's integrity layer (nil when disabled);
 	// verifyScrub selects the decode-based scrub pass.
@@ -279,6 +327,85 @@ func (s *shard) dump(reason string) {
 	})
 }
 
+// retryAfterHint estimates when queue capacity frees up: the recent
+// per-op service EWMA times the work queued ahead, clamped to
+// [1ms, 500ms] so a cold EWMA or a monster queue still yields a sane
+// back-off.
+func (s *shard) retryAfterHint() time.Duration {
+	ewma := time.Duration(s.serviceEwmaNs.Load())
+	if ewma <= 0 {
+		ewma = time.Millisecond
+	}
+	d := ewma * time.Duration(len(s.ch)+1)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	return d
+}
+
+// admit applies classed admission for one shard-local request.
+// Background work sheds at the high-water mark; sheddable foreground
+// waits at most admitWait; legacy foreground blocks — but abandons the
+// wait if its context dies first (a full queue must never pin a
+// cancelled request's goroutine forever).
+func (s *shard) admit(req shardReq, meta opMeta) error {
+	var ctxDone <-chan struct{}
+	if meta.ctx != nil {
+		ctxDone = meta.ctx.Done()
+	}
+	if meta.class == classBackground {
+		if len(s.ch) < s.bgHighWater {
+			select {
+			case s.ch <- req:
+				return nil
+			default:
+			}
+		}
+		s.adm.shedBg.Inc()
+		return &OverloadError{RetryAfter: s.retryAfterHint()}
+	}
+	if meta.sheddable {
+		select {
+		case s.ch <- req:
+			return nil
+		default:
+		}
+		timer := time.NewTimer(s.admitWait)
+		defer timer.Stop()
+		select {
+		case s.ch <- req:
+			return nil
+		case <-ctxDone:
+			return enqueueAbandoned(meta.ctx)
+		case <-timer.C:
+			s.adm.shedFg.Inc()
+			return &OverloadError{RetryAfter: s.retryAfterHint()}
+		}
+	}
+	if ctxDone == nil {
+		s.ch <- req
+		return nil
+	}
+	select {
+	case s.ch <- req:
+		return nil
+	case <-ctxDone:
+		return enqueueAbandoned(meta.ctx)
+	}
+}
+
+// enqueueAbandoned types the error for an enqueue wait cut short by
+// context cancellation.
+func enqueueAbandoned(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("pcmserve: enqueue abandoned: %w", ErrDeadlineExceeded)
+	}
+	return fmt.Errorf("pcmserve: enqueue abandoned: %w", ctx.Err())
+}
+
 // handle executes one request against the device and replies on done.
 func (s *shard) handle(req shardReq) {
 	start := time.Now()
@@ -322,6 +449,13 @@ func (s *shard) handle(req shardReq) {
 		err = fmt.Errorf("pcmserve: shard %d: unknown op %d", s.index, req.op)
 	}
 	service := time.Since(start)
+	// EWMA (α=1/8) of service time, feeding the retry-after hint; only
+	// the owner goroutine writes it, so load-modify-store is safe.
+	if old := s.serviceEwmaNs.Load(); old == 0 {
+		s.serviceEwmaNs.Store(int64(service))
+	} else {
+		s.serviceEwmaNs.Store(old + (int64(service)-old)/8)
+	}
 	if err != nil && err != io.EOF {
 		s.errCount.Inc()
 	}
@@ -400,6 +534,17 @@ func (s *shard) runOnce() (panicked bool) {
 	}()
 	for req := range s.ch {
 		req := req
+		if !req.deadline.IsZero() && time.Now().After(req.deadline) {
+			// Nobody is waiting anymore: drop at dequeue, counted, never
+			// executed — burning device time on it would steal capacity
+			// from requests that can still meet their deadlines.
+			s.adm.expired.Inc()
+			req.done <- shardResult{
+				pos: req.pos,
+				err: fmt.Errorf("pcmserve: shard %d: expired in queue: %w", s.index, ErrDeadlineExceeded),
+			}
+			continue
+		}
 		s.cur = &req
 		s.handle(req)
 		s.cur = nil
@@ -445,6 +590,8 @@ type Shards struct {
 	shardSize   int64 // bytes per shard
 	size        int64 // total bytes
 	maxRestarts int
+
+	adm *admitInstruments
 
 	obs   *serveObs
 	scrub *scrubber
@@ -492,6 +639,24 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 	if cfg.VerifyScrub && cfg.Integrity == nil {
 		return nil, errors.New("pcmserve: VerifyScrub requires Integrity")
 	}
+	admitWait := cfg.AdmitWait
+	if admitWait == 0 {
+		admitWait = 2 * time.Millisecond
+	}
+	if admitWait < 0 {
+		return nil, fmt.Errorf("pcmserve: AdmitWait %v < 0", cfg.AdmitWait)
+	}
+	highWater := cfg.BackgroundHighWater
+	if highWater == 0 {
+		highWater = 0.5
+	}
+	if highWater < 0 || highWater > 1 {
+		return nil, fmt.Errorf("pcmserve: BackgroundHighWater %g outside (0, 1]", cfg.BackgroundHighWater)
+	}
+	bgHighWater := int(highWater * float64(depth))
+	if bgHighWater < 1 {
+		bgHighWater = 1
+	}
 	if err := validateLive(cfg); err != nil {
 		return nil, err
 	}
@@ -517,6 +682,28 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 		obs:         newServeObs(cfg.Obs),
 	}
 	g.size = g.shardSize * int64(n)
+	const shedName = "pcmserve_shed_total"
+	const shedHelp = "Requests rejected by classed admission instead of queued, by class."
+	g.adm = &admitInstruments{
+		shedBg: g.obs.reg.Counter(shedName, shedHelp, obs.L("class", "background")...),
+		shedFg: g.obs.reg.Counter(shedName, shedHelp, obs.L("class", "foreground")...),
+		expired: g.obs.reg.Counter("pcmserve_expired_dequeued_total",
+			"Requests dropped at dequeue because their deadline had already passed (counted, never executed)."),
+	}
+	g.obs.reg.GaugeFunc("pcmserve_queue_pressure",
+		"Peak shard queue occupancy fraction (len/cap) across shards.",
+		func() float64 {
+			peak := 0.0
+			for _, s := range g.shards {
+				if s == nil {
+					continue
+				}
+				if f := float64(len(s.ch)) / float64(cap(s.ch)); f > peak {
+					peak = f
+				}
+			}
+			return peak
+		})
 	if cfg.Live != nil {
 		ls, err := newLiveState(*cfg.Live, n, g.obs.reg)
 		if err != nil {
@@ -579,6 +766,9 @@ func NewShards(cfg ShardsConfig) (*Shards, error) {
 			dev:         sd,
 			ch:          make(chan shardReq, depth),
 			healAfter:   uint64(healAfter),
+			adm:         g.adm,
+			bgHighWater: bgHighWater,
+			admitWait:   admitWait,
 			o:           g.obs,
 			rec:         rec,
 			integ:       integ,
@@ -706,12 +896,16 @@ func deadResult(index int, pos int) shardResult {
 }
 
 // dispatch splits the byte range [off, off+len(p)) into per-shard spans
-// and enqueues them, then waits for every span. Spans owned by a dead
-// shard fail fast with ErrShardUnavailable while the rest are served.
-// It returns the number of contiguous bytes processed from the start of
-// p and the first error in address order. A nonzero trace assembles the
-// span details into a Trace observed by the trace log.
-func (g *Shards) dispatch(op uint8, p []byte, off int64, trace uint64) (int, error) {
+// and admits them per class, then waits for every span. Spans owned by
+// a dead shard fail fast with ErrShardUnavailable while the rest are
+// served; spans refused by admission fail with ErrOverloaded (or the
+// context's verdict) without touching the queue. A full queue still
+// blocks legacy requests — backpressure propagates to the connection
+// reader and ultimately to the client — while classed requests shed
+// instead. It returns the number of contiguous bytes processed from
+// the start of p and the first error in address order. A nonzero trace
+// assembles the span details into a Trace observed by the trace log.
+func (g *Shards) dispatch(op uint8, p []byte, off int64, meta opMeta) (int, error) {
 	t0 := time.Now()
 	spans := g.splitSpans(off, len(p))
 	g.mu.RLock()
@@ -726,12 +920,14 @@ func (g *Shards) dispatch(op uint8, p []byte, off int64, trace uint64) (int, err
 			done <- deadResult(s.index, sp.pos)
 			continue
 		}
-		// A full queue blocks here: backpressure propagates to the
-		// connection reader and ultimately to the client.
-		s.ch <- shardReq{
+		req := shardReq{
 			op: op, off: sp.localOff, buf: p[sp.pos : sp.pos+sp.n], pos: sp.pos,
-			trace: trace, enq: t0, scrubSeq0: s.scrubSeq.Load(),
-			done: done,
+			trace: meta.trace, enq: t0, deadline: meta.deadline,
+			scrubSeq0: s.scrubSeq.Load(),
+			done:      done,
+		}
+		if err := s.admit(req, meta); err != nil {
+			done <- shardResult{pos: sp.pos, err: err}
 		}
 	}
 	g.mu.RUnlock()
@@ -754,7 +950,7 @@ func (g *Shards) dispatch(op uint8, p []byte, off int64, trace uint64) (int, err
 			}
 		}
 	}
-	g.observeTrace(trace, op, off, len(p), t0, spans, byPos)
+	g.observeTrace(meta.trace, op, off, len(p), t0, spans, byPos)
 	return n, firstErr
 }
 
@@ -794,12 +990,24 @@ func (g *Shards) observeTrace(trace uint64, op uint8, off int64, n int, t0 time.
 // same EOF semantics as device.Device: reads past the end return the
 // available prefix and io.EOF.
 func (g *Shards) ReadAt(p []byte, off int64) (int, error) {
-	return g.readAtTraced(0, p, off)
+	return g.readAtMeta(opMeta{}, p, off)
+}
+
+// ReadAtCtx is ReadAt with a context: a read blocked on a full shard
+// queue abandons the wait with a typed error when ctx dies, instead of
+// blocking forever.
+func (g *Shards) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return g.readAtMeta(opMeta{ctx: ctx}, p, off)
 }
 
 // readAtTraced is ReadAt carrying the request's trace ID into the
 // shard queues and span records.
 func (g *Shards) readAtTraced(trace uint64, p []byte, off int64) (int, error) {
+	return g.readAtMeta(opMeta{trace: trace}, p, off)
+}
+
+// readAtMeta is the admission-aware read entry point.
+func (g *Shards) readAtMeta(meta opMeta, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pcmserve: negative offset")
 	}
@@ -814,7 +1022,7 @@ func (g *Shards) readAtTraced(trace uint64, p []byte, off int64) (int, error) {
 		p = p[:g.size-off]
 		eof = true
 	}
-	n, err := g.dispatch(OpRead, p, off, trace)
+	n, err := g.dispatch(OpRead, p, off, meta)
 	if err == nil && eof {
 		err = io.EOF
 	}
@@ -824,11 +1032,22 @@ func (g *Shards) readAtTraced(trace uint64, p []byte, off int64) (int, error) {
 // WriteAt implements io.WriterAt. Writes beyond the device size are
 // rejected whole, matching device.Device.
 func (g *Shards) WriteAt(p []byte, off int64) (int, error) {
-	return g.writeAtTraced(0, p, off)
+	return g.writeAtMeta(opMeta{}, p, off)
+}
+
+// WriteAtCtx is WriteAt with a context: a write blocked on a full
+// shard queue abandons the wait with a typed error when ctx dies.
+func (g *Shards) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return g.writeAtMeta(opMeta{ctx: ctx}, p, off)
 }
 
 // writeAtTraced is WriteAt carrying the request's trace ID.
 func (g *Shards) writeAtTraced(trace uint64, p []byte, off int64) (int, error) {
+	return g.writeAtMeta(opMeta{trace: trace}, p, off)
+}
+
+// writeAtMeta is the admission-aware write entry point.
+func (g *Shards) writeAtMeta(meta opMeta, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pcmserve: negative offset")
 	}
@@ -838,7 +1057,7 @@ func (g *Shards) writeAtTraced(trace uint64, p []byte, off int64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	return g.dispatch(OpWrite, p, off, trace)
+	return g.dispatch(OpWrite, p, off, meta)
 }
 
 // Advance moves simulated time forward by dt seconds on every live
@@ -915,6 +1134,22 @@ func (g *Shards) IntegrityStats() IntegrityStats {
 		st.Escalated += s.integ.escalated.Value()
 	}
 	return st
+}
+
+// OverloadStats snapshots the classed-admission counters.
+func (g *Shards) OverloadStats() OverloadStats {
+	peak := 0.0
+	for _, s := range g.shards {
+		if f := float64(len(s.ch)) / float64(cap(s.ch)); f > peak {
+			peak = f
+		}
+	}
+	return OverloadStats{
+		ShedBackground:  g.adm.shedBg.Value(),
+		ShedForeground:  g.adm.shedFg.Value(),
+		ExpiredDequeued: g.adm.expired.Value(),
+		QueuePressure:   peak,
+	}
 }
 
 // ScrubStats returns the scrubber's counters (the zero value when
