@@ -64,6 +64,7 @@ func main() {
 		rf = flag.Int("rf", 0, "replication factor (default min(3, nodes))")
 		w  = flag.Int("w", 0, "write quorum (default rf/2+1)")
 		r  = flag.Int("r", 0, "read quorum (default rf/2+1)")
+		ec = flag.String("ec", "", "erasure coding \"K+M\" (e.g. 4+2): Reed-Solomon stripe each block onto K+M nodes instead of mirroring (mutually exclusive with -rf/-w/-r)")
 
 		clients  = flag.Int("clients", 4, "concurrent loadgen workers")
 		duration = flag.Duration("duration", 3*time.Second, "how long to run")
@@ -111,6 +112,10 @@ func main() {
 		fail("-shards must be at least 1, got %d", *shards)
 	case *rf < 0 || *w < 0 || *r < 0:
 		fail("-rf, -w, -r must not be negative")
+	case *ec != "" && *rf != 0:
+		fail("-ec %s and -rf %d conflict: erasure coding fixes the replication factor at K+M; drop -rf or -ec", *ec, *rf)
+	case *ec != "" && (*w != 0 || *r != 0):
+		fail("-ec %s conflicts with -w/-r: erasure coding fixes the quorums at W=K+⌈M/2⌉, R=K", *ec)
 	case *clients < 1:
 		fail("-clients must be at least 1, got %d", *clients)
 	case *duration <= 0:
@@ -179,8 +184,13 @@ func main() {
 		}
 	}
 
+	coding := ""
+	if *ec != "" {
+		coding = "rs:" + *ec
+	}
 	c, err := pcmcluster.New(pcmcluster.Config{
 		Nodes:               addrs,
+		Coding:              coding,
 		ReplicationFactor:   *rf,
 		WriteQuorum:         *w,
 		ReadQuorum:          *r,
@@ -243,8 +253,9 @@ func main() {
 		fail("only %d blocks for %d clients; shrink -clients or grow the nodes", blocks, *clients)
 	}
 	st := c.Stats()
-	fmt.Printf("pcmcluster: %d nodes, rf=%d w=%d r=%d, %d blocks (%d in play)\n",
-		len(addrs), st.ReplicationFactor, st.WriteQuorum, st.ReadQuorum, c.Blocks(), blocks)
+	fmt.Printf("pcmcluster: %d nodes, coding=%s rf=%d w=%d r=%d overhead=%.2fx, %d blocks (%d in play)\n",
+		len(addrs), st.Coding, st.ReplicationFactor, st.WriteQuorum, st.ReadQuorum,
+		st.StorageOverhead, c.Blocks(), blocks)
 
 	// Membership churn rides alongside the loadgen: the join spawns a
 	// fresh node and streams it in; the drain re-replicates node 1's
@@ -572,9 +583,15 @@ func isShed(err error) bool {
 // the run was cut short.
 func report(c *pcmcluster.Cluster, dataErrors uint64) {
 	st := c.Stats()
-	fmt.Printf("cluster: reads=%d writes=%d read_quorum_failures=%d write_quorum_failures=%d degraded(r/w)=%d/%d\n",
+	fmt.Printf("cluster: coding=%s overhead=%.2fx reads=%d writes=%d read_quorum_failures=%d write_quorum_failures=%d degraded(r/w)=%d/%d\n",
+		st.Coding, st.StorageOverhead,
 		st.QuorumReads, st.QuorumWrites, st.ReadQuorumFailures, st.WriteQuorumFails,
 		st.DegradedReads, st.DegradedWrites)
+	if st.Coding != "rf" {
+		fmt.Printf("ec: reconstructions=%d reconstruct_failures=%d hedged_fanouts=%d fragment_repairs=%d realigned=%d\n",
+			st.ECReconstructions, st.ECReconstructFailures, st.ECHedgedFanouts,
+			st.ECFragmentRepairs, st.ECFragmentsRealigned)
+	}
 	fmt.Printf("repair: read=%d antientropy=%d skipped=%d failed=%d divergent(stale/corrupt)=%d/%d\n",
 		st.ReadRepairs, st.AntiEntropyRepairs, st.RepairsSkipped, st.RepairsFailed,
 		st.DivergentStale, st.DivergentCorrupt)

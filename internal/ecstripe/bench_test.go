@@ -1,0 +1,60 @@
+package ecstripe
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkECEncode measures parity generation for one 64-byte stripe
+// — the per-write codec cost in coded placement mode.
+func BenchmarkECEncode(b *testing.B) {
+	for _, km := range [][2]int{{4, 2}, {8, 4}} {
+		k, m := km[0], km[1]
+		b.Run(fmt.Sprintf("rs_%d+%d", k, m), func(b *testing.B) {
+			c, err := NewCodec(k, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			block := mkBlock(64, 1)
+			data, _ := c.Split(block)
+			parity := make([][]byte, m)
+			for j := range parity {
+				parity[j] = make([]byte, 64/k)
+			}
+			b.SetBytes(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range parity {
+					if err := c.EncodeFragment(parity[j], data, k+j); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkECReconstruct measures a worst-case degraded read: all
+// parity fragments stand in for erased data fragments.
+func BenchmarkECReconstruct(b *testing.B) {
+	for _, km := range [][2]int{{4, 2}, {8, 4}} {
+		k, m := km[0], km[1]
+		b.Run(fmt.Sprintf("rs_%d+%d", k, m), func(b *testing.B) {
+			c, err := NewCodec(k, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			block := mkBlock(64, 2)
+			frags := stripeFragments(b, c, block)
+			// Erase the first m data fragments; decode from the rest.
+			alive := frags[m:]
+			b.SetBytes(64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Reconstruct(alive); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

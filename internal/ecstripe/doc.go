@@ -1,0 +1,45 @@
+// Package ecstripe implements the cross-node erasure code: a
+// systematic Reed-Solomon codec over GF(2^8) plus the stripe geometry
+// that maps one replicated 64-byte block onto k+m fragment slots.
+//
+// The paper's core economics — spend coding to buy density (Sections
+// 5.3, 6.3: BCH makes 2+ bits/cell trustworthy) — applies across
+// nodes too: k+m striping buys f-failure durability at (k+m)/k×
+// storage instead of mirroring's (f+1)×. This package supplies the
+// algebra and the wire format; internal/pcmcluster supplies placement,
+// quorums, and repair.
+//
+// # Codec
+//
+// Codec is the standard "identity over Cauchy" systematic
+// construction. The generator has one row per fragment index:
+// indices below k are unit vectors (data fragments are stored
+// verbatim), and every index in [k, 256) is the Cauchy row
+//
+//	row[c] = 1 / (idx ⊕ c),  c ∈ [0, k)
+//
+// Any k distinct rows are linearly independent (delete the unit-vector
+// rows and their columns; the rest is a Cauchy submatrix, which is
+// always nonsingular), so any k surviving fragments reconstruct the
+// stripe. Defining parity for every index up to 255 — not just the m
+// deployed ones — lets placement hand out fragment positions beyond
+// k+m during membership transitions without a format change.
+//
+// # Fragment slots
+//
+// A stripe is one block: the 64 data bytes split into k fragments of
+// 64/k bytes, extended by m parity fragments of the same size. Each
+// fragment is stored in its own self-validating slot, mirroring the
+// replica slot codec in pcmcluster:
+//
+//	[frag 64/k][version u64][stripeCRC u32][index u8][checkCRC u32]
+//
+// version and stripeCRC (the CRC32-C of the whole 64-byte block) are
+// identical across one write's fragments, so the cluster's existing
+// last-writer-wins order — version, then CRC tiebreak — elects stripe
+// winners without decoding; checkCRC covers everything before it, so a
+// torn or bit-flipped fragment classifies as corrupt exactly like a
+// torn replica slot; the stored index makes a fragment
+// self-describing, so reads keep working when membership reshuffles
+// reassign positions.
+package ecstripe

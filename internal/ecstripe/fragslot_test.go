@@ -1,0 +1,91 @@
+package ecstripe
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFragSlotRoundTrip(t *testing.T) {
+	frag := mkBlock(16, 7)
+	meta := FragMeta{Version: 42<<8 | 0xA7, StripeCRC: 0xDEADBEEF, Index: 5}
+	slot := make([]byte, 16+FragTrailerBytes)
+	EncodeFragSlot(slot, frag, meta)
+	got, m, status := DecodeFragSlot(slot, 16)
+	if status != FragOK {
+		t.Fatalf("status = %v", status)
+	}
+	if m != meta {
+		t.Fatalf("meta = %+v, want %+v", m, meta)
+	}
+	if !bytes.Equal(got, frag) {
+		t.Fatal("fragment data mismatch")
+	}
+	bare, ok := DecodeFragMeta(slot[16:])
+	if !ok || bare != meta {
+		t.Fatalf("DecodeFragMeta = %+v ok=%v", bare, ok)
+	}
+}
+
+func TestFragSlotClassification(t *testing.T) {
+	frag := mkBlock(16, 8)
+	canonical := make([]byte, 16+FragTrailerBytes)
+	EncodeFragSlot(canonical, frag, FragMeta{Version: 9, StripeCRC: 1, Index: 2})
+
+	if _, _, s := DecodeFragSlot(make([]byte, 16+FragTrailerBytes), 16); s != FragUnwritten {
+		t.Errorf("all-zero slot: %v, want unwritten", s)
+	}
+	for _, at := range []int{0, 15, 16, 23, 27, 28, 29, 32} {
+		mut := append([]byte(nil), canonical...)
+		mut[at] ^= 0x40
+		if _, _, s := DecodeFragSlot(mut, 16); s != FragCorrupt {
+			t.Errorf("bit flip at %d: %v, want corrupt", at, s)
+		}
+	}
+	if _, _, s := DecodeFragSlot(canonical[:20], 16); s != FragCorrupt {
+		t.Error("short slot not corrupt")
+	}
+	if _, _, s := DecodeFragSlot(canonical, 8); s != FragCorrupt {
+		t.Error("wrong fragBytes not corrupt")
+	}
+	// Nonzero data with zero trailer: torn write.
+	torn := make([]byte, 16+FragTrailerBytes)
+	copy(torn, frag)
+	if _, _, s := DecodeFragSlot(torn, 16); s != FragCorrupt {
+		t.Error("torn write not corrupt")
+	}
+}
+
+// TestFragSlotRejectsForgedVersionZero pins the invariant that a
+// structurally valid trailer claiming version 0 is corrupt, not
+// unwritten — writers stamp versions ≥ 1.
+func TestFragSlotRejectsForgedVersionZero(t *testing.T) {
+	frag := mkBlock(16, 9)
+	slot := make([]byte, 16+FragTrailerBytes)
+	EncodeFragSlot(slot, frag, FragMeta{Version: 0, StripeCRC: 3, Index: 1})
+	if _, _, s := DecodeFragSlot(slot, 16); s != FragCorrupt {
+		t.Fatalf("forged version-0 slot: %v, want corrupt", s)
+	}
+}
+
+func TestStripeCRCSharedAcrossFragments(t *testing.T) {
+	c, _ := NewCodec(4, 2)
+	block := mkBlock(64, 10)
+	crc := StripeCRC(block)
+	frags := stripeFragments(t, c, block)
+	for _, fr := range frags {
+		slot := make([]byte, len(fr.Data)+FragTrailerBytes)
+		EncodeFragSlot(slot, fr.Data, FragMeta{Version: 7, StripeCRC: crc, Index: uint8(fr.Index)})
+		_, m, s := DecodeFragSlot(slot, len(fr.Data))
+		if s != FragOK || m.StripeCRC != crc {
+			t.Fatalf("fragment %d: status=%v stripeCRC=%#x want %#x", fr.Index, s, m.StripeCRC, crc)
+		}
+	}
+	// And a reconstruction verifies against the same stripe CRC.
+	got, err := c.Reconstruct(frags[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StripeCRC(joined(got)) != crc {
+		t.Fatal("reconstructed stripe fails the stripe CRC")
+	}
+}

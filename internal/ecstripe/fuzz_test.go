@@ -1,0 +1,136 @@
+package ecstripe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// reconstructSeed is one fuzz input: geom packs (k-1) in bits 0-3,
+// (m-1) in bits 6-8, (fragBytes-1) in bits 12-13; seed feeds the data
+// generator; erase is a bitmask of erased fragment indices.
+type reconstructSeed struct {
+	geom  uint16
+	seed  int64
+	erase uint64
+}
+
+func reconstructFuzzSeeds() []reconstructSeed {
+	pack := func(k, m, fs int) uint16 {
+		return uint16(k-1) | uint16(m-1)<<6 | uint16(fs-1)<<12
+	}
+	return []reconstructSeed{
+		{pack(4, 2, 4), 1, 0},               // rs:4+2, nothing erased
+		{pack(4, 2, 4), 2, 0b000011},        // both data fragments 0,1 gone
+		{pack(4, 2, 4), 3, 0b110000},        // both parity gone
+		{pack(4, 2, 4), 4, 0b010010},        // one of each
+		{pack(4, 2, 4), 5, 0b000111},        // 3 erasures: > m, must error
+		{pack(4, 2, 4), 6, ^uint64(0)},      // everything erased
+		{pack(1, 1, 1), 7, 0b01},            // smallest geometry
+		{pack(2, 2, 2), 8, 0b0011},          // all data gone, parity-only
+		{pack(16, 8, 1), 9, 0xFF00},         // wide stripe, 8 erasures
+		{pack(8, 4, 2), 10, 0b101010101010}, // alternating
+	}
+}
+
+// FuzzReconstruct drives random geometries and erasure patterns
+// through the codec: with ≥ k survivors reconstruction must round-trip
+// the exact stripe (and single-fragment repair must reproduce the
+// erased fragment bit-for-bit); with < k survivors it must return the
+// typed ErrInsufficientFragments — never wrong data, never a panic.
+func FuzzReconstruct(f *testing.F) {
+	for _, s := range reconstructFuzzSeeds() {
+		f.Add(s.geom, s.seed, s.erase)
+	}
+	f.Fuzz(func(t *testing.T, geom uint16, seed int64, erase uint64) {
+		k := int(geom&0x3F)%16 + 1
+		m := int(geom>>6)%8 + 1
+		fs := int(geom>>12)%4 + 1
+		c, err := NewCodec(k, m)
+		if err != nil {
+			t.Fatalf("NewCodec(%d,%d): %v", k, m, err)
+		}
+		block := make([]byte, k*fs)
+		rand.New(rand.NewSource(seed)).Read(block)
+		data, err := c.Split(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parity, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := k + m
+		var alive []Fragment
+		var erased []int
+		for i := 0; i < n; i++ {
+			if erase&(1<<uint(i)) != 0 {
+				erased = append(erased, i)
+				continue
+			}
+			if i < k {
+				alive = append(alive, Fragment{Index: i, Data: data[i]})
+			} else {
+				alive = append(alive, Fragment{Index: i, Data: parity[i-k]})
+			}
+		}
+		got, err := c.Reconstruct(alive)
+		if len(alive) >= k {
+			if err != nil {
+				t.Fatalf("k=%d m=%d erase=%b (%d erased): %v",
+					k, m, erase, bits.OnesCount64(erase), err)
+			}
+			if !bytes.Equal(joined(got), block) {
+				t.Fatalf("k=%d m=%d erase=%b: reconstructed wrong data", k, m, erase)
+			}
+			// Repair path: every erased fragment must re-encode exactly.
+			for _, idx := range erased {
+				want := parity
+				_ = want
+				var orig []byte
+				if idx < k {
+					orig = data[idx]
+				} else {
+					orig = parity[idx-k]
+				}
+				dst := make([]byte, fs)
+				if err := c.ReconstructFragment(dst, alive, idx); err != nil {
+					t.Fatalf("repair of fragment %d: %v", idx, err)
+				}
+				if !bytes.Equal(dst, orig) {
+					t.Fatalf("repaired fragment %d differs from original", idx)
+				}
+			}
+		} else if !errors.Is(err, ErrInsufficientFragments) {
+			t.Fatalf("k=%d m=%d with %d survivors: err = %v, want ErrInsufficientFragments",
+				k, m, len(alive), err)
+		}
+	})
+}
+
+// TestRegenerateReconstructFuzzCorpus rewrites the checked-in seed
+// corpus under testdata/fuzz/FuzzReconstruct. Run after changing the
+// seed set:
+//
+//	ECSTRIPE_WRITE_FUZZ_CORPUS=1 go test -run TestRegenerateReconstructFuzzCorpus ./internal/ecstripe
+func TestRegenerateReconstructFuzzCorpus(t *testing.T) {
+	if os.Getenv("ECSTRIPE_WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set ECSTRIPE_WRITE_FUZZ_CORPUS=1 to rewrite testdata/fuzz")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReconstruct")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range reconstructFuzzSeeds() {
+		body := fmt.Sprintf("go test fuzz v1\nuint16(%d)\nint64(%d)\nuint64(%d)\n", s.geom, s.seed, s.erase)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package ecstripe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/gf2"
+)
+
+// MaxFragments is the number of distinct fragment indices GF(2^8)
+// supports; k+m (and any transitional index) must stay below it.
+const MaxFragments = 256
+
+// ErrInsufficientFragments is returned by Reconstruct when fewer than
+// k distinct valid fragments survive — more than m erasures. The codec
+// can then say nothing about the data; callers must treat the stripe
+// as unreadable rather than guess.
+var ErrInsufficientFragments = errors.New("ecstripe: fewer than k distinct fragments, cannot reconstruct")
+
+// Fragment pairs a fragment's generator index with its payload bytes.
+type Fragment struct {
+	Index int
+	Data  []byte
+}
+
+// Codec is a systematic Reed-Solomon code with k data and m parity
+// fragments over GF(2^8). Construct with NewCodec; the value is
+// immutable after construction and safe for concurrent use.
+type Codec struct {
+	K, M int
+
+	f *gf2.F256
+	// rows caches generator rows for parity indices ≥ k, built lazily:
+	// the steady state touches only [k, k+m) but transitions may ask
+	// for any index < MaxFragments.
+	rows sync.Map // int -> []byte (length K)
+	// invs caches decode matrices keyed by the chosen fragment-index
+	// tuple. Steady state uses a handful of keys (all-data, plus one
+	// per commonly-failed node), so the cache stays tiny.
+	invs sync.Map // string -> [][]byte (K×K)
+}
+
+// NewCodec returns the k+m codec. k must be ≥ 1, m ≥ 1, and k+m ≤
+// MaxFragments.
+func NewCodec(k, m int) (*Codec, error) {
+	if k < 1 || m < 1 || k+m > MaxFragments {
+		return nil, fmt.Errorf("ecstripe: invalid geometry k=%d m=%d (need k≥1, m≥1, k+m≤%d)", k, m, MaxFragments)
+	}
+	return &Codec{K: k, M: m, f: gf2.GF256()}, nil
+}
+
+// Row returns the generator row for fragment index idx: the k
+// coefficients that combine the data fragments into fragment idx.
+// Indices below k are unit vectors; indices in [k, MaxFragments) are
+// Cauchy rows 1/(idx⊕c). The returned slice is shared — do not mutate.
+func (c *Codec) Row(idx int) ([]byte, error) {
+	if idx < 0 || idx >= MaxFragments {
+		return nil, fmt.Errorf("ecstripe: fragment index %d out of [0,%d)", idx, MaxFragments)
+	}
+	if r, ok := c.rows.Load(idx); ok {
+		return r.([]byte), nil
+	}
+	row := make([]byte, c.K)
+	if idx < c.K {
+		row[idx] = 1
+	} else {
+		for col := 0; col < c.K; col++ {
+			// idx ≥ k > col, so idx⊕col ≠ 0 and the inverse exists.
+			row[col] = c.f.Inv(byte(idx) ^ byte(col))
+		}
+	}
+	c.rows.Store(idx, row)
+	return row, nil
+}
+
+// Split views a block of k·fragBytes bytes as its k data fragments.
+// The fragments alias block.
+func (c *Codec) Split(block []byte) ([][]byte, error) {
+	if len(block) == 0 || len(block)%c.K != 0 {
+		return nil, fmt.Errorf("ecstripe: block of %d bytes does not split into %d fragments", len(block), c.K)
+	}
+	fs := len(block) / c.K
+	data := make([][]byte, c.K)
+	for i := range data {
+		data[i] = block[i*fs : (i+1)*fs]
+	}
+	return data, nil
+}
+
+// EncodeFragment writes fragment idx of the stripe into dst. data must
+// hold the k data fragments, all of len(dst) bytes. For idx < k this
+// is a copy; for parity indices it is the Cauchy row applied across
+// the data.
+func (c *Codec) EncodeFragment(dst []byte, data [][]byte, idx int) error {
+	if len(data) != c.K {
+		return fmt.Errorf("ecstripe: encode needs %d data fragments, got %d", c.K, len(data))
+	}
+	row, err := c.Row(idx)
+	if err != nil {
+		return err
+	}
+	if idx < c.K {
+		copy(dst, data[idx])
+		return nil
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for col, d := range data {
+		c.f.MulAddSlice(dst, d, row[col])
+	}
+	return nil
+}
+
+// Encode produces the m parity fragments (indices k..k+m-1) for the
+// given data fragments. All data fragments must share one length; the
+// returned parity fragments are newly allocated with that length.
+func (c *Codec) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.K {
+		return nil, fmt.Errorf("ecstripe: encode needs %d data fragments, got %d", c.K, len(data))
+	}
+	fs := len(data[0])
+	for i, d := range data {
+		if len(d) != fs {
+			return nil, fmt.Errorf("ecstripe: data fragment %d has %d bytes, want %d", i, len(d), fs)
+		}
+	}
+	parity := make([][]byte, c.M)
+	buf := make([]byte, c.M*fs)
+	for j := 0; j < c.M; j++ {
+		parity[j] = buf[j*fs : (j+1)*fs]
+		if err := c.EncodeFragment(parity[j], data, c.K+j); err != nil {
+			return nil, err
+		}
+	}
+	return parity, nil
+}
+
+// Reconstruct recovers the k data fragments from any k fragments with
+// distinct indices. Fragments beyond the first k distinct indices and
+// duplicate indices are ignored. Returns ErrInsufficientFragments when
+// fewer than k distinct indices are present; it never returns wrong
+// data for a structurally valid input set.
+func (c *Codec) Reconstruct(frags []Fragment) ([][]byte, error) {
+	chosen, err := c.choose(frags)
+	if err != nil {
+		return nil, err
+	}
+	fs := len(chosen[0].Data)
+	out := make([][]byte, c.K)
+	buf := make([]byte, c.K*fs)
+	for i := range out {
+		out[i] = buf[i*fs : (i+1)*fs]
+	}
+	// Fast path: all data fragments present in positions 0..k-1.
+	systematic := true
+	for i, fr := range chosen {
+		if fr.Index != i {
+			systematic = false
+			break
+		}
+	}
+	if systematic {
+		for i, fr := range chosen {
+			copy(out[i], fr.Data)
+		}
+		return out, nil
+	}
+	inv, err := c.decodeMatrix(chosen)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < c.K; i++ {
+		row := inv[i]
+		for r, fr := range chosen {
+			c.f.MulAddSlice(out[i], fr.Data, row[r])
+		}
+	}
+	return out, nil
+}
+
+// ReconstructFragment rebuilds the single fragment idx from any k
+// survivors — the repair path: a node that lost one fragment gets it
+// re-encoded from k peers without materialising peers' roles.
+func (c *Codec) ReconstructFragment(dst []byte, frags []Fragment, idx int) error {
+	// If the fragment is among the inputs, it is its own repair source.
+	for _, fr := range frags {
+		if fr.Index == idx && len(fr.Data) == len(dst) {
+			copy(dst, fr.Data)
+			return nil
+		}
+	}
+	data, err := c.Reconstruct(frags)
+	if err != nil {
+		return err
+	}
+	return c.EncodeFragment(dst, data, idx)
+}
+
+// choose validates the fragment set and picks the k fragments to
+// decode from: distinct indices, equal sizes, sorted ascending so data
+// fragments (cheap unit-vector rows) are preferred and the cache key
+// is canonical.
+func (c *Codec) choose(frags []Fragment) ([]Fragment, error) {
+	var seen [MaxFragments]bool
+	fs := -1
+	chosen := make([]Fragment, 0, c.K)
+	for _, fr := range frags {
+		if fr.Index < 0 || fr.Index >= MaxFragments {
+			return nil, fmt.Errorf("ecstripe: fragment index %d out of [0,%d)", fr.Index, MaxFragments)
+		}
+		if seen[fr.Index] || len(fr.Data) == 0 {
+			continue
+		}
+		if fs == -1 {
+			fs = len(fr.Data)
+		} else if len(fr.Data) != fs {
+			return nil, fmt.Errorf("ecstripe: fragment %d has %d bytes, others have %d", fr.Index, len(fr.Data), fs)
+		}
+		seen[fr.Index] = true
+		chosen = append(chosen, fr)
+	}
+	if len(chosen) < c.K {
+		return nil, fmt.Errorf("%w (have %d of %d)", ErrInsufficientFragments, len(chosen), c.K)
+	}
+	// Insertion sort by index: k is small (≤ 64 in practice).
+	for i := 1; i < len(chosen); i++ {
+		for j := i; j > 0 && chosen[j-1].Index > chosen[j].Index; j-- {
+			chosen[j], chosen[j-1] = chosen[j-1], chosen[j]
+		}
+	}
+	return chosen[:c.K], nil
+}
+
+// decodeMatrix returns the inverse of the k×k generator submatrix for
+// the chosen fragments (sorted, distinct indices), cached by index
+// tuple.
+func (c *Codec) decodeMatrix(chosen []Fragment) ([][]byte, error) {
+	key := make([]byte, len(chosen))
+	for i, fr := range chosen {
+		key[i] = byte(fr.Index)
+	}
+	if m, ok := c.invs.Load(string(key)); ok {
+		return m.([][]byte), nil
+	}
+	// Build [A | I] and run Gauss-Jordan to [I | A^-1].
+	aug := make([][]byte, c.K)
+	for r, fr := range chosen {
+		row, err := c.Row(fr.Index)
+		if err != nil {
+			return nil, err
+		}
+		aug[r] = make([]byte, 2*c.K)
+		copy(aug[r], row)
+		aug[r][c.K+r] = 1
+	}
+	for col := 0; col < c.K; col++ {
+		pivot := -1
+		for r := col; r < c.K; r++ {
+			if aug[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			// Unreachable for the identity-over-Cauchy construction —
+			// any k distinct rows are independent — but a hard error
+			// beats silently wrong data if the invariant ever breaks.
+			return nil, fmt.Errorf("ecstripe: singular decode matrix for indices %v", key)
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		if p := aug[col][col]; p != 1 {
+			c.f.MulSlice(aug[col], aug[col], c.f.Inv(p))
+		}
+		for r := 0; r < c.K; r++ {
+			if r != col && aug[r][col] != 0 {
+				c.f.MulAddSlice(aug[r], aug[col], aug[r][col])
+			}
+		}
+	}
+	inv := make([][]byte, c.K)
+	for r := range inv {
+		inv[r] = aug[r][c.K:]
+	}
+	c.invs.Store(string(key), inv)
+	return inv, nil
+}

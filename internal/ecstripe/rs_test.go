@@ -1,0 +1,255 @@
+package ecstripe
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func mkBlock(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// stripeFragments encodes a block and returns all k+m fragments.
+func stripeFragments(t testing.TB, c *Codec, block []byte) []Fragment {
+	t.Helper()
+	data, err := c.Split(block)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	parity, err := c.Encode(data)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	frags := make([]Fragment, 0, c.K+c.M)
+	for i, d := range data {
+		frags = append(frags, Fragment{Index: i, Data: d})
+	}
+	for j, p := range parity {
+		frags = append(frags, Fragment{Index: c.K + j, Data: p})
+	}
+	return frags
+}
+
+func TestCodecValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 2}, {4, 0}, {-1, 3}, {200, 100}} {
+		if _, err := NewCodec(bad[0], bad[1]); err == nil {
+			t.Errorf("NewCodec(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+	c, err := NewCodec(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Split(make([]byte, 63)); err == nil {
+		t.Error("Split accepted a block not divisible by k")
+	}
+	if _, err := c.Split(nil); err == nil {
+		t.Error("Split accepted an empty block")
+	}
+	if _, err := c.Row(-1); err == nil {
+		t.Error("Row(-1) accepted")
+	}
+	if _, err := c.Row(256); err == nil {
+		t.Error("Row(256) accepted")
+	}
+	if _, err := c.Encode([][]byte{{1}, {2}}); err == nil {
+		t.Error("Encode accepted wrong fragment count")
+	}
+	if _, err := c.Encode([][]byte{{1}, {2}, {3}, {4, 5}}); err == nil {
+		t.Error("Encode accepted ragged fragment sizes")
+	}
+	if _, err := c.Reconstruct([]Fragment{
+		{Index: 0, Data: []byte{1, 2}},
+		{Index: 1, Data: []byte{3}},
+		{Index: 2, Data: []byte{4, 5}},
+		{Index: 3, Data: []byte{6, 7}},
+	}); err == nil {
+		t.Error("Reconstruct accepted ragged fragment sizes")
+	}
+}
+
+func TestRowStructure(t *testing.T) {
+	c, _ := NewCodec(4, 2)
+	for i := 0; i < c.K; i++ {
+		row, err := c.Row(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for col, v := range row {
+			want := byte(0)
+			if col == i {
+				want = 1
+			}
+			if v != want {
+				t.Fatalf("data row %d is not a unit vector: %v", i, row)
+			}
+		}
+	}
+	f := gfMul(t)
+	for idx := c.K; idx < MaxFragments; idx++ {
+		row, err := c.Row(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for col, v := range row {
+			if v == 0 {
+				t.Fatalf("parity row %d has a zero coefficient at col %d", idx, col)
+			}
+			if f(v, byte(idx)^byte(col)) != 1 {
+				t.Fatalf("parity row %d col %d: %d is not 1/(%d)", idx, col, v, byte(idx)^byte(col))
+			}
+		}
+	}
+}
+
+func gfMul(t *testing.T) func(a, b byte) byte {
+	t.Helper()
+	// Tiny local GF(2^8) multiply (poly 0x11D) so the test does not
+	// trust the table it is checking.
+	return func(a, b byte) byte {
+		var p byte
+		for b > 0 {
+			if b&1 != 0 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a <<= 1
+			if hi != 0 {
+				a ^= 0x1D
+			}
+			b >>= 1
+		}
+		return p
+	}
+}
+
+// TestAllErasurePatterns exhaustively checks rs:4+2 — every subset of
+// surviving fragments of size ≥ k reconstructs exactly; every smaller
+// subset returns the typed error.
+func TestAllErasurePatterns(t *testing.T) {
+	c, _ := NewCodec(4, 2)
+	block := mkBlock(64, 1)
+	frags := stripeFragments(t, c, block)
+	n := c.K + c.M
+	for mask := 0; mask < 1<<n; mask++ {
+		var alive []Fragment
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				alive = append(alive, frags[i])
+			}
+		}
+		got, err := c.Reconstruct(alive)
+		if len(alive) >= c.K {
+			if err != nil {
+				t.Fatalf("mask %06b: Reconstruct failed: %v", mask, err)
+			}
+			if !bytes.Equal(joined(got), block) {
+				t.Fatalf("mask %06b: wrong data", mask)
+			}
+		} else if !errors.Is(err, ErrInsufficientFragments) {
+			t.Fatalf("mask %06b: err = %v, want ErrInsufficientFragments", mask, err)
+		}
+	}
+}
+
+func joined(frags [][]byte) []byte {
+	var out []byte
+	for _, f := range frags {
+		out = append(out, f...)
+	}
+	return out
+}
+
+func TestReconstructIgnoresDuplicatesAndOrder(t *testing.T) {
+	c, _ := NewCodec(4, 2)
+	block := mkBlock(64, 2)
+	frags := stripeFragments(t, c, block)
+	// Parity-heavy, shuffled, with a duplicate and an empty fragment.
+	in := []Fragment{
+		frags[5], frags[1], {Index: 3, Data: nil}, frags[4], frags[1], frags[2],
+	}
+	got, err := c.Reconstruct(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(joined(got), block) {
+		t.Fatal("reconstruction from shuffled/duplicated fragments is wrong")
+	}
+}
+
+func TestReconstructFragment(t *testing.T) {
+	c, _ := NewCodec(4, 2)
+	block := mkBlock(64, 3)
+	frags := stripeFragments(t, c, block)
+	for lost := 0; lost < 6; lost++ {
+		var survivors []Fragment
+		for i, fr := range frags {
+			if i != lost && i != (lost+1)%6 {
+				survivors = append(survivors, fr)
+			}
+		}
+		dst := make([]byte, 16)
+		if err := c.ReconstructFragment(dst, survivors, lost); err != nil {
+			t.Fatalf("lost=%d: %v", lost, err)
+		}
+		if !bytes.Equal(dst, frags[lost].Data) {
+			t.Fatalf("lost=%d: repaired fragment differs", lost)
+		}
+	}
+}
+
+// TestExtendedIndices exercises generator rows beyond k+m: during a
+// membership transition a stripe may temporarily place fragments at
+// union positions past the steady-state set.
+func TestExtendedIndices(t *testing.T) {
+	c, _ := NewCodec(4, 2)
+	block := mkBlock(64, 4)
+	data, _ := c.Split(block)
+	hi := make([]byte, 16)
+	if err := c.EncodeFragment(hi, data, 250); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct from one data fragment, two parity, and the
+	// transitional fragment at index 250.
+	parity, _ := c.Encode(data)
+	in := []Fragment{
+		{Index: 2, Data: data[2]},
+		{Index: 4, Data: parity[0]},
+		{Index: 5, Data: parity[1]},
+		{Index: 250, Data: hi},
+	}
+	got, err := c.Reconstruct(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(joined(got), block) {
+		t.Fatal("reconstruction using an extended-index fragment is wrong")
+	}
+}
+
+func TestManyGeometries(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, km := range [][2]int{{1, 1}, {2, 1}, {2, 2}, {4, 2}, {4, 3}, {8, 4}, {16, 8}, {32, 4}} {
+		k, m := km[0], km[1]
+		c, err := NewCodec(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := 1 + rng.Intn(8)
+		block := mkBlock(k*fs, int64(k*100+m))
+		frags := stripeFragments(t, c, block)
+		// Erase m random fragments.
+		rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		got, err := c.Reconstruct(frags[:k])
+		if err != nil {
+			t.Fatalf("k=%d m=%d: %v", k, m, err)
+		}
+		if !bytes.Equal(joined(got), block) {
+			t.Fatalf("k=%d m=%d: wrong data", k, m)
+		}
+	}
+}

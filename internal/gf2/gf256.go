@@ -1,0 +1,111 @@
+package gf2
+
+import "sync"
+
+// F256 is GF(2^8) specialised for byte-wise coding hot paths. The
+// generic Field type keeps uint32 elements and branches on zero before
+// every log lookup, which is fine for BCH syndrome math but too slow
+// for Reed-Solomon striping where every data byte passes through a
+// field multiply. F256 trades 64 KiB for a full product table so Mul
+// is a single indexed load and slice kernels can hoist one row pointer
+// out of the loop.
+//
+// The field is the same GF(2^8) as MustField(8): primitive polynomial
+// x^8+x^4+x^3+x^2+1 (0x11D), so elements interoperate bit-for-bit with
+// the BCH path.
+type F256 struct {
+	mul [256][256]byte
+	inv [256]byte
+}
+
+var (
+	f256Once sync.Once
+	f256     *F256
+)
+
+// GF256 returns the shared GF(2^8) table set. The first call builds
+// the tables from the generic field; later calls are a pointer load.
+// The returned value is immutable and safe for concurrent use.
+func GF256() *F256 {
+	f256Once.Do(func() {
+		base := MustField(8)
+		f := &F256{}
+		for a := 1; a < 256; a++ {
+			row := &f.mul[a]
+			la := int(base.logT[a])
+			for b := 1; b < 256; b++ {
+				row[b] = byte(base.exp[la+int(base.logT[b])])
+			}
+			f.inv[a] = byte(base.Inv(uint32(a)))
+		}
+		f256 = f
+	})
+	return f256
+}
+
+// Mul returns the field product a*b.
+func (f *F256) Mul(a, b byte) byte { return f.mul[a][b] }
+
+// Inv returns a^-1; it panics on zero like Field.Inv.
+func (f *F256) Inv(a byte) byte {
+	if a == 0 {
+		panic("gf2: inverse of zero")
+	}
+	return f.inv[a]
+}
+
+// Div returns a/b; it panics if b is zero.
+func (f *F256) Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf2: division by zero")
+	}
+	return f.mul[a][f.inv[b]]
+}
+
+// Row returns the multiplication row for coefficient c: Row(c)[x] ==
+// c*x. Callers that apply one coefficient across many bytes (matrix
+// rows in an erasure codec) should grab the row once instead of paying
+// the two-dimensional index per byte.
+func (f *F256) Row(c byte) *[256]byte { return &f.mul[c] }
+
+// MulAddSlice computes dst[i] ^= c*src[i] for i < len(src), the axpy
+// kernel of systematic Reed-Solomon encode and decode. len(dst) must
+// be at least len(src).
+func (f *F256) MulAddSlice(dst, src []byte, c byte) {
+	if c == 0 || len(src) == 0 {
+		return
+	}
+	_ = dst[len(src)-1]
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	row := &f.mul[c]
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// MulSlice computes dst[i] = c*src[i] for i < len(src).
+func (f *F256) MulSlice(dst, src []byte, c byte) {
+	if len(src) == 0 {
+		return
+	}
+	if c == 0 {
+		for i := range src {
+			dst[i] = 0
+		}
+		return
+	}
+	_ = dst[len(src)-1]
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	row := &f.mul[c]
+	for i, s := range src {
+		dst[i] = row[s]
+	}
+}

@@ -1,0 +1,141 @@
+package gf2
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestGF256MatchesField(t *testing.T) {
+	f := GF256()
+	base := MustField(8)
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			want := base.Mul(uint32(a), uint32(b))
+			if got := f.Mul(byte(a), byte(b)); uint32(got) != want {
+				t.Fatalf("Mul(%d,%d) = %d, field says %d", a, b, got, want)
+			}
+		}
+		if a != 0 {
+			if got, want := f.Inv(byte(a)), base.Inv(uint32(a)); uint32(got) != want {
+				t.Fatalf("Inv(%d) = %d, field says %d", a, got, want)
+			}
+		}
+	}
+}
+
+func TestGF256FieldAxioms(t *testing.T) {
+	f := GF256()
+	for a := 1; a < 256; a++ {
+		if f.Mul(byte(a), f.Inv(byte(a))) != 1 {
+			t.Fatalf("a * a^-1 != 1 for a=%d", a)
+		}
+		if f.Div(byte(a), byte(a)) != 1 {
+			t.Fatalf("a/a != 1 for a=%d", a)
+		}
+		if f.Mul(byte(a), 1) != byte(a) || f.Mul(byte(a), 0) != 0 {
+			t.Fatalf("identity/absorber broken for a=%d", a)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if f.Mul(a, b) != f.Mul(b, a) {
+			t.Fatalf("commutativity broken at (%d,%d)", a, b)
+		}
+		if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+			t.Fatalf("associativity broken at (%d,%d,%d)", a, b, c)
+		}
+		if f.Mul(a, b^c) != f.Mul(a, b)^f.Mul(a, c) {
+			t.Fatalf("distributivity broken at (%d,%d,%d)", a, b, c)
+		}
+	}
+}
+
+func TestGF256ZeroPanics(t *testing.T) {
+	f := GF256()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s(0) did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Inv", func() { f.Inv(0) })
+	mustPanic("Div", func() { f.Div(3, 0) })
+}
+
+func TestGF256SliceKernels(t *testing.T) {
+	f := GF256()
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 16, 64, 257} {
+		src := make([]byte, n)
+		rng.Read(src)
+		for _, c := range []byte{0, 1, 2, 0x53, 0xFF} {
+			want := make([]byte, n)
+			for i := range src {
+				want[i] = f.Mul(c, src[i])
+			}
+			got := make([]byte, n)
+			rng.Read(got)
+			base := append([]byte(nil), got...)
+			f.MulAddSlice(got, src, c)
+			for i := range got {
+				if got[i] != base[i]^want[i] {
+					t.Fatalf("MulAddSlice n=%d c=%d index %d: got %d want %d",
+						n, c, i, got[i], base[i]^want[i])
+				}
+			}
+			f.MulSlice(got, src, c)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSlice n=%d c=%d mismatch", n, c)
+			}
+		}
+	}
+}
+
+func TestGF256Row(t *testing.T) {
+	f := GF256()
+	row := f.Row(0x1D)
+	for x := 0; x < 256; x++ {
+		if row[x] != f.Mul(0x1D, byte(x)) {
+			t.Fatalf("Row(0x1D)[%d] = %d, Mul says %d", x, row[x], f.Mul(0x1D, byte(x)))
+		}
+	}
+}
+
+func BenchmarkGF256Mul(b *testing.B) {
+	f := GF256()
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= f.Mul(byte(i), byte(i>>8)|1)
+	}
+	sinkByte = acc
+}
+
+func BenchmarkFieldMul8(b *testing.B) {
+	f := MustField(8)
+	var acc uint32
+	for i := 0; i < b.N; i++ {
+		acc ^= f.Mul(uint32(i)&0xFF, (uint32(i>>8)&0xFF)|1)
+	}
+	sinkUint = acc
+}
+
+func BenchmarkGF256MulAddSlice(b *testing.B) {
+	f := GF256()
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	rand.New(rand.NewSource(3)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MulAddSlice(dst, src, 0x8E)
+	}
+}
+
+var (
+	sinkByte byte
+	sinkUint uint32
+)

@@ -61,6 +61,20 @@ func (c *Cluster) sweepPartition(part int64) {
 	lo, n := c.partSpan(part)
 	ctx, ot := c.bgTrace("antientropy_sweep", "antientropy", lo)
 	defer ot.finish()
+	if c.coded {
+		// Coded replicas store different bytes by construction, so a
+		// digest exchange always "diverges" — the per-slot sweep with
+		// stripe-aware election is the only meaningful reconciliation.
+		// Fragment slots are small (DataBytes/K + trailer), so the
+		// metered walk stays cheap.
+		for b := lo; b < lo+n; b++ {
+			if !c.aeTake(int64(len(reps)) * c.slotBytes) {
+				return // closing
+			}
+			c.sweepCodedBlock(ctx, ot, b, reps)
+		}
+		return
+	}
 	if !c.disableMerkle {
 		merkleOK := true
 		for _, n := range reps {
@@ -76,7 +90,7 @@ func (c *Cluster) sweepPartition(part int64) {
 	c.met.mkFallback.Inc()
 	ot.mark("fallback_sweep")
 	for b := lo; b < lo+n; b++ {
-		if !c.aeTake(int64(len(reps)) * SlotBytes) {
+		if !c.aeTake(int64(len(reps)) * c.slotBytes) {
 			return // closing
 		}
 		c.sweepBlockReplicas(ctx, ot, b, reps)

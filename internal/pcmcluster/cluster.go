@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ecstripe"
 	"repro/internal/obs"
 	"repro/internal/pcmlive"
 	"repro/internal/pcmserve"
@@ -43,6 +44,14 @@ type Config struct {
 	// (2 attempts, OpTimeout per attempt). Join dials through the same
 	// function.
 	DialNode func(addr string) (NodeClient, error)
+
+	// Coding selects the redundancy scheme. "" or "rf" mirrors each
+	// block onto ReplicationFactor nodes; "rs:K+M" Reed-Solomon-stripes
+	// each block into K data + M parity fragments on K+M nodes (see
+	// coding.go). Coded mode derives ReplicationFactor = K+M,
+	// WriteQuorum = K+⌈M/2⌉, and ReadQuorum = K; setting any of those
+	// to a conflicting value is a configuration error.
+	Coding string
 
 	// ReplicationFactor is replicas per block (default min(3, nodes)).
 	ReplicationFactor int
@@ -193,6 +202,19 @@ type Cluster struct {
 	w, r   int
 	blocks int64
 
+	// Coded placement (see coding.go): codec is non-nil iff coded.
+	// fragBytes is the per-fragment payload (DataBytes/K) and slotBytes
+	// the per-node stored slot size — fragment + trailer when coded,
+	// SlotBytes when mirrored. Every replica offset and buffer in this
+	// package sizes off slotBytes so both modes share one data path.
+	coded     bool
+	codec     *ecstripe.Codec
+	fragBytes int
+	slotBytes int64
+	// hedgeRTT is the EWMA (nanoseconds) of fragment reply round-trips
+	// driving the coded read's straggler cutoff (see coded.go).
+	hedgeRTT atomic.Uint64
+
 	// partSlots is the placement granularity (see Config.PartitionSlots);
 	// segSlots the bulk-transfer segment size.
 	partSlots int64
@@ -284,6 +306,31 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		seen[a] = true
 	}
+	codeK, codeM, coded, err := parseCoding(cfg.Coding)
+	if err != nil {
+		return nil, err
+	}
+	if coded {
+		// The codec fixes the quorum geometry: rf = K+M fragment slots,
+		// W = K+⌈M/2⌉ fragment acks, R = K valid fragments. Explicit
+		// conflicting values are configuration errors, not overrides —
+		// a mirrored quorum count applied to fragments would silently
+		// weaken (or break) the intersection guarantee.
+		ecRF, ecW, ecR := codeK+codeM, codeK+(codeM+1)/2, codeK
+		if cfg.ReplicationFactor != 0 && cfg.ReplicationFactor != ecRF {
+			return nil, fmt.Errorf("pcmcluster: coding %s implies replication factor %d, conflicting with configured %d",
+				cfg.Coding, ecRF, cfg.ReplicationFactor)
+		}
+		if cfg.WriteQuorum != 0 && cfg.WriteQuorum != ecW {
+			return nil, fmt.Errorf("pcmcluster: coding %s implies write quorum %d, conflicting with configured %d",
+				cfg.Coding, ecW, cfg.WriteQuorum)
+		}
+		if cfg.ReadQuorum != 0 && cfg.ReadQuorum != ecR {
+			return nil, fmt.Errorf("pcmcluster: coding %s implies read quorum %d, conflicting with configured %d",
+				cfg.Coding, ecR, cfg.ReadQuorum)
+		}
+		cfg.ReplicationFactor, cfg.WriteQuorum, cfg.ReadQuorum = ecRF, ecW, ecR
+	}
 	cfg = cfg.withDefaults()
 	if cfg.ReplicationFactor > len(cfg.Nodes) {
 		return nil, fmt.Errorf("pcmcluster: replication factor %d exceeds %d nodes",
@@ -337,6 +384,18 @@ func New(cfg Config) (*Cluster, error) {
 		dial:          dial,
 		verTag:        uint8(mix64(cfg.Seed)),
 		stop:          make(chan struct{}),
+	}
+	c.slotBytes = SlotBytes
+	if coded {
+		codec, err := ecstripe.NewCodec(codeK, codeM)
+		if err != nil {
+			return nil, err
+		}
+		c.coded = true
+		c.codec = codec
+		c.fragBytes = DataBytes / codeK
+		c.slotBytes = int64(c.fragBytes + ecstripe.FragTrailerBytes)
+		c.hedgeRTT.Store(uint64(hedgeInitRTT))
 	}
 	if cfg.AntiEntropySweepBytesPerSec > 0 {
 		c.aeBudget = pcmlive.NewBudget(cfg.AntiEntropySweepBytesPerSec, cfg.AntiEntropySweepBytesPerSec)
@@ -445,9 +504,9 @@ func (c *Cluster) probeCapacity(nodes []*node) error {
 		return fmt.Errorf("pcmcluster: capacity probe needs every node, %d unreachable: %s (set Config.Blocks to size the cluster without probing)",
 			len(unreachable), strings.Join(unreachable, "; "))
 	}
-	c.blocks = minSize / SlotBytes
+	c.blocks = minSize / c.slotBytes
 	if c.blocks < 1 {
-		return fmt.Errorf("pcmcluster: smallest node (%d bytes) cannot hold one %d-byte slot", minSize, SlotBytes)
+		return fmt.Errorf("pcmcluster: smallest node (%d bytes) cannot hold one %d-byte slot", minSize, c.slotBytes)
 	}
 	return nil
 }
@@ -593,6 +652,9 @@ type replicaRead struct {
 	meta   blockMeta
 	status slotStatus
 	err    error
+	// fragIdx is the stored fragment index in coded mode (from the
+	// fragment trailer, so it survives placement reshuffles).
+	fragIdx uint8
 	// rtt is the reply round-trip as seen by the quorum fan-out (zero
 	// when the reply was not timed, e.g. anti-entropy sweeps).
 	rtt time.Duration
@@ -611,17 +673,17 @@ func (c *Cluster) readReplica(ctx context.Context, n *node, b int64) replicaRead
 		c.noteResult(n, false, errNodeDown)
 		return replicaRead{n: n, err: errNodeDown}
 	}
-	buf := make([]byte, SlotBytes)
-	_, err := n.client.ReadAtCtx(ctx, buf, b*SlotBytes)
+	buf := make([]byte, c.slotBytes)
+	_, err := n.client.ReadAtCtx(ctx, buf, b*c.slotBytes)
 	c.noteResult(n, false, err)
 	if err != nil {
 		return replicaRead{n: n, err: err}
 	}
-	data, meta, status := decodeSlot(buf)
-	if status == slotOK {
-		c.observeVersion(meta.Version)
+	ss := c.decodeStoredSlot(buf)
+	if ss.status == slotOK {
+		c.observeVersion(ss.meta.Version)
 	}
-	return replicaRead{n: n, slot: buf, data: data, meta: meta, status: status}
+	return replicaRead{n: n, slot: buf, data: ss.data, meta: ss.meta, status: ss.status, fragIdx: ss.fragIdx}
 }
 
 // writeReplica writes a stamped slot to one node, buffering a hint
@@ -632,7 +694,7 @@ func (c *Cluster) writeReplica(ctx context.Context, n *node, b int64, slot []byt
 		c.queueHint(n, b, slot, version)
 		return errNodeDown
 	}
-	_, err := n.client.WriteAtCtx(ctx, slot, b*SlotBytes)
+	_, err := n.client.WriteAtCtx(ctx, slot, b*c.slotBytes)
 	c.noteResult(n, true, err)
 	if err != nil && pcmserve.Classify(err) == pcmserve.ClassTransient {
 		c.queueHint(n, b, slot, version)
@@ -685,6 +747,9 @@ func (c *Cluster) ReadBlock(ctx context.Context, b int64) ([]byte, error) {
 	defer c.opGate.RUnlock()
 	if c.closed.Load() {
 		return nil, ErrClosed
+	}
+	if c.coded {
+		return c.readCodedBlock(ctx, b)
 	}
 	c.met.quorumReads.Inc()
 	t0 := time.Now()
@@ -858,13 +923,13 @@ func (c *Cluster) repairReplica(ctx context.Context, ot *opTrace, n *node, b int
 	defer mu.Unlock()
 	ot.span("stripe_lock", "", lockT, nil)
 	recheckT := time.Now()
-	cur := make([]byte, SlotBytes)
-	_, rerr := n.client.ReadAtCtx(ctx, cur, b*SlotBytes)
+	cur := make([]byte, c.slotBytes)
+	_, rerr := n.client.ReadAtCtx(ctx, cur, b*c.slotBytes)
 	switch {
 	case rerr == nil:
-		if _, m, status := decodeSlot(cur); status == slotOK {
-			c.observeVersion(m.Version)
-			if !winner.newer(m) {
+		if ss := c.decodeStoredSlot(cur); ss.status == slotOK {
+			c.observeVersion(ss.meta.Version)
+			if !winner.newer(ss.meta) {
 				ot.span("repair_recheck", n.addr, recheckT, nil)
 				ot.mark("repair_skipped")
 				c.met.repairsSkipped.Inc()
@@ -886,7 +951,7 @@ func (c *Cluster) repairReplica(ctx context.Context, ot *opTrace, n *node, b int
 	// write replaces it; fall through.
 	ot.span("repair_recheck", n.addr, recheckT, nil)
 	writeT := time.Now()
-	_, err := n.client.WriteAtCtx(ctx, winnerSlot, b*SlotBytes)
+	_, err := n.client.WriteAtCtx(ctx, winnerSlot, b*c.slotBytes)
 	ot.span("repair_write", n.addr, writeT, err)
 	c.noteResult(n, true, err)
 	if err != nil {
@@ -894,6 +959,9 @@ func (c *Cluster) repairReplica(ctx context.Context, ot *opTrace, n *node, b int
 		return
 	}
 	counter.Inc()
+	if c.coded {
+		c.met.ecFragRepairs.Inc()
+	}
 }
 
 // WriteBlock writes 64 bytes to block b with write-quorum semantics:
@@ -930,8 +998,6 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 	}
 
 	version := c.nextVersion()
-	slot := make([]byte, SlotBytes)
-	encodeSlot(slot, data, version)
 
 	ep := c.epoch.Load()
 	part := c.partOf(b)
@@ -941,6 +1007,14 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 	if ep.next != nil {
 		nextReps = ep.next.replicas(part, c.rf)
 		targets = unionNodes(curReps, nextReps)
+	}
+	// Per-target slot images: identical replica slots when mirrored,
+	// per-position fragment slots when coded.
+	payloads, err := c.writePayloads(curReps, nextReps, targets, data, version)
+	if err != nil {
+		ot.fail(err)
+		ot.finish()
+		return err
 	}
 
 	// The stripe stays locked until every replica write resolves (not
@@ -956,14 +1030,14 @@ func (c *Cluster) WriteBlock(ctx context.Context, b int64, data []byte) error {
 		rtt time.Duration
 	}
 	results := make(chan writeRes, len(targets))
-	for _, n := range targets {
+	for i, n := range targets {
 		c.bg.Add(1)
-		go func(n *node) {
+		go func(n *node, slot []byte) {
 			defer c.bg.Done()
 			sent := time.Now()
 			err := c.writeReplica(ctx, n, b, slot, version)
 			results <- writeRes{n: n, err: err, rtt: time.Since(sent)}
-		}(n)
+		}(n, payloads[i])
 	}
 
 	acksCur, acksNext, resolved := 0, 0, 0
@@ -1090,20 +1164,20 @@ func (c *Cluster) replayHint(n *node, b int64, h hint) bool {
 	defer ot.finish()
 	ctx, cancel := context.WithTimeout(ctx, c.opTimeout)
 	defer cancel()
-	_, hMeta, _ := decodeSlot(h.slot) // always slotOK: hints hold encodeSlot output
+	hMeta := c.decodeStoredSlot(h.slot).meta // always slotOK: hints hold encoded slot images
 	lockT := time.Now()
 	mu := c.stripe(b)
 	mu.Lock()
 	defer mu.Unlock()
 	ot.span("stripe_lock", "", lockT, nil)
 	recheckT := time.Now()
-	cur := make([]byte, SlotBytes)
-	_, rerr := n.client.ReadAtCtx(ctx, cur, b*SlotBytes)
+	cur := make([]byte, c.slotBytes)
+	_, rerr := n.client.ReadAtCtx(ctx, cur, b*c.slotBytes)
 	switch {
 	case rerr == nil:
-		if _, m, status := decodeSlot(cur); status == slotOK {
-			c.observeVersion(m.Version)
-			if !hMeta.newer(m) {
+		if ss := c.decodeStoredSlot(cur); ss.status == slotOK {
+			c.observeVersion(ss.meta.Version)
+			if !hMeta.newer(ss.meta) {
 				ot.span("hint_recheck", n.addr, recheckT, nil)
 				ot.mark("hint_stale")
 				c.met.hintsDroppedStale.Inc()
@@ -1123,7 +1197,7 @@ func (c *Cluster) replayHint(n *node, b int64, h hint) bool {
 	// write IS the repair; fall through.
 	ot.span("hint_recheck", n.addr, recheckT, nil)
 	writeT := time.Now()
-	_, err := n.client.WriteAtCtx(ctx, h.slot, b*SlotBytes)
+	_, err := n.client.WriteAtCtx(ctx, h.slot, b*c.slotBytes)
 	ot.span("hint_write", n.addr, writeT, err)
 	c.noteResult(n, true, err)
 	if err != nil {

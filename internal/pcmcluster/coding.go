@@ -1,0 +1,202 @@
+package pcmcluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ecstripe"
+)
+
+// Coded placement design.
+//
+// Config.Coding "rs:K+M" switches the cluster from full mirroring to
+// Reed-Solomon striping: each 64-byte block splits into K data
+// fragments extended by M parity fragments (internal/ecstripe), and
+// the stripe group rendezvous-hashes onto K+M distinct nodes — the
+// same placement machinery as mirroring with rf = K+M, each node
+// holding one fragment slot per block instead of a full replica slot.
+// Storage per data byte drops from RF× to (K+M)/K× while any M node
+// losses stay survivable.
+//
+// The quorum math reuses the mirrored machinery unchanged by mapping
+//
+//	rf = K+M,   W = K+⌈M/2⌉ fragment acks,   R = K valid fragments,
+//
+// which satisfies the existing W+R > RF intersection check exactly
+// when K > ⌊M/2⌋ (enforced at construction). A read that gathers K
+// distinct-index fragments of one write reconstructs the block; the
+// stripe CRC stamped into every fragment trailer doubles as the
+// last-writer-wins tiebreak (blockMeta.DataCRC) and as the end-to-end
+// check on the reconstructed bytes.
+//
+// Reads are version-safe without reading all K+M fragments thanks to
+// the possible-acks rule: a version v seen on some fragments may only
+// be skipped in favor of an older one when count(v) + unknown +
+// shadow < W — unknown counts replicas that returned nothing usable
+// (dead, corrupt, still in flight) and shadow counts replicas holding
+// already-skipped newer versions, since either kind may have acked v
+// before losing or overwriting it. Below that bound the write could
+// not have collected W acks. Otherwise the read waits for more
+// fragments or fails with the typed ErrReadQuorum.
+// Exact-data-or-typed-error is preserved: a coded read never silently
+// serves a stale or zero block past a possibly-acknowledged write.
+//
+// Fragment indices are assigned by placement position (node i of the
+// stripe group stores fragment i) but each fragment also carries its
+// index in its trailer, so reads stay correct across membership
+// reshuffles that change a node's position; anti-entropy realigns
+// stray indices back to the canonical position over time.
+
+// parseCoding parses a Config.Coding spec. "" and "rf" select
+// mirroring; "rs:K+M" selects K data + M parity striping.
+func parseCoding(s string) (k, m int, coded bool, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "rf" {
+		return 0, 0, false, nil
+	}
+	spec, ok := strings.CutPrefix(s, "rs:")
+	if !ok {
+		return 0, 0, false, fmt.Errorf("pcmcluster: unknown coding %q (want \"rf\" or \"rs:K+M\")", s)
+	}
+	ks, ms, ok := strings.Cut(spec, "+")
+	if !ok {
+		return 0, 0, false, fmt.Errorf("pcmcluster: coding %q: want \"rs:K+M\", e.g. \"rs:4+2\"", s)
+	}
+	k, kerr := strconv.Atoi(ks)
+	m, merr := strconv.Atoi(ms)
+	if kerr != nil || merr != nil || k < 1 || m < 1 {
+		return 0, 0, false, fmt.Errorf("pcmcluster: coding %q: K and M must be positive integers", s)
+	}
+	if DataBytes%k != 0 {
+		return 0, 0, false, fmt.Errorf("pcmcluster: coding %q: K must divide the %d-byte block (2, 4, 8, ...)", s, DataBytes)
+	}
+	if k+m > ecstripe.MaxFragments {
+		return 0, 0, false, fmt.Errorf("pcmcluster: coding %q: K+M exceeds %d fragments", s, ecstripe.MaxFragments)
+	}
+	if k <= m/2 {
+		return 0, 0, false, fmt.Errorf("pcmcluster: coding %q: need K > M/2 so the fragment write quorum K+⌈M/2⌉ and read quorum K always intersect", s)
+	}
+	return k, m, true, nil
+}
+
+// Coding returns the cluster's redundancy scheme label: "rf" or
+// "rs:K+M".
+func (c *Cluster) Coding() string {
+	if !c.coded {
+		return "rf"
+	}
+	return fmt.Sprintf("rs:%d+%d", c.codec.K, c.codec.M)
+}
+
+// StorageOverhead returns stored copies per data byte: RF under
+// mirroring, (K+M)/K under striping.
+func (c *Cluster) StorageOverhead() float64 {
+	if !c.coded {
+		return float64(c.rf)
+	}
+	return float64(c.codec.K+c.codec.M) / float64(c.codec.K)
+}
+
+// storedSlot is one node's decoded stored slot in either mode: a full
+// replica slot (mirrored) or a fragment slot (coded). meta.DataCRC
+// carries the stripe CRC in coded mode, so blockMeta.newer orders
+// stripe fragments exactly like replica slots.
+type storedSlot struct {
+	data    []byte
+	meta    blockMeta
+	fragIdx uint8
+	status  slotStatus
+}
+
+// decodeStoredSlot decodes one stored slot under the cluster's coding
+// mode. This is the single seam the repair paths (read-repair, hint
+// replay, anti-entropy, transfer) decode through, so they work on
+// fragments and full replicas alike.
+func (c *Cluster) decodeStoredSlot(slot []byte) storedSlot {
+	if !c.coded {
+		data, meta, status := decodeSlot(slot)
+		return storedSlot{data: data, meta: meta, status: status}
+	}
+	frag, fm, fs := ecstripe.DecodeFragSlot(slot, c.fragBytes)
+	var status slotStatus
+	switch fs {
+	case ecstripe.FragOK:
+		status = slotOK
+	case ecstripe.FragUnwritten:
+		status = slotUnwritten
+	default:
+		status = slotCorrupt
+	}
+	return storedSlot{
+		data:    frag,
+		meta:    blockMeta{Version: fm.Version, DataCRC: fm.StripeCRC},
+		fragIdx: fm.Index,
+		status:  status,
+	}
+}
+
+// encodeFragmentSlot builds the stored fragment slot for fragment idx
+// of a block at the given version.
+func (c *Cluster) encodeFragmentSlot(dataFrags [][]byte, idx int, version uint64, stripeCRC uint32) ([]byte, error) {
+	frag := make([]byte, c.fragBytes)
+	if err := c.codec.EncodeFragment(frag, dataFrags, idx); err != nil {
+		return nil, err
+	}
+	slot := make([]byte, c.slotBytes)
+	ecstripe.EncodeFragSlot(slot, frag, ecstripe.FragMeta{
+		Version:   version,
+		StripeCRC: stripeCRC,
+		Index:     uint8(idx),
+	})
+	return slot, nil
+}
+
+// nodePosition returns n's index within a replica set, -1 when absent.
+func nodePosition(reps []*node, n *node) int {
+	for i, m := range reps {
+		if m == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// writePayloads builds the per-node slot images for one write.
+// Mirrored mode sends every target the same replica slot; coded mode
+// sends each target the fragment slot for its placement position —
+// its position under the authoritative placement, or, for a node only
+// in the next placement, its position there (extended generator rows
+// make any index < 256 decodable, so transitional positions need no
+// special casing).
+func (c *Cluster) writePayloads(curReps, nextReps, targets []*node, data []byte, version uint64) ([][]byte, error) {
+	out := make([][]byte, len(targets))
+	if !c.coded {
+		slot := make([]byte, SlotBytes)
+		encodeSlot(slot, data, version)
+		for i := range out {
+			out[i] = slot
+		}
+		return out, nil
+	}
+	dataFrags, err := c.codec.Split(data)
+	if err != nil {
+		return nil, err
+	}
+	crc := ecstripe.StripeCRC(data)
+	for i, n := range targets {
+		idx := nodePosition(curReps, n)
+		if idx < 0 {
+			idx = nodePosition(nextReps, n)
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("pcmcluster: write target %s not in either placement", n.addr)
+		}
+		slot, err := c.encodeFragmentSlot(dataFrags, idx, version, crc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = slot
+	}
+	return out, nil
+}

@@ -180,10 +180,10 @@ func (c *Cluster) Join(ctx context.Context, addr string) error {
 		nc.Close()
 		return fmt.Errorf("pcmcluster: join %s: capacity probe: %w", addr, err)
 	}
-	if st.SizeBytes/SlotBytes < c.blocks {
+	if st.SizeBytes/c.slotBytes < c.blocks {
 		nc.Close()
 		return fmt.Errorf("pcmcluster: join %s: %d bytes holds %d slots, cluster needs %d",
-			addr, st.SizeBytes, st.SizeBytes/SlotBytes, c.blocks)
+			addr, st.SizeBytes, st.SizeBytes/c.slotBytes, c.blocks)
 	}
 
 	joiner := newNode(addr, nc, c.failThreshold, c.probeInterval, c.hintCap)
@@ -331,6 +331,12 @@ func (c *Cluster) Drain(ctx context.Context, addr string) error {
 // recheck-then-write. Owners that fail transiently get the hint in
 // their own buffer, so the normal replay machinery finishes the job.
 func (c *Cluster) replayDrainedHint(pl *placement, b int64, h hint) {
+	if c.coded {
+		// A fragment hint is only meaningful to the node canonically
+		// holding its stored index — route it there alone.
+		c.replayDrainedHintCoded(pl, b, h)
+		return
+	}
 	ctx, ot := c.bgTrace("drain_hint_replay", "drain", b)
 	defer ot.finish()
 	_, hMeta, _ := decodeSlot(h.slot)

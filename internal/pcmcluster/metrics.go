@@ -52,6 +52,13 @@ type metrics struct {
 	mkDigestRPCs, mkSlotsFetched   *obs.Counter
 	mkPartsClean, mkPartsDivergent *obs.Counter
 	mkPartsUnavailable, mkFallback *obs.Counter
+
+	// Erasure-coded placement (see coding.go / coded.go).
+	ecReconstructRead, ecReconstructAE *obs.Counter
+	ecReconstructTransfer              *obs.Counter
+	ecReconstructFailed                *obs.Counter
+	ecHedgedStraggler, ecHedgedFailure *obs.Counter
+	ecFragRepairs, ecRealigned         *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry, c *Cluster) *metrics {
@@ -166,6 +173,33 @@ func newMetrics(reg *obs.Registry, c *Cluster) *metrics {
 	m.mkPartsUnavailable = reg.Counter(mpName, mpHelp, obs.L("outcome", "unavailable")...)
 	m.mkFallback = reg.Counter(mpName, mpHelp, obs.L("outcome", "fallback_sweep")...)
 
+	reg.GaugeFunc("pcmcluster_storage_overhead_ratio",
+		"Stored copies per data byte: RF mirrored, (K+M)/K coded.",
+		func() float64 { return c.StorageOverhead() })
+	if c.coded {
+		reg.GaugeFunc("pcmcluster_coding_data_fragments",
+			"Data fragments per stripe (K).",
+			func() float64 { return float64(c.codec.K) })
+		reg.GaugeFunc("pcmcluster_coding_parity_fragments",
+			"Parity fragments per stripe (M).",
+			func() float64 { return float64(c.codec.M) })
+	}
+	const ecrName = "pcmcluster_ec_reconstructions_total"
+	const ecrHelp = "Degraded reconstructions: blocks decoded through parity math instead of the systematic fast path, by initiating subsystem."
+	m.ecReconstructRead = reg.Counter(ecrName, ecrHelp, obs.L("source", "read")...)
+	m.ecReconstructAE = reg.Counter(ecrName, ecrHelp, obs.L("source", "antientropy")...)
+	m.ecReconstructTransfer = reg.Counter(ecrName, ecrHelp, obs.L("source", "transfer")...)
+	m.ecReconstructFailed = reg.Counter("pcmcluster_ec_reconstruct_failures_total",
+		"Reconstruction attempts that failed decode or the stripe CRC check; the read waits or fails typed, never serves the bytes.")
+	const echName = "pcmcluster_ec_hedged_fanouts_total"
+	const echHelp = "Coded reads that widened from the K-fragment fast path to the full stripe group, by trigger."
+	m.ecHedgedStraggler = reg.Counter(echName, echHelp, obs.L("cause", "straggler")...)
+	m.ecHedgedFailure = reg.Counter(echName, echHelp, obs.L("cause", "failure")...)
+	m.ecFragRepairs = reg.Counter("pcmcluster_ec_fragment_repairs_total",
+		"Fragment slots rewritten from a reconstructed stripe (all repair paths).")
+	m.ecRealigned = reg.Counter("pcmcluster_ec_fragments_realigned_total",
+		"Current-version fragments rewritten because a membership reshuffle left them stored under a stale index.")
+
 	return m
 }
 
@@ -247,11 +281,13 @@ type NodeStats struct {
 // the loadgen report and test assertions read this instead of scraping
 // the exposition text.
 type ClusterStats struct {
-	Blocks            int64 `json:"blocks"`
-	ReplicationFactor int   `json:"replication_factor"`
-	WriteQuorum       int   `json:"write_quorum"`
-	ReadQuorum        int   `json:"read_quorum"`
-	PartitionSlots    int64 `json:"partition_slots"`
+	Blocks            int64   `json:"blocks"`
+	ReplicationFactor int     `json:"replication_factor"`
+	WriteQuorum       int     `json:"write_quorum"`
+	ReadQuorum        int     `json:"read_quorum"`
+	PartitionSlots    int64   `json:"partition_slots"`
+	Coding            string  `json:"coding"`
+	StorageOverhead   float64 `json:"storage_overhead"`
 
 	Membership MembershipStatus `json:"membership"`
 
@@ -311,6 +347,13 @@ type ClusterStats struct {
 	MerklePartsUnavailable uint64 `json:"merkle_parts_unavailable"`
 	MerkleFallbackSweeps   uint64 `json:"merkle_fallback_sweeps"`
 
+	// Erasure-coded placement.
+	ECReconstructions     uint64 `json:"ec_reconstructions"`
+	ECReconstructFailures uint64 `json:"ec_reconstruct_failures"`
+	ECHedgedFanouts       uint64 `json:"ec_hedged_fanouts"`
+	ECFragmentRepairs     uint64 `json:"ec_fragment_repairs"`
+	ECFragmentsRealigned  uint64 `json:"ec_fragments_realigned"`
+
 	// SlowQuorums counts ops that entered the slow-quorum log; SLOs
 	// snapshots the availability and latency objectives (empty when
 	// disabled).
@@ -329,6 +372,8 @@ func (c *Cluster) Stats() ClusterStats {
 		WriteQuorum:       c.w,
 		ReadQuorum:        c.r,
 		PartitionSlots:    c.partSlots,
+		Coding:            c.Coding(),
+		StorageOverhead:   c.StorageOverhead(),
 
 		Membership: c.Membership(),
 
@@ -384,6 +429,12 @@ func (c *Cluster) Stats() ClusterStats {
 		MerklePartsDivergent:   m.mkPartsDivergent.Value(),
 		MerklePartsUnavailable: m.mkPartsUnavailable.Value(),
 		MerkleFallbackSweeps:   m.mkFallback.Value(),
+
+		ECReconstructions:     m.ecReconstructRead.Value() + m.ecReconstructAE.Value() + m.ecReconstructTransfer.Value(),
+		ECReconstructFailures: m.ecReconstructFailed.Value(),
+		ECHedgedFanouts:       m.ecHedgedStraggler.Value() + m.ecHedgedFailure.Value(),
+		ECFragmentRepairs:     m.ecFragRepairs.Value(),
+		ECFragmentsRealigned:  m.ecRealigned.Value(),
 
 		SlowQuorums: c.SlowQuorumTotal(),
 	}

@@ -253,7 +253,7 @@ func (n *node) addHint(b int64, slot []byte, version uint64) hintAddResult {
 	} else if len(n.hints) >= n.hintCap {
 		return hintOverflow
 	}
-	cp := make([]byte, SlotBytes)
+	cp := make([]byte, len(slot))
 	copy(cp, slot)
 	n.hints[b] = hint{slot: cp, version: version}
 	return hintStored

@@ -123,6 +123,12 @@ func (c *Cluster) runTransfer(ctx context.Context, ep *epoch, prog *transferProg
 // foreground write landing on the target through the dual-quorum
 // write path.
 func (c *Cluster) transferSegment(ctx context.Context, ot *opTrace, ep *epoch, tp transferPart, lo, n int64) error {
+	if c.coded {
+		// Coded mode cannot forward slots verbatim: the target needs the
+		// fragment for ITS stripe position, synthesized from the
+		// sources' fragments (see coded.go).
+		return c.transferSegmentCoded(ctx, ot, ep, tp, lo, n)
+	}
 	srcs := make([]*node, 0, c.rf)
 	for _, s := range ep.cur.replicas(tp.part, c.rf) {
 		if s != tp.target {
